@@ -1,0 +1,260 @@
+//! Tensor-to-partition binding.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sunstone_ir::{TensorId, Workload};
+
+use crate::{ArchSpec, Level, LevelId, PartitionId};
+
+/// Errors produced by [`Binding::resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BindingError {
+    /// A tensor is neither bypassed nor matched by any partition at some
+    /// memory level.
+    Unmatched { tensor: String, level: String },
+    /// A tensor is bypassed at the outermost (DRAM) level, so it has no
+    /// home at all.
+    BypassedEverywhere { tensor: String },
+}
+
+impl fmt::Display for BindingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingError::Unmatched { tensor, level } => {
+                write!(f, "tensor `{tensor}` matches no partition of level `{level}`")
+            }
+            BindingError::BypassedEverywhere { tensor } => {
+                write!(f, "tensor `{tensor}` is bypassed at the outermost memory")
+            }
+        }
+    }
+}
+
+impl Error for BindingError {}
+
+/// Resolved storage assignment: for each memory level and tensor, the
+/// partition storing that tensor (or `None` when bypassed).
+///
+/// Computed once per (architecture, workload) pair and shared by the cost
+/// model and the schedulers.
+///
+/// # Examples
+///
+/// ```
+/// use sunstone_arch::{presets, Binding};
+/// use sunstone_ir::Workload;
+///
+/// let mut b = Workload::builder("mm");
+/// let m = b.dim("M", 8);
+/// let n = b.dim("N", 8);
+/// let k = b.dim("K", 8);
+/// b.input("a", [m.expr(), k.expr()]);
+/// b.input("b", [k.expr(), n.expr()]);
+/// b.output("out", [m.expr(), n.expr()]);
+/// let w = b.build()?;
+///
+/// let arch = presets::conventional();
+/// let binding = Binding::resolve(&arch, &w)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// `assignment[level][tensor]`, indexed by raw level id and tensor id;
+    /// spatial levels hold an empty row.
+    assignment: Vec<Vec<Option<PartitionId>>>,
+}
+
+impl Binding {
+    /// Resolves the binding of every workload tensor at every memory level.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a tensor matches no partition at a level that does not
+    /// bypass it, or if the outermost memory bypasses a tensor.
+    pub fn resolve(arch: &ArchSpec, workload: &Workload) -> Result<Self, BindingError> {
+        let mut assignment = Vec::with_capacity(arch.num_levels());
+        for level in arch.levels() {
+            match level {
+                Level::Spatial(_) => assignment.push(Vec::new()),
+                Level::Memory(m) => {
+                    let mut row = Vec::with_capacity(workload.num_tensors());
+                    for t in workload.tensors() {
+                        if m.bypasses(t) {
+                            row.push(None);
+                        } else {
+                            let p = m.partition_for(t).ok_or_else(|| BindingError::Unmatched {
+                                tensor: t.name().to_string(),
+                                level: m.name.clone(),
+                            })?;
+                            row.push(Some(p));
+                        }
+                    }
+                    assignment.push(row);
+                }
+            }
+        }
+        // The outermost memory must store everything.
+        if let Some(outer) = assignment.last() {
+            for (i, slot) in outer.iter().enumerate() {
+                if slot.is_none() {
+                    return Err(BindingError::BypassedEverywhere {
+                        tensor: workload.tensor(TensorId::from_index(i)).name().to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Binding { assignment })
+    }
+
+    /// The partition storing `tensor` at memory level `level`, or `None`
+    /// when the tensor bypasses that level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` refers to a spatial level.
+    pub fn partition_of(&self, level: LevelId, tensor: TensorId) -> Option<PartitionId> {
+        let row = &self.assignment[level.0];
+        assert!(!row.is_empty(), "level {} is spatial", level.0);
+        row[tensor.index()]
+    }
+
+    /// Returns `true` if `tensor` is stored (not bypassed) at `level`.
+    pub fn stores(&self, level: LevelId, tensor: TensorId) -> bool {
+        self.partition_of(level, tensor).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BufferPartition, Capacity, MemoryLevel, SpatialLevel, TensorFilter};
+
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 7);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    fn any(name: &str, cap: Capacity) -> BufferPartition {
+        BufferPartition::new(name, TensorFilter::Any, cap, 1.0, 1.0)
+    }
+
+    #[test]
+    fn binds_simba_style_bypass() {
+        let w = conv1d();
+        let arch = ArchSpec::new(
+            "mini-simba",
+            vec![
+                Level::Memory(MemoryLevel::partitioned(
+                    "L1",
+                    vec![
+                        BufferPartition::new(
+                            "wbuf",
+                            TensorFilter::Named(vec!["weight".into()]),
+                            Capacity::Bytes(32 << 10),
+                            1.0,
+                            1.0,
+                        ),
+                        BufferPartition::new(
+                            "obuf",
+                            TensorFilter::Output,
+                            Capacity::Bytes(3 << 10),
+                            1.0,
+                            1.0,
+                        ),
+                        BufferPartition::new(
+                            "ibuf",
+                            TensorFilter::Inputs,
+                            Capacity::Bytes(8 << 10),
+                            1.0,
+                            1.0,
+                        ),
+                    ],
+                )),
+                Level::Spatial(SpatialLevel::new("grid", 16)),
+                Level::Memory(
+                    MemoryLevel::unified("L2", any("l2", Capacity::Bytes(512 << 10)))
+                        .with_bypass(TensorFilter::Named(vec!["weight".into()])),
+                ),
+                Level::Memory(MemoryLevel::unified("DRAM", any("dram", Capacity::Unbounded))),
+            ],
+            1.0,
+            16,
+        );
+        arch.validate().unwrap();
+        let b = Binding::resolve(&arch, &w).unwrap();
+        let weight = w.tensor_by_name("weight").unwrap();
+        let ifmap = w.tensor_by_name("ifmap").unwrap();
+        let ofmap = w.tensor_by_name("ofmap").unwrap();
+        // At L1: weight → wbuf(0), ofmap → obuf(1), ifmap → ibuf(2).
+        assert_eq!(b.partition_of(LevelId(0), weight), Some(PartitionId(0)));
+        assert_eq!(b.partition_of(LevelId(0), ofmap), Some(PartitionId(1)));
+        assert_eq!(b.partition_of(LevelId(0), ifmap), Some(PartitionId(2)));
+        // At L2: weight bypassed.
+        assert!(!b.stores(LevelId(2), weight));
+        assert!(b.stores(LevelId(2), ifmap) && b.stores(LevelId(2), ofmap));
+        // DRAM stores everything.
+        assert!(b.stores(LevelId(3), weight));
+    }
+
+    #[test]
+    fn unmatched_tensor_is_an_error() {
+        let w = conv1d();
+        let arch = ArchSpec::new(
+            "bad",
+            vec![
+                Level::Memory(MemoryLevel::partitioned(
+                    "L1",
+                    vec![BufferPartition::new(
+                        "obuf",
+                        TensorFilter::Output,
+                        Capacity::Bytes(1024),
+                        1.0,
+                        1.0,
+                    )],
+                )),
+                Level::Memory(MemoryLevel::unified("DRAM", any("dram", Capacity::Unbounded))),
+            ],
+            1.0,
+            16,
+        );
+        let err = Binding::resolve(&arch, &w).unwrap_err();
+        assert!(matches!(err, BindingError::Unmatched { ref level, .. } if level == "L1"));
+    }
+
+    #[test]
+    fn bypass_at_dram_is_an_error() {
+        let w = conv1d();
+        let arch = ArchSpec::new(
+            "bad",
+            vec![
+                Level::Memory(MemoryLevel::unified("L1", any("l1", Capacity::Bytes(1024)))),
+                Level::Memory(
+                    MemoryLevel::unified("DRAM", any("dram", Capacity::Unbounded))
+                        .with_bypass(TensorFilter::Output),
+                ),
+            ],
+            1.0,
+            16,
+        );
+        let err = Binding::resolve(&arch, &w).unwrap_err();
+        assert!(matches!(err, BindingError::BypassedEverywhere { ref tensor } if tensor == "ofmap"));
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let e1 = BindingError::Unmatched { tensor: "t".into(), level: "L1".into() };
+        let e2 = BindingError::BypassedEverywhere { tensor: "t".into() };
+        assert!(!e1.to_string().is_empty());
+        assert!(!e2.to_string().is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Fluent construction of accelerator specifications.
+
+use crate::{
+    ArchError, ArchSpec, BufferPartition, Capacity, Level, MemoryLevel, NocModel, SpatialLevel,
+    TensorFilter,
+};
+
+/// Builds an [`ArchSpec`] level by level, innermost first.
+///
+/// # Examples
+///
+/// ```
+/// use sunstone_arch::ArchBuilder;
+///
+/// let arch = ArchBuilder::new("edge-npu")
+///     .unified_memory("spad", 1 << 10, 0.9, 0.9)
+///     .spatial("grid", 64)
+///     .unified_memory("shared", 256 << 10, 5.0, 5.0)
+///     .dram(200.0)
+///     .mac_energy(1.0)
+///     .build()?;
+/// assert_eq!(arch.total_spatial_units(), 64);
+/// # Ok::<(), sunstone_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArchBuilder {
+    name: String,
+    levels: Vec<Level>,
+    mac_energy_pj: f64,
+    ref_bits: u32,
+}
+
+impl ArchBuilder {
+    /// Starts a new accelerator description.
+    pub fn new(name: impl Into<String>) -> Self {
+        ArchBuilder { name: name.into(), levels: Vec::new(), mac_energy_pj: 1.0, ref_bits: 16 }
+    }
+
+    /// Appends a memory level with a single unified buffer.
+    #[must_use]
+    pub fn unified_memory(
+        mut self,
+        name: &str,
+        bytes: u64,
+        read_energy_pj: f64,
+        write_energy_pj: f64,
+    ) -> Self {
+        self.levels.push(Level::Memory(MemoryLevel::unified(
+            name,
+            BufferPartition::new(
+                name,
+                TensorFilter::Any,
+                Capacity::Bytes(bytes),
+                read_energy_pj,
+                write_energy_pj,
+            ),
+        )));
+        self
+    }
+
+    /// Appends a memory level with explicit partitions.
+    #[must_use]
+    pub fn partitioned_memory(mut self, name: &str, partitions: Vec<BufferPartition>) -> Self {
+        self.levels.push(Level::Memory(MemoryLevel::partitioned(name, partitions)));
+        self
+    }
+
+    /// Appends a raw, fully customized level.
+    #[must_use]
+    pub fn level(mut self, level: Level) -> Self {
+        self.levels.push(level);
+        self
+    }
+
+    /// Adds a bypass rule to the most recently added memory level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last level is not a memory.
+    #[must_use]
+    pub fn bypass(mut self, filter: TensorFilter) -> Self {
+        match self.levels.last_mut() {
+            Some(Level::Memory(m)) => m.bypass.push(filter),
+            _ => panic!("bypass must follow a memory level"),
+        }
+        self
+    }
+
+    /// Appends a spatial fan-out level with an ideal multicast NoC.
+    #[must_use]
+    pub fn spatial(mut self, name: &str, units: u64) -> Self {
+        self.levels.push(Level::Spatial(SpatialLevel::new(name, units)));
+        self
+    }
+
+    /// Appends a spatial level with an explicit NoC model.
+    #[must_use]
+    pub fn spatial_with_noc(mut self, name: &str, units: u64, noc: NocModel) -> Self {
+        self.levels.push(Level::Spatial(SpatialLevel::new(name, units).with_noc(noc)));
+        self
+    }
+
+    /// Appends the unbounded off-chip memory (required, outermost).
+    #[must_use]
+    pub fn dram(mut self, access_energy_pj: f64) -> Self {
+        self.levels.push(Level::Memory(MemoryLevel::unified(
+            "DRAM",
+            BufferPartition::new(
+                "dram",
+                TensorFilter::Any,
+                Capacity::Unbounded,
+                access_energy_pj,
+                access_energy_pj,
+            ),
+        )));
+        self
+    }
+
+    /// Sets the per-MAC energy in pJ (default 1.0).
+    #[must_use]
+    pub fn mac_energy(mut self, pj: f64) -> Self {
+        self.mac_energy_pj = pj;
+        self
+    }
+
+    /// Sets the reference word width for energy scaling (default 16).
+    #[must_use]
+    pub fn ref_bits(mut self, bits: u32) -> Self {
+        self.ref_bits = bits;
+        self
+    }
+
+    /// Validates and finalizes the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural violation; see [`ArchError`].
+    pub fn build(self) -> Result<ArchSpec, ArchError> {
+        let spec = ArchSpec::new(self.name, self.levels, self.mac_energy_pj, self.ref_bits);
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_valid_three_level_machine() {
+        let arch = ArchBuilder::new("test")
+            .unified_memory("L1", 512, 1.0, 1.0)
+            .spatial("grid", 16)
+            .unified_memory("L2", 1 << 20, 6.0, 6.0)
+            .dram(200.0)
+            .mac_energy(0.5)
+            .ref_bits(8)
+            .build()
+            .unwrap();
+        assert_eq!(arch.num_memory_levels(), 3);
+        assert_eq!(arch.mac_energy_pj(), 0.5);
+        assert_eq!(arch.ref_bits(), 8);
+    }
+
+    #[test]
+    fn bypass_attaches_to_the_last_memory() {
+        let arch = ArchBuilder::new("bypass")
+            .unified_memory("L1", 512, 1.0, 1.0)
+            .unified_memory("L2", 1 << 20, 6.0, 6.0)
+            .bypass(TensorFilter::Named(vec!["weight".into()]))
+            .dram(200.0)
+            .build()
+            .unwrap();
+        let l2 = arch.memory_levels().nth(1).unwrap().1;
+        assert_eq!(l2.bypass.len(), 1);
+    }
+
+    #[test]
+    fn missing_dram_fails_validation() {
+        let err = ArchBuilder::new("bad").unified_memory("L1", 512, 1.0, 1.0).build();
+        assert!(matches!(err, Err(ArchError::OutermostNotDram)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bypass must follow a memory level")]
+    fn bypass_after_spatial_panics() {
+        let _ = ArchBuilder::new("bad")
+            .unified_memory("L1", 512, 1.0, 1.0)
+            .spatial("grid", 4)
+            .bypass(TensorFilter::Output);
+    }
+}

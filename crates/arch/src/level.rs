@@ -1,0 +1,392 @@
+//! Memory and spatial levels.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sunstone_ir::{TensorDesc, TensorKind};
+
+/// Identifier of a buffer partition within one [`MemoryLevel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartitionId(pub usize);
+
+/// Storage capacity of a buffer partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Capacity {
+    /// Unlimited capacity (off-chip DRAM).
+    Unbounded,
+    /// A fixed number of bytes.
+    Bytes(u64),
+}
+
+impl Capacity {
+    /// Returns `true` if `bytes` fits in this capacity.
+    pub fn fits(self, bytes: u64) -> bool {
+        match self {
+            Capacity::Unbounded => true,
+            Capacity::Bytes(b) => bytes <= b,
+        }
+    }
+
+    /// The byte limit, or `None` when unbounded.
+    pub fn bytes(self) -> Option<u64> {
+        match self {
+            Capacity::Unbounded => None,
+            Capacity::Bytes(b) => Some(b),
+        }
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Capacity::Unbounded => write!(f, "∞"),
+            Capacity::Bytes(b) => write!(f, "{b}B"),
+        }
+    }
+}
+
+/// Selects which workload tensors a buffer partition (or a bypass rule)
+/// applies to.
+///
+/// Matching is by tensor *role* or by name, so architecture presets can be
+/// written once and reused across workloads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TensorFilter {
+    /// Matches every tensor.
+    Any,
+    /// Matches the workload's output tensor.
+    Output,
+    /// Matches every input tensor.
+    Inputs,
+    /// Matches every input tensor except those with one of the given names.
+    InputsExcept(Vec<String>),
+    /// Matches tensors with one of the given names (exact match).
+    Named(Vec<String>),
+}
+
+impl TensorFilter {
+    /// Returns `true` if the filter matches the given tensor.
+    pub fn matches(&self, t: &TensorDesc) -> bool {
+        match self {
+            TensorFilter::Any => true,
+            TensorFilter::Output => t.kind() == TensorKind::Output,
+            TensorFilter::Inputs => t.kind() == TensorKind::Input,
+            TensorFilter::InputsExcept(names) => {
+                t.kind() == TensorKind::Input && !names.iter().any(|n| n == t.name())
+            }
+            TensorFilter::Named(names) => names.iter().any(|n| n == t.name()),
+        }
+    }
+}
+
+/// One buffer within a [`MemoryLevel`] — e.g. the Simba PE's separate
+/// weight, ifmap, and ofmap buffers, or a single unified scratchpad.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferPartition {
+    /// Human-readable name, e.g. `"weight_buf"`.
+    pub name: String,
+    /// Which tensors may be stored here. Partitions are consulted in
+    /// declaration order; the first match wins.
+    pub filter: TensorFilter,
+    /// Storage capacity.
+    pub capacity: Capacity,
+    /// Energy per read of one reference-width word, in pJ.
+    pub read_energy_pj: f64,
+    /// Energy per write of one reference-width word, in pJ.
+    pub write_energy_pj: f64,
+    /// Read bandwidth toward the level below, in words/cycle
+    /// (`None` = unconstrained).
+    pub read_bw: Option<f64>,
+    /// Write bandwidth from the level below, in words/cycle
+    /// (`None` = unconstrained).
+    pub write_bw: Option<f64>,
+}
+
+impl BufferPartition {
+    /// Creates a partition with unconstrained bandwidth.
+    pub fn new(
+        name: impl Into<String>,
+        filter: TensorFilter,
+        capacity: Capacity,
+        read_energy_pj: f64,
+        write_energy_pj: f64,
+    ) -> Self {
+        BufferPartition {
+            name: name.into(),
+            filter,
+            capacity,
+            read_energy_pj,
+            write_energy_pj,
+            read_bw: None,
+            write_bw: None,
+        }
+    }
+
+    /// Sets read/write bandwidth in words per cycle (builder style).
+    #[must_use]
+    pub fn with_bandwidth(mut self, read_bw: f64, write_bw: f64) -> Self {
+        self.read_bw = Some(read_bw);
+        self.write_bw = Some(write_bw);
+        self
+    }
+}
+
+/// A memory level: one or more buffer partitions plus a bypass list.
+///
+/// Tensors matched by `bypass` skip this level entirely — their data moves
+/// directly between the adjacent levels (Timeloop's "bypass" directive).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryLevel {
+    /// Level name, e.g. `"L1"` or `"DRAM"`.
+    pub name: String,
+    /// Tensors that skip this level.
+    pub bypass: Vec<TensorFilter>,
+    /// Buffer partitions, consulted in order during binding.
+    pub partitions: Vec<BufferPartition>,
+}
+
+impl MemoryLevel {
+    /// Creates a memory level with a single unified partition and no bypass.
+    pub fn unified(name: impl Into<String>, partition: BufferPartition) -> Self {
+        MemoryLevel { name: name.into(), bypass: Vec::new(), partitions: vec![partition] }
+    }
+
+    /// Creates a memory level with the given partitions and no bypass.
+    pub fn partitioned(name: impl Into<String>, partitions: Vec<BufferPartition>) -> Self {
+        MemoryLevel { name: name.into(), bypass: Vec::new(), partitions }
+    }
+
+    /// Adds a bypass rule (builder style).
+    #[must_use]
+    pub fn with_bypass(mut self, filter: TensorFilter) -> Self {
+        self.bypass.push(filter);
+        self
+    }
+
+    /// Returns `true` if the given tensor bypasses this level.
+    pub fn bypasses(&self, t: &TensorDesc) -> bool {
+        self.bypass.iter().any(|f| f.matches(t))
+    }
+
+    /// Finds the partition that stores the given tensor, or `None` if it is
+    /// bypassed or unmatched.
+    pub fn partition_for(&self, t: &TensorDesc) -> Option<PartitionId> {
+        if self.bypasses(t) {
+            return None;
+        }
+        self.partitions.iter().position(|p| p.filter.matches(t)).map(PartitionId)
+    }
+
+    /// Looks up a partition by id.
+    pub fn partition(&self, id: PartitionId) -> &BufferPartition {
+        &self.partitions[id.0]
+    }
+
+    /// Returns `true` if every partition is unbounded (i.e. this is DRAM).
+    pub fn is_unbounded(&self) -> bool {
+        self.partitions.iter().all(|p| p.capacity == Capacity::Unbounded)
+    }
+}
+
+/// Interconnect model for a spatial level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocModel {
+    /// Whether a word needed by several units can be broadcast (counted
+    /// once at the source). The paper models an Eyeriss-style interleaved
+    /// multicast NoC with X/Y destination tags.
+    pub multicast: bool,
+    /// Energy to deliver one reference-width word to one receiving unit,
+    /// in pJ (covers the destination-tag check hardware of Section V-A).
+    pub per_word_energy_pj: f64,
+}
+
+impl NocModel {
+    /// An idealized zero-energy interconnect with multicast.
+    pub fn ideal() -> Self {
+        NocModel { multicast: true, per_word_energy_pj: 0.0 }
+    }
+}
+
+/// A spatial (parallel-processing) level: `units` identical children below
+/// one instance of the level above.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialLevel {
+    /// Level name, e.g. `"pe_grid"` or `"vector"`.
+    pub name: String,
+    /// Number of parallel units (e.g. 16 for a 4×4 PE grid).
+    pub units: u64,
+    /// Interconnect model between the memory above and the units.
+    pub noc: NocModel,
+    /// Whether partial outputs may be reduced *across* units (inter-PE
+    /// ofmap accumulation). When `false`, unrolling a reduction dimension
+    /// here is an invalid mapping.
+    pub allow_reduction: bool,
+}
+
+impl SpatialLevel {
+    /// Creates a spatial level with an ideal NoC and reduction allowed.
+    pub fn new(name: impl Into<String>, units: u64) -> Self {
+        SpatialLevel { name: name.into(), units, noc: NocModel::ideal(), allow_reduction: true }
+    }
+
+    /// Sets the NoC model (builder style).
+    #[must_use]
+    pub fn with_noc(mut self, noc: NocModel) -> Self {
+        self.noc = noc;
+        self
+    }
+
+    /// Forbids spatial reduction across this level (builder style).
+    #[must_use]
+    pub fn without_reduction(mut self) -> Self {
+        self.allow_reduction = false;
+        self
+    }
+}
+
+/// One level of the accelerator hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Level {
+    /// A storage level.
+    Memory(MemoryLevel),
+    /// A parallel fan-out level.
+    Spatial(SpatialLevel),
+}
+
+impl Level {
+    /// The level's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Level::Memory(m) => &m.name,
+            Level::Spatial(s) => &s.name,
+        }
+    }
+
+    /// Returns the memory level, if this is one.
+    pub fn as_memory(&self) -> Option<&MemoryLevel> {
+        match self {
+            Level::Memory(m) => Some(m),
+            Level::Spatial(_) => None,
+        }
+    }
+
+    /// Returns the spatial level, if this is one.
+    pub fn as_spatial(&self) -> Option<&SpatialLevel> {
+        match self {
+            Level::Memory(_) => None,
+            Level::Spatial(s) => Some(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_ir::Workload;
+
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 7);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn capacity_fits() {
+        assert!(Capacity::Unbounded.fits(u64::MAX));
+        assert!(Capacity::Bytes(100).fits(100));
+        assert!(!Capacity::Bytes(100).fits(101));
+        assert_eq!(Capacity::Bytes(64).bytes(), Some(64));
+        assert_eq!(Capacity::Unbounded.bytes(), None);
+    }
+
+    #[test]
+    fn filters_match_by_role_and_name() {
+        let w = conv1d();
+        let ofmap = w.tensor(w.tensor_by_name("ofmap").unwrap());
+        let weight = w.tensor(w.tensor_by_name("weight").unwrap());
+        assert!(TensorFilter::Any.matches(ofmap));
+        assert!(TensorFilter::Output.matches(ofmap));
+        assert!(!TensorFilter::Output.matches(weight));
+        assert!(TensorFilter::Inputs.matches(weight));
+        assert!(TensorFilter::Named(vec!["weight".into()]).matches(weight));
+        assert!(!TensorFilter::Named(vec!["weight".into()]).matches(ofmap));
+    }
+
+    #[test]
+    fn first_matching_partition_wins() {
+        let w = conv1d();
+        let weight = w.tensor(w.tensor_by_name("weight").unwrap());
+        let ifmap = w.tensor(w.tensor_by_name("ifmap").unwrap());
+        let level = MemoryLevel::partitioned(
+            "L1",
+            vec![
+                BufferPartition::new(
+                    "wbuf",
+                    TensorFilter::Named(vec!["weight".into()]),
+                    Capacity::Bytes(32 << 10),
+                    1.0,
+                    1.0,
+                ),
+                BufferPartition::new("ibuf", TensorFilter::Inputs, Capacity::Bytes(8 << 10), 1.0, 1.0),
+            ],
+        );
+        assert_eq!(level.partition_for(weight), Some(PartitionId(0)));
+        assert_eq!(level.partition_for(ifmap), Some(PartitionId(1)));
+    }
+
+    #[test]
+    fn bypass_hides_partitions() {
+        let w = conv1d();
+        let weight = w.tensor(w.tensor_by_name("weight").unwrap());
+        let level = MemoryLevel::unified(
+            "L2",
+            BufferPartition::new("buf", TensorFilter::Any, Capacity::Bytes(512 << 10), 1.0, 1.0),
+        )
+        .with_bypass(TensorFilter::Named(vec!["weight".into()]));
+        assert!(level.bypasses(weight));
+        assert_eq!(level.partition_for(weight), None);
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        let dram = MemoryLevel::unified(
+            "DRAM",
+            BufferPartition::new("dram", TensorFilter::Any, Capacity::Unbounded, 200.0, 200.0),
+        );
+        assert!(dram.is_unbounded());
+        let l1 = MemoryLevel::unified(
+            "L1",
+            BufferPartition::new("l1", TensorFilter::Any, Capacity::Bytes(512), 1.0, 1.0),
+        );
+        assert!(!l1.is_unbounded());
+    }
+
+    #[test]
+    fn level_accessors() {
+        let m = Level::Memory(MemoryLevel::unified(
+            "L1",
+            BufferPartition::new("l1", TensorFilter::Any, Capacity::Bytes(512), 1.0, 1.0),
+        ));
+        let s = Level::Spatial(SpatialLevel::new("grid", 16));
+        assert_eq!(m.name(), "L1");
+        assert_eq!(s.name(), "grid");
+        assert!(m.as_memory().is_some() && m.as_spatial().is_none());
+        assert!(s.as_spatial().is_some() && s.as_memory().is_none());
+    }
+
+    #[test]
+    fn spatial_builder_flags() {
+        let s = SpatialLevel::new("grid", 16)
+            .with_noc(NocModel { multicast: false, per_word_energy_pj: 2.0 })
+            .without_reduction();
+        assert!(!s.allow_reduction);
+        assert!(!s.noc.multicast);
+        assert_eq!(s.units, 16);
+    }
+}

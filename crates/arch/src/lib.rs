@@ -1,0 +1,48 @@
+//! Spatial-accelerator architecture descriptions for the Sunstone scheduler.
+//!
+//! An accelerator is modelled as an ordered list of [`Level`]s, *innermost*
+//! (closest to the MACs) first:
+//!
+//! * [`MemoryLevel`] — a storage level with one or more
+//!   [`BufferPartition`]s (unified or per-datatype buffers), per-access
+//!   energies, and bandwidths;
+//! * [`SpatialLevel`] — a parallel-processing fan-out (a PE grid, a row of
+//!   vector MACs, or SIMD lanes) with an interconnect model.
+//!
+//! The outermost level is always an unbounded memory (DRAM). Tensors are
+//! *bound* to partitions by [`Binding::resolve`]; a tensor matched by a
+//! level's bypass list skips that level entirely (e.g. weights bypass the
+//! Simba L2 and stream from DRAM into the PE weight buffers).
+//!
+//! The [`presets`] module provides the paper's Table IV configurations
+//! (Simba-like and conventional Eyeriss-like) plus the DianNao-like machine
+//! used in the Section V-D overhead study.
+//!
+//! # Example
+//!
+//! ```
+//! use sunstone_arch::presets;
+//!
+//! let simba = presets::simba_like();
+//! assert_eq!(simba.total_spatial_units(), 8 * 8 * 16);
+//! simba.validate().expect("presets are valid");
+//! ```
+
+mod binding;
+mod builder;
+mod level;
+mod presets_mod;
+mod spec;
+
+pub use binding::{Binding, BindingError};
+pub use builder::ArchBuilder;
+pub use level::{
+    BufferPartition, Capacity, Level, MemoryLevel, NocModel, PartitionId, SpatialLevel,
+    TensorFilter,
+};
+pub use spec::{ArchError, ArchSpec, LevelId};
+
+/// Ready-made accelerator configurations from the paper.
+pub mod presets {
+    pub use crate::presets_mod::{conventional, diannao_like, eyeriss_like, simba_like};
+}

@@ -1,0 +1,316 @@
+//! The accelerator configurations evaluated in the paper (Table IV) plus
+//! the DianNao-like machine from the Section V-D overhead study.
+//!
+//! Energy values are per-access, per reference-width word, in pJ at 45 nm.
+//! They follow the published relative costs used by Accelergy/Cacti/Aladdin
+//! (register ≪ small SRAM ≪ large SRAM ≪ DRAM ≈ 200× MAC); absolute values
+//! are approximations since the original tool chain is not available here —
+//! see `DESIGN.md` for the substitution note. All of the paper's
+//! comparisons depend on the *relative* ordering, which is preserved.
+
+use crate::{
+    ArchSpec, BufferPartition, Capacity, Level, MemoryLevel, NocModel, SpatialLevel, TensorFilter,
+};
+
+fn any(name: &str, cap: Capacity, r: f64, w: f64) -> BufferPartition {
+    BufferPartition::new(name, TensorFilter::Any, cap, r, w)
+}
+
+/// The paper's *conventional* accelerator (Table IV, right column): an
+/// Eyeriss-like machine with a 32×32 grid of single-MAC PEs, a unified
+/// 512 B L1 per PE, a unified 3.1 MB shared L2, and 16-bit datapaths.
+///
+/// The NoC is an interleaved multicast network, and inter-PE ofmap
+/// (reduction) communication is supported, as in Eyeriss. Per Section
+/// V-A of the paper, every delivered package carries an X/Y destination
+/// tag checked at each PE; the per-word NoC energy below folds the tag
+/// transport and the tag-check hardware into one per-receiver figure,
+/// which is how the cost model charges it.
+pub fn conventional() -> ArchSpec {
+    let spec = ArchSpec::new(
+        "conventional",
+        vec![
+            Level::Memory(MemoryLevel::unified(
+                "L1",
+                any("l1", Capacity::Bytes(512), 0.96, 0.96).with_bandwidth(2.0, 2.0),
+            )),
+            Level::Spatial(
+                SpatialLevel::new("pe_grid", 32 * 32)
+                    .with_noc(NocModel { multicast: true, per_word_energy_pj: 2.0 }),
+            ),
+            Level::Memory(MemoryLevel::unified(
+                "L2",
+                any("l2", Capacity::Bytes(3_251_200), 13.5, 13.5).with_bandwidth(32.0, 32.0),
+            )),
+            Level::Memory(MemoryLevel::unified(
+                "DRAM",
+                any("dram", Capacity::Unbounded, 200.0, 200.0).with_bandwidth(16.0, 16.0),
+            )),
+        ],
+        1.0, // 16-bit MAC
+        16,
+    );
+    debug_assert!(spec.validate().is_ok());
+    spec
+}
+
+/// Alias for [`conventional`] emphasizing its Eyeriss lineage; used by the
+/// Table VI optimization-order study, which names an "Eyeriss-like"
+/// accelerator.
+pub fn eyeriss_like() -> ArchSpec {
+    let mut spec = conventional();
+    spec = ArchSpec::new(
+        "eyeriss-like",
+        spec.levels().to_vec(),
+        spec.mac_energy_pj(),
+        spec.ref_bits(),
+    );
+    spec
+}
+
+/// The paper's *Simba-like* accelerator (Table IV, left column): a modern
+/// multi-level design with
+///
+/// * a 4×4 PE grid,
+/// * per-PE distributed buffers (32 KB weights, 8 KB ifmap, 3 KB ofmap),
+/// * 8 lanes of 8-wide vector MACs per PE (64 8-bit MACs/PE),
+/// * per-lane weight registers providing short-term temporal reuse,
+/// * a 512 KB shared L2 holding ifmap and ofmap only — weights *bypass* L2
+///   and stream from DRAM into the PE weight buffers (Fig 1b).
+///
+/// Reference word width is 8 bits; the 24-bit ofmap is scaled by the cost
+/// model through `TensorDesc::bits`.
+pub fn simba_like() -> ArchSpec {
+    let weight_named = || TensorFilter::Named(vec!["weight".into(), "weights".into()]);
+    let spec = ArchSpec::new(
+        "simba-like",
+        vec![
+            // 8-wide vector datapath: dot-product reduction across lanes of
+            // the vector unit.
+            Level::Spatial(
+                SpatialLevel::new("vector", 8)
+                    .with_noc(NocModel { multicast: true, per_word_energy_pj: 0.01 }),
+            ),
+            // Per-vector-MAC weight register (8 × 8-bit words); ifmap and
+            // ofmap bypass it.
+            Level::Memory(
+                MemoryLevel::partitioned(
+                    "reg",
+                    vec![BufferPartition::new(
+                        "wreg",
+                        weight_named(),
+                        Capacity::Bytes(8),
+                        0.02,
+                        0.02,
+                    )],
+                )
+                .with_bypass(TensorFilter::Output)
+                .with_bypass(TensorFilter::InputsExcept(vec![
+                    "weight".into(),
+                    "weights".into(),
+                ])),
+            ),
+            // 8 vector-MAC lanes per PE, fed by the distributed/broadcast
+            // buffers.
+            Level::Spatial(
+                SpatialLevel::new("lanes", 8)
+                    .with_noc(NocModel { multicast: true, per_word_energy_pj: 0.05 }),
+            ),
+            // Per-PE buffers (distributed + broadcast in Fig 1b).
+            Level::Memory(MemoryLevel::partitioned(
+                "L1",
+                vec![
+                    BufferPartition::new(
+                        "weight_buf",
+                        weight_named(),
+                        Capacity::Bytes(32 << 10),
+                        1.6,
+                        1.6,
+                    )
+                    .with_bandwidth(64.0, 8.0),
+                    BufferPartition::new(
+                        "ofmap_buf",
+                        TensorFilter::Output,
+                        Capacity::Bytes(3 << 10),
+                        0.45,
+                        0.45,
+                    )
+                    .with_bandwidth(64.0, 8.0),
+                    BufferPartition::new(
+                        "ifmap_buf",
+                        TensorFilter::Inputs,
+                        Capacity::Bytes(8 << 10),
+                        0.75,
+                        0.75,
+                    )
+                    .with_bandwidth(64.0, 8.0),
+                ],
+            )),
+            Level::Spatial(
+                SpatialLevel::new("pe_grid", 16)
+                    .with_noc(NocModel { multicast: true, per_word_energy_pj: 1.0 }),
+            ),
+            // Shared L2 for ifmap/ofmap; weights bypass.
+            Level::Memory(
+                MemoryLevel::unified(
+                    "L2",
+                    any("l2", Capacity::Bytes(512 << 10), 3.5, 3.5).with_bandwidth(32.0, 32.0),
+                )
+                .with_bypass(weight_named()),
+            ),
+            Level::Memory(MemoryLevel::unified(
+                "DRAM",
+                any("dram", Capacity::Unbounded, 100.0, 100.0).with_bandwidth(32.0, 32.0),
+            )),
+        ],
+        0.3, // 8-bit MAC
+        8,
+    );
+    debug_assert!(spec.validate().is_ok());
+    spec
+}
+
+/// A DianNao-like accelerator for the Section V-D overhead study: a 16×16
+/// NFU (256 16-bit multipliers), per-datatype on-chip buffers (NBin for
+/// inputs, NBout for outputs, SB for weights), and DRAM.
+pub fn diannao_like() -> ArchSpec {
+    let spec = ArchSpec::new(
+        "diannao-like",
+        vec![
+            Level::Spatial(
+                SpatialLevel::new("nfu", 256)
+                    .with_noc(NocModel { multicast: true, per_word_energy_pj: 0.05 }),
+            ),
+            Level::Memory(MemoryLevel::partitioned(
+                "buffers",
+                vec![
+                    BufferPartition::new(
+                        "sb",
+                        TensorFilter::Named(vec!["weight".into(), "weights".into()]),
+                        Capacity::Bytes(32 << 10),
+                        1.6,
+                        1.6,
+                    )
+                    .with_bandwidth(256.0, 16.0),
+                    BufferPartition::new(
+                        "nbout",
+                        TensorFilter::Output,
+                        Capacity::Bytes(2 << 10),
+                        0.4,
+                        0.4,
+                    )
+                    .with_bandwidth(16.0, 16.0),
+                    BufferPartition::new(
+                        "nbin",
+                        TensorFilter::Inputs,
+                        Capacity::Bytes(2 << 10),
+                        0.4,
+                        0.4,
+                    )
+                    .with_bandwidth(16.0, 16.0),
+                ],
+            )),
+            Level::Memory(MemoryLevel::unified(
+                "DRAM",
+                any("dram", Capacity::Unbounded, 200.0, 200.0).with_bandwidth(16.0, 16.0),
+            )),
+        ],
+        1.0,
+        16,
+    );
+    debug_assert!(spec.validate().is_ok());
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_ir::Workload;
+
+    fn conv2d() -> Workload {
+        let mut b = Workload::builder("conv2d");
+        let n = b.dim("N", 16);
+        let k = b.dim("K", 64);
+        let c = b.dim("C", 64);
+        let p = b.dim("P", 56);
+        let q = b.dim("Q", 56);
+        let r = b.dim("R", 3);
+        let s = b.dim("S", 3);
+        b.input_bits("ifmap", [n.expr(), c.expr(), p + r, q + s], 8);
+        b.input_bits("weight", [k.expr(), c.expr(), r.expr(), s.expr()], 8);
+        b.output_bits("ofmap", [n.expr(), k.expr(), p.expr(), q.expr()], 24);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for spec in [conventional(), eyeriss_like(), simba_like(), diannao_like()] {
+            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        }
+    }
+
+    #[test]
+    fn conventional_matches_table_iv() {
+        let spec = conventional();
+        assert_eq!(spec.total_spatial_units(), 1024, "32×32 PE grid");
+        assert_eq!(spec.num_memory_levels(), 3, "L1, L2, DRAM");
+        assert_eq!(spec.ref_bits(), 16);
+    }
+
+    #[test]
+    fn simba_matches_table_iv() {
+        let spec = simba_like();
+        assert_eq!(spec.total_spatial_units(), 8 * 8 * 16, "vector × lanes × grid");
+        assert_eq!(spec.num_memory_levels(), 4, "reg, L1, L2, DRAM");
+        assert_eq!(spec.ref_bits(), 8);
+        // Three spatial levels: the scalability case the paper targets.
+        assert_eq!(spec.spatial_levels().count(), 3);
+    }
+
+    #[test]
+    fn simba_binding_bypasses_weights_at_l2_and_others_at_reg() {
+        use crate::Binding;
+        let w = conv2d();
+        let spec = simba_like();
+        let binding = Binding::resolve(&spec, &w).unwrap();
+        let weight = w.tensor_by_name("weight").unwrap();
+        let ifmap = w.tensor_by_name("ifmap").unwrap();
+        let ofmap = w.tensor_by_name("ofmap").unwrap();
+        // Level ids: 0 vector, 1 reg, 2 lanes, 3 L1, 4 grid, 5 L2, 6 DRAM.
+        use crate::LevelId;
+        assert!(binding.stores(LevelId(1), weight), "weight lives in the register");
+        assert!(!binding.stores(LevelId(1), ifmap), "ifmap bypasses the register");
+        assert!(!binding.stores(LevelId(1), ofmap), "ofmap bypasses the register");
+        assert!(!binding.stores(LevelId(5), weight), "weight bypasses L2");
+        assert!(binding.stores(LevelId(5), ifmap));
+        assert!(binding.stores(LevelId(6), weight), "DRAM stores everything");
+    }
+
+    #[test]
+    fn diannao_buffers_match_isa_layout() {
+        let spec = diannao_like();
+        assert_eq!(spec.total_spatial_units(), 256);
+        let (_, mem) = spec.memory_levels().next().unwrap();
+        assert_eq!(mem.partitions.len(), 3, "SB, NBout, NBin");
+        assert_eq!(mem.partitions[0].name, "sb");
+    }
+
+    #[test]
+    fn dram_is_most_expensive_everywhere() {
+        for spec in [conventional(), simba_like(), diannao_like()] {
+            let mems: Vec<_> = spec.memory_levels().collect();
+            let (_, dram) = mems.last().unwrap();
+            let dram_cost = dram.partitions[0].read_energy_pj;
+            for (_, m) in &mems[..mems.len() - 1] {
+                for p in &m.partitions {
+                    assert!(
+                        p.read_energy_pj < dram_cost,
+                        "{}: partition {} not cheaper than DRAM",
+                        spec.name(),
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Whole-accelerator specifications.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Level, MemoryLevel, SpatialLevel};
+
+/// Index of a level within an [`ArchSpec`], counting from the innermost
+/// level (closest to the MACs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LevelId(pub usize);
+
+impl LevelId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Errors detected by [`ArchSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// The spec has no memory level.
+    NoMemory,
+    /// The outermost level is not an unbounded memory.
+    OutermostNotDram,
+    /// Two adjacent spatial levels with no memory in between are ambiguous;
+    /// merge them or insert a memory level.
+    AdjacentSpatialLevels(String, String),
+    /// A spatial level declares zero units.
+    ZeroUnits(String),
+    /// A memory level has no partitions.
+    NoPartitions(String),
+    /// A bounded partition has zero capacity.
+    ZeroCapacity(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::NoMemory => write!(f, "architecture has no memory level"),
+            ArchError::OutermostNotDram => {
+                write!(f, "outermost level must be an unbounded memory (DRAM)")
+            }
+            ArchError::AdjacentSpatialLevels(a, b) => {
+                write!(f, "spatial levels `{a}` and `{b}` are adjacent with no memory between")
+            }
+            ArchError::ZeroUnits(n) => write!(f, "spatial level `{n}` has zero units"),
+            ArchError::NoPartitions(n) => write!(f, "memory level `{n}` has no partitions"),
+            ArchError::ZeroCapacity(n) => write!(f, "partition `{n}` has zero capacity"),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+/// A complete accelerator: an ordered list of levels (innermost first) plus
+/// compute-datapath parameters.
+///
+/// See the [crate-level documentation](crate) and [`crate::presets`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    name: String,
+    levels: Vec<Level>,
+    /// Energy of one MAC operation in pJ.
+    mac_energy_pj: f64,
+    /// Reference word width: partition energies are quoted per word of this
+    /// many bits and scaled linearly for wider/narrower tensors.
+    ref_bits: u32,
+}
+
+impl ArchSpec {
+    /// Creates a spec. Call [`validate`](Self::validate) before use; the
+    /// presets are pre-validated.
+    pub fn new(
+        name: impl Into<String>,
+        levels: Vec<Level>,
+        mac_energy_pj: f64,
+        ref_bits: u32,
+    ) -> Self {
+        ArchSpec { name: name.into(), levels, mac_energy_pj, ref_bits }
+    }
+
+    /// The accelerator's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All levels, innermost first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Number of levels (memory + spatial).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level at `id`.
+    pub fn level(&self, id: LevelId) -> &Level {
+        &self.levels[id.0]
+    }
+
+    /// Energy of one MAC in pJ.
+    pub fn mac_energy_pj(&self) -> f64 {
+        self.mac_energy_pj
+    }
+
+    /// Reference word width in bits for energy scaling.
+    pub fn ref_bits(&self) -> u32 {
+        self.ref_bits
+    }
+
+    /// Iterates over the memory levels, innermost first.
+    pub fn memory_levels(&self) -> impl Iterator<Item = (LevelId, &MemoryLevel)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_memory().map(|m| (LevelId(i), m)))
+    }
+
+    /// Iterates over the spatial levels, innermost first.
+    pub fn spatial_levels(&self) -> impl Iterator<Item = (LevelId, &SpatialLevel)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_spatial().map(|s| (LevelId(i), s)))
+    }
+
+    /// Number of memory levels.
+    pub fn num_memory_levels(&self) -> usize {
+        self.memory_levels().count()
+    }
+
+    /// Total parallelism: the product of all spatial level unit counts
+    /// (= number of MAC datapaths).
+    pub fn total_spatial_units(&self) -> u64 {
+        self.spatial_levels().map(|(_, s)| s.units).product()
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// See [`ArchError`] for the individual conditions.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let last_mem = self
+            .levels
+            .iter()
+            .rev()
+            .find_map(Level::as_memory)
+            .ok_or(ArchError::NoMemory)?;
+        match self.levels.last() {
+            Some(Level::Memory(m)) if m.is_unbounded() => {}
+            _ => return Err(ArchError::OutermostNotDram),
+        }
+        debug_assert!(last_mem.is_unbounded());
+        for pair in self.levels.windows(2) {
+            if let (Level::Spatial(a), Level::Spatial(b)) = (&pair[0], &pair[1]) {
+                return Err(ArchError::AdjacentSpatialLevels(a.name.clone(), b.name.clone()));
+            }
+        }
+        for level in &self.levels {
+            match level {
+                Level::Spatial(s) if s.units == 0 => {
+                    return Err(ArchError::ZeroUnits(s.name.clone()));
+                }
+                Level::Memory(m) => {
+                    if m.partitions.is_empty() {
+                        return Err(ArchError::NoPartitions(m.name.clone()));
+                    }
+                    for p in &m.partitions {
+                        if p.capacity == crate::Capacity::Bytes(0) {
+                            return Err(ArchError::ZeroCapacity(p.name.clone()));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ArchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.name)?;
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            match l {
+                Level::Memory(m) => write!(f, "{}", m.name)?,
+                Level::Spatial(s) => write!(f, "{}×{}", s.name, s.units)?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BufferPartition, Capacity, TensorFilter};
+
+    fn mem(name: &str, cap: Capacity) -> Level {
+        Level::Memory(MemoryLevel::unified(
+            name,
+            BufferPartition::new(name, TensorFilter::Any, cap, 1.0, 1.0),
+        ))
+    }
+
+    fn valid_spec() -> ArchSpec {
+        ArchSpec::new(
+            "test",
+            vec![
+                mem("L1", Capacity::Bytes(512)),
+                Level::Spatial(SpatialLevel::new("grid", 16)),
+                mem("L2", Capacity::Bytes(1 << 20)),
+                mem("DRAM", Capacity::Unbounded),
+            ],
+            1.0,
+            16,
+        )
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        let spec = valid_spec();
+        spec.validate().unwrap();
+        assert_eq!(spec.num_memory_levels(), 3);
+        assert_eq!(spec.total_spatial_units(), 16);
+        assert_eq!(spec.level(LevelId(1)).name(), "grid");
+    }
+
+    #[test]
+    fn rejects_bounded_outermost() {
+        let spec = ArchSpec::new("bad", vec![mem("L1", Capacity::Bytes(512))], 1.0, 16);
+        assert_eq!(spec.validate().unwrap_err(), ArchError::OutermostNotDram);
+    }
+
+    #[test]
+    fn rejects_spatial_outermost() {
+        let spec = ArchSpec::new(
+            "bad",
+            vec![mem("L1", Capacity::Unbounded), Level::Spatial(SpatialLevel::new("g", 4))],
+            1.0,
+            16,
+        );
+        assert_eq!(spec.validate().unwrap_err(), ArchError::OutermostNotDram);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let spec = ArchSpec::new("bad", vec![], 1.0, 16);
+        assert_eq!(spec.validate().unwrap_err(), ArchError::NoMemory);
+    }
+
+    #[test]
+    fn rejects_adjacent_spatial() {
+        let spec = ArchSpec::new(
+            "bad",
+            vec![
+                Level::Spatial(SpatialLevel::new("a", 2)),
+                Level::Spatial(SpatialLevel::new("b", 2)),
+                mem("DRAM", Capacity::Unbounded),
+            ],
+            1.0,
+            16,
+        );
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            ArchError::AdjacentSpatialLevels("a".into(), "b".into())
+        );
+    }
+
+    #[test]
+    fn rejects_zero_units() {
+        let spec = ArchSpec::new(
+            "bad",
+            vec![Level::Spatial(SpatialLevel::new("g", 0)), mem("DRAM", Capacity::Unbounded)],
+            1.0,
+            16,
+        );
+        assert_eq!(spec.validate().unwrap_err(), ArchError::ZeroUnits("g".into()));
+    }
+
+    #[test]
+    fn rejects_zero_capacity_partition() {
+        let spec = ArchSpec::new(
+            "bad",
+            vec![mem("L1", Capacity::Bytes(0)), mem("DRAM", Capacity::Unbounded)],
+            1.0,
+            16,
+        );
+        assert_eq!(spec.validate().unwrap_err(), ArchError::ZeroCapacity("L1".into()));
+    }
+
+    #[test]
+    fn display_renders_chain() {
+        assert_eq!(valid_spec().to_string(), "test [L1 → grid×16 → L2 → DRAM]");
+    }
+}

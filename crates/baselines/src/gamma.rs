@@ -1,0 +1,306 @@
+//! A GAMMA-like mapper (Kao & Krishna, ICCAD 2020): a genetic algorithm
+//! over complete mappings.
+//!
+//! The Sunstone paper cites GAMMA among the black-box optimizers
+//! (Section VI) without comparing against it; this implementation closes
+//! that gap. Individuals are full mappings (divisor splits per dimension
+//! per level plus loop orders); fitness is the objective under the shared
+//! analytic cost model; variation operators are
+//!
+//! * **crossover** — per-dimension factor-column exchange between two
+//!   parents (a dimension's whole split across levels moves as a gene,
+//!   keeping the factor product exact),
+//! * **mutation** — move a factor between two levels of one dimension,
+//!   or swap two loops in one level's order,
+//!
+//! with tournament selection and elitism. Invalid individuals (capacity
+//! overflow) are penalized rather than discarded, as in GAMMA.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sunstone::tiling::sorted_divisors;
+use sunstone_arch::{ArchSpec, Binding, Level, LevelId};
+use sunstone_ir::Workload;
+use sunstone_mapping::{Mapping, MappingLevel, ValidationContext};
+use sunstone_model::CostModel;
+
+use crate::{MapOutcome, MapStats, Mapper};
+
+/// Genetic-algorithm hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GammaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-individual mutation probability.
+    pub mutation_rate: f64,
+    /// Fraction of elites copied unchanged.
+    pub elitism: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GammaConfig {
+    fn default() -> Self {
+        GammaConfig {
+            population: 60,
+            generations: 40,
+            mutation_rate: 0.6,
+            elitism: 0.1,
+            seed: 0x6761_6d6d,
+        }
+    }
+}
+
+/// The GAMMA-like genetic mapper.
+#[derive(Debug, Clone, Default)]
+pub struct GammaMapper {
+    config: GammaConfig,
+}
+
+impl GammaMapper {
+    /// Creates the mapper with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the mapper with explicit hyperparameters.
+    pub fn with_config(config: GammaConfig) -> Self {
+        GammaMapper { config }
+    }
+}
+
+impl Mapper for GammaMapper {
+    fn name(&self) -> &str {
+        "GAMMA"
+    }
+
+    fn map(&self, workload: &Workload, arch: &ArchSpec) -> MapOutcome {
+        let start = Instant::now();
+        let mut stats = MapStats::default();
+        let binding = match Binding::resolve(arch, workload) {
+            Ok(b) => b,
+            Err(e) => return MapOutcome::invalid(self.name(), e.to_string(), stats),
+        };
+        let ctx = ValidationContext::new(workload, arch, &binding);
+        let model = CostModel::new(workload, arch, &binding);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let fitness = |m: &Mapping, stats: &mut MapStats| -> f64 {
+            match ctx.validate(m) {
+                Ok(()) => {
+                    stats.evaluated += 1;
+                    model.evaluate_unchecked(m).edp
+                }
+                Err(_) => {
+                    stats.invalid += 1;
+                    f64::INFINITY
+                }
+            }
+        };
+
+        let mut population: Vec<(Mapping, f64)> = (0..self.config.population)
+            .map(|_| {
+                let m = random_individual(workload, arch, &mut rng);
+                let f = fitness(&m, &mut stats);
+                (m, f)
+            })
+            .collect();
+
+        let elites = ((self.config.population as f64 * self.config.elitism) as usize).max(1);
+        for _gen in 0..self.config.generations {
+            population.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let mut next: Vec<(Mapping, f64)> = population[..elites].to_vec();
+            while next.len() < self.config.population {
+                let a = tournament(&population, &mut rng);
+                let b = tournament(&population, &mut rng);
+                let mut child = crossover(workload, &population[a].0, &population[b].0, &mut rng);
+                if rng.gen_bool(self.config.mutation_rate) {
+                    mutate(workload, arch, &mut child, &mut rng);
+                }
+                let f = fitness(&child, &mut stats);
+                next.push((child, f));
+            }
+            population = next;
+        }
+        population.sort_by(|a, b| a.1.total_cmp(&b.1));
+        stats.elapsed = start.elapsed();
+
+        let (best, f) = population.swap_remove(0);
+        if f.is_finite() {
+            let report = model.evaluate_unchecked(&best);
+            MapOutcome::valid(self.name(), best, report, stats)
+        } else {
+            MapOutcome::invalid(self.name(), "no valid individual evolved", stats)
+        }
+    }
+}
+
+/// A random structurally consistent individual (same sampler family as
+/// the Timeloop baseline).
+fn random_individual(workload: &Workload, arch: &ArchSpec, rng: &mut StdRng) -> Mapping {
+    let ndims = workload.num_dims();
+    let mut mapping = Mapping::streaming(workload, arch);
+    for level in mapping.levels_mut() {
+        level.factors_mut().iter_mut().for_each(|f| *f = 1);
+    }
+    let last = arch.num_levels() - 1;
+    for d in 0..ndims {
+        let mut remaining = workload.dim_size(sunstone_ir::DimId::from_index(d));
+        for pos in 0..last {
+            let budget = match arch.level(LevelId(pos)) {
+                Level::Spatial(s) => {
+                    let used: u64 = mapping.level(pos).factors().iter().product();
+                    s.units / used.max(1)
+                }
+                Level::Memory(_) => u64::MAX,
+            };
+            let feasible: Vec<u64> =
+                sorted_divisors(remaining).into_iter().filter(|&f| f <= budget).collect();
+            let f = feasible[rng.gen_range(0..feasible.len())];
+            mapping.levels_mut()[pos].factors_mut()[d] = f;
+            remaining /= f;
+        }
+        mapping.levels_mut()[last].factors_mut()[d] = remaining;
+    }
+    for level in mapping.levels_mut() {
+        if let MappingLevel::Temporal(t) = level {
+            for i in (1..t.order.len()).rev() {
+                t.order.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+    mapping
+}
+
+fn tournament(population: &[(Mapping, f64)], rng: &mut StdRng) -> usize {
+    let a = rng.gen_range(0..population.len());
+    let b = rng.gen_range(0..population.len());
+    if population[a].1 <= population[b].1 {
+        a
+    } else {
+        b
+    }
+}
+
+/// Exchanges whole per-dimension factor columns between parents; loop
+/// orders come from one parent per level.
+fn crossover(workload: &Workload, a: &Mapping, b: &Mapping, rng: &mut StdRng) -> Mapping {
+    let mut child = a.clone();
+    for d in 0..workload.num_dims() {
+        if rng.gen_bool(0.5) {
+            for (pos, level) in child.levels_mut().iter_mut().enumerate() {
+                level.factors_mut()[d] = b.level(pos).factors()[d];
+            }
+        }
+    }
+    for (pos, level) in child.levels_mut().iter_mut().enumerate() {
+        if rng.gen_bool(0.5) {
+            if let (MappingLevel::Temporal(t), MappingLevel::Temporal(src)) =
+                (level, &b.levels()[pos])
+            {
+                t.order = src.order.clone();
+            }
+        }
+    }
+    child
+}
+
+/// Moves a prime factor of one dimension between two levels, or swaps two
+/// loops in one order.
+fn mutate(workload: &Workload, arch: &ArchSpec, m: &mut Mapping, rng: &mut StdRng) {
+    let ndims = workload.num_dims();
+    if rng.gen_bool(0.5) {
+        // Factor migration.
+        let d = rng.gen_range(0..ndims);
+        let from = rng.gen_range(0..m.levels().len());
+        let to = rng.gen_range(0..m.levels().len());
+        if from == to {
+            return;
+        }
+        let f = m.level(from).factors()[d];
+        if f == 1 {
+            return;
+        }
+        let divisors = sorted_divisors(f);
+        let moved = divisors[rng.gen_range(1..divisors.len())];
+        // Respect fabric limits at the destination.
+        if let Level::Spatial(s) = arch.level(LevelId(to)) {
+            let used: u64 = m.level(to).factors().iter().product();
+            if used * moved > s.units {
+                return;
+            }
+        }
+        m.levels_mut()[from].factors_mut()[d] /= moved;
+        m.levels_mut()[to].factors_mut()[d] *= moved;
+    } else {
+        // Order swap.
+        let pos = rng.gen_range(0..m.levels().len());
+        if let MappingLevel::Temporal(t) = &mut m.levels_mut()[pos] {
+            let i = rng.gen_range(0..t.order.len());
+            let j = rng.gen_range(0..t.order.len());
+            t.order.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_arch::presets;
+    use sunstone_workloads::{ConvSpec, Precision};
+
+    fn quick() -> GammaConfig {
+        GammaConfig { population: 24, generations: 12, ..GammaConfig::default() }
+    }
+
+    #[test]
+    fn evolves_a_valid_mapping() {
+        let w = ConvSpec::new("t", 2, 16, 16, 14, 14, 3, 3, 1)
+            .inference(Precision::conventional());
+        let arch = presets::conventional();
+        let out = GammaMapper::with_config(quick()).map(&w, &arch);
+        assert!(out.is_valid(), "{:?}", out.invalid_reason);
+        assert!(out.stats.evaluated > 0);
+        // Whatever evolved covers the problem exactly.
+        let m = out.mapping.unwrap();
+        for d in w.dim_ids() {
+            assert_eq!(m.total_factor(d), w.dim_size(d));
+        }
+    }
+
+    #[test]
+    fn more_generations_never_hurt() {
+        let w = ConvSpec::new("t", 2, 16, 16, 14, 14, 3, 3, 1)
+            .inference(Precision::conventional());
+        let arch = presets::conventional();
+        let short = GammaMapper::with_config(GammaConfig { generations: 2, ..quick() })
+            .map(&w, &arch);
+        let long = GammaMapper::with_config(GammaConfig { generations: 30, ..quick() })
+            .map(&w, &arch);
+        assert!(long.edp().unwrap() <= short.edp().unwrap() * 1.0001, "elitism is monotone");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let w = ConvSpec::new("t", 1, 8, 8, 8, 8, 3, 3, 1).inference(Precision::conventional());
+        let arch = presets::conventional();
+        let a = GammaMapper::with_config(quick()).map(&w, &arch);
+        let b = GammaMapper::with_config(quick()).map(&w, &arch);
+        assert_eq!(a.edp(), b.edp());
+    }
+
+    #[test]
+    fn handles_simba_hierarchy() {
+        // Unlike dMaze/INTER, a black-box GA runs on any hierarchy — just
+        // not necessarily well.
+        let w = ConvSpec::new("t", 1, 16, 16, 8, 8, 3, 3, 1).inference(Precision::simba());
+        let arch = presets::simba_like();
+        let out = GammaMapper::with_config(quick()).map(&w, &arch);
+        // Valid or honestly invalid; either way it must have searched.
+        assert!(out.stats.evaluated + out.stats.invalid > 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! An Interstellar-like mapper (Yang et al., ASPLOS 2020): spatial
+//! unrolling preset to the input/output channel dimensions (C, K), with
+//! fallback unrolling of other dimensions only when C·K cannot fill the
+//! PE array, followed by a throughput-driven tiling search.
+//!
+//! As the paper observes (Fig 7), the restrictive unrolling preset
+//! shrinks the search space but sometimes excludes better mappings —
+//! e.g. solutions that reuse the output both temporally and spatially.
+
+use std::time::Instant;
+
+use sunstone::ordering::OrderingTrie;
+use sunstone::tiling::enumerate_tiles;
+use sunstone::unrolling::enumerate_unrollings;
+use sunstone_arch::{ArchSpec, Binding, LevelId};
+use sunstone_ir::{DimSet, Workload};
+use sunstone_mapping::{Mapping, MappingLevel, ValidationContext};
+use sunstone_model::CostModel;
+
+use crate::{MapOutcome, MapStats, Mapper};
+
+/// The Interstellar-like mapper.
+#[derive(Debug, Clone)]
+pub struct InterstellarMapper {
+    name: String,
+    /// Utilization below which the C/K preset falls back to other dims.
+    full_util_threshold: f64,
+}
+
+impl InterstellarMapper {
+    /// Creates the mapper with the paper's settings: C/K preset, fallback
+    /// when the preset cannot fully utilize the grid.
+    pub fn new() -> Self {
+        InterstellarMapper { name: "INTER".to_string(), full_util_threshold: 1.0 }
+    }
+}
+
+impl Default for InterstellarMapper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mapper for InterstellarMapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn map(&self, workload: &Workload, arch: &ArchSpec) -> MapOutcome {
+        let start = Instant::now();
+        let mut stats = MapStats::default();
+        // DNN-specific: requires C and K dimensions.
+        let (Some(c), Some(k)) = (workload.dim_by_name("C"), workload.dim_by_name("K")) else {
+            stats.elapsed = start.elapsed();
+            return MapOutcome::invalid(
+                &self.name,
+                "workload has no C/K channel dimensions (DNN-specific mapper)",
+                stats,
+            );
+        };
+        if arch.num_memory_levels() > 3 || arch.spatial_levels().count() > 1 {
+            stats.elapsed = start.elapsed();
+            return MapOutcome::invalid(&self.name, "multi-level hierarchies unsupported", stats);
+        }
+        let binding = match Binding::resolve(arch, workload) {
+            Ok(b) => b,
+            Err(e) => return MapOutcome::invalid(&self.name, e.to_string(), stats),
+        };
+        let ctx = ValidationContext::new(workload, arch, &binding);
+        let model = CostModel::new(workload, arch, &binding);
+        let ndims = workload.num_dims();
+        let sizes = workload.dim_sizes();
+        let mems: Vec<usize> = arch.memory_levels().map(|(id, _)| id.index()).collect();
+        let spatial = arch.spatial_levels().next().map(|(id, s)| (id.index(), s.units));
+
+        // Preset unrolling: C and K only; fall back to every dimension if
+        // the preset cannot fully utilize the grid.
+        let unrolls: Vec<Vec<u64>> = match spatial {
+            None => vec![vec![1; ndims]],
+            Some((_, units)) => {
+                let ck: DimSet = [c, k].into_iter().collect();
+                let preset =
+                    enumerate_unrollings(&sizes, ck, units, |_| true, 0.0, true).unrollings;
+                let best_util = preset
+                    .iter()
+                    .map(|u| u.iter().product::<u64>() as f64 / units as f64)
+                    .fold(0.0f64, f64::max);
+                if best_util >= self.full_util_threshold {
+                    preset
+                } else {
+                    let mut all = enumerate_unrollings(
+                        &sizes,
+                        DimSet::first_n(ndims),
+                        units,
+                        |_| true,
+                        0.5,
+                        true,
+                    )
+                    .unrollings;
+                    all.extend(preset);
+                    all
+                }
+            }
+        };
+        if unrolls.is_empty() {
+            stats.elapsed = start.elapsed();
+            return MapOutcome::invalid(&self.name, "no mapping can use the preset unrolling", stats);
+        }
+
+        let trie = OrderingTrie::new(workload);
+        let (orderings, _) = trie.candidates(DimSet::first_n(ndims));
+        let mut best: Option<(f64, Mapping)> = None;
+        for unroll in &unrolls {
+            let quotas: Vec<u64> = sizes.iter().zip(unroll).map(|(s, u)| s / u).collect();
+            // High-throughput tiling: maximal L1 tiles over all dims.
+            let fits_l1 = |tile: &[u64]| {
+                let mem = arch.level(LevelId(mems[0])).as_memory().expect("memory");
+                let mut needed = 0u64;
+                for t in workload.tensor_ids() {
+                    if binding.partition_of(LevelId(mems[0]), t).is_some() {
+                        let tensor = workload.tensor(t);
+                        needed +=
+                            tensor.footprint(tile) * u64::from(tensor.bits()).div_ceil(8);
+                    }
+                }
+                mem.partitions
+                    .iter()
+                    .map(|p| p.capacity.bytes().unwrap_or(u64::MAX))
+                    .sum::<u64>()
+                    >= needed
+            };
+            let l1_tiles =
+                enumerate_tiles(&vec![1; ndims], &quotas, DimSet::first_n(ndims), fits_l1, true)
+                    .tiles;
+            for l1_tile in &l1_tiles {
+                for ordering in &orderings {
+                    let mapping = assemble(
+                        workload, arch, &mems, spatial.map(|(p, _)| p), l1_tile, unroll,
+                        &ordering.order,
+                    );
+                    match ctx.validate(&mapping) {
+                        Ok(()) => {
+                            stats.evaluated += 1;
+                            let report = model.evaluate_unchecked(&mapping);
+                            if best.as_ref().is_none_or(|(e, _)| report.edp < *e) {
+                                best = Some((report.edp, mapping));
+                            }
+                        }
+                        Err(_) => stats.invalid += 1,
+                    }
+                }
+            }
+        }
+        stats.elapsed = start.elapsed();
+        match best {
+            Some((_, mapping)) => {
+                let report = model.evaluate_unchecked(&mapping);
+                MapOutcome::valid(&self.name, mapping, report, stats)
+            }
+            None => MapOutcome::invalid(&self.name, "no mapping can use the preset unrolling", stats),
+        }
+    }
+}
+
+fn assemble(
+    workload: &Workload,
+    arch: &ArchSpec,
+    mems: &[usize],
+    spatial: Option<usize>,
+    l1_tile: &[u64],
+    unroll: &[u64],
+    order: &[sunstone_ir::DimId],
+) -> Mapping {
+    let sizes = workload.dim_sizes();
+    let mut mapping = Mapping::streaming(workload, arch);
+    for level in mapping.levels_mut() {
+        level.factors_mut().iter_mut().for_each(|f| *f = 1);
+    }
+    for d in 0..sizes.len() {
+        mapping.levels_mut()[mems[0]].factors_mut()[d] = l1_tile[d];
+        if let Some(sp) = spatial {
+            mapping.levels_mut()[sp].factors_mut()[d] = unroll[d];
+        }
+        let last = *mems.last().expect("memories exist");
+        mapping.levels_mut()[last].factors_mut()[d] = sizes[d] / (l1_tile[d] * unroll[d]);
+    }
+    for &m in &mems[1..] {
+        if let MappingLevel::Temporal(t) = &mut mapping.levels_mut()[m] {
+            t.order = order.to_vec();
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_arch::presets;
+    use sunstone_workloads::{tensor, ConvSpec, Precision};
+
+    #[test]
+    fn maps_a_conv_with_ck_unrolling() {
+        let w = ConvSpec::new("t", 2, 64, 64, 14, 14, 3, 3, 1)
+            .inference(Precision::conventional());
+        let out = InterstellarMapper::new().map(&w, &presets::conventional());
+        assert!(out.is_valid(), "{:?}", out.invalid_reason);
+        // The chosen unroll uses C and/or K (64 × 64 covers 1024 PEs).
+        let m = out.mapping.unwrap();
+        let c = w.dim_by_name("C").unwrap();
+        let k = w.dim_by_name("K").unwrap();
+        let sp = &m.levels()[1];
+        let ck_units = sp.factors()[c.index()] * sp.factors()[k.index()];
+        assert!(ck_units >= 512, "C/K dominate the unroll: {:?}", sp.factors());
+    }
+
+    #[test]
+    fn rejects_non_dnn_workloads() {
+        let w = tensor::mttkrp(tensor::Shape3(64, 64, 64), 32);
+        let out = InterstellarMapper::new().map(&w, &presets::conventional());
+        assert!(!out.is_valid());
+    }
+
+    #[test]
+    fn rejects_simba() {
+        let w = ConvSpec::new("t", 2, 64, 64, 14, 14, 3, 3, 1).inference(Precision::simba());
+        let out = InterstellarMapper::new().map(&w, &presets::simba_like());
+        assert!(!out.is_valid());
+    }
+}

@@ -1,0 +1,289 @@
+//! A Timeloop-like mapper: undirected random search with `timeout` /
+//! `victory_condition` termination (Parashar et al., ISPASS 2019;
+//! hyperparameters from Table V of the Sunstone paper).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sunstone::tiling::sorted_divisors;
+use sunstone_arch::{ArchSpec, Binding, Level};
+use sunstone_ir::Workload;
+use sunstone_mapping::{Mapping, MappingLevel, ValidationContext};
+use sunstone_model::{CostModel, CostReport};
+
+use crate::{MapOutcome, MapStats, Mapper};
+
+/// Termination hyperparameters (Table V).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeloopConfig {
+    /// Consecutive invalid mappings before a search thread gives up.
+    pub timeout: u64,
+    /// Consecutive valid-but-not-better mappings before a thread declares
+    /// victory.
+    pub victory_condition: u64,
+    /// Worker threads (0 = available parallelism; the paper uses 8).
+    pub threads: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Wall-clock cap; the paper terminates Timeloop after one hour per
+    /// layer.
+    pub max_wall: Option<Duration>,
+}
+
+impl TimeloopConfig {
+    /// The `TL-fast` configuration of Table V: timeout 20000, victory
+    /// condition 25.
+    pub fn fast() -> Self {
+        TimeloopConfig {
+            timeout: 20_000,
+            victory_condition: 25,
+            threads: 0,
+            seed: 0x5375_6e73,
+            max_wall: Some(Duration::from_secs(3600)),
+        }
+    }
+
+    /// The `TL-slow` configuration of Table V: timeout 80000, victory
+    /// condition 1500.
+    pub fn slow() -> Self {
+        TimeloopConfig { timeout: 80_000, victory_condition: 1_500, ..Self::fast() }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// The Timeloop-like random-search mapper.
+#[derive(Debug, Clone)]
+pub struct TimeloopMapper {
+    name: String,
+    config: TimeloopConfig,
+}
+
+impl TimeloopMapper {
+    /// Creates a mapper with the given display name (e.g. `"TL-fast"`).
+    pub fn new(name: impl Into<String>, config: TimeloopConfig) -> Self {
+        TimeloopMapper { name: name.into(), config }
+    }
+}
+
+struct Shared {
+    best: Mutex<Option<(f64, Mapping, CostReport)>>,
+    stop: AtomicBool,
+}
+
+impl Mapper for TimeloopMapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn map(&self, workload: &Workload, arch: &ArchSpec) -> MapOutcome {
+        let start = Instant::now();
+        let binding = match Binding::resolve(arch, workload) {
+            Ok(b) => b,
+            Err(e) => return MapOutcome::invalid(&self.name, e.to_string(), MapStats::default()),
+        };
+        let shared = Shared { best: Mutex::new(None), stop: AtomicBool::new(false) };
+        let threads = self.config.effective_threads();
+        let stats = Mutex::new(MapStats::default());
+
+        crossbeam::thread::scope(|scope| {
+            for tid in 0..threads {
+                let shared = &shared;
+                let stats = &stats;
+                let binding = &binding;
+                let config = &self.config;
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(config.seed ^ (tid as u64) << 32);
+                    let ctx = ValidationContext::new(workload, arch, binding);
+                    let model = CostModel::new(workload, arch, binding);
+                    let mut consecutive_invalid = 0u64;
+                    let mut consecutive_flat = 0u64;
+                    let mut local = MapStats::default();
+                    loop {
+                        if shared.stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Some(cap) = config.max_wall {
+                            if start.elapsed() > cap {
+                                break;
+                            }
+                        }
+                        let mapping = random_mapping(workload, arch, &mut rng);
+                        match ctx.validate(&mapping) {
+                            Err(_) => {
+                                local.invalid += 1;
+                                consecutive_invalid += 1;
+                                if consecutive_invalid >= config.timeout {
+                                    break;
+                                }
+                            }
+                            Ok(()) => {
+                                consecutive_invalid = 0;
+                                local.evaluated += 1;
+                                let report = model.evaluate_unchecked(&mapping);
+                                let mut best = shared.best.lock();
+                                let improved =
+                                    best.as_ref().is_none_or(|(e, _, _)| report.edp < *e);
+                                if improved {
+                                    *best = Some((report.edp, mapping, report));
+                                    consecutive_flat = 0;
+                                } else {
+                                    consecutive_flat += 1;
+                                    if consecutive_flat >= config.victory_condition {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let mut s = stats.lock();
+                    s.evaluated += local.evaluated;
+                    s.invalid += local.invalid;
+                });
+            }
+        })
+        .expect("search threads do not panic");
+
+        let mut stats = stats.into_inner();
+        stats.elapsed = start.elapsed();
+        match shared.best.into_inner() {
+            Some((_, mapping, report)) => MapOutcome::valid(&self.name, mapping, report, stats),
+            None => MapOutcome::invalid(&self.name, "random search found no valid mapping", stats),
+        }
+    }
+}
+
+/// Samples a structurally consistent random mapping: random divisor
+/// splits of every dimension across the levels (spatial splits capped by
+/// the fabric size) and random loop orders. Capacity is *not* considered
+/// — that is what makes the samples frequently invalid, as in Timeloop.
+fn random_mapping(workload: &Workload, arch: &ArchSpec, rng: &mut StdRng) -> Mapping {
+    let ndims = workload.num_dims();
+    let mut mapping = Mapping::streaming(workload, arch);
+    let last = arch.num_levels() - 1;
+    // Reset the streaming remainder; we re-factor from scratch.
+    for level in mapping.levels_mut() {
+        level.factors_mut().iter_mut().for_each(|f| *f = 1);
+    }
+    for d in 0..ndims {
+        let mut remaining = workload.dim_size(sunstone_ir::DimId::from_index(d));
+        for pos in 0..last {
+            let level_is_spatial = matches!(arch.level(sunstone_arch::LevelId(pos)), Level::Spatial(_));
+            let budget = if level_is_spatial {
+                let fabric = arch.level(sunstone_arch::LevelId(pos)).as_spatial().unwrap();
+                let used: u64 = mapping.level(pos).factors().iter().product();
+                fabric.units / used.max(1)
+            } else {
+                u64::MAX
+            };
+            let divisors = sorted_divisors(remaining);
+            let feasible: Vec<u64> = divisors.into_iter().filter(|&f| f <= budget).collect();
+            let f = feasible[rng.gen_range(0..feasible.len())];
+            mapping.levels_mut()[pos].factors_mut()[d] = f;
+            remaining /= f;
+        }
+        mapping.levels_mut()[last].factors_mut()[d] = remaining;
+    }
+    // Random loop orders.
+    for level in mapping.levels_mut() {
+        if let MappingLevel::Temporal(t) = level {
+            for i in (1..t.order.len()).rev() {
+                t.order.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_arch::presets;
+
+    fn conv() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 16);
+        let c = b.dim("C", 16);
+        let p = b.dim("P", 28);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    fn quick_config() -> TimeloopConfig {
+        TimeloopConfig {
+            timeout: 500,
+            victory_condition: 50,
+            threads: 2,
+            seed: 7,
+            max_wall: Some(Duration::from_secs(10)),
+        }
+    }
+
+    #[test]
+    fn finds_a_valid_mapping() {
+        let tl = TimeloopMapper::new("TL-test", quick_config());
+        let out = tl.map(&conv(), &presets::conventional());
+        assert!(out.is_valid(), "{:?}", out.invalid_reason);
+        assert!(out.stats.evaluated > 0);
+    }
+
+    #[test]
+    fn random_mappings_are_structurally_consistent() {
+        let w = conv();
+        let arch = presets::conventional();
+        let binding = Binding::resolve(&arch, &w).unwrap();
+        let ctx = ValidationContext::new(&w, &arch, &binding);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut valid = 0;
+        for _ in 0..200 {
+            let m = random_mapping(&w, &arch, &mut rng);
+            // Structure (products, permutations, fabric limits) always
+            // holds; only capacity may fail.
+            ctx.validate_structure(&m).unwrap();
+            if ctx.validate_capacity(&m).is_ok() {
+                valid += 1;
+            }
+        }
+        assert!(valid > 0, "some random samples are fully valid");
+        assert!(valid < 200, "and some overflow capacity");
+    }
+
+    #[test]
+    fn slow_config_explores_more_than_fast() {
+        let w = conv();
+        let arch = presets::conventional();
+        let fast = TimeloopMapper::new(
+            "TL-fast",
+            TimeloopConfig { threads: 2, seed: 1, ..TimeloopConfig::fast() },
+        );
+        let slow = TimeloopMapper::new(
+            "TL-slow",
+            TimeloopConfig {
+                threads: 2,
+                seed: 1,
+                victory_condition: 200,
+                timeout: 5_000,
+                max_wall: Some(Duration::from_secs(20)),
+            },
+        );
+        let fo = fast.map(&w, &arch);
+        let so = slow.map(&w, &arch);
+        assert!(so.stats.evaluated + so.stats.invalid >= fo.stats.evaluated + fo.stats.invalid);
+        // More search never hurts quality.
+        if let (Some(fe), Some(se)) = (fo.edp(), so.edp()) {
+            assert!(se <= fe * 1.5, "fast={fe} slow={se}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion benchmarks: scheduler time-to-solution (the paper's Fig 6b /
+//! 7b / 8b metric) and cost-model evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sunstone::{Sunstone, SunstoneConfig};
+use sunstone_arch::{presets, Binding};
+use sunstone_baselines::{CosaMapper, Mapper};
+use sunstone_mapping::Mapping;
+use sunstone_model::CostModel;
+use sunstone_workloads::{resnet18_layers, tensor, Precision};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let conventional = presets::conventional();
+    let simba = presets::simba_like();
+    let mut group = c.benchmark_group("sunstone_schedule");
+    group.sample_size(10);
+
+    let layers = resnet18_layers(16);
+    for layer in [&layers[1], &layers[6]] {
+        let w = layer.inference(Precision::conventional());
+        group.bench_with_input(
+            BenchmarkId::new("conventional", &layer.name),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    Sunstone::new(SunstoneConfig::default())
+                        .schedule(w, &conventional)
+                        .expect("schedules")
+                })
+            },
+        );
+        let ws = layer.inference(Precision::simba());
+        group.bench_with_input(BenchmarkId::new("simba", &layer.name), &ws, |b, w| {
+            b.iter(|| {
+                Sunstone::new(SunstoneConfig::default()).schedule(w, &simba).expect("schedules")
+            })
+        });
+    }
+    let mttkrp = tensor::mttkrp(tensor::NELL2, 32);
+    group.bench_function("conventional/mttkrp_nell2", |b| {
+        b.iter(|| {
+            Sunstone::new(SunstoneConfig::default())
+                .schedule(&mttkrp, &conventional)
+                .expect("schedules")
+        })
+    });
+    group.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let arch = presets::conventional();
+    let w = resnet18_layers(16)[1].inference(Precision::conventional());
+    let binding = Binding::resolve(&arch, &w).expect("binds");
+    let model = CostModel::new(&w, &arch, &binding);
+    let mapping = Mapping::streaming(&w, &arch);
+    c.bench_function("cost_model/evaluate", |b| {
+        b.iter(|| model.evaluate_unchecked(&mapping))
+    });
+}
+
+fn bench_cosa(c: &mut Criterion) {
+    let arch = presets::simba_like();
+    let w = resnet18_layers(16)[1].inference(Precision::simba());
+    let cosa = CosaMapper::new();
+    c.bench_function("cosa/one_shot", |b| b.iter(|| cosa.map(&w, &arch)));
+}
+
+criterion_group!(benches, bench_scheduler, bench_cost_model, bench_cosa);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig 7: weight update (batch 16) of Inception-v3 layers on the
+//! conventional accelerator — EDP (7a) and time-to-solution (7b) for
+//! Sunstone, TL-fast/slow, dMaze-fast/slow, and INTER, with invalid
+//! outcomes marked.
+//!
+//! Run with `cargo run --release -p sunstone-bench --bin fig7_inception`
+//! (append `quick` for a subsampled smoke run).
+
+use sunstone_arch::presets;
+use sunstone_baselines::{
+    DMazeConfig, DMazeMapper, InterstellarMapper, Mapper, SunstoneMapper, TimeloopConfig,
+    TimeloopMapper,
+};
+use sunstone_bench::{print_summary, quick_mode, run_matrix};
+use sunstone_workloads::{inception_v3_layers, Precision};
+
+fn main() {
+    let arch = presets::conventional();
+    let mut layers = inception_v3_layers(16);
+    let mut tl_fast = TimeloopConfig::fast();
+    let mut tl_slow = TimeloopConfig::slow();
+    if quick_mode() {
+        layers.truncate(4);
+        tl_fast.timeout = 2_000;
+        tl_fast.max_wall = Some(std::time::Duration::from_secs(10));
+        tl_slow.timeout = 4_000;
+        tl_slow.victory_condition = 200;
+        tl_slow.max_wall = Some(std::time::Duration::from_secs(20));
+    }
+    let workloads: Vec<(String, _)> = layers
+        .iter()
+        .map(|l| (l.name.clone(), l.weight_update(Precision::conventional())))
+        .collect();
+
+    let sunstone = SunstoneMapper::default();
+    let fast = TimeloopMapper::new("TL-fast", tl_fast);
+    let slow = TimeloopMapper::new("TL-slow", tl_slow);
+    let dmaze_fast = DMazeMapper::new("dMaze-fast", DMazeConfig::fast());
+    let dmaze_slow = DMazeMapper::new("dMaze-slow", DMazeConfig::slow());
+    let inter = InterstellarMapper::new();
+    let mappers: Vec<&dyn Mapper> =
+        vec![&sunstone, &fast, &slow, &dmaze_fast, &dmaze_slow, &inter];
+
+    println!("Fig 7 — Inception-v3 weight update (batch 16) on `{}`\n", arch.name());
+    let cells = run_matrix(&mappers, &workloads, &arch);
+    print_summary(&cells);
+    println!(
+        "\nExpected shape (paper): Sunstone fastest with best-or-equal EDP; dMaze\n\
+         invalid on light and asymmetric (1x7/7x1/3x1) layers; INTER's preset\n\
+         CK unrolling costs EDP on several layers."
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig 8: ResNet-18 inference (batch 16) on the Simba-like accelerator —
+//! EDP (8a) and time-to-solution (8b) for Sunstone, Timeloop, and CoSA.
+//! dMazeRunner and Interstellar do not support this multi-level
+//! hierarchy; CoSA is fast but returns invalid mappings on most layers.
+//!
+//! Run with `cargo run --release -p sunstone-bench --bin fig8_resnet_simba`
+//! (append `quick` for a subsampled smoke run).
+
+use sunstone_arch::presets;
+use sunstone_baselines::{
+    CosaMapper, DMazeConfig, DMazeMapper, Mapper, SunstoneMapper, TimeloopConfig, TimeloopMapper,
+};
+use sunstone_bench::{print_summary, quick_mode, run_matrix};
+use sunstone_workloads::{resnet18_layers, Precision};
+
+fn main() {
+    let arch = presets::simba_like();
+    let mut layers = resnet18_layers(16);
+    let mut tl = TimeloopConfig::fast();
+    if quick_mode() {
+        layers.truncate(4);
+        tl.timeout = 2_000;
+        tl.max_wall = Some(std::time::Duration::from_secs(15));
+    }
+    let workloads: Vec<(String, _)> = layers
+        .iter()
+        .map(|l| (l.name.clone(), l.inference(Precision::simba())))
+        .collect();
+
+    let sunstone = SunstoneMapper::default();
+    let timeloop = TimeloopMapper::new("TL", tl);
+    let cosa = CosaMapper::new();
+    // Unsupported tools: demonstrate the paper's point that they cannot
+    // target this hierarchy at all.
+    let dmaze = DMazeMapper::new("dMaze-fast", DMazeConfig::fast());
+    let mappers: Vec<&dyn Mapper> = vec![&sunstone, &timeloop, &cosa, &dmaze];
+
+    println!("Fig 8 — ResNet-18 inference (batch 16) on `{}`\n", arch.name());
+    let cells = run_matrix(&mappers, &workloads, &arch);
+    print_summary(&cells);
+    println!(
+        "\nExpected shape (paper): CoSA finishes fastest but most mappings are\n\
+         invalid (tiles overflow their buffers); Timeloop needs far longer for\n\
+         worse EDP; dMaze cannot target the hierarchy at all."
+    );
+}

@@ -1,0 +1,150 @@
+//! Fig 9: tiling-and-unrolling overhead analysis on a DianNao-like
+//! accelerator — naive (streamed-from-DRAM) vs dataflow-optimized energy
+//! per ResNet-18 layer (9a) and the per-component energy breakdown of the
+//! optimized execution (9b), including the instruction-fetch and
+//! data-reordering overheads.
+//!
+//! Activations are reordered at run time only when the *producer* layer's
+//! ofmap traversal order differs from this layer's ifmap tile order —
+//! with a consistent dataflow across layers, most transitions need no
+//! reordering, which is why the paper measures only 0.2% overhead.
+//!
+//! Run with `cargo run --release -p sunstone-bench --bin fig9_overheads`
+//! (append `quick` for a subsampled run).
+
+use sunstone_bench::quick_mode;
+use sunstone_diannao::{Compiler, Simulator};
+use sunstone_ir::Workload;
+use sunstone_mapping::{Mapping, MappingLevel};
+use sunstone_workloads::{resnet18_layers, Precision};
+
+/// Layout signature: the DRAM-level loop dims (outermost first, factor
+/// above 1) that index the given tensor, as dimension names with K→C
+/// renaming so a producer's ofmap order is comparable with a consumer's
+/// ifmap order.
+fn layout_signature(w: &Workload, m: &Mapping, tensor: &str) -> Vec<String> {
+    let t = w.tensor_by_name(tensor).expect("tensor exists");
+    let indexing = w.tensor(t).indexing_dims();
+    let last = m.levels().len() - 1;
+    let MappingLevel::Temporal(dram) = &m.levels()[last] else {
+        return Vec::new();
+    };
+    dram.order_outermost_first()
+        .into_iter()
+        .filter(|d| dram.factors[d.index()] > 1 && indexing.contains(*d))
+        .map(|d| {
+            let name = w.dim(d).name();
+            if name == "K" { "C".to_string() } else { name.to_string() }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut layers = resnet18_layers(if quick_mode() { 1 } else { 16 });
+    if quick_mode() {
+        layers.truncate(4);
+    }
+
+    println!("Fig 9a — naive vs dataflow-optimized energy (DianNao-like)\n");
+    println!(
+        "  {:<10} {:>14} {:>14} {:>8} {:>12} {:>10} {:>10} {:>8}",
+        "layer", "naive (pJ)", "optimized (pJ)", "gain", "instructions", "instr ovh",
+        "reorder ovh", "reorder?"
+    );
+    let mut naive_total = 0.0f64;
+    let mut opt_total = 0.0f64;
+    let mut instr_total = 0u64;
+    let mut breakdown = [0.0f64; 7]; // mac, dram, instr, reorder, nbin, nbout, sb
+    let mut prev_producer_sig: Option<Vec<String>> = None;
+    for layer in &layers {
+        let w = layer.inference(Precision::conventional());
+
+        let naive = Compiler::naive(&w).expect("naive compiles");
+        let mut sim_naive = Simulator::new();
+        naive.run(&mut sim_naive).expect("naive runs");
+        let e_naive = sim_naive.report().total_energy_pj();
+
+        let (_, mapping) =
+            Compiler::tiled_with_sunstone_mapping(&w).expect("scheduling succeeds");
+        let consumer_sig = layout_signature(&w, &mapping, "ifmap");
+        // No reordering when the producer already emits this order, or
+        // when the DRAM traversal follows the canonical row-major NCHW
+        // order (tiles are then contiguous bursts in the natural layout).
+        let canonical = ["N", "C", "P", "Q"];
+        let mut pos = 0usize;
+        let is_canonical = consumer_sig.iter().all(|name| {
+            while pos < canonical.len() && canonical[pos] != name {
+                pos += 1;
+            }
+            if pos < canonical.len() {
+                pos += 1;
+                true
+            } else {
+                false
+            }
+        });
+        let needs_reorder =
+            prev_producer_sig.as_ref() != Some(&consumer_sig) && !is_canonical;
+        let reorder_words = if needs_reorder {
+            w.tensor(w.tensor_by_name("ifmap").expect("conv has ifmap"))
+                .footprint(&w.dim_sizes())
+        } else {
+            0
+        };
+        prev_producer_sig = Some(layout_signature(&w, &mapping, "ofmap"));
+
+        let tiled =
+            Compiler::tiled_with_reorder(&w, &mapping, reorder_words).expect("lowering succeeds");
+        let mut sim = Simulator::new();
+        tiled.run(&mut sim).expect("tiled program runs");
+        let r = sim.report();
+        let e_opt = r.total_energy_pj();
+
+        println!(
+            "  {:<10} {:>14.4e} {:>14.4e} {:>7.2}x {:>12} {:>9.2}% {:>9.3}% {:>8}",
+            layer.name,
+            e_naive,
+            e_opt,
+            e_naive / e_opt,
+            r.instructions,
+            100.0 * r.instr_overhead(),
+            100.0 * r.reorder_overhead(),
+            if needs_reorder { "yes" } else { "no" },
+        );
+        naive_total += e_naive;
+        opt_total += e_opt;
+        instr_total += r.instructions;
+        breakdown[0] += r.mac_energy_pj();
+        breakdown[1] += r.dram_data_energy_pj();
+        breakdown[2] += r.instr_energy_pj();
+        breakdown[3] += r.reorder_energy_pj();
+        breakdown[4] += r.nbin_energy_pj();
+        breakdown[5] += r.nbout_energy_pj();
+        breakdown[6] += r.sb_energy_pj();
+    }
+    println!(
+        "\n  TOTAL: naive {naive_total:.4e} pJ, optimized {opt_total:.4e} pJ → {:.2}x more \
+         energy efficient (paper: 2.9x)",
+        naive_total / opt_total
+    );
+    println!("  total instructions: {instr_total} (paper: 4.1M for its setup)");
+    println!(
+        "  instruction overhead: {:.2}% (paper: 5%), reordering overhead: {:.3}% (paper: 0.2%)",
+        100.0 * breakdown[2] / opt_total,
+        100.0 * breakdown[3] / opt_total
+    );
+
+    println!("\nFig 9b — optimized-execution energy breakdown:");
+    let total: f64 = breakdown.iter().sum();
+    for (name, e) in
+        ["MACs", "DRAM data", "instructions", "reordering", "NBin", "NBout", "SB"]
+            .iter()
+            .zip(&breakdown)
+    {
+        println!("  {name:<14} {:>14.4e} pJ  ({:>5.2}%)", e, 100.0 * e / total);
+    }
+    println!(
+        "\nExpected shape (paper): optimized wins despite overheads; the\n\
+         instruction overhead is a few percent and reordering well below 1%."
+    );
+}

@@ -1,0 +1,59 @@
+//! Extension study: Sunstone vs a GAMMA-like genetic algorithm — the
+//! black-box optimizer class the paper cites in §VI without measuring.
+//!
+//! Run with `cargo run --release -p sunstone-bench --bin related_work`
+//! (append `quick` for a subsampled run).
+
+use sunstone_arch::presets;
+use sunstone_baselines::{GammaConfig, GammaMapper, Mapper, SunstoneMapper};
+use sunstone_bench::{print_summary, quick_mode, run_matrix};
+use sunstone_workloads::{resnet18_layers, tensor, Precision};
+
+fn main() {
+    let conventional = presets::conventional();
+    let simba = presets::simba_like();
+
+    let mut layers = resnet18_layers(16);
+    if quick_mode() {
+        layers.truncate(3);
+    }
+    let sunstone = SunstoneMapper::default();
+    let gamma = GammaMapper::with_config(if quick_mode() {
+        GammaConfig { population: 24, generations: 10, ..GammaConfig::default() }
+    } else {
+        GammaConfig::default()
+    });
+    let mappers: Vec<&dyn Mapper> = vec![&sunstone, &gamma];
+
+    println!("Related work — Sunstone vs GAMMA-like GA on `{}`\n", conventional.name());
+    let conv_workloads: Vec<(String, _)> = layers
+        .iter()
+        .map(|l| (l.name.clone(), l.inference(Precision::conventional())))
+        .collect();
+    let mut cells = run_matrix(&mappers, &conv_workloads, &conventional);
+
+    println!("\n…and on the multi-level `{}` hierarchy:\n", simba.name());
+    let simba_workloads: Vec<(String, _)> = layers
+        .iter()
+        .take(if quick_mode() { 2 } else { 4 })
+        .map(|l| (format!("{}@simba", l.name), l.inference(Precision::simba())))
+        .collect();
+    cells.extend(run_matrix(&mappers, &simba_workloads, &simba));
+
+    if !quick_mode() {
+        let nondnn = vec![(
+            "mttkrp_poisson1".to_string(),
+            tensor::mttkrp(tensor::POISSON1, 32),
+        )];
+        println!("\n…and a non-DNN kernel:\n");
+        cells.extend(run_matrix(&mappers, &nondnn, &conventional));
+    }
+
+    print_summary(&cells);
+    println!(
+        "\nExpected shape (paper §VI): black-box approximations \"often don't\n\
+         capture parts of the problem and yield poor solutions\" — the GA\n\
+         needs orders of magnitude more evaluations and still trails on the\n\
+         deeper hierarchy."
+    );
+}

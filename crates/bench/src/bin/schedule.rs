@@ -1,0 +1,174 @@
+//! Command-line scheduler: map a named workload onto a named architecture
+//! with any of the implemented mappers and print the mapping as
+//! nested-loop pseudocode plus its cost report.
+//!
+//! ```text
+//! Usage: schedule <workload> <arch> [mapper]
+//!
+//!   workload  resnet18:<layer>[:batch]      e.g. resnet18:conv3_x:16
+//!             inception:<layer>[:batch]     e.g. inception:1x7_deep:16
+//!             matmul:<M>:<N>:<K>            e.g. matmul:512:512:512
+//!             mttkrp:<tensor>:<rank>        tensor ∈ nell2|netflix|poisson1
+//!             ttmc:<tensor>:<rank>
+//!             sddmm:<matrix>:<rank>         matrix ∈ bcsstk17|cant
+//!             mmc | tcl
+//!   arch      conventional | eyeriss | simba | diannao
+//!   mapper    sunstone (default) | tl-fast | tl-slow | dmaze-fast |
+//!             dmaze-slow | inter | cosa | gamma
+//! ```
+//!
+//! Example: `cargo run --release -p sunstone-bench --bin schedule -- \
+//!           resnet18:conv3_x:16 simba`
+
+use std::process::ExitCode;
+
+use sunstone_arch::{presets, ArchSpec};
+use sunstone_baselines::{
+    CosaMapper, DMazeConfig, DMazeMapper, GammaMapper, InterstellarMapper, Mapper,
+    SunstoneMapper, TimeloopConfig, TimeloopMapper,
+};
+use sunstone_ir::Workload;
+use sunstone_mapping::pretty;
+use sunstone_workloads::{inception_v3_layers, resnet18_layers, tensor, Precision};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: schedule <workload> <arch> [mapper]   (see --help in the source)");
+    ExitCode::FAILURE
+}
+
+fn parse_workload(spec: &str, arch_name: &str) -> Option<Workload> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let precision =
+        if arch_name.starts_with("simba") { Precision::simba() } else { Precision::conventional() };
+    match parts.as_slice() {
+        ["resnet18", layer] | ["resnet18", layer, _] => {
+            let batch = parts.get(2).and_then(|b| b.parse().ok()).unwrap_or(16);
+            resnet18_layers(batch)
+                .into_iter()
+                .find(|l| l.name == *layer)
+                .map(|l| l.inference(precision))
+        }
+        ["inception", layer] | ["inception", layer, _] => {
+            let batch = parts.get(2).and_then(|b| b.parse().ok()).unwrap_or(16);
+            inception_v3_layers(batch)
+                .into_iter()
+                .find(|l| l.name == *layer)
+                .map(|l| l.inference(precision))
+        }
+        ["matmul", m, n, k] => {
+            let (m, n, k) = (m.parse().ok()?, n.parse().ok()?, k.parse().ok()?);
+            let mut b = Workload::builder("matmul");
+            let dm = b.dim("M", m);
+            let dn = b.dim("N", n);
+            let dk = b.dim("K", k);
+            b.input("a", [dm.expr(), dk.expr()]);
+            b.input("b", [dk.expr(), dn.expr()]);
+            b.output("out", [dm.expr(), dn.expr()]);
+            b.build().ok()
+        }
+        ["mttkrp", shape, rank] => {
+            Some(tensor::mttkrp(named_shape(shape)?, rank.parse().ok()?))
+        }
+        ["ttmc", shape, rank] => Some(tensor::ttmc(named_shape(shape)?, rank.parse().ok()?)),
+        ["sddmm", matrix, rank] => {
+            let side = match *matrix {
+                "bcsstk17" => tensor::BCSSTK17,
+                "cant" => tensor::CANT,
+                _ => return None,
+            };
+            Some(tensor::sddmm(side, rank.parse().ok()?))
+        }
+        ["mmc"] => Some(tensor::attention_mmc()),
+        ["tcl"] => Some(tensor::alexnet_tcl()),
+        _ => None,
+    }
+}
+
+fn named_shape(name: &str) -> Option<tensor::Shape3> {
+    match name {
+        "nell2" => Some(tensor::NELL2),
+        "netflix" => Some(tensor::NETFLIX),
+        "poisson1" => Some(tensor::POISSON1),
+        _ => None,
+    }
+}
+
+fn parse_arch(name: &str) -> Option<ArchSpec> {
+    match name {
+        "conventional" => Some(presets::conventional()),
+        "eyeriss" => Some(presets::eyeriss_like()),
+        "simba" => Some(presets::simba_like()),
+        "diannao" => Some(presets::diannao_like()),
+        _ => None,
+    }
+}
+
+fn parse_mapper(name: &str) -> Option<Box<dyn Mapper>> {
+    match name {
+        "sunstone" => Some(Box::new(SunstoneMapper::default())),
+        "tl-fast" => Some(Box::new(TimeloopMapper::new("TL-fast", TimeloopConfig::fast()))),
+        "tl-slow" => Some(Box::new(TimeloopMapper::new("TL-slow", TimeloopConfig::slow()))),
+        "dmaze-fast" => Some(Box::new(DMazeMapper::new("dMaze-fast", DMazeConfig::fast()))),
+        "dmaze-slow" => Some(Box::new(DMazeMapper::new("dMaze-slow", DMazeConfig::slow()))),
+        "inter" => Some(Box::new(InterstellarMapper::new())),
+        "cosa" => Some(Box::new(CosaMapper::new())),
+        "gamma" => Some(Box::new(GammaMapper::new())),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(w_spec), Some(a_spec)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(arch) = parse_arch(a_spec) else {
+        eprintln!("unknown architecture `{a_spec}`");
+        return usage();
+    };
+    let Some(workload) = parse_workload(w_spec, a_spec) else {
+        eprintln!("unknown workload `{w_spec}`");
+        return usage();
+    };
+    let mapper_name = args.get(2).map(String::as_str).unwrap_or("sunstone");
+    let Some(mapper) = parse_mapper(mapper_name) else {
+        eprintln!("unknown mapper `{mapper_name}`");
+        return usage();
+    };
+
+    println!("workload     : {workload}");
+    println!("architecture : {arch}");
+    println!("mapper       : {}", mapper.name());
+    let outcome = mapper.map(&workload, &arch);
+    match (&outcome.mapping, &outcome.report) {
+        (Some(mapping), Some(report)) => {
+            println!("\n{}", pretty::render(mapping, &workload, &arch));
+            println!("energy       : {:.4e} pJ", report.energy_pj);
+            println!("delay        : {:.4e} cycles", report.delay_cycles);
+            println!("EDP          : {:.4e} pJ·cycles", report.edp);
+            println!("parallelism  : {}", mapping.used_parallelism());
+            println!(
+                "bound        : {}",
+                if report.is_bandwidth_bound() { "bandwidth" } else { "compute" }
+            );
+            println!(
+                "search       : {} evaluated ({} invalid) in {:?}",
+                outcome.stats.evaluated, outcome.stats.invalid, outcome.stats.elapsed
+            );
+            for level in &report.levels {
+                println!(
+                    "  {:<8} reads {:>12.3e}  writes {:>12.3e}  energy {:>12.3e} pJ",
+                    level.name, level.reads, level.writes, level.energy_pj
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            println!(
+                "\nINVALID: {}",
+                outcome.invalid_reason.as_deref().unwrap_or("no mapping found")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

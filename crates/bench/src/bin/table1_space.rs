@@ -1,0 +1,44 @@
+//! Table I: optimization-space size per tool for an Inception-v3 example
+//! layer on the conventional accelerator.
+//!
+//! Run with `cargo run --release -p sunstone-bench --bin table1_space`.
+
+use sunstone::{Sunstone, SunstoneConfig};
+use sunstone_arch::presets;
+use sunstone_baselines::space;
+use sunstone_workloads::{inception_v3_layers, Precision};
+
+fn main() {
+    let layer = &inception_v3_layers(16)[4]; // 3x3_mid
+    let w = layer.inference(Precision::conventional());
+    let arch = presets::conventional();
+
+    println!("Table I — space size for Inception-v3 layer `{}` on `{}`", layer.name, arch.name());
+    println!("(paper reports: TL 3.69e10, Marvel 1.36e9, INTER 1.40e9, dMaze 1.97e5, ours 5.89e3)\n");
+
+    let tl = space::timeloop_space(&w, &arch);
+    let cosa = space::cosa_space(&w, &arch);
+    let marvel = space::marvel_space(&w, &arch);
+    let inter = space::interstellar_space(&w, &arch);
+    let dmaze = space::dmaze_space(&w, &arch, 0.8, 0.5);
+    let result = Sunstone::new(SunstoneConfig::default())
+        .schedule(&w, &arch)
+        .expect("inception layer schedules");
+    let ours = space::sunstone_space(&result.stats);
+
+    for (tool, size) in [
+        ("Timeloop", tl),
+        ("CoSA", cosa),
+        ("Marvel", marvel),
+        ("Interstellar", inter),
+        ("dMazeRunner", dmaze),
+        ("Sunstone (measured)", ours),
+    ] {
+        println!("  {tool:<22} {size:>12.3e}");
+    }
+    println!(
+        "\n  Sunstone space reduction vs Timeloop: {:.1e}x (paper: ~1e7x)",
+        tl / ours
+    );
+    assert!(ours < dmaze && dmaze < inter && inter <= tl, "Table I ordering holds");
+}

@@ -1,0 +1,182 @@
+//! Scheduler configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Inter-level optimization direction (Table VI of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Start at the innermost memory and move outward. Orders of magnitude
+    /// fewer candidates at (near-)equal EDP — the paper's default.
+    BottomUp,
+    /// Start at the off-chip memory and move inward. Explored for the
+    /// Table VI study.
+    TopDown,
+}
+
+/// Intra-level optimization order (Table VI of the paper).
+///
+/// Within one level, the order in which unrolling, tiling, and loop
+/// ordering are enumerated changes the shape of the search but — as the
+/// paper observes — not the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntraOrder {
+    /// ordering → tiling → unrolling (paper Section III-C presentation).
+    /// Tiles are sized before the unroll is known, so a shared memory
+    /// directly above the fabric can be filled before the unroll gets its
+    /// share — usable, but not the default.
+    OrderTileUnroll,
+    /// unrolling → tiling → ordering — Table VI's first row and this
+    /// implementation's default: the fabric claims its quota first, then
+    /// tiles grow in what remains.
+    UnrollTileOrder,
+    /// tiling → unrolling → ordering.
+    TileUnrollOrder,
+}
+
+/// The figure of merit the search minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Energy-delay product — the paper's merit.
+    Edp,
+    /// Energy only (battery-bound deployments).
+    Energy,
+    /// Delay only (latency-bound deployments).
+    Delay,
+}
+
+impl Objective {
+    /// Extracts the objective value from a cost report.
+    pub fn of(self, report: &sunstone_model::CostReport) -> f64 {
+        match self {
+            Objective::Edp => report.edp,
+            Objective::Energy => report.energy_pj,
+            Objective::Delay => report.delay_cycles,
+        }
+    }
+}
+
+/// Which of Sunstone's pruning techniques are active. All on by default;
+/// individual flags exist for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruningFlags {
+    /// Prune loop orderings via the trie rules (Fig 4). When off, all
+    /// permutations of the reuse dimensions are considered.
+    pub ordering_trie: bool,
+    /// Keep only maximal tiles (Tiling Principle, Fig 5). When off, every
+    /// fitting tile along the allowed dimensions is kept.
+    pub tiling_maximal: bool,
+    /// Reject unroll dimensions that would spatially re-reuse the already
+    /// temporally reused operand (Spatial Unrolling Principle).
+    pub unrolling_principle: bool,
+    /// Restrict tile growth to the reused operand's indexing dimensions.
+    /// When off, tiles may grow along every dimension.
+    pub tiling_reuse_dims: bool,
+}
+
+impl Default for PruningFlags {
+    fn default() -> Self {
+        PruningFlags {
+            ordering_trie: true,
+            tiling_maximal: true,
+            unrolling_principle: true,
+            tiling_reuse_dims: true,
+        }
+    }
+}
+
+/// Configuration of the [`Sunstone`](crate::Sunstone) scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SunstoneConfig {
+    /// The figure of merit to minimize (EDP by default, as in the paper).
+    pub objective: Objective,
+    /// Inter-level direction; bottom-up is the paper's default.
+    pub direction: Direction,
+    /// Intra-level enumeration order.
+    pub intra_order: IntraOrder,
+    /// Beam width for the alpha-beta-style pruning across levels: the
+    /// number of best partial mappings kept alive after each stage.
+    pub beam_width: usize,
+    /// Number of worker threads for candidate evaluation (0 = available
+    /// parallelism).
+    pub threads: usize,
+    /// Minimum fraction of a spatial fabric that an unrolling must keep
+    /// busy, when any unrolling can achieve it ("high throughput"
+    /// constraint, Table I).
+    pub min_spatial_utilization: f64,
+    /// Cap on the tiles kept per tiling-tree enumeration (the largest
+    /// tiles — most reuse — are kept). Bounds the per-stage candidate
+    /// count on workloads with very long divisor ladders.
+    pub max_tiles_per_enum: usize,
+    /// Cap on the unrollings kept per fabric enumeration (the highest
+    /// utilizations are kept).
+    pub max_unrolls_per_enum: usize,
+    /// Active pruning techniques.
+    pub pruning: PruningFlags,
+}
+
+impl Default for SunstoneConfig {
+    fn default() -> Self {
+        SunstoneConfig {
+            objective: Objective::Edp,
+            direction: Direction::BottomUp,
+            intra_order: IntraOrder::UnrollTileOrder,
+            beam_width: 48,
+            threads: 0,
+            min_spatial_utilization: 0.5,
+            max_tiles_per_enum: 24,
+            max_unrolls_per_enum: 8,
+            pruning: PruningFlags::default(),
+        }
+    }
+}
+
+impl SunstoneConfig {
+    /// Resolved worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_pruning() {
+        let c = SunstoneConfig::default();
+        assert_eq!(c.direction, Direction::BottomUp);
+        assert!(c.pruning.ordering_trie);
+        assert!(c.pruning.tiling_maximal);
+        assert!(c.pruning.unrolling_principle);
+        assert!(c.pruning.tiling_reuse_dims);
+        assert!(c.beam_width > 0);
+    }
+
+    #[test]
+    fn objective_extracts_the_right_field() {
+        let report = sunstone_model::CostReport {
+            energy_pj: 10.0,
+            delay_cycles: 5.0,
+            edp: 50.0,
+            total_ops: 1.0,
+            mac_energy_pj: 1.0,
+            noc_energy_pj: 0.0,
+            compute_cycles: 5.0,
+            levels: Vec::new(),
+        };
+        assert_eq!(Objective::Edp.of(&report), 50.0);
+        assert_eq!(Objective::Energy.of(&report), 10.0);
+        assert_eq!(Objective::Delay.of(&report), 5.0);
+    }
+
+    #[test]
+    fn effective_threads_is_positive() {
+        assert!(SunstoneConfig::default().effective_threads() >= 1);
+        let c = SunstoneConfig { threads: 3, ..SunstoneConfig::default() };
+        assert_eq!(c.effective_threads(), 3);
+    }
+}

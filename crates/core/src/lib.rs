@@ -1,0 +1,56 @@
+//! Sunstone: a scalable and versatile scheduler for mapping tensor algebra
+//! on spatial accelerators.
+//!
+//! This crate implements the scheduler from the ISPASS 2023 paper. It
+//! searches the mapping space level by level — bottom-up from the
+//! innermost memory by default — and at each level enumerates only:
+//!
+//! * **loop orderings** that survive the ordering trie's pruning rules
+//!   ([`ordering`], Fig 4 of the paper),
+//! * **tiles** that are maximal along the indexing dimensions of the
+//!   operand reused by the chosen ordering — the Tiling Principle
+//!   ([`tiling`], Fig 5),
+//! * **spatial unrollings** that avoid re-reusing the already temporally
+//!   reused operand — the Spatial Unrolling Principle ([`unrolling`]),
+//!
+//! pruning partial mappings whose estimated cost cannot beat the best
+//! candidate (alpha-beta style, realized as a beam).
+//!
+//! All principles are derived from the workload's algebraic reuse
+//! structure ([`sunstone_ir::ReuseInfo`]), so the scheduler works on any
+//! tensor-algebra workload — convolution, MTTKRP, TTMc, SDDMM, MMc, TCL —
+//! and any architecture expressible as [`sunstone_arch::ArchSpec`],
+//! including multi-level spatial designs like Simba.
+//!
+//! # Example
+//!
+//! ```
+//! use sunstone::{Sunstone, SunstoneConfig};
+//! use sunstone_arch::presets;
+//! use sunstone_ir::Workload;
+//!
+//! let mut b = Workload::builder("mm");
+//! let m = b.dim("M", 64);
+//! let n = b.dim("N", 64);
+//! let k = b.dim("K", 64);
+//! b.input("a", [m.expr(), k.expr()]);
+//! b.input("b", [k.expr(), n.expr()]);
+//! b.output("out", [m.expr(), n.expr()]);
+//! let w = b.build()?;
+//!
+//! let arch = presets::conventional();
+//! let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch)?;
+//! println!("EDP = {}, evaluated {} mappings", result.report.edp, result.stats.evaluated);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod config;
+mod driver;
+pub mod network;
+pub mod ordering;
+pub mod tiling;
+pub mod unrolling;
+
+pub use config::{Direction, IntraOrder, Objective, PruningFlags, SunstoneConfig};
+pub use driver::{ScheduleError, ScheduleResult, SearchStats, Sunstone};
+pub use ordering::{OrderingCandidate, OrderingTrie, ReuseKind};

@@ -1,0 +1,375 @@
+//! The loop-ordering trie (Section IV-A, Fig 4 of the paper).
+//!
+//! For one memory level, the orderings that matter are characterized by
+//! their *innermost suffix*: the run of loops directly above the child
+//! boundary. A tensor is fully reused when a prefix of that suffix stays
+//! within its non-indexing dimensions (Ordering Principles 1–2), and
+//! partially reused when the innermost loop slides one of its windows.
+//!
+//! The trie enumerates suffixes innermost-first and prunes:
+//!
+//! 1. children that add no further reuse over their parent (Ordering
+//!    Principle 3), and
+//! 2. candidates whose per-tensor reuse is dominated by another
+//!    candidate's (the paper's sibling rules (i) and (ii)).
+
+use serde::{Deserialize, Serialize};
+use sunstone_ir::{DimId, DimSet, ReuseInfo, TensorId, Workload};
+
+/// How a tensor is reused by an ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ReuseKind {
+    /// A window-sliding (halo) overlap via the innermost loop.
+    Partial,
+    /// The tensor stays resident across the reuse prefix.
+    Full,
+}
+
+/// One surviving loop-ordering candidate for a memory level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderingCandidate {
+    /// Complete loop order, **innermost-first** (a permutation of all
+    /// workload dimensions).
+    pub order: Vec<DimId>,
+    /// Length of the reuse suffix (`order[..suffix_len]` are the loops the
+    /// trie chose; the rest are appended canonically).
+    pub suffix_len: usize,
+    /// Tensors reused by this ordering.
+    pub reused: Vec<(TensorId, ReuseKind)>,
+}
+
+impl OrderingCandidate {
+    /// The reuse-suffix dimensions as a set.
+    pub fn suffix_dims(&self) -> DimSet {
+        self.order[..self.suffix_len].iter().copied().collect()
+    }
+
+    /// The tensors this ordering fully reuses.
+    pub fn fully_reused(&self) -> impl Iterator<Item = TensorId> + '_ {
+        self.reused.iter().filter(|(_, k)| *k == ReuseKind::Full).map(|(t, _)| *t)
+    }
+}
+
+/// Per-tensor reuse score of a suffix: full-chain length plus a partial
+/// bonus; used for dominance comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Score(Vec<u32>);
+
+impl Score {
+    /// `self` is dominated by `other` when it is nowhere better.
+    fn dominated_by(&self, other: &Score) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+/// Enumerates promising loop orderings for a workload.
+///
+/// Construct once per workload, then call [`candidates`](Self::candidates)
+/// per level with the set of dimensions still in play.
+#[derive(Debug, Clone)]
+pub struct OrderingTrie<'a> {
+    workload: &'a Workload,
+    reuse: ReuseInfo,
+}
+
+impl<'a> OrderingTrie<'a> {
+    /// Creates the trie helper for a workload.
+    pub fn new(workload: &'a Workload) -> Self {
+        OrderingTrie { workload, reuse: workload.reuse_info() }
+    }
+
+    /// The reuse table driving the trie.
+    pub fn reuse(&self) -> &ReuseInfo {
+        &self.reuse
+    }
+
+    /// Enumerates surviving orderings over the given in-play dimensions.
+    ///
+    /// Returns the candidates and the number of trie nodes explored
+    /// (for search-space statistics). With an empty in-play set, a single
+    /// canonical ordering is returned.
+    pub fn candidates(&self, in_play: DimSet) -> (Vec<OrderingCandidate>, usize) {
+        let mut nodes = Vec::new();
+        let mut explored = 0usize;
+        let mut stack: Vec<Vec<DimId>> = vec![Vec::new()];
+        while let Some(suffix) = stack.pop() {
+            explored += 1;
+            if !suffix.is_empty() {
+                nodes.push(suffix.clone());
+            }
+            let used: DimSet = suffix.iter().copied().collect();
+            for d in in_play.difference(used).iter() {
+                if self.extension_adds_reuse(&suffix, d) {
+                    let mut child = suffix.clone();
+                    child.push(d);
+                    stack.push(child);
+                }
+            }
+        }
+
+        let mut scored: Vec<(Vec<DimId>, Score)> =
+            nodes.into_iter().map(|s| (s.clone(), self.score(&s))).collect();
+        // Dominance pruning: drop candidates nowhere better than another.
+        let mut keep = vec![true; scored.len()];
+        for i in 0..scored.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..scored.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if scored[i].1.dominated_by(&scored[j].1) {
+                    // Strict domination, or an equal-score duplicate
+                    // (same reuse from the same dimensions) — keep `j`.
+                    let strictly = scored[i].1 != scored[j].1;
+                    let duplicate = scored[i].1 == scored[j].1 && j < i;
+                    if strictly || duplicate {
+                        keep[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut result: Vec<OrderingCandidate> = Vec::new();
+        for (i, (suffix, _)) in scored.drain(..).enumerate() {
+            if keep[i] {
+                result.push(self.complete(suffix, in_play));
+            }
+        }
+        if result.is_empty() {
+            result.push(self.complete(Vec::new(), in_play));
+        }
+        (result, explored)
+    }
+
+    /// Enumerates *all* permutations of the in-play dimensions (ordering
+    /// pruning disabled — used by the ablation benches). Capped at 8 dims.
+    pub fn all_permutations(&self, in_play: DimSet) -> Vec<OrderingCandidate> {
+        let dims: Vec<DimId> = in_play.iter().collect();
+        assert!(dims.len() <= 8, "permutation enumeration capped at 8 dims");
+        let mut result = Vec::new();
+        permute(&mut dims.clone(), 0, &mut |perm| {
+            result.push(self.complete(perm.to_vec(), in_play));
+        });
+        if result.is_empty() {
+            result.push(self.complete(Vec::new(), in_play));
+        }
+        result
+    }
+
+    /// Does appending `d` to `suffix` yield new reuse?
+    fn extension_adds_reuse(&self, suffix: &[DimId], d: DimId) -> bool {
+        if suffix.is_empty() {
+            return self
+                .reuse
+                .iter()
+                .any(|(_, r)| r.full_reuse.contains(d) || r.partial_reuse.contains(d));
+        }
+        let extended: DimSet = suffix.iter().copied().chain([d]).collect();
+        self.reuse.iter().any(|(_, r)| extended.is_subset(r.full_reuse))
+    }
+
+    /// Per-tensor reuse score of a suffix sequence (innermost-first):
+    /// 2 × (length of the full-reuse prefix) + 1 if the innermost loop
+    /// slides a window of the tensor.
+    fn score(&self, suffix: &[DimId]) -> Score {
+        let scores = self
+            .reuse
+            .iter()
+            .map(|(_, r)| {
+                let chain =
+                    suffix.iter().take_while(|&&d| r.full_reuse.contains(d)).count() as u32;
+                let partial =
+                    u32::from(suffix.first().is_some_and(|&d| r.partial_reuse.contains(d)));
+                2 * chain + partial
+            })
+            .collect();
+        Score(scores)
+    }
+
+    /// Builds the full permutation: suffix first, then the remaining
+    /// in-play dimensions (window-sliding dims innermost so the halo
+    /// credit of partial reuse can materialize), then out-of-play dims.
+    fn complete(&self, suffix: Vec<DimId>, in_play: DimSet) -> OrderingCandidate {
+        let suffix_len = suffix.len();
+        let used: DimSet = suffix.iter().copied().collect();
+        let mut order = suffix;
+        let mut remaining: Vec<DimId> = in_play.difference(used).iter().collect();
+        remaining.sort_by_key(|&d| {
+            let partial = self.reuse.iter().any(|(_, r)| r.partial_reuse.contains(d));
+            (std::cmp::Reverse(partial as u8), d.index())
+        });
+        order.extend(remaining);
+        for d in self.workload.dim_ids() {
+            if !in_play.contains(d) && !used.contains(d) {
+                order.push(d);
+            }
+        }
+        let reused = self.reused_of(&order[..suffix_len]);
+        OrderingCandidate { order, suffix_len, reused }
+    }
+
+    fn reused_of(&self, suffix: &[DimId]) -> Vec<(TensorId, ReuseKind)> {
+        let mut reused = Vec::new();
+        for (t, r) in self.reuse.iter() {
+            let chain = suffix.iter().take_while(|&&d| r.full_reuse.contains(d)).count();
+            if chain > 0 {
+                reused.push((t, ReuseKind::Full));
+            } else if suffix.first().is_some_and(|&d| r.partial_reuse.contains(d)) {
+                reused.push((t, ReuseKind::Partial));
+            }
+        }
+        reused
+    }
+}
+
+fn permute(dims: &mut [DimId], k: usize, f: &mut impl FnMut(&[DimId])) {
+    if k == dims.len() {
+        f(dims);
+        return;
+    }
+    for i in k..dims.len() {
+        dims.swap(k, i);
+        permute(dims, k + 1, f);
+        dims.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 14);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn conv1d_trie_matches_fig4() {
+        let w = conv1d();
+        let trie = OrderingTrie::new(&w);
+        let all = DimSet::first_n(4);
+        let (cands, explored) = trie.candidates(all);
+        let suffixes: Vec<Vec<usize>> = cands
+            .iter()
+            .map(|c| c.order[..c.suffix_len].iter().map(|d| d.index()).collect())
+            .collect();
+        // Survivors: [R, C] (ofmap full via R·C + ifmap partial via R),
+        // [K] (ifmap full), [P] (weight full + ifmap partial).
+        // Dims: 0=K, 1=C, 2=P, 3=R.
+        assert!(suffixes.contains(&vec![3, 1]), "xxCR survives: {suffixes:?}");
+        assert!(suffixes.contains(&vec![0]), "xxxK survives: {suffixes:?}");
+        assert!(suffixes.contains(&vec![2]), "xxxP survives: {suffixes:?}");
+        assert_eq!(cands.len(), 3, "exactly three survivors: {suffixes:?}");
+        assert!(explored > cands.len(), "the trie explored pruned nodes too");
+    }
+
+    #[test]
+    fn fig4_xxxc_is_dominated_by_xxcr() {
+        let w = conv1d();
+        let trie = OrderingTrie::new(&w);
+        let (cands, _) = trie.candidates(DimSet::first_n(4));
+        let c = w.dim_by_name("C").unwrap();
+        assert!(
+            !cands.iter().any(|cand| cand.suffix_len == 1 && cand.order[0] == c),
+            "xxxC must be pruned (Fig 4 step 5)"
+        );
+    }
+
+    #[test]
+    fn orderings_are_full_permutations() {
+        let w = conv1d();
+        let trie = OrderingTrie::new(&w);
+        let (cands, _) = trie.candidates(DimSet::first_n(4));
+        for c in &cands {
+            let set: DimSet = c.order.iter().copied().collect();
+            assert_eq!(set.len(), 4, "order is a permutation: {:?}", c.order);
+        }
+    }
+
+    #[test]
+    fn reused_annotations_match_table_iii() {
+        let w = conv1d();
+        let trie = OrderingTrie::new(&w);
+        let (cands, _) = trie.candidates(DimSet::first_n(4));
+        let ofmap = w.tensor_by_name("ofmap").unwrap();
+        let ifmap = w.tensor_by_name("ifmap").unwrap();
+        let rc = cands
+            .iter()
+            .find(|c| c.suffix_len == 2)
+            .expect("the [R, C] candidate exists");
+        assert!(rc.reused.contains(&(ofmap, ReuseKind::Full)));
+        assert!(rc.reused.contains(&(ifmap, ReuseKind::Partial)));
+        assert_eq!(rc.fully_reused().collect::<Vec<_>>(), vec![ofmap]);
+    }
+
+    #[test]
+    fn restricted_in_play_set_restricts_suffixes() {
+        let w = conv1d();
+        let trie = OrderingTrie::new(&w);
+        let k = w.dim_by_name("K").unwrap();
+        let p = w.dim_by_name("P").unwrap();
+        let (cands, _) = trie.candidates(w.dim_set(&[k, p]));
+        for c in &cands {
+            assert!(c.suffix_dims().is_subset(w.dim_set(&[k, p])));
+        }
+        // K reuses ifmap, P reuses weight (+ partial ifmap): both survive.
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn empty_in_play_returns_canonical_order() {
+        let w = conv1d();
+        let trie = OrderingTrie::new(&w);
+        let (cands, _) = trie.candidates(DimSet::EMPTY);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].suffix_len, 0);
+        assert_eq!(cands[0].order.len(), 4);
+    }
+
+    #[test]
+    fn all_permutations_enumerates_factorial() {
+        let w = conv1d();
+        let trie = OrderingTrie::new(&w);
+        let perms = trie.all_permutations(DimSet::first_n(4));
+        assert_eq!(perms.len(), 24);
+    }
+
+    #[test]
+    fn matmul_trie_keeps_one_candidate_per_tensor() {
+        // out[m,n] = Σ_k a[m,k] b[k,n]: each dim fully reuses exactly one
+        // tensor and no partial reuse exists, so the trie keeps exactly
+        // the three singleton suffixes.
+        let mut b = Workload::builder("mm");
+        let m = b.dim("M", 8);
+        let n = b.dim("N", 8);
+        let k = b.dim("K", 8);
+        b.input("a", [m.expr(), k.expr()]);
+        b.input("b", [k.expr(), n.expr()]);
+        b.output("out", [m.expr(), n.expr()]);
+        let w = b.build().unwrap();
+        let trie = OrderingTrie::new(&w);
+        let (cands, _) = trie.candidates(DimSet::first_n(3));
+        let suffixes: Vec<Vec<usize>> = cands
+            .iter()
+            .map(|c| c.order[..c.suffix_len].iter().map(|d| d.index()).collect())
+            .collect();
+        assert_eq!(cands.len(), 3, "{suffixes:?}");
+    }
+
+    #[test]
+    fn trie_is_much_smaller_than_permutation_space() {
+        let w = conv1d();
+        let trie = OrderingTrie::new(&w);
+        let (cands, _) = trie.candidates(DimSet::first_n(4));
+        assert!(cands.len() * 4 <= trie.all_permutations(DimSet::first_n(4)).len());
+    }
+}

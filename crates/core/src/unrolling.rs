@@ -1,0 +1,197 @@
+//! Spatial-unrolling candidate generation (Section III-B of the paper).
+//!
+//! Given a parallel level between memories X−1 and X, the **Spatial
+//! Unrolling Principle** rejects unroll dimensions that would spatially
+//! reuse the operand already temporally reused by the ordering at X — its
+//! accesses are already optimized; parallel hardware should amplify the
+//! reuse of the *other* tensors. The remaining dimensions are unrolled to
+//! maximal, high-utilization combinations.
+
+use std::collections::HashSet;
+
+use sunstone_ir::DimSet;
+
+use crate::tiling::sorted_divisors;
+
+/// Result of an unrolling enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnrollingOutcome {
+    /// Surviving unroll-factor vectors (one entry per workload dimension).
+    pub unrollings: Vec<Vec<u64>>,
+    /// Number of combinations explored (for search-space statistics).
+    pub explored: usize,
+}
+
+/// Enumerates unroll-factor vectors for one spatial level.
+///
+/// * `quota` — per-dimension budget (remaining problem quotient); factors
+///   divide it.
+/// * `allowed` — dimensions permitted by the Unrolling Principle and by
+///   the fabric's reduction capability.
+/// * `units` — fabric size; the factor product may not exceed it.
+/// * `fits` — additional predicate over the unroll vector (e.g. shared
+///   child-memory capacity).
+/// * `min_utilization` — candidates below this busy fraction are dropped
+///   unless nothing reaches it ("high throughput" constraint).
+/// * `maximal_only` — when `true`, prune any vector that can still grow in
+///   one dimension; when `false`, keep every feasible vector.
+pub fn enumerate_unrollings(
+    quota: &[u64],
+    allowed: DimSet,
+    units: u64,
+    fits: impl Fn(&[u64]) -> bool,
+    min_utilization: f64,
+    maximal_only: bool,
+) -> UnrollingOutcome {
+    let n = quota.len();
+    let divisors: Vec<Vec<u64>> = quota.iter().map(|&q| sorted_divisors(q)).collect();
+    let ones = vec![1u64; n];
+    if !fits(&ones) {
+        return UnrollingOutcome { unrollings: Vec::new(), explored: 1 };
+    }
+
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    let mut stack = vec![ones.clone()];
+    seen.insert(ones);
+    let mut explored = 0usize;
+    let mut frontier: Vec<Vec<u64>> = Vec::new();
+    while let Some(f) = stack.pop() {
+        explored += 1;
+        let used: u64 = f.iter().product();
+        let mut can_grow = false;
+        for d in allowed.iter() {
+            let i = d.index();
+            let Some(&next) =
+                divisors[i].iter().find(|&&x| x > f[i] && used / f[i] * x <= units)
+            else {
+                continue;
+            };
+            let mut child = f.clone();
+            child[i] = next;
+            if fits(&child) {
+                can_grow = true;
+                if seen.insert(child.clone()) {
+                    stack.push(child);
+                }
+            }
+        }
+        if !can_grow || !maximal_only {
+            frontier.push(f);
+        }
+    }
+
+    // High-throughput filter: keep candidates at or above the utilization
+    // floor; if none qualify, keep the best achieved.
+    let util = |f: &Vec<u64>| f.iter().product::<u64>() as f64 / units as f64;
+    let best = frontier.iter().map(&util).fold(0.0f64, f64::max);
+    let floor = if best >= min_utilization { min_utilization } else { best };
+    let unrollings: Vec<Vec<u64>> =
+        frontier.into_iter().filter(|f| util(f) >= floor).collect();
+    UnrollingOutcome { unrollings, explored }
+}
+
+/// Computes the dimensions the Unrolling Principle forbids: the
+/// non-indexing (full-reuse) dimensions of every tensor temporally reused
+/// by the upper-level ordering.
+pub fn principle_excluded_dims(
+    reused_full: impl IntoIterator<Item = DimSet>,
+) -> DimSet {
+    reused_full.into_iter().fold(DimSet::EMPTY, DimSet::union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_ir::DimId;
+
+    fn dims(ids: &[usize]) -> DimSet {
+        ids.iter().map(|&i| DimId::from_index(i)).collect()
+    }
+
+    #[test]
+    fn maximal_unrollings_fill_the_fabric() {
+        // Quotas K=8, C=4, P=8 on 16 units; all dims allowed.
+        let out = enumerate_unrollings(
+            &[8, 4, 8],
+            dims(&[0, 1, 2]),
+            16,
+            |_| true,
+            0.5,
+            true,
+        );
+        assert!(!out.unrollings.is_empty());
+        for f in &out.unrollings {
+            let used: u64 = f.iter().product();
+            assert_eq!(used, 16, "maximal candidates fully use the fabric: {f:?}");
+        }
+    }
+
+    #[test]
+    fn principle_excludes_reused_operands_dims() {
+        // Reused tensor has full-reuse dims {1, 3} → excluded.
+        let excluded = principle_excluded_dims([dims(&[1, 3])]);
+        assert_eq!(excluded, dims(&[1, 3]));
+        let allowed = dims(&[0, 1, 2, 3]).difference(excluded);
+        assert_eq!(allowed, dims(&[0, 2]));
+    }
+
+    #[test]
+    fn utilization_floor_drops_weak_candidates() {
+        // Quotas allow only 2×3 = 6 of 16 units via dim 0+1, or 8 via
+        // dim 2; with floor 0.5 only the 8 survives.
+        let out = enumerate_unrollings(
+            &[2, 3, 8],
+            dims(&[0, 1, 2]),
+            16,
+            |_| true,
+            0.5,
+            true,
+        );
+        for f in &out.unrollings {
+            assert!(f.iter().product::<u64>() as f64 / 16.0 >= 0.5, "{f:?}");
+        }
+        assert!(out.unrollings.iter().any(|f| f[2] == 8));
+    }
+
+    #[test]
+    fn keeps_best_when_nothing_meets_the_floor() {
+        let out = enumerate_unrollings(&[2, 1, 1], dims(&[0]), 16, |_| true, 0.5, true);
+        assert_eq!(out.unrollings, vec![vec![2, 1, 1]]);
+    }
+
+    #[test]
+    fn fits_predicate_limits_growth() {
+        // Shared child memory only tolerates a factor-2 unroll in dim 0.
+        let out =
+            enumerate_unrollings(&[8, 8], dims(&[0, 1]), 64, |f| f[0] <= 2, 0.0, true);
+        for f in &out.unrollings {
+            assert!(f[0] <= 2);
+        }
+        assert!(out.unrollings.iter().any(|f| f[0] == 2 && f[1] == 8));
+    }
+
+    #[test]
+    fn empty_allowed_set_yields_identity() {
+        let out = enumerate_unrollings(&[8, 8], DimSet::EMPTY, 64, |_| true, 0.5, true);
+        assert_eq!(out.unrollings, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn non_maximal_mode_keeps_partial_unrollings() {
+        let all = enumerate_unrollings(&[8], dims(&[0]), 8, |_| true, 0.0, false);
+        // 1, 2, 4, 8 all kept.
+        assert_eq!(all.unrollings.len(), 4);
+        let maximal = enumerate_unrollings(&[8], dims(&[0]), 8, |_| true, 0.0, true);
+        assert_eq!(maximal.unrollings, vec![vec![8]]);
+    }
+
+    #[test]
+    fn factors_divide_quota() {
+        let out = enumerate_unrollings(&[6, 10], dims(&[0, 1]), 15, |_| true, 0.0, true);
+        for f in &out.unrollings {
+            assert_eq!(6 % f[0], 0);
+            assert_eq!(10 % f[1], 0);
+            assert!(f.iter().product::<u64>() <= 15);
+        }
+    }
+}

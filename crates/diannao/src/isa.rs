@@ -1,0 +1,73 @@
+//! The DianNao-style instruction set.
+
+use serde::{Deserialize, Serialize};
+
+/// Width of one control instruction in bits; DianNao's CP instructions
+/// are wide VLIW-style words (the paper counts 256-bit instructions).
+pub const INSTRUCTION_BITS: u64 = 256;
+
+/// The three on-chip buffers of the DianNao datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufferId {
+    /// Input-neuron buffer.
+    NBin,
+    /// Output-neuron (partial sum) buffer.
+    NBout,
+    /// Synapse (weight) buffer.
+    Sb,
+}
+
+/// One control instruction.
+///
+/// Loads and stores move a *tile* between DRAM and a buffer in one burst
+/// (the compiler reorders data so each tile is contiguous). A compute
+/// instruction starts the NFU FSM over the currently resident tiles; no
+/// further instructions are needed while data stays on chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// DMA a tile from DRAM into a buffer.
+    Load {
+        /// Destination buffer.
+        buffer: BufferId,
+        /// Transfer size in words.
+        words: u64,
+    },
+    /// DMA a tile from a buffer back to DRAM.
+    Store {
+        /// Source buffer.
+        buffer: BufferId,
+        /// Transfer size in words.
+        words: u64,
+    },
+    /// Run the NFU over the resident tiles.
+    Compute {
+        /// MACs performed by this pass.
+        macs: u64,
+        /// Operand words read from NBin during the pass.
+        nbin_reads: u64,
+        /// Operand words read from SB during the pass.
+        sb_reads: u64,
+        /// Partial-sum read-modify-writes against NBout during the pass.
+        nbout_rmw: u64,
+    },
+}
+
+impl Instruction {
+    /// Returns `true` for off-chip transfer instructions.
+    pub fn is_transfer(self) -> bool {
+        matches!(self, Instruction::Load { .. } | Instruction::Store { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_classification() {
+        assert!(Instruction::Load { buffer: BufferId::NBin, words: 4 }.is_transfer());
+        assert!(Instruction::Store { buffer: BufferId::NBout, words: 4 }.is_transfer());
+        assert!(!Instruction::Compute { macs: 1, nbin_reads: 1, sb_reads: 1, nbout_rmw: 1 }
+            .is_transfer());
+    }
+}

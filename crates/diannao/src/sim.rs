@@ -1,0 +1,385 @@
+//! The event-level simulator and its energy accounting.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BufferId, Instruction, INSTRUCTION_BITS};
+
+/// Simulator faults.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A load or initialization exceeds the buffer's capacity.
+    BufferOverflow { buffer: BufferId, words: u64, capacity: u64 },
+    /// A compute pass ran against an empty buffer.
+    EmptyBuffer { buffer: BufferId },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BufferOverflow { buffer, words, capacity } => {
+                write!(f, "{buffer:?} overflow: {words} words into {capacity}")
+            }
+            SimError::EmptyBuffer { buffer } => write!(f, "compute with empty {buffer:?}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Per-access energies in pJ (16-bit words, 45 nm — the same table as the
+/// DianNao-like preset in `sunstone-arch`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTable {
+    /// One 16-bit MAC.
+    pub mac: f64,
+    /// One DRAM word access (data or instruction).
+    pub dram_word: f64,
+    /// One NBin word access.
+    pub nbin_word: f64,
+    /// One NBout word access.
+    pub nbout_word: f64,
+    /// One SB word access.
+    pub sb_word: f64,
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        EnergyTable { mac: 1.0, dram_word: 200.0, nbin_word: 0.4, nbout_word: 0.4, sb_word: 1.6 }
+    }
+}
+
+/// Event counts and the derived energy breakdown of one simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// MACs executed.
+    pub macs: u64,
+    /// Data words read from DRAM.
+    pub dram_reads: u64,
+    /// Data words written to DRAM.
+    pub dram_writes: u64,
+    /// Control instructions issued (each fetched from DRAM).
+    pub instructions: u64,
+    /// Words moved by the one-time data-reordering pass (read + write
+    /// each).
+    pub reorder_words: u64,
+    /// NBin accesses (fills + operand reads).
+    pub nbin_accesses: u64,
+    /// NBout accesses (initializations, psum RMWs, evictions).
+    pub nbout_accesses: u64,
+    /// SB accesses (fills + operand reads).
+    pub sb_accesses: u64,
+    /// Energy table used for the breakdown.
+    pub energy: EnergyTable,
+}
+
+impl SimReport {
+    /// Instruction words fetched from DRAM.
+    fn instr_words(&self) -> u64 {
+        self.instructions * (INSTRUCTION_BITS / 16)
+    }
+
+    /// Energy of the compute units, in pJ.
+    pub fn mac_energy_pj(&self) -> f64 {
+        self.macs as f64 * self.energy.mac
+    }
+
+    /// Energy of DRAM *data* traffic, in pJ.
+    pub fn dram_data_energy_pj(&self) -> f64 {
+        (self.dram_reads + self.dram_writes) as f64 * self.energy.dram_word
+    }
+
+    /// Energy of instruction fetches, in pJ (the first overhead of
+    /// Section V-D; instructions live in DRAM).
+    pub fn instr_energy_pj(&self) -> f64 {
+        self.instr_words() as f64 * self.energy.dram_word
+    }
+
+    /// Energy of the data-reordering pass, in pJ (the second overhead:
+    /// one DRAM read + write per word, once per layer).
+    pub fn reorder_energy_pj(&self) -> f64 {
+        (self.reorder_words * 2) as f64 * self.energy.dram_word
+    }
+
+    /// Energy of the NBin buffer, in pJ.
+    pub fn nbin_energy_pj(&self) -> f64 {
+        self.nbin_accesses as f64 * self.energy.nbin_word
+    }
+
+    /// Energy of the NBout buffer, in pJ.
+    pub fn nbout_energy_pj(&self) -> f64 {
+        self.nbout_accesses as f64 * self.energy.nbout_word
+    }
+
+    /// Energy of the SB (weight) buffer, in pJ.
+    pub fn sb_energy_pj(&self) -> f64 {
+        self.sb_accesses as f64 * self.energy.sb_word
+    }
+
+    /// Total energy, in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.mac_energy_pj()
+            + self.dram_data_energy_pj()
+            + self.instr_energy_pj()
+            + self.reorder_energy_pj()
+            + self.nbin_energy_pj()
+            + self.nbout_energy_pj()
+            + self.sb_energy_pj()
+    }
+
+    /// Execution time in cycles under double buffering: the maximum of
+    /// the NFU compute time (256 MACs/cycle) and the DRAM transfer time
+    /// (16 words/cycle for data and instruction fetches). On-chip buffer
+    /// bandwidth matches the NFU by construction.
+    pub fn delay_cycles(&self) -> f64 {
+        let compute = self.macs as f64 / 256.0;
+        let dram_words =
+            self.dram_reads + self.dram_writes + self.instr_words() + 2 * self.reorder_words;
+        let transfer = dram_words as f64 / 16.0;
+        compute.max(transfer)
+    }
+
+    /// Energy-delay product in pJ·cycles.
+    pub fn edp(&self) -> f64 {
+        self.total_energy_pj() * self.delay_cycles()
+    }
+
+    /// Fraction of total energy spent fetching instructions.
+    pub fn instr_overhead(&self) -> f64 {
+        self.instr_energy_pj() / self.total_energy_pj()
+    }
+
+    /// Fraction of total energy spent reordering data.
+    pub fn reorder_overhead(&self) -> f64 {
+        self.reorder_energy_pj() / self.total_energy_pj()
+    }
+}
+
+/// The DianNao event simulator. Execute instructions via
+/// [`Simulator::execute`] (usually driven by a compiled
+/// [`Program`](crate::Program)), then collect the [`SimReport`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    report: SimReport,
+    /// Current occupancy of each buffer, in words.
+    occupancy: [u64; 3],
+    /// Capacity of each buffer, in words (NBin, NBout, SB).
+    capacity: [u64; 3],
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with DianNao's buffer sizes: 2 KB NBin, 2 KB
+    /// NBout, 32 KB SB (16-bit words).
+    pub fn new() -> Self {
+        Simulator {
+            report: SimReport::default(),
+            occupancy: [0; 3],
+            capacity: [1 << 10, 1 << 10, 16 << 10],
+        }
+    }
+
+    /// Creates a simulator with custom buffer capacities (words).
+    pub fn with_capacities(nbin: u64, nbout: u64, sb: u64) -> Self {
+        Simulator { report: SimReport::default(), occupancy: [0; 3], capacity: [nbin, nbout, sb] }
+    }
+
+    fn idx(buffer: BufferId) -> usize {
+        match buffer {
+            BufferId::NBin => 0,
+            BufferId::NBout => 1,
+            BufferId::Sb => 2,
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BufferOverflow`] when a load does not fit and
+    /// [`SimError::EmptyBuffer`] when a compute pass reads an unfilled
+    /// buffer.
+    pub fn execute(&mut self, instr: Instruction) -> Result<(), SimError> {
+        match instr {
+            Instruction::Load { buffer, words } => {
+                self.report.instructions += 1;
+                let i = Self::idx(buffer);
+                if words > self.capacity[i] {
+                    return Err(SimError::BufferOverflow {
+                        buffer,
+                        words,
+                        capacity: self.capacity[i],
+                    });
+                }
+                self.occupancy[i] = words;
+                self.report.dram_reads += words;
+                self.account_buffer(buffer, words);
+                Ok(())
+            }
+            Instruction::Store { buffer, words } => {
+                self.report.instructions += 1;
+                self.report.dram_writes += words;
+                self.account_buffer(buffer, words);
+                Ok(())
+            }
+            Instruction::Compute { macs, nbin_reads, sb_reads, nbout_rmw } => {
+                self.report.instructions += 1;
+                for (buffer, reads) in [
+                    (BufferId::NBin, nbin_reads),
+                    (BufferId::Sb, sb_reads),
+                    (BufferId::NBout, nbout_rmw),
+                ] {
+                    if reads > 0 && self.occupancy[Self::idx(buffer)] == 0 {
+                        return Err(SimError::EmptyBuffer { buffer });
+                    }
+                }
+                self.report.macs += macs;
+                self.report.nbin_accesses += nbin_reads;
+                self.report.sb_accesses += sb_reads;
+                // Each RMW is one read and one write.
+                self.report.nbout_accesses += 2 * nbout_rmw;
+                Ok(())
+            }
+        }
+    }
+
+    /// Zero-initializes a fresh output tile in a buffer (no DRAM traffic,
+    /// one buffer write per word).
+    pub fn initialize(&mut self, buffer: BufferId, words: u64) -> Result<(), SimError> {
+        let i = Self::idx(buffer);
+        if words > self.capacity[i] {
+            return Err(SimError::BufferOverflow { buffer, words, capacity: self.capacity[i] });
+        }
+        self.occupancy[i] = words;
+        self.account_buffer(buffer, words);
+        Ok(())
+    }
+
+    /// Accounts the one-time DRAM data-reordering pass.
+    pub fn account_reorder(&mut self, words: u64) {
+        self.report.reorder_words += words;
+    }
+
+    /// Accounts the naive streaming execution: no instructions, no
+    /// buffers — only MACs and DRAM.
+    pub fn stream_naive(&mut self, macs: u64, dram_reads: u64, dram_writes: u64) {
+        self.report.macs += macs;
+        self.report.dram_reads += dram_reads;
+        self.report.dram_writes += dram_writes;
+    }
+
+    fn account_buffer(&mut self, buffer: BufferId, words: u64) {
+        match buffer {
+            BufferId::NBin => self.report.nbin_accesses += words,
+            BufferId::NBout => self.report.nbout_accesses += words,
+            BufferId::Sb => self.report.sb_accesses += words,
+        }
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_compute_store_round_trip() {
+        let mut sim = Simulator::new();
+        sim.execute(Instruction::Load { buffer: BufferId::NBin, words: 64 }).unwrap();
+        sim.execute(Instruction::Load { buffer: BufferId::Sb, words: 128 }).unwrap();
+        sim.initialize(BufferId::NBout, 16).unwrap();
+        sim.execute(Instruction::Compute { macs: 1024, nbin_reads: 64, sb_reads: 1024, nbout_rmw: 64 })
+            .unwrap();
+        sim.execute(Instruction::Store { buffer: BufferId::NBout, words: 16 }).unwrap();
+        let r = sim.report();
+        assert_eq!(r.macs, 1024);
+        assert_eq!(r.dram_reads, 192);
+        assert_eq!(r.dram_writes, 16);
+        assert_eq!(r.instructions, 4);
+        assert_eq!(r.nbout_accesses, 16 + 128 + 16);
+        assert!(r.total_energy_pj() > 0.0);
+    }
+
+    #[test]
+    fn buffer_overflow_is_detected() {
+        let mut sim = Simulator::with_capacities(8, 8, 8);
+        let err =
+            sim.execute(Instruction::Load { buffer: BufferId::NBin, words: 9 }).unwrap_err();
+        assert!(matches!(err, SimError::BufferOverflow { .. }));
+    }
+
+    #[test]
+    fn compute_on_empty_buffer_is_detected() {
+        let mut sim = Simulator::new();
+        let err = sim
+            .execute(Instruction::Compute { macs: 1, nbin_reads: 1, sb_reads: 0, nbout_rmw: 0 })
+            .unwrap_err();
+        assert_eq!(err, SimError::EmptyBuffer { buffer: BufferId::NBin });
+    }
+
+    #[test]
+    fn energy_breakdown_sums_to_total() {
+        let mut sim = Simulator::new();
+        sim.account_reorder(100);
+        sim.execute(Instruction::Load { buffer: BufferId::NBin, words: 64 }).unwrap();
+        sim.execute(Instruction::Load { buffer: BufferId::Sb, words: 64 }).unwrap();
+        sim.initialize(BufferId::NBout, 8).unwrap();
+        sim.execute(Instruction::Compute { macs: 64, nbin_reads: 64, sb_reads: 64, nbout_rmw: 8 })
+            .unwrap();
+        let r = sim.report();
+        let parts = r.mac_energy_pj()
+            + r.dram_data_energy_pj()
+            + r.instr_energy_pj()
+            + r.reorder_energy_pj()
+            + r.nbin_energy_pj()
+            + r.nbout_energy_pj()
+            + r.sb_energy_pj();
+        assert!((parts - r.total_energy_pj()).abs() < 1e-9);
+        assert!(r.instr_overhead() > 0.0 && r.instr_overhead() < 1.0);
+        assert!(r.reorder_overhead() > 0.0 && r.reorder_overhead() < 1.0);
+    }
+
+    #[test]
+    fn delay_is_the_max_of_compute_and_transfer() {
+        let mut sim = Simulator::new();
+        // Compute-bound: many MACs, little traffic.
+        sim.execute(Instruction::Load { buffer: BufferId::NBin, words: 16 }).unwrap();
+        sim.execute(Instruction::Load { buffer: BufferId::Sb, words: 16 }).unwrap();
+        sim.initialize(BufferId::NBout, 16).unwrap();
+        sim.execute(Instruction::Compute {
+            macs: 1_000_000,
+            nbin_reads: 16,
+            sb_reads: 16,
+            nbout_rmw: 16,
+        })
+        .unwrap();
+        let r = sim.report();
+        assert_eq!(r.delay_cycles(), 1_000_000.0 / 256.0);
+        assert!(r.edp() > r.total_energy_pj());
+
+        // Transfer-bound: pure streaming.
+        let mut sim2 = Simulator::new();
+        sim2.stream_naive(256, 1_000_000, 0);
+        assert_eq!(sim2.report().delay_cycles(), 1_000_000.0 / 16.0);
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let e1 = SimError::BufferOverflow { buffer: BufferId::NBin, words: 9, capacity: 8 };
+        let e2 = SimError::EmptyBuffer { buffer: BufferId::Sb };
+        assert!(!e1.to_string().is_empty());
+        assert!(!e2.to_string().is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Affine index expressions.
+
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DimId, DimSet};
+
+/// One term of an [`IndexExpr`]: `stride * dim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Term {
+    /// The dimension this term iterates over.
+    pub dim: DimId,
+    /// The multiplicative stride applied to the dimension's index.
+    pub stride: u64,
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.stride == 1 {
+            write!(f, "d{}", self.dim.index())
+        } else {
+            write!(f, "{}*d{}", self.stride, self.dim.index())
+        }
+    }
+}
+
+/// An affine index expression over problem dimensions, e.g. `p + r` for a
+/// sliding-window (convolution) access or `2*p + r` for a stride-2
+/// convolution.
+///
+/// Each tensor coordinate is described by one `IndexExpr`; an expression
+/// with more than one term creates *partial reuse* between its dimensions
+/// (Section IV of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use sunstone_ir::{DimId, IndexExpr};
+///
+/// let p = DimId::from_index(0);
+/// let r = DimId::from_index(1);
+/// let window: IndexExpr = p + r;
+/// assert!(window.is_compound());
+/// // A tile of 5 positions in P and 3 in R touches 5 + 3 - 1 = 7 inputs.
+/// assert_eq!(window.extent(|_| 0, |d| if d == p { 5 } else { 3 }), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndexExpr {
+    terms: Vec<Term>,
+}
+
+impl IndexExpr {
+    /// Creates a single-term expression `stride * dim`.
+    pub fn term(dim: DimId, stride: u64) -> Self {
+        IndexExpr { terms: vec![Term { dim, stride }] }
+    }
+
+    /// The terms of the expression, in the order they were added.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Returns `true` if the expression sums two or more dimensions
+    /// (a sliding-window access).
+    pub fn is_compound(&self) -> bool {
+        self.terms.len() > 1
+    }
+
+    /// The set of dimensions appearing in the expression.
+    pub fn dims(&self) -> DimSet {
+        self.terms.iter().map(|t| t.dim).collect()
+    }
+
+    /// Number of distinct values the expression takes over a tile.
+    ///
+    /// For a tile where dimension `d` spans `tile(d)` consecutive indices
+    /// starting anywhere, the expression `Σ sᵢ·dᵢ` covers
+    /// `Σ sᵢ·(tile(dᵢ) − 1) + 1` values. This is the classic
+    /// `(P + R − 1)`-style halo arithmetic used throughout the paper's
+    /// access-count equations (Eqs. 1–7). `unused` is accepted for symmetry
+    /// with future layouts and is currently ignored.
+    ///
+    /// A `tile` extent of zero is treated as an empty tile and yields 0.
+    pub fn extent(&self, _unused: impl Fn(DimId) -> u64, tile: impl Fn(DimId) -> u64) -> u64 {
+        let mut total: u64 = 1;
+        for t in &self.terms {
+            let e = tile(t.dim);
+            if e == 0 {
+                return 0;
+            }
+            total += t.stride * (e - 1);
+        }
+        total
+    }
+
+    /// Like [`extent`](Self::extent) but taking tile sizes from a slice
+    /// indexed by [`DimId::index`].
+    pub fn extent_of(&self, tile: &[u64]) -> u64 {
+        self.extent(|_| 0, |d| tile[d.index()])
+    }
+}
+
+impl From<DimId> for IndexExpr {
+    fn from(d: DimId) -> Self {
+        IndexExpr::term(d, 1)
+    }
+}
+
+impl Add for DimId {
+    type Output = IndexExpr;
+
+    fn add(self, rhs: DimId) -> IndexExpr {
+        IndexExpr::from(self) + rhs
+    }
+}
+
+impl Add<DimId> for IndexExpr {
+    type Output = IndexExpr;
+
+    fn add(mut self, rhs: DimId) -> IndexExpr {
+        self.terms.push(Term { dim: rhs, stride: 1 });
+        self
+    }
+}
+
+impl Add for IndexExpr {
+    type Output = IndexExpr;
+
+    fn add(mut self, rhs: IndexExpr) -> IndexExpr {
+        self.terms.extend(rhs.terms);
+        self
+    }
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: usize) -> DimId {
+        DimId::from_index(i)
+    }
+
+    #[test]
+    fn single_term_extent_equals_tile() {
+        let e = IndexExpr::from(d(0));
+        assert_eq!(e.extent_of(&[13]), 13);
+        assert!(!e.is_compound());
+    }
+
+    #[test]
+    fn sliding_window_extent_is_halo_sum() {
+        // p + r over tile P=5, R=3 → 5 + 3 - 1 = 7 (Fig 2 of the paper).
+        let e = d(0) + d(1);
+        assert_eq!(e.extent_of(&[5, 3]), 7);
+        assert!(e.is_compound());
+    }
+
+    #[test]
+    fn strided_window_scales_the_sliding_dim() {
+        // 2*p + r, P tile = 4, R tile = 3 → 2*3 + 2 + 1 = 9 values.
+        let e = d(0).strided(2) + d(1);
+        assert_eq!(e.extent_of(&[4, 3]), 2 * 3 + (3 - 1) + 1);
+    }
+
+    #[test]
+    fn zero_tile_gives_zero_extent() {
+        let e = d(0) + d(1);
+        assert_eq!(e.extent_of(&[0, 3]), 0);
+    }
+
+    #[test]
+    fn dims_collects_all_terms() {
+        let e = d(0) + d(2);
+        let set = e.dims();
+        assert!(set.contains(d(0)) && set.contains(d(2)) && !set.contains(d(1)));
+    }
+
+    #[test]
+    fn unit_tile_extent_is_one() {
+        let e = d(0) + d(1);
+        assert_eq!(e.extent_of(&[1, 1]), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = d(0).strided(2) + d(1);
+        assert_eq!(e.to_string(), "2*d0+d1");
+    }
+}

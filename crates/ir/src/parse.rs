@@ -1,0 +1,337 @@
+//! A textual einsum-like front end for workload descriptions.
+//!
+//! The paper's Section IV shows Sunstone's input as a declarative tensor
+//! description; this module provides the equivalent text form:
+//!
+//! ```text
+//! ofmap[k, p] = ifmap[c, p + r] * weight[k, c, r]
+//! ```
+//!
+//! * the left-hand side is the output tensor,
+//! * each factor on the right is an input tensor,
+//! * coordinates are affine sums of dimension names with optional integer
+//!   strides (`2p + r` or `2*p + r`),
+//! * dimension bounds are supplied separately (names are
+//!   case-insensitive, single identifiers).
+//!
+//! # Examples
+//!
+//! ```
+//! use sunstone_ir::parse_einsum;
+//!
+//! let conv = parse_einsum(
+//!     "ofmap[k, p] = ifmap[c, 2p + r] * weight[k, c, r]",
+//!     &[("k", 16), ("c", 16), ("p", 28), ("r", 3)],
+//! )?;
+//! assert_eq!(conv.num_tensors(), 3);
+//! assert_eq!(conv.total_ops(), 16 * 16 * 28 * 3);
+//! # Ok::<(), sunstone_ir::ParseError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{DimId, IndexExpr, Workload, WorkloadError};
+
+/// Errors from [`parse_einsum`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The statement has no (or more than one) `=`.
+    MalformedStatement,
+    /// A tensor term is not of the form `name[coords]`.
+    MalformedTensor(String),
+    /// A coordinate expression could not be parsed.
+    MalformedIndex(String),
+    /// An index variable has no declared bound.
+    UnknownDim(String),
+    /// A declared bound is unused — usually a typo.
+    UnusedDim(String),
+    /// The assembled workload failed validation.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MalformedStatement => {
+                write!(f, "expected exactly one `=` in the einsum statement")
+            }
+            ParseError::MalformedTensor(t) => write!(f, "malformed tensor term `{t}`"),
+            ParseError::MalformedIndex(i) => write!(f, "malformed index expression `{i}`"),
+            ParseError::UnknownDim(d) => write!(f, "no bound declared for dimension `{d}`"),
+            ParseError::UnusedDim(d) => write!(f, "declared dimension `{d}` is unused"),
+            ParseError::Workload(e) => write!(f, "invalid workload: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for ParseError {
+    fn from(e: WorkloadError) -> Self {
+        ParseError::Workload(e)
+    }
+}
+
+/// Parses an einsum-like statement into a [`Workload`]; see the
+/// [module documentation](self) for the grammar.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntactic or semantic
+/// problem.
+pub fn parse_einsum(statement: &str, bounds: &[(&str, u64)]) -> Result<Workload, ParseError> {
+    let mut sides = statement.split('=');
+    let (Some(lhs), Some(rhs), None) = (sides.next(), sides.next(), sides.next()) else {
+        return Err(ParseError::MalformedStatement);
+    };
+
+    let mut builder = Workload::builder(lhs.split('[').next().unwrap_or("einsum").trim());
+    let mut dims: Vec<(String, DimId)> = Vec::new();
+    for (name, size) in bounds {
+        let id = builder.dim(name.to_ascii_uppercase(), *size);
+        dims.push((name.to_ascii_lowercase(), id));
+    }
+    let lookup = |name: &str| -> Result<DimId, ParseError> {
+        dims.iter()
+            .find(|(n, _)| n == &name.to_ascii_lowercase())
+            .map(|(_, id)| *id)
+            .ok_or_else(|| ParseError::UnknownDim(name.to_string()))
+    };
+
+    let mut used = vec![false; dims.len()];
+    {
+        let mut parse_tensor = |term: &str, output: bool| -> Result<(), ParseError> {
+            let term = term.trim();
+            let (name, rest) = term
+                .split_once('[')
+                .ok_or_else(|| ParseError::MalformedTensor(term.to_string()))?;
+            let coords = rest
+                .strip_suffix(']')
+                .ok_or_else(|| ParseError::MalformedTensor(term.to_string()))?;
+            let mut exprs: Vec<IndexExpr> = Vec::new();
+            for coord in coords.split(',') {
+                let expr = parse_index(coord, &lookup)?;
+                for t in expr.terms() {
+                    used[t.dim.index()] = true;
+                }
+                exprs.push(expr);
+            }
+            let name = name.trim();
+            if output {
+                builder.output(name, exprs);
+            } else {
+                builder.input(name, exprs);
+            }
+            Ok(())
+        };
+
+        parse_tensor(lhs, true)?;
+        // `*` separates tensors only at bracket depth 0 — inside brackets
+        // it is a stride (`2*p + r`).
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        let mut terms: Vec<&str> = Vec::new();
+        for (i, ch) in rhs.char_indices() {
+            match ch {
+                '[' => depth += 1,
+                ']' => depth = depth.saturating_sub(1),
+                '*' if depth == 0 => {
+                    terms.push(&rhs[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        terms.push(&rhs[start..]);
+        for term in terms {
+            if term.trim().is_empty() {
+                return Err(ParseError::MalformedStatement);
+            }
+            parse_tensor(term, false)?;
+        }
+    }
+    for (i, (name, _)) in dims.iter().enumerate() {
+        if !used[i] {
+            return Err(ParseError::UnusedDim(name.clone()));
+        }
+    }
+    Ok(builder.build()?)
+}
+
+/// Parses one coordinate: a `+`-separated sum of `Nd` / `N*d` / `d`
+/// terms.
+fn parse_index(
+    coord: &str,
+    lookup: &impl Fn(&str) -> Result<DimId, ParseError>,
+) -> Result<IndexExpr, ParseError> {
+    let mut expr: Option<IndexExpr> = None;
+    for raw in coord.split('+') {
+        let term = raw.trim().replace('*', "");
+        if term.is_empty() {
+            return Err(ParseError::MalformedIndex(coord.to_string()));
+        }
+        let digits: String = term.chars().take_while(char::is_ascii_digit).collect();
+        let name = term[digits.len()..].trim();
+        if name.is_empty() {
+            return Err(ParseError::MalformedIndex(coord.to_string()));
+        }
+        let stride: u64 = if digits.is_empty() {
+            1
+        } else {
+            digits.parse().map_err(|_| ParseError::MalformedIndex(coord.to_string()))?
+        };
+        let dim = lookup(name)?;
+        let term_expr = dim.strided(stride);
+        expr = Some(match expr {
+            None => term_expr,
+            Some(e) => e + term_expr,
+        });
+    }
+    expr.ok_or_else(|| ParseError::MalformedIndex(coord.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        // Section IV: operand1 = [C, (P, R)], operand2 = [K, C, R],
+        // output = [K, P], with dims {K:4, C:4, P:7, R:3}.
+        let w = parse_einsum(
+            "output[k, p] = operand1[c, p + r] * operand2[k, c, r]",
+            &[("K", 4), ("C", 4), ("P", 7), ("R", 3)],
+        )
+        .unwrap();
+        assert_eq!(w.num_dims(), 4);
+        assert_eq!(w.num_tensors(), 3);
+        let info = w.reuse_info();
+        let op1 = w.tensor_by_name("operand1").unwrap();
+        let p = w.dim_by_name("P").unwrap();
+        let r = w.dim_by_name("R").unwrap();
+        assert_eq!(info.of(op1).partial_reuse, w.dim_set(&[p, r]));
+    }
+
+    #[test]
+    fn parses_mttkrp() {
+        let w = parse_einsum(
+            "out[i, j] = A[i, k, l] * B[k, j] * C[l, j]",
+            &[("i", 16), ("j", 32), ("k", 16), ("l", 16)],
+        )
+        .unwrap();
+        assert_eq!(w.num_tensors(), 4);
+        let k = w.dim_by_name("K").unwrap();
+        let l = w.dim_by_name("L").unwrap();
+        assert_eq!(w.reduction_dims(), w.dim_set(&[k, l]));
+    }
+
+    #[test]
+    fn parses_strides_in_both_notations() {
+        for stmt in
+            ["o[p] = i[2p + r] * w[r]", "o[p] = i[2*p + r] * w[r]", "o[p]=i[2 * p+r]*w[r]"]
+        {
+            let w = parse_einsum(stmt, &[("p", 8), ("r", 3)]).unwrap();
+            let i = w.tensor(w.tensor_by_name("i").unwrap());
+            assert_eq!(i.indices()[0].terms()[0].stride, 2, "{stmt}");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_equals() {
+        assert_eq!(
+            parse_einsum("o[p] i[p]", &[("p", 4)]).unwrap_err(),
+            ParseError::MalformedStatement
+        );
+        assert_eq!(
+            parse_einsum("a[p] = b[p] = c[p]", &[("p", 4)]).unwrap_err(),
+            ParseError::MalformedStatement
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_unused_dims() {
+        assert_eq!(
+            parse_einsum("o[p] = i[q]", &[("p", 4)]).unwrap_err(),
+            ParseError::UnknownDim("q".to_string())
+        );
+        assert_eq!(
+            parse_einsum("o[p] = i[p]", &[("p", 4), ("z", 9)]).unwrap_err(),
+            ParseError::UnusedDim("z".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_tensors_and_indices() {
+        assert!(matches!(
+            parse_einsum("o[p] = ip]", &[("p", 4)]).unwrap_err(),
+            ParseError::MalformedTensor(_)
+        ));
+        assert!(matches!(
+            parse_einsum("o[p] = i[p +]", &[("p", 4)]).unwrap_err(),
+            ParseError::MalformedIndex(_)
+        ));
+        assert!(matches!(
+            parse_einsum("o[p] = i[3]", &[("p", 4)]).unwrap_err(),
+            ParseError::MalformedIndex(_)
+        ));
+    }
+
+    #[test]
+    fn propagates_workload_validation() {
+        // Same dim twice in one tensor.
+        assert!(matches!(
+            parse_einsum("o[p, p] = i[p]", &[("p", 4)]).unwrap_err(),
+            ParseError::Workload(WorkloadError::RepeatedDimInTensor(_))
+        ));
+    }
+
+    #[test]
+    fn parsed_workloads_schedule_like_built_ones() {
+        let parsed = parse_einsum(
+            "ofmap[k, p] = ifmap[c, p + r] * weight[k, c, r]",
+            &[("k", 16), ("c", 16), ("p", 56), ("r", 3)],
+        )
+        .unwrap();
+        let mut b = Workload::builder("ofmap");
+        let k = b.dim("K", 16);
+        let c = b.dim("C", 16);
+        let p = b.dim("P", 56);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        let built = b.build().unwrap();
+        // Tensor declaration order differs (the output is parsed first),
+        // so compare reuse per tensor name.
+        let pi = parsed.reuse_info();
+        let bi = built.reuse_info();
+        for name in ["ifmap", "weight", "ofmap"] {
+            let pt = parsed.tensor_by_name(name).unwrap();
+            let bt = built.tensor_by_name(name).unwrap();
+            assert_eq!(pi.of(pt), bi.of(bt), "{name}");
+        }
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            ParseError::MalformedStatement,
+            ParseError::MalformedTensor("t".into()),
+            ParseError::MalformedIndex("i".into()),
+            ParseError::UnknownDim("d".into()),
+            ParseError::UnusedDim("d".into()),
+            ParseError::Workload(WorkloadError::MissingOutput),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Automatic reuse inference (Section IV, Table III of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DimSet, TensorId, Workload};
+
+/// The inferred reuse behaviour of one tensor.
+///
+/// For the paper's 1-D convolution this reproduces Table III:
+///
+/// | tensor | indexed by | reused by | partially reused by |
+/// |--------|------------|-----------|---------------------|
+/// | ofmap  | k, p       | c, r      |                     |
+/// | ifmap  | c, p, r    | k         | r, p                |
+/// | weight | c, k, r    | p         |                     |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorReuse {
+    /// Dimensions appearing in the tensor's index expressions.
+    pub indexing: DimSet,
+    /// Non-indexing dimensions: iterating over any of these leaves the
+    /// tensor untouched, so the tensor can be *fully reused* across them
+    /// (Ordering Principle 1).
+    pub full_reuse: DimSet,
+    /// Dimensions participating in a compound (sliding-window) index
+    /// expression: consecutive iterations overlap, so a *subset* of the
+    /// tensor's data is reused across them.
+    pub partial_reuse: DimSet,
+}
+
+impl TensorReuse {
+    /// All dimensions that provide some reuse (full or partial) for this
+    /// tensor.
+    pub fn any_reuse(&self) -> DimSet {
+        self.full_reuse.union(self.partial_reuse)
+    }
+}
+
+/// The per-tensor reuse table of a workload, computed by
+/// [`Workload::reuse_info`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseInfo {
+    per_tensor: Vec<TensorReuse>,
+    all_dims: DimSet,
+}
+
+impl ReuseInfo {
+    pub(crate) fn analyze(w: &Workload) -> Self {
+        let all_dims = DimSet::first_n(w.num_dims());
+        let per_tensor = w
+            .tensors()
+            .iter()
+            .map(|t| {
+                let indexing = t.indexing_dims();
+                let partial_reuse = t
+                    .indices()
+                    .iter()
+                    .filter(|e| e.is_compound())
+                    .fold(DimSet::EMPTY, |s, e| s.union(e.dims()));
+                TensorReuse { indexing, full_reuse: all_dims.difference(indexing), partial_reuse }
+            })
+            .collect();
+        ReuseInfo { per_tensor, all_dims }
+    }
+
+    /// The reuse entry for one tensor.
+    pub fn of(&self, t: TensorId) -> &TensorReuse {
+        &self.per_tensor[t.index()]
+    }
+
+    /// Iterates over `(TensorId, &TensorReuse)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TensorId, &TensorReuse)> {
+        self.per_tensor.iter().enumerate().map(|(i, r)| (TensorId::from_index(i), r))
+    }
+
+    /// The set of all problem dimensions.
+    pub fn all_dims(&self) -> DimSet {
+        self.all_dims
+    }
+
+    /// The *reuse dimensions* of the workload: dimensions that provide full
+    /// reuse for at least one tensor.
+    ///
+    /// This is the paper's key space-reduction lever (Table I: "only the
+    /// reuse dimensions"): at any single level, only these dimensions can
+    /// change inter-tile reuse, so orderings/tilings need only consider
+    /// them. For 2-D convolution this yields 4 of the 7 dimensions.
+    pub fn reuse_dims(&self) -> DimSet {
+        self.per_tensor.iter().fold(DimSet::EMPTY, |s, r| s.union(r.full_reuse))
+    }
+
+    /// Tensors fully reused when iterating over dimension sets whose union
+    /// is `dims`: all tensors for which every member of `dims` is
+    /// non-indexing.
+    pub fn tensors_fully_reused_by(&self, dims: DimSet) -> Vec<TensorId> {
+        self.iter().filter(|(_, r)| dims.is_subset(r.full_reuse)).map(|(t, _)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    /// The paper's running example (Section II-D / Table III).
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 7);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn table_iii_ofmap_row() {
+        let w = conv1d();
+        let info = w.reuse_info();
+        let (k, c) = (w.dim_by_name("K").unwrap(), w.dim_by_name("C").unwrap());
+        let (p, r) = (w.dim_by_name("P").unwrap(), w.dim_by_name("R").unwrap());
+        let of = info.of(w.tensor_by_name("ofmap").unwrap());
+        assert_eq!(of.indexing, w.dim_set(&[k, p]));
+        assert_eq!(of.full_reuse, w.dim_set(&[c, r]));
+        assert_eq!(of.partial_reuse, DimSet::EMPTY);
+    }
+
+    #[test]
+    fn table_iii_ifmap_row() {
+        let w = conv1d();
+        let info = w.reuse_info();
+        let (k, c) = (w.dim_by_name("K").unwrap(), w.dim_by_name("C").unwrap());
+        let (p, r) = (w.dim_by_name("P").unwrap(), w.dim_by_name("R").unwrap());
+        let ifm = info.of(w.tensor_by_name("ifmap").unwrap());
+        assert_eq!(ifm.indexing, w.dim_set(&[c, p, r]));
+        assert_eq!(ifm.full_reuse, w.dim_set(&[k]));
+        assert_eq!(ifm.partial_reuse, w.dim_set(&[p, r]), "sliding window over p and r");
+        assert_eq!(ifm.any_reuse(), w.dim_set(&[k, p, r]));
+    }
+
+    #[test]
+    fn table_iii_weight_row() {
+        let w = conv1d();
+        let info = w.reuse_info();
+        let (k, c) = (w.dim_by_name("K").unwrap(), w.dim_by_name("C").unwrap());
+        let (p, r) = (w.dim_by_name("P").unwrap(), w.dim_by_name("R").unwrap());
+        let wt = info.of(w.tensor_by_name("weight").unwrap());
+        assert_eq!(wt.indexing, w.dim_set(&[k, c, r]));
+        assert_eq!(wt.full_reuse, w.dim_set(&[p]));
+        assert_eq!(wt.partial_reuse, DimSet::EMPTY);
+    }
+
+    #[test]
+    fn conv1d_reuse_dims_are_all_four() {
+        // Every dimension of 1-D conv provides full reuse for some tensor.
+        let w = conv1d();
+        let info = w.reuse_info();
+        assert_eq!(info.reuse_dims(), info.all_dims());
+    }
+
+    #[test]
+    fn conv2d_has_four_reuse_dims_of_seven() {
+        // Table I: for convolution only 4 of the 7 dimensions are reuse
+        // dimensions (N, K, C, plus one of the spatial/window dims... in
+        // fact: ofmap reused by {C,R,S}, ifmap by {K}, weight by {N,P,Q}).
+        let mut b = Workload::builder("conv2d");
+        let n = b.dim("N", 16);
+        let k = b.dim("K", 64);
+        let c = b.dim("C", 64);
+        let p = b.dim("P", 56);
+        let q = b.dim("Q", 56);
+        let r = b.dim("R", 3);
+        let s = b.dim("S", 3);
+        b.input("ifmap", [n.expr(), c.expr(), p + r, q + s]);
+        b.input("weight", [k.expr(), c.expr(), r.expr(), s.expr()]);
+        b.output("ofmap", [n.expr(), k.expr(), p.expr(), q.expr()]);
+        let w = b.build().unwrap();
+        let info = w.reuse_info();
+        // ofmap: full reuse by C,R,S; ifmap: by K; weight: by N,P,Q.
+        assert_eq!(info.of(w.tensor_by_name("ofmap").unwrap()).full_reuse, w.dim_set(&[c, r, s]));
+        assert_eq!(info.of(w.tensor_by_name("ifmap").unwrap()).full_reuse, w.dim_set(&[k]));
+        assert_eq!(
+            info.of(w.tensor_by_name("weight").unwrap()).full_reuse,
+            w.dim_set(&[n, p, q])
+        );
+        assert_eq!(info.reuse_dims().len(), 7, "every conv dim reuses something");
+    }
+
+    #[test]
+    fn matmul_reuse() {
+        // out[m,n] = Σ_k a[m,k] b[k,n]
+        let mut b = Workload::builder("matmul");
+        let m = b.dim("M", 8);
+        let n = b.dim("N", 8);
+        let k = b.dim("K", 8);
+        b.input("a", [m.expr(), k.expr()]);
+        b.input("b", [k.expr(), n.expr()]);
+        b.output("out", [m.expr(), n.expr()]);
+        let w = b.build().unwrap();
+        let info = w.reuse_info();
+        assert_eq!(info.of(w.tensor_by_name("a").unwrap()).full_reuse, w.dim_set(&[n]));
+        assert_eq!(info.of(w.tensor_by_name("b").unwrap()).full_reuse, w.dim_set(&[m]));
+        assert_eq!(info.of(w.tensor_by_name("out").unwrap()).full_reuse, w.dim_set(&[k]));
+        assert!(info.of(w.tensor_by_name("a").unwrap()).partial_reuse.is_empty());
+    }
+
+    #[test]
+    fn tensors_fully_reused_by_respects_subset_semantics() {
+        let w = conv1d();
+        let info = w.reuse_info();
+        let c = w.dim_by_name("C").unwrap();
+        let r = w.dim_by_name("R").unwrap();
+        let k = w.dim_by_name("K").unwrap();
+        let of = w.tensor_by_name("ofmap").unwrap();
+        let ifm = w.tensor_by_name("ifmap").unwrap();
+        // {C,R} fully reuses only ofmap.
+        assert_eq!(info.tensors_fully_reused_by(w.dim_set(&[c, r])), vec![of]);
+        // {K} fully reuses only ifmap.
+        assert_eq!(info.tensors_fully_reused_by(w.dim_set(&[k])), vec![ifm]);
+        // Empty set trivially reuses everything.
+        assert_eq!(info.tensors_fully_reused_by(DimSet::EMPTY).len(), 3);
+    }
+
+    #[test]
+    fn mttkrp_reuse() {
+        // out[i,j] = Σ_{k,l} A[i,k,l] B[k,j] C[l,j] (Table II).
+        let mut b = Workload::builder("mttkrp");
+        let i = b.dim("I", 16);
+        let j = b.dim("J", 32);
+        let k = b.dim("K", 16);
+        let l = b.dim("L", 16);
+        b.input("A", [i.expr(), k.expr(), l.expr()]);
+        b.input("B", [k.expr(), j.expr()]);
+        b.input("C", [l.expr(), j.expr()]);
+        b.output("out", [i.expr(), j.expr()]);
+        let w = b.build().unwrap();
+        let info = w.reuse_info();
+        assert_eq!(info.of(w.tensor_by_name("A").unwrap()).full_reuse, w.dim_set(&[j]));
+        assert_eq!(info.of(w.tensor_by_name("B").unwrap()).full_reuse, w.dim_set(&[i, l]));
+        assert_eq!(info.of(w.tensor_by_name("C").unwrap()).full_reuse, w.dim_set(&[i, k]));
+        assert_eq!(info.of(w.tensor_by_name("out").unwrap()).full_reuse, w.dim_set(&[k, l]));
+        assert_eq!(w.reduction_dims(), w.dim_set(&[k, l]));
+    }
+}

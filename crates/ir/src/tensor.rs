@@ -1,0 +1,166 @@
+//! Tensor descriptions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DimSet, IndexExpr};
+
+/// Identifier of a tensor within one [`Workload`](crate::Workload).
+///
+/// Dense index into the workload's tensor list, in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TensorId(pub(crate) u8);
+
+impl TensorId {
+    /// Creates a `TensorId` from a raw index (mostly useful in tests).
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < 256, "tensor index {index} out of range");
+        TensorId(index as u8)
+    }
+
+    /// Returns the dense index of this tensor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether a tensor is a read-only operand or the (accumulated) result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorKind {
+    /// A read-only input operand.
+    Input,
+    /// The output tensor, accumulated over the workload's reduction
+    /// dimensions. Exactly one per workload.
+    Output,
+}
+
+/// A tensor participating in the computation, described by one affine
+/// [`IndexExpr`] per coordinate.
+///
+/// For the paper's 1-D convolution, `ifmap` is `[c, p + r]`: a 2-D tensor
+/// whose first coordinate is the input channel and whose second coordinate
+/// slides over the feature map.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorDesc {
+    name: String,
+    kind: TensorKind,
+    indices: Vec<IndexExpr>,
+    /// Bits per element, used by the cost model for word-size scaling.
+    bits: u32,
+}
+
+impl TensorDesc {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        kind: TensorKind,
+        indices: Vec<IndexExpr>,
+        bits: u32,
+    ) -> Self {
+        TensorDesc { name: name.into(), kind, indices, bits }
+    }
+
+    /// The tensor's name, e.g. `"ifmap"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this tensor is an input or the output.
+    pub fn kind(&self) -> TensorKind {
+        self.kind
+    }
+
+    /// Returns `true` if this is the output tensor.
+    pub fn is_output(&self) -> bool {
+        self.kind == TensorKind::Output
+    }
+
+    /// The index expression of each coordinate.
+    pub fn indices(&self) -> &[IndexExpr] {
+        &self.indices
+    }
+
+    /// Number of coordinates (the tensor's order/rank).
+    pub fn rank(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Bits per element.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The set of dimensions that appear in any coordinate — the tensor's
+    /// *indexing dimensions* (Table III).
+    pub fn indexing_dims(&self) -> DimSet {
+        self.indices.iter().fold(DimSet::EMPTY, |s, e| s.union(e.dims()))
+    }
+
+    /// The number of elements of this tensor touched by a tile whose
+    /// per-dimension sizes are given by `tile` (indexed by
+    /// [`DimId::index`](crate::DimId::index)).
+    ///
+    /// This is the product over coordinates of
+    /// [`IndexExpr::extent_of`], i.e. exactly the footprint terms of the
+    /// paper's Equations 1–3 (e.g. `(P_L1 + R − 1) × C_L1` for `ifmap`).
+    pub fn footprint(&self, tile: &[u64]) -> u64 {
+        self.indices.iter().map(|e| e.extent_of(tile)).product()
+    }
+}
+
+impl fmt::Display for TensorDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.name)?;
+        for (i, e) in self.indices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DimId;
+
+    fn d(i: usize) -> DimId {
+        DimId::from_index(i)
+    }
+
+    fn ifmap() -> TensorDesc {
+        // ifmap[c, p + r] with dims: 0=K, 1=C, 2=P, 3=R
+        TensorDesc::new("ifmap", TensorKind::Input, vec![d(1).expr(), d(2) + d(3)], 16)
+    }
+
+    #[test]
+    fn indexing_dims_union_all_coordinates() {
+        let t = ifmap();
+        let idx = t.indexing_dims();
+        assert!(idx.contains(d(1)) && idx.contains(d(2)) && idx.contains(d(3)));
+        assert!(!idx.contains(d(0)), "K does not index ifmap");
+    }
+
+    #[test]
+    fn footprint_matches_paper_equation() {
+        let t = ifmap();
+        // tile: K=2, C=4, P=5, R=3 → footprint = C * (P + R - 1) = 4 * 7.
+        assert_eq!(t.footprint(&[2, 4, 5, 3]), 4 * 7);
+    }
+
+    #[test]
+    fn rank_and_kind_accessors() {
+        let t = ifmap();
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.kind(), TensorKind::Input);
+        assert!(!t.is_output());
+        assert_eq!(t.bits(), 16);
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        assert_eq!(ifmap().to_string(), "ifmap[d1, d2+d3]");
+    }
+}

@@ -1,0 +1,457 @@
+//! Workloads: validated collections of dimensions and tensors.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dim, DimId, DimSet, IndexExpr, ReuseInfo, TensorDesc, TensorId, TensorKind};
+
+/// Errors produced while building a [`Workload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// Two dimensions share the same name.
+    DuplicateDim(String),
+    /// A dimension was declared with size zero.
+    ZeroSizedDim(String),
+    /// More than [`DimId::MAX_DIMS`] dimensions were declared.
+    TooManyDims,
+    /// Two tensors share the same name.
+    DuplicateTensor(String),
+    /// A tensor index expression has a zero stride.
+    ZeroStride(String),
+    /// A dimension appears in more than one coordinate of the same tensor.
+    RepeatedDimInTensor(String),
+    /// The workload declares no output tensor.
+    MissingOutput,
+    /// The workload declares more than one output tensor.
+    MultipleOutputs,
+    /// A declared dimension indexes no tensor at all.
+    UnusedDim(String),
+    /// The workload has no input tensors.
+    NoInputs,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::DuplicateDim(n) => write!(f, "duplicate dimension name `{n}`"),
+            WorkloadError::ZeroSizedDim(n) => write!(f, "dimension `{n}` has size zero"),
+            WorkloadError::TooManyDims => {
+                write!(f, "more than {} dimensions declared", DimId::MAX_DIMS)
+            }
+            WorkloadError::DuplicateTensor(n) => write!(f, "duplicate tensor name `{n}`"),
+            WorkloadError::ZeroStride(n) => {
+                write!(f, "tensor `{n}` has an index term with stride zero")
+            }
+            WorkloadError::RepeatedDimInTensor(n) => {
+                write!(f, "tensor `{n}` uses the same dimension in two coordinates")
+            }
+            WorkloadError::MissingOutput => write!(f, "workload declares no output tensor"),
+            WorkloadError::MultipleOutputs => {
+                write!(f, "workload declares more than one output tensor")
+            }
+            WorkloadError::UnusedDim(n) => write!(f, "dimension `{n}` indexes no tensor"),
+            WorkloadError::NoInputs => write!(f, "workload has no input tensors"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+/// A validated tensor-algebra workload: a set of problem dimensions plus the
+/// tensors they index.
+///
+/// Construct with [`Workload::builder`]. See the [crate-level
+/// example](crate) for the paper's 1-D convolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    dims: Vec<Dim>,
+    tensors: Vec<TensorDesc>,
+}
+
+impl Workload {
+    /// Starts building a workload with the given name.
+    pub fn builder(name: impl Into<String>) -> WorkloadBuilder {
+        WorkloadBuilder { name: name.into(), dims: Vec::new(), tensors: Vec::new() }
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared dimensions, indexed by [`DimId::index`].
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Number of problem dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Iterates over `(DimId, &Dim)` pairs.
+    pub fn dim_ids(&self) -> impl Iterator<Item = DimId> + '_ {
+        (0..self.dims.len()).map(DimId::from_index)
+    }
+
+    /// Looks up a dimension by id.
+    pub fn dim(&self, id: DimId) -> &Dim {
+        &self.dims[id.index()]
+    }
+
+    /// The full problem size of dimension `id` (its loop bound).
+    pub fn dim_size(&self, id: DimId) -> u64 {
+        self.dims[id.index()].size()
+    }
+
+    /// The per-dimension sizes as a vector indexed by [`DimId::index`].
+    pub fn dim_sizes(&self) -> Vec<u64> {
+        self.dims.iter().map(Dim::size).collect()
+    }
+
+    /// Builds a [`DimSet`] from a slice of ids (convenience for tests and
+    /// assertions).
+    pub fn dim_set(&self, ids: &[DimId]) -> DimSet {
+        ids.iter().copied().collect()
+    }
+
+    /// Looks up a dimension id by name.
+    pub fn dim_by_name(&self, name: &str) -> Option<DimId> {
+        self.dims.iter().position(|d| d.name() == name).map(DimId::from_index)
+    }
+
+    /// The declared tensors, indexed by [`TensorId::index`].
+    pub fn tensors(&self) -> &[TensorDesc] {
+        &self.tensors
+    }
+
+    /// Number of tensors (inputs plus the output).
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Iterates over tensor ids.
+    pub fn tensor_ids(&self) -> impl Iterator<Item = TensorId> + '_ {
+        (0..self.tensors.len()).map(TensorId::from_index)
+    }
+
+    /// Looks up a tensor by id.
+    pub fn tensor(&self, id: TensorId) -> &TensorDesc {
+        &self.tensors[id.index()]
+    }
+
+    /// Looks up a tensor id by name.
+    pub fn tensor_by_name(&self, name: &str) -> Option<TensorId> {
+        self.tensors.iter().position(|t| t.name() == name).map(TensorId::from_index)
+    }
+
+    /// The output tensor's id.
+    pub fn output(&self) -> TensorId {
+        self.tensor_ids()
+            .find(|&t| self.tensor(t).is_output())
+            .expect("validated workload always has an output")
+    }
+
+    /// Dimensions that do not index the output — the *reduction*
+    /// dimensions, accumulated over by the output tensor.
+    pub fn reduction_dims(&self) -> DimSet {
+        let out = self.tensor(self.output()).indexing_dims();
+        DimSet::first_n(self.num_dims()).difference(out)
+    }
+
+    /// The total number of compute operations: the volume of the operation
+    /// space, i.e. the product of all dimension sizes (Fig 2 of the paper).
+    pub fn total_ops(&self) -> u64 {
+        self.dims.iter().map(Dim::size).product()
+    }
+
+    /// Computes the per-tensor reuse table (Table III of the paper).
+    pub fn reuse_info(&self) -> ReuseInfo {
+        ReuseInfo::analyze(self)
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Incrementally builds a [`Workload`]; see [`Workload::builder`].
+///
+/// Dimension and tensor declarations return ids usable while describing the
+/// rest of the workload. [`build`](WorkloadBuilder::build) validates the
+/// result.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    name: String,
+    dims: Vec<Dim>,
+    tensors: Vec<TensorDesc>,
+}
+
+/// Default element width used when a tensor does not specify one.
+const DEFAULT_BITS: u32 = 16;
+
+impl WorkloadBuilder {
+    /// Declares a problem dimension with the given loop bound and returns
+    /// its id.
+    pub fn dim(&mut self, name: impl Into<String>, size: u64) -> DimId {
+        let id = DimId::from_index(self.dims.len().min(DimId::MAX_DIMS - 1));
+        self.dims.push(Dim::new(name, size));
+        // Out-of-range detection is deferred to `build` so the builder API
+        // stays infallible; the clamped id above is never observable because
+        // `build` rejects the workload.
+        if self.dims.len() <= DimId::MAX_DIMS {
+            DimId::from_index(self.dims.len() - 1)
+        } else {
+            id
+        }
+    }
+
+    /// Declares an input tensor with default element width.
+    pub fn input(
+        &mut self,
+        name: impl Into<String>,
+        indices: impl IntoIterator<Item = IndexExpr>,
+    ) -> TensorId {
+        self.tensor(name, TensorKind::Input, indices, DEFAULT_BITS)
+    }
+
+    /// Declares an input tensor with an explicit element width in bits.
+    pub fn input_bits(
+        &mut self,
+        name: impl Into<String>,
+        indices: impl IntoIterator<Item = IndexExpr>,
+        bits: u32,
+    ) -> TensorId {
+        self.tensor(name, TensorKind::Input, indices, bits)
+    }
+
+    /// Declares the output tensor with default element width.
+    pub fn output(
+        &mut self,
+        name: impl Into<String>,
+        indices: impl IntoIterator<Item = IndexExpr>,
+    ) -> TensorId {
+        self.tensor(name, TensorKind::Output, indices, DEFAULT_BITS)
+    }
+
+    /// Declares the output tensor with an explicit element width in bits.
+    pub fn output_bits(
+        &mut self,
+        name: impl Into<String>,
+        indices: impl IntoIterator<Item = IndexExpr>,
+        bits: u32,
+    ) -> TensorId {
+        self.tensor(name, TensorKind::Output, indices, bits)
+    }
+
+    fn tensor(
+        &mut self,
+        name: impl Into<String>,
+        kind: TensorKind,
+        indices: impl IntoIterator<Item = IndexExpr>,
+        bits: u32,
+    ) -> TensorId {
+        let id = TensorId::from_index(self.tensors.len());
+        self.tensors.push(TensorDesc::new(name, kind, indices.into_iter().collect(), bits));
+        id
+    }
+
+    /// Validates and finalizes the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] if names collide, a dimension is
+    /// zero-sized or unused, strides are zero, a dimension repeats within
+    /// one tensor, or the workload does not have exactly one output and at
+    /// least one input.
+    pub fn build(self) -> Result<Workload, WorkloadError> {
+        if self.dims.len() > DimId::MAX_DIMS {
+            return Err(WorkloadError::TooManyDims);
+        }
+        for (i, d) in self.dims.iter().enumerate() {
+            if d.size() == 0 {
+                return Err(WorkloadError::ZeroSizedDim(d.name().to_string()));
+            }
+            if self.dims[..i].iter().any(|e| e.name() == d.name()) {
+                return Err(WorkloadError::DuplicateDim(d.name().to_string()));
+            }
+        }
+        let mut outputs = 0usize;
+        let mut used = DimSet::EMPTY;
+        for (i, t) in self.tensors.iter().enumerate() {
+            if self.tensors[..i].iter().any(|e| e.name() == t.name()) {
+                return Err(WorkloadError::DuplicateTensor(t.name().to_string()));
+            }
+            let mut seen = DimSet::EMPTY;
+            for e in t.indices() {
+                for term in e.terms() {
+                    if term.stride == 0 {
+                        return Err(WorkloadError::ZeroStride(t.name().to_string()));
+                    }
+                    if !seen.insert(term.dim) {
+                        return Err(WorkloadError::RepeatedDimInTensor(t.name().to_string()));
+                    }
+                }
+            }
+            used = used.union(seen);
+            if t.is_output() {
+                outputs += 1;
+            }
+        }
+        match outputs {
+            0 => return Err(WorkloadError::MissingOutput),
+            1 => {}
+            _ => return Err(WorkloadError::MultipleOutputs),
+        }
+        if self.tensors.len() < 2 {
+            return Err(WorkloadError::NoInputs);
+        }
+        for (i, d) in self.dims.iter().enumerate() {
+            if !used.contains(DimId::from_index(i)) {
+                return Err(WorkloadError::UnusedDim(d.name().to_string()));
+            }
+        }
+        Ok(Workload { name: self.name, dims: self.dims, tensors: self.tensors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 7);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn conv1d_builds_and_exposes_structure() {
+        let w = conv1d();
+        assert_eq!(w.num_dims(), 4);
+        assert_eq!(w.num_tensors(), 3);
+        assert_eq!(w.total_ops(), 4 * 4 * 7 * 3);
+        assert_eq!(w.dim_by_name("P"), Some(DimId::from_index(2)));
+        assert_eq!(w.tensor_by_name("weight"), Some(TensorId::from_index(1)));
+        assert_eq!(w.tensor(w.output()).name(), "ofmap");
+    }
+
+    #[test]
+    fn reduction_dims_are_non_output_dims() {
+        let w = conv1d();
+        let c = w.dim_by_name("C").unwrap();
+        let r = w.dim_by_name("R").unwrap();
+        assert_eq!(w.reduction_dims(), w.dim_set(&[c, r]));
+    }
+
+    #[test]
+    fn rejects_zero_sized_dim() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 0);
+        b.input("a", [k.expr()]);
+        b.output("o", [k.expr()]);
+        assert_eq!(b.build().unwrap_err(), WorkloadError::ZeroSizedDim("K".into()));
+    }
+
+    #[test]
+    fn rejects_duplicate_dim_names() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 2);
+        b.dim("K", 3);
+        b.input("a", [k.expr()]);
+        b.output("o", [k.expr()]);
+        assert_eq!(b.build().unwrap_err(), WorkloadError::DuplicateDim("K".into()));
+    }
+
+    #[test]
+    fn rejects_missing_output() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 2);
+        b.input("a", [k.expr()]);
+        assert_eq!(b.build().unwrap_err(), WorkloadError::MissingOutput);
+    }
+
+    #[test]
+    fn rejects_multiple_outputs() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 2);
+        b.input("a", [k.expr()]);
+        b.output("o1", [k.expr()]);
+        b.output("o2", [k.expr()]);
+        assert_eq!(b.build().unwrap_err(), WorkloadError::MultipleOutputs);
+    }
+
+    #[test]
+    fn rejects_unused_dim() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 2);
+        b.dim("Z", 5);
+        b.input("a", [k.expr()]);
+        b.output("o", [k.expr()]);
+        assert_eq!(b.build().unwrap_err(), WorkloadError::UnusedDim("Z".into()));
+    }
+
+    #[test]
+    fn rejects_repeated_dim_within_tensor() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 2);
+        let p = b.dim("P", 3);
+        b.input("a", [k + p, k.expr()]);
+        b.output("o", [k.expr(), p.expr()]);
+        assert_eq!(b.build().unwrap_err(), WorkloadError::RepeatedDimInTensor("a".into()));
+    }
+
+    #[test]
+    fn rejects_zero_stride() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 2);
+        b.input("a", [k.strided(0)]);
+        b.output("o", [k.expr()]);
+        assert_eq!(b.build().unwrap_err(), WorkloadError::ZeroStride("a".into()));
+    }
+
+    #[test]
+    fn rejects_workload_without_inputs() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 2);
+        b.output("o", [k.expr()]);
+        assert_eq!(b.build().unwrap_err(), WorkloadError::NoInputs);
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            WorkloadError::DuplicateDim("K".into()),
+            WorkloadError::ZeroSizedDim("K".into()),
+            WorkloadError::TooManyDims,
+            WorkloadError::DuplicateTensor("t".into()),
+            WorkloadError::ZeroStride("t".into()),
+            WorkloadError::RepeatedDimInTensor("t".into()),
+            WorkloadError::MissingOutput,
+            WorkloadError::MultipleOutputs,
+            WorkloadError::UnusedDim("Z".into()),
+            WorkloadError::NoInputs,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Functional execution of mappings on real data.
+//!
+//! A mapping is only a *schedule*: every valid mapping must compute
+//! exactly the workload's einsum, merely in a different order. This
+//! module makes that checkable — one of the paper's invalidity classes
+//! for baseline tools is "the returned mapping does not correspond to
+//! the original computation" (Fig 7 caption).
+//!
+//! [`execute_reference`] evaluates the einsum directly from the workload
+//! definition; [`execute_mapping`] walks the mapping's flattened loop
+//! nest (temporal and spatial loops alike), reconstructing each
+//! dimension's global index from the per-level counters. For a valid
+//! mapping the two outputs are identical: every point of the operation
+//! space is visited exactly once. Inputs are filled with deterministic
+//! pseudo-random values and arithmetic wraps, so any coverage error
+//! (missed or doubled iteration) changes the output with overwhelming
+//! probability.
+//!
+//! Intended for tests on small shapes — the cost is one pass over the
+//! full operation space.
+
+use std::num::Wrapping;
+
+use sunstone_ir::{TensorDesc, TensorId, Workload};
+
+use crate::{FlatNest, Mapping};
+
+/// Dense storage for one tensor, row-major over the index-expression
+/// extents at full problem size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorData {
+    extents: Vec<u64>,
+    values: Vec<Wrapping<u64>>,
+}
+
+impl TensorData {
+    fn new(tensor: &TensorDesc, sizes: &[u64]) -> Self {
+        let extents: Vec<u64> =
+            tensor.indices().iter().map(|e| e.extent_of(sizes)).collect();
+        let len = extents.iter().product::<u64>() as usize;
+        TensorData { extents, values: vec![Wrapping(0); len] }
+    }
+
+    /// Deterministic pseudo-random fill (splitmix64 of the address).
+    fn fill_random(&mut self, salt: u64) {
+        for (i, v) in self.values.iter_mut().enumerate() {
+            let mut z = Wrapping(i as u64 ^ salt) + Wrapping(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)) * Wrapping(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)) * Wrapping(0x94d0_49bb_1331_11eb);
+            *v = z ^ (z >> 31);
+        }
+    }
+
+    fn address(&self, tensor: &TensorDesc, dim_values: &[u64]) -> usize {
+        let mut addr = 0u64;
+        for (expr, &extent) in tensor.indices().iter().zip(&self.extents) {
+            let coord: u64 =
+                expr.terms().iter().map(|t| t.stride * dim_values[t.dim.index()]).sum();
+            debug_assert!(coord < extent);
+            addr = addr * extent + coord;
+        }
+        addr as usize
+    }
+
+    /// The raw values (row-major).
+    pub fn values(&self) -> &[Wrapping<u64>] {
+        &self.values
+    }
+}
+
+/// Evaluates the einsum directly: for every point of the operation space,
+/// `output[...] += Π inputs[...]`. Returns the output tensor data.
+pub fn execute_reference(workload: &Workload) -> TensorData {
+    let sizes = workload.dim_sizes();
+    let inputs = input_data(workload, &sizes);
+    let out_id = workload.output();
+    let mut output = TensorData::new(workload.tensor(out_id), &sizes);
+    for_each_point(&sizes, |dim_values| {
+        accumulate(workload, &inputs, &mut output, out_id, dim_values);
+    });
+    output
+}
+
+/// Executes the workload *through a mapping*: iterates the flattened loop
+/// nest and reconstructs global indices from per-level counters. For a
+/// valid mapping the result equals [`execute_reference`].
+pub fn execute_mapping(workload: &Workload, mapping: &Mapping) -> TensorData {
+    let sizes = workload.dim_sizes();
+    let inputs = input_data(workload, &sizes);
+    let out_id = workload.output();
+    let mut output = TensorData::new(workload.tensor(out_id), &sizes);
+
+    // Strides: the global index of dim d is Σ_level counter × (product of
+    // d-factors at levels below). Build per-loop strides from the flat
+    // nest (which is outermost-first; factor-1 loops are dropped and
+    // contribute index 0).
+    let nest = FlatNest::of(mapping, workload);
+    let loops = nest.loops();
+    let ndims = workload.num_dims();
+    // below[level][dim] = product of factors of levels < level.
+    let n_levels = mapping.levels().len();
+    let mut below = vec![vec![1u64; ndims]; n_levels + 1];
+    for lvl in 0..n_levels {
+        for d in 0..ndims {
+            below[lvl + 1][d] = below[lvl][d] * mapping.level(lvl).factors()[d];
+        }
+    }
+    let strides: Vec<u64> =
+        loops.iter().map(|l| below[l.arch_pos][l.dim.index()]).collect();
+
+    let mut counters = vec![0u64; loops.len()];
+    let mut dim_values = vec![0u64; ndims];
+    loop {
+        dim_values.iter_mut().for_each(|v| *v = 0);
+        for ((l, &c), &s) in loops.iter().zip(&counters).zip(&strides) {
+            dim_values[l.dim.index()] += c * s;
+        }
+        accumulate(workload, &inputs, &mut output, out_id, &dim_values);
+        // Odometer.
+        let mut i = loops.len();
+        loop {
+            if i == 0 {
+                return output;
+            }
+            i -= 1;
+            counters[i] += 1;
+            if counters[i] < loops[i].factor {
+                break;
+            }
+            counters[i] = 0;
+        }
+    }
+}
+
+fn input_data(workload: &Workload, sizes: &[u64]) -> Vec<TensorData> {
+    workload
+        .tensor_ids()
+        .map(|t| {
+            let mut data = TensorData::new(workload.tensor(t), sizes);
+            if !workload.tensor(t).is_output() {
+                data.fill_random(t.index() as u64 + 1);
+            }
+            data
+        })
+        .collect()
+}
+
+fn accumulate(
+    workload: &Workload,
+    inputs: &[TensorData],
+    output: &mut TensorData,
+    out_id: TensorId,
+    dim_values: &[u64],
+) {
+    let mut product = Wrapping(1u64);
+    for t in workload.tensor_ids() {
+        let tensor = workload.tensor(t);
+        if tensor.is_output() {
+            continue;
+        }
+        let addr = inputs[t.index()].address(tensor, dim_values);
+        product *= inputs[t.index()].values[addr];
+    }
+    let out_tensor = workload.tensor(out_id);
+    let addr = output.address(out_tensor, dim_values);
+    output.values[addr] += product;
+}
+
+fn for_each_point(sizes: &[u64], mut f: impl FnMut(&[u64])) {
+    let mut values = vec![0u64; sizes.len()];
+    loop {
+        f(&values);
+        let mut i = sizes.len();
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            values[i] += 1;
+            if values[i] < sizes[i] {
+                break;
+            }
+            values[i] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MappingLevel, TemporalLevel};
+    use sunstone_arch::{presets, LevelId};
+    use sunstone_ir::DimId;
+
+    fn conv1d(k: u64, c: u64, p: u64, r: u64) -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let kk = b.dim("K", k);
+        let cc = b.dim("C", c);
+        let pp = b.dim("P", p);
+        let rr = b.dim("R", r);
+        b.input("ifmap", [cc.expr(), pp + rr]);
+        b.input("weight", [kk.expr(), cc.expr(), rr.expr()]);
+        b.output("ofmap", [kk.expr(), pp.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn streaming_mapping_computes_the_einsum() {
+        let w = conv1d(4, 4, 8, 3);
+        let arch = presets::conventional();
+        let reference = execute_reference(&w);
+        let executed = execute_mapping(&w, &Mapping::streaming(&w, &arch));
+        assert_eq!(reference, executed);
+    }
+
+    #[test]
+    fn arbitrary_valid_mappings_compute_the_einsum() {
+        let w = conv1d(4, 4, 8, 3);
+        let d = |i: usize| DimId::from_index(i);
+        let arch = presets::conventional();
+        let reference = execute_reference(&w);
+        // A tiled + spatially unrolled + reordered mapping.
+        let mut m = Mapping::streaming(&w, &arch);
+        for level in m.levels_mut() {
+            level.factors_mut().iter_mut().for_each(|f| *f = 1);
+        }
+        m.levels_mut()[0].factors_mut().copy_from_slice(&[2, 2, 4, 3]);
+        m.levels_mut()[1].factors_mut().copy_from_slice(&[2, 1, 1, 1]);
+        m.levels_mut()[2].factors_mut().copy_from_slice(&[1, 2, 1, 1]);
+        m.levels_mut()[3].factors_mut().copy_from_slice(&[1, 1, 2, 1]);
+        if let MappingLevel::Temporal(t) = &mut m.levels_mut()[0] {
+            t.order = vec![d(3), d(1), d(0), d(2)];
+        }
+        assert_eq!(reference, execute_mapping(&w, &m));
+    }
+
+    #[test]
+    fn every_loop_order_gives_the_same_result() {
+        let w = conv1d(2, 2, 4, 2);
+        let arch = presets::conventional();
+        let reference = execute_reference(&w);
+        let mut dims = [0usize, 1, 2, 3];
+        let mut orders = Vec::new();
+        permute(&mut dims, 0, &mut orders);
+        for order in orders {
+            let mut m = Mapping::streaming(&w, &arch);
+            if let MappingLevel::Temporal(t) = &mut m.levels_mut()[3] {
+                t.order = order.iter().map(|&i| DimId::from_index(i)).collect();
+            }
+            assert_eq!(reference, execute_mapping(&w, &m), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn a_broken_mapping_is_caught() {
+        // Factor products that under-cover a dimension miss iterations;
+        // the executor's output then differs from the reference (this is
+        // what structural validation prevents).
+        let w = conv1d(4, 4, 8, 3);
+        let arch = presets::conventional();
+        let reference = execute_reference(&w);
+        let mut m = Mapping::streaming(&w, &arch);
+        let last = m.levels().len() - 1;
+        m.levels_mut()[last].factors_mut()[0] = 2; // K covered 2 of 4
+        assert_ne!(reference, execute_mapping(&w, &m));
+    }
+
+    #[test]
+    fn matmul_reference_matches_hand_computation() {
+        // 2×2 matmul with tiny values, computed by hand through the
+        // pseudo-random fill.
+        let mut b = Workload::builder("mm");
+        let m = b.dim("M", 2);
+        let n = b.dim("N", 2);
+        let k = b.dim("K", 2);
+        b.input("a", [m.expr(), k.expr()]);
+        b.input("b", [k.expr(), n.expr()]);
+        b.output("out", [m.expr(), n.expr()]);
+        let w = b.build().unwrap();
+        let sizes = w.dim_sizes();
+        let inputs = input_data(&w, &sizes);
+        let reference = execute_reference(&w);
+        // out[0,0] = a[0,0]b[0,0] + a[0,1]b[1,0]
+        let a = &inputs[0];
+        let bt = &inputs[1];
+        let expected = a.values()[0] * bt.values()[0] + a.values()[1] * bt.values()[2];
+        assert_eq!(reference.values()[0], expected);
+    }
+
+    fn permute(dims: &mut [usize; 4], k: usize, out: &mut Vec<[usize; 4]>) {
+        if k == dims.len() {
+            out.push(*dims);
+            return;
+        }
+        for i in k..dims.len() {
+            dims.swap(k, i);
+            permute(dims, k + 1, out);
+            dims.swap(k, i);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Flattening a mapping into a single global loop nest.
+//!
+//! The cost model reasons about one linear nest of loops, outermost first,
+//! each tagged with the architecture level it came from. Unit-factor loops
+//! are dropped: they neither move data nor break reuse chains.
+
+use serde::{Deserialize, Serialize};
+use sunstone_ir::{DimId, Workload};
+
+use crate::{Mapping, MappingLevel};
+
+/// Whether a flattened loop iterates in time or fans out in space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopKind {
+    /// A temporal loop belonging to the memory level at the given
+    /// architecture position.
+    Temporal,
+    /// A spatial unroll belonging to the fan-out level at the given
+    /// architecture position.
+    Spatial,
+}
+
+/// One loop of the flattened nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatLoop {
+    /// The dimension the loop iterates over.
+    pub dim: DimId,
+    /// The loop bound (tiling or unroll factor), always ≥ 2.
+    pub factor: u64,
+    /// Temporal or spatial.
+    pub kind: LoopKind,
+    /// Architecture level position (0 = innermost) this loop belongs to.
+    pub arch_pos: usize,
+}
+
+impl FlatLoop {
+    /// Returns `true` for spatial loops.
+    pub fn is_spatial(self) -> bool {
+        self.kind == LoopKind::Spatial
+    }
+}
+
+/// A mapping flattened to a single loop nest, **outermost first**.
+///
+/// Loops are ordered by architecture position descending; within one
+/// temporal level they follow that level's loop order. Produced by
+/// [`FlatNest::of`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatNest {
+    loops: Vec<FlatLoop>,
+}
+
+impl FlatNest {
+    /// Flattens a mapping. The mapping is assumed structurally valid
+    /// (levels mirror the architecture).
+    pub fn of(mapping: &Mapping, _workload: &Workload) -> Self {
+        let mut loops = Vec::new();
+        for (pos, level) in mapping.levels().iter().enumerate().rev() {
+            match level {
+                MappingLevel::Temporal(t) => {
+                    for &d in t.order.iter().rev() {
+                        let f = t.factors[d.index()];
+                        if f > 1 {
+                            loops.push(FlatLoop {
+                                dim: d,
+                                factor: f,
+                                kind: LoopKind::Temporal,
+                                arch_pos: pos,
+                            });
+                        }
+                    }
+                }
+                MappingLevel::Spatial(s) => {
+                    for (i, &f) in s.factors.iter().enumerate() {
+                        if f > 1 {
+                            loops.push(FlatLoop {
+                                dim: DimId::from_index(i),
+                                factor: f,
+                                kind: LoopKind::Spatial,
+                                arch_pos: pos,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        FlatNest { loops }
+    }
+
+    /// All loops, outermost first.
+    pub fn loops(&self) -> &[FlatLoop] {
+        &self.loops
+    }
+
+    /// The loops strictly above architecture position `child_pos`: every
+    /// loop whose own position is greater. Because the nest is ordered by
+    /// position descending, this is a prefix.
+    ///
+    /// Pass `child_pos = -1` (as `i64`) to get the whole nest (the MAC
+    /// boundary).
+    pub fn loops_above(&self, child_pos: i64) -> &[FlatLoop] {
+        let cut = self
+            .loops
+            .iter()
+            .position(|l| (l.arch_pos as i64) <= child_pos)
+            .unwrap_or(self.loops.len());
+        &self.loops[..cut]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpatialAssignment, TemporalLevel};
+    use sunstone_arch::LevelId;
+
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 14);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    fn d(i: usize) -> DimId {
+        DimId::from_index(i)
+    }
+
+    /// A 2-level mapping like the paper's Algorithm 5: L1 at pos 0, a
+    /// spatial grid at pos 1, DRAM (playing L2) at pos 2.
+    fn example_mapping() -> Mapping {
+        // dims: 0=K, 1=C, 2=P, 3=R
+        Mapping::from_levels(vec![
+            MappingLevel::Temporal(TemporalLevel {
+                mem: LevelId(0),
+                factors: vec![2, 2, 7, 3], // K_L1=2, C_L1=2, P_L1=7, R=3
+                order: vec![d(3), d(1), d(0), d(2)],
+            }),
+            MappingLevel::Spatial(SpatialAssignment {
+                fabric: LevelId(1),
+                factors: vec![2, 1, 1, 1], // K spatially unrolled ×2
+            }),
+            MappingLevel::Temporal(TemporalLevel {
+                mem: LevelId(2),
+                factors: vec![1, 2, 2, 1], // C_L2=2 innermost, P_L2=2
+                order: vec![d(1), d(2), d(0), d(3)],
+            }),
+        ])
+    }
+
+    #[test]
+    fn flatten_orders_outermost_first_and_drops_units() {
+        let w = conv1d();
+        let nest = FlatNest::of(&example_mapping(), &w);
+        let descr: Vec<(usize, usize, u64, bool)> = nest
+            .loops()
+            .iter()
+            .map(|l| (l.arch_pos, l.dim.index(), l.factor, l.is_spatial()))
+            .collect();
+        assert_eq!(
+            descr,
+            vec![
+                // DRAM level, order innermost-first [C,P,K,R] → outermost-first
+                // emits P then C (K and R have factor 1 and are dropped).
+                (2, 2, 2, false),
+                (2, 1, 2, false),
+                // spatial grid: K×2.
+                (1, 0, 2, true),
+                // L1 loops outermost-first: P, K, C, R.
+                (0, 2, 7, false),
+                (0, 0, 2, false),
+                (0, 1, 2, false),
+                (0, 3, 3, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn loops_above_selects_prefix() {
+        let w = conv1d();
+        let nest = FlatNest::of(&example_mapping(), &w);
+        assert_eq!(nest.loops_above(-1).len(), 7, "MAC boundary sees all loops");
+        assert_eq!(nest.loops_above(0).len(), 3, "above L1: two DRAM loops + spatial");
+        assert_eq!(nest.loops_above(1).len(), 2, "above the grid: DRAM loops only");
+        assert_eq!(nest.loops_above(2).len(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Dataflow-mapping representation and validation.
+//!
+//! A [`Mapping`] assigns the workload's operation space onto an
+//! accelerator: for every *memory* level a temporal tile (per-dimension
+//! tiling factors plus a loop order) and for every *spatial* level a set of
+//! unroll factors. Mapping levels mirror the architecture's level list
+//! one-to-one, innermost first.
+//!
+//! ## Conventions
+//!
+//! * Loop orders are stored **innermost-first** — `order[0]` is the
+//!   innermost loop of that level. (The paper writes orders
+//!   outermost-to-innermost; [`TemporalLevel::order_outermost_first`]
+//!   converts.)
+//! * `factors[d]` is the per-dimension tiling/unroll factor, indexed by
+//!   [`DimId::index`]. The product over all levels must equal the problem
+//!   dimension exactly (equal tiles, as in the paper).
+//! * The tile *resident* in memory level ℓ spans the factors of every level
+//!   at or below ℓ (spatial levels included — a shared memory serves the
+//!   union of its children's tiles).
+//!
+//! [`Mapping::validate`] checks structural agreement with the
+//! architecture, exact factorization, spatial fan-out and reduction rules,
+//! and per-partition capacity — the same conditions the paper uses to call
+//! baseline mappings *invalid* (Figs 7–8).
+
+pub mod dataflows;
+pub mod execute;
+mod flatten;
+mod mapping;
+pub mod pretty;
+mod validate;
+
+pub use flatten::{FlatLoop, FlatNest, LoopKind};
+pub use mapping::{Mapping, MappingLevel, SpatialAssignment, TemporalLevel};
+pub use validate::{MappingError, ValidationContext};

@@ -1,0 +1,312 @@
+//! The mapping data structures.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sunstone_arch::{ArchSpec, Level, LevelId};
+use sunstone_ir::{DimId, Workload};
+
+/// The temporal part of a mapping at one memory level: tiling factors and a
+/// loop order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalLevel {
+    /// The architecture memory level this belongs to.
+    pub mem: LevelId,
+    /// Per-dimension tiling factors (indexed by [`DimId::index`]).
+    pub factors: Vec<u64>,
+    /// Loop order, **innermost-first**: `order[0]` is the innermost loop.
+    /// Must be a permutation of all workload dimensions.
+    pub order: Vec<DimId>,
+}
+
+impl TemporalLevel {
+    /// Creates a level with all factors 1 and the canonical order
+    /// (dimension 0 innermost).
+    pub fn unit(mem: LevelId, num_dims: usize) -> Self {
+        TemporalLevel {
+            mem,
+            factors: vec![1; num_dims],
+            order: (0..num_dims).map(DimId::from_index).collect(),
+        }
+    }
+
+    /// The loop order outermost-first, as the paper writes it (e.g.
+    /// `K_L2 P_L2 ...`).
+    pub fn order_outermost_first(&self) -> Vec<DimId> {
+        self.order.iter().rev().copied().collect()
+    }
+
+    /// Product of this level's factors (number of child-tile iterations).
+    pub fn iterations(&self) -> u64 {
+        self.factors.iter().product()
+    }
+}
+
+/// The spatial part of a mapping at one fan-out level: per-dimension unroll
+/// factors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpatialAssignment {
+    /// The architecture spatial level this belongs to.
+    pub fabric: LevelId,
+    /// Per-dimension unroll factors; their product is the number of busy
+    /// units and may not exceed the fabric's unit count.
+    pub factors: Vec<u64>,
+}
+
+impl SpatialAssignment {
+    /// Creates an assignment that uses a single unit (all factors 1).
+    pub fn unit(fabric: LevelId, num_dims: usize) -> Self {
+        SpatialAssignment { fabric, factors: vec![1; num_dims] }
+    }
+
+    /// Number of busy units (product of unroll factors).
+    pub fn used_units(&self) -> u64 {
+        self.factors.iter().product()
+    }
+}
+
+/// One level of a mapping, mirroring [`sunstone_arch::Level`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingLevel {
+    /// Temporal tiling at a memory level.
+    Temporal(TemporalLevel),
+    /// Spatial unrolling at a fan-out level.
+    Spatial(SpatialAssignment),
+}
+
+impl MappingLevel {
+    /// Per-dimension factors of this level regardless of kind.
+    pub fn factors(&self) -> &[u64] {
+        match self {
+            MappingLevel::Temporal(t) => &t.factors,
+            MappingLevel::Spatial(s) => &s.factors,
+        }
+    }
+
+    /// Mutable access to the factors.
+    pub fn factors_mut(&mut self) -> &mut [u64] {
+        match self {
+            MappingLevel::Temporal(t) => &mut t.factors,
+            MappingLevel::Spatial(s) => &mut s.factors,
+        }
+    }
+
+    /// Returns the temporal level, if this is one.
+    pub fn as_temporal(&self) -> Option<&TemporalLevel> {
+        match self {
+            MappingLevel::Temporal(t) => Some(t),
+            MappingLevel::Spatial(_) => None,
+        }
+    }
+
+    /// Returns the spatial assignment, if this is one.
+    pub fn as_spatial(&self) -> Option<&SpatialAssignment> {
+        match self {
+            MappingLevel::Temporal(_) => None,
+            MappingLevel::Spatial(s) => Some(s),
+        }
+    }
+}
+
+/// A complete dataflow mapping: one [`MappingLevel`] per architecture
+/// level, innermost first.
+///
+/// Construct with [`Mapping::streaming`] (a trivially valid starting
+/// point) or by assembling levels directly, then check with
+/// [`Mapping::validate`](crate::ValidationContext).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    levels: Vec<MappingLevel>,
+}
+
+impl Mapping {
+    /// Creates a mapping from raw levels. The levels must mirror the
+    /// architecture's level list; this is checked by `validate`.
+    pub fn from_levels(levels: Vec<MappingLevel>) -> Self {
+        Mapping { levels }
+    }
+
+    /// The *streaming* mapping: every loop lives at the outermost (DRAM)
+    /// temporal level and every inner factor is 1 — the "naive" execution
+    /// of Section V-D with no on-chip reuse.
+    pub fn streaming(workload: &Workload, arch: &ArchSpec) -> Self {
+        let n = workload.num_dims();
+        let mut levels: Vec<MappingLevel> = arch
+            .levels()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| match l {
+                Level::Memory(_) => MappingLevel::Temporal(TemporalLevel::unit(LevelId(i), n)),
+                Level::Spatial(_) => MappingLevel::Spatial(SpatialAssignment::unit(LevelId(i), n)),
+            })
+            .collect();
+        if let Some(MappingLevel::Temporal(t)) = levels.last_mut() {
+            t.factors = workload.dim_sizes();
+        }
+        Mapping { levels }
+    }
+
+    /// The mapping levels, innermost first.
+    pub fn levels(&self) -> &[MappingLevel] {
+        &self.levels
+    }
+
+    /// Mutable access to the levels.
+    pub fn levels_mut(&mut self) -> &mut [MappingLevel] {
+        &mut self.levels
+    }
+
+    /// The level at architecture position `pos` (0 = innermost).
+    pub fn level(&self, pos: usize) -> &MappingLevel {
+        &self.levels[pos]
+    }
+
+    /// Per-dimension tile spanned by all levels at positions `0..=pos`
+    /// (temporal and spatial): the tile *resident* in a memory at `pos`.
+    pub fn resident_tile(&self, pos: usize, num_dims: usize) -> Vec<u64> {
+        let mut tile = vec![1u64; num_dims];
+        for level in &self.levels[..=pos] {
+            for (t, &f) in tile.iter_mut().zip(level.factors()) {
+                *t *= f;
+            }
+        }
+        tile
+    }
+
+    /// Product of every level's factor for dimension `d`; equals the
+    /// problem size in a valid mapping.
+    pub fn total_factor(&self, d: DimId) -> u64 {
+        self.levels.iter().map(|l| l.factors()[d.index()]).product()
+    }
+
+    /// Total spatial fan-out used by the mapping (product of all spatial
+    /// unroll factors).
+    pub fn used_parallelism(&self) -> u64 {
+        self.levels
+            .iter()
+            .filter_map(MappingLevel::as_spatial)
+            .map(SpatialAssignment::used_units)
+            .product()
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, level) in self.levels.iter().enumerate().rev() {
+            match level {
+                MappingLevel::Temporal(t) => {
+                    write!(f, "T{i}[")?;
+                    let mut first = true;
+                    for &d in t.order.iter().rev() {
+                        let factor = t.factors[d.index()];
+                        if factor > 1 {
+                            if !first {
+                                write!(f, " ")?;
+                            }
+                            write!(f, "d{}:{}", d.index(), factor)?;
+                            first = false;
+                        }
+                    }
+                    write!(f, "]")?;
+                }
+                MappingLevel::Spatial(s) => {
+                    write!(f, "S{i}[")?;
+                    let mut first = true;
+                    for (d, &factor) in s.factors.iter().enumerate() {
+                        if factor > 1 {
+                            if !first {
+                                write!(f, " ")?;
+                            }
+                            write!(f, "d{d}:{factor}")?;
+                            first = false;
+                        }
+                    }
+                    write!(f, "]")?;
+                }
+            }
+            if i > 0 {
+                write!(f, " ")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_arch::presets;
+
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 14);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn streaming_mapping_covers_problem() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        let m = Mapping::streaming(&w, &arch);
+        assert_eq!(m.levels().len(), arch.num_levels());
+        for d in w.dim_ids() {
+            assert_eq!(m.total_factor(d), w.dim_size(d));
+        }
+        assert_eq!(m.used_parallelism(), 1);
+    }
+
+    #[test]
+    fn resident_tile_accumulates_lower_levels() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        let mut m = Mapping::streaming(&w, &arch);
+        // Move K=2, P=7 into L1 (level 0), K=2 onto the grid (level 1).
+        m.levels_mut()[0].factors_mut()[0] = 2;
+        m.levels_mut()[0].factors_mut()[2] = 7;
+        m.levels_mut()[1].factors_mut()[0] = 2;
+        m.levels_mut()[3].factors_mut()[0] = 1;
+        m.levels_mut()[3].factors_mut()[2] = 2;
+        assert_eq!(m.resident_tile(0, 4), vec![2, 1, 7, 1]);
+        assert_eq!(m.resident_tile(1, 4), vec![4, 1, 7, 1]);
+        assert_eq!(m.resident_tile(3, 4), vec![4, 4, 14, 3]);
+        assert_eq!(m.used_parallelism(), 2);
+    }
+
+    #[test]
+    fn order_outermost_first_reverses() {
+        let t = TemporalLevel {
+            mem: LevelId(0),
+            factors: vec![1; 3],
+            order: vec![DimId::from_index(2), DimId::from_index(0), DimId::from_index(1)],
+        };
+        assert_eq!(
+            t.order_outermost_first(),
+            vec![DimId::from_index(1), DimId::from_index(0), DimId::from_index(2)]
+        );
+    }
+
+    #[test]
+    fn display_skips_unit_factors() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        let m = Mapping::streaming(&w, &arch);
+        let s = m.to_string();
+        assert!(s.contains("d0:4"), "outer level shows K factor: {s}");
+        assert!(s.contains("T0[]"), "inner levels are empty: {s}");
+    }
+
+    #[test]
+    fn level_kind_accessors() {
+        let t = MappingLevel::Temporal(TemporalLevel::unit(LevelId(0), 2));
+        let s = MappingLevel::Spatial(SpatialAssignment::unit(LevelId(1), 2));
+        assert!(t.as_temporal().is_some() && t.as_spatial().is_none());
+        assert!(s.as_spatial().is_some() && s.as_temporal().is_none());
+        assert_eq!(t.factors(), &[1, 1]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Rendering mappings as nested-loop pseudocode, in the style of the
+//! paper's Algorithm 2–5 listings.
+
+use std::fmt::Write as _;
+
+use sunstone_arch::{ArchSpec, Level};
+use sunstone_ir::Workload;
+
+use crate::{Mapping, MappingLevel};
+
+/// Renders a mapping as indented nested-loop pseudocode.
+///
+/// Loops appear outermost-first; each temporal level is labelled with its
+/// memory, spatial levels appear as `parallel-for`, and unit-factor loops
+/// are omitted. The innermost line names the computation.
+///
+/// # Examples
+///
+/// ```
+/// use sunstone_arch::presets;
+/// use sunstone_ir::Workload;
+/// use sunstone_mapping::{pretty, Mapping};
+///
+/// let mut b = Workload::builder("mm");
+/// let m = b.dim("M", 4);
+/// let n = b.dim("N", 4);
+/// let k = b.dim("K", 4);
+/// b.input("a", [m.expr(), k.expr()]);
+/// b.input("b", [k.expr(), n.expr()]);
+/// b.output("out", [m.expr(), n.expr()]);
+/// let w = b.build()?;
+/// let arch = presets::conventional();
+/// let text = pretty::render(&Mapping::streaming(&w, &arch), &w, &arch);
+/// assert!(text.contains("for m in 0..4"));
+/// # Ok::<(), sunstone_ir::WorkloadError>(())
+/// ```
+pub fn render(mapping: &Mapping, workload: &Workload, arch: &ArchSpec) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for (pos, level) in mapping.levels().iter().enumerate().rev() {
+        let arch_level = &arch.levels()[pos];
+        match (level, arch_level) {
+            (MappingLevel::Temporal(t), Level::Memory(mem)) => {
+                let mut labelled = false;
+                for &d in t.order.iter().rev() {
+                    let f = t.factors[d.index()];
+                    if f > 1 {
+                        let label = if labelled {
+                            String::new()
+                        } else {
+                            labelled = true;
+                            format!("   // {} tile", mem.name)
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{:indent$}for {} in 0..{}{}",
+                            "",
+                            workload.dim(d).name().to_lowercase(),
+                            f,
+                            label,
+                            indent = depth * 2
+                        );
+                        depth += 1;
+                    }
+                }
+            }
+            (MappingLevel::Spatial(s), Level::Spatial(fabric)) => {
+                for (i, &f) in s.factors.iter().enumerate() {
+                    if f > 1 {
+                        let d = sunstone_ir::DimId::from_index(i);
+                        let _ = writeln!(
+                            out,
+                            "{:indent$}parallel-for {} in 0..{}   // {} ({} units)",
+                            "",
+                            workload.dim(d).name().to_lowercase(),
+                            f,
+                            fabric.name,
+                            fabric.units,
+                            indent = depth * 2
+                        );
+                        depth += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let output = workload.tensor(workload.output()).name();
+    let inputs: Vec<&str> = workload
+        .tensors()
+        .iter()
+        .filter(|t| !t.is_output())
+        .map(|t| t.name())
+        .collect();
+    let _ = writeln!(
+        out,
+        "{:indent$}{output} += {}",
+        "",
+        inputs.join(" × "),
+        indent = depth * 2
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpatialAssignment, TemporalLevel};
+    use sunstone_arch::{presets, LevelId};
+    use sunstone_ir::DimId;
+
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 14);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_algorithm_style_listing() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        let d = |i: usize| DimId::from_index(i);
+        let m = Mapping::from_levels(vec![
+            MappingLevel::Temporal(TemporalLevel {
+                mem: LevelId(0),
+                factors: vec![2, 1, 7, 3],
+                order: vec![d(3), d(2), d(0), d(1)],
+            }),
+            MappingLevel::Spatial(SpatialAssignment {
+                fabric: LevelId(1),
+                factors: vec![2, 1, 1, 1],
+            }),
+            MappingLevel::Temporal(TemporalLevel {
+                mem: LevelId(2),
+                factors: vec![1, 4, 2, 1],
+                order: vec![d(1), d(2), d(0), d(3)],
+            }),
+            MappingLevel::Temporal(TemporalLevel {
+                mem: LevelId(3),
+                factors: vec![1, 1, 1, 1],
+                order: vec![d(0), d(1), d(2), d(3)],
+            }),
+        ]);
+        let text = render(&m, &w, &arch);
+        let lines: Vec<&str> = text.lines().collect();
+        // Outermost: the L2 loops (P then C, innermost-first order [C,P]).
+        assert!(lines[0].contains("for p in 0..2"), "{text}");
+        assert!(lines[1].contains("for c in 0..4"), "{text}");
+        assert!(lines[2].contains("parallel-for k in 0..2"), "{text}");
+        assert!(text.contains("// pe_grid (1024 units)"), "{text}");
+        assert!(text.ends_with("ofmap += ifmap × weight\n"), "{text}");
+        // Indentation deepens monotonically.
+        let indents: Vec<usize> =
+            lines.iter().map(|l| l.len() - l.trim_start().len()).collect();
+        assert!(indents.windows(2).all(|w| w[1] > w[0]), "{indents:?}");
+    }
+
+    #[test]
+    fn unit_factors_are_omitted() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        let text = render(&Mapping::streaming(&w, &arch), &w, &arch);
+        // Streaming has all loops at DRAM; exactly 4 loops + compute line.
+        assert_eq!(text.lines().count(), 5, "{text}");
+        assert!(
+            !text.lines().any(|l| l.split("//").next().unwrap_or("").trim_end().ends_with("0..1")),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Energy, delay, and EDP computation.
+
+use serde::{Deserialize, Serialize};
+use sunstone_arch::{ArchSpec, Binding, Level, LevelId};
+use sunstone_ir::Workload;
+use sunstone_mapping::{Mapping, MappingError, ValidationContext};
+
+use crate::{AccessCounts, ModelOptions};
+
+/// Per-memory-level cost summary inside a [`CostReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelReport {
+    /// Level name from the architecture.
+    pub name: String,
+    /// Architecture position (0 = innermost).
+    pub arch_pos: usize,
+    /// Total words read from the level.
+    pub reads: f64,
+    /// Total words written into the level (fills + updates).
+    pub writes: f64,
+    /// Energy spent at this level, in pJ.
+    pub energy_pj: f64,
+}
+
+/// The evaluation result of one mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Total energy in pJ (memory + MAC + NoC).
+    pub energy_pj: f64,
+    /// Execution time in cycles, assuming double buffering overlaps
+    /// compute with every level's transfers.
+    pub delay_cycles: f64,
+    /// Energy-delay product in pJ·cycles — the paper's figure of merit.
+    pub edp: f64,
+    /// Total MAC operations.
+    pub total_ops: f64,
+    /// Energy spent in the MACs, in pJ.
+    pub mac_energy_pj: f64,
+    /// Energy spent in the interconnect, in pJ.
+    pub noc_energy_pj: f64,
+    /// Compute-bound lower limit on the delay.
+    pub compute_cycles: f64,
+    /// Per-memory-level breakdown.
+    pub levels: Vec<LevelReport>,
+}
+
+impl CostReport {
+    /// Energy spent in memories (total minus MAC and NoC).
+    pub fn memory_energy_pj(&self) -> f64 {
+        self.energy_pj - self.mac_energy_pj - self.noc_energy_pj
+    }
+
+    /// Returns `true` if the mapping is limited by a memory's bandwidth
+    /// rather than by compute.
+    pub fn is_bandwidth_bound(&self) -> bool {
+        self.delay_cycles > self.compute_cycles
+    }
+}
+
+/// Evaluates mappings for one (workload, architecture, binding) triple.
+///
+/// Construct once and evaluate many candidates; see the [crate-level
+/// example](crate).
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    workload: &'a Workload,
+    arch: &'a ArchSpec,
+    binding: &'a Binding,
+    options: ModelOptions,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates a model with default [`ModelOptions`].
+    pub fn new(workload: &'a Workload, arch: &'a ArchSpec, binding: &'a Binding) -> Self {
+        CostModel { workload, arch, binding, options: ModelOptions::default() }
+    }
+
+    /// Creates a model with explicit options.
+    pub fn with_options(
+        workload: &'a Workload,
+        arch: &'a ArchSpec,
+        binding: &'a Binding,
+        options: ModelOptions,
+    ) -> Self {
+        CostModel { workload, arch, binding, options }
+    }
+
+    /// The workload being modelled.
+    pub fn workload(&self) -> &'a Workload {
+        self.workload
+    }
+
+    /// The architecture being modelled.
+    pub fn arch(&self) -> &'a ArchSpec {
+        self.arch
+    }
+
+    /// The tensor binding in use.
+    pub fn binding(&self) -> &'a Binding {
+        self.binding
+    }
+
+    /// Validates the mapping, then evaluates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mapping's first validity violation, if any.
+    pub fn evaluate(&self, mapping: &Mapping) -> Result<CostReport, MappingError> {
+        let ctx = ValidationContext::new(self.workload, self.arch, self.binding);
+        ctx.validate(mapping)?;
+        Ok(self.evaluate_unchecked(mapping))
+    }
+
+    /// Evaluates a mapping that is already known to be valid.
+    ///
+    /// Schedulers that validate candidates during construction use this to
+    /// skip re-validation in the inner loop.
+    pub fn evaluate_unchecked(&self, mapping: &Mapping) -> CostReport {
+        let counts =
+            AccessCounts::compute(self.workload, self.arch, self.binding, mapping, self.options);
+        self.report_from_counts(mapping, &counts)
+    }
+
+    /// Computes the report from precomputed access counts.
+    pub fn report_from_counts(&self, mapping: &Mapping, counts: &AccessCounts) -> CostReport {
+        let total_ops = self.workload.total_ops() as f64;
+        let ref_bits = f64::from(self.arch.ref_bits());
+        let mac_energy_pj = total_ops * self.arch.mac_energy_pj();
+
+        let mut energy_pj = mac_energy_pj;
+        let mut noc_energy_pj = 0.0;
+        let mut levels = Vec::new();
+
+        // Instances of each level = product of spatial factors above it.
+        let n_levels = self.arch.num_levels();
+        let mut s_above = vec![1.0f64; n_levels + 1];
+        for p in (0..n_levels).rev() {
+            let own = match self.arch.level(LevelId(p)) {
+                Level::Spatial(_) => mapping.level(p).factors().iter().product::<u64>() as f64,
+                Level::Memory(_) => 1.0,
+            };
+            s_above[p] = s_above[p + 1] * own;
+        }
+
+        let mut max_transfer_cycles = 0.0f64;
+        for (pos, level) in self.arch.levels().iter().enumerate() {
+            match level {
+                Level::Memory(mem) => {
+                    let mut reads = 0.0;
+                    let mut writes = 0.0;
+                    let mut level_energy = 0.0;
+                    // Per-partition bandwidth accounting.
+                    let mut part_reads = vec![0.0f64; mem.partitions.len()];
+                    let mut part_writes = vec![0.0f64; mem.partitions.len()];
+                    for t in self.workload.tensor_ids() {
+                        let Some(pid) = self.binding.partition_of(LevelId(pos), t) else {
+                            continue;
+                        };
+                        let c = counts.at(pos, t);
+                        let part = mem.partition(pid);
+                        let scale = f64::from(self.workload.tensor(t).bits()) / ref_bits;
+                        level_energy += c.reads * part.read_energy_pj * scale
+                            + c.writes() * part.write_energy_pj * scale;
+                        reads += c.reads;
+                        writes += c.writes();
+                        part_reads[pid.0] += c.reads;
+                        part_writes[pid.0] += c.writes();
+                    }
+                    for (i, part) in mem.partitions.iter().enumerate() {
+                        let instances = s_above[pos + 1].max(1.0);
+                        if let Some(bw) = part.read_bw {
+                            max_transfer_cycles =
+                                max_transfer_cycles.max(part_reads[i] / instances / bw);
+                        }
+                        if let Some(bw) = part.write_bw {
+                            max_transfer_cycles =
+                                max_transfer_cycles.max(part_writes[i] / instances / bw);
+                        }
+                    }
+                    energy_pj += level_energy;
+                    levels.push(LevelReport {
+                        name: mem.name.clone(),
+                        arch_pos: pos,
+                        reads,
+                        writes,
+                        energy_pj: level_energy,
+                    });
+                }
+                Level::Spatial(s) => {
+                    for t in self.workload.tensor_ids() {
+                        let scale = f64::from(self.workload.tensor(t).bits()) / ref_bits;
+                        noc_energy_pj +=
+                            counts.crossings(pos, t) * s.noc.per_word_energy_pj * scale;
+                    }
+                }
+            }
+        }
+        energy_pj += noc_energy_pj;
+
+        let parallelism = mapping.used_parallelism().max(1) as f64;
+        let compute_cycles = total_ops / parallelism;
+        let delay_cycles = compute_cycles.max(max_transfer_cycles);
+
+        CostReport {
+            energy_pj,
+            delay_cycles,
+            edp: energy_pj * delay_cycles,
+            total_ops,
+            mac_energy_pj,
+            noc_energy_pj,
+            compute_cycles,
+            levels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_arch::presets;
+    use sunstone_mapping::MappingLevel;
+
+    fn conv1d(k: u64, c: u64, p: u64, r: u64) -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let kk = b.dim("K", k);
+        let cc = b.dim("C", c);
+        let pp = b.dim("P", p);
+        let rr = b.dim("R", r);
+        b.input("ifmap", [cc.expr(), pp + rr]);
+        b.input("weight", [kk.expr(), cc.expr(), rr.expr()]);
+        b.output("ofmap", [kk.expr(), pp.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn streaming_mapping_cost_is_dram_dominated() {
+        let w = conv1d(16, 16, 56, 3);
+        let arch = presets::conventional();
+        let binding = Binding::resolve(&arch, &w).unwrap();
+        let model = CostModel::new(&w, &arch, &binding);
+        let report = model.evaluate(&Mapping::streaming(&w, &arch)).unwrap();
+        let dram = report.levels.iter().find(|l| l.name == "DRAM").unwrap();
+        assert!(
+            dram.energy_pj > 0.5 * report.energy_pj,
+            "streaming burns most energy in DRAM: {report:?}"
+        );
+        assert!(report.edp > 0.0);
+        assert_eq!(report.total_ops, (16 * 16 * 56 * 3) as f64);
+    }
+
+    #[test]
+    fn tiled_mapping_beats_streaming() {
+        let w = conv1d(16, 16, 56, 3);
+        let arch = presets::conventional();
+        let binding = Binding::resolve(&arch, &w).unwrap();
+        let model = CostModel::new(&w, &arch, &binding);
+        let streaming = model.evaluate(&Mapping::streaming(&w, &arch)).unwrap();
+
+        // Tile K and P into L1 and unroll K on the grid.
+        let mut m = Mapping::streaming(&w, &arch);
+        set(&mut m, 0, &[4, 1, 8, 3]);
+        set(&mut m, 1, &[4, 1, 1, 1]);
+        set(&mut m, 3, &[1, 16, 7, 1]);
+        let tiled = model.evaluate(&m).unwrap();
+        assert!(tiled.energy_pj < streaming.energy_pj);
+        assert!(tiled.delay_cycles < streaming.delay_cycles);
+        assert!(tiled.edp < streaming.edp / 10.0, "reuse should be dramatic");
+    }
+
+    fn set(m: &mut Mapping, pos: usize, factors: &[u64]) {
+        match &mut m.levels_mut()[pos] {
+            MappingLevel::Temporal(t) => t.factors.copy_from_slice(factors),
+            MappingLevel::Spatial(s) => s.factors.copy_from_slice(factors),
+        }
+    }
+
+    #[test]
+    fn delay_respects_bandwidth() {
+        let w = conv1d(16, 16, 56, 3);
+        let arch = presets::conventional();
+        let binding = Binding::resolve(&arch, &w).unwrap();
+        let model = CostModel::new(&w, &arch, &binding);
+        // Streaming from DRAM: every operand word crosses the 16-words/cycle
+        // DRAM port; must be bandwidth bound.
+        let report = model.evaluate(&Mapping::streaming(&w, &arch)).unwrap();
+        assert!(report.is_bandwidth_bound());
+        assert!(report.delay_cycles >= report.compute_cycles);
+    }
+
+    #[test]
+    fn invalid_mapping_is_rejected() {
+        let w = conv1d(16, 16, 56, 3);
+        let arch = presets::conventional();
+        let binding = Binding::resolve(&arch, &w).unwrap();
+        let model = CostModel::new(&w, &arch, &binding);
+        let mut m = Mapping::streaming(&w, &arch);
+        set(&mut m, 0, &[32, 1, 1, 1]); // K over-covered
+        assert!(model.evaluate(&m).is_err());
+    }
+
+    #[test]
+    fn wider_tensors_cost_proportionally_more() {
+        // Same shape, once with 8-bit and once with 32-bit ifmap.
+        let build = |bits: u32| {
+            let mut b = Workload::builder("convb");
+            let k = b.dim("K", 8);
+            let c = b.dim("C", 8);
+            let p = b.dim("P", 8);
+            let r = b.dim("R", 3);
+            b.input_bits("ifmap", [c.expr(), p + r], bits);
+            b.input_bits("weight", [k.expr(), c.expr(), r.expr()], 16);
+            b.output_bits("ofmap", [k.expr(), p.expr()], 16);
+            b.build().unwrap()
+        };
+        let arch = presets::conventional();
+        let w8 = build(8);
+        let w32 = build(32);
+        let b8 = Binding::resolve(&arch, &w8).unwrap();
+        let b32 = Binding::resolve(&arch, &w32).unwrap();
+        let r8 = CostModel::new(&w8, &arch, &b8)
+            .evaluate(&Mapping::streaming(&w8, &arch))
+            .unwrap();
+        let r32 = CostModel::new(&w32, &arch, &b32)
+            .evaluate(&Mapping::streaming(&w32, &arch))
+            .unwrap();
+        assert!(r32.energy_pj > r8.energy_pj);
+    }
+
+    #[test]
+    fn report_breakdown_sums_to_total() {
+        let w = conv1d(16, 16, 56, 3);
+        let arch = presets::conventional();
+        let binding = Binding::resolve(&arch, &w).unwrap();
+        let model = CostModel::new(&w, &arch, &binding);
+        let report = model.evaluate(&Mapping::streaming(&w, &arch)).unwrap();
+        let level_sum: f64 = report.levels.iter().map(|l| l.energy_pj).sum();
+        let total = level_sum + report.mac_energy_pj + report.noc_energy_pj;
+        assert!((total - report.energy_pj).abs() < 1e-6 * report.energy_pj.max(1.0));
+        assert!((report.memory_energy_pj() - level_sum).abs() < 1e-6 * level_sum.max(1.0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Human-readable rendering and comparison of cost reports.
+
+use std::fmt::Write as _;
+
+use crate::CostReport;
+
+impl CostReport {
+    /// One-line summary: energy, delay, EDP, and the binding constraint.
+    pub fn summary(&self) -> String {
+        format!(
+            "energy {:.3e} pJ, delay {:.3e} cyc, EDP {:.3e} ({}-bound)",
+            self.energy_pj,
+            self.delay_cycles,
+            self.edp,
+            if self.is_bandwidth_bound() { "bandwidth" } else { "compute" }
+        )
+    }
+}
+
+/// Renders a side-by-side comparison of two reports: totals plus
+/// per-memory-level access and energy ratios (`b / a`).
+///
+/// Useful for answering "why is this mapping better?" — the level whose
+/// ratio moved the most is the level whose reuse changed.
+///
+/// # Examples
+///
+/// ```
+/// use sunstone_arch::{presets, Binding};
+/// use sunstone_ir::Workload;
+/// use sunstone_mapping::Mapping;
+/// use sunstone_model::{compare, CostModel};
+///
+/// let mut b = Workload::builder("mm");
+/// let m = b.dim("M", 16);
+/// let n = b.dim("N", 16);
+/// let k = b.dim("K", 16);
+/// b.input("a", [m.expr(), k.expr()]);
+/// b.input("b", [k.expr(), n.expr()]);
+/// b.output("out", [m.expr(), n.expr()]);
+/// let w = b.build()?;
+/// let arch = presets::conventional();
+/// let binding = Binding::resolve(&arch, &w)?;
+/// let model = CostModel::new(&w, &arch, &binding);
+/// let r = model.evaluate(&Mapping::streaming(&w, &arch))?;
+/// let text = compare("streaming", &r, "streaming", &r);
+/// assert!(text.contains("1.00x"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compare(name_a: &str, a: &CostReport, name_b: &str, b: &CostReport) -> String {
+    let mut out = String::new();
+    let ratio = |x: f64, y: f64| if x > 0.0 { y / x } else { f64::NAN };
+    let _ = writeln!(out, "{:<12} {:>14} {:>14} {:>8}", "", name_a, name_b, "ratio");
+    for (label, va, vb) in [
+        ("energy (pJ)", a.energy_pj, b.energy_pj),
+        ("delay (cyc)", a.delay_cycles, b.delay_cycles),
+        ("EDP", a.edp, b.edp),
+        ("MAC energy", a.mac_energy_pj, b.mac_energy_pj),
+        ("NoC energy", a.noc_energy_pj, b.noc_energy_pj),
+    ] {
+        let _ = writeln!(
+            out,
+            "{label:<12} {va:>14.4e} {vb:>14.4e} {:>7.2}x",
+            ratio(va, vb)
+        );
+    }
+    for (la, lb) in a.levels.iter().zip(&b.levels) {
+        let _ = writeln!(
+            out,
+            "@{:<11} {:>14.4e} {:>14.4e} {:>7.2}x   (reads {:.2}x, writes {:.2}x)",
+            la.name,
+            la.energy_pj,
+            lb.energy_pj,
+            ratio(la.energy_pj, lb.energy_pj),
+            ratio(la.reads, lb.reads),
+            ratio(la.writes, lb.writes),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+    use sunstone_arch::{presets, Binding};
+    use sunstone_ir::Workload;
+    use sunstone_mapping::{Mapping, MappingLevel};
+
+    fn conv() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 16);
+        let c = b.dim("C", 16);
+        let p = b.dim("P", 56);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn comparison_shows_where_a_tiled_mapping_wins() {
+        let w = conv();
+        let arch = presets::conventional();
+        let binding = Binding::resolve(&arch, &w).unwrap();
+        let model = CostModel::new(&w, &arch, &binding);
+        let streaming = model.evaluate(&Mapping::streaming(&w, &arch)).unwrap();
+        let mut m = Mapping::streaming(&w, &arch);
+        if let MappingLevel::Temporal(t) = &mut m.levels_mut()[0] {
+            t.factors = vec![4, 1, 8, 3];
+        }
+        if let MappingLevel::Temporal(t) = &mut m.levels_mut()[3] {
+            t.factors = vec![4, 16, 7, 1];
+        }
+        let tiled = model.evaluate(&m).unwrap();
+        let text = compare("streaming", &streaming, "tiled", &tiled);
+        assert!(text.contains("@DRAM"), "{text}");
+        assert!(text.contains("streaming") && text.contains("tiled"));
+        // The DRAM line's ratio must show the improvement (below 1x).
+        let dram_line = text.lines().find(|l| l.starts_with("@DRAM")).unwrap();
+        assert!(dram_line.contains("0."), "{dram_line}");
+    }
+
+    #[test]
+    fn summary_mentions_the_bound() {
+        let w = conv();
+        let arch = presets::conventional();
+        let binding = Binding::resolve(&arch, &w).unwrap();
+        let model = CostModel::new(&w, &arch, &binding);
+        let r = model.evaluate(&Mapping::streaming(&w, &arch)).unwrap();
+        let s = r.summary();
+        assert!(s.contains("bound"), "{s}");
+        assert!(s.contains("EDP"), "{s}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Model configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelOptions {
+    /// Credit sliding-window (halo) overlap between *adjacent* tiles: when
+    /// the loop driving a tensor's refills only shifts a window, fetch
+    /// only the new portion. Timeloop does not model this; Sunstone's
+    /// ordering trie exploits it ("partially reused by", Table III).
+    pub halo_reuse: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions { halo_reuse: true }
+    }
+}

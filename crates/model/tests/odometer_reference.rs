@@ -1,0 +1,189 @@
+//! Differential validation of the analytic access counts against an
+//! explicit odometer simulation.
+//!
+//! The analytic model computes refills as a *closed-form product* (all
+//! temporal factors above the child boundary minus the innermost
+//! non-indexing run). Here we validate that formula by brute force:
+//! iterate the flattened temporal loop nest step by step, reload a
+//! tensor's tile whenever a loop that indexes it changes, and count. The
+//! two must agree exactly for any structurally valid mapping on a
+//! two-level hierarchy (the paper's Algorithm 4 setting).
+
+use sunstone_arch::{
+    ArchSpec, Binding, BufferPartition, Capacity, Level, MemoryLevel, TensorFilter,
+};
+use sunstone_ir::Workload;
+use sunstone_mapping::{FlatNest, Mapping, MappingLevel, TemporalLevel, ValidationContext};
+use sunstone_model::{AccessCounts, ModelOptions};
+
+fn conv1d(k: u64, c: u64, p: u64, r: u64) -> Workload {
+    let mut b = Workload::builder("conv1d");
+    let kk = b.dim("K", k);
+    let cc = b.dim("C", c);
+    let pp = b.dim("P", p);
+    let rr = b.dim("R", r);
+    b.input("ifmap", [cc.expr(), pp + rr]);
+    b.input("weight", [kk.expr(), cc.expr(), rr.expr()]);
+    b.output("ofmap", [kk.expr(), pp.expr()]);
+    b.build().unwrap()
+}
+
+fn two_level_arch() -> ArchSpec {
+    ArchSpec::new(
+        "two-level",
+        vec![
+            Level::Memory(MemoryLevel::unified(
+                "L1",
+                BufferPartition::new("l1", TensorFilter::Any, Capacity::Bytes(1 << 22), 1.0, 1.0),
+            )),
+            Level::Memory(MemoryLevel::unified(
+                "L2",
+                BufferPartition::new("l2", TensorFilter::Any, Capacity::Unbounded, 10.0, 10.0),
+            )),
+        ],
+        1.0,
+        16,
+    )
+}
+
+/// Brute-force reload counting: walk the L2-level loops with an odometer;
+/// a tensor's L1 tile reloads whenever any changed loop indexes it.
+/// Returns per-tensor (reloads × tile-footprint) = words read from L2.
+fn odometer_reads(w: &Workload, mapping: &Mapping) -> Vec<f64> {
+    let nest = FlatNest::of(mapping, w);
+    let loops: Vec<_> = nest.loops_above(0).to_vec(); // everything above L1
+    let tile = mapping.resident_tile(0, w.num_dims());
+    let mut counters = vec![0u64; loops.len()];
+    let mut reads = vec![0.0f64; w.num_tensors()];
+    let mut first = true;
+    loop {
+        let changed_from = if first {
+            0
+        } else {
+            let mut i = loops.len();
+            loop {
+                if i == 0 {
+                    return reads;
+                }
+                i -= 1;
+                counters[i] += 1;
+                if counters[i] < loops[i].factor {
+                    break;
+                }
+                counters[i] = 0;
+            }
+            i
+        };
+        first = false;
+        for (t_idx, tensor) in w.tensors().iter().enumerate() {
+            let indexing = tensor.indexing_dims();
+            let reload =
+                changed_from == 0 && counters.iter().all(|&c| c == 0)
+                    || loops[changed_from..].iter().any(|l| indexing.contains(l.dim));
+            if reload && !tensor.is_output() {
+                reads[t_idx] += tensor.footprint(&tile) as f64;
+            }
+        }
+        if loops.is_empty() {
+            return reads;
+        }
+    }
+}
+
+fn check(w: &Workload, l1_factors: Vec<u64>, l2_order: Vec<usize>) {
+    let arch = two_level_arch();
+    let binding = Binding::resolve(&arch, w).unwrap();
+    let ctx = ValidationContext::new(w, &arch, &binding);
+    let sizes = w.dim_sizes();
+    let l2_factors: Vec<u64> = sizes.iter().zip(&l1_factors).map(|(s, f)| s / f).collect();
+    let order: Vec<_> =
+        l2_order.into_iter().map(sunstone_ir::DimId::from_index).collect();
+    let mapping = Mapping::from_levels(vec![
+        MappingLevel::Temporal(TemporalLevel {
+            mem: sunstone_arch::LevelId(0),
+            factors: l1_factors,
+            order: order.clone(),
+        }),
+        MappingLevel::Temporal(TemporalLevel {
+            mem: sunstone_arch::LevelId(1),
+            factors: l2_factors,
+            order,
+        }),
+    ]);
+    ctx.validate(&mapping).expect("test mapping is valid");
+    let counts = AccessCounts::compute(
+        w,
+        &arch,
+        &binding,
+        &mapping,
+        ModelOptions { halo_reuse: false },
+    );
+    let reference = odometer_reads(w, &mapping);
+    for t in w.tensor_ids() {
+        if w.tensor(t).is_output() {
+            continue;
+        }
+        assert_eq!(
+            counts.at(1, t).reads,
+            reference[t.index()],
+            "tensor {} under mapping {mapping}",
+            w.tensor(t).name()
+        );
+    }
+}
+
+#[test]
+fn analytic_reads_match_odometer_across_orders() {
+    let w = conv1d(4, 4, 8, 3);
+    // Every permutation of the four dims as the L2 order.
+    let mut perms = Vec::new();
+    let mut dims = [0usize, 1, 2, 3];
+    permute(&mut dims, 0, &mut perms);
+    for order in perms {
+        check(&w, vec![2, 2, 4, 1], order.to_vec());
+    }
+}
+
+#[test]
+fn analytic_reads_match_odometer_across_tilings() {
+    let w = conv1d(4, 4, 8, 3);
+    for l1 in [
+        vec![1, 1, 1, 1],
+        vec![4, 4, 8, 3],
+        vec![2, 1, 8, 3],
+        vec![1, 4, 2, 1],
+        vec![4, 2, 4, 3],
+    ] {
+        check(&w, l1, vec![0, 1, 2, 3]);
+        check(&w, vec![2, 2, 2, 1], vec![3, 2, 1, 0]);
+    }
+}
+
+#[test]
+fn analytic_reads_match_odometer_on_matmul() {
+    let mut b = Workload::builder("mm");
+    let m = b.dim("M", 6);
+    let n = b.dim("N", 4);
+    let k = b.dim("K", 8);
+    b.input("a", [m.expr(), k.expr()]);
+    b.input("b", [k.expr(), n.expr()]);
+    b.output("out", [m.expr(), n.expr()]);
+    let w = b.build().unwrap();
+    for order in [vec![0, 1, 2], vec![2, 1, 0], vec![1, 2, 0], vec![2, 0, 1]] {
+        check(&w, vec![3, 2, 2], order.clone());
+        check(&w, vec![1, 1, 8], order.clone());
+        check(&w, vec![6, 4, 1], order);
+    }
+}
+
+fn permute(dims: &mut [usize; 4], k: usize, out: &mut Vec<[usize; 4]>) {
+    if k == dims.len() {
+        out.push(*dims);
+        return;
+    }
+    for i in k..dims.len() {
+        dims.swap(k, i);
+        permute(dims, k + 1, out);
+        dims.swap(k, i);
+    }
+}

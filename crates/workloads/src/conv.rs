@@ -1,0 +1,179 @@
+//! Parameterized 2-D convolutions.
+
+use serde::{Deserialize, Serialize};
+use sunstone_ir::Workload;
+
+/// Element widths for the three convolution datatypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Precision {
+    /// Bits per ifmap element.
+    pub ifmap: u32,
+    /// Bits per weight element.
+    pub weight: u32,
+    /// Bits per ofmap element.
+    pub ofmap: u32,
+}
+
+impl Precision {
+    /// The conventional accelerator's 16-bit datapath (Table IV).
+    pub fn conventional() -> Self {
+        Precision { ifmap: 16, weight: 16, ofmap: 16 }
+    }
+
+    /// The Simba-like accelerator's mixed precision (Table IV): 8-bit
+    /// operands, 24-bit accumulations.
+    pub fn simba() -> Self {
+        Precision { ifmap: 8, weight: 8, ofmap: 24 }
+    }
+}
+
+/// A 2-D convolution layer: `K` filters of `C × R × S` over a batch of
+/// `N` inputs producing `P × Q` outputs with the given stride.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Layer name, e.g. `"conv3_1"`.
+    pub name: String,
+    /// Batch size.
+    pub n: u64,
+    /// Output channels (filters).
+    pub k: u64,
+    /// Input channels.
+    pub c: u64,
+    /// Output height.
+    pub p: u64,
+    /// Output width.
+    pub q: u64,
+    /// Kernel height.
+    pub r: u64,
+    /// Kernel width.
+    pub s: u64,
+    /// Convolution stride (both axes).
+    pub stride: u64,
+}
+
+impl ConvSpec {
+    /// Creates a layer spec.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        n: u64,
+        k: u64,
+        c: u64,
+        p: u64,
+        q: u64,
+        r: u64,
+        s: u64,
+        stride: u64,
+    ) -> Self {
+        ConvSpec { name: name.into(), n, k, c, p, q, r, s, stride }
+    }
+
+    /// Returns `true` for asymmetric kernels (e.g. 1×7), which some
+    /// baseline mappers cannot handle (Fig 7 of the paper).
+    pub fn is_asymmetric(&self) -> bool {
+        self.r != self.s
+    }
+
+    /// Total MACs of the layer.
+    pub fn macs(&self) -> u64 {
+        self.n * self.k * self.c * self.p * self.q * self.r * self.s
+    }
+
+    /// The inference workload:
+    /// `ofmap[n,k,p,q] = Σ_{c,r,s} ifmap[n,c,s·p+r,s·q+s] × w[k,c,r,s]`.
+    pub fn inference(&self, bits: Precision) -> Workload {
+        let mut b = Workload::builder(self.name.clone());
+        let n = b.dim("N", self.n);
+        let k = b.dim("K", self.k);
+        let c = b.dim("C", self.c);
+        let p = b.dim("P", self.p);
+        let q = b.dim("Q", self.q);
+        let r = b.dim("R", self.r);
+        let s = b.dim("S", self.s);
+        b.input_bits(
+            "ifmap",
+            [n.expr(), c.expr(), p.strided(self.stride) + r, q.strided(self.stride) + s],
+            bits.ifmap,
+        );
+        b.input_bits("weight", [k.expr(), c.expr(), r.expr(), s.expr()], bits.weight);
+        b.output_bits("ofmap", [n.expr(), k.expr(), p.expr(), q.expr()], bits.ofmap);
+        b.build().expect("conv specs are valid workloads")
+    }
+
+    /// The weight-update (training back-propagation) workload of Fig 7:
+    /// `dW[k,c,r,s] = Σ_{n,p,q} dout[n,k,p,q] × ifmap[n,c,p+r,q+s]`.
+    ///
+    /// The output is the weight gradient; batch and output pixels are
+    /// reduction dimensions, giving a very different reuse pattern from
+    /// inference.
+    pub fn weight_update(&self, bits: Precision) -> Workload {
+        let mut b = Workload::builder(format!("{}_wu", self.name));
+        let n = b.dim("N", self.n);
+        let k = b.dim("K", self.k);
+        let c = b.dim("C", self.c);
+        let p = b.dim("P", self.p);
+        let q = b.dim("Q", self.q);
+        let r = b.dim("R", self.r);
+        let s = b.dim("S", self.s);
+        b.input_bits("dout", [n.expr(), k.expr(), p.expr(), q.expr()], bits.ofmap);
+        b.input_bits(
+            "ifmap",
+            [n.expr(), c.expr(), p.strided(self.stride) + r, q.strided(self.stride) + s],
+            bits.ifmap,
+        );
+        b.output_bits("dweight", [k.expr(), c.expr(), r.expr(), s.expr()], bits.weight.max(16));
+        b.build().expect("conv specs are valid workloads")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvSpec {
+        ConvSpec::new("test", 16, 64, 32, 28, 28, 3, 3, 1)
+    }
+
+    #[test]
+    fn inference_has_seven_dims_and_three_tensors() {
+        let w = layer().inference(Precision::conventional());
+        assert_eq!(w.num_dims(), 7);
+        assert_eq!(w.num_tensors(), 3);
+        assert_eq!(w.total_ops(), layer().macs());
+        let out = w.tensor(w.output());
+        assert_eq!(out.name(), "ofmap");
+    }
+
+    #[test]
+    fn weight_update_reduces_over_batch_and_pixels() {
+        let w = layer().weight_update(Precision::conventional());
+        let n = w.dim_by_name("N").unwrap();
+        let p = w.dim_by_name("P").unwrap();
+        let q = w.dim_by_name("Q").unwrap();
+        assert_eq!(w.reduction_dims(), w.dim_set(&[n, p, q]));
+        assert_eq!(w.tensor(w.output()).name(), "dweight");
+    }
+
+    #[test]
+    fn strided_conv_shrinks_footprint_math() {
+        let spec = ConvSpec::new("s2", 1, 8, 8, 14, 14, 3, 3, 2);
+        let w = spec.inference(Precision::conventional());
+        let ifmap = w.tensor(w.tensor_by_name("ifmap").unwrap());
+        // Full tile: H = 2·(14−1) + 3 = 29 per axis.
+        let tile = w.dim_sizes();
+        assert_eq!(ifmap.footprint(&tile), 8 * 29 * 29);
+    }
+
+    #[test]
+    fn asymmetric_detection() {
+        assert!(ConvSpec::new("1x7", 1, 8, 8, 17, 17, 1, 7, 1).is_asymmetric());
+        assert!(!layer().is_asymmetric());
+    }
+
+    #[test]
+    fn simba_precision_propagates() {
+        let w = layer().inference(Precision::simba());
+        assert_eq!(w.tensor(w.tensor_by_name("ifmap").unwrap()).bits(), 8);
+        assert_eq!(w.tensor(w.output()).bits(), 24);
+    }
+}

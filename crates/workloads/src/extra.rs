@@ -1,0 +1,184 @@
+//! Additional DNN layer families beyond the paper's evaluation set:
+//! fully-connected layers and grouped convolutions. Both are expressible
+//! in the same IR with no scheduler changes — the versatility claim in
+//! practice.
+
+use sunstone_ir::Workload;
+
+use crate::Precision;
+
+/// A fully-connected layer: `out[n,k] = Σ_c in[n,c] × w[k,c]` — a matrix
+/// multiplication with DNN naming.
+pub fn fully_connected(batch: u64, out_features: u64, in_features: u64) -> Workload {
+    let mut b = Workload::builder(format!("fc_{out_features}x{in_features}"));
+    let n = b.dim("N", batch);
+    let k = b.dim("K", out_features);
+    let c = b.dim("C", in_features);
+    b.input("ifmap", [n.expr(), c.expr()]);
+    b.input("weight", [k.expr(), c.expr()]);
+    b.output("ofmap", [n.expr(), k.expr()]);
+    b.build().expect("fc layers are valid workloads")
+}
+
+/// A grouped convolution: channels are split into `groups` independent
+/// convolutions. The group index `G` indexes every tensor, so no
+/// cross-group reuse exists — a stress test for reuse inference.
+///
+/// `k` and `c` are the *per-group* channel counts.
+#[allow(clippy::too_many_arguments)]
+pub fn grouped_conv(
+    batch: u64,
+    groups: u64,
+    k: u64,
+    c: u64,
+    p: u64,
+    q: u64,
+    r: u64,
+    s: u64,
+    bits: Precision,
+) -> Workload {
+    let mut b = Workload::builder(format!("gconv_g{groups}"));
+    let n = b.dim("N", batch);
+    let g = b.dim("G", groups);
+    let kk = b.dim("K", k);
+    let cc = b.dim("C", c);
+    let pp = b.dim("P", p);
+    let qq = b.dim("Q", q);
+    let rr = b.dim("R", r);
+    let ss = b.dim("S", s);
+    b.input_bits("ifmap", [n.expr(), g.expr(), cc.expr(), pp + rr, qq + ss], bits.ifmap);
+    b.input_bits("weight", [g.expr(), kk.expr(), cc.expr(), rr.expr(), ss.expr()], bits.weight);
+    b.output_bits("ofmap", [n.expr(), g.expr(), kk.expr(), pp.expr(), qq.expr()], bits.ofmap);
+    b.build().expect("grouped convs are valid workloads")
+}
+
+/// A depthwise convolution: `groups = channels`, one filter per channel —
+/// the extreme case of [`grouped_conv`] with `k = c = 1`.
+pub fn depthwise_conv(
+    batch: u64,
+    channels: u64,
+    p: u64,
+    q: u64,
+    r: u64,
+    s: u64,
+    bits: Precision,
+) -> Workload {
+    grouped_conv(batch, channels, 1, 1, p, q, r, s, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_is_a_matmul_in_disguise() {
+        let w = fully_connected(16, 1000, 512);
+        assert_eq!(w.num_dims(), 3);
+        assert_eq!(w.total_ops(), 16 * 1000 * 512);
+        let c = w.dim_by_name("C").unwrap();
+        assert_eq!(w.reduction_dims(), w.dim_set(&[c]));
+    }
+
+    #[test]
+    fn grouped_conv_has_no_cross_group_reuse() {
+        let w = grouped_conv(4, 8, 16, 16, 14, 14, 3, 3, Precision::conventional());
+        let info = w.reuse_info();
+        let g = w.dim_by_name("G").unwrap();
+        for (t, r) in info.iter() {
+            assert!(
+                !r.full_reuse.contains(g),
+                "G indexes every tensor, so nothing is reused across it: {}",
+                w.tensor(t).name()
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_conv_reuses_only_spatially() {
+        let w = depthwise_conv(4, 64, 14, 14, 3, 3, Precision::conventional());
+        // Per-group K and C are singleton dims; reuse comes from N/P/Q
+        // only (weight across batch and positions, ifmap across nothing
+        // chip-wide).
+        let info = w.reuse_info();
+        let weight = w.tensor_by_name("weight").unwrap();
+        let n = w.dim_by_name("N").unwrap();
+        let p = w.dim_by_name("P").unwrap();
+        assert!(info.of(weight).full_reuse.contains(n));
+        assert!(info.of(weight).full_reuse.contains(p));
+    }
+
+    #[test]
+    fn extra_layers_schedule_end_to_end() {
+        use sunstone::{Sunstone, SunstoneConfig};
+        use sunstone_arch::presets;
+        let arch = presets::conventional();
+        let scheduler = Sunstone::new(SunstoneConfig::default());
+        for w in [
+            fully_connected(16, 256, 256),
+            grouped_conv(2, 4, 8, 8, 14, 14, 3, 3, Precision::conventional()),
+            depthwise_conv(2, 32, 14, 14, 3, 3, Precision::conventional()),
+        ] {
+            let r = scheduler.schedule(&w, &arch).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert!(r.report.edp > 0.0);
+        }
+    }
+}
+
+/// Multi-head attention scores: `out[h,i,j] = Σ_d Q[h,i,d] × K[h,j,d]` —
+/// a batched matmul whose reuse pattern differs from single matmul (the
+/// head dimension indexes everything, like a grouped conv's groups).
+pub fn attention_scores(heads: u64, seq: u64, head_dim: u64) -> Workload {
+    let mut b = Workload::builder(format!("attn_scores_h{heads}"));
+    let h = b.dim("H", heads);
+    let i = b.dim("I", seq);
+    let j = b.dim("J", seq);
+    let d = b.dim("D", head_dim);
+    b.input("Q", [h.expr(), i.expr(), d.expr()]);
+    b.input("K", [h.expr(), j.expr(), d.expr()]);
+    b.output("out", [h.expr(), i.expr(), j.expr()]);
+    b.build().expect("attention scores are a valid workload")
+}
+
+/// A transformer feed-forward layer (`tokens × d_model → d_ff`): the
+/// dominant matmul of BERT-class models.
+pub fn transformer_ffn(tokens: u64, d_model: u64, d_ff: u64) -> Workload {
+    let mut b = Workload::builder("ffn");
+    let t = b.dim("T", tokens);
+    let f = b.dim("F", d_ff);
+    let m = b.dim("M", d_model);
+    b.input("x", [t.expr(), m.expr()]);
+    b.input("weight", [f.expr(), m.expr()]);
+    b.output("y", [t.expr(), f.expr()]);
+    b.build().expect("ffn is a valid workload")
+}
+
+#[cfg(test)]
+mod transformer_tests {
+    use super::*;
+    use sunstone::{Sunstone, SunstoneConfig};
+    use sunstone_arch::presets;
+
+    #[test]
+    fn attention_reuse_mirrors_grouped_structure() {
+        let w = attention_scores(12, 128, 64);
+        let info = w.reuse_info();
+        let h = w.dim_by_name("H").unwrap();
+        for (_, r) in info.iter() {
+            assert!(!r.full_reuse.contains(h), "H indexes every tensor");
+        }
+        // Q is reused across J, K across I, out across D.
+        let q = w.tensor_by_name("Q").unwrap();
+        let j = w.dim_by_name("J").unwrap();
+        assert!(info.of(q).full_reuse.contains(j));
+    }
+
+    #[test]
+    fn transformer_layers_schedule() {
+        let arch = presets::conventional();
+        let scheduler = Sunstone::new(SunstoneConfig::default());
+        for w in [attention_scores(12, 128, 64), transformer_ffn(128, 768, 3072)] {
+            let r = scheduler.schedule(&w, &arch).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert!(r.mapping.used_parallelism() > 1);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Representative Inception-v3 convolution layers (Szegedy et al., CVPR
+//! 2016), including the asymmetric 1×7 / 7×1 / 3×1 factorized kernels
+//! that break symmetric-convolution mappers (Fig 7 of the paper).
+//!
+//! Spatial grid sizes are rounded to nearby composite numbers
+//! (149→144, 73→72, 35→36, 17→16) so exact divisor tilings exist; see the
+//! crate-level substitution note.
+
+use crate::ConvSpec;
+
+/// Representative Inception-v3 layers at the given batch size.
+pub fn inception_v3_layers(batch: u64) -> Vec<ConvSpec> {
+    let n = batch;
+    vec![
+        // Stem (input channels padded 3→4).
+        ConvSpec::new("conv1_3x3_s2", n, 32, 4, 144, 144, 3, 3, 2),
+        ConvSpec::new("conv2_3x3", n, 32, 32, 144, 144, 3, 3, 1),
+        // 35×35 inception blocks.
+        ConvSpec::new("1x1_mid", n, 64, 288, 36, 36, 1, 1, 1),
+        ConvSpec::new("5x5_mid", n, 64, 48, 36, 36, 5, 5, 1),
+        ConvSpec::new("3x3_mid", n, 96, 96, 36, 36, 3, 3, 1),
+        // 17×17 factorized blocks (asymmetric kernels).
+        ConvSpec::new("1x7_deep", n, 128, 128, 16, 16, 1, 7, 1),
+        ConvSpec::new("7x1_deep", n, 128, 128, 16, 16, 7, 1, 1),
+        // 8×8 factorized blocks.
+        ConvSpec::new("3x1_deep", n, 384, 384, 8, 8, 3, 1, 1),
+        ConvSpec::new("1x3_deep", n, 384, 384, 8, 8, 1, 3, 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Precision;
+
+    #[test]
+    fn includes_the_asymmetric_layers_of_fig7() {
+        let layers = inception_v3_layers(16);
+        let asym: Vec<&str> = layers
+            .iter()
+            .filter(|l| l.is_asymmetric())
+            .map(|l| l.name.as_str())
+            .collect();
+        assert!(asym.contains(&"1x7_deep"));
+        assert!(asym.contains(&"7x1_deep"));
+        assert!(asym.contains(&"3x1_deep"));
+        assert_eq!(asym.len(), 4);
+    }
+
+    #[test]
+    fn all_layers_build_weight_update_workloads() {
+        for l in inception_v3_layers(16) {
+            let w = l.weight_update(Precision::conventional());
+            assert_eq!(w.total_ops(), l.macs());
+            assert_eq!(w.num_dims(), 7);
+        }
+    }
+}

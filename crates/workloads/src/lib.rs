@@ -1,0 +1,31 @@
+//! The workload suite of the Sunstone paper (Table II and Section V).
+//!
+//! * [`ConvSpec`] — parameterized 2-D convolutions with optional stride
+//!   and asymmetric kernels, convertible to inference or weight-update
+//!   ([`ConvSpec::weight_update`]) nested-loop workloads;
+//! * [`resnet18_layers`] — the unique convolution layers of ResNet-18;
+//! * [`inception_v3_layers`] — representative Inception-v3 layers,
+//!   including the asymmetric 1×7 / 7×1 / 3×1 kernels of Fig 7;
+//! * [`tensor`] — the non-DNN tensor algebra of Table II: MTTKRP, TTMc,
+//!   SDDMM, MMc, and TCL with shapes derived from the FROSTT /
+//!   SuiteSparse instances the paper cites.
+//!
+//! ## Shape substitution note
+//!
+//! The paper's analytic evaluation only consumes *loop extents* (its cost
+//! model is dense), so sparse-tensor workloads are represented by their
+//! mode sizes. We additionally round those sizes to highly composite
+//! numbers (multiples of small powers of 2 and 3): the schedulers in this
+//! reproduction use exact divisor tilings, and real deployments pad to
+//! tile boundaries anyway. Each constant documents the original size.
+
+mod conv;
+pub mod extra;
+mod inception;
+pub mod mobilenet;
+mod resnet;
+pub mod tensor;
+
+pub use conv::{ConvSpec, Precision};
+pub use inception::inception_v3_layers;
+pub use resnet::resnet18_layers;

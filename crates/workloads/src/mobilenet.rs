@@ -1,0 +1,111 @@
+//! MobileNetV2 inverted-residual layers (Sandler et al., CVPR 2018).
+//!
+//! Each block is expand (1×1) → depthwise (3×3) → project (1×1); the
+//! depthwise stage uses [`crate::extra::grouped_conv`] with one channel
+//! per group — a reuse pattern none of the paper's workloads exercise
+//! (no cross-channel reuse at all), making it a good versatility probe.
+
+use sunstone_ir::Workload;
+
+use crate::extra::{depthwise_conv, grouped_conv};
+use crate::{ConvSpec, Precision};
+
+/// One inverted-residual block's three stages as workloads.
+#[derive(Debug, Clone)]
+pub struct InvertedResidual {
+    /// Block name, e.g. `"block3"`.
+    pub name: String,
+    /// 1×1 expansion convolution.
+    pub expand: ConvSpec,
+    /// Depthwise 3×3 stage parameters: (batch, channels, p, q, stride).
+    pub depthwise: (u64, u64, u64, u64, u64),
+    /// 1×1 projection convolution.
+    pub project: ConvSpec,
+}
+
+impl InvertedResidual {
+    /// The three stages as schedulable workloads (expand, depthwise,
+    /// project).
+    pub fn workloads(&self, bits: Precision) -> [Workload; 3] {
+        let (n, ch, p, q, stride) = self.depthwise;
+        let dw = if stride == 1 {
+            depthwise_conv(n, ch, p, q, 3, 3, bits)
+        } else {
+            grouped_conv(n, ch, 1, 1, p, q, 3, 3, bits)
+        };
+        [self.expand.inference(bits), dw, self.project.inference(bits)]
+    }
+}
+
+/// Representative MobileNetV2 inverted-residual blocks at the given batch
+/// size (spatial sizes rounded to composite numbers, channel counts are
+/// the paper's).
+pub fn mobilenet_v2_blocks(batch: u64) -> Vec<InvertedResidual> {
+    let n = batch;
+    let block = |name: &str, cin: u64, expanded: u64, cout: u64, pq: u64| InvertedResidual {
+        name: name.to_string(),
+        expand: ConvSpec::new(format!("{name}_expand"), n, expanded, cin, pq, pq, 1, 1, 1),
+        depthwise: (n, expanded, pq, pq, 1),
+        project: ConvSpec::new(format!("{name}_project"), n, cout, expanded, pq, pq, 1, 1, 1),
+    };
+    vec![
+        block("block2", 24, 144, 24, 56),
+        block("block4", 32, 192, 32, 28),
+        block("block8", 64, 384, 64, 14),
+        block("block12", 96, 576, 96, 14),
+        block("block15", 160, 960, 160, 8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone::{Sunstone, SunstoneConfig};
+    use sunstone_arch::presets;
+
+    #[test]
+    fn blocks_build_all_three_stages() {
+        for b in mobilenet_v2_blocks(4) {
+            let [expand, dw, project] = b.workloads(Precision::conventional());
+            assert_eq!(expand.num_dims(), 7);
+            assert_eq!(dw.num_dims(), 8, "depthwise adds the group dim");
+            assert_eq!(project.num_dims(), 7);
+        }
+    }
+
+    #[test]
+    fn depthwise_stage_schedules_despite_no_channel_reuse() {
+        let arch = presets::conventional();
+        let scheduler = Sunstone::new(SunstoneConfig::default());
+        let b = &mobilenet_v2_blocks(4)[2]; // block8
+        let [expand, dw, project] = b.workloads(Precision::conventional());
+        for w in [expand, dw, project] {
+            let r = scheduler
+                .schedule(&w, &arch)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert!(r.mapping.used_parallelism() > 1, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn depthwise_is_bandwidth_heavier_than_pointwise() {
+        // Depthwise convs have far less reuse per byte: the scheduler
+        // cannot hide that, so its energy-per-MAC must be higher than the
+        // expand stage's.
+        let arch = presets::conventional();
+        let scheduler = Sunstone::new(SunstoneConfig::default());
+        let b = &mobilenet_v2_blocks(4)[2];
+        let [expand, dw, _] = b.workloads(Precision::conventional());
+        let re = scheduler.schedule(&expand, &arch).expect("schedules");
+        let rd = scheduler.schedule(&dw, &arch).expect("schedules");
+        let per_mac = |r: &sunstone::ScheduleResult, w: &Workload| {
+            r.report.energy_pj / w.total_ops() as f64
+        };
+        assert!(
+            per_mac(&rd, &dw) > per_mac(&re, &expand),
+            "dw {} vs expand {}",
+            per_mac(&rd, &dw),
+            per_mac(&re, &expand)
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! ResNet-18 convolution layers (He et al., CVPR 2016).
+
+use crate::ConvSpec;
+
+/// The unique convolution layers of ResNet-18 at 224×224 input, with the
+/// given batch size. Repeated blocks are listed once (their multiplicity
+/// does not change per-layer scheduling).
+///
+/// The input-channel count of the stem (3) is padded to 4 so the divisor
+/// tilings used throughout this reproduction stay exact.
+pub fn resnet18_layers(batch: u64) -> Vec<ConvSpec> {
+    let n = batch;
+    vec![
+        ConvSpec::new("conv1", n, 64, 4, 112, 112, 7, 7, 2),
+        ConvSpec::new("conv2_x", n, 64, 64, 56, 56, 3, 3, 1),
+        ConvSpec::new("conv3_1", n, 128, 64, 28, 28, 3, 3, 2),
+        ConvSpec::new("conv3_x", n, 128, 128, 28, 28, 3, 3, 1),
+        ConvSpec::new("conv3_ds", n, 128, 64, 28, 28, 1, 1, 2),
+        ConvSpec::new("conv4_1", n, 256, 128, 14, 14, 3, 3, 2),
+        ConvSpec::new("conv4_x", n, 256, 256, 14, 14, 3, 3, 1),
+        ConvSpec::new("conv4_ds", n, 256, 128, 14, 14, 1, 1, 2),
+        ConvSpec::new("conv5_1", n, 512, 256, 7, 7, 3, 3, 2),
+        ConvSpec::new("conv5_x", n, 512, 512, 7, 7, 3, 3, 1),
+        ConvSpec::new("conv5_ds", n, 512, 256, 7, 7, 1, 1, 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Precision;
+
+    #[test]
+    fn has_the_expected_layer_set() {
+        let layers = resnet18_layers(16);
+        assert_eq!(layers.len(), 11);
+        assert!(layers.iter().all(|l| l.n == 16));
+        // Channel growth doubles per stage.
+        let conv5 = layers.iter().find(|l| l.name == "conv5_x").unwrap();
+        assert_eq!((conv5.k, conv5.c, conv5.p), (512, 512, 7));
+    }
+
+    #[test]
+    fn all_layers_build_valid_workloads() {
+        for l in resnet18_layers(16) {
+            let w = l.inference(Precision::conventional());
+            assert_eq!(w.total_ops(), l.macs());
+            let wu = l.weight_update(Precision::conventional());
+            assert_eq!(wu.total_ops(), l.macs());
+        }
+    }
+
+    #[test]
+    fn macs_are_in_the_published_ballpark() {
+        // ResNet-18 is ~1.8 GMACs per image; our unique-layer list (not
+        // counting block repeats) covers a large fraction of that.
+        let total: u64 = resnet18_layers(1).iter().map(ConvSpec::macs).sum();
+        assert!(total > 500_000_000 && total < 2_500_000_000, "{total}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Non-DNN tensor-algebra workloads (Table II of the paper).
+//!
+//! Shapes follow the instances the paper cites — FROSTT tensors for the
+//! decomposition kernels and SuiteSparse matrices for SDDMM — with mode
+//! sizes rounded to highly composite numbers (see the crate-level
+//! substitution note). The original sizes are given next to each constant.
+
+use sunstone_ir::Workload;
+
+/// A 3-mode tensor shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape3(pub u64, pub u64, pub u64);
+
+/// FROSTT `nell-2` (12092 × 9184 × 28818), rounded.
+pub const NELL2: Shape3 = Shape3(12288, 9216, 28672);
+
+/// FROSTT `netflix` (480189 × 17770 × 2182), rounded.
+pub const NETFLIX: Shape3 = Shape3(491520, 17920, 2176);
+
+/// The paper's `poisson1` 3-D tensor; a cubic 3-D Poisson-grid shape.
+pub const POISSON1: Shape3 = Shape3(3072, 3072, 3072);
+
+/// SuiteSparse `bcsstk17` (10974 × 10974), rounded.
+pub const BCSSTK17: u64 = 10752;
+
+/// SuiteSparse `cant` (62451 × 62451), rounded.
+pub const CANT: u64 = 62464;
+
+/// Matricized tensor times Khatri-Rao product (CP decomposition):
+/// `out[i,j] = Σ_{k,l} A[i,k,l] × B[k,j] × C[l,j]`, rank `j`.
+///
+/// The paper evaluates rank 32 (Fig 6).
+pub fn mttkrp(shape: Shape3, rank: u64) -> Workload {
+    let Shape3(si, sk, sl) = shape;
+    let mut b = Workload::builder(format!("mttkrp_r{rank}"));
+    let i = b.dim("I", si);
+    let j = b.dim("J", rank);
+    let k = b.dim("K", sk);
+    let l = b.dim("L", sl);
+    b.input("A", [i.expr(), k.expr(), l.expr()]);
+    b.input("B", [k.expr(), j.expr()]);
+    b.input("C", [l.expr(), j.expr()]);
+    b.output("out", [i.expr(), j.expr()]);
+    b.build().expect("mttkrp is a valid workload")
+}
+
+/// Tensor-times-matrix chain (Tucker decomposition):
+/// `out[i,l,m] = Σ_{j,k} A[i,j,k] × B[j,l] × C[k,m]`, rank `l = m`.
+///
+/// The paper evaluates rank 8 (Fig 6).
+pub fn ttmc(shape: Shape3, rank: u64) -> Workload {
+    let Shape3(si, sj, sk) = shape;
+    let mut b = Workload::builder(format!("ttmc_r{rank}"));
+    let i = b.dim("I", si);
+    let j = b.dim("J", sj);
+    let k = b.dim("K", sk);
+    let l = b.dim("L", rank);
+    let m = b.dim("M", rank);
+    b.input("A", [i.expr(), j.expr(), k.expr()]);
+    b.input("B", [j.expr(), l.expr()]);
+    b.input("C", [k.expr(), m.expr()]);
+    b.output("out", [i.expr(), l.expr(), m.expr()]);
+    b.build().expect("ttmc is a valid workload")
+}
+
+/// Sampled dense-dense matrix multiplication (alternating least squares):
+/// `out[i,j] = A[i,j] × Σ_k B[i,k] × C[k,j]`, rank `k`.
+///
+/// The paper evaluates rank 512 (Fig 6).
+pub fn sddmm(side: u64, rank: u64) -> Workload {
+    let mut b = Workload::builder(format!("sddmm_r{rank}"));
+    let i = b.dim("I", side);
+    let j = b.dim("J", side);
+    let k = b.dim("K", rank);
+    b.input("A", [i.expr(), j.expr()]);
+    b.input("B", [i.expr(), k.expr()]);
+    b.input("C", [k.expr(), j.expr()]);
+    b.output("out", [i.expr(), j.expr()]);
+    b.build().expect("sddmm is a valid workload")
+}
+
+/// Matrix-multiplication chain (transformer attention):
+/// `out[i,l] = Σ_{j,k} A[i,j] × B[j,k] × C[k,l]`.
+///
+/// Defaults model one attention head: sequence 512, head width 64.
+pub fn mmc(i: u64, j: u64, k: u64, l: u64) -> Workload {
+    let mut b = Workload::builder("mmc");
+    let di = b.dim("I", i);
+    let dj = b.dim("J", j);
+    let dk = b.dim("K", k);
+    let dl = b.dim("L", l);
+    b.input("A", [di.expr(), dj.expr()]);
+    b.input("B", [dj.expr(), dk.expr()]);
+    b.input("C", [dk.expr(), dl.expr()]);
+    b.output("out", [di.expr(), dl.expr()]);
+    b.build().expect("mmc is a valid workload")
+}
+
+/// The attention-model MMc instance of Table II.
+pub fn attention_mmc() -> Workload {
+    mmc(512, 512, 64, 512)
+}
+
+/// Tensor contraction layer (Kossaifi et al.):
+/// `out[l,m,n] = Σ_{i,j,k} A[i,j,k] × B[i,l] × C[j,m] × D[k,n]`.
+///
+/// Defaults model the AlexNet final activation (256×6×6, padded to
+/// 256×8×8) contracted to rank 64 per mode.
+pub fn tcl(modes: Shape3, ranks: Shape3) -> Workload {
+    let Shape3(si, sj, sk) = modes;
+    let Shape3(rl, rm, rn) = ranks;
+    let mut b = Workload::builder("tcl");
+    let i = b.dim("I", si);
+    let j = b.dim("J", sj);
+    let k = b.dim("K", sk);
+    let l = b.dim("L", rl);
+    let m = b.dim("M", rm);
+    let n = b.dim("N", rn);
+    b.input("A", [i.expr(), j.expr(), k.expr()]);
+    b.input("B", [i.expr(), l.expr()]);
+    b.input("C", [j.expr(), m.expr()]);
+    b.input("D", [k.expr(), n.expr()]);
+    b.output("out", [l.expr(), m.expr(), n.expr()]);
+    b.build().expect("tcl is a valid workload")
+}
+
+/// The AlexNet TCL instance of Table II.
+pub fn alexnet_tcl() -> Workload {
+    tcl(Shape3(256, 8, 8), Shape3(64, 4, 4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mttkrp_structure() {
+        let w = mttkrp(NELL2, 32);
+        assert_eq!(w.num_dims(), 4);
+        assert_eq!(w.num_tensors(), 4, "three inputs and the output");
+        let k = w.dim_by_name("K").unwrap();
+        let l = w.dim_by_name("L").unwrap();
+        assert_eq!(w.reduction_dims(), w.dim_set(&[k, l]));
+    }
+
+    #[test]
+    fn ttmc_output_is_rank_expanded() {
+        let w = ttmc(POISSON1, 8);
+        let out = w.tensor(w.output());
+        assert_eq!(out.rank(), 3);
+        assert_eq!(w.dim_size(w.dim_by_name("L").unwrap()), 8);
+    }
+
+    #[test]
+    fn sddmm_has_elementwise_scaling_input() {
+        let w = sddmm(BCSSTK17, 512);
+        let a = w.tensor(w.tensor_by_name("A").unwrap());
+        let out = w.tensor(w.output());
+        assert_eq!(a.indexing_dims(), out.indexing_dims(), "A is indexed like out");
+    }
+
+    #[test]
+    fn mmc_and_tcl_build() {
+        assert_eq!(attention_mmc().num_dims(), 4);
+        let t = alexnet_tcl();
+        assert_eq!(t.num_dims(), 6);
+        assert_eq!(t.num_tensors(), 5);
+    }
+
+    #[test]
+    fn rounded_shapes_are_highly_composite() {
+        for v in [NELL2.0, NELL2.1, NELL2.2, NETFLIX.0, NETFLIX.1, NETFLIX.2, BCSSTK17, CANT] {
+            let divisors = sunstone::tiling::sorted_divisors(v);
+            assert!(divisors.len() >= 10, "{v} has {} divisors", divisors.len());
+        }
+    }
+
+    #[test]
+    fn workloads_have_distinct_reuse_patterns() {
+        // The paper's versatility claim rests on differing reuse; check
+        // MTTKRP and SDDMM are not reuse-isomorphic.
+        let m = mttkrp(NELL2, 32);
+        let s = sddmm(BCSSTK17, 512);
+        let mr = m.reuse_info();
+        let sr = s.reuse_info();
+        let m_profile: Vec<usize> =
+            mr.iter().map(|(_, r)| r.full_reuse.len()).collect();
+        let s_profile: Vec<usize> =
+            sr.iter().map(|(_, r)| r.full_reuse.len()).collect();
+        assert_ne!(m_profile, s_profile);
+    }
+}

@@ -1,0 +1,80 @@
+//! Building a custom accelerator description and scheduling onto it.
+//!
+//! The architecture below is a small edge-inference design: an 8×8 PE
+//! grid where each PE has a 1 KB unified scratchpad, a 256 KB shared
+//! buffer that weights bypass, and DRAM.
+//!
+//! Run with `cargo run --release --example custom_accelerator`.
+
+use sunstone::{Sunstone, SunstoneConfig};
+use sunstone_arch::{
+    ArchSpec, BufferPartition, Capacity, Level, MemoryLevel, NocModel, SpatialLevel, TensorFilter,
+};
+use sunstone_workloads::{ConvSpec, Precision};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = ArchSpec::new(
+        "edge-npu",
+        vec![
+            Level::Memory(MemoryLevel::unified(
+                "spad",
+                BufferPartition::new(
+                    "spad",
+                    TensorFilter::Any,
+                    Capacity::Bytes(1 << 10),
+                    0.9,
+                    0.9,
+                )
+                .with_bandwidth(2.0, 2.0),
+            )),
+            Level::Spatial(
+                SpatialLevel::new("grid", 64)
+                    .with_noc(NocModel { multicast: true, per_word_energy_pj: 1.0 }),
+            ),
+            Level::Memory(
+                MemoryLevel::unified(
+                    "shared",
+                    BufferPartition::new(
+                        "shared",
+                        TensorFilter::Any,
+                        Capacity::Bytes(256 << 10),
+                        5.0,
+                        5.0,
+                    )
+                    .with_bandwidth(16.0, 16.0),
+                )
+                // Weights stream from DRAM straight into the PE
+                // scratchpads, Simba-style.
+                .with_bypass(TensorFilter::Named(vec!["weight".into()])),
+            ),
+            Level::Memory(MemoryLevel::unified(
+                "DRAM",
+                BufferPartition::new("dram", TensorFilter::Any, Capacity::Unbounded, 200.0, 200.0)
+                    .with_bandwidth(8.0, 8.0),
+            )),
+        ],
+        1.0,
+        16,
+    );
+    arch.validate()?;
+
+    let layer = ConvSpec::new("mbnet_conv", 1, 32, 32, 28, 28, 3, 3, 1);
+    let workload = layer.inference(Precision::conventional());
+
+    let result = Sunstone::new(SunstoneConfig::default()).schedule(&workload, &arch)?;
+    println!("architecture : {arch}");
+    println!("layer        : {} ({} MACs)", layer.name, layer.macs());
+    println!("mapping      : {}", result.mapping);
+    println!("EDP          : {:.3e} pJ·cycles", result.report.edp);
+    println!(
+        "bound        : {}",
+        if result.report.is_bandwidth_bound() { "bandwidth" } else { "compute" }
+    );
+    for level in &result.report.levels {
+        println!(
+            "  {:<7} reads {:>12.3e}  writes {:>12.3e}  energy {:>12.3e} pJ",
+            level.name, level.reads, level.writes, level.energy_pj
+        );
+    }
+    Ok(())
+}

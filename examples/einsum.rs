@@ -1,0 +1,53 @@
+//! Describing workloads as einsum text — the declarative front end of the
+//! paper's Section IV — and scheduling them in a few lines.
+//!
+//! Run with `cargo run --release --example einsum`.
+
+use sunstone::{Sunstone, SunstoneConfig};
+use sunstone_arch::presets;
+use sunstone_ir::parse_einsum;
+use sunstone_mapping::pretty;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = presets::conventional();
+    let scheduler = Sunstone::new(SunstoneConfig::default());
+
+    let statements: Vec<(&str, Vec<(&str, u64)>)> = vec![
+        (
+            // Stride-2 1-D convolution with a sliding window.
+            "ofmap[k, p] = ifmap[c, 2p + r] * weight[k, c, r]",
+            vec![("k", 64), ("c", 64), ("p", 56), ("r", 3)],
+        ),
+        (
+            // MTTKRP straight out of Table II.
+            "out[i, j] = A[i, k, l] * B[k, j] * C[l, j]",
+            vec![("i", 3072), ("j", 32), ("k", 3072), ("l", 3072)],
+        ),
+        (
+            // A 4-input tensor contraction layer.
+            "out[l, m, n] = A[i, j, k] * B[i, l] * C[j, m] * D[k, n]",
+            vec![("i", 256), ("j", 8), ("k", 8), ("l", 64), ("m", 4), ("n", 4)],
+        ),
+    ];
+
+    for (stmt, bounds) in statements {
+        let workload = parse_einsum(stmt, &bounds)?;
+        let result = scheduler.schedule(&workload, &arch)?;
+        println!("── {stmt}");
+        println!(
+            "   EDP {:.3e}  energy {:.3e} pJ  delay {:.3e} cyc  ({} candidates in {:?})",
+            result.report.edp,
+            result.report.energy_pj,
+            result.report.delay_cycles,
+            result.stats.evaluated,
+            result.stats.elapsed
+        );
+        print!("{}", indent(&pretty::render(&result.mapping, &workload, &arch)));
+        println!();
+    }
+    Ok(())
+}
+
+fn indent(text: &str) -> String {
+    text.lines().map(|l| format!("   {l}\n")).collect()
+}

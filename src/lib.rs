@@ -1,0 +1,14 @@
+//! Umbrella crate for the Sunstone reproduction workspace.
+//!
+//! This crate exists to host cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`). The actual library lives in the
+//! `sunstone` crate and its substrate crates; see `DESIGN.md`.
+
+pub use sunstone;
+pub use sunstone_arch as arch;
+pub use sunstone_baselines as baselines;
+pub use sunstone_diannao as diannao;
+pub use sunstone_ir as ir;
+pub use sunstone_mapping as mapping;
+pub use sunstone_model as model;
+pub use sunstone_workloads as workloads;

@@ -1,0 +1,116 @@
+//! Cross-tool integration: Sunstone against the baseline mappers — the
+//! claims behind Figs 6–8 at test scale.
+
+use std::time::Duration;
+
+use sunstone_arch::presets;
+use sunstone_baselines::{
+    CosaMapper, DMazeConfig, DMazeMapper, InterstellarMapper, Mapper, SunstoneMapper,
+    TimeloopConfig, TimeloopMapper,
+};
+use sunstone_workloads::{resnet18_layers, tensor, ConvSpec, Precision};
+
+fn quick_tl(name: &str) -> TimeloopMapper {
+    TimeloopMapper::new(
+        name,
+        TimeloopConfig {
+            timeout: 3_000,
+            victory_condition: 300,
+            threads: 4,
+            seed: 11,
+            max_wall: Some(Duration::from_secs(30)),
+        },
+    )
+}
+
+/// Sunstone's EDP is at least as good as random search on a conv layer.
+#[test]
+fn sunstone_beats_timeloop_on_conv() {
+    let arch = presets::conventional();
+    let w = ConvSpec::new("t", 4, 32, 32, 28, 28, 3, 3, 1).inference(Precision::conventional());
+    let ours = SunstoneMapper::default().map(&w, &arch);
+    let theirs = quick_tl("TL").map(&w, &arch);
+    assert!(ours.is_valid());
+    assert!(theirs.is_valid());
+    assert!(
+        ours.edp().unwrap() <= theirs.edp().unwrap() * 1.05,
+        "sunstone {:.3e} vs TL {:.3e}",
+        ours.edp().unwrap(),
+        theirs.edp().unwrap()
+    );
+    assert!(ours.stats.elapsed < theirs.stats.elapsed * 2);
+}
+
+/// The Fig 6 story on a reduced MTTKRP: Sunstone wins EDP and time.
+#[test]
+fn sunstone_beats_timeloop_on_mttkrp() {
+    let arch = presets::conventional();
+    let w = tensor::mttkrp(tensor::Shape3(768, 512, 512), 32);
+    let ours = SunstoneMapper::default().map(&w, &arch);
+    let theirs = quick_tl("TL").map(&w, &arch);
+    assert!(ours.is_valid());
+    if let Some(tl_edp) = theirs.edp() {
+        assert!(
+            ours.edp().unwrap() <= tl_edp * 1.05,
+            "sunstone {:.3e} vs TL {tl_edp:.3e}",
+            ours.edp().unwrap()
+        );
+    }
+}
+
+/// The Fig 7 invalid-mapping story: dMaze rejects asymmetric kernels;
+/// Sunstone and the random search handle them.
+#[test]
+fn asymmetric_layers_separate_the_tools() {
+    let arch = presets::conventional();
+    let w = ConvSpec::new("1x7", 4, 32, 32, 16, 16, 1, 7, 1)
+        .weight_update(Precision::conventional());
+    assert!(SunstoneMapper::default().map(&w, &arch).is_valid());
+    let dmaze = DMazeMapper::new("dMaze-fast", DMazeConfig::fast()).map(&w, &arch);
+    assert!(!dmaze.is_valid());
+    assert!(dmaze.invalid_reason.unwrap().contains("symmetric"));
+}
+
+/// The Fig 8 hierarchy story: on Simba, only Sunstone, Timeloop, and CoSA
+/// even run; CoSA is fastest but frequently invalid.
+#[test]
+fn simba_separates_the_tools() {
+    let arch = presets::simba_like();
+    let layers = resnet18_layers(8);
+    let w = layers[1].inference(Precision::simba());
+
+    let ours = SunstoneMapper::default().map(&w, &arch);
+    assert!(ours.is_valid(), "{:?}", ours.invalid_reason);
+
+    let dmaze = DMazeMapper::new("dMaze", DMazeConfig::fast()).map(&w, &arch);
+    assert!(!dmaze.is_valid(), "dMaze cannot target the hierarchy");
+    let inter = InterstellarMapper::new().map(&w, &arch);
+    assert!(!inter.is_valid(), "Interstellar cannot target the hierarchy");
+
+    // CoSA runs on every layer very fast; count its invalid fraction.
+    let cosa = CosaMapper::new();
+    let mut invalid = 0usize;
+    for layer in &layers {
+        let wl = layer.inference(Precision::simba());
+        let out = cosa.map(&wl, &arch);
+        assert!(out.stats.elapsed < Duration::from_secs(1), "one-shot is fast");
+        if !out.is_valid() {
+            invalid += 1;
+        } else {
+            // When CoSA is valid, Sunstone is at least as good.
+            let s = SunstoneMapper::default().map(&wl, &arch);
+            assert!(s.edp().unwrap() <= out.edp().unwrap() * 1.05);
+        }
+    }
+    assert!(invalid > 0, "the linear relaxation must fail somewhere");
+}
+
+/// Interstellar works on conventional convs but refuses non-DNN algebra.
+#[test]
+fn interstellar_is_dnn_specific() {
+    let arch = presets::conventional();
+    let conv = ConvSpec::new("t", 4, 64, 64, 14, 14, 3, 3, 1).inference(Precision::conventional());
+    assert!(InterstellarMapper::new().map(&conv, &arch).is_valid());
+    let ttmc = tensor::ttmc(tensor::Shape3(256, 256, 256), 8);
+    assert!(!InterstellarMapper::new().map(&ttmc, &arch).is_valid());
+}

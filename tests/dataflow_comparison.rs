@@ -1,0 +1,56 @@
+//! Searched mappings vs canonical fixed dataflows, and the objective
+//! knob: Sunstone's searched mapping must beat weight- and
+//! output-stationary hand mappings, and each objective must win on its
+//! own metric.
+
+use sunstone::{Objective, Sunstone, SunstoneConfig};
+use sunstone_arch::{presets, Binding};
+use sunstone_mapping::dataflows::{stationary, Stationarity};
+use sunstone_model::CostModel;
+use sunstone_workloads::{resnet18_layers, Precision};
+
+#[test]
+fn searched_mapping_beats_fixed_dataflows() {
+    let arch = presets::conventional();
+    let w = resnet18_layers(4)[1].inference(Precision::conventional());
+    let binding = Binding::resolve(&arch, &w).expect("binds");
+    let model = CostModel::new(&w, &arch, &binding);
+
+    let searched = Sunstone::new(SunstoneConfig::default())
+        .schedule(&w, &arch)
+        .expect("schedules")
+        .report;
+
+    let weight = w.tensor_by_name("weight").expect("conv has weights");
+    for (name, flavor) in
+        [("weight-stationary", Stationarity::Input(weight)), ("output-stationary", Stationarity::Output)]
+    {
+        let fixed = stationary(&w, &arch, flavor).expect("fits");
+        let report = model.evaluate(&fixed).expect("valid");
+        assert!(
+            searched.edp < report.edp,
+            "{name}: searched {:.3e} vs fixed {:.3e}",
+            searched.edp,
+            report.edp
+        );
+    }
+}
+
+#[test]
+fn objectives_win_on_their_own_metric() {
+    let arch = presets::conventional();
+    let w = resnet18_layers(4)[3].inference(Precision::conventional());
+    let run = |obj: Objective| {
+        Sunstone::new(SunstoneConfig { objective: obj, ..SunstoneConfig::default() })
+            .schedule(&w, &arch)
+            .expect("schedules")
+            .report
+    };
+    let edp = run(Objective::Edp);
+    let energy = run(Objective::Energy);
+    let delay = run(Objective::Delay);
+    assert!(energy.energy_pj <= edp.energy_pj * 1.0001);
+    assert!(delay.delay_cycles <= edp.delay_cycles * 1.0001);
+    assert!(edp.edp <= energy.edp * 1.0001);
+    assert!(edp.edp <= delay.edp * 1.0001);
+}

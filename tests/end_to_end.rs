@@ -1,0 +1,166 @@
+//! End-to-end integration: workload description → scheduling → validated
+//! mapping → cost report, across workload families and architectures.
+
+use sunstone::{Sunstone, SunstoneConfig};
+use sunstone_arch::{presets, Binding};
+use sunstone_ir::Workload;
+use sunstone_mapping::{Mapping, ValidationContext};
+use sunstone_model::CostModel;
+use sunstone_workloads::{inception_v3_layers, resnet18_layers, tensor, ConvSpec, Precision};
+
+fn schedule(w: &Workload, arch: &sunstone_arch::ArchSpec) -> sunstone::ScheduleResult {
+    Sunstone::new(SunstoneConfig::default())
+        .schedule(w, arch)
+        .unwrap_or_else(|e| panic!("{} fails to schedule: {e}", w.name()))
+}
+
+/// Every returned mapping must be fully valid.
+#[test]
+fn scheduled_mappings_are_valid() {
+    let arch = presets::conventional();
+    let workloads = [
+        resnet18_layers(4)[1].inference(Precision::conventional()),
+        inception_v3_layers(4)[5].weight_update(Precision::conventional()),
+        tensor::mttkrp(tensor::Shape3(192, 192, 96), 32),
+        tensor::attention_mmc(),
+        tensor::alexnet_tcl(),
+    ];
+    for w in &workloads {
+        let result = schedule(w, &arch);
+        let binding = Binding::resolve(&arch, w).expect("binds");
+        let ctx = ValidationContext::new(w, &arch, &binding);
+        ctx.validate(&result.mapping).expect("returned mapping is valid");
+    }
+}
+
+/// Scheduling always beats naive streaming by a large factor on
+/// reuse-rich workloads.
+#[test]
+fn scheduling_beats_streaming_everywhere() {
+    for (arch, precision) in [
+        (presets::conventional(), Precision::conventional()),
+        (presets::simba_like(), Precision::simba()),
+    ] {
+        let w = resnet18_layers(2)[1].inference(precision);
+        let result = schedule(&w, &arch);
+        let binding = Binding::resolve(&arch, &w).expect("binds");
+        let model = CostModel::new(&w, &arch, &binding);
+        let streaming = model.evaluate(&Mapping::streaming(&w, &arch)).expect("valid");
+        assert!(
+            result.report.edp * 10.0 < streaming.edp,
+            "{}: {} vs {}",
+            arch.name(),
+            result.report.edp,
+            streaming.edp
+        );
+    }
+}
+
+/// The scheduler is deterministic: two runs agree exactly.
+#[test]
+fn scheduling_is_deterministic() {
+    let arch = presets::conventional();
+    let w = inception_v3_layers(4)[4].inference(Precision::conventional());
+    let a = schedule(&w, &arch);
+    let b = schedule(&w, &arch);
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.report.edp, b.report.edp);
+}
+
+/// DRAM reads can never fall below compulsory traffic (each input read at
+/// least once), and the output must be written at least once.
+#[test]
+fn dram_traffic_at_least_compulsory() {
+    let arch = presets::conventional();
+    let w = resnet18_layers(2)[3].inference(Precision::conventional());
+    let result = schedule(&w, &arch);
+    let dram = result.report.levels.last().expect("DRAM level present");
+    let sizes = w.dim_sizes();
+    let input_words: u64 = w
+        .tensors()
+        .iter()
+        .filter(|t| !t.is_output())
+        .map(|t| t.footprint(&sizes))
+        .sum();
+    let output_words = w.tensor(w.output()).footprint(&sizes);
+    assert!(dram.reads >= input_words as f64 * 0.99, "{} < {input_words}", dram.reads);
+    assert!(dram.writes >= output_words as f64 * 0.99);
+}
+
+/// The multi-level Simba hierarchy exercises every level: the register
+/// level absorbs weight traffic and the vector/lane/grid fabrics are all
+/// unrolled.
+#[test]
+fn simba_uses_all_levels() {
+    let arch = presets::simba_like();
+    let w = resnet18_layers(4)[6].inference(Precision::simba());
+    let result = schedule(&w, &arch);
+    assert!(
+        result.mapping.used_parallelism() >= 256,
+        "substantial parallelism across the three fabrics: {}",
+        result.mapping.used_parallelism()
+    );
+    let reg = &result.report.levels[0];
+    assert_eq!(reg.name, "reg");
+    assert!(reg.reads > 0.0, "weight register serves the vector MACs");
+}
+
+/// Strided and asymmetric convolutions schedule without special cases.
+#[test]
+fn strided_and_asymmetric_convs_schedule() {
+    let arch = presets::conventional();
+    for spec in [
+        ConvSpec::new("s2", 2, 32, 32, 14, 14, 3, 3, 2),
+        ConvSpec::new("1x7", 2, 32, 32, 16, 16, 1, 7, 1),
+        ConvSpec::new("7x1", 2, 32, 32, 16, 16, 7, 1, 1),
+    ] {
+        let w = spec.inference(Precision::conventional());
+        let result = schedule(&w, &arch);
+        assert!(result.report.edp > 0.0);
+    }
+}
+
+/// An architecture whose innermost buffer cannot hold even a unit tile
+/// yields a clean `NoValidMapping` error instead of a bogus mapping.
+#[test]
+fn impossible_architecture_reports_no_valid_mapping() {
+    use sunstone_arch::{
+        ArchSpec, BufferPartition, Capacity, Level, MemoryLevel, TensorFilter,
+    };
+    let arch = ArchSpec::new(
+        "hopeless",
+        vec![
+            Level::Memory(MemoryLevel::unified(
+                "L1",
+                // 1 byte: not even one 16-bit word per tensor fits.
+                BufferPartition::new("l1", TensorFilter::Any, Capacity::Bytes(1), 1.0, 1.0),
+            )),
+            Level::Memory(MemoryLevel::unified(
+                "DRAM",
+                BufferPartition::new("d", TensorFilter::Any, Capacity::Unbounded, 200.0, 200.0),
+            )),
+        ],
+        1.0,
+        16,
+    );
+    let w = resnet18_layers(1)[1].inference(Precision::conventional());
+    let err = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap_err();
+    assert!(matches!(err, sunstone::ScheduleError::NoValidMapping));
+}
+
+/// Larger batches scale energy roughly linearly (sublinear savings from
+/// weight reuse are allowed, superlinear growth is a bug).
+#[test]
+fn batch_scaling_is_sane() {
+    let arch = presets::conventional();
+    let e1 = {
+        let w = resnet18_layers(1)[1].inference(Precision::conventional());
+        schedule(&w, &arch).report.energy_pj
+    };
+    let e4 = {
+        let w = resnet18_layers(4)[1].inference(Precision::conventional());
+        schedule(&w, &arch).report.energy_pj
+    };
+    let ratio = e4 / e1;
+    assert!(ratio > 2.0 && ratio < 4.5, "batch 4 costs {ratio:.2}x batch 1");
+}

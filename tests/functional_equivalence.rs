@@ -1,0 +1,118 @@
+//! Functional equivalence: mappings returned by every mapper must compute
+//! exactly the workload's einsum when executed on real data — the
+//! strongest form of the paper's "mapping corresponds to the original
+//! computation" validity requirement.
+
+use sunstone::{Sunstone, SunstoneConfig};
+use sunstone_arch::presets;
+use sunstone_baselines::{
+    CosaMapper, DMazeConfig, DMazeMapper, GammaConfig, GammaMapper, InterstellarMapper, Mapper,
+    TimeloopConfig, TimeloopMapper,
+};
+use sunstone_ir::Workload;
+use sunstone_mapping::execute::{execute_mapping, execute_reference};
+
+fn small_conv() -> Workload {
+    let mut b = Workload::builder("conv2d");
+    let n = b.dim("N", 2);
+    let k = b.dim("K", 8);
+    let c = b.dim("C", 8);
+    let p = b.dim("P", 6);
+    let q = b.dim("Q", 6);
+    let r = b.dim("R", 3);
+    let s = b.dim("S", 3);
+    b.input("ifmap", [n.expr(), c.expr(), p + r, q + s]);
+    b.input("weight", [k.expr(), c.expr(), r.expr(), s.expr()]);
+    b.output("ofmap", [n.expr(), k.expr(), p.expr(), q.expr()]);
+    b.build().unwrap()
+}
+
+fn small_mttkrp() -> Workload {
+    let mut b = Workload::builder("mttkrp");
+    let i = b.dim("I", 6);
+    let j = b.dim("J", 4);
+    let k = b.dim("K", 6);
+    let l = b.dim("L", 6);
+    b.input("A", [i.expr(), k.expr(), l.expr()]);
+    b.input("B", [k.expr(), j.expr()]);
+    b.input("C", [l.expr(), j.expr()]);
+    b.output("out", [i.expr(), j.expr()]);
+    b.build().unwrap()
+}
+
+#[test]
+fn sunstone_mappings_compute_the_einsum() {
+    let arch = presets::conventional();
+    for w in [small_conv(), small_mttkrp()] {
+        let reference = execute_reference(&w);
+        let result =
+            Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+        assert_eq!(
+            reference,
+            execute_mapping(&w, &result.mapping),
+            "{} mapping must compute the einsum",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn baseline_mappings_compute_the_einsum_when_valid() {
+    let arch = presets::conventional();
+    let w = small_conv();
+    let reference = execute_reference(&w);
+    let tl = TimeloopMapper::new(
+        "TL",
+        TimeloopConfig {
+            timeout: 500,
+            victory_condition: 50,
+            threads: 2,
+            seed: 3,
+            max_wall: Some(std::time::Duration::from_secs(5)),
+        },
+    );
+    let dmaze = DMazeMapper::new("dMaze", DMazeConfig::slow());
+    let inter = InterstellarMapper::new();
+    let cosa = CosaMapper::new();
+    let gamma = GammaMapper::with_config(GammaConfig {
+        population: 16,
+        generations: 6,
+        ..GammaConfig::default()
+    });
+    let mappers: Vec<&dyn Mapper> = vec![&tl, &dmaze, &inter, &cosa, &gamma];
+    let mut verified = 0;
+    for mapper in mappers {
+        let out = mapper.map(&w, &arch);
+        if let Some(mapping) = &out.mapping {
+            assert_eq!(
+                reference,
+                execute_mapping(&w, mapping),
+                "{} returned a mapping that does not compute the einsum",
+                mapper.name()
+            );
+            verified += 1;
+        }
+    }
+    assert!(verified >= 2, "at least some baselines produced valid mappings");
+}
+
+#[test]
+fn simba_scheduled_mapping_computes_the_einsum() {
+    let arch = presets::simba_like();
+    let mut b = Workload::builder("conv2d");
+    let n = b.dim("N", 1);
+    let k = b.dim("K", 8);
+    let c = b.dim("C", 8);
+    let p = b.dim("P", 4);
+    let q = b.dim("Q", 4);
+    let r = b.dim("R", 3);
+    let s = b.dim("S", 3);
+    b.input_bits("ifmap", [n.expr(), c.expr(), p + r, q + s], 8);
+    b.input_bits("weight", [k.expr(), c.expr(), r.expr(), s.expr()], 8);
+    b.output_bits("ofmap", [n.expr(), k.expr(), p.expr(), q.expr()], 24);
+    let w = b.build().unwrap();
+    let reference = execute_reference(&w);
+    let result =
+        Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+    assert_eq!(reference, execute_mapping(&w, &result.mapping));
+}
