@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints on the core crates, and the tier-1 command.
+# Run from the repo root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (core crates) =="
+cargo clippy --release \
+    -p sunstone-ir -p sunstone-arch -p sunstone-mapping -p sunstone-model \
+    -p sunstone -p sunstone-workloads -p sunstone-baselines -p sunstone-diannao \
+    --all-targets -- -D warnings
+
+echo "== tier-1: build + test =="
+cargo build --release
+cargo test -q
+
+echo "CI OK"

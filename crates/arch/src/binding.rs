@@ -247,7 +247,9 @@ mod tests {
             16,
         );
         let err = Binding::resolve(&arch, &w).unwrap_err();
-        assert!(matches!(err, BindingError::BypassedEverywhere { ref tensor } if tensor == "ofmap"));
+        assert!(
+            matches!(err, BindingError::BypassedEverywhere { ref tensor } if tensor == "ofmap")
+        );
     }
 
     #[test]

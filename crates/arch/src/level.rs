@@ -333,7 +333,13 @@ mod tests {
                     1.0,
                     1.0,
                 ),
-                BufferPartition::new("ibuf", TensorFilter::Inputs, Capacity::Bytes(8 << 10), 1.0, 1.0),
+                BufferPartition::new(
+                    "ibuf",
+                    TensorFilter::Inputs,
+                    Capacity::Bytes(8 << 10),
+                    1.0,
+                    1.0,
+                ),
             ],
         );
         assert_eq!(level.partition_for(weight), Some(PartitionId(0)));

@@ -105,10 +105,7 @@ pub fn simba_like() -> ArchSpec {
                     )],
                 )
                 .with_bypass(TensorFilter::Output)
-                .with_bypass(TensorFilter::InputsExcept(vec![
-                    "weight".into(),
-                    "weights".into(),
-                ])),
+                .with_bypass(TensorFilter::InputsExcept(vec!["weight".into(), "weights".into()])),
             ),
             // 8 vector-MAC lanes per PE, fed by the distributed/broadcast
             // buffers.

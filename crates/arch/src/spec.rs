@@ -116,18 +116,12 @@ impl ArchSpec {
 
     /// Iterates over the memory levels, innermost first.
     pub fn memory_levels(&self) -> impl Iterator<Item = (LevelId, &MemoryLevel)> {
-        self.levels
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.as_memory().map(|m| (LevelId(i), m)))
+        self.levels.iter().enumerate().filter_map(|(i, l)| l.as_memory().map(|m| (LevelId(i), m)))
     }
 
     /// Iterates over the spatial levels, innermost first.
     pub fn spatial_levels(&self) -> impl Iterator<Item = (LevelId, &SpatialLevel)> {
-        self.levels
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.as_spatial().map(|s| (LevelId(i), s)))
+        self.levels.iter().enumerate().filter_map(|(i, l)| l.as_spatial().map(|s| (LevelId(i), s)))
     }
 
     /// Number of memory levels.
@@ -147,12 +141,8 @@ impl ArchSpec {
     ///
     /// See [`ArchError`] for the individual conditions.
     pub fn validate(&self) -> Result<(), ArchError> {
-        let last_mem = self
-            .levels
-            .iter()
-            .rev()
-            .find_map(Level::as_memory)
-            .ok_or(ArchError::NoMemory)?;
+        let last_mem =
+            self.levels.iter().rev().find_map(Level::as_memory).ok_or(ArchError::NoMemory)?;
         match self.levels.last() {
             Some(Level::Memory(m)) if m.is_unbounded() => {}
             _ => return Err(ArchError::OutermostNotDram),

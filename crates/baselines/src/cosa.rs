@@ -136,8 +136,7 @@ impl CosaMapper {
                     let mut placeable = sunstone_ir::DimSet::EMPTY;
                     for t in workload.tensor_ids() {
                         if binding.partition_of(LevelId(pos), t).is_some() {
-                            placeable =
-                                placeable.union(workload.tensor(t).indexing_dims());
+                            placeable = placeable.union(workload.tensor(t).indexing_dims());
                         }
                     }
                     let mut progress = true;
@@ -229,8 +228,7 @@ mod tests {
 
     #[test]
     fn one_shot_is_fast_and_structurally_sound() {
-        let w = ConvSpec::new("t", 2, 64, 64, 14, 14, 3, 3, 1)
-            .inference(Precision::conventional());
+        let w = ConvSpec::new("t", 2, 64, 64, 14, 14, 3, 3, 1).inference(Precision::conventional());
         let arch = presets::conventional();
         let out = CosaMapper::new().map(&w, &arch);
         assert_eq!(out.stats.evaluated, 1, "one shot");
@@ -263,8 +261,7 @@ mod tests {
 
     #[test]
     fn valid_results_carry_reports() {
-        let w = ConvSpec::new("t", 2, 32, 32, 28, 28, 3, 3, 1)
-            .inference(Precision::conventional());
+        let w = ConvSpec::new("t", 2, 32, 32, 28, 28, 3, 3, 1).inference(Precision::conventional());
         let out = CosaMapper::new().map(&w, &presets::conventional());
         if out.is_valid() {
             assert!(out.edp().unwrap() > 0.0);

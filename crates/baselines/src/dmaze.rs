@@ -209,22 +209,19 @@ impl Mapper for DMazeMapper {
                 // L2 tiles (only when a distinct L2 exists below DRAM).
                 let l2_options: Vec<Vec<u64>> = if mems.len() >= 3 {
                     let l2 = mems[1];
-                    let base: Vec<u64> =
-                        l1_tile.iter().zip(unroll).map(|(t, u)| t * u).collect();
+                    let base: Vec<u64> = l1_tile.iter().zip(unroll).map(|(t, u)| t * u).collect();
                     let mut tiles = Vec::new();
                     enumerate_divisor_tiles(
                         &after_unroll,
                         &mut vec![1; ndims],
                         0,
                         &mut |f| {
-                            let tile: Vec<u64> =
-                                base.iter().zip(f).map(|(b, x)| b * x).collect();
+                            let tile: Vec<u64> = base.iter().zip(f).map(|(b, x)| b * x).collect();
                             let (needed, capacity) = bytes_at(l2, &tile);
                             needed > capacity
                         },
                         &mut |f| {
-                            let tile: Vec<u64> =
-                                base.iter().zip(f).map(|(b, x)| b * x).collect();
+                            let tile: Vec<u64> = base.iter().zip(f).map(|(b, x)| b * x).collect();
                             let (needed, capacity) = bytes_at(l2, &tile);
                             if needed as f64 >= self.config.l2_util * capacity as f64 {
                                 tiles.push(f.to_vec());
@@ -241,8 +238,14 @@ impl Mapper for DMazeMapper {
                             break 'outer;
                         }
                         let mapping = build_mapping(
-                            workload, arch, &mems, spatial_pos.map(|(p, _)| p), l1_tile, unroll,
-                            l2_factors, &ordering.order,
+                            workload,
+                            arch,
+                            &mems,
+                            spatial_pos.map(|(p, _)| p),
+                            l1_tile,
+                            unroll,
+                            l2_factors,
+                            &ordering.order,
                         );
                         match ctx.validate(&mapping) {
                             Ok(()) => {
@@ -347,10 +350,9 @@ mod tests {
 
     #[test]
     fn rejects_asymmetric_convolutions() {
-        let w = ConvSpec::new("1x7", 2, 16, 16, 16, 16, 1, 7, 1)
-            .inference(Precision::conventional());
-        let out = DMazeMapper::new("dMaze", DMazeConfig::fast())
-            .map(&w, &presets::conventional());
+        let w =
+            ConvSpec::new("1x7", 2, 16, 16, 16, 16, 1, 7, 1).inference(Precision::conventional());
+        let out = DMazeMapper::new("dMaze", DMazeConfig::fast()).map(&w, &presets::conventional());
         assert!(!out.is_valid());
         assert!(out.invalid_reason.unwrap().contains("symmetric"));
     }
@@ -358,8 +360,7 @@ mod tests {
     #[test]
     fn rejects_simba_hierarchy() {
         let w = small_conv();
-        let out =
-            DMazeMapper::new("dMaze", DMazeConfig::fast()).map(&w, &presets::simba_like());
+        let out = DMazeMapper::new("dMaze", DMazeConfig::fast()).map(&w, &presets::simba_like());
         assert!(!out.is_valid());
     }
 
@@ -368,10 +369,10 @@ mod tests {
         // Heavy enough that the L2-utilization floor is reachable (the
         // paper's dMaze fails on *light* layers whose entire footprint
         // is below 40–50% of L2; it must succeed on deep heavy ones).
-        let w = ConvSpec::new("t", 16, 256, 256, 14, 14, 3, 3, 1)
-            .inference(Precision::conventional());
-        let out = DMazeMapper::new("dMaze-slow", DMazeConfig::slow())
-            .map(&w, &presets::conventional());
+        let w =
+            ConvSpec::new("t", 16, 256, 256, 14, 14, 3, 3, 1).inference(Precision::conventional());
+        let out =
+            DMazeMapper::new("dMaze-slow", DMazeConfig::slow()).map(&w, &presets::conventional());
         assert!(out.is_valid(), "{:?}", out.invalid_reason);
         assert!(out.edp().unwrap() > 0.0);
     }
@@ -380,10 +381,9 @@ mod tests {
     fn utilization_thresholds_can_reject_light_layers() {
         // A tiny layer cannot fill 80% of the 512 B L1 across 1024 PEs
         // with 80% PE utilization at the same time.
-        let w = ConvSpec::new("tiny", 1, 4, 4, 4, 4, 1, 1, 1)
-            .inference(Precision::conventional());
-        let out = DMazeMapper::new("dMaze-fast", DMazeConfig::fast())
-            .map(&w, &presets::conventional());
+        let w = ConvSpec::new("tiny", 1, 4, 4, 4, 4, 1, 1, 1).inference(Precision::conventional());
+        let out =
+            DMazeMapper::new("dMaze-fast", DMazeConfig::fast()).map(&w, &presets::conventional());
         assert!(!out.is_valid(), "tiny layer should fail utilization constraints");
     }
 }

@@ -259,8 +259,7 @@ mod tests {
 
     #[test]
     fn evolves_a_valid_mapping() {
-        let w = ConvSpec::new("t", 2, 16, 16, 14, 14, 3, 3, 1)
-            .inference(Precision::conventional());
+        let w = ConvSpec::new("t", 2, 16, 16, 14, 14, 3, 3, 1).inference(Precision::conventional());
         let arch = presets::conventional();
         let out = GammaMapper::with_config(quick()).map(&w, &arch);
         assert!(out.is_valid(), "{:?}", out.invalid_reason);
@@ -274,13 +273,12 @@ mod tests {
 
     #[test]
     fn more_generations_never_hurt() {
-        let w = ConvSpec::new("t", 2, 16, 16, 14, 14, 3, 3, 1)
-            .inference(Precision::conventional());
+        let w = ConvSpec::new("t", 2, 16, 16, 14, 14, 3, 3, 1).inference(Precision::conventional());
         let arch = presets::conventional();
-        let short = GammaMapper::with_config(GammaConfig { generations: 2, ..quick() })
-            .map(&w, &arch);
-        let long = GammaMapper::with_config(GammaConfig { generations: 30, ..quick() })
-            .map(&w, &arch);
+        let short =
+            GammaMapper::with_config(GammaConfig { generations: 2, ..quick() }).map(&w, &arch);
+        let long =
+            GammaMapper::with_config(GammaConfig { generations: 30, ..quick() }).map(&w, &arch);
         assert!(long.edp().unwrap() <= short.edp().unwrap() * 1.0001, "elitism is monotone");
     }
 

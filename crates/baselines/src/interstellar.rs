@@ -104,7 +104,11 @@ impl Mapper for InterstellarMapper {
         };
         if unrolls.is_empty() {
             stats.elapsed = start.elapsed();
-            return MapOutcome::invalid(&self.name, "no mapping can use the preset unrolling", stats);
+            return MapOutcome::invalid(
+                &self.name,
+                "no mapping can use the preset unrolling",
+                stats,
+            );
         }
 
         let trie = OrderingTrie::new(workload);
@@ -119,14 +123,10 @@ impl Mapper for InterstellarMapper {
                 for t in workload.tensor_ids() {
                     if binding.partition_of(LevelId(mems[0]), t).is_some() {
                         let tensor = workload.tensor(t);
-                        needed +=
-                            tensor.footprint(tile) * u64::from(tensor.bits()).div_ceil(8);
+                        needed += tensor.footprint(tile) * u64::from(tensor.bits()).div_ceil(8);
                     }
                 }
-                mem.partitions
-                    .iter()
-                    .map(|p| p.capacity.bytes().unwrap_or(u64::MAX))
-                    .sum::<u64>()
+                mem.partitions.iter().map(|p| p.capacity.bytes().unwrap_or(u64::MAX)).sum::<u64>()
                     >= needed
             };
             let l1_tiles =
@@ -135,7 +135,12 @@ impl Mapper for InterstellarMapper {
             for l1_tile in &l1_tiles {
                 for ordering in &orderings {
                     let mapping = assemble(
-                        workload, arch, &mems, spatial.map(|(p, _)| p), l1_tile, unroll,
+                        workload,
+                        arch,
+                        &mems,
+                        spatial.map(|(p, _)| p),
+                        l1_tile,
+                        unroll,
                         &ordering.order,
                     );
                     match ctx.validate(&mapping) {
@@ -157,7 +162,9 @@ impl Mapper for InterstellarMapper {
                 let report = model.evaluate_unchecked(&mapping);
                 MapOutcome::valid(&self.name, mapping, report, stats)
             }
-            None => MapOutcome::invalid(&self.name, "no mapping can use the preset unrolling", stats),
+            None => {
+                MapOutcome::invalid(&self.name, "no mapping can use the preset unrolling", stats)
+            }
         }
     }
 }
@@ -200,8 +207,7 @@ mod tests {
 
     #[test]
     fn maps_a_conv_with_ck_unrolling() {
-        let w = ConvSpec::new("t", 2, 64, 64, 14, 14, 3, 3, 1)
-            .inference(Precision::conventional());
+        let w = ConvSpec::new("t", 2, 64, 64, 14, 14, 3, 3, 1).inference(Precision::conventional());
         let out = InterstellarMapper::new().map(&w, &presets::conventional());
         assert!(out.is_valid(), "{:?}", out.invalid_reason);
         // The chosen unroll uses C and/or K (64 × 64 covers 1024 PEs).

@@ -66,13 +66,8 @@ pub fn cosa_space(workload: &Workload, arch: &ArchSpec) -> f64 {
 /// product collapses into a sum of two smaller spaces.
 pub fn marvel_space(workload: &Workload, arch: &ArchSpec) -> f64 {
     let on_chip_levels = (arch.num_levels() as u64).saturating_sub(1).max(1);
-    let off: f64 =
-        workload.dims().iter().map(|d| compositions(d.size(), 2)).product();
-    let on: f64 = workload
-        .dims()
-        .iter()
-        .map(|d| compositions(d.size(), on_chip_levels))
-        .product();
+    let off: f64 = workload.dims().iter().map(|d| compositions(d.size(), 2)).product();
+    let on: f64 = workload.dims().iter().map(|d| compositions(d.size(), on_chip_levels)).product();
     off + on
 }
 
@@ -85,25 +80,15 @@ pub fn interstellar_space(workload: &Workload, arch: &ArchSpec) -> f64 {
     use sunstone_ir::DimSet;
 
     let n_temporal = arch.num_memory_levels() as u64;
-    let splits: f64 =
-        workload.dims().iter().map(|d| compositions(d.size(), n_temporal)).product();
+    let splits: f64 = workload.dims().iter().map(|d| compositions(d.size(), n_temporal)).product();
     let mut unroll_choices = 1.0f64;
-    let ck: DimSet = ["C", "K"]
-        .iter()
-        .filter_map(|name| workload.dim_by_name(name))
-        .collect();
+    let ck: DimSet = ["C", "K"].iter().filter_map(|name| workload.dim_by_name(name)).collect();
     for level in arch.levels() {
         if let Level::Spatial(s) = level {
-            let count = enumerate_unrollings(
-                &workload.dim_sizes(),
-                ck,
-                s.units,
-                |_| true,
-                0.0,
-                true,
-            )
-            .unrollings
-            .len();
+            let count =
+                enumerate_unrollings(&workload.dim_sizes(), ck, s.units, |_| true, 0.0, true)
+                    .unrollings
+                    .len();
             unroll_choices *= count.max(1) as f64;
         }
     }
@@ -137,8 +122,7 @@ pub fn dmaze_space(workload: &Workload, arch: &ArchSpec, l1_util: f64, l2_util: 
                 needed += tensor.footprint(tile) * u64::from(tensor.bits()).div_ceil(8);
             }
         }
-        let capacity =
-            mem.partitions.iter().map(|p| p.capacity.bytes().unwrap_or(u64::MAX)).sum();
+        let capacity = mem.partitions.iter().map(|p| p.capacity.bytes().unwrap_or(u64::MAX)).sum();
         (needed, capacity)
     };
 

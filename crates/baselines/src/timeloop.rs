@@ -3,9 +3,9 @@
 //! hyperparameters from Table V of the Sunstone paper).
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sunstone::tiling::sorted_divisors;
@@ -95,13 +95,13 @@ impl Mapper for TimeloopMapper {
         let threads = self.config.effective_threads();
         let stats = Mutex::new(MapStats::default());
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for tid in 0..threads {
                 let shared = &shared;
                 let stats = &stats;
                 let binding = &binding;
                 let config = &self.config;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(config.seed ^ (tid as u64) << 32);
                     let ctx = ValidationContext::new(workload, arch, binding);
                     let model = CostModel::new(workload, arch, binding);
@@ -130,7 +130,8 @@ impl Mapper for TimeloopMapper {
                                 consecutive_invalid = 0;
                                 local.evaluated += 1;
                                 let report = model.evaluate_unchecked(&mapping);
-                                let mut best = shared.best.lock();
+                                let mut best =
+                                    shared.best.lock().expect("search threads do not panic");
                                 let improved =
                                     best.as_ref().is_none_or(|(e, _, _)| report.edp < *e);
                                 if improved {
@@ -145,17 +146,16 @@ impl Mapper for TimeloopMapper {
                             }
                         }
                     }
-                    let mut s = stats.lock();
+                    let mut s = stats.lock().expect("search threads do not panic");
                     s.evaluated += local.evaluated;
                     s.invalid += local.invalid;
                 });
             }
-        })
-        .expect("search threads do not panic");
+        });
 
-        let mut stats = stats.into_inner();
+        let mut stats = stats.into_inner().expect("search threads do not panic");
         stats.elapsed = start.elapsed();
-        match shared.best.into_inner() {
+        match shared.best.into_inner().expect("search threads do not panic") {
             Some((_, mapping, report)) => MapOutcome::valid(&self.name, mapping, report, stats),
             None => MapOutcome::invalid(&self.name, "random search found no valid mapping", stats),
         }
@@ -177,7 +177,8 @@ fn random_mapping(workload: &Workload, arch: &ArchSpec, rng: &mut StdRng) -> Map
     for d in 0..ndims {
         let mut remaining = workload.dim_size(sunstone_ir::DimId::from_index(d));
         for pos in 0..last {
-            let level_is_spatial = matches!(arch.level(sunstone_arch::LevelId(pos)), Level::Spatial(_));
+            let level_is_spatial =
+                matches!(arch.level(sunstone_arch::LevelId(pos)), Level::Spatial(_));
             let budget = if level_is_spatial {
                 let fabric = arch.level(sunstone_arch::LevelId(pos)).as_spatial().unwrap();
                 let used: u64 = mapping.level(pos).factors().iter().product();

@@ -18,17 +18,13 @@ fn bench_scheduler(c: &mut Criterion) {
     let layers = resnet18_layers(16);
     for layer in [&layers[1], &layers[6]] {
         let w = layer.inference(Precision::conventional());
-        group.bench_with_input(
-            BenchmarkId::new("conventional", &layer.name),
-            &w,
-            |b, w| {
-                b.iter(|| {
-                    Sunstone::new(SunstoneConfig::default())
-                        .schedule(w, &conventional)
-                        .expect("schedules")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("conventional", &layer.name), &w, |b, w| {
+            b.iter(|| {
+                Sunstone::new(SunstoneConfig::default())
+                    .schedule(w, &conventional)
+                    .expect("schedules")
+            })
+        });
         let ws = layer.inference(Precision::simba());
         group.bench_with_input(BenchmarkId::new("simba", &layer.name), &ws, |b, w| {
             b.iter(|| {
@@ -53,9 +49,7 @@ fn bench_cost_model(c: &mut Criterion) {
     let binding = Binding::resolve(&arch, &w).expect("binds");
     let model = CostModel::new(&w, &arch, &binding);
     let mapping = Mapping::streaming(&w, &arch);
-    c.bench_function("cost_model/evaluate", |b| {
-        b.iter(|| model.evaluate_unchecked(&mapping))
-    });
+    c.bench_function("cost_model/evaluate", |b| b.iter(|| model.evaluate_unchecked(&mapping)));
 }
 
 fn bench_cosa(c: &mut Criterion) {

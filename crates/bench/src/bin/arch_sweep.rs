@@ -38,7 +38,10 @@ fn main() {
                 let dram = r.report.levels.last().expect("DRAM level");
                 println!(
                     "  {:>10} {:>14.4e} {:>14.4e} {:>12.3e} {:>8}",
-                    l1, r.report.edp, r.report.energy_pj, dram.reads,
+                    l1,
+                    r.report.edp,
+                    r.report.energy_pj,
+                    dram.reads,
                     r.mapping.used_parallelism()
                 );
             }

@@ -27,11 +27,8 @@ fn main() {
     if quick_mode() {
         workloads.truncate(3);
         tl_fast.timeout = 2_000;
-        tl_slow = TimeloopConfig {
-            timeout: 4_000,
-            victory_condition: 200,
-            ..TimeloopConfig::slow()
-        };
+        tl_slow =
+            TimeloopConfig { timeout: 4_000, victory_condition: 200, ..TimeloopConfig::slow() };
         tl_slow.max_wall = Some(std::time::Duration::from_secs(20));
         tl_fast.max_wall = Some(std::time::Duration::from_secs(10));
     }

@@ -38,8 +38,7 @@ fn main() {
     let dmaze_fast = DMazeMapper::new("dMaze-fast", DMazeConfig::fast());
     let dmaze_slow = DMazeMapper::new("dMaze-slow", DMazeConfig::slow());
     let inter = InterstellarMapper::new();
-    let mappers: Vec<&dyn Mapper> =
-        vec![&sunstone, &fast, &slow, &dmaze_fast, &dmaze_slow, &inter];
+    let mappers: Vec<&dyn Mapper> = vec![&sunstone, &fast, &slow, &dmaze_fast, &dmaze_slow, &inter];
 
     println!("Fig 7 — Inception-v3 weight update (batch 16) on `{}`\n", arch.name());
     let cells = run_matrix(&mappers, &workloads, &arch);

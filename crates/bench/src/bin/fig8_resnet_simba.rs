@@ -22,10 +22,8 @@ fn main() {
         tl.timeout = 2_000;
         tl.max_wall = Some(std::time::Duration::from_secs(15));
     }
-    let workloads: Vec<(String, _)> = layers
-        .iter()
-        .map(|l| (l.name.clone(), l.inference(Precision::simba())))
-        .collect();
+    let workloads: Vec<(String, _)> =
+        layers.iter().map(|l| (l.name.clone(), l.inference(Precision::simba()))).collect();
 
     let sunstone = SunstoneMapper::default();
     let timeloop = TimeloopMapper::new("TL", tl);

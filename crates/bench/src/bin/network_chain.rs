@@ -19,8 +19,7 @@ fn main() {
     if quick_mode() {
         specs.truncate(4);
     }
-    let layers: Vec<_> =
-        specs.iter().map(|l| l.inference(Precision::conventional())).collect();
+    let layers: Vec<_> = specs.iter().map(|l| l.inference(Precision::conventional())).collect();
     let scheduler = Sunstone::new(SunstoneConfig::default());
 
     // Independent scheduling: per-layer optimum, reorder whenever the
@@ -45,10 +44,7 @@ fn main() {
         .expect("chain schedules");
 
     println!("Network-level layout consistency on ResNet-18 / `{}`\n", arch.name());
-    println!(
-        "  {:<26} {:>14} {:>18} {:>12}",
-        "strategy", "Σ EDP", "reorder (words)", "matched"
-    );
+    println!("  {:<26} {:>14} {:>18} {:>12}", "strategy", "Σ EDP", "reorder (words)", "matched");
     println!(
         "  {:<26} {:>14.4e} {:>18} {:>12}",
         "independent per-layer", independent_edp, independent_reorder, "-"

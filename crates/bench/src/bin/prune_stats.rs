@@ -1,85 +1,137 @@
-//! Section III claims: the Tiling Principle removes ≥80% of the L1 tile
-//! space for ResNet-18 layers, and the Unrolling Principle prunes >90% of
-//! spatial unrolling candidates on a 14×12 (168-unit) PE array.
+//! Per-level, per-principle pruning statistics of real scheduling runs
+//! (the observability substrate for §III's pruning claims).
 //!
-//! Run with `cargo run --release -p sunstone-bench --bin prune_stats`.
+//! Unlike the earlier revision of this harness, nothing is re-enumerated
+//! here: every number comes from the structured
+//! [`SearchStats`](sunstone::SearchStats) the scheduler records while
+//! searching — per memory level, how many candidates each principle
+//! considered and kept (ordering trie, tiling maximal frontier, spatial
+//! unrolling, dedup, beam cut) and how the memoized estimate cache fared.
+//!
+//! Run with `cargo run --release -p sunstone-bench --bin prune_stats`
+//! (append `quick` for a subsampled run).
 
-use sunstone::ordering::OrderingTrie;
-use sunstone::tiling::enumerate_tiles;
-use sunstone::unrolling::{enumerate_unrollings, principle_excluded_dims};
-use sunstone_ir::DimSet;
+use sunstone::{PruneCounter, SearchStats, Sunstone, SunstoneConfig};
+use sunstone_arch::presets;
+use sunstone_bench::quick_mode;
 use sunstone_workloads::{resnet18_layers, Precision};
 
-fn main() {
-    println!("§III-A/B pruning statistics on ResNet-18 conv layers\n");
+fn pct(c: &PruneCounter) -> f64 {
+    100.0 * c.pruned_fraction()
+}
+
+fn print_level_table(stats: &SearchStats) {
     println!(
-        "  {:<10} {:>10} {:>10} {:>8}   {:>10} {:>10} {:>8}",
-        "layer", "tiles", "maximal", "pruned", "unrolls", "principled", "pruned"
+        "    {:<5} {:>9} {:>7} {:>7}   {:>9} {:>7} {:>7}   {:>9} {:>7} {:>7}   {:>6} {:>9} {:>7} {:>7}   {:>6}",
+        "level", "ord.cons", "kept", "pruned", "tile.cons", "kept", "pruned", "unr.cons", "kept",
+        "pruned", "dedup", "beam.cons", "kept", "cut", "hit%"
     );
-    let mut worst_tile = 1.0f64;
-    let mut worst_unroll = 1.0f64;
-    for layer in resnet18_layers(16) {
-        let w = layer.inference(Precision::conventional());
-        let trie = OrderingTrie::new(&w);
-        let ndims = w.num_dims();
-        let sizes = w.dim_sizes();
-        // L1 = 512 B unified (256 16-bit words), as in Table IV.
-        let fits = |tile: &[u64]| {
-            w.tensors().iter().map(|t| t.footprint(tile)).sum::<u64>() <= 256
-        };
-        // Tiling: compare all fitting tiles vs the maximal frontier, for
-        // the best ordering's growth dims.
-        let (orderings, _) = trie.candidates(DimSet::first_n(ndims));
-        let ordering = &orderings[0];
-        let mut allowed = DimSet::EMPTY;
-        for t in ordering.fully_reused() {
-            allowed = allowed.union(w.tensor(t).indexing_dims());
-        }
-        let base = vec![1u64; ndims];
-        let all = enumerate_tiles(&base, &sizes, allowed, fits, false).tiles.len();
-        let maximal = enumerate_tiles(&base, &sizes, allowed, fits, true).tiles.len();
-        let tile_frac = maximal as f64 / all.max(1) as f64;
-
-        // Unrolling on a 14×12 = 168-unit array (the Eyeriss shape the
-        // paper cites): all maximal unrollings vs principle-filtered.
-        let units = 14 * 12;
-        let every = enumerate_unrollings(&sizes, DimSet::first_n(ndims), units, |_| true, 0.0, false)
-            .unrollings
-            .len();
-        let excluded = principle_excluded_dims(
-            ordering.fully_reused().map(|t| w.reuse_info().of(t).full_reuse),
-        );
-        let principled = enumerate_unrollings(
-            &sizes,
-            DimSet::first_n(ndims).difference(excluded),
-            units,
-            |_| true,
-            0.5,
-            true,
-        )
-        .unrollings
-        .len();
-        let unroll_frac = principled as f64 / every.max(1) as f64;
-
+    for l in &stats.levels {
+        let probes = l.cache_hits + l.cache_misses;
+        let hit = if probes == 0 { 0.0 } else { 100.0 * l.cache_hits as f64 / probes as f64 };
         println!(
-            "  {:<10} {:>10} {:>10} {:>7.1}%   {:>10} {:>10} {:>7.1}%",
-            layer.name,
-            all,
-            maximal,
-            100.0 * (1.0 - tile_frac),
-            every,
-            principled,
-            100.0 * (1.0 - unroll_frac),
+            "    L{:<4} {:>9} {:>7} {:>6.1}%   {:>9} {:>7} {:>6.1}%   {:>9} {:>7} {:>6.1}%   {:>6} {:>9} {:>7} {:>7} {:>5.1}%",
+            l.level,
+            l.ordering.considered,
+            l.ordering.kept,
+            pct(&l.ordering),
+            l.tiling.considered,
+            l.tiling.kept,
+            pct(&l.tiling),
+            l.unrolling.considered,
+            l.unrolling.kept,
+            pct(&l.unrolling),
+            l.dedup_removed,
+            l.beam.considered,
+            l.beam.kept,
+            l.beam.pruned(),
+            hit,
         );
-        worst_tile = worst_tile.min(1.0 - tile_frac);
-        worst_unroll = worst_unroll.min(1.0 - unroll_frac);
     }
+}
+
+fn merge_into(total: &mut SearchStats, s: &SearchStats) {
+    total.evaluated += s.evaluated;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    for l in &s.levels {
+        let t = &mut total.levels;
+        while t.len() <= l.level {
+            let level = t.len();
+            t.push(sunstone::LevelStats { level, ..Default::default() });
+        }
+        let tl = &mut t[l.level];
+        tl.ordering.merge(&l.ordering);
+        tl.ordering_no_reuse += l.ordering_no_reuse;
+        tl.ordering_dominated += l.ordering_dominated;
+        tl.tiling.merge(&l.tiling);
+        tl.unrolling.merge(&l.unrolling);
+        tl.dedup_removed += l.dedup_removed;
+        tl.beam.merge(&l.beam);
+        tl.cache_hits += l.cache_hits;
+        tl.cache_misses += l.cache_misses;
+    }
+}
+
+fn main() {
+    let mut layers = resnet18_layers(if quick_mode() { 1 } else { 16 });
+    if quick_mode() {
+        layers.truncate(4);
+    }
+    let arch = presets::conventional();
+    let scheduler = Sunstone::new(SunstoneConfig::default());
+
+    println!("Per-level, per-principle pruning on ResNet-18 (conventional arch)\n");
+    let mut total = SearchStats::default();
+    for layer in &layers {
+        let w = layer.inference(Precision::conventional());
+        let r = scheduler.schedule(&w, &arch).expect("ResNet-18 layers schedule");
+        let no_reuse: u64 = r.stats.levels.iter().map(|l| l.ordering_no_reuse).sum();
+        let dominated: u64 = r.stats.levels.iter().map(|l| l.ordering_dominated).sum();
+        println!(
+            "  {:<10} evaluated {:>6}, beam cut {:>6}, ordering rejections: {} no-reuse (P3), {} dominated (P1–2)",
+            layer.name,
+            r.stats.evaluated,
+            r.stats.beam_cut(),
+            no_reuse,
+            dominated,
+        );
+        print_level_table(&r.stats);
+        merge_into(&mut total, &r.stats);
+    }
+
+    let ordering = total.total_of(|l| l.ordering);
+    let tiling = total.total_of(|l| l.tiling);
+    let unrolling = total.total_of(|l| l.unrolling);
+    let probes = total.cache_hits + total.cache_misses;
+    println!("\n  ALL LAYERS");
+    print_level_table(&total);
     println!(
-        "\n  worst-case tile-space reduction: {:.1}% (paper: up to 80%)",
-        100.0 * worst_tile
+        "\n  ordering trie:    {:>8} explored → {:>6} kept ({:.1}% pruned)",
+        ordering.considered,
+        ordering.kept,
+        pct(&ordering)
     );
     println!(
-        "  worst-case unroll-space reduction: {:.1}% (paper: >90%)",
-        100.0 * worst_unroll
+        "  tiling frontier:  {:>8} explored → {:>6} kept ({:.1}% pruned; paper: up to 80%)",
+        tiling.considered,
+        tiling.kept,
+        pct(&tiling)
+    );
+    println!(
+        "  unrolling:        {:>8} explored → {:>6} kept ({:.1}% pruned; paper: >90%)",
+        unrolling.considered,
+        unrolling.kept,
+        pct(&unrolling)
+    );
+    println!(
+        "  beam:             {:>8} estimated → {:>6} cut across levels",
+        total.evaluated,
+        total.beam_cut()
+    );
+    println!(
+        "  estimate cache:   {:>8} probes, {:.1}% hits",
+        probes,
+        if probes == 0 { 0.0 } else { 100.0 * total.cache_hits as f64 / probes as f64 }
     );
 }

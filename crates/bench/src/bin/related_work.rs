@@ -26,10 +26,8 @@ fn main() {
     let mappers: Vec<&dyn Mapper> = vec![&sunstone, &gamma];
 
     println!("Related work — Sunstone vs GAMMA-like GA on `{}`\n", conventional.name());
-    let conv_workloads: Vec<(String, _)> = layers
-        .iter()
-        .map(|l| (l.name.clone(), l.inference(Precision::conventional())))
-        .collect();
+    let conv_workloads: Vec<(String, _)> =
+        layers.iter().map(|l| (l.name.clone(), l.inference(Precision::conventional()))).collect();
     let mut cells = run_matrix(&mappers, &conv_workloads, &conventional);
 
     println!("\n…and on the multi-level `{}` hierarchy:\n", simba.name());
@@ -41,10 +39,7 @@ fn main() {
     cells.extend(run_matrix(&mappers, &simba_workloads, &simba));
 
     if !quick_mode() {
-        let nondnn = vec![(
-            "mttkrp_poisson1".to_string(),
-            tensor::mttkrp(tensor::POISSON1, 32),
-        )];
+        let nondnn = vec![("mttkrp_poisson1".to_string(), tensor::mttkrp(tensor::POISSON1, 32))];
         println!("\n…and a non-DNN kernel:\n");
         cells.extend(run_matrix(&mappers, &nondnn, &conventional));
     }

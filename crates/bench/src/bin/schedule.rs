@@ -24,8 +24,8 @@ use std::process::ExitCode;
 
 use sunstone_arch::{presets, ArchSpec};
 use sunstone_baselines::{
-    CosaMapper, DMazeConfig, DMazeMapper, GammaMapper, InterstellarMapper, Mapper,
-    SunstoneMapper, TimeloopConfig, TimeloopMapper,
+    CosaMapper, DMazeConfig, DMazeMapper, GammaMapper, InterstellarMapper, Mapper, SunstoneMapper,
+    TimeloopConfig, TimeloopMapper,
 };
 use sunstone_ir::Workload;
 use sunstone_mapping::pretty;
@@ -66,9 +66,7 @@ fn parse_workload(spec: &str, arch_name: &str) -> Option<Workload> {
             b.output("out", [dm.expr(), dn.expr()]);
             b.build().ok()
         }
-        ["mttkrp", shape, rank] => {
-            Some(tensor::mttkrp(named_shape(shape)?, rank.parse().ok()?))
-        }
+        ["mttkrp", shape, rank] => Some(tensor::mttkrp(named_shape(shape)?, rank.parse().ok()?)),
         ["ttmc", shape, rank] => Some(tensor::ttmc(named_shape(shape)?, rank.parse().ok()?)),
         ["sddmm", matrix, rank] => {
             let side = match *matrix {

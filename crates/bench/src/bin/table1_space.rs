@@ -14,7 +14,9 @@ fn main() {
     let arch = presets::conventional();
 
     println!("Table I — space size for Inception-v3 layer `{}` on `{}`", layer.name, arch.name());
-    println!("(paper reports: TL 3.69e10, Marvel 1.36e9, INTER 1.40e9, dMaze 1.97e5, ours 5.89e3)\n");
+    println!(
+        "(paper reports: TL 3.69e10, Marvel 1.36e9, INTER 1.40e9, dMaze 1.97e5, ours 5.89e3)\n"
+    );
 
     let tl = space::timeloop_space(&w, &arch);
     let cosa = space::cosa_space(&w, &arch);
@@ -36,9 +38,6 @@ fn main() {
     ] {
         println!("  {tool:<22} {size:>12.3e}");
     }
-    println!(
-        "\n  Sunstone space reduction vs Timeloop: {:.1e}x (paper: ~1e7x)",
-        tl / ours
-    );
+    println!("\n  Sunstone space reduction vs Timeloop: {:.1e}x (paper: ~1e7x)", tl / ours);
     assert!(ours < dmaze && dmaze < inter && inter <= tl, "Table I ordering holds");
 }

@@ -20,7 +20,10 @@ fn main() {
 
     let info = w.reuse_info();
     println!("Table III — inferred reuse for 1-D convolution\n");
-    println!("  {:<8} {:<14} {:<14} {:<20}", "tensor", "indexed by", "reused by", "partially reused by");
+    println!(
+        "  {:<8} {:<14} {:<14} {:<20}",
+        "tensor", "indexed by", "reused by", "partially reused by"
+    );
     for (t, reuse) in info.iter() {
         let names = |set: DimSet| -> String {
             set.iter().map(|d| w.dim(d).name().to_lowercase()).collect::<Vec<_>>().join(", ")
@@ -45,7 +48,11 @@ fn main() {
             .iter()
             .map(|(t, kind)| format!("{} ({kind:?})", w.tensor(*t).name()))
             .collect();
-        println!("  suffix [innermost-first] {:<12} reuses {}", suffix.join(","), reused.join(", "));
+        println!(
+            "  suffix [innermost-first] {:<12} reuses {}",
+            suffix.join(","),
+            reused.join(", ")
+        );
     }
     println!(
         "\n  {} of {} explored trie nodes survive; all 4! = 24 permutations collapse to {}.",

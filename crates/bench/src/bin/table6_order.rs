@@ -24,7 +24,13 @@ fn main() {
         ("top-down", "unroll→tile→order", Direction::TopDown, IntraOrder::UnrollTileOrder, 48),
         // Top-down needs a far larger beam before its EDP approaches
         // bottom-up's — the Table VI space blow-up, realized as beam cost.
-        ("top-down(wide)", "unroll→tile→order", Direction::TopDown, IntraOrder::UnrollTileOrder, 512),
+        (
+            "top-down(wide)",
+            "unroll→tile→order",
+            Direction::TopDown,
+            IntraOrder::UnrollTileOrder,
+            512,
+        ),
     ];
 
     println!("Table VI — optimization order on `{}` (ResNet-18)\n", arch.name());

@@ -72,10 +72,12 @@ pub fn run_matrix(
 /// Prints one result row.
 pub fn print_cell(c: &Cell) {
     match (&c.edp, &c.invalid_reason) {
-        (Some(edp), _) => println!(
+        (Some(edp), _) => {
+            println!(
             "  {:<22} {:<12} edp={:>12.4e}  energy={:>12.4e} pJ  delay={:>10.3e} cyc  t={:>9.3?}",
             c.workload, c.mapper, edp, c.energy.unwrap_or(0.0), c.delay.unwrap_or(0.0), c.elapsed
-        ),
+        )
+        }
         (None, Some(reason)) => println!(
             "  {:<22} {:<12} INVALID ({reason})  t={:>9.3?}",
             c.workload, c.mapper, c.elapsed
@@ -117,9 +119,8 @@ pub fn print_summary(cells: &[Cell]) {
         let mut total = 0usize;
         for c in cells.iter().filter(|c| &c.mapper == m) {
             total += 1;
-            let Some(sun) = cells
-                .iter()
-                .find(|s| s.mapper == "Sunstone" && s.workload == c.workload)
+            let Some(sun) =
+                cells.iter().find(|s| s.mapper == "Sunstone" && s.workload == c.workload)
             else {
                 continue;
             };
@@ -128,8 +129,7 @@ pub fn print_summary(cells: &[Cell]) {
                     if let Some(se) = sun.edp {
                         edp_ratios.push(edp / se);
                     }
-                    time_ratios
-                        .push(c.elapsed.as_secs_f64() / sun.elapsed.as_secs_f64().max(1e-9));
+                    time_ratios.push(c.elapsed.as_secs_f64() / sun.elapsed.as_secs_f64().max(1e-9));
                 }
                 None => invalid += 1,
             }

@@ -110,6 +110,12 @@ pub struct SunstoneConfig {
     /// Cap on the unrollings kept per fabric enumeration (the highest
     /// utilizations are kept).
     pub max_unrolls_per_enum: usize,
+    /// Memoize cost estimates by completed-mapping fingerprint. Different
+    /// beam states frequently complete to the same mapping (and the final
+    /// re-evaluation always repeats the last stage's estimates), so the
+    /// cache trades memory for skipped model evaluations. Disable only to
+    /// measure the raw model cost.
+    pub estimate_cache: bool,
     /// Active pruning techniques.
     pub pruning: PruningFlags,
 }
@@ -125,6 +131,7 @@ impl Default for SunstoneConfig {
             min_spatial_utilization: 0.5,
             max_tiles_per_enum: 24,
             max_unrolls_per_enum: 8,
+            estimate_cache: true,
             pruning: PruningFlags::default(),
         }
     }

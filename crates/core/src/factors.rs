@@ -1,0 +1,120 @@
+//! Per-dimension factor-vector arithmetic shared by the search pipeline
+//! ([`crate::search`]) and the tiling tree ([`crate::tiling`]).
+//!
+//! Tiles, quotas, and unroll assignments are all vectors of per-dimension
+//! factors; the search composes them with element-wise products and
+//! quotients. Centralizing the helpers here keeps the semantics (floor
+//! quotient, zero-length tolerance) in one place.
+
+/// Element-wise floor quotient `a[i] / b[i]`.
+///
+/// All search-internal callers divide exact multiples (tile extents are
+/// built from divisor ladders), but the quotient intentionally floors so
+/// callers probing non-divisible shapes (e.g. padding studies) get a
+/// well-defined result instead of a panic.
+pub fn quot(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x / y).collect()
+}
+
+/// Element-wise quotient, named for call sites distributing a remaining
+/// quota over a chosen factor vector. Alias of [`quot`].
+pub fn divide(a: &[u64], b: &[u64]) -> Vec<u64> {
+    quot(a, b)
+}
+
+/// Element-wise product `a[i] * b[i]`.
+pub fn multiply(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// Product of all entries, widened to `u128` so large shapes cannot
+/// overflow (a 7-dim workload with 2^16 extents already exceeds `u64`).
+pub fn volume(a: &[u64]) -> u128 {
+    a.iter().map(|&x| u128::from(x)).product()
+}
+
+/// All divisors of `q` in increasing order.
+pub fn sorted_divisors(q: u64) -> Vec<u64> {
+    let mut divs = Vec::new();
+    let mut i = 1u64;
+    while i * i <= q {
+        if q.is_multiple_of(i) {
+            divs.push(i);
+            if i != q / i {
+                divs.push(q / i);
+            }
+        }
+        i += 1;
+    }
+    divs.sort_unstable();
+    divs
+}
+
+/// The smallest divisor in the sorted list strictly above `current`.
+pub(crate) fn next_divisor(divisors: &[u64], current: u64) -> Option<u64> {
+    match divisors.binary_search(&current) {
+        Ok(i) => divisors.get(i + 1).copied(),
+        Err(i) => divisors.get(i).copied(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quot_divides_exact_multiples() {
+        assert_eq!(quot(&[8, 9, 10], &[2, 3, 5]), vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn quot_floors_non_divisible_entries() {
+        // Non-divisible shapes (padding probes) floor instead of panicking.
+        assert_eq!(quot(&[7, 5, 1], &[2, 3, 1]), vec![3, 1, 1]);
+        assert_eq!(divide(&[10], &[4]), vec![2]);
+    }
+
+    #[test]
+    fn empty_shapes_yield_empty_vectors() {
+        assert_eq!(quot(&[], &[]), Vec::<u64>::new());
+        assert_eq!(multiply(&[], &[]), Vec::<u64>::new());
+        assert_eq!(volume(&[]), 1);
+    }
+
+    #[test]
+    fn multiply_is_elementwise() {
+        assert_eq!(multiply(&[2, 3, 1], &[4, 1, 7]), vec![8, 3, 7]);
+    }
+
+    #[test]
+    fn multiply_then_quot_roundtrips() {
+        let a = [6u64, 4, 15];
+        let b = [3u64, 2, 5];
+        assert_eq!(quot(&multiply(&a, &b), &b), a.to_vec());
+    }
+
+    #[test]
+    fn volume_survives_u64_overflow() {
+        let big = [1u64 << 32; 3];
+        assert_eq!(volume(&big), 1u128 << 96);
+    }
+
+    #[test]
+    fn sorted_divisors_are_sorted_and_complete() {
+        assert_eq!(sorted_divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(sorted_divisors(1), vec![1]);
+        assert_eq!(sorted_divisors(7), vec![1, 7]);
+    }
+
+    #[test]
+    fn next_divisor_steps_the_ladder() {
+        let d = sorted_divisors(12);
+        assert_eq!(next_divisor(&d, 1), Some(2));
+        assert_eq!(next_divisor(&d, 4), Some(6));
+        assert_eq!(next_divisor(&d, 12), None);
+        // A current value off the ladder snaps to the next entry above.
+        assert_eq!(next_divisor(&d, 5), Some(6));
+    }
+}

@@ -44,13 +44,29 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+//! # Module map
+//!
+//! * [`search`] — the staged search pipeline: candidate enumeration
+//!   ([`search::candidates`]), beam dedup/selection ([`search::beam`]),
+//!   memoized parallel estimation ([`search::estimate`]), and the
+//!   direction-agnostic composition loop ([`search::compose`], the
+//!   `LevelPass` trait). [`search::stats`] holds the per-level,
+//!   per-principle pruning statistics.
+//! * [`ordering`], [`tiling`], [`unrolling`] — the three per-level
+//!   enumerators and their pruning principles.
+//! * [`factors`] — shared per-dimension factor-vector arithmetic.
+//! * [`network`] — the network-level layout-consistency pass.
+
 mod config;
 mod driver;
+pub mod factors;
 pub mod network;
 pub mod ordering;
+pub mod search;
 pub mod tiling;
 pub mod unrolling;
 
 pub use config::{Direction, IntraOrder, Objective, PruningFlags, SunstoneConfig};
-pub use driver::{ScheduleError, ScheduleResult, SearchStats, Sunstone};
+pub use driver::{ScheduleError, ScheduleResult, Sunstone};
 pub use ordering::{OrderingCandidate, OrderingTrie, ReuseKind};
+pub use search::{LevelStats, PruneCounter, SearchStats};

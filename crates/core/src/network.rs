@@ -119,8 +119,7 @@ pub fn schedule_chain(
             .as_ref()
             .and_then(|sig| {
                 candidates.iter().position(|c| {
-                    layout_signature(workload, &c.mapping, &options.consumer_tensor, &[])
-                        .as_ref()
+                    layout_signature(workload, &c.mapping, &options.consumer_tensor, &[]).as_ref()
                         == Some(sig)
                 })
             })
@@ -138,12 +137,8 @@ pub fn schedule_chain(
                 reorder_words += workload.tensor(t).footprint(&workload.dim_sizes());
             }
         }
-        producer_sig = layout_signature(
-            workload,
-            &chosen.mapping,
-            &options.producer_tensor,
-            &options.renames,
-        );
+        producer_sig =
+            layout_signature(workload, &chosen.mapping, &options.producer_tensor, &options.renames);
         results.push(chosen);
     }
     Ok(ChainResult { layers: results, matched_transitions: matched, reorder_words })
@@ -195,10 +190,8 @@ mod tests {
         let layers = vec![conv("l1", 2, 32, 16, 14), conv("l2", 2, 32, 32, 14)];
         let scheduler = Sunstone::new(SunstoneConfig::default());
         let chain = schedule_chain(&scheduler, &layers, &arch, &ChainOptions::default()).unwrap();
-        let independent: f64 = layers
-            .iter()
-            .map(|w| scheduler.schedule(w, &arch).unwrap().report.edp)
-            .sum();
+        let independent: f64 =
+            layers.iter().map(|w| scheduler.schedule(w, &arch).unwrap().report.edp).sum();
         // Layout matching only ever picks among near-optimal candidates.
         assert!(chain.total_edp() <= independent * 1.25, "{} vs {independent}", chain.total_edp());
     }
@@ -209,13 +202,8 @@ mod tests {
         let w = conv("l", 2, 32, 16, 14);
         let scheduler = Sunstone::new(SunstoneConfig::default());
         let r = scheduler.schedule(&w, &arch).unwrap();
-        let sig = layout_signature(
-            &w,
-            &r.mapping,
-            "ofmap",
-            &[("K".to_string(), "C".to_string())],
-        )
-        .unwrap();
+        let sig = layout_signature(&w, &r.mapping, "ofmap", &[("K".to_string(), "C".to_string())])
+            .unwrap();
         assert!(!sig.iter().any(|n| n == "K"), "K renamed to C: {sig:?}");
     }
 }

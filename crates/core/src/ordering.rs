@@ -62,6 +62,23 @@ impl Score {
     }
 }
 
+/// Detailed result of one trie enumeration, attributing pruned orderings
+/// to the principle that removed them (consumed by the structured
+/// [`SearchStats`](crate::SearchStats)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingOutcome {
+    /// The surviving ordering candidates.
+    pub candidates: Vec<OrderingCandidate>,
+    /// Trie nodes explored (including the root).
+    pub explored: usize,
+    /// Suffix extensions rejected because they add no further reuse
+    /// (Ordering Principle 3).
+    pub rejected_no_reuse: usize,
+    /// Enumerated suffixes dropped by sibling dominance over the
+    /// Principle 1–2 reuse scores (the paper's rules (i) and (ii)).
+    pub dominated: usize,
+}
+
 /// Enumerates promising loop orderings for a workload.
 ///
 /// Construct once per workload, then call [`candidates`](Self::candidates)
@@ -89,8 +106,16 @@ impl<'a> OrderingTrie<'a> {
     /// (for search-space statistics). With an empty in-play set, a single
     /// canonical ordering is returned.
     pub fn candidates(&self, in_play: DimSet) -> (Vec<OrderingCandidate>, usize) {
+        let outcome = self.candidates_detailed(in_play);
+        (outcome.candidates, outcome.explored)
+    }
+
+    /// As [`candidates`](Self::candidates), but additionally reporting how
+    /// many orderings each pruning principle removed.
+    pub fn candidates_detailed(&self, in_play: DimSet) -> OrderingOutcome {
         let mut nodes = Vec::new();
         let mut explored = 0usize;
+        let mut rejected_no_reuse = 0usize;
         let mut stack: Vec<Vec<DimId>> = vec![Vec::new()];
         while let Some(suffix) = stack.pop() {
             explored += 1;
@@ -103,6 +128,8 @@ impl<'a> OrderingTrie<'a> {
                     let mut child = suffix.clone();
                     child.push(d);
                     stack.push(child);
+                } else {
+                    rejected_no_reuse += 1;
                 }
             }
         }
@@ -131,6 +158,7 @@ impl<'a> OrderingTrie<'a> {
                 }
             }
         }
+        let dominated = keep.iter().filter(|k| !**k).count();
         let mut result: Vec<OrderingCandidate> = Vec::new();
         for (i, (suffix, _)) in scored.drain(..).enumerate() {
             if keep[i] {
@@ -140,7 +168,7 @@ impl<'a> OrderingTrie<'a> {
         if result.is_empty() {
             result.push(self.complete(Vec::new(), in_play));
         }
-        (result, explored)
+        OrderingOutcome { candidates: result, explored, rejected_no_reuse, dominated }
     }
 
     /// Enumerates *all* permutations of the in-play dimensions (ordering
@@ -178,8 +206,7 @@ impl<'a> OrderingTrie<'a> {
             .reuse
             .iter()
             .map(|(_, r)| {
-                let chain =
-                    suffix.iter().take_while(|&&d| r.full_reuse.contains(d)).count() as u32;
+                let chain = suffix.iter().take_while(|&&d| r.full_reuse.contains(d)).count() as u32;
                 let partial =
                     u32::from(suffix.first().is_some_and(|&d| r.partial_reuse.contains(d)));
                 2 * chain + partial
@@ -302,10 +329,7 @@ mod tests {
         let (cands, _) = trie.candidates(DimSet::first_n(4));
         let ofmap = w.tensor_by_name("ofmap").unwrap();
         let ifmap = w.tensor_by_name("ifmap").unwrap();
-        let rc = cands
-            .iter()
-            .find(|c| c.suffix_len == 2)
-            .expect("the [R, C] candidate exists");
+        let rc = cands.iter().find(|c| c.suffix_len == 2).expect("the [R, C] candidate exists");
         assert!(rc.reused.contains(&(ofmap, ReuseKind::Full)));
         assert!(rc.reused.contains(&(ifmap, ReuseKind::Partial)));
         assert_eq!(rc.fully_reused().collect::<Vec<_>>(), vec![ofmap]);

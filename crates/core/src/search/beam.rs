@@ -1,0 +1,50 @@
+//! Beam maintenance: duplicate elimination and the alpha-beta-style cut.
+
+use std::collections::HashSet;
+
+use sunstone_mapping::{Mapping, MappingLevel};
+
+use super::stats::SearchStats;
+use super::PartialState;
+
+/// A mapping's search identity: every level's factors plus each temporal
+/// level's loop order. Two mappings with equal keys are the same point in
+/// the space — the key drives both candidate dedup and the estimate
+/// cache.
+pub(crate) fn mapping_key(m: &Mapping) -> Vec<u64> {
+    let mut key = Vec::new();
+    for level in m.levels() {
+        key.extend_from_slice(level.factors());
+        if let MappingLevel::Temporal(t) = level {
+            key.extend(t.order.iter().map(|d| d.index() as u64));
+        }
+    }
+    key
+}
+
+/// Removes duplicate partial mappings, returning how many were dropped:
+/// different enumeration paths (e.g. the principled and relaxed unroll
+/// passes) can emit identical candidates, and estimating each copy is
+/// pure waste.
+pub(crate) fn dedup(candidates: &mut Vec<PartialState>) -> usize {
+    let before = candidates.len();
+    let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(before);
+    candidates.retain(|c| seen.insert(mapping_key(&c.mapping)));
+    before - candidates.len()
+}
+
+/// Keeps the `beam_width` best-estimated candidates, recording the cut in
+/// the stage's beam counter. The sort is stable and the estimates are
+/// totally ordered, so the survivors do not depend on thread count or
+/// enumeration accidents beyond the (deterministic) candidate order.
+pub(crate) fn select(
+    candidates: &mut Vec<PartialState>,
+    beam_width: usize,
+    stage: usize,
+    stats: &mut SearchStats,
+) {
+    let considered = candidates.len() as u64;
+    candidates.sort_by(|a, b| a.estimate.total_cmp(&b.estimate));
+    candidates.truncate(beam_width.max(1));
+    stats.level_mut(stage).beam.record(considered, candidates.len() as u64);
+}

@@ -1,0 +1,602 @@
+//! Per-level candidate enumeration: the orderings × tiles × unrollings
+//! each stage admits, under the paper's pruning principles.
+//!
+//! Every enumerator reports into the stage's [`LevelStats`] record:
+//! the ordering trie (Ordering Principles 1–3 + sibling dominance), the
+//! tiling tree (Tiling Principle), and the spatial unrolling enumeration
+//! (Spatial Unrolling Principle) each get a considered/kept counter.
+//!
+//! [`LevelStats`]: super::stats::LevelStats
+
+use sunstone_arch::LevelId;
+use sunstone_ir::DimSet;
+use sunstone_mapping::MappingLevel;
+
+use crate::factors::{divide, multiply, quot, sorted_divisors};
+use crate::ordering::OrderingCandidate;
+use crate::tiling::enumerate_tiles;
+use crate::unrolling::{enumerate_unrollings, principle_excluded_dims};
+use crate::IntraOrder;
+
+use super::stats::SearchStats;
+use super::{PartialState, SearchContext};
+
+/// One bottom-up stage: unrollings below memory `stage`, tile at memory
+/// `stage`, ordering at memory `stage + 1`.
+pub(crate) fn bottom_up_expand(
+    ctx: &SearchContext<'_>,
+    state: &PartialState,
+    stage: usize,
+    out: &mut Vec<PartialState>,
+    stats: &mut SearchStats,
+) {
+    let mem_pos = ctx.mems[stage];
+    let last_stage = stage == ctx.mems.len() - 1;
+    let ndims = ctx.workload.num_dims();
+    let base = state.mapping.resident_tile(mem_pos, ndims);
+
+    let orderings: Vec<Option<OrderingCandidate>> = if last_stage {
+        // The outermost memory has no level above to order.
+        vec![None]
+    } else {
+        orderings_for(ctx, in_play_dims(ctx, state), stage, stats).into_iter().map(Some).collect()
+    };
+
+    match ctx.config.intra_order {
+        IntraOrder::OrderTileUnroll => {
+            let reserve = spatial_reserve(ctx, stage, true, &state.quotas);
+            for ordering in &orderings {
+                let tiles =
+                    tiles_for(ctx, state, stage, &base, &state.quotas, reserve, ordering, stats);
+                for tile in &tiles {
+                    let growth = quot(tile, &base);
+                    let tile_quotas = divide(&state.quotas, &growth);
+                    let unrolls = unrolls_for(ctx, state, stage, tile, &tile_quotas, stats);
+                    for u in &unrolls {
+                        out.push(make_child(ctx, state, stage, &growth, u, ordering));
+                    }
+                }
+            }
+        }
+        IntraOrder::UnrollTileOrder => {
+            let reserve = spatial_reserve(ctx, stage, false, &state.quotas);
+            let unrolls = unrolls_for(ctx, state, stage, &base, &state.quotas, stats);
+            for u in &unrolls {
+                let u_quotas = divide(&state.quotas, u);
+                let base_u = multiply(&base, u);
+                for ordering in &orderings {
+                    let tiles =
+                        tiles_for(ctx, state, stage, &base_u, &u_quotas, reserve, ordering, stats);
+                    for tile in &tiles {
+                        let growth = quot(tile, &base_u);
+                        out.push(make_child(ctx, state, stage, &growth, u, ordering));
+                    }
+                }
+            }
+        }
+        IntraOrder::TileUnrollOrder => {
+            // Tiling before ordering: allow the union of every candidate
+            // ordering's growth dimensions.
+            let reserve = spatial_reserve(ctx, stage, true, &state.quotas);
+            let union_allowed = orderings
+                .iter()
+                .flatten()
+                .map(|o| tile_allowed_dims(ctx, o))
+                .fold(DimSet::EMPTY, DimSet::union);
+            let tiles = tiles_with_allowed(
+                ctx,
+                stage,
+                &base,
+                &state.quotas,
+                reserve,
+                union_allowed,
+                DimSet::first_n(ndims),
+                stats,
+            );
+            for tile in &tiles {
+                let growth = quot(tile, &base);
+                let tile_quotas = divide(&state.quotas, &growth);
+                let unrolls = unrolls_for(ctx, state, stage, tile, &tile_quotas, stats);
+                for u in &unrolls {
+                    for ordering in &orderings {
+                        out.push(make_child(ctx, state, stage, &growth, u, ordering));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One top-down stage: ordering at memory `stage + 1`, unrolls in the gap
+/// below it, resident tile at memory `stage`.
+pub(crate) fn top_down_expand(
+    ctx: &SearchContext<'_>,
+    state: &PartialState,
+    stage: usize,
+    out: &mut Vec<PartialState>,
+    stats: &mut SearchStats,
+) {
+    let ndims = ctx.workload.num_dims();
+    let orderings = orderings_for(ctx, in_play_dims(ctx, state), stage, stats);
+    for ordering in orderings {
+        let gap = &ctx.lower_spatial[stage + 1];
+        let unrolls = top_down_unrolls(ctx, gap, &ordering, state, stage, stats);
+        for u in &unrolls {
+            let q = divide(&state.quotas, u);
+            let allowed = tile_allowed_dims(ctx, &ordering);
+            let outcome = enumerate_tiles(
+                &vec![1; ndims],
+                &q,
+                allowed,
+                |tile| ctx.fits_mem(ctx.mems[stage], tile),
+                ctx.config.pruning.tiling_maximal,
+            );
+            stats.nodes_explored += outcome.explored as u64;
+            stats.tiles += outcome.tiles.len() as u64;
+            stats
+                .level_mut(stage)
+                .tiling
+                .record(outcome.explored as u64, outcome.tiles.len() as u64);
+            // Fabrics below this memory still need parallelism out of the
+            // tile; drop tiles too small to feed them (keep everything if
+            // none qualifies).
+            let mut below: u128 = 1;
+            for (pos, s) in ctx.arch.spatial_levels() {
+                if pos.index() < ctx.mems[stage] {
+                    below *= u128::from(s.units);
+                }
+            }
+            let reserve = ((below as f64) * ctx.config.min_spatial_utilization).ceil() as u128;
+            let mut tiles: Vec<&Vec<u64>> = outcome
+                .tiles
+                .iter()
+                .filter(|t| t.iter().map(|&x| u128::from(x)).product::<u128>() >= reserve)
+                .collect();
+            if tiles.is_empty() {
+                tiles = outcome.tiles.iter().collect();
+            }
+            for tile in tiles {
+                out.push(make_top_down_child(ctx, state, stage, tile, u, &ordering));
+            }
+        }
+    }
+}
+
+/// Dimensions with remaining quota — the only ones worth ordering.
+fn in_play_dims(ctx: &SearchContext<'_>, state: &PartialState) -> DimSet {
+    ctx.workload.dim_ids().filter(|d| state.quotas[d.index()] > 1).collect()
+}
+
+/// Ordering candidates for one stage, with the trie's pruning attributed
+/// per principle in the stage's stats.
+fn orderings_for(
+    ctx: &SearchContext<'_>,
+    in_play: DimSet,
+    stage: usize,
+    stats: &mut SearchStats,
+) -> Vec<OrderingCandidate> {
+    if ctx.config.pruning.ordering_trie {
+        let outcome = ctx.trie.candidates_detailed(in_play);
+        stats.nodes_explored += outcome.explored as u64;
+        stats.orderings += outcome.candidates.len() as u64;
+        let level = stats.level_mut(stage);
+        level.ordering.record(outcome.explored as u64, outcome.candidates.len() as u64);
+        level.ordering_no_reuse += outcome.rejected_no_reuse as u64;
+        level.ordering_dominated += outcome.dominated as u64;
+        outcome.candidates
+    } else {
+        let cands = ctx.trie.all_permutations(in_play);
+        stats.orderings += cands.len() as u64;
+        stats.level_mut(stage).ordering.record(cands.len() as u64, cands.len() as u64);
+        cands
+    }
+}
+
+/// The parallelism budget a tile must leave unconsumed: the product of
+/// all spatial fabric sizes the tile has not yet passed (scaled by the
+/// utilization floor, capped by what the problem can offer). This is the
+/// "high throughput" constraint of Table I: a tile that swallows the
+/// quota the fabrics need would force an under-utilized — and therefore
+/// dominated — mapping.
+fn spatial_reserve(
+    ctx: &SearchContext<'_>,
+    stage: usize,
+    include_gap: bool,
+    quotas: &[u64],
+) -> u64 {
+    let m = ctx.mems[stage];
+    let mut units: u128 = 1;
+    for (pos, s) in ctx.arch.spatial_levels() {
+        if pos.index() > m {
+            units *= u128::from(s.units);
+        }
+    }
+    if include_gap {
+        for &p in &ctx.lower_spatial[stage] {
+            if let Some(s) = ctx.arch.level(LevelId(p)).as_spatial() {
+                units *= u128::from(s.units);
+            }
+        }
+    }
+    let want = ((units as f64) * ctx.config.min_spatial_utilization).ceil() as u128;
+    let avail: u128 = quotas.iter().map(|&q| u128::from(q)).product();
+    want.min(avail).max(1) as u64
+}
+
+/// Tile candidates for one ordering at the stage's memory level.
+#[allow(clippy::too_many_arguments)]
+fn tiles_for(
+    ctx: &SearchContext<'_>,
+    state: &PartialState,
+    stage: usize,
+    base: &[u64],
+    quotas: &[u64],
+    reserve: u64,
+    ordering: &Option<OrderingCandidate>,
+    stats: &mut SearchStats,
+) -> Vec<Vec<u64>> {
+    if stage == ctx.mems.len() - 1 {
+        // DRAM: the remainder is placed by `make_child`; the "tile" is the
+        // base itself.
+        return vec![base.to_vec()];
+    }
+    let all = DimSet::first_n(ctx.workload.num_dims());
+    let allowed = match ordering {
+        Some(o) => tile_allowed_dims(ctx, o),
+        None => all,
+    };
+    // The parallelism reserve is measured over the dimensions the fabrics
+    // may actually unroll. When this stage has a fabric in its own gap,
+    // that fabric pairs with the ordering chosen at the *previous* stage
+    // (`state.ordering_here`); otherwise the nearest future fabric pairs
+    // with the ordering being chosen now.
+    let governing = if ctx.lower_spatial[stage].is_empty() {
+        ordering.as_ref()
+    } else {
+        state.ordering_here.as_ref()
+    };
+    let mut unrollable = match governing {
+        Some(o) => all.difference(unroll_excluded(ctx, o)),
+        None => all,
+    };
+    // Mirror the high-throughput fallback of `unrolls_for`: when the
+    // principled dimensions cannot reach the utilization floor, the
+    // fabrics will unroll any dimension, so the reserve must guard them
+    // all.
+    let avail: u128 = unrollable.iter().map(|d| u128::from(quotas[d.index()])).product();
+    if avail < u128::from(reserve) {
+        unrollable = all;
+    }
+    tiles_with_allowed(ctx, stage, base, quotas, reserve, allowed, unrollable, stats)
+}
+
+/// Tile enumeration with an explicit growth set. The parallelism reserve
+/// is measured over `unrollable` — the dimensions the Spatial Unrolling
+/// Principle will actually let the fabrics consume — so a tile cannot
+/// swallow the quota the unrollings need.
+#[allow(clippy::too_many_arguments)]
+fn tiles_with_allowed(
+    ctx: &SearchContext<'_>,
+    stage: usize,
+    base: &[u64],
+    quotas: &[u64],
+    reserve: u64,
+    allowed: DimSet,
+    unrollable: DimSet,
+    stats: &mut SearchStats,
+) -> Vec<Vec<u64>> {
+    let mem_pos = ctx.mems[stage];
+    let outcome = enumerate_tiles(
+        base,
+        quotas,
+        allowed,
+        |tile| {
+            let headroom: u128 = unrollable
+                .iter()
+                .map(|d| {
+                    let i = d.index();
+                    u128::from(quotas[i] / (tile[i] / base[i]))
+                })
+                .product();
+            headroom
+                >= u128::from(reserve)
+                    .min(unrollable.iter().map(|d| u128::from(quotas[d.index()])).product())
+                && ctx.fits_mem(mem_pos, tile)
+        },
+        ctx.config.pruning.tiling_maximal,
+    );
+    stats.nodes_explored += outcome.explored as u64;
+    let mut tiles = outcome.tiles;
+    if tiles.len() > ctx.config.max_tiles_per_enum {
+        // Keep the largest tiles: maximal-frontier members with the
+        // biggest iteration volume capture the most reuse.
+        tiles.sort_by_key(|t| std::cmp::Reverse(t.iter().product::<u64>()));
+        tiles.truncate(ctx.config.max_tiles_per_enum);
+    }
+    stats.tiles += tiles.len() as u64;
+    stats.level_mut(stage).tiling.record(outcome.explored as u64, tiles.len() as u64);
+    tiles
+}
+
+/// Dimensions the Unrolling Principle forbids for fabrics paired with
+/// this ordering.
+fn unroll_excluded(ctx: &SearchContext<'_>, ordering: &OrderingCandidate) -> DimSet {
+    if !ctx.config.pruning.unrolling_principle {
+        return DimSet::EMPTY;
+    }
+    principle_excluded_dims(
+        ordering.fully_reused().map(|t| ctx.workload.reuse_info().of(t).full_reuse),
+    )
+}
+
+/// Growth dimensions permitted by the Tiling Principle for an ordering:
+/// the indexing dimensions of every fully reused tensor (all dimensions
+/// when the principle is disabled or nothing is reused).
+fn tile_allowed_dims(ctx: &SearchContext<'_>, ordering: &OrderingCandidate) -> DimSet {
+    let all = DimSet::first_n(ctx.workload.num_dims());
+    if !ctx.config.pruning.tiling_reuse_dims {
+        return all;
+    }
+    let mut allowed = DimSet::EMPTY;
+    let mut any = false;
+    for t in ordering.fully_reused() {
+        allowed = allowed.union(ctx.workload.tensor(t).indexing_dims());
+        any = true;
+    }
+    if any {
+        allowed
+    } else {
+        all
+    }
+}
+
+/// Unrolling candidates for the spatial levels directly below the stage's
+/// memory, as a combined per-level factor assignment. Returns vectors of
+/// per-dimension factors per spatial position, flattened to a single
+/// product vector (our architectures have at most one fabric per gap).
+fn unrolls_for(
+    ctx: &SearchContext<'_>,
+    state: &PartialState,
+    stage: usize,
+    resident_with_tile: &[u64],
+    quotas: &[u64],
+    stats: &mut SearchStats,
+) -> Vec<Vec<u64>> {
+    let spatial_positions = &ctx.lower_spatial[stage];
+    if spatial_positions.is_empty() {
+        return vec![vec![1; ctx.workload.num_dims()]];
+    }
+    // The presets have at most one fabric per gap; for generality, nest
+    // the enumeration over each fabric sequentially.
+    let mut results: Vec<Vec<u64>> = vec![vec![1; ctx.workload.num_dims()]];
+    for &pos in spatial_positions {
+        let fabric = ctx.arch.level(LevelId(pos)).as_spatial().expect("spatial level");
+        let mut excluded = DimSet::EMPTY;
+        if ctx.config.pruning.unrolling_principle {
+            if let Some(o) = &state.ordering_here {
+                excluded = principle_excluded_dims(
+                    o.fully_reused().map(|t| ctx.workload.reuse_info().of(t).full_reuse),
+                );
+            }
+        }
+        let hard_excluded =
+            if fabric.allow_reduction { DimSet::EMPTY } else { ctx.workload.reduction_dims() };
+        let all = DimSet::first_n(ctx.workload.num_dims());
+        let principled = all.difference(excluded.union(hard_excluded));
+        let relaxed = all.difference(hard_excluded);
+        let mem_pos = ctx.mems[stage];
+        let mut next = Vec::new();
+        for prev in &results {
+            let q = divide(quotas, prev);
+            let fits = |u: &[u64]| {
+                // The unroll inflates the resident tile of the memory
+                // above the fabric (the stage's memory).
+                let combined: Vec<u64> = resident_with_tile
+                    .iter()
+                    .zip(prev.iter().zip(u))
+                    .map(|(t, (a, b))| t * a * b)
+                    .collect();
+                ctx.fits_mem(mem_pos, &combined)
+            };
+            let mut outcome = enumerate_unrollings(
+                &q,
+                principled,
+                fabric.units,
+                fits,
+                ctx.config.min_spatial_utilization,
+                ctx.config.pruning.unrolling_principle,
+            );
+            // The high-throughput constraint dominates the Unrolling
+            // Principle: when the principled dimensions cannot keep the
+            // fabric busy, widen to every dimension the hardware permits.
+            let floor = ctx.config.min_spatial_utilization * fabric.units as f64;
+            let best = outcome
+                .unrollings
+                .iter()
+                .map(|u| u.iter().product::<u64>() as f64)
+                .fold(0.0f64, f64::max);
+            if best < floor && principled != relaxed {
+                let wide = enumerate_unrollings(
+                    &q,
+                    relaxed,
+                    fabric.units,
+                    fits,
+                    ctx.config.min_spatial_utilization,
+                    ctx.config.pruning.unrolling_principle,
+                );
+                outcome.explored += wide.explored;
+                outcome.unrollings.extend(wide.unrollings);
+            }
+            stats.nodes_explored += outcome.explored as u64;
+            let mut unrollings = outcome.unrollings;
+            if unrollings.len() > ctx.config.max_unrolls_per_enum {
+                unrollings.sort_by_key(|u| std::cmp::Reverse(u.iter().product::<u64>()));
+                unrollings.truncate(ctx.config.max_unrolls_per_enum);
+            }
+            stats.unrollings += unrollings.len() as u64;
+            stats
+                .level_mut(stage)
+                .unrolling
+                .record(outcome.explored as u64, unrollings.len() as u64);
+            for u in unrollings {
+                next.push(multiply(prev, &u));
+            }
+        }
+        results = next;
+    }
+    results
+}
+
+fn top_down_unrolls(
+    ctx: &SearchContext<'_>,
+    gap: &[usize],
+    ordering: &OrderingCandidate,
+    state: &PartialState,
+    stage: usize,
+    stats: &mut SearchStats,
+) -> Vec<Vec<u64>> {
+    let ndims = ctx.workload.num_dims();
+    if gap.is_empty() {
+        return vec![vec![1; ndims]];
+    }
+    let mut results: Vec<Vec<u64>> = vec![vec![1; ndims]];
+    for &pos in gap {
+        let fabric = ctx.arch.level(LevelId(pos)).as_spatial().expect("spatial level");
+        let mut excluded = DimSet::EMPTY;
+        if ctx.config.pruning.unrolling_principle {
+            excluded = principle_excluded_dims(
+                ordering.fully_reused().map(|t| ctx.workload.reuse_info().of(t).full_reuse),
+            );
+        }
+        if !fabric.allow_reduction {
+            excluded = excluded.union(ctx.workload.reduction_dims());
+        }
+        let allowed = DimSet::first_n(ndims).difference(excluded);
+        let mut next = Vec::new();
+        for prev in &results {
+            let q = divide(&state.quotas, prev);
+            let outcome = enumerate_unrollings(
+                &q,
+                allowed,
+                fabric.units,
+                |_| true,
+                ctx.config.min_spatial_utilization,
+                ctx.config.pruning.unrolling_principle,
+            );
+            stats.nodes_explored += outcome.explored as u64;
+            let mut unrollings = outcome.unrollings;
+            if unrollings.len() > ctx.config.max_unrolls_per_enum {
+                unrollings.sort_by_key(|u| std::cmp::Reverse(u.iter().product::<u64>()));
+                unrollings.truncate(ctx.config.max_unrolls_per_enum);
+            }
+            stats.unrollings += unrollings.len() as u64;
+            stats
+                .level_mut(stage)
+                .unrolling
+                .record(outcome.explored as u64, unrollings.len() as u64);
+            for u in unrollings {
+                next.push(multiply(prev, &u));
+            }
+        }
+        results = next;
+    }
+    results
+}
+
+/// Builds the child state for one (growth, unroll, ordering) choice;
+/// `growth` is the vector of temporal tiling factors for this stage's
+/// memory (the tile divided by everything below it, unroll included).
+fn make_child(
+    ctx: &SearchContext<'_>,
+    state: &PartialState,
+    stage: usize,
+    growth: &[u64],
+    unroll: &[u64],
+    ordering: &Option<OrderingCandidate>,
+) -> PartialState {
+    let mem_pos = ctx.mems[stage];
+    let last_stage = stage == ctx.mems.len() - 1;
+    let ndims = ctx.workload.num_dims();
+    let mut mapping = state.mapping.clone();
+    // Distribute the unroll over the gap's fabrics. With a single fabric
+    // this is a direct assignment; with several, factors go to the
+    // innermost fabric first, capped by its unit count.
+    let mut remaining_unroll = unroll.to_vec();
+    for &pos in &ctx.lower_spatial[stage] {
+        let fabric = ctx.arch.level(LevelId(pos)).as_spatial().expect("spatial level");
+        let mut assigned = vec![1u64; ndims];
+        let mut used = 1u64;
+        for d in 0..ndims {
+            let mut f = remaining_unroll[d];
+            while f > 1 && used * f > fabric.units {
+                // Peel the largest divisor that still fits.
+                let mut g = 1;
+                for cand in sorted_divisors(f) {
+                    if used * cand <= fabric.units {
+                        g = cand;
+                    }
+                }
+                f = g;
+                if f == 1 {
+                    break;
+                }
+            }
+            assigned[d] = f;
+            used *= f;
+            remaining_unroll[d] /= f;
+        }
+        if let MappingLevel::Spatial(s) = &mut mapping.levels_mut()[pos] {
+            s.factors = assigned;
+        }
+    }
+    // Temporal factors at this memory: tile growth over the base, divided
+    // by the unroll placed below this memory.
+    let mut quotas = state.quotas.clone();
+    if let MappingLevel::Temporal(t) = &mut mapping.levels_mut()[mem_pos] {
+        for d in 0..ndims {
+            let f = if last_stage { state.quotas[d] / unroll[d] } else { growth[d] };
+            t.factors[d] = f;
+            quotas[d] /= f * unroll[d];
+        }
+    }
+    // Apply the ordering for the next memory level.
+    if let Some(o) = ordering {
+        let next_mem = ctx.mems[stage + 1];
+        if let MappingLevel::Temporal(t) = &mut mapping.levels_mut()[next_mem] {
+            t.order = o.order.clone();
+        }
+    }
+    PartialState { mapping, quotas, ordering_here: ordering.clone(), estimate: f64::INFINITY }
+}
+
+fn make_top_down_child(
+    ctx: &SearchContext<'_>,
+    state: &PartialState,
+    stage: usize,
+    tile: &[u64],
+    unroll: &[u64],
+    ordering: &OrderingCandidate,
+) -> PartialState {
+    let ndims = ctx.workload.num_dims();
+    let mut mapping = state.mapping.clone();
+    let upper_mem = ctx.mems[stage + 1];
+    // Factors at the upper memory = remaining / (tile × unroll).
+    if let MappingLevel::Temporal(t) = &mut mapping.levels_mut()[upper_mem] {
+        for d in 0..ndims {
+            t.factors[d] = state.quotas[d] / (tile[d] * unroll[d]);
+        }
+        t.order = ordering.order.clone();
+    }
+    // Unrolls in the gap.
+    for &pos in &ctx.lower_spatial[stage + 1] {
+        if let MappingLevel::Spatial(s) = &mut mapping.levels_mut()[pos] {
+            s.factors = unroll.to_vec();
+        }
+    }
+    PartialState {
+        mapping,
+        quotas: tile.to_vec(),
+        ordering_here: Some(ordering.clone()),
+        estimate: f64::INFINITY,
+    }
+}

@@ -1,0 +1,135 @@
+//! The shared composition loop: expand → dedup → estimate → select, one
+//! pass per memory level, with the walk direction abstracted as a
+//! [`LevelPass`].
+
+use sunstone_mapping::MappingLevel;
+
+use super::stats::SearchStats;
+use super::{beam, candidates, estimate, PartialState, SearchContext};
+use crate::Direction;
+
+/// A direction of the level-by-level walk (Table VI of the paper). Both
+/// directions share [`run_level_search`]; a pass only decides the stage
+/// order, how one beam state expands, and how the final beam turns into
+/// complete mappings.
+pub(crate) trait LevelPass {
+    /// Direction used when completing partial mappings for estimation.
+    fn direction(&self) -> Direction;
+
+    /// Stage indices in visit order (stage `i` decides memory `mems[i]`).
+    fn stages(&self, n_mem: usize) -> Vec<usize>;
+
+    /// Expands one beam state at `stage` into candidate children.
+    fn expand(
+        &self,
+        ctx: &SearchContext<'_>,
+        state: &PartialState,
+        stage: usize,
+        out: &mut Vec<PartialState>,
+        stats: &mut SearchStats,
+    );
+
+    /// Turns the surviving beam into complete mappings after the last
+    /// stage.
+    fn finalize(&self, ctx: &SearchContext<'_>, beam: &mut [PartialState]);
+}
+
+/// The paper's default: innermost memory outward. Partial costs track
+/// final costs closely (reuse is resolved where most traffic lives), so
+/// the beam cuts early and the explored space stays small.
+pub(crate) struct BottomUpPass;
+
+impl LevelPass for BottomUpPass {
+    fn direction(&self) -> Direction {
+        Direction::BottomUp
+    }
+
+    fn stages(&self, n_mem: usize) -> Vec<usize> {
+        (0..n_mem).collect()
+    }
+
+    fn expand(
+        &self,
+        ctx: &SearchContext<'_>,
+        state: &PartialState,
+        stage: usize,
+        out: &mut Vec<PartialState>,
+        stats: &mut SearchStats,
+    ) {
+        candidates::bottom_up_expand(ctx, state, stage, out, stats);
+    }
+
+    fn finalize(&self, _ctx: &SearchContext<'_>, _beam: &mut [PartialState]) {
+        // The last stage already placed the remainder; quotas are all 1.
+    }
+}
+
+/// DRAM inward (the Table VI study). Estimates of partial mappings are
+/// far from final costs — the inner levels are undecided — so pruning
+/// bites late and the explored space is much larger.
+pub(crate) struct TopDownPass;
+
+impl LevelPass for TopDownPass {
+    fn direction(&self) -> Direction {
+        Direction::TopDown
+    }
+
+    fn stages(&self, n_mem: usize) -> Vec<usize> {
+        // Stage `i` decides the ordering at `mems[i + 1]`, the gap's
+        // unrolls, and the resident tile at `mems[i]`; the innermost
+        // memory's own loops are placed by `finalize`.
+        (0..n_mem - 1).rev().collect()
+    }
+
+    fn expand(
+        &self,
+        ctx: &SearchContext<'_>,
+        state: &PartialState,
+        stage: usize,
+        out: &mut Vec<PartialState>,
+        stats: &mut SearchStats,
+    ) {
+        candidates::top_down_expand(ctx, state, stage, out, stats);
+    }
+
+    fn finalize(&self, ctx: &SearchContext<'_>, beam: &mut [PartialState]) {
+        // The frontier resident tile becomes the innermost memory's own
+        // loops.
+        let m0 = ctx.mems[0];
+        let ndims = ctx.workload.num_dims();
+        for s in beam {
+            if let MappingLevel::Temporal(t) = &mut s.mapping.levels_mut()[m0] {
+                t.factors = s.quotas.clone();
+                s.quotas = vec![1; ndims];
+            }
+        }
+    }
+}
+
+/// Runs the staged search: for each stage of the pass, expand every beam
+/// state, dedup, estimate (memoized, parallel), and keep the
+/// `beam_width` best. Returns the finalized beam, best-estimate first —
+/// empty when some stage produced no candidates.
+pub(crate) fn run_level_search(
+    ctx: &SearchContext<'_>,
+    pass: &dyn LevelPass,
+    stats: &mut SearchStats,
+) -> Vec<PartialState> {
+    let mut beam_states = vec![PartialState::root(ctx)];
+    for stage in pass.stages(ctx.mems.len()) {
+        let mut cands: Vec<PartialState> = Vec::new();
+        for state in &beam_states {
+            pass.expand(ctx, state, stage, &mut cands, stats);
+        }
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        let removed = beam::dedup(&mut cands);
+        stats.level_mut(stage).dedup_removed += removed as u64;
+        estimate::estimate_all(ctx, pass.direction(), &mut cands, stage, stats);
+        beam::select(&mut cands, ctx.config.beam_width, stage, stats);
+        beam_states = cands;
+    }
+    pass.finalize(ctx, &mut beam_states);
+    beam_states
+}

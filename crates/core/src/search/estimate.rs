@@ -1,0 +1,144 @@
+//! Candidate estimation: completion of partial mappings, the memoized
+//! estimate cache, and parallel cost-model evaluation.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use sunstone_mapping::{Mapping, MappingLevel};
+use sunstone_model::CostReport;
+
+use super::beam::mapping_key;
+use super::stats::SearchStats;
+use super::{PartialState, SearchContext};
+use crate::Direction;
+
+/// Memoized cost estimates keyed by completed-mapping fingerprint.
+///
+/// Distinct beam states frequently complete to the same mapping — the
+/// remainder placement collapses states that differ only in undecided
+/// levels — and the final top-k re-evaluation always repeats the last
+/// stage's estimates, so memoization skips real model work. The map is
+/// shared across worker threads; entries are inserted after the parallel
+/// evaluation round, so the lock is never contended inside the model.
+pub(crate) struct EstimateCache {
+    enabled: bool,
+    map: Mutex<HashMap<Vec<u64>, CostReport>>,
+}
+
+impl EstimateCache {
+    pub(crate) fn new(enabled: bool) -> Self {
+        EstimateCache { enabled, map: Mutex::new(HashMap::new()) }
+    }
+
+    fn lookup(&self, key: &[u64]) -> Option<CostReport> {
+        if !self.enabled {
+            return None;
+        }
+        self.map.lock().expect("cache lock").get(key).cloned()
+    }
+
+    fn insert(&self, key: Vec<u64>, report: CostReport) {
+        if self.enabled {
+            self.map.lock().expect("cache lock").insert(key, report);
+        }
+    }
+}
+
+/// Completes a partial state into a structurally valid mapping: bottom-up
+/// places the remaining quotient at the outermost memory; top-down places
+/// the unresolved resident tile at the innermost memory.
+pub(crate) fn complete(
+    ctx: &SearchContext<'_>,
+    state: &PartialState,
+    direction: Direction,
+) -> Mapping {
+    let mut m = state.mapping.clone();
+    let pos = match direction {
+        Direction::BottomUp => *ctx.mems.last().expect("at least one memory"),
+        Direction::TopDown => ctx.mems[0],
+    };
+    if let MappingLevel::Temporal(t) = &mut m.levels_mut()[pos] {
+        for (f, q) in t.factors.iter_mut().zip(&state.quotas) {
+            *f *= q;
+        }
+    }
+    m
+}
+
+/// Completes and estimates every candidate.
+///
+/// The cache is probed on the calling thread; only the misses go through
+/// the model, chunked over the configured worker threads via
+/// `std::thread::scope`. Results are written back by candidate index, so
+/// the outcome is identical for any thread count.
+pub(crate) fn estimate_all(
+    ctx: &SearchContext<'_>,
+    direction: Direction,
+    candidates: &mut [PartialState],
+    stage: usize,
+    stats: &mut SearchStats,
+) {
+    stats.evaluated += candidates.len() as u64;
+    let objective = ctx.config.objective;
+    let mut hits = 0u64;
+    // (candidate index, cache key, completed mapping) per cache miss.
+    let mut misses: Vec<(usize, Vec<u64>, Mapping)> = Vec::new();
+    for (i, state) in candidates.iter_mut().enumerate() {
+        let completed = complete(ctx, state, direction);
+        let key = mapping_key(&completed);
+        if let Some(report) = ctx.cache.lookup(&key) {
+            state.estimate = objective.of(&report);
+            hits += 1;
+        } else {
+            misses.push((i, key, completed));
+        }
+    }
+
+    let mut reports: Vec<Option<CostReport>> = vec![None; misses.len()];
+    if !misses.is_empty() {
+        let threads = ctx.config.effective_threads().min(misses.len());
+        let chunk = misses.len().div_ceil(threads.max(1)).max(1);
+        let model = &ctx.model;
+        std::thread::scope(|scope| {
+            for (m_part, r_part) in misses.chunks(chunk).zip(reports.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for ((_, _, mapping), slot) in m_part.iter().zip(r_part) {
+                        *slot = Some(model.evaluate_unchecked(mapping));
+                    }
+                });
+            }
+        });
+    }
+
+    let miss_count = misses.len() as u64;
+    for ((i, key, _), report) in misses.into_iter().zip(reports) {
+        let report = report.expect("every miss is evaluated");
+        candidates[i].estimate = objective.of(&report);
+        ctx.cache.insert(key, report);
+    }
+
+    let level = stats.level_mut(stage);
+    level.cache_hits += hits;
+    level.cache_misses += miss_count;
+    stats.cache_hits += hits;
+    stats.cache_misses += miss_count;
+}
+
+/// Evaluates a complete mapping through the estimate cache (the final
+/// top-k re-evaluation: the last stage already estimated these mappings,
+/// so with the cache enabled this is a pure lookup).
+pub(crate) fn evaluate_cached(
+    ctx: &SearchContext<'_>,
+    mapping: &Mapping,
+    stats: &mut SearchStats,
+) -> CostReport {
+    let key = mapping_key(mapping);
+    if let Some(report) = ctx.cache.lookup(&key) {
+        stats.cache_hits += 1;
+        return report;
+    }
+    stats.cache_misses += 1;
+    let report = ctx.model.evaluate_unchecked(mapping);
+    ctx.cache.insert(key, report.clone());
+    report
+}

@@ -1,0 +1,145 @@
+//! The staged search pipeline (Section III-C / V-A of the paper).
+//!
+//! The scheduler walks the memory hierarchy one level at a time; each
+//! stage runs the same four-step pipeline over the surviving beam:
+//!
+//! 1. **expand** ([`candidates`]) — per partial mapping, enumerate the
+//!    orderings × tiles × unrollings the pruning principles admit,
+//! 2. **dedup** ([`beam`]) — drop candidates whose mapping an earlier
+//!    enumeration path already produced,
+//! 3. **estimate** ([`estimate`]) — complete each candidate and evaluate
+//!    the analytic model, memoized by completed-mapping fingerprint and
+//!    parallelized over the configured worker threads,
+//! 4. **select** ([`beam`]) — keep the best `beam_width` candidates (the
+//!    alpha-beta-style cut).
+//!
+//! The walk direction is a [`compose::LevelPass`]: [`compose::BottomUpPass`]
+//! (the paper's default) starts at the innermost memory, where partial
+//! costs track final costs closely and the beam cuts early;
+//! [`compose::TopDownPass`] (Table VI) starts at DRAM. Both share the
+//! composition loop in [`compose::run_level_search`].
+//!
+//! Every pruning decision is recorded in the structured [`SearchStats`]:
+//! per level and per principle, how many candidates were considered and
+//! how many survived.
+
+pub mod stats;
+
+pub(crate) mod beam;
+pub(crate) mod candidates;
+pub(crate) mod compose;
+pub(crate) mod estimate;
+
+use sunstone_arch::{ArchSpec, Binding, Level, LevelId};
+use sunstone_ir::Workload;
+use sunstone_mapping::{Mapping, MappingLevel};
+use sunstone_model::CostModel;
+
+use crate::ordering::{OrderingCandidate, OrderingTrie};
+use crate::SunstoneConfig;
+
+use estimate::EstimateCache;
+
+pub use stats::{LevelStats, PruneCounter, SearchStats};
+
+/// Everything the pipeline stages share for one scheduling run: the
+/// problem, the derived level structure, the enumeration trie, the cost
+/// model, and the memoized estimate cache.
+pub(crate) struct SearchContext<'a> {
+    pub(crate) workload: &'a Workload,
+    pub(crate) arch: &'a ArchSpec,
+    pub(crate) binding: &'a Binding,
+    pub(crate) config: &'a SunstoneConfig,
+    pub(crate) model: CostModel<'a>,
+    pub(crate) trie: OrderingTrie<'a>,
+    /// Memory level positions, innermost first.
+    pub(crate) mems: Vec<usize>,
+    /// `lower_spatial[i]`: spatial positions between memory `i − 1` and
+    /// memory `i` (for `i = 0`: below the innermost memory).
+    pub(crate) lower_spatial: Vec<Vec<usize>>,
+    /// Memoized cost estimates, keyed by completed-mapping fingerprint.
+    pub(crate) cache: EstimateCache,
+}
+
+impl<'a> SearchContext<'a> {
+    pub(crate) fn new(
+        workload: &'a Workload,
+        arch: &'a ArchSpec,
+        binding: &'a Binding,
+        config: &'a SunstoneConfig,
+    ) -> Self {
+        let mems: Vec<usize> = arch.memory_levels().map(|(id, _)| id.index()).collect();
+        let mut lower_spatial: Vec<Vec<usize>> = Vec::with_capacity(mems.len());
+        let mut prev: i64 = -1;
+        for &m in &mems {
+            let gap: Vec<usize> = ((prev + 1) as usize..m)
+                .filter(|&p| matches!(arch.level(LevelId(p)), Level::Spatial(_)))
+                .collect();
+            lower_spatial.push(gap);
+            prev = m as i64;
+        }
+        SearchContext {
+            workload,
+            arch,
+            binding,
+            config,
+            model: CostModel::new(workload, arch, binding),
+            trie: OrderingTrie::new(workload),
+            mems,
+            lower_spatial,
+            cache: EstimateCache::new(config.estimate_cache),
+        }
+    }
+
+    /// Does the resident tile fit every partition of the memory at `pos`?
+    pub(crate) fn fits_mem(&self, pos: usize, tile: &[u64]) -> bool {
+        let Some(mem) = self.arch.level(LevelId(pos)).as_memory() else {
+            return true;
+        };
+        let mut needed = vec![0u64; mem.partitions.len()];
+        for t in self.workload.tensor_ids() {
+            if let Some(pid) = self.binding.partition_of(LevelId(pos), t) {
+                let tensor = self.workload.tensor(t);
+                needed[pid.0] += tensor.footprint(tile) * u64::from(tensor.bits()).div_ceil(8);
+            }
+        }
+        mem.partitions.iter().zip(&needed).all(|(p, &b)| p.capacity.fits(b))
+    }
+}
+
+/// One partial mapping alive in the beam.
+#[derive(Debug, Clone)]
+pub(crate) struct PartialState {
+    pub(crate) mapping: Mapping,
+    /// Remaining per-dimension quotient.
+    pub(crate) quotas: Vec<u64>,
+    /// Ordering chosen for the *current frontier* memory (bottom-up: set
+    /// by the previous stage; governs this stage's unrolling principle).
+    pub(crate) ordering_here: Option<OrderingCandidate>,
+    /// Objective estimate of the completed mapping.
+    pub(crate) estimate: f64,
+}
+
+impl PartialState {
+    /// The search starting point: nothing decided, the whole problem
+    /// still to distribute.
+    pub(crate) fn root(ctx: &SearchContext<'_>) -> Self {
+        PartialState {
+            mapping: streaming_base(ctx.workload, ctx.arch),
+            quotas: ctx.workload.dim_sizes(),
+            ordering_here: None,
+            estimate: f64::INFINITY,
+        }
+    }
+}
+
+/// A mapping with all factors 1 — `Mapping::streaming` puts the problem
+/// at DRAM, which the search does itself at completion time.
+pub(crate) fn streaming_base(workload: &Workload, arch: &ArchSpec) -> Mapping {
+    let mut m = Mapping::streaming(workload, arch);
+    let last = arch.num_levels() - 1;
+    if let MappingLevel::Temporal(t) = &mut m.levels_mut()[last] {
+        t.factors = vec![1; workload.num_dims()];
+    }
+    m
+}

@@ -1,0 +1,176 @@
+//! Structured search statistics: per-level, per-principle pruning counts
+//! plus the flat totals the experiment binaries aggregate.
+//!
+//! Every pruning technique the paper describes reports into one
+//! [`PruneCounter`] per stage: how many raw candidates its enumerator
+//! visited (`considered`) and how many survived (`kept`). The
+//! `prune_stats` bench binary prints these directly — no experiment needs
+//! to re-run an enumerator just to count what it pruned — and later
+//! performance work reports its wins against the same counters.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Candidates visited vs. kept by one pruning principle at one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneCounter {
+    /// Raw candidates the enumerator visited.
+    pub considered: u64,
+    /// Candidates that survived the principle.
+    pub kept: u64,
+}
+
+impl PruneCounter {
+    /// Candidates the principle removed.
+    pub fn pruned(&self) -> u64 {
+        self.considered.saturating_sub(self.kept)
+    }
+
+    /// Fraction of considered candidates removed (0 when nothing was
+    /// considered).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            self.pruned() as f64 / self.considered as f64
+        }
+    }
+
+    /// Records one enumeration.
+    pub fn record(&mut self, considered: u64, kept: u64) {
+        self.considered += considered;
+        self.kept += kept;
+    }
+
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: &PruneCounter) {
+        self.considered += other.considered;
+        self.kept += other.kept;
+    }
+}
+
+/// Pruning breakdown of one search stage (one memory level).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Stage index: position in the per-level walk, with 0 the innermost
+    /// memory (both directions index the same way).
+    pub level: usize,
+    /// Loop orderings: trie nodes explored vs. candidates kept (Ordering
+    /// Principles 1–3 plus sibling dominance).
+    pub ordering: PruneCounter,
+    /// Suffix extensions the trie rejected for adding no further reuse
+    /// (Ordering Principle 3).
+    pub ordering_no_reuse: u64,
+    /// Enumerated suffixes dropped by sibling dominance over the
+    /// Principle 1–2 reuse scores.
+    pub ordering_dominated: u64,
+    /// Tiles: tiling-tree nodes explored vs. maximal-frontier tiles kept
+    /// (Tiling Principle; the cap on tiles per enumeration also lands
+    /// here).
+    pub tiling: PruneCounter,
+    /// Spatial unrollings: combinations explored vs. principled,
+    /// high-utilization unrollings kept (Spatial Unrolling Principle).
+    pub unrolling: PruneCounter,
+    /// Identical partial mappings removed before estimation.
+    pub dedup_removed: u64,
+    /// Beam: candidates estimated vs. survivors after the alpha-beta-style
+    /// cut. `considered` sums to [`SearchStats::evaluated`] across levels.
+    pub beam: PruneCounter,
+    /// Estimates answered by the memoized estimate cache at this stage.
+    pub cache_hits: u64,
+    /// Estimates that required a cost-model evaluation at this stage.
+    pub cache_misses: u64,
+}
+
+/// Search statistics of one scheduling run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Complete mappings estimated with the cost model (the optimization
+    /// space actually visited — comparable across tools in Table I).
+    pub evaluated: u64,
+    /// Loop orderings considered across all stages.
+    pub orderings: u64,
+    /// Tiles considered across all stages.
+    pub tiles: u64,
+    /// Spatial unrollings considered across all stages.
+    pub unrollings: u64,
+    /// Trie / tree nodes explored while enumerating.
+    pub nodes_explored: u64,
+    /// Estimates served from the memoized estimate cache (including the
+    /// final top-k re-evaluation).
+    pub cache_hits: u64,
+    /// Estimates that had to run the analytic model.
+    pub cache_misses: u64,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+    /// Per-level, per-principle pruning breakdown, indexed by stage.
+    pub levels: Vec<LevelStats>,
+}
+
+impl SearchStats {
+    /// The per-level record for `stage`, growing the vector as stages are
+    /// first touched.
+    pub(crate) fn level_mut(&mut self, stage: usize) -> &mut LevelStats {
+        while self.levels.len() <= stage {
+            let level = self.levels.len();
+            self.levels.push(LevelStats { level, ..LevelStats::default() });
+        }
+        &mut self.levels[stage]
+    }
+
+    /// Total candidates the beam cut across all stages.
+    pub fn beam_cut(&self) -> u64 {
+        self.levels.iter().map(|l| l.beam.pruned()).sum()
+    }
+
+    /// Aggregate of one principle across all levels.
+    pub fn total_of(&self, principle: impl Fn(&LevelStats) -> PruneCounter) -> PruneCounter {
+        let mut total = PruneCounter::default();
+        for l in &self.levels {
+            total.merge(&principle(l));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_counter_arithmetic() {
+        let mut c = PruneCounter::default();
+        c.record(10, 3);
+        c.record(6, 1);
+        assert_eq!(c.considered, 16);
+        assert_eq!(c.kept, 4);
+        assert_eq!(c.pruned(), 12);
+        assert!((c.pruned_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_has_zero_fraction() {
+        assert_eq!(PruneCounter::default().pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn level_mut_grows_and_labels() {
+        let mut stats = SearchStats::default();
+        stats.level_mut(2).beam.record(5, 2);
+        assert_eq!(stats.levels.len(), 3);
+        assert_eq!(stats.levels[2].level, 2);
+        assert_eq!(stats.levels[0].level, 0);
+        assert_eq!(stats.beam_cut(), 3);
+    }
+
+    #[test]
+    fn totals_aggregate_across_levels() {
+        let mut stats = SearchStats::default();
+        stats.level_mut(0).tiling.record(8, 2);
+        stats.level_mut(1).tiling.record(4, 1);
+        let total = stats.total_of(|l| l.tiling);
+        assert_eq!(total.considered, 12);
+        assert_eq!(total.kept, 3);
+    }
+}

@@ -11,6 +11,9 @@ use std::collections::HashSet;
 
 use sunstone_ir::DimSet;
 
+use crate::factors::next_divisor;
+pub use crate::factors::sorted_divisors;
+
 /// Result of a tiling-tree enumeration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TilingOutcome {
@@ -84,30 +87,6 @@ pub fn enumerate_tiles(
         }
     }
     TilingOutcome { tiles, explored }
-}
-
-/// All divisors of `q` in increasing order.
-pub fn sorted_divisors(q: u64) -> Vec<u64> {
-    let mut divs = Vec::new();
-    let mut i = 1u64;
-    while i * i <= q {
-        if q.is_multiple_of(i) {
-            divs.push(i);
-            if i != q / i {
-                divs.push(q / i);
-            }
-        }
-        i += 1;
-    }
-    divs.sort_unstable();
-    divs
-}
-
-fn next_divisor(divisors: &[u64], current: u64) -> Option<u64> {
-    match divisors.binary_search(&current) {
-        Ok(i) => divisors.get(i + 1).copied(),
-        Err(i) => divisors.get(i).copied(),
-    }
 }
 
 #[cfg(test)]
@@ -186,13 +165,6 @@ mod tests {
         let out = enumerate_tiles(&[2], &[4], dims(&[0]), |t| t[0] <= 8, true);
         // Factors over quota 4: 1,2,4 → tiles 2,4,8; maximal = 8.
         assert_eq!(out.tiles, vec![vec![8]]);
-    }
-
-    #[test]
-    fn sorted_divisors_are_sorted_and_complete() {
-        assert_eq!(sorted_divisors(12), vec![1, 2, 3, 4, 6, 12]);
-        assert_eq!(sorted_divisors(1), vec![1]);
-        assert_eq!(sorted_divisors(7), vec![1, 7]);
     }
 
     #[test]

@@ -61,8 +61,7 @@ pub fn enumerate_unrollings(
         let mut can_grow = false;
         for d in allowed.iter() {
             let i = d.index();
-            let Some(&next) =
-                divisors[i].iter().find(|&&x| x > f[i] && used / f[i] * x <= units)
+            let Some(&next) = divisors[i].iter().find(|&&x| x > f[i] && used / f[i] * x <= units)
             else {
                 continue;
             };
@@ -85,17 +84,14 @@ pub fn enumerate_unrollings(
     let util = |f: &Vec<u64>| f.iter().product::<u64>() as f64 / units as f64;
     let best = frontier.iter().map(&util).fold(0.0f64, f64::max);
     let floor = if best >= min_utilization { min_utilization } else { best };
-    let unrollings: Vec<Vec<u64>> =
-        frontier.into_iter().filter(|f| util(f) >= floor).collect();
+    let unrollings: Vec<Vec<u64>> = frontier.into_iter().filter(|f| util(f) >= floor).collect();
     UnrollingOutcome { unrollings, explored }
 }
 
 /// Computes the dimensions the Unrolling Principle forbids: the
 /// non-indexing (full-reuse) dimensions of every tensor temporally reused
 /// by the upper-level ordering.
-pub fn principle_excluded_dims(
-    reused_full: impl IntoIterator<Item = DimSet>,
-) -> DimSet {
+pub fn principle_excluded_dims(reused_full: impl IntoIterator<Item = DimSet>) -> DimSet {
     reused_full.into_iter().fold(DimSet::EMPTY, DimSet::union)
 }
 
@@ -111,14 +107,7 @@ mod tests {
     #[test]
     fn maximal_unrollings_fill_the_fabric() {
         // Quotas K=8, C=4, P=8 on 16 units; all dims allowed.
-        let out = enumerate_unrollings(
-            &[8, 4, 8],
-            dims(&[0, 1, 2]),
-            16,
-            |_| true,
-            0.5,
-            true,
-        );
+        let out = enumerate_unrollings(&[8, 4, 8], dims(&[0, 1, 2]), 16, |_| true, 0.5, true);
         assert!(!out.unrollings.is_empty());
         for f in &out.unrollings {
             let used: u64 = f.iter().product();
@@ -139,14 +128,7 @@ mod tests {
     fn utilization_floor_drops_weak_candidates() {
         // Quotas allow only 2×3 = 6 of 16 units via dim 0+1, or 8 via
         // dim 2; with floor 0.5 only the 8 survives.
-        let out = enumerate_unrollings(
-            &[2, 3, 8],
-            dims(&[0, 1, 2]),
-            16,
-            |_| true,
-            0.5,
-            true,
-        );
+        let out = enumerate_unrollings(&[2, 3, 8], dims(&[0, 1, 2]), 16, |_| true, 0.5, true);
         for f in &out.unrollings {
             assert!(f.iter().product::<u64>() as f64 / 16.0 >= 0.5, "{f:?}");
         }
@@ -162,8 +144,7 @@ mod tests {
     #[test]
     fn fits_predicate_limits_growth() {
         // Shared child memory only tolerates a factor-2 unroll in dim 0.
-        let out =
-            enumerate_unrollings(&[8, 8], dims(&[0, 1]), 64, |f| f[0] <= 2, 0.0, true);
+        let out = enumerate_unrollings(&[8, 8], dims(&[0, 1]), 64, |f| f[0] <= 2, 0.0, true);
         for f in &out.unrollings {
             assert!(f[0] <= 2);
         }

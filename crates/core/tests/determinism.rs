@@ -1,0 +1,62 @@
+//! The search result must not depend on the worker-thread count: cache
+//! probing and candidate ordering happen on the calling thread, and
+//! parallel estimation writes results back by candidate index, so
+//! `schedule_top_k` returns identical mappings in identical order for any
+//! `threads` setting.
+
+use sunstone::{Sunstone, SunstoneConfig};
+use sunstone_arch::presets;
+use sunstone_ir::Workload;
+
+fn conv2d() -> Workload {
+    let mut b = Workload::builder("conv2d");
+    let n = b.dim("N", 1);
+    let k = b.dim("K", 16);
+    let c = b.dim("C", 16);
+    let p = b.dim("P", 14);
+    let q = b.dim("Q", 14);
+    let r = b.dim("R", 3);
+    let s = b.dim("S", 3);
+    b.input("ifmap", [n.expr(), c.expr(), p + r, q + s]);
+    b.input("weight", [k.expr(), c.expr(), r.expr(), s.expr()]);
+    b.output("ofmap", [n.expr(), k.expr(), p.expr(), q.expr()]);
+    b.build().unwrap()
+}
+
+fn matmul() -> Workload {
+    let mut b = Workload::builder("mm");
+    let m = b.dim("M", 128);
+    let n = b.dim("N", 128);
+    let k = b.dim("K", 128);
+    b.input("a", [m.expr(), k.expr()]);
+    b.input("b", [k.expr(), n.expr()]);
+    b.output("out", [m.expr(), n.expr()]);
+    b.build().unwrap()
+}
+
+fn assert_thread_invariant(w: &Workload) {
+    let arch = presets::conventional();
+    let k = 8;
+    let run = |threads: usize| {
+        Sunstone::new(SunstoneConfig { threads, ..SunstoneConfig::default() })
+            .schedule_top_k(w, &arch, k)
+            .unwrap()
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.len(), four.len(), "same number of results");
+    for (i, (a, b)) in one.iter().zip(&four).enumerate() {
+        assert_eq!(a.report.edp, b.report.edp, "EDP differs at rank {i}");
+        assert_eq!(a.mapping, b.mapping, "mapping differs at rank {i}");
+    }
+}
+
+#[test]
+fn conv2d_top_k_is_identical_for_1_and_4_threads() {
+    assert_thread_invariant(&conv2d());
+}
+
+#[test]
+fn matmul_top_k_is_identical_for_1_and_4_threads() {
+    assert_thread_invariant(&matmul());
+}

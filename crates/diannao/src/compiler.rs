@@ -121,8 +121,8 @@ impl Compiler {
         mapping: &Mapping,
         arch: &ArchSpec,
     ) -> Result<Program, CompileError> {
-        let binding = Binding::resolve(arch, workload)
-            .map_err(|e| CompileError::Binding(e.to_string()))?;
+        let binding =
+            Binding::resolve(arch, workload).map_err(|e| CompileError::Binding(e.to_string()))?;
         let ctx = ValidationContext::new(workload, arch, &binding);
         ctx.validate(mapping).map_err(|e| CompileError::InvalidMapping(e.to_string()))?;
 
@@ -178,11 +178,8 @@ impl Compiler {
         let loops = dram_loops
             .iter()
             .map(|l| {
-                let mask = workload
-                    .tensors()
-                    .iter()
-                    .map(|t| t.indexing_dims().contains(l.dim))
-                    .collect();
+                let mask =
+                    workload.tensors().iter().map(|t| t.indexing_dims().contains(l.dim)).collect();
                 (l.factor, mask)
             })
             .collect();
@@ -231,12 +228,23 @@ impl Compiler {
     pub fn tiled_with_sunstone_mapping(
         workload: &Workload,
     ) -> Result<(Program, Mapping), CompileError> {
+        let (program, result) = Self::tiled_with_sunstone_schedule(workload)?;
+        Ok((program, result.mapping))
+    }
+
+    /// Schedules with Sunstone and returns the program together with the
+    /// full [`sunstone::ScheduleResult`] — mapping, cost report, and the
+    /// per-level search statistics (the Fig 9 harness reports the
+    /// scheduling overhead next to the execution overheads).
+    pub fn tiled_with_sunstone_schedule(
+        workload: &Workload,
+    ) -> Result<(Program, sunstone::ScheduleResult), CompileError> {
         let arch = presets::diannao_like();
         let result = sunstone::Sunstone::new(sunstone::SunstoneConfig::default())
             .schedule(workload, &arch)
             .map_err(|e| CompileError::InvalidMapping(e.to_string()))?;
         let program = Self::tiled_for(workload, &result.mapping, &arch)?;
-        Ok((program, result.mapping))
+        Ok((program, result))
     }
 }
 
@@ -339,11 +347,7 @@ impl Program {
             })?;
 
             // Advance or finish.
-            if counters
-                .iter()
-                .zip(&p.loops)
-                .all(|(&c, (f, _))| c + 1 == *f)
-            {
+            if counters.iter().zip(&p.loops).all(|(&c, (f, _))| c + 1 == *f) {
                 // Final eviction of the last output tile.
                 sim.execute(Instruction::Store {
                     buffer: p.buffers[out_idx],
@@ -404,8 +408,7 @@ mod tests {
 
     #[test]
     fn tiled_beats_naive_on_energy() {
-        let w = ConvSpec::new("t", 1, 16, 16, 14, 14, 3, 3, 1)
-            .inference(Precision::conventional());
+        let w = ConvSpec::new("t", 1, 16, 16, 14, 14, 3, 3, 1).inference(Precision::conventional());
         let naive = Compiler::naive(&w).unwrap();
         let tiled = Compiler::tiled_with_sunstone(&w).unwrap();
         let mut s1 = Simulator::new();
@@ -439,8 +442,7 @@ mod edge_tests {
     /// load per tensor, one compute, one store.
     #[test]
     fn single_pass_program_is_minimal() {
-        let w = ConvSpec::new("tiny", 1, 4, 4, 4, 4, 1, 1, 1)
-            .inference(Precision::conventional());
+        let w = ConvSpec::new("tiny", 1, 4, 4, 4, 4, 1, 1, 1).inference(Precision::conventional());
         let arch = presets::diannao_like();
         let mut mapping = sunstone_mapping::Mapping::streaming(&w, &arch);
         // Everything in the buffers level (pos 1), nothing at DRAM.
@@ -457,12 +459,8 @@ mod edge_tests {
         // 2 input loads + 1 compute + 1 final store = 4 instructions.
         assert_eq!(r.instructions, 4, "{r:?}");
         let sizes = w.dim_sizes();
-        let expected_reads: u64 = w
-            .tensors()
-            .iter()
-            .filter(|t| !t.is_output())
-            .map(|t| t.footprint(&sizes))
-            .sum();
+        let expected_reads: u64 =
+            w.tensors().iter().filter(|t| !t.is_output()).map(|t| t.footprint(&sizes)).sum();
         assert_eq!(r.dram_reads, expected_reads, "compulsory traffic only");
     }
 
@@ -471,8 +469,7 @@ mod edge_tests {
     /// psum tiles.
     #[test]
     fn psum_revisits_produce_loads() {
-        let w = ConvSpec::new("t", 1, 4, 8, 4, 4, 1, 1, 1)
-            .inference(Precision::conventional());
+        let w = ConvSpec::new("t", 1, 4, 8, 4, 4, 1, 1, 1).inference(Precision::conventional());
         let arch = presets::diannao_like();
         let mut mapping = sunstone_mapping::Mapping::streaming(&w, &arch);
         let d = |n: &str| w.dim_by_name(n).unwrap().index();

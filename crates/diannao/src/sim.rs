@@ -300,8 +300,13 @@ mod tests {
         sim.execute(Instruction::Load { buffer: BufferId::NBin, words: 64 }).unwrap();
         sim.execute(Instruction::Load { buffer: BufferId::Sb, words: 128 }).unwrap();
         sim.initialize(BufferId::NBout, 16).unwrap();
-        sim.execute(Instruction::Compute { macs: 1024, nbin_reads: 64, sb_reads: 1024, nbout_rmw: 64 })
-            .unwrap();
+        sim.execute(Instruction::Compute {
+            macs: 1024,
+            nbin_reads: 64,
+            sb_reads: 1024,
+            nbout_rmw: 64,
+        })
+        .unwrap();
         sim.execute(Instruction::Store { buffer: BufferId::NBout, words: 16 }).unwrap();
         let r = sim.report();
         assert_eq!(r.macs, 1024);
@@ -315,8 +320,7 @@ mod tests {
     #[test]
     fn buffer_overflow_is_detected() {
         let mut sim = Simulator::with_capacities(8, 8, 8);
-        let err =
-            sim.execute(Instruction::Load { buffer: BufferId::NBin, words: 9 }).unwrap_err();
+        let err = sim.execute(Instruction::Load { buffer: BufferId::NBin, words: 9 }).unwrap_err();
         assert!(matches!(err, SimError::BufferOverflow { .. }));
     }
 

@@ -236,8 +236,7 @@ mod tests {
 
     #[test]
     fn parses_strides_in_both_notations() {
-        for stmt in
-            ["o[p] = i[2p + r] * w[r]", "o[p] = i[2*p + r] * w[r]", "o[p]=i[2 * p+r]*w[r]"]
+        for stmt in ["o[p] = i[2p + r] * w[r]", "o[p] = i[2*p + r] * w[r]", "o[p]=i[2 * p+r]*w[r]"]
         {
             let w = parse_einsum(stmt, &[("p", 8), ("r", 3)]).unwrap();
             let i = w.tensor(w.tensor_by_name("i").unwrap());

@@ -180,10 +180,7 @@ mod tests {
         // ofmap: full reuse by C,R,S; ifmap: by K; weight: by N,P,Q.
         assert_eq!(info.of(w.tensor_by_name("ofmap").unwrap()).full_reuse, w.dim_set(&[c, r, s]));
         assert_eq!(info.of(w.tensor_by_name("ifmap").unwrap()).full_reuse, w.dim_set(&[k]));
-        assert_eq!(
-            info.of(w.tensor_by_name("weight").unwrap()).full_reuse,
-            w.dim_set(&[n, p, q])
-        );
+        assert_eq!(info.of(w.tensor_by_name("weight").unwrap()).full_reuse, w.dim_set(&[n, p, q]));
         assert_eq!(info.reuse_dims().len(), 7, "every conv dim reuses something");
     }
 

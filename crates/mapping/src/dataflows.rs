@@ -30,11 +30,7 @@ pub enum Stationarity {
 ///
 /// Returns `None` if even a unit tile of the stationary tensor does not
 /// fit the innermost memory.
-pub fn stationary(
-    workload: &Workload,
-    arch: &ArchSpec,
-    what: Stationarity,
-) -> Option<Mapping> {
+pub fn stationary(workload: &Workload, arch: &ArchSpec, what: Stationarity) -> Option<Mapping> {
     let ndims = workload.num_dims();
     let tensor_id = match what {
         Stationarity::Input(t) => t,
@@ -55,11 +51,7 @@ pub fn stationary(
                 needed[pid.0] += t.footprint(tile) * u64::from(t.bits()).div_ceil(8);
             }
         }
-        inner_mem
-            .partitions
-            .iter()
-            .zip(&needed)
-            .all(|(p, &bytes)| p.capacity.fits(bytes))
+        inner_mem.partitions.iter().zip(&needed).all(|(p, &bytes)| p.capacity.fits(bytes))
     };
 
     // Grow the stationary tensor's indexing dims greedily (round-robin
@@ -93,8 +85,7 @@ pub fn stationary(
     let last = arch.num_levels() - 1;
     for (d, &t) in tile.iter().enumerate() {
         mapping.levels_mut()[inner_pos.index()].factors_mut()[d] = t;
-        mapping.levels_mut()[last].factors_mut()[d] =
-            workload.dim_size(DimId::from_index(d)) / t;
+        mapping.levels_mut()[last].factors_mut()[d] = workload.dim_size(DimId::from_index(d)) / t;
     }
     // Loop order above the stationary tile: the tensor's non-indexing
     // (reuse) dims innermost, so the tile stays resident as long as

@@ -35,8 +35,7 @@ pub struct TensorData {
 
 impl TensorData {
     fn new(tensor: &TensorDesc, sizes: &[u64]) -> Self {
-        let extents: Vec<u64> =
-            tensor.indices().iter().map(|e| e.extent_of(sizes)).collect();
+        let extents: Vec<u64> = tensor.indices().iter().map(|e| e.extent_of(sizes)).collect();
         let len = extents.iter().product::<u64>() as usize;
         TensorData { extents, values: vec![Wrapping(0); len] }
     }
@@ -101,12 +100,10 @@ pub fn execute_mapping(workload: &Workload, mapping: &Mapping) -> TensorData {
     let n_levels = mapping.levels().len();
     let mut below = vec![vec![1u64; ndims]; n_levels + 1];
     for lvl in 0..n_levels {
-        for d in 0..ndims {
-            below[lvl + 1][d] = below[lvl][d] * mapping.level(lvl).factors()[d];
-        }
+        let factors = mapping.level(lvl).factors();
+        below[lvl + 1] = below[lvl].iter().zip(factors).map(|(b, &f)| b * f).collect();
     }
-    let strides: Vec<u64> =
-        loops.iter().map(|l| below[l.arch_pos][l.dim.index()]).collect();
+    let strides: Vec<u64> = loops.iter().map(|l| below[l.arch_pos][l.dim.index()]).collect();
 
     let mut counters = vec![0u64; loops.len()];
     let mut dim_values = vec![0u64; ndims];
@@ -188,8 +185,8 @@ fn for_each_point(sizes: &[u64], mut f: impl FnMut(&[u64])) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MappingLevel, TemporalLevel};
-    use sunstone_arch::{presets, LevelId};
+    use crate::MappingLevel;
+    use sunstone_arch::presets;
     use sunstone_ir::DimId;
 
     fn conv1d(k: u64, c: u64, p: u64, r: u64) -> Workload {

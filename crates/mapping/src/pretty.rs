@@ -86,19 +86,9 @@ pub fn render(mapping: &Mapping, workload: &Workload, arch: &ArchSpec) -> String
         }
     }
     let output = workload.tensor(workload.output()).name();
-    let inputs: Vec<&str> = workload
-        .tensors()
-        .iter()
-        .filter(|t| !t.is_output())
-        .map(|t| t.name())
-        .collect();
-    let _ = writeln!(
-        out,
-        "{:indent$}{output} += {}",
-        "",
-        inputs.join(" × "),
-        indent = depth * 2
-    );
+    let inputs: Vec<&str> =
+        workload.tensors().iter().filter(|t| !t.is_output()).map(|t| t.name()).collect();
+    let _ = writeln!(out, "{:indent$}{output} += {}", "", inputs.join(" × "), indent = depth * 2);
     out
 }
 
@@ -156,8 +146,7 @@ mod tests {
         assert!(text.contains("// pe_grid (1024 units)"), "{text}");
         assert!(text.ends_with("ofmap += ifmap × weight\n"), "{text}");
         // Indentation deepens monotonically.
-        let indents: Vec<usize> =
-            lines.iter().map(|l| l.len() - l.trim_start().len()).collect();
+        let indents: Vec<usize> = lines.iter().map(|l| l.len() - l.trim_start().len()).collect();
         assert!(indents.windows(2).all(|w| w[1] > w[0]), "{indents:?}");
     }
 

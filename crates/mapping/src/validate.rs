@@ -232,7 +232,6 @@ mod tests {
     use super::*;
     use crate::TemporalLevel;
     use sunstone_arch::presets;
-    
 
     fn conv1d() -> Workload {
         let mut b = Workload::builder("conv1d");
@@ -369,10 +368,8 @@ mod tests {
         let arch = presets::conventional();
         let binding = Binding::resolve(&arch, &w).unwrap();
         let ctx = ValidationContext::new(&w, &arch, &binding);
-        let m = Mapping::from_levels(vec![MappingLevel::Temporal(TemporalLevel::unit(
-            LevelId(0),
-            4,
-        ))]);
+        let m =
+            Mapping::from_levels(vec![MappingLevel::Temporal(TemporalLevel::unit(LevelId(0), 4))]);
         assert!(matches!(
             ctx.validate(&m).unwrap_err(),
             MappingError::StructureMismatch { expected: 4, got: 1 }

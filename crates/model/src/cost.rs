@@ -317,12 +317,9 @@ mod tests {
         let w32 = build(32);
         let b8 = Binding::resolve(&arch, &w8).unwrap();
         let b32 = Binding::resolve(&arch, &w32).unwrap();
-        let r8 = CostModel::new(&w8, &arch, &b8)
-            .evaluate(&Mapping::streaming(&w8, &arch))
-            .unwrap();
-        let r32 = CostModel::new(&w32, &arch, &b32)
-            .evaluate(&Mapping::streaming(&w32, &arch))
-            .unwrap();
+        let r8 = CostModel::new(&w8, &arch, &b8).evaluate(&Mapping::streaming(&w8, &arch)).unwrap();
+        let r32 =
+            CostModel::new(&w32, &arch, &b32).evaluate(&Mapping::streaming(&w32, &arch)).unwrap();
         assert!(r32.energy_pj > r8.energy_pj);
     }
 

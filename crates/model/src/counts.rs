@@ -111,9 +111,7 @@ impl Counter<'_> {
         let mut s_above = vec![1.0f64; n_levels + 1];
         for p in (0..n_levels).rev() {
             let own = match self.arch.level(LevelId(p)) {
-                Level::Spatial(_) => {
-                    self.mapping.level(p).factors().iter().product::<u64>() as f64
-                }
+                Level::Spatial(_) => self.mapping.level(p).factors().iter().product::<u64>() as f64,
                 Level::Memory(_) => 1.0,
             };
             s_above[p] = s_above[p + 1] * own;
@@ -269,12 +267,8 @@ impl Counter<'_> {
         if extent == 0.0 {
             return 0.0;
         }
-        let stride = expr
-            .terms()
-            .iter()
-            .find(|t| t.dim == drv.dim)
-            .map(|t| t.stride)
-            .unwrap_or(1) as f64;
+        let stride =
+            expr.terms().iter().find(|t| t.dim == drv.dim).map(|t| t.stride).unwrap_or(1) as f64;
         let shift = stride * tile[drv.dim.index()] as f64;
         let frac = (shift.min(extent)) / extent;
         // refills = sweeps × drv.factor; within a sweep, the first refill
@@ -354,7 +348,13 @@ mod tests {
             vec![
                 Level::Memory(MemoryLevel::unified(
                     "L1",
-                    BufferPartition::new("l1", TensorFilter::Any, Capacity::Bytes(1 << 20), 1.0, 1.0),
+                    BufferPartition::new(
+                        "l1",
+                        TensorFilter::Any,
+                        Capacity::Bytes(1 << 20),
+                        1.0,
+                        1.0,
+                    ),
                 )),
                 Level::Memory(MemoryLevel::unified(
                     "L2",
@@ -373,7 +373,13 @@ mod tests {
             vec![
                 Level::Memory(MemoryLevel::unified(
                     "L1",
-                    BufferPartition::new("l1", TensorFilter::Any, Capacity::Bytes(1 << 20), 1.0, 1.0),
+                    BufferPartition::new(
+                        "l1",
+                        TensorFilter::Any,
+                        Capacity::Bytes(1 << 20),
+                        1.0,
+                        1.0,
+                    ),
                 )),
                 Level::Spatial(SpatialLevel::new("grid", units)),
                 Level::Memory(MemoryLevel::unified(
@@ -504,10 +510,7 @@ mod tests {
         let ofmap = w.tensor_by_name("ofmap").unwrap();
 
         // Eq 5: ifmap = K_L2 P_L2 C_L2 (P_sp·P_L1 + R − 1) · C_sp·C_L1.
-        assert_eq!(
-            counts.at(2, ifmap).reads,
-            (k2 * p2 * c2 * (ps * p1 + r - 1) * cs * c1) as f64
-        );
+        assert_eq!(counts.at(2, ifmap).reads, (k2 * p2 * c2 * (ps * p1 + r - 1) * cs * c1) as f64);
         // Eq 6: weight = K_L2 P_L2 C_L2 · C_sp C_L1 K_sp K_L1 R.
         assert_eq!(counts.at(2, weight).reads, (k2 * p2 * c2 * cs * c1 * ks * k1 * r) as f64);
         // Eq 7: ofmap = P_L2 K_L2 · (P_sp P_L1 K_sp K_L1) = P × K (C inner).
@@ -558,9 +561,10 @@ mod tests {
             .iter()
             .cloned()
             .map(|l| match l {
-                Level::Spatial(s) => Level::Spatial(
-                    s.with_noc(sunstone_arch::NocModel { multicast: false, per_word_energy_pj: 0.0 }),
-                ),
+                Level::Spatial(s) => Level::Spatial(s.with_noc(sunstone_arch::NocModel {
+                    multicast: false,
+                    per_word_energy_pj: 0.0,
+                })),
                 other => other,
             })
             .collect();

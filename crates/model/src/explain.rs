@@ -58,11 +58,7 @@ pub fn compare(name_a: &str, a: &CostReport, name_b: &str, b: &CostReport) -> St
         ("MAC energy", a.mac_energy_pj, b.mac_energy_pj),
         ("NoC energy", a.noc_energy_pj, b.noc_energy_pj),
     ] {
-        let _ = writeln!(
-            out,
-            "{label:<12} {va:>14.4e} {vb:>14.4e} {:>7.2}x",
-            ratio(va, vb)
-        );
+        let _ = writeln!(out, "{label:<12} {va:>14.4e} {vb:>14.4e} {:>7.2}x", ratio(va, vb));
     }
     for (la, lb) in a.levels.iter().zip(&b.levels) {
         let _ = writeln!(

@@ -77,9 +77,8 @@ fn odometer_reads(w: &Workload, mapping: &Mapping) -> Vec<f64> {
         first = false;
         for (t_idx, tensor) in w.tensors().iter().enumerate() {
             let indexing = tensor.indexing_dims();
-            let reload =
-                changed_from == 0 && counters.iter().all(|&c| c == 0)
-                    || loops[changed_from..].iter().any(|l| indexing.contains(l.dim));
+            let reload = changed_from == 0 && counters.iter().all(|&c| c == 0)
+                || loops[changed_from..].iter().any(|l| indexing.contains(l.dim));
             if reload && !tensor.is_output() {
                 reads[t_idx] += tensor.footprint(&tile) as f64;
             }
@@ -96,8 +95,7 @@ fn check(w: &Workload, l1_factors: Vec<u64>, l2_order: Vec<usize>) {
     let ctx = ValidationContext::new(w, &arch, &binding);
     let sizes = w.dim_sizes();
     let l2_factors: Vec<u64> = sizes.iter().zip(&l1_factors).map(|(s, f)| s / f).collect();
-    let order: Vec<_> =
-        l2_order.into_iter().map(sunstone_ir::DimId::from_index).collect();
+    let order: Vec<_> = l2_order.into_iter().map(sunstone_ir::DimId::from_index).collect();
     let mapping = Mapping::from_levels(vec![
         MappingLevel::Temporal(TemporalLevel {
             mem: sunstone_arch::LevelId(0),
@@ -111,13 +109,8 @@ fn check(w: &Workload, l1_factors: Vec<u64>, l2_order: Vec<usize>) {
         }),
     ]);
     ctx.validate(&mapping).expect("test mapping is valid");
-    let counts = AccessCounts::compute(
-        w,
-        &arch,
-        &binding,
-        &mapping,
-        ModelOptions { halo_reuse: false },
-    );
+    let counts =
+        AccessCounts::compute(w, &arch, &binding, &mapping, ModelOptions { halo_reuse: false });
     let reference = odometer_reads(w, &mapping);
     for t in w.tensor_ids() {
         if w.tensor(t).is_output() {
@@ -147,13 +140,9 @@ fn analytic_reads_match_odometer_across_orders() {
 #[test]
 fn analytic_reads_match_odometer_across_tilings() {
     let w = conv1d(4, 4, 8, 3);
-    for l1 in [
-        vec![1, 1, 1, 1],
-        vec![4, 4, 8, 3],
-        vec![2, 1, 8, 3],
-        vec![1, 4, 2, 1],
-        vec![4, 2, 4, 3],
-    ] {
+    for l1 in
+        [vec![1, 1, 1, 1], vec![4, 4, 8, 3], vec![2, 1, 8, 3], vec![1, 4, 2, 1], vec![4, 2, 4, 3]]
+    {
         check(&w, l1, vec![0, 1, 2, 3]);
         check(&w, vec![2, 2, 2, 1], vec![3, 2, 1, 0]);
     }

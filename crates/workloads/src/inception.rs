@@ -36,11 +36,8 @@ mod tests {
     #[test]
     fn includes_the_asymmetric_layers_of_fig7() {
         let layers = inception_v3_layers(16);
-        let asym: Vec<&str> = layers
-            .iter()
-            .filter(|l| l.is_asymmetric())
-            .map(|l| l.name.as_str())
-            .collect();
+        let asym: Vec<&str> =
+            layers.iter().filter(|l| l.is_asymmetric()).map(|l| l.name.as_str()).collect();
         assert!(asym.contains(&"1x7_deep"));
         assert!(asym.contains(&"7x1_deep"));
         assert!(asym.contains(&"3x1_deep"));

@@ -80,9 +80,7 @@ mod tests {
         let b = &mobilenet_v2_blocks(4)[2]; // block8
         let [expand, dw, project] = b.workloads(Precision::conventional());
         for w in [expand, dw, project] {
-            let r = scheduler
-                .schedule(&w, &arch)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            let r = scheduler.schedule(&w, &arch).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
             assert!(r.mapping.used_parallelism() > 1, "{}", w.name());
         }
     }
@@ -98,9 +96,8 @@ mod tests {
         let [expand, dw, _] = b.workloads(Precision::conventional());
         let re = scheduler.schedule(&expand, &arch).expect("schedules");
         let rd = scheduler.schedule(&dw, &arch).expect("schedules");
-        let per_mac = |r: &sunstone::ScheduleResult, w: &Workload| {
-            r.report.energy_pj / w.total_ops() as f64
-        };
+        let per_mac =
+            |r: &sunstone::ScheduleResult, w: &Workload| r.report.energy_pj / w.total_ops() as f64;
         assert!(
             per_mac(&rd, &dw) > per_mac(&re, &expand),
             "dw {} vs expand {}",

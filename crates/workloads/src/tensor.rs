@@ -183,10 +183,8 @@ mod tests {
         let s = sddmm(BCSSTK17, 512);
         let mr = m.reuse_info();
         let sr = s.reuse_info();
-        let m_profile: Vec<usize> =
-            mr.iter().map(|(_, r)| r.full_reuse.len()).collect();
-        let s_profile: Vec<usize> =
-            sr.iter().map(|(_, r)| r.full_reuse.len()).collect();
+        let m_profile: Vec<usize> = mr.iter().map(|(_, r)| r.full_reuse.len()).collect();
+        let s_profile: Vec<usize> = sr.iter().map(|(_, r)| r.full_reuse.len()).collect();
         assert_ne!(m_profile, s_profile);
     }
 }

@@ -18,14 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![
             Level::Memory(MemoryLevel::unified(
                 "spad",
-                BufferPartition::new(
-                    "spad",
-                    TensorFilter::Any,
-                    Capacity::Bytes(1 << 10),
-                    0.9,
-                    0.9,
-                )
-                .with_bandwidth(2.0, 2.0),
+                BufferPartition::new("spad", TensorFilter::Any, Capacity::Bytes(1 << 10), 0.9, 0.9)
+                    .with_bandwidth(2.0, 2.0),
             )),
             Level::Spatial(
                 SpatialLevel::new("grid", 64)

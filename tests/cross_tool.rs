@@ -63,8 +63,8 @@ fn sunstone_beats_timeloop_on_mttkrp() {
 #[test]
 fn asymmetric_layers_separate_the_tools() {
     let arch = presets::conventional();
-    let w = ConvSpec::new("1x7", 4, 32, 32, 16, 16, 1, 7, 1)
-        .weight_update(Precision::conventional());
+    let w =
+        ConvSpec::new("1x7", 4, 32, 32, 16, 16, 1, 7, 1).weight_update(Precision::conventional());
     assert!(SunstoneMapper::default().map(&w, &arch).is_valid());
     let dmaze = DMazeMapper::new("dMaze-fast", DMazeConfig::fast()).map(&w, &arch);
     assert!(!dmaze.is_valid());

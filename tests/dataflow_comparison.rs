@@ -16,15 +16,14 @@ fn searched_mapping_beats_fixed_dataflows() {
     let binding = Binding::resolve(&arch, &w).expect("binds");
     let model = CostModel::new(&w, &arch, &binding);
 
-    let searched = Sunstone::new(SunstoneConfig::default())
-        .schedule(&w, &arch)
-        .expect("schedules")
-        .report;
+    let searched =
+        Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules").report;
 
     let weight = w.tensor_by_name("weight").expect("conv has weights");
-    for (name, flavor) in
-        [("weight-stationary", Stationarity::Input(weight)), ("output-stationary", Stationarity::Output)]
-    {
+    for (name, flavor) in [
+        ("weight-stationary", Stationarity::Input(weight)),
+        ("output-stationary", Stationarity::Output),
+    ] {
         let fixed = stationary(&w, &arch, flavor).expect("fits");
         let report = model.evaluate(&fixed).expect("valid");
         assert!(

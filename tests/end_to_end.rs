@@ -76,12 +76,8 @@ fn dram_traffic_at_least_compulsory() {
     let result = schedule(&w, &arch);
     let dram = result.report.levels.last().expect("DRAM level present");
     let sizes = w.dim_sizes();
-    let input_words: u64 = w
-        .tensors()
-        .iter()
-        .filter(|t| !t.is_output())
-        .map(|t| t.footprint(&sizes))
-        .sum();
+    let input_words: u64 =
+        w.tensors().iter().filter(|t| !t.is_output()).map(|t| t.footprint(&sizes)).sum();
     let output_words = w.tensor(w.output()).footprint(&sizes);
     assert!(dram.reads >= input_words as f64 * 0.99, "{} < {input_words}", dram.reads);
     assert!(dram.writes >= output_words as f64 * 0.99);
@@ -124,9 +120,7 @@ fn strided_and_asymmetric_convs_schedule() {
 /// yields a clean `NoValidMapping` error instead of a bogus mapping.
 #[test]
 fn impossible_architecture_reports_no_valid_mapping() {
-    use sunstone_arch::{
-        ArchSpec, BufferPartition, Capacity, Level, MemoryLevel, TensorFilter,
-    };
+    use sunstone_arch::{ArchSpec, BufferPartition, Capacity, Level, MemoryLevel, TensorFilter};
     let arch = ArchSpec::new(
         "hopeless",
         vec![

@@ -112,7 +112,6 @@ fn simba_scheduled_mapping_computes_the_einsum() {
     b.output_bits("ofmap", [n.expr(), k.expr(), p.expr(), q.expr()], 24);
     let w = b.build().unwrap();
     let reference = execute_reference(&w);
-    let result =
-        Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+    let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
     assert_eq!(reference, execute_mapping(&w, &result.mapping));
 }

@@ -1,0 +1,229 @@
+//! Offline stand-in for the real `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn name(x in strategy) {..} }`
+//! * `prop_compose!` for building derived strategies,
+//! * integer-range strategies (`1u8..5`, `0usize..4`, `0u64..1000`, …),
+//! * `prop_assert!` / `prop_assert_eq!` (forwarded to `assert!`).
+//!
+//! Instead of shrinking and adaptive generation, each test runs
+//! `ProptestConfig::cases` deterministic samples from a seed derived from
+//! the test name — reproducible across runs and thread counts. That keeps
+//! the property suites executable in a fully offline build; swapping the
+//! real proptest back in is a one-line change in the workspace
+//! `Cargo.toml`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Creates a generator seeded from a test name (FNV-1a), so every
+    /// property gets a distinct but reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 mixed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator (stand-in for `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy built from a sampling closure (what `prop_compose!` expands
+/// to).
+pub struct FnStrategy<F>(F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Wraps a sampling closure as a [`Strategy`].
+pub fn strategy_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+    FnStrategy(f)
+}
+
+/// The glob-import surface used by the tests.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_compose, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a property-test condition (panics, as in a plain test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Skips the current case when the assumption fails (stand-in: the case
+/// simply passes — adequate for the filters this workspace uses).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Builds a named strategy from component strategies (subset of the real
+/// `prop_compose!`).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident ($($outer:tt)*)
+        ($($arg:ident in $strat:expr),+ $(,)?) -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $out> {
+            $crate::strategy_fn(move |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for _ in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    prop_compose! {
+        fn small_pair()(a in 1u8..5, b in 0usize..3) -> (u8, usize) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 1u8..5, y in 0u64..1000) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!(y < 1000);
+        }
+
+        #[test]
+        fn composed_strategy_samples(p in small_pair()) {
+            prop_assert!(p.0 >= 1 && p.0 < 5);
+            prop_assert!(p.1 < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

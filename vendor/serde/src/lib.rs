@@ -1,0 +1,16 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The workspace uses serde purely as an annotation
+//! (`#[derive(Serialize, Deserialize)]` on config/result types) and never
+//! actually serializes, so this stub provides marker traits and re-exports
+//! the no-op derives from the sibling `serde_derive` stub. This keeps
+//! builds fully offline; replacing it with the real serde is a one-line
+//! change in the workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! This workspace only uses `#[derive(Serialize, Deserialize)]` as an
+//! annotation — no code path serializes anything — so the derives expand
+//! to an empty token stream. The build stays fully self-contained (no
+//! network access required), and swapping the real serde back in is a
+//! one-line change in the workspace `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
