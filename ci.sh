@@ -17,4 +17,12 @@ echo "== tier-1: build + test =="
 cargo build --release
 cargo test -q
 
+echo "== doctests (core crate) =="
+cargo test -q --doc -p sunstone
+
+echo "== rustdoc (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p sunstone-ir -p sunstone-arch -p sunstone-mapping -p sunstone-model \
+    -p sunstone -p sunstone-workloads -p sunstone-baselines -p sunstone-diannao
+
 echo "CI OK"

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use sunstone::{ScheduleError, Sunstone, SunstoneConfig};
+use sunstone::{ScheduleError, Scheduler, SunstoneConfig};
 use sunstone_arch::ArchSpec;
 use sunstone_ir::Workload;
 use sunstone_mapping::Mapping;
@@ -83,16 +83,30 @@ pub trait Mapper {
 }
 
 /// The real Sunstone scheduler behind the [`Mapper`] interface.
+///
+/// The mapper holds a [`Scheduler`] *session*, so mapping many layers
+/// through one `SunstoneMapper` shares the session estimate cache across
+/// calls (repeated layer shapes skip the analytic model entirely).
 #[derive(Debug, Clone)]
 pub struct SunstoneMapper {
     name: String,
-    scheduler: Sunstone,
+    scheduler: Scheduler,
 }
 
 impl SunstoneMapper {
-    /// Wraps a scheduler configuration.
+    /// Creates a mapper with its own fresh session.
     pub fn new(config: SunstoneConfig) -> Self {
-        SunstoneMapper { name: "Sunstone".to_string(), scheduler: Sunstone::new(config) }
+        Self::with_session(Scheduler::new(config))
+    }
+
+    /// Wraps an existing session (to share its cache with other users).
+    pub fn with_session(scheduler: Scheduler) -> Self {
+        SunstoneMapper { name: "Sunstone".to_string(), scheduler }
+    }
+
+    /// The backing session.
+    pub fn session(&self) -> &Scheduler {
+        &self.scheduler
     }
 }
 
@@ -119,7 +133,7 @@ impl Mapper for SunstoneMapper {
                     elapsed: result.stats.elapsed,
                 },
             ),
-            Err(ScheduleError::NoValidMapping) => {
+            Err(ScheduleError::NoValidMapping | ScheduleError::InfeasibleLevel { .. }) => {
                 MapOutcome::invalid(&self.name, "no valid mapping", MapStats::default())
             }
             Err(e) => MapOutcome::invalid(&self.name, e.to_string(), MapStats::default()),

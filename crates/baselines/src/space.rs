@@ -263,7 +263,7 @@ mod tests {
         let layer = &inception_v3_layers(16)[4];
         let w = layer.inference(Precision::conventional());
         let arch = presets::conventional();
-        let result = sunstone::Sunstone::new(sunstone::SunstoneConfig::default())
+        let result = sunstone::Scheduler::new(sunstone::SunstoneConfig::default())
             .schedule(&w, &arch)
             .unwrap();
         let ss = sunstone_space(&result.stats);

@@ -4,13 +4,13 @@
 //!
 //! Run with `cargo run --release -p sunstone-bench --bin ablation`.
 
-use sunstone::{PruningFlags, Sunstone, SunstoneConfig};
+use sunstone::{PruningFlags, Scheduler, SunstoneConfig};
 use sunstone_arch::presets;
-use sunstone_bench::quick_mode;
-use sunstone_workloads::{resnet18_layers, Precision};
+use sunstone_bench::resnet18_experiment_layers;
+use sunstone_workloads::Precision;
 
 fn run(name: &str, cfg: SunstoneConfig, w: &sunstone_ir::Workload, arch: &sunstone_arch::ArchSpec) {
-    match Sunstone::new(cfg).schedule(w, arch) {
+    match Scheduler::new(cfg).schedule(w, arch) {
         Ok(r) => println!(
             "  {:<28} edp={:>12.4e}  evaluated={:>8}  nodes={:>9}  t={:>9.3?}",
             name, r.report.edp, r.stats.evaluated, r.stats.nodes_explored, r.stats.elapsed
@@ -21,7 +21,7 @@ fn run(name: &str, cfg: SunstoneConfig, w: &sunstone_ir::Workload, arch: &sunsto
 
 fn main() {
     let arch = presets::conventional();
-    let layer = &resnet18_layers(if quick_mode() { 1 } else { 16 })[3]; // conv3_x
+    let layer = &resnet18_experiment_layers(16, 1, 4)[3]; // conv3_x
     let w = layer.inference(Precision::conventional());
     println!("Ablation on ResNet-18 `{}` / `{}`\n", layer.name, arch.name());
 
@@ -65,12 +65,12 @@ fn main() {
     );
     println!();
     for beam in [1usize, 4, 16, 48, 128] {
-        run(
-            &format!("beam width {beam}"),
-            SunstoneConfig { beam_width: beam, ..base.clone() },
-            &w,
-            &arch,
-        );
+        let cfg = SunstoneConfig::builder()
+            .beam_width(beam)
+            .expect("beam widths in the sweep are non-zero")
+            .build()
+            .expect("swept configs are valid");
+        run(&format!("beam width {beam}"), cfg, &w, &arch);
     }
     println!(
         "\nExpected shape: disabling any principle grows the explored space\n\

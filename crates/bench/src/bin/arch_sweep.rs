@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release -p sunstone-bench --bin arch_sweep`.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::{ArchBuilder, NocModel};
 use sunstone_workloads::{resnet18_layers, Precision};
 
@@ -23,7 +23,7 @@ fn arch_with(l1_bytes: u64, pes: u64) -> sunstone_arch::ArchSpec {
 fn main() {
     let layer = &resnet18_layers(16)[3]; // conv3_x
     let w = layer.inference(Precision::conventional());
-    let scheduler = Sunstone::new(SunstoneConfig::default());
+    let scheduler = Scheduler::new(SunstoneConfig::default());
 
     println!("Architecture sweep on ResNet-18 `{}` (batch 16)\n", layer.name);
     println!("— L1 size sweep (1024 PEs):");

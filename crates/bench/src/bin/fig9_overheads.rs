@@ -9,14 +9,24 @@
 //! with a consistent dataflow across layers, most transitions need no
 //! reordering, which is why the paper measures only 0.2% overhead.
 //!
+//! Scheduling runs through one [`Scheduler`] session for the whole
+//! network, with a [`ProgressSink`] streaming per-level search progress;
+//! the session estimate cache carries across layers, so the scheduling
+//! overhead reported at the end includes the cross-layer cache effect.
+//!
 //! Run with `cargo run --release -p sunstone-bench --bin fig9_overheads`
 //! (append `quick` for a subsampled run).
 
-use sunstone_bench::quick_mode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sunstone::prelude::*;
+use sunstone_arch::presets;
+use sunstone_bench::resnet18_experiment_layers;
 use sunstone_diannao::{Compiler, Simulator};
 use sunstone_ir::Workload;
 use sunstone_mapping::{Mapping, MappingLevel};
-use sunstone_workloads::{resnet18_layers, Precision};
+use sunstone_workloads::Precision;
 
 /// Layout signature: the DRAM-level loop dims (outermost first, factor
 /// above 1) that index the given tensor, as dimension names with K→C
@@ -44,10 +54,21 @@ fn layout_signature(w: &Workload, m: &Mapping, tensor: &str) -> Vec<String> {
 }
 
 fn main() {
-    let mut layers = resnet18_layers(if quick_mode() { 1 } else { 16 });
-    if quick_mode() {
-        layers.truncate(4);
-    }
+    let layers = resnet18_experiment_layers(16, 1, 4);
+    let arch = presets::diannao_like();
+    let session = Scheduler::new(SunstoneConfig::default());
+    // Search progress, streamed live: count the level events the search
+    // emits while it walks the hierarchy.
+    let levels_walked = Arc::new(AtomicU64::new(0));
+    let progress: Arc<dyn ProgressSink> = Arc::new({
+        let levels_walked = Arc::clone(&levels_walked);
+        move |e: &ProgressEvent| {
+            if matches!(e, ProgressEvent::LevelFinished { .. }) {
+                levels_walked.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+    let schedule_opts = ScheduleOptions { progress: Some(progress), ..ScheduleOptions::default() };
 
     println!("Fig 9a — naive vs dataflow-optimized energy (DianNao-like)\n");
     println!(
@@ -79,8 +100,11 @@ fn main() {
         naive.run(&mut sim_naive).expect("naive runs");
         let e_naive = sim_naive.report().total_energy_pj();
 
-        let (_, schedule) =
-            Compiler::tiled_with_sunstone_schedule(&w).expect("scheduling succeeds");
+        let schedule = session
+            .schedule_with(&w, &arch, &schedule_opts)
+            .expect("scheduling succeeds")
+            .into_results()
+            .remove(0);
         search_elapsed += schedule.stats.elapsed;
         search_evaluated += schedule.stats.evaluated;
         search_beam_cut += schedule.stats.beam_cut();
@@ -173,6 +197,16 @@ fn main() {
         } else {
             100.0 * search_cache_hits as f64 / search_cache_probes as f64
         }
+    );
+    let cache = session.cache_stats();
+    println!(
+        "  session cache across the network: {} hits / {} misses ({:.1}% hit rate, \
+         {} entries); {} search levels walked",
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hit_rate(),
+        cache.entries,
+        levels_walked.load(Ordering::Relaxed),
     );
     println!(
         "\nExpected shape (paper): optimized wins despite overheads; the\n\

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p sunstone-bench --bin padding_study`.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::presets;
 use sunstone_ir::Workload;
 
@@ -23,7 +23,7 @@ fn true_mttkrp(name: &str, i: u64, k: u64, l: u64, rank: u64) -> Workload {
 
 fn main() {
     let arch = presets::conventional();
-    let scheduler = Sunstone::new(SunstoneConfig::default());
+    let scheduler = Scheduler::new(SunstoneConfig::default());
     // The authentic FROSTT mode sizes.
     let workloads = [
         ("mttkrp_nell2_true", true_mttkrp("nell2", 12092, 9184, 28818, 32)),

@@ -11,10 +11,10 @@
 //! Run with `cargo run --release -p sunstone-bench --bin prune_stats`
 //! (append `quick` for a subsampled run).
 
-use sunstone::{PruneCounter, SearchStats, Sunstone, SunstoneConfig};
+use sunstone::{PruneCounter, Scheduler, SearchStats, SunstoneConfig};
 use sunstone_arch::presets;
-use sunstone_bench::quick_mode;
-use sunstone_workloads::{resnet18_layers, Precision};
+use sunstone_bench::resnet18_experiment_layers;
+use sunstone_workloads::Precision;
 
 fn pct(c: &PruneCounter) -> f64 {
     100.0 * c.pruned_fraction()
@@ -74,12 +74,9 @@ fn merge_into(total: &mut SearchStats, s: &SearchStats) {
 }
 
 fn main() {
-    let mut layers = resnet18_layers(if quick_mode() { 1 } else { 16 });
-    if quick_mode() {
-        layers.truncate(4);
-    }
+    let layers = resnet18_experiment_layers(16, 1, 4);
     let arch = presets::conventional();
-    let scheduler = Sunstone::new(SunstoneConfig::default());
+    let scheduler = Scheduler::new(SunstoneConfig::default());
 
     println!("Per-level, per-principle pruning on ResNet-18 (conventional arch)\n");
     let mut total = SearchStats::default();

@@ -6,17 +6,14 @@
 
 use sunstone_arch::presets;
 use sunstone_baselines::{GammaConfig, GammaMapper, Mapper, SunstoneMapper};
-use sunstone_bench::{print_summary, quick_mode, run_matrix};
-use sunstone_workloads::{resnet18_layers, tensor, Precision};
+use sunstone_bench::{print_summary, quick_mode, resnet18_experiment_layers, run_matrix};
+use sunstone_workloads::{tensor, Precision};
 
 fn main() {
     let conventional = presets::conventional();
     let simba = presets::simba_like();
 
-    let mut layers = resnet18_layers(16);
-    if quick_mode() {
-        layers.truncate(3);
-    }
+    let layers = resnet18_experiment_layers(16, 16, 3);
     let sunstone = SunstoneMapper::default();
     let gamma = GammaMapper::with_config(if quick_mode() {
         GammaConfig { population: 24, generations: 10, ..GammaConfig::default() }

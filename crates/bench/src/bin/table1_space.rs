@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release -p sunstone-bench --bin table1_space`.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::presets;
 use sunstone_baselines::space;
 use sunstone_workloads::{inception_v3_layers, Precision};
@@ -23,7 +23,7 @@ fn main() {
     let marvel = space::marvel_space(&w, &arch);
     let inter = space::interstellar_space(&w, &arch);
     let dmaze = space::dmaze_space(&w, &arch, 0.8, 0.5);
-    let result = Sunstone::new(SunstoneConfig::default())
+    let result = Scheduler::new(SunstoneConfig::default())
         .schedule(&w, &arch)
         .expect("inception layer schedules");
     let ours = space::sunstone_space(&result.stats);

@@ -6,17 +6,14 @@
 //! Run with `cargo run --release -p sunstone-bench --bin table6_order`
 //! (append `quick` for a subsampled run).
 
-use sunstone::{Direction, IntraOrder, Sunstone, SunstoneConfig};
+use sunstone::{Direction, IntraOrder, Scheduler, SunstoneConfig};
 use sunstone_arch::presets;
-use sunstone_bench::quick_mode;
-use sunstone_workloads::{resnet18_layers, Precision};
+use sunstone_bench::resnet18_experiment_layers;
+use sunstone_workloads::Precision;
 
 fn main() {
     let arch = presets::eyeriss_like();
-    let mut layers = resnet18_layers(16);
-    if quick_mode() {
-        layers.truncate(3);
-    }
+    let layers = resnet18_experiment_layers(16, 16, 3);
     let configs = [
         ("bottom-up", "unroll→tile→order", Direction::BottomUp, IntraOrder::UnrollTileOrder, 48),
         ("bottom-up", "tile→unroll→order", Direction::BottomUp, IntraOrder::TileUnrollOrder, 48),
@@ -43,15 +40,16 @@ fn main() {
         let mut nodes = 0u64;
         let mut log_edp = 0.0f64;
         let mut n = 0usize;
+        let cfg = SunstoneConfig {
+            direction: dir,
+            intra_order: intra,
+            beam_width: beam,
+            ..SunstoneConfig::default()
+        };
+        let scheduler = Scheduler::new(cfg);
         for layer in &layers {
             let w = layer.inference(Precision::conventional());
-            let cfg = SunstoneConfig {
-                direction: dir,
-                intra_order: intra,
-                beam_width: beam,
-                ..SunstoneConfig::default()
-            };
-            match Sunstone::new(cfg).schedule(&w, &arch) {
+            match scheduler.schedule(&w, &arch) {
                 Ok(r) => {
                     space += r.stats.evaluated;
                     nodes += r.stats.nodes_explored;

@@ -10,10 +10,27 @@ use std::time::Duration;
 use sunstone_arch::ArchSpec;
 use sunstone_baselines::{MapOutcome, Mapper};
 use sunstone_ir::Workload;
+use sunstone_workloads::{resnet18_layers, ConvSpec};
 
 /// Returns `true` when the binary was invoked with the `quick` argument.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "quick")
+}
+
+/// The ResNet-18 layer set of an experiment run: batch `full_batch`
+/// normally; batch `quick_batch` truncated to the first `quick_len`
+/// layers under [`quick_mode`]. Every ResNet bench shares this setup so
+/// the quick-mode subsampling lives in one place.
+pub fn resnet18_experiment_layers(
+    full_batch: u64,
+    quick_batch: u64,
+    quick_len: usize,
+) -> Vec<ConvSpec> {
+    let mut layers = resnet18_layers(if quick_mode() { quick_batch } else { full_batch });
+    if quick_mode() {
+        layers.truncate(quick_len);
+    }
+    layers
 }
 
 /// One result cell: a mapper's outcome on a workload.

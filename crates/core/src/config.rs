@@ -2,8 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::ScheduleError;
+
 /// Inter-level optimization direction (Table VI of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum Direction {
     /// Start at the innermost memory and move outward. Orders of magnitude
     /// fewer candidates at (near-)equal EDP — the paper's default.
@@ -19,6 +22,7 @@ pub enum Direction {
 /// ordering are enumerated changes the shape of the search but — as the
 /// paper observes — not the result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum IntraOrder {
     /// ordering → tiling → unrolling (paper Section III-C presentation).
     /// Tiles are sized before the unroll is known, so a shared memory
@@ -35,6 +39,7 @@ pub enum IntraOrder {
 
 /// The figure of merit the search minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum Objective {
     /// Energy-delay product — the paper's merit.
     Edp,
@@ -84,7 +89,11 @@ impl Default for PruningFlags {
     }
 }
 
-/// Configuration of the [`Sunstone`](crate::Sunstone) scheduler.
+/// Configuration of the [`Scheduler`](crate::Scheduler) session.
+///
+/// Construct via [`SunstoneConfig::builder`] to get validation at build
+/// time, or with struct syntax + `..Default::default()`; hand-constructed
+/// configs are validated on every scheduling call instead.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SunstoneConfig {
     /// The figure of merit to minimize (EDP by default, as in the paper).
@@ -96,8 +105,8 @@ pub struct SunstoneConfig {
     /// Beam width for the alpha-beta-style pruning across levels: the
     /// number of best partial mappings kept alive after each stage.
     pub beam_width: usize,
-    /// Number of worker threads for candidate evaluation (0 = available
-    /// parallelism).
+    /// Number of worker threads for candidate evaluation and batch
+    /// fan-out (0 = available parallelism).
     pub threads: usize,
     /// Minimum fraction of a spatial fabric that an unrolling must keep
     /// busy, when any unrolling can achieve it ("high throughput"
@@ -110,11 +119,13 @@ pub struct SunstoneConfig {
     /// Cap on the unrollings kept per fabric enumeration (the highest
     /// utilizations are kept).
     pub max_unrolls_per_enum: usize,
-    /// Memoize cost estimates by completed-mapping fingerprint. Different
-    /// beam states frequently complete to the same mapping (and the final
-    /// re-evaluation always repeats the last stage's estimates), so the
-    /// cache trades memory for skipped model evaluations. Disable only to
-    /// measure the raw model cost.
+    /// Memoize cost estimates in the session-lifetime cache, keyed by
+    /// *(workload, architecture, configuration, mapping)* fingerprints.
+    /// Different beam states frequently complete to the same mapping (and
+    /// the final re-evaluation always repeats the last stage's estimates),
+    /// so the cache trades memory for skipped model evaluations — within a
+    /// call and across every call of the session. Disable only to measure
+    /// the raw model cost.
     pub estimate_cache: bool,
     /// Active pruning techniques.
     pub pruning: PruningFlags,
@@ -138,6 +149,11 @@ impl Default for SunstoneConfig {
 }
 
 impl SunstoneConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> SunstoneConfigBuilder {
+        SunstoneConfigBuilder { config: SunstoneConfig::default() }
+    }
+
     /// Resolved worker-thread count.
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
@@ -145,6 +161,172 @@ impl SunstoneConfig {
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         }
+    }
+
+    /// Checks the configuration's invariants; every scheduling call runs
+    /// this, so a hand-constructed invalid config fails with
+    /// [`ScheduleError::InvalidConfig`] instead of searching nothing or
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        if self.beam_width == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "beam_width must be at least 1".into(),
+            });
+        }
+        if self.max_tiles_per_enum == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "max_tiles_per_enum must be at least 1".into(),
+            });
+        }
+        if self.max_unrolls_per_enum == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "max_unrolls_per_enum must be at least 1".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.min_spatial_utilization) {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "min_spatial_utilization must lie in [0, 1]".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`SunstoneConfig`]
+/// ([`SunstoneConfig::builder`]). Setters that take a count reject zero
+/// immediately; [`build`](Self::build) re-checks the whole config.
+#[derive(Debug, Clone)]
+pub struct SunstoneConfigBuilder {
+    config: SunstoneConfig,
+}
+
+impl SunstoneConfigBuilder {
+    /// Sets the figure of merit.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.config.objective = objective;
+        self
+    }
+
+    /// Sets the inter-level direction.
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.config.direction = direction;
+        self
+    }
+
+    /// Sets the intra-level enumeration order.
+    pub fn intra_order(mut self, order: IntraOrder) -> Self {
+        self.config.intra_order = order;
+        self
+    }
+
+    /// Sets the beam width.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConfig`] when `width` is zero.
+    pub fn beam_width(mut self, width: usize) -> Result<Self, ScheduleError> {
+        if width == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "beam_width must be at least 1".into(),
+            });
+        }
+        self.config.beam_width = width;
+        Ok(self)
+    }
+
+    /// Sets an explicit worker-thread count (use
+    /// [`auto_threads`](Self::auto_threads) for the default).
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConfig`] when `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> Result<Self, ScheduleError> {
+        if threads == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "threads must be at least 1 (use auto_threads() for automatic)".into(),
+            });
+        }
+        self.config.threads = threads;
+        Ok(self)
+    }
+
+    /// Uses the machine's available parallelism (the default).
+    pub fn auto_threads(mut self) -> Self {
+        self.config.threads = 0;
+        self
+    }
+
+    /// Sets the minimum spatial-fabric utilization.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConfig`] when `fraction` is outside
+    /// `[0, 1]`.
+    pub fn min_spatial_utilization(mut self, fraction: f64) -> Result<Self, ScheduleError> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "min_spatial_utilization must lie in [0, 1]".into(),
+            });
+        }
+        self.config.min_spatial_utilization = fraction;
+        Ok(self)
+    }
+
+    /// Sets the per-enumeration tile cap.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConfig`] when `cap` is zero.
+    pub fn max_tiles_per_enum(mut self, cap: usize) -> Result<Self, ScheduleError> {
+        if cap == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "max_tiles_per_enum must be at least 1".into(),
+            });
+        }
+        self.config.max_tiles_per_enum = cap;
+        Ok(self)
+    }
+
+    /// Sets the per-enumeration unrolling cap.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConfig`] when `cap` is zero.
+    pub fn max_unrolls_per_enum(mut self, cap: usize) -> Result<Self, ScheduleError> {
+        if cap == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "max_unrolls_per_enum must be at least 1".into(),
+            });
+        }
+        self.config.max_unrolls_per_enum = cap;
+        Ok(self)
+    }
+
+    /// Enables or disables the session estimate cache.
+    pub fn estimate_cache(mut self, enabled: bool) -> Self {
+        self.config.estimate_cache = enabled;
+        self
+    }
+
+    /// Sets the pruning flags.
+    pub fn pruning(mut self, pruning: PruningFlags) -> Self {
+        self.config.pruning = pruning;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConfig`] as in
+    /// [`SunstoneConfig::validate`].
+    pub fn build(self) -> Result<SunstoneConfig, ScheduleError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -161,6 +343,7 @@ mod tests {
         assert!(c.pruning.unrolling_principle);
         assert!(c.pruning.tiling_reuse_dims);
         assert!(c.beam_width > 0);
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -185,5 +368,54 @@ mod tests {
         assert!(SunstoneConfig::default().effective_threads() >= 1);
         let c = SunstoneConfig { threads: 3, ..SunstoneConfig::default() };
         assert_eq!(c.effective_threads(), 3);
+    }
+
+    #[test]
+    fn builder_accepts_valid_settings() {
+        let c = SunstoneConfig::builder()
+            .objective(Objective::Energy)
+            .beam_width(8)
+            .unwrap()
+            .threads(2)
+            .unwrap()
+            .estimate_cache(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.objective, Objective::Energy);
+        assert_eq!(c.beam_width, 8);
+        assert_eq!(c.threads, 2);
+        assert!(!c.estimate_cache);
+    }
+
+    #[test]
+    fn builder_rejects_zero_counts() {
+        assert!(matches!(
+            SunstoneConfig::builder().beam_width(0),
+            Err(ScheduleError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            SunstoneConfig::builder().threads(0),
+            Err(ScheduleError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            SunstoneConfig::builder().max_tiles_per_enum(0),
+            Err(ScheduleError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            SunstoneConfig::builder().max_unrolls_per_enum(0),
+            Err(ScheduleError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            SunstoneConfig::builder().min_spatial_utilization(1.5),
+            Err(ScheduleError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_hand_constructed_invalid_configs() {
+        let c = SunstoneConfig { beam_width: 0, ..SunstoneConfig::default() };
+        assert!(matches!(c.validate(), Err(ScheduleError::InvalidConfig { .. })));
+        let c = SunstoneConfig { min_spatial_utilization: -0.1, ..SunstoneConfig::default() };
+        assert!(matches!(c.validate(), Err(ScheduleError::InvalidConfig { .. })));
     }
 }

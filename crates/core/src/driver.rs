@@ -1,119 +1,60 @@
-//! The scheduling entry point: [`Sunstone`] and its result/error types.
-//!
-//! The actual level-by-level search lives in [`crate::search`] — this
-//! module only resolves the problem (architecture validation, tensor
-//! binding), picks the direction pass, runs the staged pipeline, and
-//! re-evaluates the surviving beam through the memoized estimate cache to
-//! produce ranked [`ScheduleResult`]s.
+//! The legacy one-shot entry point: [`Sunstone`].
 
-use std::error::Error;
-use std::fmt;
-use std::time::Instant;
-
-use sunstone_arch::{ArchError, ArchSpec, Binding, BindingError};
+use sunstone_arch::ArchSpec;
 use sunstone_ir::Workload;
-use sunstone_mapping::{Mapping, ValidationContext};
-use sunstone_model::CostReport;
 
-use crate::search::compose::{run_level_search, BottomUpPass, LevelPass, TopDownPass};
-use crate::search::estimate::evaluate_cached;
-use crate::search::{SearchContext, SearchStats};
-use crate::{Direction, SunstoneConfig};
+use crate::error::ScheduleError;
+use crate::session::{ScheduleResult, Scheduler};
+use crate::SunstoneConfig;
 
-/// Errors from [`Sunstone::schedule`].
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum ScheduleError {
-    /// The architecture failed validation.
-    Arch(ArchError),
-    /// Tensors could not be bound to buffers.
-    Binding(BindingError),
-    /// No valid mapping was found (e.g. a tensor's minimal tile exceeds
-    /// some buffer).
-    NoValidMapping,
-}
-
-impl fmt::Display for ScheduleError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ScheduleError::Arch(e) => write!(f, "invalid architecture: {e}"),
-            ScheduleError::Binding(e) => write!(f, "binding failed: {e}"),
-            ScheduleError::NoValidMapping => write!(f, "no valid mapping found"),
-        }
-    }
-}
-
-impl Error for ScheduleError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            ScheduleError::Arch(e) => Some(e),
-            ScheduleError::Binding(e) => Some(e),
-            ScheduleError::NoValidMapping => None,
-        }
-    }
-}
-
-impl From<ArchError> for ScheduleError {
-    fn from(e: ArchError) -> Self {
-        ScheduleError::Arch(e)
-    }
-}
-
-impl From<BindingError> for ScheduleError {
-    fn from(e: BindingError) -> Self {
-        ScheduleError::Binding(e)
-    }
-}
-
-/// The result of a scheduling run.
-#[derive(Debug, Clone)]
-pub struct ScheduleResult {
-    /// The best mapping found.
-    pub mapping: Mapping,
-    /// Its cost report (energy, delay, EDP, per-level breakdown).
-    pub report: CostReport,
-    /// Search statistics (flat totals plus the per-level, per-principle
-    /// pruning breakdown).
-    pub stats: SearchStats,
-}
-
-/// The Sunstone scheduler. See the [crate-level example](crate).
+/// The original one-shot scheduler interface.
+///
+/// **Deprecation note:** `Sunstone` predates the session API and is kept
+/// as a thin shim over a private [`Scheduler`](crate::Scheduler) so
+/// existing callers keep compiling — each `Sunstone` *is* a session, so
+/// even shim users get cross-call estimate caching. New code should use
+/// [`Scheduler`](crate::Scheduler) directly: it adds batch scheduling
+/// with shape dedup ([`schedule_batch`](crate::Scheduler::schedule_batch)),
+/// per-call time budgets, cancellation, and progress reporting
+/// ([`schedule_with`](crate::Scheduler::schedule_with)). The shim will be
+/// removed in a future major release.
 #[derive(Debug, Clone)]
 pub struct Sunstone {
-    config: SunstoneConfig,
+    session: Scheduler,
 }
 
 impl Sunstone {
     /// Creates a scheduler with the given configuration.
     pub fn new(config: SunstoneConfig) -> Self {
-        Sunstone { config }
+        Sunstone { session: Scheduler::new(config) }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SunstoneConfig {
-        &self.config
+        self.session.config()
+    }
+
+    /// The backing session, for callers migrating incrementally.
+    pub fn session(&self) -> &Scheduler {
+        &self.session
     }
 
     /// Finds the best mapping of `workload` onto `arch`.
     ///
     /// # Errors
     ///
-    /// Fails if the architecture is invalid, tensors cannot be bound, or
-    /// no valid mapping exists.
+    /// Fails if the configuration or architecture is invalid, tensors
+    /// cannot be bound, or no valid mapping exists.
     pub fn schedule(
         &self,
         workload: &Workload,
         arch: &ArchSpec,
     ) -> Result<ScheduleResult, ScheduleError> {
-        self.schedule_top_k(workload, arch, 1)?
-            .into_iter()
-            .next()
-            .ok_or(ScheduleError::NoValidMapping)
+        self.session.schedule(workload, arch)
     }
 
     /// Finds the `k` best distinct mappings, best first (the survivors of
-    /// the final beam). Used by the network-level layout-consistency pass
-    /// ([`crate::network::schedule_chain`]).
+    /// the final beam).
     ///
     /// # Errors
     ///
@@ -125,43 +66,6 @@ impl Sunstone {
         arch: &ArchSpec,
         k: usize,
     ) -> Result<Vec<ScheduleResult>, ScheduleError> {
-        let start = Instant::now();
-        arch.validate()?;
-        let binding = Binding::resolve(arch, workload)?;
-        let ctx = SearchContext::new(workload, arch, &binding, &self.config);
-        let mut stats = SearchStats::default();
-
-        let pass: &dyn LevelPass = match self.config.direction {
-            Direction::BottomUp => &BottomUpPass,
-            // A single memory level has no inter-level decisions to make
-            // top-down; the bottom-up pass covers it directly.
-            Direction::TopDown if ctx.mems.len() > 1 => &TopDownPass,
-            Direction::TopDown => &BottomUpPass,
-        };
-        let finals = run_level_search(&ctx, pass, &mut stats);
-
-        let vctx = ValidationContext::new(workload, arch, &binding);
-        let mut valid: Vec<(Mapping, CostReport)> = Vec::new();
-        for state in finals {
-            if vctx.validate(&state.mapping).is_ok() {
-                // The last stage already estimated these mappings, so with
-                // the cache enabled this is a lookup, not a re-evaluation.
-                let report = evaluate_cached(&ctx, &state.mapping, &mut stats);
-                valid.push((state.mapping, report));
-            }
-        }
-        valid.sort_by(|a, b| {
-            self.config.objective.of(&a.1).total_cmp(&self.config.objective.of(&b.1))
-        });
-        valid.dedup_by(|a, b| a.0 == b.0);
-        valid.truncate(k.max(1));
-        stats.elapsed = start.elapsed();
-        if valid.is_empty() {
-            return Err(ScheduleError::NoValidMapping);
-        }
-        Ok(valid
-            .into_iter()
-            .map(|(mapping, report)| ScheduleResult { mapping, report, stats: stats.clone() })
-            .collect())
+        self.session.schedule_top_k(workload, arch, k)
     }
 }

@@ -1,0 +1,129 @@
+//! The scheduler's error type.
+//!
+//! Every public entry point — [`Scheduler::schedule`](crate::Scheduler::schedule),
+//! [`Scheduler::schedule_batch`](crate::Scheduler::schedule_batch),
+//! [`network::schedule_chain`](crate::network::schedule_chain), and the
+//! one-shot [`Sunstone`](crate::Sunstone) shim — reports failures through
+//! [`ScheduleError`]. The enum is `#[non_exhaustive]`: new failure modes
+//! may be added without a breaking release, so downstream matches need a
+//! wildcard arm.
+
+use std::error::Error;
+use std::fmt;
+
+use sunstone_arch::{ArchError, BindingError};
+
+/// Errors from the scheduling entry points.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The architecture failed validation.
+    Arch(ArchError),
+    /// Tensors could not be bound to buffers.
+    Binding(BindingError),
+    /// No valid mapping was found: candidates were enumerated but every
+    /// completed mapping failed validation.
+    NoValidMapping,
+    /// A search stage produced no candidates at all — typically a tensor's
+    /// minimal tile exceeds every buffer of the memory decided at `stage`
+    /// (stage 0 is the innermost memory in both walk directions).
+    InfeasibleLevel {
+        /// The stage (memory level, innermost first) that admitted no
+        /// candidate.
+        stage: usize,
+    },
+    /// The configuration is invalid (zero beam width, zero enumeration
+    /// caps, out-of-range utilization, …).
+    InvalidConfig {
+        /// Human-readable description of the offending field.
+        reason: String,
+    },
+    /// The call was cancelled through its
+    /// [`CancelToken`](crate::CancelToken).
+    Cancelled,
+    /// The wall-clock `time_budget` ran out before any valid mapping was
+    /// found. When the budget expires *after* at least one stage produced
+    /// a valid mapping, the call instead returns
+    /// [`ScheduleOutcome::BestSoFar`](crate::ScheduleOutcome::BestSoFar).
+    BudgetExhausted,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Arch(e) => write!(f, "invalid architecture: {e}"),
+            ScheduleError::Binding(e) => write!(f, "binding failed: {e}"),
+            ScheduleError::NoValidMapping => write!(f, "no valid mapping found"),
+            ScheduleError::InfeasibleLevel { stage } => {
+                write!(f, "no feasible candidate at memory level {stage}")
+            }
+            ScheduleError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            ScheduleError::Cancelled => write!(f, "scheduling cancelled"),
+            ScheduleError::BudgetExhausted => {
+                write!(f, "time budget exhausted before a valid mapping was found")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Arch(e) => Some(e),
+            ScheduleError::Binding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for ScheduleError {
+    fn from(e: ArchError) -> Self {
+        ScheduleError::Arch(e)
+    }
+}
+
+impl From<BindingError> for ScheduleError {
+    fn from(e: BindingError) -> Self {
+        ScheduleError::Binding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert_eq!(ScheduleError::NoValidMapping.to_string(), "no valid mapping found");
+        assert_eq!(
+            ScheduleError::InfeasibleLevel { stage: 2 }.to_string(),
+            "no feasible candidate at memory level 2"
+        );
+        assert_eq!(
+            ScheduleError::InvalidConfig { reason: "beam width must be positive".into() }
+                .to_string(),
+            "invalid configuration: beam width must be positive"
+        );
+        assert_eq!(ScheduleError::Cancelled.to_string(), "scheduling cancelled");
+        assert_eq!(
+            ScheduleError::BudgetExhausted.to_string(),
+            "time budget exhausted before a valid mapping was found"
+        );
+    }
+
+    #[test]
+    fn arch_and_binding_errors_carry_a_source() {
+        let e = ScheduleError::from(ArchError::NoMemory);
+        assert!(e.source().is_some());
+        assert!(e.to_string().starts_with("invalid architecture:"));
+        assert!(ScheduleError::Cancelled.source().is_none());
+    }
+
+    #[test]
+    fn implements_std_error_object_safely() {
+        let boxed: Box<dyn Error> = Box::new(ScheduleError::BudgetExhausted);
+        assert!(!boxed.to_string().is_empty());
+    }
+}

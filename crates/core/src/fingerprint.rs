@@ -1,0 +1,238 @@
+//! Stable structural fingerprints for session-cache keys and batch dedup.
+//!
+//! The session-level estimate cache ([`crate::Scheduler`]) is keyed by
+//! *(workload, architecture, configuration, mapping)*. The first three are
+//! condensed into 64-bit fingerprints with a fixed FNV-1a hash — not
+//! `std::hash::DefaultHasher`, whose output may change between Rust
+//! releases — so keys are reproducible run to run and the cache can be
+//! shared across calls, layers, and worker threads.
+//!
+//! Workload fingerprints deliberately exclude the workload's *name*: two
+//! ResNet blocks with identical shapes ("conv2_1" and "conv2_2") must
+//! collapse to one search in [`Scheduler::schedule_batch`](crate::Scheduler::schedule_batch).
+//! Dimension and tensor names are included — tensor names feed binding
+//! (buffer filters match by name) and dimension names feed nothing in the
+//! search itself but keep the fingerprint an over- rather than
+//! under-approximation of "schedules identically".
+
+use sunstone_arch::{ArchSpec, Capacity, Level, TensorFilter};
+use sunstone_ir::Workload;
+
+use crate::{Direction, IntraOrder, Objective, SunstoneConfig};
+
+/// 64-bit FNV-1a, the fixed-parameter streaming hash behind every
+/// fingerprint.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn write_f64(&mut self, v: f64) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    pub(crate) fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Structural fingerprint of a workload, excluding its name.
+pub fn workload_fingerprint(w: &Workload) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(w.num_dims() as u64);
+    for d in w.dims() {
+        h.write_str(d.name());
+        h.write_u64(d.size());
+    }
+    h.write_u64(w.num_tensors() as u64);
+    for t in w.tensors() {
+        h.write_str(t.name());
+        h.write_u64(u64::from(t.is_output()));
+        h.write_u64(u64::from(t.bits()));
+        h.write_u64(t.rank() as u64);
+        for e in t.indices() {
+            h.write_u64(e.terms().len() as u64);
+            for term in e.terms() {
+                h.write_u64(term.dim.index() as u64);
+                h.write_u64(term.stride);
+            }
+        }
+    }
+    h.finish()
+}
+
+fn hash_filter(h: &mut Fnv1a, f: &TensorFilter) {
+    match f {
+        TensorFilter::Any => h.write_u64(0),
+        TensorFilter::Output => h.write_u64(1),
+        TensorFilter::Inputs => h.write_u64(2),
+        TensorFilter::InputsExcept(names) => {
+            h.write_u64(3);
+            h.write_u64(names.len() as u64);
+            for n in names {
+                h.write_str(n);
+            }
+        }
+        TensorFilter::Named(names) => {
+            h.write_u64(4);
+            h.write_u64(names.len() as u64);
+            for n in names {
+                h.write_str(n);
+            }
+        }
+    }
+}
+
+/// Structural fingerprint of an architecture (name included: presets with
+/// equal structure but different names are rare, and including it is
+/// harmless — a miss only costs one model evaluation).
+pub fn arch_fingerprint(arch: &ArchSpec) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str(arch.name());
+    h.write_f64(arch.mac_energy_pj());
+    h.write_u64(u64::from(arch.ref_bits()));
+    h.write_u64(arch.num_levels() as u64);
+    for level in arch.levels() {
+        match level {
+            Level::Memory(m) => {
+                h.write_u64(1);
+                h.write_str(&m.name);
+                h.write_u64(m.bypass.len() as u64);
+                for f in &m.bypass {
+                    hash_filter(&mut h, f);
+                }
+                h.write_u64(m.partitions.len() as u64);
+                for p in &m.partitions {
+                    h.write_str(&p.name);
+                    hash_filter(&mut h, &p.filter);
+                    match p.capacity {
+                        Capacity::Unbounded => h.write_u64(0),
+                        Capacity::Bytes(b) => {
+                            h.write_u64(1);
+                            h.write_u64(b);
+                        }
+                    }
+                    h.write_f64(p.read_energy_pj);
+                    h.write_f64(p.write_energy_pj);
+                    h.write_f64(p.read_bw.unwrap_or(-1.0));
+                    h.write_f64(p.write_bw.unwrap_or(-1.0));
+                }
+            }
+            Level::Spatial(s) => {
+                h.write_u64(2);
+                h.write_str(&s.name);
+                h.write_u64(s.units);
+                h.write_u64(u64::from(s.allow_reduction));
+                h.write_u64(u64::from(s.noc.multicast));
+                h.write_f64(s.noc.per_word_energy_pj);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Fingerprint of every configuration field that changes search results.
+pub fn config_fingerprint(config: &SunstoneConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(match config.objective {
+        Objective::Edp => 0,
+        Objective::Energy => 1,
+        Objective::Delay => 2,
+    });
+    h.write_u64(match config.direction {
+        Direction::BottomUp => 0,
+        Direction::TopDown => 1,
+    });
+    h.write_u64(match config.intra_order {
+        IntraOrder::OrderTileUnroll => 0,
+        IntraOrder::UnrollTileOrder => 1,
+        IntraOrder::TileUnrollOrder => 2,
+    });
+    h.write_u64(config.beam_width as u64);
+    h.write_f64(config.min_spatial_utilization);
+    h.write_u64(config.max_tiles_per_enum as u64);
+    h.write_u64(config.max_unrolls_per_enum as u64);
+    h.write_u64(u64::from(config.pruning.ordering_trie));
+    h.write_u64(u64::from(config.pruning.tiling_maximal));
+    h.write_u64(u64::from(config.pruning.unrolling_principle));
+    h.write_u64(u64::from(config.pruning.tiling_reuse_dims));
+    // `threads` and `estimate_cache` deliberately excluded: neither
+    // changes any estimate, so caches may be shared across them.
+    h.finish()
+}
+
+/// The combined *(workload, arch, config)* context fingerprint that
+/// prefixes every session-cache key.
+pub(crate) fn context_fingerprint(w: &Workload, arch: &ArchSpec, config: &SunstoneConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(workload_fingerprint(w));
+    h.write_u64(arch_fingerprint(arch));
+    h.write_u64(config_fingerprint(config));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_arch::presets;
+
+    fn mm(name: &str, m: u64) -> Workload {
+        let mut b = Workload::builder(name);
+        let dm = b.dim("M", m);
+        let dn = b.dim("N", 64);
+        let dk = b.dim("K", 64);
+        b.input("a", [dm.expr(), dk.expr()]);
+        b.input("b", [dk.expr(), dn.expr()]);
+        b.output("out", [dm.expr(), dn.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn workload_name_does_not_matter_but_shape_does() {
+        assert_eq!(workload_fingerprint(&mm("a", 64)), workload_fingerprint(&mm("b", 64)));
+        assert_ne!(workload_fingerprint(&mm("a", 64)), workload_fingerprint(&mm("a", 128)));
+    }
+
+    #[test]
+    fn arch_fingerprints_distinguish_presets() {
+        assert_ne!(
+            arch_fingerprint(&presets::conventional()),
+            arch_fingerprint(&presets::simba_like())
+        );
+        assert_eq!(
+            arch_fingerprint(&presets::conventional()),
+            arch_fingerprint(&presets::conventional())
+        );
+    }
+
+    #[test]
+    fn config_fingerprint_ignores_threads_but_not_beam() {
+        let base = SunstoneConfig::default();
+        let threads = SunstoneConfig { threads: 7, ..base.clone() };
+        let beam = SunstoneConfig { beam_width: 7, ..base.clone() };
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&threads));
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&beam));
+    }
+}

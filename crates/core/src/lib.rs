@@ -22,10 +22,18 @@
 //! and any architecture expressible as [`sunstone_arch::ArchSpec`],
 //! including multi-level spatial designs like Simba.
 //!
+//! The public API is a long-lived [`Scheduler`] **session**: it owns the
+//! estimate cache (so repeated calls amortize model work) and schedules
+//! whole networks at once via [`Scheduler::schedule_batch`], which dedups
+//! identical layer shapes and searches the unique ones on parallel
+//! workers. The legacy one-shot [`Sunstone`] type remains as a thin shim
+//! over a private session (see [`driver`](Sunstone) for the deprecation
+//! note).
+//!
 //! # Example
 //!
 //! ```
-//! use sunstone::{Sunstone, SunstoneConfig};
+//! use sunstone::prelude::*;
 //! use sunstone_arch::presets;
 //! use sunstone_ir::Workload;
 //!
@@ -39,34 +47,73 @@
 //! let w = b.build()?;
 //!
 //! let arch = presets::conventional();
-//! let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch)?;
+//! let scheduler = Scheduler::new(SunstoneConfig::default());
+//! let result = scheduler.schedule(&w, &arch)?;
 //! println!("EDP = {}, evaluated {} mappings", result.report.edp, result.stats.evaluated);
+//!
+//! // A session amortizes work across calls: scheduling a whole network
+//! // dedups repeated layer shapes and reuses cached estimates.
+//! let batch = scheduler.schedule_batch(&[w.clone(), w], &arch)?;
+//! assert_eq!(batch.stats.unique_shapes, 1);
+//! assert_eq!(batch.stats.dedup_hits, 1);
+//! assert_eq!(batch.best(0).report.edp, batch.best(1).report.edp);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 //! # Module map
 //!
+//! * [`session`] — the session API: [`Scheduler`], per-call
+//!   [`ScheduleOptions`] / [`BatchOptions`], batch dedup + parallel
+//!   fan-out.
 //! * [`search`] — the staged search pipeline: candidate enumeration
-//!   ([`search::candidates`]), beam dedup/selection ([`search::beam`]),
-//!   memoized parallel estimation ([`search::estimate`]), and the
-//!   direction-agnostic composition loop ([`search::compose`], the
-//!   `LevelPass` trait). [`search::stats`] holds the per-level,
-//!   per-principle pruning statistics.
+//!   (`candidates`), beam dedup/selection (`beam`), memoized parallel
+//!   estimation (`estimate`), and the direction-agnostic composition
+//!   loop (`compose`, the `LevelPass` trait). [`search::stats`] holds
+//!   the per-level, per-principle pruning statistics.
 //! * [`ordering`], [`tiling`], [`unrolling`] — the three per-level
 //!   enumerators and their pruning principles.
+//! * [`fingerprint`] — stable workload/architecture/config fingerprints
+//!   (the session cache key and the batch dedup key).
+//! * [`progress`] — per-call controls: [`CancelToken`], [`ProgressSink`].
 //! * [`factors`] — shared per-dimension factor-vector arithmetic.
 //! * [`network`] — the network-level layout-consistency pass.
 
 mod config;
 mod driver;
+mod error;
 pub mod factors;
+pub mod fingerprint;
 pub mod network;
 pub mod ordering;
+pub mod progress;
 pub mod search;
+pub mod session;
 pub mod tiling;
 pub mod unrolling;
 
-pub use config::{Direction, IntraOrder, Objective, PruningFlags, SunstoneConfig};
-pub use driver::{ScheduleError, ScheduleResult, Sunstone};
+pub use config::{
+    Direction, IntraOrder, Objective, PruningFlags, SunstoneConfig, SunstoneConfigBuilder,
+};
+pub use driver::Sunstone;
+pub use error::ScheduleError;
 pub use ordering::{OrderingCandidate, OrderingTrie, ReuseKind};
-pub use search::{LevelStats, PruneCounter, SearchStats};
+pub use progress::{CancelToken, ProgressEvent, ProgressSink};
+pub use search::{CacheStats, LevelStats, PruneCounter, SearchStats};
+pub use session::{
+    BatchOptions, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome, ScheduleResult,
+    Scheduler,
+};
+
+/// One-line import of the session API and its supporting types.
+pub mod prelude {
+    pub use crate::config::{
+        Direction, IntraOrder, Objective, PruningFlags, SunstoneConfig, SunstoneConfigBuilder,
+    };
+    pub use crate::error::ScheduleError;
+    pub use crate::progress::{CancelToken, ProgressEvent, ProgressSink};
+    pub use crate::search::CacheStats;
+    pub use crate::session::{
+        BatchOptions, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome, ScheduleResult,
+        Scheduler,
+    };
+}

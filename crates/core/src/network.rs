@@ -9,13 +9,21 @@
 //! and picks, layer by layer, the candidate whose consumption order
 //! matches the producer's emission order, falling back to the best
 //! standalone candidate when no match exists.
+//!
+//! Candidate generation rides on the session batch path
+//! ([`Scheduler::schedule_batch_with`]): repeated layer shapes are
+//! searched once and their candidate lists replayed per occurrence, the
+//! unique shapes fan out across worker threads, and the layout pass then
+//! selects per *occurrence* — so two occurrences of the same shape may
+//! still pick different candidates, as their upstream layouts differ.
 
 use serde::{Deserialize, Serialize};
 use sunstone_arch::ArchSpec;
 use sunstone_ir::Workload;
 use sunstone_mapping::{Mapping, MappingLevel};
 
-use crate::{ScheduleError, ScheduleResult, Sunstone};
+use crate::session::{BatchOptions, BatchStats, Scheduler};
+use crate::{ScheduleError, ScheduleResult};
 
 /// Options for [`schedule_chain`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,6 +64,8 @@ pub struct ChainResult {
     /// Activation words requiring a DRAM reordering pass across the whole
     /// chain.
     pub reorder_words: u64,
+    /// Dedup/cache/parallelism statistics of the underlying batch call.
+    pub batch: BatchStats,
 }
 
 impl ChainResult {
@@ -103,18 +113,38 @@ pub fn layout_signature(
 ///
 /// Fails if any layer cannot be scheduled at all.
 pub fn schedule_chain(
-    scheduler: &Sunstone,
+    scheduler: &Scheduler,
     layers: &[Workload],
     arch: &ArchSpec,
     options: &ChainOptions,
 ) -> Result<ChainResult, ScheduleError> {
+    schedule_chain_with(scheduler, layers, arch, options, &BatchOptions::default())
+}
+
+/// [`schedule_chain`] with per-call batch controls (time budget,
+/// cancellation, progress); `controls.top_k` is overridden by
+/// `options.candidates_per_layer`.
+///
+/// # Errors
+///
+/// As [`schedule_chain`], plus cancellation and budget errors as in
+/// [`Scheduler::schedule_batch_with`].
+pub fn schedule_chain_with(
+    scheduler: &Scheduler,
+    layers: &[Workload],
+    arch: &ArchSpec,
+    options: &ChainOptions,
+    controls: &BatchOptions,
+) -> Result<ChainResult, ScheduleError> {
+    let batch_opts = BatchOptions { top_k: options.candidates_per_layer, ..controls.clone() };
+    let batch = scheduler.schedule_batch_with(layers, arch, &batch_opts)?;
+
     let mut results: Vec<ScheduleResult> = Vec::with_capacity(layers.len());
     let mut matched = 0usize;
     let mut reorder_words = 0u64;
     let mut producer_sig: Option<Vec<String>> = None;
 
-    for workload in layers {
-        let candidates = scheduler.schedule_top_k(workload, arch, options.candidates_per_layer)?;
+    for (workload, candidates) in layers.iter().zip(batch.layers) {
         let pick = producer_sig
             .as_ref()
             .and_then(|sig| {
@@ -141,7 +171,12 @@ pub fn schedule_chain(
             layout_signature(workload, &chosen.mapping, &options.producer_tensor, &options.renames);
         results.push(chosen);
     }
-    Ok(ChainResult { layers: results, matched_transitions: matched, reorder_words })
+    Ok(ChainResult {
+        layers: results,
+        matched_transitions: matched,
+        reorder_words,
+        batch: batch.stats,
+    })
 }
 
 #[cfg(test)]
@@ -170,10 +205,12 @@ mod tests {
         let arch = presets::conventional();
         let layers =
             vec![conv("l1", 2, 32, 16, 14), conv("l2", 2, 32, 32, 14), conv("l3", 2, 64, 32, 14)];
-        let scheduler = Sunstone::new(SunstoneConfig::default());
+        let scheduler = Scheduler::new(SunstoneConfig::default());
         let chain = schedule_chain(&scheduler, &layers, &arch, &ChainOptions::default()).unwrap();
         assert_eq!(chain.layers.len(), 3);
         assert!(chain.total_edp() > 0.0);
+        assert_eq!(chain.batch.layers, 3);
+        assert_eq!(chain.batch.unique_shapes, 3);
         // Either every transition matched (no reorder) or the mismatches
         // were charged.
         assert!(chain.matched_transitions < layers.len());
@@ -188,7 +225,7 @@ mod tests {
     fn chain_never_costs_more_edp_than_independent_plus_tiny_slack() {
         let arch = presets::conventional();
         let layers = vec![conv("l1", 2, 32, 16, 14), conv("l2", 2, 32, 32, 14)];
-        let scheduler = Sunstone::new(SunstoneConfig::default());
+        let scheduler = Scheduler::new(SunstoneConfig::default());
         let chain = schedule_chain(&scheduler, &layers, &arch, &ChainOptions::default()).unwrap();
         let independent: f64 =
             layers.iter().map(|w| scheduler.schedule(w, &arch).unwrap().report.edp).sum();
@@ -197,10 +234,24 @@ mod tests {
     }
 
     #[test]
+    fn chain_dedups_repeated_shapes_but_selects_per_occurrence() {
+        let arch = presets::conventional();
+        // l2 and l3 share a shape (names differ); the batch searches it
+        // once and the layout pass still selects per occurrence.
+        let layers =
+            vec![conv("l1", 2, 32, 16, 14), conv("l2", 2, 32, 32, 14), conv("l3", 2, 32, 32, 14)];
+        let scheduler = Scheduler::new(SunstoneConfig::default());
+        let chain = schedule_chain(&scheduler, &layers, &arch, &ChainOptions::default()).unwrap();
+        assert_eq!(chain.layers.len(), 3);
+        assert_eq!(chain.batch.unique_shapes, 2);
+        assert_eq!(chain.batch.dedup_hits, 1);
+    }
+
+    #[test]
     fn signature_applies_renames() {
         let arch = presets::conventional();
         let w = conv("l", 2, 32, 16, 14);
-        let scheduler = Sunstone::new(SunstoneConfig::default());
+        let scheduler = Scheduler::new(SunstoneConfig::default());
         let r = scheduler.schedule(&w, &arch).unwrap();
         let sig = layout_signature(&w, &r.mapping, "ofmap", &[("K".to_string(), "C".to_string())])
             .unwrap();

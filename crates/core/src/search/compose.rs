@@ -5,7 +5,8 @@
 use sunstone_mapping::MappingLevel;
 
 use super::stats::SearchStats;
-use super::{beam, candidates, estimate, PartialState, SearchContext};
+use super::{beam, candidates, estimate, CallControls, PartialState, SearchContext};
+use crate::progress::ProgressEvent;
 use crate::Direction;
 
 /// A direction of the level-by-level walk (Table VI of the paper). Both
@@ -106,30 +107,82 @@ impl LevelPass for TopDownPass {
     }
 }
 
+/// Why [`run_level_search`] stopped walking the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SearchStop {
+    /// Every stage ran; the beam is finalized.
+    Completed,
+    /// A stage produced no candidates (the workload cannot be placed at
+    /// that memory level).
+    Infeasible { stage: usize },
+    /// The cancellation token fired.
+    Cancelled,
+    /// The wall-clock deadline passed; the beam holds the best partial
+    /// states decided so far (completable via [`estimate::complete`]).
+    DeadlineReached,
+}
+
+/// The outcome of the level walk: the surviving beam plus why it stopped.
+pub(crate) struct SearchRun {
+    pub(crate) beam: Vec<PartialState>,
+    pub(crate) stop: SearchStop,
+}
+
 /// Runs the staged search: for each stage of the pass, expand every beam
 /// state, dedup, estimate (memoized, parallel), and keep the
-/// `beam_width` best. Returns the finalized beam, best-estimate first —
-/// empty when some stage produced no candidates.
+/// `beam_width` best. Returns the surviving beam best-estimate first,
+/// finalized when the walk completed.
+///
+/// Cancellation is checked before every stage (a pre-cancelled token stops
+/// the search before any work); the deadline is checked before every stage
+/// *except the first*, so a zero time budget still yields a usable
+/// best-so-far beam from the innermost level — the graceful-degradation
+/// contract of [`ScheduleOptions::time_budget`](crate::ScheduleOptions).
 pub(crate) fn run_level_search(
     ctx: &SearchContext<'_>,
     pass: &dyn LevelPass,
     stats: &mut SearchStats,
-) -> Vec<PartialState> {
+    controls: &CallControls<'_>,
+) -> SearchRun {
     let mut beam_states = vec![PartialState::root(ctx)];
-    for stage in pass.stages(ctx.mems.len()) {
+    for (i, stage) in pass.stages(ctx.mems.len()).into_iter().enumerate() {
+        if controls.cancelled() {
+            return SearchRun { beam: beam_states, stop: SearchStop::Cancelled };
+        }
+        if i > 0 && controls.past_deadline() {
+            return SearchRun { beam: beam_states, stop: SearchStop::DeadlineReached };
+        }
+        if let Some(sink) = controls.progress {
+            sink.on_event(&ProgressEvent::LevelStarted { stage, beam: beam_states.len() });
+        }
         let mut cands: Vec<PartialState> = Vec::new();
         for state in &beam_states {
             pass.expand(ctx, state, stage, &mut cands, stats);
         }
         if cands.is_empty() {
-            return Vec::new();
+            return SearchRun { beam: Vec::new(), stop: SearchStop::Infeasible { stage } };
         }
         let removed = beam::dedup(&mut cands);
         stats.level_mut(stage).dedup_removed += removed as u64;
+        let before = cands.len();
         estimate::estimate_all(ctx, pass.direction(), &mut cands, stage, stats);
         beam::select(&mut cands, ctx.config.beam_width, stage, stats);
+        if let Some(sink) = controls.progress {
+            let level = &stats.levels[stage];
+            let probes = level.cache_hits + level.cache_misses;
+            sink.on_event(&ProgressEvent::LevelFinished {
+                stage,
+                candidates: before,
+                beam: cands.len(),
+                cache_hit_rate: if probes == 0 {
+                    0.0
+                } else {
+                    level.cache_hits as f64 / probes as f64
+                },
+            });
+        }
         beam_states = cands;
     }
     pass.finalize(ctx, &mut beam_states);
-    beam_states
+    SearchRun { beam: beam_states, stop: SearchStop::Completed }
 }

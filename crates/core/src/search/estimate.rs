@@ -1,7 +1,9 @@
-//! Candidate estimation: completion of partial mappings, the memoized
-//! estimate cache, and parallel cost-model evaluation.
+//! Candidate estimation: completion of partial mappings, the
+//! session-lifetime memoized estimate cache, and parallel cost-model
+//! evaluation.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use sunstone_mapping::{Mapping, MappingLevel};
@@ -12,34 +14,104 @@ use super::stats::SearchStats;
 use super::{PartialState, SearchContext};
 use crate::Direction;
 
-/// Memoized cost estimates keyed by completed-mapping fingerprint.
-///
-/// Distinct beam states frequently complete to the same mapping — the
-/// remainder placement collapses states that differ only in undecided
-/// levels — and the final top-k re-evaluation always repeats the last
-/// stage's estimates, so memoization skips real model work. The map is
-/// shared across worker threads; entries are inserted after the parallel
-/// evaluation round, so the lock is never contended inside the model.
-pub(crate) struct EstimateCache {
-    enabled: bool,
-    map: Mutex<HashMap<Vec<u64>, CostReport>>,
+/// Cumulative statistics of a session's estimate cache
+/// ([`Scheduler::cache_stats`](crate::Scheduler::cache_stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Estimates served from the cache since the session was created.
+    pub hits: u64,
+    /// Estimates that had to run the analytic model.
+    pub misses: u64,
+    /// Cost reports currently retained.
+    pub entries: usize,
 }
 
-impl EstimateCache {
-    pub(crate) fn new(enabled: bool) -> Self {
-        EstimateCache { enabled, map: Mutex::new(HashMap::new()) }
+impl CacheStats {
+    /// Fraction of probes served from the cache (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+/// The session-lifetime estimate cache: memoized cost reports keyed by
+/// *(context fingerprint, completed-mapping fingerprint)*.
+///
+/// The context fingerprint condenses *(workload, architecture, search
+/// configuration)* ([`crate::fingerprint`]), so one map safely serves
+/// every call a [`Scheduler`](crate::Scheduler) session makes: repeated
+/// calls on the same layer, repeated layer shapes inside a batch, and the
+/// candidate re-evaluations of the network pass all hit entries written by
+/// earlier work. Within one search, distinct beam states frequently
+/// complete to the same mapping — the remainder placement collapses
+/// states that differ only in undecided levels — so the cache saves real
+/// model work even on the first call.
+///
+/// The map is shared across worker threads; entries are inserted after
+/// each parallel evaluation round, so the lock is never contended inside
+/// the model.
+#[derive(Debug, Default)]
+pub(crate) struct SessionCache {
+    map: Mutex<HashMap<(u64, Vec<u64>), CostReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SessionCache {
+    pub(crate) fn new() -> Self {
+        SessionCache::default()
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock").len(),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One search's view of the [`SessionCache`]: the context fingerprint is
+/// fixed, so lookups cannot cross workloads, architectures, or
+/// configurations.
+pub(crate) struct EstimateCache<'s> {
+    enabled: bool,
+    ctx_fp: u64,
+    session: &'s SessionCache,
+}
+
+impl<'s> EstimateCache<'s> {
+    pub(crate) fn new(enabled: bool, ctx_fp: u64, session: &'s SessionCache) -> Self {
+        EstimateCache { enabled, ctx_fp, session }
     }
 
     fn lookup(&self, key: &[u64]) -> Option<CostReport> {
         if !self.enabled {
             return None;
         }
-        self.map.lock().expect("cache lock").get(key).cloned()
+        let found =
+            self.session.map.lock().expect("cache lock").get(&(self.ctx_fp, key.to_vec())).cloned();
+        match &found {
+            Some(_) => self.session.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.session.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     fn insert(&self, key: Vec<u64>, report: CostReport) {
         if self.enabled {
-            self.map.lock().expect("cache lock").insert(key, report);
+            self.session.map.lock().expect("cache lock").insert((self.ctx_fp, key), report);
         }
     }
 }

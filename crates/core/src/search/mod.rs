@@ -3,21 +3,21 @@
 //! The scheduler walks the memory hierarchy one level at a time; each
 //! stage runs the same four-step pipeline over the surviving beam:
 //!
-//! 1. **expand** ([`candidates`]) — per partial mapping, enumerate the
+//! 1. **expand** (`candidates`) — per partial mapping, enumerate the
 //!    orderings × tiles × unrollings the pruning principles admit,
-//! 2. **dedup** ([`beam`]) — drop candidates whose mapping an earlier
+//! 2. **dedup** (`beam`) — drop candidates whose mapping an earlier
 //!    enumeration path already produced,
-//! 3. **estimate** ([`estimate`]) — complete each candidate and evaluate
+//! 3. **estimate** (`estimate`) — complete each candidate and evaluate
 //!    the analytic model, memoized by completed-mapping fingerprint and
 //!    parallelized over the configured worker threads,
-//! 4. **select** ([`beam`]) — keep the best `beam_width` candidates (the
+//! 4. **select** (`beam`) — keep the best `beam_width` candidates (the
 //!    alpha-beta-style cut).
 //!
-//! The walk direction is a [`compose::LevelPass`]: [`compose::BottomUpPass`]
+//! The walk direction is a `compose::LevelPass`: `compose::BottomUpPass`
 //! (the paper's default) starts at the innermost memory, where partial
 //! costs track final costs closely and the beam cuts early;
-//! [`compose::TopDownPass`] (Table VI) starts at DRAM. Both share the
-//! composition loop in [`compose::run_level_search`].
+//! `compose::TopDownPass` (Table VI) starts at DRAM. Both share the
+//! composition loop in `compose::run_level_search`.
 //!
 //! Every pruning decision is recorded in the structured [`SearchStats`]:
 //! per level and per principle, how many candidates were considered and
@@ -30,17 +30,44 @@ pub(crate) mod candidates;
 pub(crate) mod compose;
 pub(crate) mod estimate;
 
+use std::time::Instant;
+
 use sunstone_arch::{ArchSpec, Binding, Level, LevelId};
 use sunstone_ir::Workload;
 use sunstone_mapping::{Mapping, MappingLevel};
 use sunstone_model::CostModel;
 
 use crate::ordering::{OrderingCandidate, OrderingTrie};
+use crate::progress::{CancelToken, ProgressSink};
 use crate::SunstoneConfig;
 
 use estimate::EstimateCache;
 
+pub use estimate::CacheStats;
 pub use stats::{LevelStats, PruneCounter, SearchStats};
+
+/// Per-call controls threaded through the level walk: the wall-clock
+/// deadline, the cooperative cancellation token, and the progress sink.
+/// All optional; a default value runs the search to completion silently.
+#[derive(Default)]
+pub(crate) struct CallControls<'a> {
+    /// Absolute deadline derived from the call's `time_budget`.
+    pub(crate) deadline: Option<Instant>,
+    /// Cooperative cancellation flag, checked at stage boundaries.
+    pub(crate) cancel: Option<&'a CancelToken>,
+    /// Progress callback for level started/finished events.
+    pub(crate) progress: Option<&'a dyn ProgressSink>,
+}
+
+impl CallControls<'_> {
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    pub(crate) fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// Everything the pipeline stages share for one scheduling run: the
 /// problem, the derived level structure, the enumeration trie, the cost
@@ -57,8 +84,8 @@ pub(crate) struct SearchContext<'a> {
     /// `lower_spatial[i]`: spatial positions between memory `i − 1` and
     /// memory `i` (for `i = 0`: below the innermost memory).
     pub(crate) lower_spatial: Vec<Vec<usize>>,
-    /// Memoized cost estimates, keyed by completed-mapping fingerprint.
-    pub(crate) cache: EstimateCache,
+    /// This search's view of the session estimate cache.
+    pub(crate) cache: EstimateCache<'a>,
 }
 
 impl<'a> SearchContext<'a> {
@@ -67,6 +94,7 @@ impl<'a> SearchContext<'a> {
         arch: &'a ArchSpec,
         binding: &'a Binding,
         config: &'a SunstoneConfig,
+        cache: EstimateCache<'a>,
     ) -> Self {
         let mems: Vec<usize> = arch.memory_levels().map(|(id, _)| id.index()).collect();
         let mut lower_spatial: Vec<Vec<usize>> = Vec::with_capacity(mems.len());
@@ -87,7 +115,7 @@ impl<'a> SearchContext<'a> {
             trie: OrderingTrie::new(workload),
             mems,
             lower_spatial,
-            cache: EstimateCache::new(config.estimate_cache),
+            cache,
         }
     }
 

@@ -1,0 +1,484 @@
+//! The session-oriented scheduler API: [`Scheduler`].
+//!
+//! The paper's headline claim is scheduling *scale* — whole networks in
+//! seconds — and the unit of scheduling at that scale is the network, not
+//! the layer. A [`Scheduler`] is a long-lived, thread-safe session that
+//! amortizes work across calls:
+//!
+//! * the **estimate cache** lives as long as the session and is keyed by
+//!   *(workload, architecture, configuration, mapping)* fingerprints
+//!   ([`crate::fingerprint`]), so repeated calls — and the repeated layer
+//!   shapes every real network contains — skip the analytic model;
+//! * [`schedule_batch`](Scheduler::schedule_batch) canonicalizes a slice
+//!   of workloads, **dedups identical shapes** (ResNet-style networks
+//!   repeat most blocks), searches only the unique shapes — fanned out
+//!   over `std::thread::scope` workers — and replays each result per
+//!   occurrence;
+//! * per-call **controls** bound the work: a wall-clock
+//!   [`time_budget`](ScheduleOptions::time_budget) with a graceful
+//!   best-so-far return, a cooperative [`CancelToken`], and a
+//!   [`ProgressSink`] streaming level/layer events.
+//!
+//! The one-shot [`Sunstone`](crate::Sunstone) entry point survives as a
+//! thin shim over a private session; new code should construct a
+//! [`Scheduler`] directly (see the [crate-level example](crate)).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sunstone_arch::{ArchSpec, Binding};
+use sunstone_ir::Workload;
+use sunstone_mapping::{Mapping, ValidationContext};
+use sunstone_model::CostReport;
+
+use crate::error::ScheduleError;
+use crate::fingerprint::{context_fingerprint, workload_fingerprint};
+use crate::progress::{CancelToken, ProgressEvent, ProgressSink};
+use crate::search::compose::{run_level_search, BottomUpPass, LevelPass, SearchStop, TopDownPass};
+use crate::search::estimate::{self, EstimateCache, SessionCache};
+use crate::search::{CacheStats, CallControls, SearchContext, SearchStats};
+use crate::{Direction, SunstoneConfig};
+
+/// The result of one scheduling run.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// The best mapping found.
+    pub mapping: Mapping,
+    /// Its cost report (energy, delay, EDP, per-level breakdown).
+    pub report: CostReport,
+    /// Search statistics (flat totals plus the per-level, per-principle
+    /// pruning breakdown).
+    pub stats: SearchStats,
+}
+
+/// How a bounded scheduling call ended.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ScheduleOutcome {
+    /// The search ran every stage; the results are the real top-k.
+    Complete(Vec<ScheduleResult>),
+    /// The wall-clock budget expired mid-walk; the results are the best
+    /// valid completions of the beam decided so far.
+    BestSoFar(Vec<ScheduleResult>),
+}
+
+impl ScheduleOutcome {
+    /// The ranked results, best first (never empty on an `Ok` outcome).
+    pub fn results(&self) -> &[ScheduleResult] {
+        match self {
+            ScheduleOutcome::Complete(r) | ScheduleOutcome::BestSoFar(r) => r,
+        }
+    }
+
+    /// Consumes the outcome into its ranked results.
+    pub fn into_results(self) -> Vec<ScheduleResult> {
+        match self {
+            ScheduleOutcome::Complete(r) | ScheduleOutcome::BestSoFar(r) => r,
+        }
+    }
+
+    /// Whether the search ran to completion (vs. a best-so-far cut).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ScheduleOutcome::Complete(_))
+    }
+}
+
+/// Per-call options for [`Scheduler::schedule_with`].
+#[derive(Clone, Default)]
+pub struct ScheduleOptions {
+    /// How many ranked results to return (0 is treated as 1).
+    pub top_k: usize,
+    /// Wall-clock budget. When it expires mid-search the call returns
+    /// [`ScheduleOutcome::BestSoFar`] with the best valid completions of
+    /// the current beam — the innermost level always runs, so even a zero
+    /// budget yields a usable (if unrefined) mapping.
+    pub time_budget: Option<Duration>,
+    /// Cooperative cancellation; when fired the call returns
+    /// [`ScheduleError::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Progress callback (level started/finished with beam size and cache
+    /// hit rate).
+    pub progress: Option<Arc<dyn ProgressSink>>,
+}
+
+impl std::fmt::Debug for ScheduleOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduleOptions")
+            .field("top_k", &self.top_k)
+            .field("time_budget", &self.time_budget)
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+/// Per-call options for [`Scheduler::schedule_batch_with`].
+#[derive(Clone, Default)]
+pub struct BatchOptions {
+    /// Ranked results kept per layer (0 is treated as 1). The network
+    /// layout-consistency pass uses this to choose among near-optimal
+    /// candidates.
+    pub top_k: usize,
+    /// Wall-clock budget for the *whole batch*; unique shapes still
+    /// searching when it expires return their best-so-far mapping.
+    pub time_budget: Option<Duration>,
+    /// Cooperative cancellation shared by every worker.
+    pub cancel: Option<CancelToken>,
+    /// Progress callback ([`ProgressEvent::LayerStarted`] /
+    /// [`ProgressEvent::LayerFinished`] per unique shape).
+    pub progress: Option<Arc<dyn ProgressSink>>,
+}
+
+impl std::fmt::Debug for BatchOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchOptions")
+            .field("top_k", &self.top_k)
+            .field("time_budget", &self.time_budget)
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+/// Aggregate statistics of one [`Scheduler::schedule_batch`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BatchStats {
+    /// Input workloads.
+    pub layers: usize,
+    /// Distinct layer shapes actually searched.
+    pub unique_shapes: usize,
+    /// Layers served by replaying another layer's search
+    /// (`layers − unique_shapes`).
+    pub dedup_hits: usize,
+    /// Unique searches cut short by the time budget (their layers hold
+    /// best-so-far results).
+    pub best_so_far: usize,
+    /// Session-cache hits during this call.
+    pub cache_hits: u64,
+    /// Session-cache misses (model evaluations) during this call.
+    pub cache_misses: u64,
+    /// Mappings estimated across the unique searches.
+    pub evaluated: u64,
+    /// Wall-clock time of the whole batch call.
+    pub elapsed: Duration,
+}
+
+/// The result of scheduling a batch of workloads.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per input layer, the ranked results (best first) — layers with
+    /// identical shapes share identical (replayed) results.
+    pub layers: Vec<Vec<ScheduleResult>>,
+    /// Dedup/cache/parallelism statistics of the call.
+    pub stats: BatchStats,
+}
+
+impl BatchResult {
+    /// The best result of layer `i`.
+    pub fn best(&self, i: usize) -> &ScheduleResult {
+        &self.layers[i][0]
+    }
+
+    /// Iterates over the best result of each layer, in input order.
+    pub fn bests(&self) -> impl Iterator<Item = &ScheduleResult> {
+        self.layers.iter().map(|l| &l[0])
+    }
+
+    /// Total EDP across the batch (sum of each layer's best EDP).
+    pub fn total_edp(&self) -> f64 {
+        self.bests().map(|r| r.report.edp).sum()
+    }
+}
+
+/// A long-lived, thread-safe scheduling session; see the
+/// [module documentation](self).
+///
+/// Cloning is cheap and clones **share** the session's estimate cache, so
+/// a `Scheduler` can be handed to several threads (it is also `Sync`, so
+/// `&Scheduler` works just as well).
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    config: SunstoneConfig,
+    cache: Arc<SessionCache>,
+}
+
+impl Scheduler {
+    /// Creates a session with the given configuration.
+    ///
+    /// The configuration is validated on each call (not here), so an
+    /// invalid hand-constructed config fails with
+    /// [`ScheduleError::InvalidConfig`] rather than panicking. Configs
+    /// from [`SunstoneConfig::builder`](crate::SunstoneConfig::builder)
+    /// are always valid.
+    pub fn new(config: SunstoneConfig) -> Self {
+        Scheduler { config, cache: Arc::new(SessionCache::new()) }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SunstoneConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics of the session estimate cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached estimate (hit/miss counters are kept). Useful
+    /// for bounding memory in very long-lived sessions.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Finds the best mapping of `workload` onto `arch`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the configuration or architecture is invalid, tensors
+    /// cannot be bound, or no valid mapping exists.
+    pub fn schedule(
+        &self,
+        workload: &Workload,
+        arch: &ArchSpec,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        Ok(self
+            .schedule_with(workload, arch, &ScheduleOptions::default())?
+            .into_results()
+            .remove(0))
+    }
+
+    /// Finds the `k` best distinct mappings, best first (the survivors of
+    /// the final beam).
+    ///
+    /// # Errors
+    ///
+    /// As [`schedule`](Self::schedule); an `Ok` result contains at least
+    /// one mapping.
+    pub fn schedule_top_k(
+        &self,
+        workload: &Workload,
+        arch: &ArchSpec,
+        k: usize,
+    ) -> Result<Vec<ScheduleResult>, ScheduleError> {
+        let opts = ScheduleOptions { top_k: k, ..ScheduleOptions::default() };
+        Ok(self.schedule_with(workload, arch, &opts)?.into_results())
+    }
+
+    /// Schedules one workload under the full set of per-call controls.
+    ///
+    /// # Errors
+    ///
+    /// As [`schedule`](Self::schedule), plus
+    /// [`ScheduleError::Cancelled`] when the token fires and
+    /// [`ScheduleError::BudgetExhausted`] when the budget expires before
+    /// any valid mapping exists.
+    pub fn schedule_with(
+        &self,
+        workload: &Workload,
+        arch: &ArchSpec,
+        options: &ScheduleOptions,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let start = Instant::now();
+        let controls = CallControls {
+            deadline: options.time_budget.map(|b| start + b),
+            cancel: options.cancel.as_ref(),
+            progress: options.progress.as_deref(),
+        };
+        self.run_one(workload, arch, options.top_k, start, &controls)
+    }
+
+    /// Schedules a batch of workloads, deduplicating identical shapes and
+    /// fanning the unique ones out across worker threads. Equivalent to —
+    /// and bitwise consistent with — calling
+    /// [`schedule`](Self::schedule) per layer, but each distinct shape is
+    /// searched exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the first failing layer's error (in first-occurrence
+    /// order).
+    pub fn schedule_batch(
+        &self,
+        workloads: &[Workload],
+        arch: &ArchSpec,
+    ) -> Result<BatchResult, ScheduleError> {
+        self.schedule_batch_with(workloads, arch, &BatchOptions::default())
+    }
+
+    /// [`schedule_batch`](Self::schedule_batch) with per-call controls;
+    /// see [`BatchOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`schedule_batch`](Self::schedule_batch), plus cancellation and
+    /// budget errors as in [`schedule_with`](Self::schedule_with).
+    pub fn schedule_batch_with(
+        &self,
+        workloads: &[Workload],
+        arch: &ArchSpec,
+        options: &BatchOptions,
+    ) -> Result<BatchResult, ScheduleError> {
+        let start = Instant::now();
+        let cache_before = self.cache.stats();
+        self.config.validate()?;
+        arch.validate()?;
+
+        // Canonicalize: identical shapes (names aside) collapse onto the
+        // first occurrence.
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let mut assign: Vec<usize> = Vec::with_capacity(workloads.len());
+        for (i, w) in workloads.iter().enumerate() {
+            match slot_of.entry(workload_fingerprint(w)) {
+                Entry::Occupied(e) => assign.push(*e.get()),
+                Entry::Vacant(v) => {
+                    v.insert(unique.len());
+                    assign.push(unique.len());
+                    unique.push(i);
+                }
+            }
+        }
+
+        // Fan the unique shapes out over scoped workers. Each worker pulls
+        // the next undone shape; per-shape results are deterministic, so
+        // the assembly below is identical for any worker count.
+        let deadline = options.time_budget.map(|b| start + b);
+        let slots: Vec<Mutex<Option<Result<ScheduleOutcome, ScheduleError>>>> =
+            unique.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.config.effective_threads().min(unique.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&input_idx) = unique.get(u) else { break };
+                    let w = &workloads[input_idx];
+                    if let Some(sink) = &options.progress {
+                        sink.on_event(&ProgressEvent::LayerStarted {
+                            unique: u,
+                            name: w.name().to_string(),
+                        });
+                    }
+                    let layer_start = Instant::now();
+                    let controls =
+                        CallControls { deadline, cancel: options.cancel.as_ref(), progress: None };
+                    let outcome = self.run_one(w, arch, options.top_k, layer_start, &controls);
+                    if let Some(sink) = &options.progress {
+                        sink.on_event(&ProgressEvent::LayerFinished {
+                            unique: u,
+                            evaluated: outcome
+                                .as_ref()
+                                .map(|o| o.results()[0].stats.evaluated)
+                                .unwrap_or(0),
+                            elapsed: layer_start.elapsed(),
+                        });
+                    }
+                    *slots[u].lock().expect("slot lock") = Some(outcome);
+                });
+            }
+        });
+
+        // Assemble: fail with the first error in first-occurrence order,
+        // otherwise replay each unique result onto its occurrences.
+        let mut per_unique: Vec<(Vec<ScheduleResult>, bool)> = Vec::with_capacity(unique.len());
+        for slot in slots {
+            let outcome =
+                slot.into_inner().expect("slot lock").expect("every unique shape was scheduled")?;
+            let complete = outcome.is_complete();
+            per_unique.push((outcome.into_results(), complete));
+        }
+
+        let stats = BatchStats {
+            layers: workloads.len(),
+            unique_shapes: unique.len(),
+            dedup_hits: workloads.len() - unique.len(),
+            best_so_far: per_unique.iter().filter(|(_, complete)| !complete).count(),
+            cache_hits: self.cache.stats().hits - cache_before.hits,
+            cache_misses: self.cache.stats().misses - cache_before.misses,
+            evaluated: per_unique.iter().map(|(r, _)| r[0].stats.evaluated).sum(),
+            elapsed: start.elapsed(),
+        };
+        let layers = assign.iter().map(|&slot| per_unique[slot].0.clone()).collect();
+        Ok(BatchResult { layers, stats })
+    }
+
+    /// One bounded search: resolve the problem, pick the direction pass,
+    /// walk the levels, and rank the valid completions.
+    fn run_one(
+        &self,
+        workload: &Workload,
+        arch: &ArchSpec,
+        top_k: usize,
+        start: Instant,
+        controls: &CallControls<'_>,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        self.config.validate()?;
+        arch.validate()?;
+        let binding = Binding::resolve(arch, workload)?;
+        let ctx_fp = context_fingerprint(workload, arch, &self.config);
+        let cache = EstimateCache::new(self.config.estimate_cache, ctx_fp, &self.cache);
+        let ctx = SearchContext::new(workload, arch, &binding, &self.config, cache);
+        let mut stats = SearchStats::default();
+
+        let pass: &dyn LevelPass = match self.config.direction {
+            Direction::BottomUp => &BottomUpPass,
+            // A single memory level has no inter-level decisions to make
+            // top-down; the bottom-up pass covers it directly.
+            Direction::TopDown if ctx.mems.len() > 1 => &TopDownPass,
+            Direction::TopDown => &BottomUpPass,
+        };
+        let run = run_level_search(&ctx, pass, &mut stats, controls);
+        let truncated = match run.stop {
+            SearchStop::Cancelled => return Err(ScheduleError::Cancelled),
+            SearchStop::Infeasible { stage } => {
+                return Err(ScheduleError::InfeasibleLevel { stage })
+            }
+            SearchStop::DeadlineReached => true,
+            SearchStop::Completed => false,
+        };
+        // A truncated walk leaves quotas undecided; complete each partial
+        // state the same way estimation does (best-so-far contract).
+        let finals: Vec<Mapping> = if truncated {
+            run.beam.iter().map(|s| estimate::complete(&ctx, s, pass.direction())).collect()
+        } else {
+            run.beam.into_iter().map(|s| s.mapping).collect()
+        };
+
+        let vctx = ValidationContext::new(workload, arch, &binding);
+        let mut valid: Vec<(Mapping, CostReport)> = Vec::new();
+        for mapping in finals {
+            if vctx.validate(&mapping).is_ok() {
+                // The last stage already estimated these mappings, so with
+                // the cache enabled this is a lookup, not a re-evaluation.
+                let report = estimate::evaluate_cached(&ctx, &mapping, &mut stats);
+                valid.push((mapping, report));
+            }
+        }
+        valid.sort_by(|a, b| {
+            self.config.objective.of(&a.1).total_cmp(&self.config.objective.of(&b.1))
+        });
+        valid.dedup_by(|a, b| a.0 == b.0);
+        valid.truncate(top_k.max(1));
+        stats.elapsed = start.elapsed();
+        if valid.is_empty() {
+            return Err(if truncated {
+                ScheduleError::BudgetExhausted
+            } else {
+                ScheduleError::NoValidMapping
+            });
+        }
+        let results: Vec<ScheduleResult> = valid
+            .into_iter()
+            .map(|(mapping, report)| ScheduleResult { mapping, report, stats: stats.clone() })
+            .collect();
+        Ok(if truncated {
+            ScheduleOutcome::BestSoFar(results)
+        } else {
+            ScheduleOutcome::Complete(results)
+        })
+    }
+}

@@ -1,0 +1,224 @@
+//! Session API contract: batch/sequential equivalence, thread-count
+//! independence, cancellation, time budgets, and cross-call caching.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sunstone::prelude::*;
+use sunstone_arch::presets;
+use sunstone_ir::Workload;
+
+fn conv(name: &str, k: u64, c: u64, pq: u64, r: u64) -> Workload {
+    let mut b = Workload::builder(name);
+    let kd = b.dim("K", k);
+    let cd = b.dim("C", c);
+    let p = b.dim("P", pq);
+    let q = b.dim("Q", pq);
+    let rd = b.dim("R", r);
+    let s = b.dim("S", r);
+    b.input("ifmap", [cd.expr(), p.expr() + rd.expr(), q.expr() + s.expr()]);
+    b.input("weight", [kd.expr(), cd.expr(), rd.expr(), s.expr()]);
+    b.output("ofmap", [kd.expr(), p.expr(), q.expr()]);
+    b.build().expect("valid conv workload")
+}
+
+/// A small network with repeated shapes: four layers, two unique shapes.
+/// The repeats carry different names, which must not defeat the dedup.
+fn repeated_network() -> Vec<Workload> {
+    vec![
+        conv("a0", 32, 16, 14, 3),
+        conv("b0", 64, 32, 7, 3),
+        conv("a1", 32, 16, 14, 3),
+        conv("a2", 32, 16, 14, 3),
+    ]
+}
+
+#[test]
+fn batch_matches_sequential_bitwise() {
+    let arch = presets::conventional();
+    let net = repeated_network();
+
+    let batch = Scheduler::new(SunstoneConfig::default())
+        .schedule_batch(&net, &arch)
+        .expect("batch schedules");
+    assert_eq!(batch.stats.layers, 4);
+    assert_eq!(batch.stats.unique_shapes, 2, "renamed repeats share a shape");
+    assert_eq!(batch.stats.dedup_hits, 2);
+    assert_eq!(batch.stats.best_so_far, 0, "no shape was truncated by a budget");
+
+    let seq = Scheduler::new(SunstoneConfig::default());
+    for (i, w) in net.iter().enumerate() {
+        let s = seq.schedule(w, &arch).expect("layer schedules");
+        let b = batch.best(i);
+        assert_eq!(b.mapping, s.mapping, "layer {i} mapping differs");
+        assert_eq!(
+            b.report.edp.to_bits(),
+            s.report.edp.to_bits(),
+            "layer {i} EDP not bitwise identical"
+        );
+    }
+}
+
+#[test]
+fn batch_independent_of_worker_count() {
+    let arch = presets::conventional();
+    let net = repeated_network();
+
+    let one = Scheduler::new(SunstoneConfig { threads: 1, ..SunstoneConfig::default() })
+        .schedule_batch(&net, &arch)
+        .expect("1-thread batch schedules");
+    let four = Scheduler::new(SunstoneConfig { threads: 4, ..SunstoneConfig::default() })
+        .schedule_batch(&net, &arch)
+        .expect("4-thread batch schedules");
+
+    assert_eq!(one.stats.unique_shapes, four.stats.unique_shapes);
+    for (a, b) in one.bests().zip(four.bests()) {
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.report.edp.to_bits(), b.report.edp.to_bits());
+    }
+}
+
+#[test]
+fn pre_cancelled_token_cancels_deterministically() {
+    let arch = presets::conventional();
+    let w = conv("c", 32, 16, 14, 3);
+    let token = CancelToken::new();
+    token.cancel();
+    assert!(token.is_cancelled());
+
+    let opts = ScheduleOptions { cancel: Some(token.clone()), ..ScheduleOptions::default() };
+    let err = Scheduler::new(SunstoneConfig::default())
+        .schedule_with(&w, &arch, &opts)
+        .expect_err("pre-cancelled call must not produce a result");
+    assert!(matches!(err, ScheduleError::Cancelled));
+
+    // Batch calls observe the same token.
+    let bopts = BatchOptions { cancel: Some(token), ..BatchOptions::default() };
+    let err = Scheduler::new(SunstoneConfig::default())
+        .schedule_batch_with(&[w], &arch, &bopts)
+        .expect_err("pre-cancelled batch must not produce a result");
+    assert!(matches!(err, ScheduleError::Cancelled));
+}
+
+#[test]
+fn zero_time_budget_returns_best_so_far() {
+    let arch = presets::conventional();
+    let w = conv("c", 32, 16, 14, 3);
+
+    let opts = ScheduleOptions { time_budget: Some(Duration::ZERO), ..ScheduleOptions::default() };
+    let outcome = Scheduler::new(SunstoneConfig::default())
+        .schedule_with(&w, &arch, &opts)
+        .expect("zero budget still yields the first-stage best");
+    assert!(!outcome.is_complete(), "zero budget cannot complete the search");
+    assert!(!outcome.results().is_empty(), "best-so-far carries a usable mapping");
+
+    // The truncated result is deterministic: same budget, same answer.
+    let again = Scheduler::new(SunstoneConfig::default())
+        .schedule_with(&w, &arch, &opts)
+        .expect("zero budget is deterministic");
+    assert_eq!(outcome.results()[0].mapping, again.results()[0].mapping);
+
+    // A generous budget completes and matches the unbudgeted search.
+    let generous = ScheduleOptions {
+        time_budget: Some(Duration::from_secs(3600)),
+        ..ScheduleOptions::default()
+    };
+    let full = Scheduler::new(SunstoneConfig::default())
+        .schedule_with(&w, &arch, &generous)
+        .expect("generous budget schedules");
+    assert!(full.is_complete());
+    let unbudgeted =
+        Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+    assert_eq!(full.results()[0].mapping, unbudgeted.mapping);
+}
+
+#[test]
+fn session_cache_survives_across_calls() {
+    let arch = presets::conventional();
+    let w = conv("c", 32, 16, 14, 3);
+    let session = Scheduler::new(SunstoneConfig::default());
+
+    let first = session.schedule(&w, &arch).expect("first call schedules");
+    let after_first = session.cache_stats();
+    assert!(after_first.entries > 0, "first call must populate the session cache");
+
+    let second = session.schedule(&w, &arch).expect("second call schedules");
+    let after_second = session.cache_stats();
+    assert!(
+        after_second.hits > after_first.hits,
+        "second call on the same shape must hit the session cache \
+         ({} -> {} hits)",
+        after_first.hits,
+        after_second.hits
+    );
+    assert_eq!(first.mapping, second.mapping);
+    assert_eq!(first.report.edp.to_bits(), second.report.edp.to_bits());
+
+    // A renamed copy of the same shape also hits: the workload
+    // fingerprint ignores names.
+    let renamed = conv("c_renamed", 32, 16, 14, 3);
+    let before = session.cache_stats().hits;
+    session.schedule(&renamed, &arch).expect("renamed call schedules");
+    assert!(session.cache_stats().hits > before);
+
+    // clear_cache starts over.
+    session.clear_cache();
+    assert_eq!(session.cache_stats().entries, 0);
+    assert_eq!(session.cache_stats().hits, 0);
+}
+
+#[test]
+fn cloned_sessions_share_one_cache() {
+    let arch = presets::conventional();
+    let w = conv("c", 32, 16, 14, 3);
+    let session = Scheduler::new(SunstoneConfig::default());
+    let clone = session.clone();
+
+    session.schedule(&w, &arch).expect("schedules");
+    let hits_before = clone.cache_stats().hits;
+    clone.schedule(&w, &arch).expect("schedules");
+    assert!(clone.cache_stats().hits > hits_before, "clones share the session cache");
+    assert_eq!(session.cache_stats().hits, clone.cache_stats().hits);
+}
+
+#[test]
+fn progress_sink_sees_batch_layer_events() {
+    let arch = presets::conventional();
+    let net = repeated_network();
+
+    let finished = Arc::new(AtomicU64::new(0));
+    let sink: Arc<dyn ProgressSink> = Arc::new({
+        let finished = Arc::clone(&finished);
+        move |e: &ProgressEvent| {
+            if matches!(e, ProgressEvent::LayerFinished { .. }) {
+                finished.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+    let opts = BatchOptions { progress: Some(sink), ..BatchOptions::default() };
+    let batch = Scheduler::new(SunstoneConfig::default())
+        .schedule_batch_with(&net, &arch, &opts)
+        .expect("batch schedules");
+    assert_eq!(
+        finished.load(Ordering::Relaxed),
+        batch.stats.unique_shapes as u64,
+        "one LayerFinished event per unique shape"
+    );
+}
+
+#[test]
+fn batch_top_k_returns_ranked_candidates() {
+    let arch = presets::conventional();
+    let net = repeated_network();
+    let opts = BatchOptions { top_k: 3, ..BatchOptions::default() };
+    let batch = Scheduler::new(SunstoneConfig::default())
+        .schedule_batch_with(&net, &arch, &opts)
+        .expect("batch schedules");
+    for layer in &batch.layers {
+        assert!(!layer.is_empty() && layer.len() <= 3);
+        for pair in layer.windows(2) {
+            assert!(pair[0].report.edp <= pair[1].report.edp, "candidates sorted by EDP");
+        }
+    }
+}

@@ -213,34 +213,46 @@ impl Compiler {
         Ok(program)
     }
 
-    /// Convenience: schedule the workload with Sunstone on the DianNao
-    /// architecture, then lower the result.
+    /// Convenience: schedule the workload with a fresh Sunstone session on
+    /// the DianNao architecture, then lower the result. Multi-layer
+    /// callers should hold one session and use
+    /// [`tiled_with_session`](Self::tiled_with_session) so repeated layer
+    /// shapes reuse cached estimates.
     pub fn tiled_with_sunstone(workload: &Workload) -> Result<Program, CompileError> {
-        let arch = presets::diannao_like();
-        let result = sunstone::Sunstone::new(sunstone::SunstoneConfig::default())
-            .schedule(workload, &arch)
-            .map_err(|e| CompileError::InvalidMapping(e.to_string()))?;
-        Self::tiled_for(workload, &result.mapping, &arch)
+        let session = sunstone::Scheduler::new(sunstone::SunstoneConfig::default());
+        Self::tiled_with_session(workload, &session)
     }
 
-    /// Schedules with Sunstone and returns both the program and the
+    /// Schedules through an existing [`sunstone::Scheduler`] session and
+    /// lowers the result.
+    pub fn tiled_with_session(
+        workload: &Workload,
+        scheduler: &sunstone::Scheduler,
+    ) -> Result<Program, CompileError> {
+        let (program, _) = Self::tiled_with_session_schedule(workload, scheduler)?;
+        Ok(program)
+    }
+
+    /// Schedules with a fresh session and returns both the program and the
     /// mapping (for layout-signature analysis).
     pub fn tiled_with_sunstone_mapping(
         workload: &Workload,
     ) -> Result<(Program, Mapping), CompileError> {
-        let (program, result) = Self::tiled_with_sunstone_schedule(workload)?;
+        let session = sunstone::Scheduler::new(sunstone::SunstoneConfig::default());
+        let (program, result) = Self::tiled_with_session_schedule(workload, &session)?;
         Ok((program, result.mapping))
     }
 
-    /// Schedules with Sunstone and returns the program together with the
-    /// full [`sunstone::ScheduleResult`] — mapping, cost report, and the
-    /// per-level search statistics (the Fig 9 harness reports the
-    /// scheduling overhead next to the execution overheads).
-    pub fn tiled_with_sunstone_schedule(
+    /// Schedules through an existing session and returns the program
+    /// together with the full [`sunstone::ScheduleResult`] — mapping, cost
+    /// report, and the per-level search statistics (the Fig 9 harness
+    /// reports the scheduling overhead next to the execution overheads).
+    pub fn tiled_with_session_schedule(
         workload: &Workload,
+        scheduler: &sunstone::Scheduler,
     ) -> Result<(Program, sunstone::ScheduleResult), CompileError> {
         let arch = presets::diannao_like();
-        let result = sunstone::Sunstone::new(sunstone::SunstoneConfig::default())
+        let result = scheduler
             .schedule(workload, &arch)
             .map_err(|e| CompileError::InvalidMapping(e.to_string()))?;
         let program = Self::tiled_for(workload, &result.mapping, &arch)?;

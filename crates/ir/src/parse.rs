@@ -81,8 +81,11 @@ impl From<WorkloadError> for ParseError {
     }
 }
 
-/// Parses an einsum-like statement into a [`Workload`]; see the
-/// [module documentation](self) for the grammar.
+/// Parses an einsum-like statement into a [`Workload`].
+///
+/// Grammar: `out[i, j] = A[i, k] * B[k, j]` — identifiers for tensors
+/// and dimensions, affine index expressions with integer coefficients
+/// (`2p + r`), every dimension bound given in `bounds`.
 ///
 /// # Errors
 ///

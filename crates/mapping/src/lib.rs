@@ -13,13 +13,13 @@
 //!   outermost-to-innermost; [`TemporalLevel::order_outermost_first`]
 //!   converts.)
 //! * `factors[d]` is the per-dimension tiling/unroll factor, indexed by
-//!   [`DimId::index`]. The product over all levels must equal the problem
+//!   [`sunstone_ir::DimId::index`]. The product over all levels must equal the problem
 //!   dimension exactly (equal tiles, as in the paper).
 //! * The tile *resident* in memory level ℓ spans the factors of every level
 //!   at or below ℓ (spatial levels included — a shared memory serves the
 //!   union of its children's tiles).
 //!
-//! [`Mapping::validate`] checks structural agreement with the
+//! [`ValidationContext::validate`] checks structural agreement with the
 //! architecture, exact factorization, spatial fan-out and reduction rules,
 //! and per-partition capacity — the same conditions the paper uses to call
 //! baseline mappings *invalid* (Figs 7–8).

@@ -3,7 +3,9 @@
 //! * [`ConvSpec`] — parameterized 2-D convolutions with optional stride
 //!   and asymmetric kernels, convertible to inference or weight-update
 //!   ([`ConvSpec::weight_update`]) nested-loop workloads;
-//! * [`resnet18_layers`] — the unique convolution layers of ResNet-18;
+//! * [`resnet18_layers`] — the unique convolution layers of ResNet-18,
+//!   and [`resnet18_network`] — the full 20-conv sequence with block
+//!   repeats (the batch-scheduling dedup input);
 //! * [`inception_v3_layers`] — representative Inception-v3 layers,
 //!   including the asymmetric 1×7 / 7×1 / 3×1 kernels of Fig 7;
 //! * [`tensor`] — the non-DNN tensor algebra of Table II: MTTKRP, TTMc,
@@ -28,4 +30,4 @@ pub mod tensor;
 
 pub use conv::{ConvSpec, Precision};
 pub use inception::inception_v3_layers;
-pub use resnet::resnet18_layers;
+pub use resnet::{resnet18_layers, resnet18_network};

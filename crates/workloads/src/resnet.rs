@@ -25,6 +25,35 @@ pub fn resnet18_layers(batch: u64) -> Vec<ConvSpec> {
     ]
 }
 
+/// The full ResNet-18 convolution sequence at 224×224 input, **with**
+/// block repeats: 20 convolutions over the 11 unique shapes of
+/// [`resnet18_layers`]. Names are per occurrence (`conv2_x/0` …), shapes
+/// repeat — the input to session batch scheduling, whose shape dedup
+/// makes the repeats free.
+pub fn resnet18_network(batch: u64) -> Vec<ConvSpec> {
+    let unique = resnet18_layers(batch);
+    let spec = |name: &str| unique.iter().find(|l| l.name == name).expect("known layer").clone();
+    let mut net = vec![spec("conv1")];
+    // conv2 stage: two basic blocks, two 3×3 convs each, all one shape.
+    for i in 0..4 {
+        let mut l = spec("conv2_x");
+        l.name = format!("conv2_x/{i}");
+        net.push(l);
+    }
+    // conv3..conv5 stages: a strided conv + downsample projection, then
+    // three more convs of the stage's square shape.
+    for stage in ["conv3", "conv4", "conv5"] {
+        net.push(spec(&format!("{stage}_1")));
+        net.push(spec(&format!("{stage}_ds")));
+        for i in 0..3 {
+            let mut l = spec(&format!("{stage}_x"));
+            l.name = format!("{stage}_x/{i}");
+            net.push(l);
+        }
+    }
+    net
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --release --example custom_accelerator`.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::{
     ArchSpec, BufferPartition, Capacity, Level, MemoryLevel, NocModel, SpatialLevel, TensorFilter,
 };
@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layer = ConvSpec::new("mbnet_conv", 1, 32, 32, 28, 28, 3, 3, 1);
     let workload = layer.inference(Precision::conventional());
 
-    let result = Sunstone::new(SunstoneConfig::default()).schedule(&workload, &arch)?;
+    let result = Scheduler::new(SunstoneConfig::default()).schedule(&workload, &arch)?;
     println!("architecture : {arch}");
     println!("layer        : {} ({} MACs)", layer.name, layer.macs());
     println!("mapping      : {}", result.mapping);

@@ -3,14 +3,14 @@
 //!
 //! Run with `cargo run --release --example einsum`.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::presets;
 use sunstone_ir::parse_einsum;
 use sunstone_mapping::pretty;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = presets::conventional();
-    let scheduler = Sunstone::new(SunstoneConfig::default());
+    let scheduler = Scheduler::new(SunstoneConfig::default());
 
     let statements: Vec<(&str, Vec<(&str, u64)>)> = vec![
         (

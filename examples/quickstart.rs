@@ -2,7 +2,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::prelude::*;
 use sunstone_arch::presets;
 use sunstone_ir::Workload;
 
@@ -22,8 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    machine (32×32 PEs, 512 B L1, 3.1 MB L2).
     let arch = presets::conventional();
 
-    // 3. Schedule.
-    let result = Sunstone::new(SunstoneConfig::default()).schedule(&workload, &arch)?;
+    // 3. Open a scheduling session and schedule. The session owns a
+    //    cross-call estimate cache, so follow-up calls on similar shapes
+    //    get cheaper; `SunstoneConfig::builder()` validates knobs up front.
+    let session = Scheduler::new(SunstoneConfig::builder().build()?);
+    let result = session.schedule(&workload, &arch)?;
 
     println!("workload     : {workload}");
     println!("architecture : {arch}");

@@ -5,13 +5,13 @@
 //!
 //! Run with `cargo run --release --example tensor_decomposition`.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::presets;
 use sunstone_workloads::tensor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = presets::conventional();
-    let scheduler = Sunstone::new(SunstoneConfig::default());
+    let scheduler = Scheduler::new(SunstoneConfig::default());
 
     let workloads = vec![
         ("MTTKRP on nell-2 (rank 32)", tensor::mttkrp(tensor::NELL2, 32)),

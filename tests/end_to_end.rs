@@ -117,7 +117,8 @@ fn strided_and_asymmetric_convs_schedule() {
 }
 
 /// An architecture whose innermost buffer cannot hold even a unit tile
-/// yields a clean `NoValidMapping` error instead of a bogus mapping.
+/// yields a clean infeasibility error instead of a bogus mapping — since
+/// the session API, one that names the offending memory level.
 #[test]
 fn impossible_architecture_reports_no_valid_mapping() {
     use sunstone_arch::{ArchSpec, BufferPartition, Capacity, Level, MemoryLevel, TensorFilter};
@@ -139,7 +140,11 @@ fn impossible_architecture_reports_no_valid_mapping() {
     );
     let w = resnet18_layers(1)[1].inference(Precision::conventional());
     let err = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap_err();
-    assert!(matches!(err, sunstone::ScheduleError::NoValidMapping));
+    assert!(matches!(
+        err,
+        sunstone::ScheduleError::NoValidMapping
+            | sunstone::ScheduleError::InfeasibleLevel { stage: 0 }
+    ));
 }
 
 /// Larger batches scale energy roughly linearly (sublinear savings from
