@@ -20,6 +20,22 @@ cargo test -q
 echo "== doctests (core crate) =="
 cargo test -q --doc -p sunstone
 
+echo "== bench smoke: criterion compile + quick schedule bench =="
+cargo bench -p sunstone-bench --bench scheduler_speed -- --test
+cargo run --release -p sunstone-bench --bin bench_schedule -- quick --out BENCH_schedule_quick.json
+python3 - <<'EOF'
+import json, sys
+d = json.load(open("BENCH_schedule_quick.json"))
+assert d.get("schema") == "sunstone-bench-schedule/v1", d.get("schema")
+assert d.get("layers"), "no layers recorded"
+for row in d["layers"]:
+    for field in ("name", "cold_ms", "warm_median_ms", "best_edp", "mapping_fp"):
+        assert field in row, f"missing {field} in {row.get('name', '?')}"
+    assert row["warm_median_ms"] > 0, row["name"]
+print(f"BENCH_schedule_quick.json OK ({len(d['layers'])} layers)")
+EOF
+rm -f BENCH_schedule_quick.json
+
 echo "== rustdoc (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p sunstone-ir -p sunstone-arch -p sunstone-mapping -p sunstone-model \

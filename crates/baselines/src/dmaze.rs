@@ -200,6 +200,7 @@ impl Mapper for DMazeMapper {
                     .filter(|u| {
                         u.iter().product::<u64>() as f64 >= self.config.pe_util * units as f64
                     })
+                    .map(Vec::from)
                     .collect()
                 }
             };

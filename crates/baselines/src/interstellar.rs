@@ -79,8 +79,12 @@ impl Mapper for InterstellarMapper {
             None => vec![vec![1; ndims]],
             Some((_, units)) => {
                 let ck: DimSet = [c, k].into_iter().collect();
-                let preset =
-                    enumerate_unrollings(&sizes, ck, units, |_| true, 0.0, true).unrollings;
+                let preset: Vec<Vec<u64>> =
+                    enumerate_unrollings(&sizes, ck, units, |_| true, 0.0, true)
+                        .unrollings
+                        .into_iter()
+                        .map(Vec::from)
+                        .collect();
                 let best_util = preset
                     .iter()
                     .map(|u| u.iter().product::<u64>() as f64 / units as f64)
@@ -88,7 +92,7 @@ impl Mapper for InterstellarMapper {
                 if best_util >= self.full_util_threshold {
                     preset
                 } else {
-                    let mut all = enumerate_unrollings(
+                    let mut all: Vec<Vec<u64>> = enumerate_unrollings(
                         &sizes,
                         DimSet::first_n(ndims),
                         units,
@@ -96,7 +100,10 @@ impl Mapper for InterstellarMapper {
                         0.5,
                         true,
                     )
-                    .unrollings;
+                    .unrollings
+                    .into_iter()
+                    .map(Vec::from)
+                    .collect();
                     all.extend(preset);
                     all
                 }

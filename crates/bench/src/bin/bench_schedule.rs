@@ -1,0 +1,275 @@
+//! Perf-trajectory benchmark: warmed-session time-to-solution per fig8
+//! layer plus raw estimate throughput, emitted as `BENCH_schedule.json`.
+//!
+//! Unlike the criterion benches (which explore statistical stability),
+//! this binary produces the *recorded* perf baseline the repo tracks
+//! across PRs: one JSON file with per-layer medians, a mapping
+//! fingerprint per layer (so optimization PRs can prove search results
+//! stayed bit-identical), and a speedup ratio against a committed
+//! baseline file.
+//!
+//! ```text
+//! Usage: bench_schedule [quick] [--reps N] [--baseline FILE] [--out FILE]
+//! ```
+//!
+//! * `quick` — subsample layers and repetitions (the CI smoke mode).
+//! * `--baseline FILE` — a previously emitted JSON to compare against
+//!   (default `results/bench_baseline.json` if present).
+//! * `--out FILE` — output path (default `BENCH_schedule.json`).
+//!
+//! The schema is documented in `results/README.md`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sunstone::prelude::*;
+use sunstone_arch::{presets, Binding};
+use sunstone_mapping::{Mapping, MappingLevel};
+use sunstone_model::CostModel;
+use sunstone_workloads::{resnet18_layers, Precision};
+
+/// Timing and identity record of one layer's warmed-session schedule.
+struct LayerRow {
+    name: String,
+    cold_ms: f64,
+    warm_median_ms: f64,
+    best_edp: f64,
+    mapping_fp: u64,
+    mapping: String,
+    evaluated: u64,
+}
+
+/// A stable fingerprint of a mapping's search identity: every level's
+/// factors plus each temporal level's loop order, FNV-1a hashed. Two runs
+/// that produce the same fingerprint found the same mapping.
+fn mapping_fingerprint(m: &Mapping) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for level in m.levels() {
+        for &f in level.factors() {
+            eat(f);
+        }
+        if let MappingLevel::Temporal(t) = level {
+            for &d in &t.order {
+                eat(d.index() as u64);
+            }
+        }
+    }
+    h
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Minimal JSON string escaping (names and mapping strings are ASCII).
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One layer row recovered from a previously emitted baseline file.
+struct BaselineRow {
+    name: String,
+    warm_median_ms: Option<f64>,
+    mapping_fp: Option<u64>,
+}
+
+/// Reads `"key": <value>` fields out of a flat JSON baseline file —
+/// enough structure awareness to recover per-layer medians and mapping
+/// fingerprints without a JSON dependency.
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
+    let mut rows: Vec<BaselineRow> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            if let Some(end) = rest.find('"') {
+                rows.push(BaselineRow {
+                    name: rest[..end].to_string(),
+                    warm_median_ms: None,
+                    mapping_fp: None,
+                });
+            }
+        } else if let Some(rest) = line.strip_prefix("\"warm_median_ms\": ") {
+            let num: String =
+                rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+            if let (Some(row), Ok(v)) = (rows.last_mut(), num.parse::<f64>()) {
+                row.warm_median_ms = Some(v);
+            }
+        } else if let Some(rest) = line.strip_prefix("\"mapping_fp\": ") {
+            let num: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            if let (Some(row), Ok(v)) = (rows.last_mut(), num.parse::<u64>()) {
+                row.mapping_fp = Some(v);
+            }
+        }
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let reps: usize =
+        flag("--reps").and_then(|v| v.parse().ok()).unwrap_or(if quick { 3 } else { 7 });
+    let out_path = flag("--out").unwrap_or("BENCH_schedule.json").to_string();
+    let baseline_path = flag("--baseline").unwrap_or("results/bench_baseline.json").to_string();
+
+    let arch = presets::simba_like();
+    let mut layers = resnet18_layers(16);
+    if quick {
+        layers.truncate(4);
+    }
+    let config = SunstoneConfig::builder().threads(4).expect("valid").build().expect("valid");
+    let scheduler = Scheduler::new(config);
+
+    println!("bench_schedule: {} layers × {} reps on `{}`", layers.len(), reps, arch.name());
+    let mut rows: Vec<LayerRow> = Vec::new();
+    for layer in &layers {
+        let w = layer.inference(Precision::simba());
+        // Cold: the session's first encounter with this shape.
+        let t0 = Instant::now();
+        let first = scheduler.schedule(&w, &arch).expect("schedules");
+        let cold_ms = ms(t0.elapsed());
+        // Warm: the session has seen the shape; the estimate cache serves
+        // repeat evaluations, so this times the search machinery itself.
+        let mut samples = Vec::with_capacity(reps);
+        let mut result = first;
+        for _ in 0..reps {
+            let t = Instant::now();
+            result = scheduler.schedule(&w, &arch).expect("schedules");
+            samples.push(ms(t.elapsed()));
+        }
+        let warm_median_ms = median(&mut samples);
+        println!(
+            "  {:10}  cold {:8.1} ms   warm median {:8.1} ms   EDP {:.3e}",
+            layer.name, cold_ms, warm_median_ms, result.report.edp
+        );
+        rows.push(LayerRow {
+            name: layer.name.clone(),
+            cold_ms,
+            warm_median_ms,
+            best_edp: result.report.edp,
+            mapping_fp: mapping_fingerprint(&result.mapping),
+            mapping: result.mapping.to_string(),
+            evaluated: result.stats.evaluated,
+        });
+    }
+
+    // Estimate throughput: raw analytic-model evaluations per second on a
+    // representative layer's best mapping (no cache in the loop).
+    let w = layers[if layers.len() > 1 { 1 } else { 0 }].inference(Precision::simba());
+    let best = scheduler.schedule(&w, &arch).expect("schedules").mapping;
+    let binding = Binding::resolve(&arch, &w).expect("binds");
+    let model = CostModel::new(&w, &arch, &binding);
+    let evals: usize = if quick { 500 } else { 5_000 };
+    let mut scratch = model.scratch();
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..evals {
+        acc += model.evaluate_unchecked_with(&best, &mut scratch).edp;
+    }
+    let est_elapsed = t0.elapsed();
+    let evals_per_sec = evals as f64 / est_elapsed.as_secs_f64();
+    println!("  estimate throughput: {evals_per_sec:.0} evals/s (checksum {acc:.3e})");
+
+    // Speedup against the committed baseline, when present: the median
+    // over layers of (baseline warm median / current warm median). A
+    // speedup is only meaningful if the search still finds the same
+    // mappings, so every baseline fingerprint is checked first.
+    let baseline = std::fs::read_to_string(&baseline_path).ok().map(|t| parse_baseline(&t));
+    let mut fp_mismatches: Vec<&str> = Vec::new();
+    let speedup = baseline.as_ref().and_then(|rows_base| {
+        let mut ratios: Vec<f64> = Vec::new();
+        for r in &rows {
+            let Some(base) = rows_base.iter().find(|b| b.name == r.name) else { continue };
+            if let Some(fp) = base.mapping_fp {
+                if fp != r.mapping_fp {
+                    fp_mismatches.push(&r.name);
+                }
+            }
+            if let Some(base_ms) = base.warm_median_ms {
+                ratios.push(base_ms / r.warm_median_ms);
+            }
+        }
+        if ratios.is_empty() {
+            None
+        } else {
+            Some(median(&mut ratios))
+        }
+    });
+    let mappings_match = fp_mismatches.is_empty();
+    if !mappings_match {
+        println!(
+            "  WARNING: best mappings diverged from the baseline for: {}",
+            fp_mismatches.join(", ")
+        );
+    }
+    if let Some(s) = speedup {
+        let tag = if mappings_match { " (mappings bit-identical)" } else { " (NOT comparable)" };
+        println!("  median speedup vs {baseline_path}: {s:.2}×{tag}");
+    }
+
+    let mut warm: Vec<f64> = rows.iter().map(|r| r.warm_median_ms).collect();
+    let schedule_median_ms = median(&mut warm);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"sunstone-bench-schedule/v1\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    let _ = writeln!(json, "  \"arch\": \"{}\",", esc(arch.name()));
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"schedule_median_ms\": {schedule_median_ms:.3},");
+    let _ = writeln!(json, "  \"layers\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", esc(&r.name));
+        let _ = writeln!(json, "      \"cold_ms\": {:.3},", r.cold_ms);
+        let _ = writeln!(json, "      \"warm_median_ms\": {:.3},", r.warm_median_ms);
+        let _ = writeln!(json, "      \"best_edp\": {:.6e},", r.best_edp);
+        let _ = writeln!(json, "      \"evaluated\": {},", r.evaluated);
+        let _ = writeln!(json, "      \"mapping_fp\": {},", r.mapping_fp);
+        let _ = writeln!(json, "      \"mapping\": \"{}\"", esc(&r.mapping));
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"estimate\": {{");
+    let _ = writeln!(json, "    \"evals\": {evals},");
+    let _ = writeln!(json, "    \"elapsed_ms\": {:.3},", ms(est_elapsed));
+    let _ = writeln!(json, "    \"evals_per_sec\": {evals_per_sec:.1}");
+    let _ = writeln!(json, "  }},");
+    match speedup {
+        Some(s) => {
+            let _ = writeln!(json, "  \"baseline\": \"{}\",", esc(&baseline_path));
+            let _ = writeln!(json, "  \"mappings_match_baseline\": {mappings_match},");
+            let _ = writeln!(json, "  \"speedup_vs_baseline\": {s:.3}");
+        }
+        None => {
+            let _ = writeln!(json, "  \"baseline\": null,");
+            let _ = writeln!(json, "  \"mappings_match_baseline\": null,");
+            let _ = writeln!(json, "  \"speedup_vs_baseline\": null");
+        }
+    }
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("wrote {out_path}");
+}

@@ -1,7 +1,6 @@
 //! Beam maintenance: duplicate elimination and the alpha-beta-style cut.
 
-use std::collections::HashSet;
-
+use sunstone_ir::FxHashSet;
 use sunstone_mapping::{Mapping, MappingLevel};
 
 use super::stats::SearchStats;
@@ -12,14 +11,37 @@ use super::PartialState;
 /// the space — the key drives both candidate dedup and the estimate
 /// cache.
 pub(crate) fn mapping_key(m: &Mapping) -> Vec<u64> {
-    let mut key = Vec::new();
-    for level in m.levels() {
-        key.extend_from_slice(level.factors());
+    let mut key = Vec::with_capacity(key_capacity(m));
+    write_key(m, usize::MAX, &[], &mut key);
+    key
+}
+
+/// Writes into `key` what [`mapping_key`] would return for the mapping
+/// *as completed*: the temporal level at `complete_at` with its factors
+/// multiplied by the remaining `quotas`. Lets the estimate cache probe a
+/// candidate without cloning and completing the whole mapping first.
+pub(crate) fn completed_key(m: &Mapping, complete_at: usize, quotas: &[u64], key: &mut Vec<u64>) {
+    key.clear();
+    key.reserve(key_capacity(m));
+    write_key(m, complete_at, quotas, key);
+}
+
+fn key_capacity(m: &Mapping) -> usize {
+    // Factors per level, plus as many order entries for temporal levels.
+    m.levels().iter().map(|l| l.factors().len() * 2).sum()
+}
+
+fn write_key(m: &Mapping, complete_at: usize, quotas: &[u64], key: &mut Vec<u64>) {
+    for (p, level) in m.levels().iter().enumerate() {
+        if p == complete_at {
+            key.extend(level.factors().iter().zip(quotas).map(|(f, q)| f * q));
+        } else {
+            key.extend_from_slice(level.factors());
+        }
         if let MappingLevel::Temporal(t) = level {
             key.extend(t.order.iter().map(|d| d.index() as u64));
         }
     }
-    key
 }
 
 /// Removes duplicate partial mappings, returning how many were dropped:
@@ -28,7 +50,8 @@ pub(crate) fn mapping_key(m: &Mapping) -> Vec<u64> {
 /// pure waste.
 pub(crate) fn dedup(candidates: &mut Vec<PartialState>) -> usize {
     let before = candidates.len();
-    let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(before);
+    let mut seen: FxHashSet<Vec<u64>> =
+        FxHashSet::with_capacity_and_hasher(before, Default::default());
     candidates.retain(|c| seen.insert(mapping_key(&c.mapping)));
     before - candidates.len()
 }

@@ -9,13 +9,13 @@
 //! [`LevelStats`]: super::stats::LevelStats
 
 use sunstone_arch::LevelId;
-use sunstone_ir::DimSet;
+use sunstone_ir::{DimSet, DimVec};
 use sunstone_mapping::MappingLevel;
 
 use crate::factors::{divide, multiply, quot, sorted_divisors};
 use crate::ordering::OrderingCandidate;
-use crate::tiling::enumerate_tiles;
-use crate::unrolling::{enumerate_unrollings, principle_excluded_dims};
+use crate::tiling::enumerate_tiles_cached;
+use crate::unrolling::{enumerate_unrollings_cached, principle_excluded_dims};
 use crate::IntraOrder;
 
 use super::stats::SearchStats;
@@ -124,12 +124,13 @@ pub(crate) fn top_down_expand(
         for u in &unrolls {
             let q = divide(&state.quotas, u);
             let allowed = tile_allowed_dims(ctx, &ordering);
-            let outcome = enumerate_tiles(
-                &vec![1; ndims],
+            let outcome = enumerate_tiles_cached(
+                &DimVec::ones(ndims),
                 &q,
                 allowed,
                 |tile| ctx.fits_mem(ctx.mems[stage], tile),
                 ctx.config.pruning.tiling_maximal,
+                &ctx.ladders,
             );
             stats.nodes_explored += outcome.explored as u64;
             stats.tiles += outcome.tiles.len() as u64;
@@ -147,11 +148,8 @@ pub(crate) fn top_down_expand(
                 }
             }
             let reserve = ((below as f64) * ctx.config.min_spatial_utilization).ceil() as u128;
-            let mut tiles: Vec<&Vec<u64>> = outcome
-                .tiles
-                .iter()
-                .filter(|t| t.iter().map(|&x| u128::from(x)).product::<u128>() >= reserve)
-                .collect();
+            let mut tiles: Vec<&DimVec> =
+                outcome.tiles.iter().filter(|t| t.volume() >= reserve).collect();
             if tiles.is_empty() {
                 tiles = outcome.tiles.iter().collect();
             }
@@ -234,11 +232,11 @@ fn tiles_for(
     reserve: u64,
     ordering: &Option<OrderingCandidate>,
     stats: &mut SearchStats,
-) -> Vec<Vec<u64>> {
+) -> Vec<DimVec> {
     if stage == ctx.mems.len() - 1 {
         // DRAM: the remainder is placed by `make_child`; the "tile" is the
         // base itself.
-        return vec![base.to_vec()];
+        return vec![DimVec::from_slice(base)];
     }
     let all = DimSet::first_n(ctx.workload.num_dims());
     let allowed = match ordering {
@@ -284,9 +282,9 @@ fn tiles_with_allowed(
     allowed: DimSet,
     unrollable: DimSet,
     stats: &mut SearchStats,
-) -> Vec<Vec<u64>> {
+) -> Vec<DimVec> {
     let mem_pos = ctx.mems[stage];
-    let outcome = enumerate_tiles(
+    let outcome = enumerate_tiles_cached(
         base,
         quotas,
         allowed,
@@ -304,13 +302,14 @@ fn tiles_with_allowed(
                 && ctx.fits_mem(mem_pos, tile)
         },
         ctx.config.pruning.tiling_maximal,
+        &ctx.ladders,
     );
     stats.nodes_explored += outcome.explored as u64;
     let mut tiles = outcome.tiles;
     if tiles.len() > ctx.config.max_tiles_per_enum {
         // Keep the largest tiles: maximal-frontier members with the
         // biggest iteration volume capture the most reuse.
-        tiles.sort_by_key(|t| std::cmp::Reverse(t.iter().product::<u64>()));
+        tiles.sort_by_key(|t| std::cmp::Reverse(t.volume()));
         tiles.truncate(ctx.config.max_tiles_per_enum);
     }
     stats.tiles += tiles.len() as u64;
@@ -361,14 +360,14 @@ fn unrolls_for(
     resident_with_tile: &[u64],
     quotas: &[u64],
     stats: &mut SearchStats,
-) -> Vec<Vec<u64>> {
+) -> Vec<DimVec> {
     let spatial_positions = &ctx.lower_spatial[stage];
     if spatial_positions.is_empty() {
-        return vec![vec![1; ctx.workload.num_dims()]];
+        return vec![DimVec::ones(ctx.workload.num_dims())];
     }
     // The presets have at most one fabric per gap; for generality, nest
     // the enumeration over each fabric sequentially.
-    let mut results: Vec<Vec<u64>> = vec![vec![1; ctx.workload.num_dims()]];
+    let mut results: Vec<DimVec> = vec![DimVec::ones(ctx.workload.num_dims())];
     for &pos in spatial_positions {
         let fabric = ctx.arch.level(LevelId(pos)).as_spatial().expect("spatial level");
         let mut excluded = DimSet::EMPTY;
@@ -391,20 +390,21 @@ fn unrolls_for(
             let fits = |u: &[u64]| {
                 // The unroll inflates the resident tile of the memory
                 // above the fabric (the stage's memory).
-                let combined: Vec<u64> = resident_with_tile
+                let combined: DimVec = resident_with_tile
                     .iter()
                     .zip(prev.iter().zip(u))
                     .map(|(t, (a, b))| t * a * b)
                     .collect();
                 ctx.fits_mem(mem_pos, &combined)
             };
-            let mut outcome = enumerate_unrollings(
+            let mut outcome = enumerate_unrollings_cached(
                 &q,
                 principled,
                 fabric.units,
                 fits,
                 ctx.config.min_spatial_utilization,
                 ctx.config.pruning.unrolling_principle,
+                &ctx.ladders,
             );
             // The high-throughput constraint dominates the Unrolling
             // Principle: when the principled dimensions cannot keep the
@@ -416,13 +416,14 @@ fn unrolls_for(
                 .map(|u| u.iter().product::<u64>() as f64)
                 .fold(0.0f64, f64::max);
             if best < floor && principled != relaxed {
-                let wide = enumerate_unrollings(
+                let wide = enumerate_unrollings_cached(
                     &q,
                     relaxed,
                     fabric.units,
                     fits,
                     ctx.config.min_spatial_utilization,
                     ctx.config.pruning.unrolling_principle,
+                    &ctx.ladders,
                 );
                 outcome.explored += wide.explored;
                 outcome.unrollings.extend(wide.unrollings);
@@ -430,7 +431,7 @@ fn unrolls_for(
             stats.nodes_explored += outcome.explored as u64;
             let mut unrollings = outcome.unrollings;
             if unrollings.len() > ctx.config.max_unrolls_per_enum {
-                unrollings.sort_by_key(|u| std::cmp::Reverse(u.iter().product::<u64>()));
+                unrollings.sort_by_key(|u| std::cmp::Reverse(u.volume()));
                 unrollings.truncate(ctx.config.max_unrolls_per_enum);
             }
             stats.unrollings += unrollings.len() as u64;
@@ -454,12 +455,12 @@ fn top_down_unrolls(
     state: &PartialState,
     stage: usize,
     stats: &mut SearchStats,
-) -> Vec<Vec<u64>> {
+) -> Vec<DimVec> {
     let ndims = ctx.workload.num_dims();
     if gap.is_empty() {
-        return vec![vec![1; ndims]];
+        return vec![DimVec::ones(ndims)];
     }
-    let mut results: Vec<Vec<u64>> = vec![vec![1; ndims]];
+    let mut results: Vec<DimVec> = vec![DimVec::ones(ndims)];
     for &pos in gap {
         let fabric = ctx.arch.level(LevelId(pos)).as_spatial().expect("spatial level");
         let mut excluded = DimSet::EMPTY;
@@ -475,18 +476,19 @@ fn top_down_unrolls(
         let mut next = Vec::new();
         for prev in &results {
             let q = divide(&state.quotas, prev);
-            let outcome = enumerate_unrollings(
+            let outcome = enumerate_unrollings_cached(
                 &q,
                 allowed,
                 fabric.units,
                 |_| true,
                 ctx.config.min_spatial_utilization,
                 ctx.config.pruning.unrolling_principle,
+                &ctx.ladders,
             );
             stats.nodes_explored += outcome.explored as u64;
             let mut unrollings = outcome.unrollings;
             if unrollings.len() > ctx.config.max_unrolls_per_enum {
-                unrollings.sort_by_key(|u| std::cmp::Reverse(u.iter().product::<u64>()));
+                unrollings.sort_by_key(|u| std::cmp::Reverse(u.volume()));
                 unrollings.truncate(ctx.config.max_unrolls_per_enum);
             }
             stats.unrollings += unrollings.len() as u64;
@@ -521,22 +523,24 @@ fn make_child(
     // Distribute the unroll over the gap's fabrics. With a single fabric
     // this is a direct assignment; with several, factors go to the
     // innermost fabric first, capped by its unit count.
-    let mut remaining_unroll = unroll.to_vec();
+    let mut remaining_unroll = DimVec::from_slice(unroll);
     for &pos in &ctx.lower_spatial[stage] {
         let fabric = ctx.arch.level(LevelId(pos)).as_spatial().expect("spatial level");
-        let mut assigned = vec![1u64; ndims];
+        let mut assigned = DimVec::ones(ndims);
         let mut used = 1u64;
         for d in 0..ndims {
             let mut f = remaining_unroll[d];
             while f > 1 && used * f > fabric.units {
-                // Peel the largest divisor that still fits.
-                let mut g = 1;
-                for cand in sorted_divisors(f) {
-                    if used * cand <= fabric.units {
-                        g = cand;
-                    }
-                }
-                f = g;
+                // Peel the largest divisor that still fits. Unroll factors
+                // divide the dimension extent, so the precomputed ladder
+                // applies; fall back to trial division off the table.
+                let peel = |divs: &[u64]| {
+                    divs.iter().copied().filter(|&c| used * c <= fabric.units).max().unwrap_or(1)
+                };
+                f = match ctx.ladders.of(d, f) {
+                    Some(divs) => peel(divs),
+                    None => peel(&sorted_divisors(f)),
+                };
                 if f == 1 {
                     break;
                 }
@@ -546,7 +550,7 @@ fn make_child(
             remaining_unroll[d] /= f;
         }
         if let MappingLevel::Spatial(s) = &mut mapping.levels_mut()[pos] {
-            s.factors = assigned;
+            s.factors = assigned.to_vec();
         }
     }
     // Temporal factors at this memory: tile growth over the base, divided
@@ -595,7 +599,7 @@ fn make_top_down_child(
     }
     PartialState {
         mapping,
-        quotas: tile.to_vec(),
+        quotas: DimVec::from_slice(tile),
         ordering_here: Some(ordering.clone()),
         estimate: f64::INFINITY,
     }

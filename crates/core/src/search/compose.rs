@@ -100,8 +100,8 @@ impl LevelPass for TopDownPass {
         let ndims = ctx.workload.num_dims();
         for s in beam {
             if let MappingLevel::Temporal(t) = &mut s.mapping.levels_mut()[m0] {
-                t.factors = s.quotas.clone();
-                s.quotas = vec![1; ndims];
+                t.factors = s.quotas.to_vec();
+                s.quotas = sunstone_ir::DimVec::ones(ndims);
             }
         }
     }

@@ -2,14 +2,14 @@
 //! session-lifetime memoized estimate cache, and parallel cost-model
 //! evaluation.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use sunstone_ir::FxHashMap;
 use sunstone_mapping::{Mapping, MappingLevel};
 use sunstone_model::CostReport;
 
-use super::beam::mapping_key;
+use super::beam::{completed_key, mapping_key};
 use super::stats::SearchStats;
 use super::{PartialState, SearchContext};
 use crate::Direction;
@@ -57,7 +57,10 @@ impl CacheStats {
 /// the model.
 #[derive(Debug, Default)]
 pub(crate) struct SessionCache {
-    map: Mutex<HashMap<(u64, Vec<u64>), CostReport>>,
+    /// Outer key: context fingerprint; inner key: completed-mapping key.
+    /// The two-level shape lets the hot path probe with a borrowed
+    /// `&[u64]` scratch key instead of allocating a tuple per lookup.
+    map: Mutex<FxHashMap<u64, FxHashMap<Vec<u64>, CostReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -71,7 +74,7 @@ impl SessionCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock").len(),
+            entries: self.map.lock().expect("cache lock").values().map(FxHashMap::len).sum(),
         }
     }
 
@@ -100,8 +103,14 @@ impl<'s> EstimateCache<'s> {
         if !self.enabled {
             return None;
         }
-        let found =
-            self.session.map.lock().expect("cache lock").get(&(self.ctx_fp, key.to_vec())).cloned();
+        let found = self
+            .session
+            .map
+            .lock()
+            .expect("cache lock")
+            .get(&self.ctx_fp)
+            .and_then(|per_ctx| per_ctx.get(key))
+            .cloned();
         match &found {
             Some(_) => self.session.hits.fetch_add(1, Ordering::Relaxed),
             None => self.session.misses.fetch_add(1, Ordering::Relaxed),
@@ -111,8 +120,22 @@ impl<'s> EstimateCache<'s> {
 
     fn insert(&self, key: Vec<u64>, report: CostReport) {
         if self.enabled {
-            self.session.map.lock().expect("cache lock").insert((self.ctx_fp, key), report);
+            self.session
+                .map
+                .lock()
+                .expect("cache lock")
+                .entry(self.ctx_fp)
+                .or_default()
+                .insert(key, report);
         }
+    }
+}
+
+/// The memory position where [`complete`] places a state's remainder.
+fn completion_pos(ctx: &SearchContext<'_>, direction: Direction) -> usize {
+    match direction {
+        Direction::BottomUp => *ctx.mems.last().expect("at least one memory"),
+        Direction::TopDown => ctx.mems[0],
     }
 }
 
@@ -125,10 +148,7 @@ pub(crate) fn complete(
     direction: Direction,
 ) -> Mapping {
     let mut m = state.mapping.clone();
-    let pos = match direction {
-        Direction::BottomUp => *ctx.mems.last().expect("at least one memory"),
-        Direction::TopDown => ctx.mems[0],
-    };
+    let pos = completion_pos(ctx, direction);
     if let MappingLevel::Temporal(t) = &mut m.levels_mut()[pos] {
         for (f, q) in t.factors.iter_mut().zip(&state.quotas) {
             *f *= q;
@@ -139,10 +159,13 @@ pub(crate) fn complete(
 
 /// Completes and estimates every candidate.
 ///
-/// The cache is probed on the calling thread; only the misses go through
+/// The cache is probed on the calling thread with a reused scratch key
+/// computed straight from the partial state — no clone-and-complete per
+/// probe. Only the misses materialize a completed mapping and go through
 /// the model, chunked over the configured worker threads via
-/// `std::thread::scope`. Results are written back by candidate index, so
-/// the outcome is identical for any thread count.
+/// `std::thread::scope` (each worker reuses one evaluation scratch).
+/// Results are written back by candidate index, so the outcome is
+/// identical for any thread count.
 pub(crate) fn estimate_all(
     ctx: &SearchContext<'_>,
     direction: Direction,
@@ -152,19 +175,34 @@ pub(crate) fn estimate_all(
 ) {
     stats.evaluated += candidates.len() as u64;
     let objective = ctx.config.objective;
+    let pos = completion_pos(ctx, direction);
+    let cache = &ctx.cache;
     let mut hits = 0u64;
-    // (candidate index, cache key, completed mapping) per cache miss.
-    let mut misses: Vec<(usize, Vec<u64>, Mapping)> = Vec::new();
-    for (i, state) in candidates.iter_mut().enumerate() {
-        let completed = complete(ctx, state, direction);
-        let key = mapping_key(&completed);
-        if let Some(report) = ctx.cache.lookup(&key) {
-            state.estimate = objective.of(&report);
-            hits += 1;
-        } else {
-            misses.push((i, key, completed));
+    // (candidate index, cache key) per cache miss.
+    let mut misses: Vec<(usize, Vec<u64>)> = Vec::new();
+    let mut key = Vec::new();
+    {
+        // One lock acquisition covers every probe of the round, and hits
+        // read the memoized report in place — no per-probe clone.
+        let guard = cache.enabled.then(|| cache.session.map.lock().expect("cache lock"));
+        let per_ctx = guard.as_ref().and_then(|g| g.get(&cache.ctx_fp));
+        for (i, state) in candidates.iter_mut().enumerate() {
+            completed_key(&state.mapping, pos, &state.quotas, &mut key);
+            match per_ctx.and_then(|m| m.get(key.as_slice())) {
+                Some(report) => {
+                    state.estimate = objective.of(report);
+                    hits += 1;
+                }
+                None => misses.push((i, std::mem::take(&mut key))),
+            }
         }
     }
+    if cache.enabled {
+        cache.session.hits.fetch_add(hits, Ordering::Relaxed);
+        cache.session.misses.fetch_add(misses.len() as u64, Ordering::Relaxed);
+    }
+    let completed: Vec<Mapping> =
+        misses.iter().map(|&(i, _)| complete(ctx, &candidates[i], direction)).collect();
 
     let mut reports: Vec<Option<CostReport>> = vec![None; misses.len()];
     if !misses.is_empty() {
@@ -172,10 +210,11 @@ pub(crate) fn estimate_all(
         let chunk = misses.len().div_ceil(threads.max(1)).max(1);
         let model = &ctx.model;
         std::thread::scope(|scope| {
-            for (m_part, r_part) in misses.chunks(chunk).zip(reports.chunks_mut(chunk)) {
+            for (m_part, r_part) in completed.chunks(chunk).zip(reports.chunks_mut(chunk)) {
                 scope.spawn(move || {
-                    for ((_, _, mapping), slot) in m_part.iter().zip(r_part) {
-                        *slot = Some(model.evaluate_unchecked(mapping));
+                    let mut scratch = model.scratch();
+                    for (mapping, slot) in m_part.iter().zip(r_part) {
+                        *slot = Some(model.evaluate_unchecked_with(mapping, &mut scratch));
                     }
                 });
             }
@@ -183,10 +222,17 @@ pub(crate) fn estimate_all(
     }
 
     let miss_count = misses.len() as u64;
-    for ((i, key, _), report) in misses.into_iter().zip(reports) {
-        let report = report.expect("every miss is evaluated");
-        candidates[i].estimate = objective.of(&report);
-        ctx.cache.insert(key, report);
+    {
+        // Publish every new report under a single lock acquisition.
+        let mut guard = cache.enabled.then(|| cache.session.map.lock().expect("cache lock"));
+        let mut per_ctx = guard.as_mut().map(|g| g.entry(cache.ctx_fp).or_default());
+        for ((i, key), report) in misses.into_iter().zip(reports) {
+            let report = report.expect("every miss is evaluated");
+            candidates[i].estimate = objective.of(&report);
+            if let Some(m) = per_ctx.as_deref_mut() {
+                m.insert(key, report);
+            }
+        }
     }
 
     let level = stats.level_mut(stage);

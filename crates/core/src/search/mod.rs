@@ -32,11 +32,12 @@ pub(crate) mod estimate;
 
 use std::time::Instant;
 
-use sunstone_arch::{ArchSpec, Binding, Level, LevelId};
-use sunstone_ir::Workload;
+use sunstone_arch::{ArchSpec, Binding, Capacity, Level, LevelId};
+use sunstone_ir::{DimVec, TensorDesc, Workload};
 use sunstone_mapping::{Mapping, MappingLevel};
 use sunstone_model::CostModel;
 
+use crate::factors::DivisorLadders;
 use crate::ordering::{OrderingCandidate, OrderingTrie};
 use crate::progress::{CancelToken, ProgressSink};
 use crate::SunstoneConfig;
@@ -72,10 +73,13 @@ impl CallControls<'_> {
 /// Everything the pipeline stages share for one scheduling run: the
 /// problem, the derived level structure, the enumeration trie, the cost
 /// model, and the memoized estimate cache.
+/// The capacity-check plan of one memory: each partition's capacity and
+/// the tensors bound to it with their per-word byte widths.
+type FitPlan<'a> = Vec<(Capacity, Vec<(&'a TensorDesc, u64)>)>;
+
 pub(crate) struct SearchContext<'a> {
     pub(crate) workload: &'a Workload,
     pub(crate) arch: &'a ArchSpec,
-    pub(crate) binding: &'a Binding,
     pub(crate) config: &'a SunstoneConfig,
     pub(crate) model: CostModel<'a>,
     pub(crate) trie: OrderingTrie<'a>,
@@ -86,6 +90,16 @@ pub(crate) struct SearchContext<'a> {
     pub(crate) lower_spatial: Vec<Vec<usize>>,
     /// This search's view of the session estimate cache.
     pub(crate) cache: EstimateCache<'a>,
+    /// Precomputed sorted divisor ladders for every quota the search can
+    /// produce (quotas only shrink by division, so they stay divisors of
+    /// the dimension extents).
+    pub(crate) ladders: DivisorLadders,
+    /// Per architecture position: the capacity-check plan of the memory
+    /// at that position (`None` for spatial levels). Each partition lists
+    /// the tensors bound to it with their per-word byte widths, so a
+    /// capacity probe is pure arithmetic — no binding lookups, no
+    /// allocation.
+    mem_fits: Vec<Option<FitPlan<'a>>>,
 }
 
 impl<'a> SearchContext<'a> {
@@ -106,32 +120,43 @@ impl<'a> SearchContext<'a> {
             lower_spatial.push(gap);
             prev = m as i64;
         }
+        let mem_fits = (0..arch.num_levels())
+            .map(|pos| {
+                let mem = arch.level(LevelId(pos)).as_memory()?;
+                let mut parts: FitPlan<'a> =
+                    mem.partitions.iter().map(|p| (p.capacity, Vec::new())).collect();
+                for t in workload.tensor_ids() {
+                    if let Some(pid) = binding.partition_of(LevelId(pos), t) {
+                        let tensor = workload.tensor(t);
+                        parts[pid.0].1.push((tensor, u64::from(tensor.bits()).div_ceil(8)));
+                    }
+                }
+                Some(parts)
+            })
+            .collect();
         SearchContext {
             workload,
             arch,
-            binding,
             config,
             model: CostModel::new(workload, arch, binding),
             trie: OrderingTrie::new(workload),
             mems,
             lower_spatial,
             cache,
+            ladders: DivisorLadders::new(&workload.dim_sizes()),
+            mem_fits,
         }
     }
 
     /// Does the resident tile fit every partition of the memory at `pos`?
     pub(crate) fn fits_mem(&self, pos: usize, tile: &[u64]) -> bool {
-        let Some(mem) = self.arch.level(LevelId(pos)).as_memory() else {
+        let Some(parts) = &self.mem_fits[pos] else {
             return true;
         };
-        let mut needed = vec![0u64; mem.partitions.len()];
-        for t in self.workload.tensor_ids() {
-            if let Some(pid) = self.binding.partition_of(LevelId(pos), t) {
-                let tensor = self.workload.tensor(t);
-                needed[pid.0] += tensor.footprint(tile) * u64::from(tensor.bits()).div_ceil(8);
-            }
-        }
-        mem.partitions.iter().zip(&needed).all(|(p, &b)| p.capacity.fits(b))
+        parts.iter().all(|(capacity, tensors)| {
+            let needed: u64 = tensors.iter().map(|(t, bytes)| t.footprint(tile) * bytes).sum();
+            capacity.fits(needed)
+        })
     }
 }
 
@@ -140,7 +165,7 @@ impl<'a> SearchContext<'a> {
 pub(crate) struct PartialState {
     pub(crate) mapping: Mapping,
     /// Remaining per-dimension quotient.
-    pub(crate) quotas: Vec<u64>,
+    pub(crate) quotas: DimVec,
     /// Ordering chosen for the *current frontier* memory (bottom-up: set
     /// by the previous stage; governs this stage's unrolling principle).
     pub(crate) ordering_here: Option<OrderingCandidate>,
@@ -154,7 +179,7 @@ impl PartialState {
     pub(crate) fn root(ctx: &SearchContext<'_>) -> Self {
         PartialState {
             mapping: streaming_base(ctx.workload, ctx.arch),
-            quotas: ctx.workload.dim_sizes(),
+            quotas: DimVec::from(ctx.workload.dim_sizes()),
             ordering_here: None,
             estimate: f64::INFINITY,
         }

@@ -7,19 +7,19 @@
 //! child offers strictly more reuse. What remains is the *maximal
 //! frontier* — tiles that cannot grow in any allowed dimension.
 
-use std::collections::HashSet;
+use std::borrow::Cow;
 
-use sunstone_ir::DimSet;
+use sunstone_ir::{DimSet, DimVec, FxHashSet};
 
-use crate::factors::next_divisor;
 pub use crate::factors::sorted_divisors;
+use crate::factors::{next_divisor, DivisorLadders};
 
 /// Result of a tiling-tree enumeration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TilingOutcome {
     /// The surviving resident tiles (per-dimension extents, including the
     /// base).
-    pub tiles: Vec<Vec<u64>>,
+    pub tiles: Vec<DimVec>,
     /// Number of tree nodes explored (for search-space statistics).
     pub explored: usize,
 }
@@ -46,23 +46,48 @@ pub fn enumerate_tiles(
     fits: impl Fn(&[u64]) -> bool,
     maximal_only: bool,
 ) -> TilingOutcome {
+    let divisors: Vec<Cow<'_, [u64]>> =
+        quota.iter().map(|&q| Cow::Owned(sorted_divisors(q))).collect();
+    enumerate_with_divisors(base, quota, allowed, fits, maximal_only, &divisors)
+}
+
+/// As [`enumerate_tiles`], with the per-dimension divisor ladders served
+/// from a precomputed [`DivisorLadders`] table instead of trial division
+/// per call — the search pipeline's hot variant.
+pub fn enumerate_tiles_cached(
+    base: &[u64],
+    quota: &[u64],
+    allowed: DimSet,
+    fits: impl Fn(&[u64]) -> bool,
+    maximal_only: bool,
+    ladders: &DivisorLadders,
+) -> TilingOutcome {
+    enumerate_with_divisors(base, quota, allowed, fits, maximal_only, &ladders.ladder_set(quota))
+}
+
+fn enumerate_with_divisors(
+    base: &[u64],
+    quota: &[u64],
+    allowed: DimSet,
+    fits: impl Fn(&[u64]) -> bool,
+    maximal_only: bool,
+    divisors: &[Cow<'_, [u64]>],
+) -> TilingOutcome {
     let n = base.len();
     debug_assert_eq!(quota.len(), n);
     if !fits(base) {
         return TilingOutcome { tiles: Vec::new(), explored: 1 };
     }
-    // Sorted divisors of each dimension's quota.
-    let divisors: Vec<Vec<u64>> = quota.iter().map(|&q| sorted_divisors(q)).collect();
 
-    let mut seen: HashSet<Vec<u64>> = HashSet::new();
-    let mut stack: Vec<Vec<u64>> = Vec::new();
-    let root = vec![1u64; n];
+    let mut seen: FxHashSet<DimVec> = FxHashSet::default();
+    let mut stack: Vec<DimVec> = Vec::new();
+    let root = DimVec::ones(n);
     seen.insert(root.clone());
     stack.push(root);
 
     let mut tiles = Vec::new();
     let mut explored = 0usize;
-    let mut tile_buf = vec![0u64; n];
+    let mut tile_buf = DimVec::splat(0, n);
     while let Some(factors) = stack.pop() {
         explored += 1;
         let mut any_child_fits = false;
@@ -82,7 +107,7 @@ pub fn enumerate_tiles(
             }
         }
         if !any_child_fits || !maximal_only {
-            let tile: Vec<u64> = base.iter().zip(&factors).map(|(b, f)| b * f).collect();
+            let tile: DimVec = base.iter().zip(&factors).map(|(b, f)| b * f).collect();
             tiles.push(tile);
         }
     }
@@ -118,7 +143,7 @@ mod tests {
         // Maximal tiles: (K=1,P=2) → 2+3+1=6 fits, growing to (1,7)=17 or
         // (2,2)=10 overflows; (K=2,P=1) → 2+3+2=7 fits, (4,1) or (2,2)
         // overflow.
-        let mut tiles = out.tiles.clone();
+        let mut tiles: Vec<Vec<u64>> = out.tiles.iter().map(DimVec::to_vec).collect();
         tiles.sort();
         assert_eq!(tiles, vec![vec![1, 1, 2, 1], vec![2, 1, 1, 1]]);
         assert!(out.explored >= 3, "root plus both candidates explored");
@@ -139,7 +164,7 @@ mod tests {
     fn growth_steps_follow_divisors() {
         // Quota 12 → divisors 1,2,3,4,6,12; capacity allows up to 6.
         let out = enumerate_tiles(&[1], &[12], dims(&[0]), |t| t[0] <= 6, true);
-        assert_eq!(out.tiles, vec![vec![6]]);
+        assert_eq!(out.tiles, vec![DimVec::from_slice(&[6])]);
     }
 
     #[test]
@@ -151,20 +176,20 @@ mod tests {
     #[test]
     fn no_allowed_dims_returns_base() {
         let out = enumerate_tiles(&[2, 3], &[4, 4], DimSet::EMPTY, |_| true, true);
-        assert_eq!(out.tiles, vec![vec![2, 3]]);
+        assert_eq!(out.tiles, vec![DimVec::from_slice(&[2, 3])]);
     }
 
     #[test]
     fn unbounded_capacity_grows_to_quota() {
         let out = enumerate_tiles(&[1, 1], &[6, 10], dims(&[0, 1]), |_| true, true);
-        assert_eq!(out.tiles, vec![vec![6, 10]]);
+        assert_eq!(out.tiles, vec![DimVec::from_slice(&[6, 10])]);
     }
 
     #[test]
     fn base_multiplies_into_result() {
         let out = enumerate_tiles(&[2], &[4], dims(&[0]), |t| t[0] <= 8, true);
         // Factors over quota 4: 1,2,4 → tiles 2,4,8; maximal = 8.
-        assert_eq!(out.tiles, vec![vec![8]]);
+        assert_eq!(out.tiles, vec![DimVec::from_slice(&[8])]);
     }
 
     #[test]
@@ -192,5 +217,21 @@ mod tests {
             maximal.tiles.len(),
             all.tiles.len()
         );
+    }
+
+    #[test]
+    fn cached_ladders_match_uncached_enumeration() {
+        let extents = [128u64, 128, 28, 28, 3, 3, 1];
+        let ladders = crate::factors::DivisorLadders::new(&extents);
+        let base = vec![1u64; 7];
+        // A mid-search quota: every entry divides its extent.
+        let quota = vec![64, 32, 14, 28, 3, 1, 1];
+        let fits = |t: &[u64]| t.iter().product::<u64>() <= 4096;
+        let grow = dims(&[0, 2, 3]);
+        for maximal in [true, false] {
+            let plain = enumerate_tiles(&base, &quota, grow, fits, maximal);
+            let cached = enumerate_tiles_cached(&base, &quota, grow, fits, maximal, &ladders);
+            assert_eq!(plain, cached);
+        }
     }
 }

@@ -7,17 +7,18 @@
 //! reuse of the *other* tensors. The remaining dimensions are unrolled to
 //! maximal, high-utilization combinations.
 
-use std::collections::HashSet;
+use std::borrow::Cow;
 
-use sunstone_ir::DimSet;
+use sunstone_ir::{DimSet, DimVec, FxHashSet};
 
+use crate::factors::DivisorLadders;
 use crate::tiling::sorted_divisors;
 
 /// Result of an unrolling enumeration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnrollingOutcome {
     /// Surviving unroll-factor vectors (one entry per workload dimension).
-    pub unrollings: Vec<Vec<u64>>,
+    pub unrollings: Vec<DimVec>,
     /// Number of combinations explored (for search-space statistics).
     pub explored: usize,
 }
@@ -43,18 +44,56 @@ pub fn enumerate_unrollings(
     min_utilization: f64,
     maximal_only: bool,
 ) -> UnrollingOutcome {
+    let divisors: Vec<Cow<'_, [u64]>> =
+        quota.iter().map(|&q| Cow::Owned(sorted_divisors(q))).collect();
+    enumerate_with_divisors(quota, allowed, units, fits, min_utilization, maximal_only, &divisors)
+}
+
+/// As [`enumerate_unrollings`], with divisor ladders served from a
+/// precomputed [`DivisorLadders`] table — the search pipeline's hot
+/// variant.
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate_unrollings_cached(
+    quota: &[u64],
+    allowed: DimSet,
+    units: u64,
+    fits: impl Fn(&[u64]) -> bool,
+    min_utilization: f64,
+    maximal_only: bool,
+    ladders: &DivisorLadders,
+) -> UnrollingOutcome {
+    enumerate_with_divisors(
+        quota,
+        allowed,
+        units,
+        fits,
+        min_utilization,
+        maximal_only,
+        &ladders.ladder_set(quota),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_with_divisors(
+    quota: &[u64],
+    allowed: DimSet,
+    units: u64,
+    fits: impl Fn(&[u64]) -> bool,
+    min_utilization: f64,
+    maximal_only: bool,
+    divisors: &[Cow<'_, [u64]>],
+) -> UnrollingOutcome {
     let n = quota.len();
-    let divisors: Vec<Vec<u64>> = quota.iter().map(|&q| sorted_divisors(q)).collect();
-    let ones = vec![1u64; n];
+    let ones = DimVec::ones(n);
     if !fits(&ones) {
         return UnrollingOutcome { unrollings: Vec::new(), explored: 1 };
     }
 
-    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    let mut seen: FxHashSet<DimVec> = FxHashSet::default();
     let mut stack = vec![ones.clone()];
     seen.insert(ones);
     let mut explored = 0usize;
-    let mut frontier: Vec<Vec<u64>> = Vec::new();
+    let mut frontier: Vec<DimVec> = Vec::new();
     while let Some(f) = stack.pop() {
         explored += 1;
         let used: u64 = f.iter().product();
@@ -81,10 +120,10 @@ pub fn enumerate_unrollings(
 
     // High-throughput filter: keep candidates at or above the utilization
     // floor; if none qualify, keep the best achieved.
-    let util = |f: &Vec<u64>| f.iter().product::<u64>() as f64 / units as f64;
+    let util = |f: &DimVec| f.iter().product::<u64>() as f64 / units as f64;
     let best = frontier.iter().map(&util).fold(0.0f64, f64::max);
     let floor = if best >= min_utilization { min_utilization } else { best };
-    let unrollings: Vec<Vec<u64>> = frontier.into_iter().filter(|f| util(f) >= floor).collect();
+    let unrollings: Vec<DimVec> = frontier.into_iter().filter(|f| util(f) >= floor).collect();
     UnrollingOutcome { unrollings, explored }
 }
 
@@ -138,7 +177,7 @@ mod tests {
     #[test]
     fn keeps_best_when_nothing_meets_the_floor() {
         let out = enumerate_unrollings(&[2, 1, 1], dims(&[0]), 16, |_| true, 0.5, true);
-        assert_eq!(out.unrollings, vec![vec![2, 1, 1]]);
+        assert_eq!(out.unrollings, vec![DimVec::from_slice(&[2, 1, 1])]);
     }
 
     #[test]
@@ -154,7 +193,7 @@ mod tests {
     #[test]
     fn empty_allowed_set_yields_identity() {
         let out = enumerate_unrollings(&[8, 8], DimSet::EMPTY, 64, |_| true, 0.5, true);
-        assert_eq!(out.unrollings, vec![vec![1, 1]]);
+        assert_eq!(out.unrollings, vec![DimVec::from_slice(&[1, 1])]);
     }
 
     #[test]
@@ -163,7 +202,27 @@ mod tests {
         // 1, 2, 4, 8 all kept.
         assert_eq!(all.unrollings.len(), 4);
         let maximal = enumerate_unrollings(&[8], dims(&[0]), 8, |_| true, 0.0, true);
-        assert_eq!(maximal.unrollings, vec![vec![8]]);
+        assert_eq!(maximal.unrollings, vec![DimVec::from_slice(&[8])]);
+    }
+
+    #[test]
+    fn cached_ladders_match_uncached_enumeration() {
+        let extents = [64u64, 16, 28];
+        let ladders = DivisorLadders::new(&extents);
+        let quota = [32u64, 16, 14];
+        for maximal in [true, false] {
+            let plain = enumerate_unrollings(&quota, dims(&[0, 1, 2]), 16, |_| true, 0.5, maximal);
+            let cached = enumerate_unrollings_cached(
+                &quota,
+                dims(&[0, 1, 2]),
+                16,
+                |_| true,
+                0.5,
+                maximal,
+                &ladders,
+            );
+            assert_eq!(plain, cached);
+        }
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! An inline per-dimension factor vector.
+//!
+//! The scheduler's hot path is elementwise arithmetic over per-dimension
+//! factor vectors (tiles, quotas, unroll assignments). Real tensor-algebra
+//! workloads have at most seven dimensions (2-D convolution), so a
+//! heap-allocated `Vec<u64>` per operation is pure overhead: [`DimVec`]
+//! stores up to [`DimVec::INLINE`] entries inline and only spills to the
+//! heap for wider (synthetic) workloads.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// A per-dimension `u64` vector with inline storage for up to
+/// [`DimVec::INLINE`] dimensions.
+///
+/// Dereferences to `[u64]`, so every slice operation works unchanged;
+/// construction from iterators, slices, and `Vec<u64>` mirrors `Vec`.
+/// Equality and hashing are element-wise and agree with `[u64]`, so a
+/// `DimVec` can key the same hash maps a `Vec<u64>` would.
+#[derive(Clone)]
+pub struct DimVec(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline { buf: [u64; DimVec::INLINE], len: u8 },
+    Heap(Vec<u64>),
+}
+
+impl DimVec {
+    /// Inline capacity: one more than the widest workload in the paper
+    /// (2-D convolution uses seven dimensions).
+    pub const INLINE: usize = 8;
+
+    /// An empty vector.
+    pub fn new() -> Self {
+        DimVec(Repr::Inline { buf: [0; Self::INLINE], len: 0 })
+    }
+
+    /// `len` copies of `value`.
+    pub fn splat(value: u64, len: usize) -> Self {
+        if len <= Self::INLINE {
+            let mut buf = [0; Self::INLINE];
+            buf[..len].fill(value);
+            DimVec(Repr::Inline { buf, len: len as u8 })
+        } else {
+            DimVec(Repr::Heap(vec![value; len]))
+        }
+    }
+
+    /// `len` ones — the identity factor vector.
+    pub fn ones(len: usize) -> Self {
+        Self::splat(1, len)
+    }
+
+    /// Copies a slice.
+    pub fn from_slice(s: &[u64]) -> Self {
+        if s.len() <= Self::INLINE {
+            let mut buf = [0; Self::INLINE];
+            buf[..s.len()].copy_from_slice(s);
+            DimVec(Repr::Inline { buf, len: s.len() as u8 })
+        } else {
+            DimVec(Repr::Heap(s.to_vec()))
+        }
+    }
+
+    /// Appends one entry, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, value: u64) {
+        match &mut self.0 {
+            Repr::Inline { buf, len } => {
+                if (*len as usize) < Self::INLINE {
+                    buf[*len as usize] = value;
+                    *len += 1;
+                } else {
+                    let mut v = buf.to_vec();
+                    v.push(value);
+                    self.0 = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// The entries as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        match &self.0 {
+            Repr::Inline { buf, len } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// The entries as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.0 {
+            Repr::Inline { buf, len } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Copies into an owned `Vec<u64>`.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.as_slice().to_vec()
+    }
+
+    /// Product of all entries widened to `u128`, so large shapes cannot
+    /// overflow (a 7-dim workload with 2^16 extents already exceeds
+    /// `u64`).
+    pub fn volume(&self) -> u128 {
+        self.as_slice().iter().map(|&x| u128::from(x)).product()
+    }
+}
+
+impl Default for DimVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for DimVec {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for DimVec {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        self.as_mut_slice()
+    }
+}
+
+impl Borrow<[u64]> for DimVec {
+    fn borrow(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u64]> for DimVec {
+    fn from(s: &[u64]) -> Self {
+        Self::from_slice(s)
+    }
+}
+
+impl From<Vec<u64>> for DimVec {
+    fn from(v: Vec<u64>) -> Self {
+        if v.len() <= Self::INLINE {
+            Self::from_slice(&v)
+        } else {
+            DimVec(Repr::Heap(v))
+        }
+    }
+}
+
+impl From<DimVec> for Vec<u64> {
+    fn from(d: DimVec) -> Self {
+        match d.0 {
+            Repr::Inline { buf, len } => buf[..len as usize].to_vec(),
+            Repr::Heap(v) => v,
+        }
+    }
+}
+
+impl FromIterator<u64> for DimVec {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut out = DimVec::new();
+        for x in iter {
+            out.push(x);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a DimVec {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for DimVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for DimVec {}
+
+impl PartialEq<[u64]> for DimVec {
+    fn eq(&self, other: &[u64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u64]> for DimVec {
+    fn eq(&self, other: &&[u64]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u64>> for DimVec {
+    fn eq(&self, other: &Vec<u64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<DimVec> for Vec<u64> {
+    fn eq(&self, other: &DimVec) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u64; N]> for DimVec {
+    fn eq(&self, other: &[u64; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+/// Hashes like `[u64]`, so `HashSet<DimVec>` and slice lookups through
+/// [`Borrow`] agree.
+impl Hash for DimVec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for DimVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn inline_roundtrips() {
+        let d: DimVec = [3u64, 1, 4, 1, 5].as_slice().into();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[2], 4);
+        assert_eq!(d.to_vec(), vec![3, 1, 4, 1, 5]);
+        assert_eq!(d, [3u64, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn push_spills_to_heap_past_inline_capacity() {
+        let mut d = DimVec::new();
+        for i in 0..12u64 {
+            d.push(i);
+        }
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.as_slice(), (0..12).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn splat_and_ones() {
+        assert_eq!(DimVec::splat(7, 3), [7u64, 7, 7]);
+        assert_eq!(DimVec::ones(2), [1u64, 1]);
+        assert_eq!(DimVec::ones(20).len(), 20);
+        assert!(DimVec::ones(20).iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn volume_widens_to_u128() {
+        let d = DimVec::splat(1 << 32, 3);
+        assert_eq!(d.volume(), 1u128 << 96);
+        assert_eq!(DimVec::new().volume(), 1);
+    }
+
+    #[test]
+    fn hashes_like_slices() {
+        let mut set: HashSet<DimVec> = HashSet::new();
+        set.insert([2u64, 3].as_slice().into());
+        // Borrow<[u64]> lookup without allocating.
+        assert!(set.contains([2u64, 3].as_slice()));
+        assert!(!set.contains([3u64, 2].as_slice()));
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let mut d = DimVec::ones(4);
+        d[1] *= 6;
+        for x in d.iter_mut() {
+            *x += 1;
+        }
+        assert_eq!(d, [2u64, 7, 2, 2]);
+    }
+
+    #[test]
+    fn collects_from_iterators() {
+        let d: DimVec = (1..=4u64).collect();
+        assert_eq!(d, [1u64, 2, 3, 4]);
+        let wide: DimVec = (0..30u64).collect();
+        assert_eq!(wide.len(), 30);
+    }
+}

@@ -1,0 +1,121 @@
+//! A fast, deterministic hasher for the scheduler's internal tables.
+//!
+//! The search's inner loops key hash sets and maps by small integer
+//! vectors (tiles, unrollings, mapping keys). The standard library's
+//! default SipHash is DoS-resistant but measurably slow for these keys;
+//! none of the scheduler's tables are exposed to untrusted input, and
+//! none are iterated in an order-sensitive way, so the classic
+//! Fx multiply-xor hash (as used by rustc) is the right trade.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc `FxHasher` algorithm: rotate, xor, multiply per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// 2^64 / φ, the usual Fibonacci-hashing multiplier.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&vec![1u64, 2, 3]), hash_of(&vec![1u64, 2, 3]));
+        assert_ne!(hash_of(&vec![1u64, 2, 3]), hash_of(&vec![1u64, 3, 2]));
+    }
+
+    #[test]
+    fn byte_writes_agree_with_padding() {
+        // 5 trailing bytes are zero-padded into one word, not dropped.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 0, 0, 0]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 4, 6]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
+        m.insert(vec![4, 2], 7);
+        assert_eq!(m.get([4u64, 2].as_slice()), Some(&7));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(13));
+        assert!(!s.insert(13));
+    }
+}

@@ -41,7 +41,9 @@
 //! ```
 
 mod dim;
+mod dimvec;
 mod expr;
+mod fxhash;
 mod padding;
 mod parse;
 mod reuse;
@@ -49,7 +51,9 @@ mod tensor;
 mod workload;
 
 pub use dim::{Dim, DimId, DimSet, DimSetIter};
+pub use dimvec::DimVec;
 pub use expr::{IndexExpr, Term};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use padding::next_smooth;
 pub use parse::{parse_einsum, ParseError};
 pub use reuse::{ReuseInfo, TensorReuse};

@@ -51,10 +51,24 @@ pub struct FlatNest {
 }
 
 impl FlatNest {
+    /// An empty nest, ready for [`refill`](Self::refill). Lets evaluation
+    /// loops keep one nest allocation alive across many mappings.
+    pub fn empty() -> Self {
+        FlatNest { loops: Vec::new() }
+    }
+
     /// Flattens a mapping. The mapping is assumed structurally valid
     /// (levels mirror the architecture).
-    pub fn of(mapping: &Mapping, _workload: &Workload) -> Self {
-        let mut loops = Vec::new();
+    pub fn of(mapping: &Mapping, workload: &Workload) -> Self {
+        let mut nest = FlatNest::empty();
+        nest.refill(mapping, workload);
+        nest
+    }
+
+    /// Re-flattens `mapping` into this nest, reusing the loop buffer.
+    pub fn refill(&mut self, mapping: &Mapping, _workload: &Workload) {
+        let loops = &mut self.loops;
+        loops.clear();
         for (pos, level) in mapping.levels().iter().enumerate().rev() {
             match level {
                 MappingLevel::Temporal(t) => {
@@ -84,7 +98,6 @@ impl FlatNest {
                 }
             }
         }
-        FlatNest { loops }
     }
 
     /// All loops, outermost first.

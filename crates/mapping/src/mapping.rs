@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use sunstone_arch::{ArchSpec, Level, LevelId};
-use sunstone_ir::{DimId, Workload};
+use sunstone_ir::{DimId, DimVec, Workload};
 
 /// The temporal part of a mapping at one memory level: tiling factors and a
 /// loop order.
@@ -163,14 +163,21 @@ impl Mapping {
 
     /// Per-dimension tile spanned by all levels at positions `0..=pos`
     /// (temporal and spatial): the tile *resident* in a memory at `pos`.
-    pub fn resident_tile(&self, pos: usize, num_dims: usize) -> Vec<u64> {
-        let mut tile = vec![1u64; num_dims];
+    pub fn resident_tile(&self, pos: usize, num_dims: usize) -> DimVec {
+        let mut tile = DimVec::ones(num_dims);
+        self.resident_tile_into(pos, &mut tile);
+        tile
+    }
+
+    /// Fills `tile` (pre-sized to the dimension count) with the resident
+    /// tile at `pos`, without allocating.
+    pub fn resident_tile_into(&self, pos: usize, tile: &mut [u64]) {
+        tile.fill(1);
         for level in &self.levels[..=pos] {
             for (t, &f) in tile.iter_mut().zip(level.factors()) {
                 *t *= f;
             }
         }
-        tile
     }
 
     /// Product of every level's factor for dimension `d`; equals the

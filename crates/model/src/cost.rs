@@ -5,7 +5,19 @@ use sunstone_arch::{ArchSpec, Binding, Level, LevelId};
 use sunstone_ir::Workload;
 use sunstone_mapping::{Mapping, MappingError, ValidationContext};
 
+use crate::counts::{storage_chains, CountScratch};
 use crate::{AccessCounts, ModelOptions};
+
+/// Reusable buffers for [`CostModel::evaluate_unchecked_with`]: keep one
+/// per evaluation thread so repeated evaluations only allocate their
+/// output report.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    counts: CountScratch,
+    part_reads: Vec<f64>,
+    part_writes: Vec<f64>,
+    s_above: Vec<f64>,
+}
 
 /// Per-memory-level cost summary inside a [`CostReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,12 +79,14 @@ pub struct CostModel<'a> {
     arch: &'a ArchSpec,
     binding: &'a Binding,
     options: ModelOptions,
+    /// Per-tensor storing-level chains, derived once at construction.
+    chains: Vec<Vec<usize>>,
 }
 
 impl<'a> CostModel<'a> {
     /// Creates a model with default [`ModelOptions`].
     pub fn new(workload: &'a Workload, arch: &'a ArchSpec, binding: &'a Binding) -> Self {
-        CostModel { workload, arch, binding, options: ModelOptions::default() }
+        Self::with_options(workload, arch, binding, ModelOptions::default())
     }
 
     /// Creates a model with explicit options.
@@ -82,7 +96,16 @@ impl<'a> CostModel<'a> {
         binding: &'a Binding,
         options: ModelOptions,
     ) -> Self {
-        CostModel { workload, arch, binding, options }
+        let chains = storage_chains(workload, arch, binding);
+        CostModel { workload, arch, binding, options, chains }
+    }
+
+    /// A fresh scratch buffer for [`evaluate_unchecked_with`]
+    /// (one per evaluation thread).
+    ///
+    /// [`evaluate_unchecked_with`]: Self::evaluate_unchecked_with
+    pub fn scratch(&self) -> EvalScratch {
+        EvalScratch::default()
     }
 
     /// The workload being modelled.
@@ -116,13 +139,38 @@ impl<'a> CostModel<'a> {
     /// Schedulers that validate candidates during construction use this to
     /// skip re-validation in the inner loop.
     pub fn evaluate_unchecked(&self, mapping: &Mapping) -> CostReport {
-        let counts =
-            AccessCounts::compute(self.workload, self.arch, self.binding, mapping, self.options);
-        self.report_from_counts(mapping, &counts)
+        self.evaluate_unchecked_with(mapping, &mut self.scratch())
+    }
+
+    /// [`evaluate_unchecked`](Self::evaluate_unchecked) with reusable
+    /// scratch buffers — the form for tight evaluation loops.
+    pub fn evaluate_unchecked_with(
+        &self,
+        mapping: &Mapping,
+        scratch: &mut EvalScratch,
+    ) -> CostReport {
+        let counts = AccessCounts::compute_reusing(
+            self.workload,
+            self.arch,
+            mapping,
+            self.options,
+            &self.chains,
+            &mut scratch.counts,
+        );
+        self.report_with(mapping, &counts, scratch)
     }
 
     /// Computes the report from precomputed access counts.
     pub fn report_from_counts(&self, mapping: &Mapping, counts: &AccessCounts) -> CostReport {
+        self.report_with(mapping, counts, &mut EvalScratch::default())
+    }
+
+    fn report_with(
+        &self,
+        mapping: &Mapping,
+        counts: &AccessCounts,
+        scratch: &mut EvalScratch,
+    ) -> CostReport {
         let total_ops = self.workload.total_ops() as f64;
         let ref_bits = f64::from(self.arch.ref_bits());
         let mac_energy_pj = total_ops * self.arch.mac_energy_pj();
@@ -131,12 +179,15 @@ impl<'a> CostModel<'a> {
         let mut noc_energy_pj = 0.0;
         let mut levels = Vec::new();
 
-        // Instances of each level = product of spatial factors above it.
+        // Instances of each level = product of spatial factors above it,
+        // accumulated in f64 so adversarial fan-outs cannot wrap u64.
         let n_levels = self.arch.num_levels();
-        let mut s_above = vec![1.0f64; n_levels + 1];
+        scratch.s_above.clear();
+        scratch.s_above.resize(n_levels + 1, 1.0);
+        let s_above = &mut scratch.s_above;
         for p in (0..n_levels).rev() {
-            let own = match self.arch.level(LevelId(p)) {
-                Level::Spatial(_) => mapping.level(p).factors().iter().product::<u64>() as f64,
+            let own: f64 = match self.arch.level(LevelId(p)) {
+                Level::Spatial(_) => mapping.level(p).factors().iter().map(|&f| f as f64).product(),
                 Level::Memory(_) => 1.0,
             };
             s_above[p] = s_above[p + 1] * own;
@@ -149,9 +200,13 @@ impl<'a> CostModel<'a> {
                     let mut reads = 0.0;
                     let mut writes = 0.0;
                     let mut level_energy = 0.0;
-                    // Per-partition bandwidth accounting.
-                    let mut part_reads = vec![0.0f64; mem.partitions.len()];
-                    let mut part_writes = vec![0.0f64; mem.partitions.len()];
+                    // Per-partition bandwidth accounting (reused buffers).
+                    let part_reads = &mut scratch.part_reads;
+                    let part_writes = &mut scratch.part_writes;
+                    part_reads.clear();
+                    part_reads.resize(mem.partitions.len(), 0.0);
+                    part_writes.clear();
+                    part_writes.resize(mem.partitions.len(), 0.0);
                     for t in self.workload.tensor_ids() {
                         let Some(pid) = self.binding.partition_of(LevelId(pos), t) else {
                             continue;
@@ -197,7 +252,10 @@ impl<'a> CostModel<'a> {
         }
         energy_pj += noc_energy_pj;
 
-        let parallelism = mapping.used_parallelism().max(1) as f64;
+        // s_above[0] is the f64 product of every spatial factor — the
+        // used parallelism without the u64-overflow hazard of
+        // `Mapping::used_parallelism` on adversarial fan-outs.
+        let parallelism = s_above[0].max(1.0);
         let compute_cycles = total_ops / parallelism;
         let delay_cycles = compute_cycles.max(max_transfer_cycles);
 

@@ -2,10 +2,43 @@
 
 use serde::{Deserialize, Serialize};
 use sunstone_arch::{ArchSpec, Binding, Level, LevelId};
-use sunstone_ir::{TensorDesc, TensorId, Workload};
+use sunstone_ir::{DimVec, TensorDesc, TensorId, Workload};
 use sunstone_mapping::{FlatLoop, FlatNest, Mapping};
 
 use crate::ModelOptions;
+
+/// Per-tensor chains of storing memory positions, innermost first.
+///
+/// The chain depends only on *(workload, architecture, binding)*, so
+/// evaluation loops derive it once and pass it to
+/// [`AccessCounts::compute_reusing`] instead of re-walking the binding per
+/// mapping.
+pub fn storage_chains(workload: &Workload, arch: &ArchSpec, binding: &Binding) -> Vec<Vec<usize>> {
+    workload
+        .tensor_ids()
+        .map(|t| {
+            arch.memory_levels()
+                .filter(|(id, _)| binding.stores(*id, t))
+                .map(|(id, _)| id.index())
+                .collect()
+        })
+        .collect()
+}
+
+/// Reusable buffers for [`AccessCounts::compute_reusing`]: keep one per
+/// evaluation thread so the count pass allocates only its output table.
+#[derive(Debug, Clone)]
+pub struct CountScratch {
+    nest: FlatNest,
+    resident: Vec<DimVec>,
+    s_above: Vec<f64>,
+}
+
+impl Default for CountScratch {
+    fn default() -> Self {
+        CountScratch { nest: FlatNest::empty(), resident: Vec::new(), s_above: Vec::new() }
+    }
+}
 
 /// Access counts of one tensor at one memory level, in words.
 ///
@@ -40,11 +73,14 @@ impl TensorLevelCounts {
 /// plus per-spatial-level NoC crossings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AccessCounts {
-    /// `per[arch_pos][tensor]`; rows for spatial levels are zeroed.
-    per: Vec<Vec<TensorLevelCounts>>,
-    /// `crossings[arch_pos][tensor]`: words of the tensor delivered across
-    /// the spatial level at `arch_pos`; rows for memory levels are zeroed.
-    crossings: Vec<Vec<f64>>,
+    /// Row stride of the flattened tables below.
+    n_tensors: usize,
+    /// Row-major `[arch_pos][tensor]`; rows for spatial levels are zeroed.
+    per: Vec<TensorLevelCounts>,
+    /// Row-major `[arch_pos][tensor]`: words of the tensor delivered
+    /// across the spatial level at `arch_pos`; rows for memory levels are
+    /// zeroed.
+    crossings: Vec<f64>,
 }
 
 impl AccessCounts {
@@ -61,80 +97,111 @@ impl AccessCounts {
         mapping: &Mapping,
         options: ModelOptions,
     ) -> Self {
-        Counter { workload, arch, binding, mapping, options }.run()
+        let chains = storage_chains(workload, arch, binding);
+        Self::compute_reusing(
+            workload,
+            arch,
+            mapping,
+            options,
+            &chains,
+            &mut CountScratch::default(),
+        )
+    }
+
+    /// [`compute`](Self::compute) with the binding-derived storage chains
+    /// precomputed (see [`storage_chains`]) and scratch buffers reused
+    /// across calls — the form evaluation loops should use.
+    pub fn compute_reusing(
+        workload: &Workload,
+        arch: &ArchSpec,
+        mapping: &Mapping,
+        options: ModelOptions,
+        chains: &[Vec<usize>],
+        scratch: &mut CountScratch,
+    ) -> Self {
+        Counter { workload, arch, mapping, options, chains }.run(scratch)
     }
 
     /// Counts of `tensor` at architecture position `pos`.
     pub fn at(&self, pos: usize, tensor: TensorId) -> TensorLevelCounts {
-        self.per[pos][tensor.index()]
+        self.per[pos * self.n_tensors + tensor.index()]
     }
 
     /// Total reads+writes of all tensors at architecture position `pos`.
     pub fn level_total(&self, pos: usize) -> f64 {
-        self.per[pos].iter().map(TensorLevelCounts::total).sum()
+        let row = &self.per[pos * self.n_tensors..(pos + 1) * self.n_tensors];
+        row.iter().map(TensorLevelCounts::total).sum()
     }
 
     /// Words of `tensor` crossing the spatial level at `pos`.
     pub fn crossings(&self, pos: usize, tensor: TensorId) -> f64 {
-        self.crossings[pos][tensor.index()]
+        self.crossings[pos * self.n_tensors + tensor.index()]
     }
 
     /// Number of architecture levels covered.
     pub fn num_levels(&self) -> usize {
-        self.per.len()
+        self.per.len() / self.n_tensors.max(1)
     }
 }
 
 struct Counter<'a> {
     workload: &'a Workload,
     arch: &'a ArchSpec,
-    binding: &'a Binding,
     mapping: &'a Mapping,
     options: ModelOptions,
+    chains: &'a [Vec<usize>],
 }
 
 impl Counter<'_> {
-    fn run(&self) -> AccessCounts {
+    fn run(&self, scratch: &mut CountScratch) -> AccessCounts {
         let n_levels = self.arch.num_levels();
         let n_tensors = self.workload.num_tensors();
         let ndims = self.workload.num_dims();
-        let nest = FlatNest::of(self.mapping, self.workload);
+        scratch.nest.refill(self.mapping, self.workload);
 
-        let mut per = vec![vec![TensorLevelCounts::default(); n_tensors]; n_levels];
-        let mut crossings = vec![vec![0.0f64; n_tensors]; n_levels];
+        let mut per = vec![TensorLevelCounts::default(); n_levels * n_tensors];
+        let mut crossings = vec![0.0f64; n_levels * n_tensors];
 
-        // Resident tiles per level position.
-        let resident: Vec<Vec<u64>> =
-            (0..n_levels).map(|p| self.mapping.resident_tile(p, ndims)).collect();
+        // Resident tiles per level position, accumulated in one inner-to-
+        // outer pass (each is the previous tile times the level's factors).
+        scratch.resident.clear();
+        scratch.resident.reserve(n_levels);
+        let mut acc = DimVec::ones(ndims);
+        for p in 0..n_levels {
+            for (t, &f) in acc.iter_mut().zip(self.mapping.level(p).factors()) {
+                *t *= f;
+            }
+            scratch.resident.push(acc.clone());
+        }
         // Spatial unit product above each position (inclusive scan from the
-        // outside). s_above[p] = Π spatial factors at positions > p.
-        let mut s_above = vec![1.0f64; n_levels + 1];
+        // outside). s_above[p] = Π spatial factors at positions > p,
+        // accumulated in f64 so adversarial fan-outs cannot wrap u64
+        // before the cast (mirroring `factors::volume`'s widening).
+        scratch.s_above.clear();
+        scratch.s_above.resize(n_levels + 1, 1.0);
         for p in (0..n_levels).rev() {
-            let own = match self.arch.level(LevelId(p)) {
-                Level::Spatial(_) => self.mapping.level(p).factors().iter().product::<u64>() as f64,
+            let own: f64 = match self.arch.level(LevelId(p)) {
+                Level::Spatial(_) => {
+                    self.mapping.level(p).factors().iter().map(|&f| f as f64).product()
+                }
                 Level::Memory(_) => 1.0,
             };
-            s_above[p] = s_above[p + 1] * own;
+            scratch.s_above[p] = scratch.s_above[p + 1] * own;
         }
+        let (nest, resident, s_above) = (&scratch.nest, &scratch.resident, &scratch.s_above);
 
         for t in self.workload.tensor_ids() {
             let tensor = self.workload.tensor(t);
-            let chain: Vec<usize> = self
-                .arch
-                .memory_levels()
-                .filter(|(id, _)| self.binding.stores(*id, t))
-                .map(|(id, _)| id.index())
-                .collect();
             let mut child: i64 = -1;
-            for &p in &chain {
+            for &p in &self.chains[t.index()] {
                 self.count_movement(
                     t,
                     tensor,
                     child,
                     p,
-                    &nest,
-                    &resident,
-                    &s_above,
+                    nest,
+                    resident,
+                    s_above,
                     &mut per,
                     &mut crossings,
                 );
@@ -142,7 +209,7 @@ impl Counter<'_> {
             }
         }
 
-        AccessCounts { per, crossings }
+        AccessCounts { n_tensors, per, crossings }
     }
 
     /// Accounts for the data movement between the storing level at `p` and
@@ -155,18 +222,19 @@ impl Counter<'_> {
         child: i64,
         p: usize,
         nest: &FlatNest,
-        resident: &[Vec<u64>],
+        resident: &[DimVec],
         s_above: &[f64],
-        per: &mut [Vec<TensorLevelCounts>],
-        crossings: &mut [Vec<f64>],
+        per: &mut [TensorLevelCounts],
+        crossings: &mut [f64],
     ) {
         let ndims = self.workload.num_dims();
+        let nt = self.workload.num_tensors();
         let indexing = tensor.indexing_dims();
         let is_output = tensor.is_output();
 
-        // Tiles.
-        let child_tile: Vec<u64> =
-            if child < 0 { vec![1; ndims] } else { resident[child as usize].clone() };
+        // Tiles (inline vectors: cloning stays on the stack).
+        let child_tile: DimVec =
+            if child < 0 { DimVec::ones(ndims) } else { resident[child as usize].clone() };
         let mut union_tile = child_tile.clone();
         let mut non_mc = 1.0f64;
         for l in nest.loops() {
@@ -217,12 +285,12 @@ impl Counter<'_> {
             // Evictions travel up (child read → parent update); revisits
             // travel down (parent read → child fill).
             let reloads = (refills - distinct).max(0.0);
-            per[p][t.index()].updates += refills * f_union * non_mc * s_p;
-            per[p][t.index()].reads += reloads * f_union * non_mc * s_p;
+            per[p * nt + t.index()].updates += refills * f_union * non_mc * s_p;
+            per[p * nt + t.index()].reads += reloads * f_union * non_mc * s_p;
             if child >= 0 {
                 let c = child as usize;
-                per[c][t.index()].reads += refills * f_child * s_c;
-                per[c][t.index()].fills += reloads * f_child * s_c;
+                per[c * nt + t.index()].reads += refills * f_child * s_c;
+                per[c * nt + t.index()].fills += reloads * f_child * s_c;
             }
             let crossing_words = (refills + reloads) * f_child * s_c;
             self.add_crossings(t, child, p, crossing_words, crossings);
@@ -230,10 +298,10 @@ impl Counter<'_> {
             // Halo (sliding-window) credit on adjacent refills.
             let parent_vol = self.halo_volume(tensor, driving, refills, &union_tile, f_union);
             let child_vol = self.halo_volume(tensor, driving, refills, &child_tile, f_child);
-            per[p][t.index()].reads += parent_vol * non_mc * s_p;
+            per[p * nt + t.index()].reads += parent_vol * non_mc * s_p;
             if child >= 0 {
                 let c = child as usize;
-                per[c][t.index()].fills += child_vol * s_c;
+                per[c * nt + t.index()].fills += child_vol * s_c;
             }
             self.add_crossings(t, child, p, child_vol * s_c, crossings);
         }
@@ -278,18 +346,12 @@ impl Counter<'_> {
         sweeps * f * (1.0 + (drv.factor as f64 - 1.0) * frac)
     }
 
-    fn add_crossings(
-        &self,
-        t: TensorId,
-        child: i64,
-        p: usize,
-        words: f64,
-        crossings: &mut [Vec<f64>],
-    ) {
-        for (pos, row) in crossings.iter_mut().enumerate().take(p) {
+    fn add_crossings(&self, t: TensorId, child: i64, p: usize, words: f64, crossings: &mut [f64]) {
+        let nt = self.workload.num_tensors();
+        for pos in 0..p {
             if (pos as i64) > child {
                 if let Level::Spatial(_) = self.arch.level(LevelId(pos)) {
-                    row[t.index()] += words;
+                    crossings[pos * nt + t.index()] += words;
                 }
             }
         }

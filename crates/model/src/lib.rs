@@ -65,7 +65,7 @@ mod counts;
 mod explain;
 mod options;
 
-pub use cost::{CostModel, CostReport, LevelReport};
-pub use counts::{AccessCounts, TensorLevelCounts};
+pub use cost::{CostModel, CostReport, EvalScratch, LevelReport};
+pub use counts::{storage_chains, AccessCounts, CountScratch, TensorLevelCounts};
 pub use explain::compare;
 pub use options::ModelOptions;

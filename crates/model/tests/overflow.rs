@@ -1,0 +1,70 @@
+//! Regression tests for spatial fan-out products that exceed `u64`.
+//!
+//! The model accumulates the product of spatial unroll factors (the
+//! "parallel instances above a level" term) in `f64`. An earlier version
+//! used a `u64` product, which panics in debug builds — and silently
+//! wraps in release builds — once the combined fan-out crosses 2^64.
+//! `evaluate_unchecked` is exactly where such adversarial mappings
+//! arrive: callers probing hypothetical fabrics skip validation.
+
+use sunstone_arch::{presets, Binding};
+use sunstone_ir::Workload;
+use sunstone_mapping::Mapping;
+use sunstone_model::{AccessCounts, CostModel, ModelOptions};
+
+/// Seven small dimensions: total ops stay tiny, but seven per-dimension
+/// unroll factors of 1024 multiply to 2^70 — far past `u64::MAX`.
+fn seven_dim_workload() -> Workload {
+    let mut b = Workload::builder("fanout_overflow");
+    let d: Vec<_> = (0..7).map(|i| b.dim(format!("d{i}"), 4)).collect();
+    b.input("a", [d[0].expr(), d[1].expr(), d[2].expr()]);
+    b.input("b", [d[2].expr(), d[3].expr(), d[4].expr()]);
+    b.output("out", [d[5].expr(), d[6].expr()]);
+    b.build().expect("workload is well-formed")
+}
+
+/// A structurally shaped mapping whose spatial level claims a 2^70-unit
+/// fan-out. Not a valid mapping for any real fabric — which is the point:
+/// the unchecked evaluation path must still not overflow.
+fn huge_fanout_mapping(w: &Workload, arch: &sunstone_arch::ArchSpec) -> Mapping {
+    let mut m = Mapping::streaming(w, arch);
+    for f in m.levels_mut()[1].factors_mut() {
+        *f = 1024;
+    }
+    m
+}
+
+#[test]
+fn cost_report_survives_past_u64_fanout() {
+    let w = seven_dim_workload();
+    let arch = presets::conventional();
+    let binding = Binding::resolve(&arch, &w).expect("binds");
+    let model = CostModel::new(&w, &arch, &binding);
+    let m = huge_fanout_mapping(&w, &arch);
+
+    let report = model.evaluate_unchecked(&m);
+    assert!(report.energy_pj.is_finite() && report.energy_pj > 0.0);
+    assert!(report.delay_cycles.is_finite() && report.delay_cycles > 0.0);
+    assert!(report.edp.is_finite());
+    // The fan-out really is past u64: compute cycles shrink by 2^70.
+    let parallelism = 1024f64.powi(7);
+    assert!(report.compute_cycles <= report.total_ops / parallelism * 1.0001);
+}
+
+#[test]
+fn access_counts_survive_past_u64_fanout() {
+    let w = seven_dim_workload();
+    let arch = presets::conventional();
+    let binding = Binding::resolve(&arch, &w).expect("binds");
+    let m = huge_fanout_mapping(&w, &arch);
+
+    let counts = AccessCounts::compute(&w, &arch, &binding, &m, ModelOptions::default());
+    for pos in 0..4 {
+        for t in w.tensor_ids() {
+            let c = counts.at(pos, t);
+            assert!(c.reads.is_finite() && c.reads >= 0.0, "reads at {pos}");
+            assert!(c.fills.is_finite() && c.fills >= 0.0, "fills at {pos}");
+            assert!(c.updates.is_finite() && c.updates >= 0.0, "updates at {pos}");
+        }
+    }
+}

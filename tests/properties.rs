@@ -7,6 +7,22 @@ use sunstone_mapping::{Mapping, ValidationContext};
 use sunstone_model::{CostModel, ModelOptions};
 
 prop_compose! {
+    /// A random factor vector that crosses the `DimVec` inline/heap
+    /// boundary (inline capacity is 8).
+    fn factor_vec()(len in 0usize..12, seed in 1u64..(1 << 48)) -> Vec<u64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                1 + state % 64
+            })
+            .collect()
+    }
+}
+
+prop_compose! {
     /// A random 1-D-conv-shaped workload with bounded, composite dims.
     fn conv_workload()(
         k in 1u8..5,
@@ -183,6 +199,55 @@ proptest! {
         let model = CostModel::new(&w, &arch, &binding);
         let streaming = model.evaluate(&Mapping::streaming(&w, &arch)).expect("valid");
         prop_assert!(result.report.edp <= streaming.edp * 1.0001);
+    }
+
+    /// `DimVec` is a drop-in for `Vec<u64>`: construction, slicing,
+    /// volume, hashing through borrowed slices, and the elementwise
+    /// factor algebra all agree with the plain-`Vec` reference.
+    #[test]
+    fn dimvec_matches_vec_semantics(v in factor_vec()) {
+        use sunstone::factors;
+        use sunstone_ir::{DimVec, FxHashSet};
+        let dv = DimVec::from_slice(&v);
+        prop_assert_eq!(&dv[..], v.as_slice());
+        prop_assert_eq!(dv.len(), v.len());
+        prop_assert_eq!(dv.to_vec(), v.clone());
+        prop_assert_eq!(dv.volume(), v.iter().map(|&x| u128::from(x)).product::<u128>());
+        // Hash/Eq parity: a set of DimVecs answers probes by `&[u64]`.
+        let mut set: FxHashSet<DimVec> = FxHashSet::default();
+        set.insert(dv.clone());
+        prop_assert!(set.contains(v.as_slice()));
+        // multiply/quot roundtrip against the Vec reference.
+        let squared = factors::multiply(&v, &v);
+        let reference: Vec<u64> = v.iter().map(|&x| x * x).collect();
+        prop_assert_eq!(&squared, &reference);
+        prop_assert_eq!(factors::quot(&squared, &v), dv);
+    }
+
+    /// `sorted_divisors` matches the brute-force definition.
+    #[test]
+    fn sorted_divisors_matches_brute_force(q in 1u64..3000) {
+        let fast = sunstone::factors::sorted_divisors(q);
+        let brute: Vec<u64> = (1..=q).filter(|d| q.is_multiple_of(*d)).collect();
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// The precomputed ladder table agrees with direct trial division on
+    /// every quota a search can produce, and `ladder_set` falls back to
+    /// trial division for off-table quotas.
+    #[test]
+    fn ladders_match_direct_divisors(a in 1u64..200, b in 1u64..64, probe in 1u64..200) {
+        use sunstone::factors::{sorted_divisors, DivisorLadders};
+        let extents = [a, b];
+        let ladders = DivisorLadders::new(&extents);
+        for (dim, &e) in extents.iter().enumerate() {
+            for q in sorted_divisors(e) {
+                prop_assert_eq!(ladders.of(dim, q), Some(sorted_divisors(q).as_slice()));
+            }
+        }
+        let set = ladders.ladder_set(&[probe, b]);
+        prop_assert_eq!(set[0].as_ref(), sorted_divisors(probe).as_slice());
+        prop_assert_eq!(set[1].as_ref(), sorted_divisors(b).as_slice());
     }
 
     /// The ordering trie never returns duplicated or non-permutation
