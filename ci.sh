@@ -26,13 +26,29 @@ cargo run --release -p sunstone-bench --bin bench_schedule -- quick --out BENCH_
 python3 - <<'EOF'
 import json, sys
 d = json.load(open("BENCH_schedule_quick.json"))
-assert d.get("schema") == "sunstone-bench-schedule/v1", d.get("schema")
+assert d.get("schema") == "sunstone-bench-schedule/v2", d.get("schema")
 assert d.get("layers"), "no layers recorded"
 for row in d["layers"]:
-    for field in ("name", "cold_ms", "warm_median_ms", "best_edp", "mapping_fp"):
+    for field in (
+        "name", "cold_ms", "warm_median_ms", "best_edp",
+        "probed", "modeled", "prefix_hit_rate", "mapping_fp",
+    ):
         assert field in row, f"missing {field} in {row.get('name', '?')}"
     assert row["warm_median_ms"] > 0, row["name"]
-print(f"BENCH_schedule_quick.json OK ({len(d['layers'])} layers)")
+    assert row["modeled"] <= row["probed"], row["name"]
+# Hard gate: every quick layer's best mapping must be bit-identical to
+# the committed baseline. A fingerprint divergence means an optimization
+# changed search results, not just speed — fail, don't warn.
+base = {r["name"]: r["mapping_fp"] for r in json.load(open("results/bench_baseline.json"))["layers"]}
+diverged = [
+    f"{r['name']}: {r['mapping_fp']} != {base[r['name']]}"
+    for r in d["layers"]
+    if r["name"] in base and r["mapping_fp"] != base[r["name"]]
+]
+assert not diverged, "mapping_fp diverged from results/bench_baseline.json:\n" + "\n".join(diverged)
+checked = sum(1 for r in d["layers"] if r["name"] in base)
+assert checked > 0, "no quick layer found in the baseline — gate is vacuous"
+print(f"BENCH_schedule_quick.json OK ({len(d['layers'])} layers, {checked} fingerprints match baseline)")
 EOF
 rm -f BENCH_schedule_quick.json
 

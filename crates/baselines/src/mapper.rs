@@ -128,7 +128,7 @@ impl Mapper for SunstoneMapper {
                 result.mapping,
                 result.report,
                 MapStats {
-                    evaluated: result.stats.evaluated,
+                    evaluated: result.stats.probed,
                     invalid: 0,
                     elapsed: result.stats.elapsed,
                 },

@@ -218,7 +218,7 @@ fn count_tiles(
 /// Sunstone's space for Table I is *measured*, not estimated: run the
 /// scheduler and report how many candidates it examined.
 pub fn sunstone_space(stats: &sunstone::SearchStats) -> f64 {
-    stats.evaluated as f64
+    stats.probed as f64
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ fn run(name: &str, cfg: SunstoneConfig, w: &sunstone_ir::Workload, arch: &sunsto
     match Scheduler::new(cfg).schedule(w, arch) {
         Ok(r) => println!(
             "  {:<28} edp={:>12.4e}  evaluated={:>8}  nodes={:>9}  t={:>9.3?}",
-            name, r.report.edp, r.stats.evaluated, r.stats.nodes_explored, r.stats.elapsed
+            name, r.report.edp, r.stats.probed, r.stats.nodes_explored, r.stats.elapsed
         ),
         Err(e) => println!("  {name:<28} FAILED: {e}"),
     }

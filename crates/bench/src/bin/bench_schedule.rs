@@ -36,7 +36,13 @@ struct LayerRow {
     best_edp: f64,
     mapping_fp: u64,
     mapping: String,
-    evaluated: u64,
+    probed: u64,
+    /// Model evaluations of the cold (first-encounter) run — warm runs
+    /// are served by the session cache and model next to nothing.
+    modeled: u64,
+    /// Fraction of the cold run's model evaluations that reused a
+    /// memoized decided-prefix cost.
+    prefix_hit_rate: f64,
 }
 
 /// A stable fingerprint of a mapping's search identity: every level's
@@ -150,6 +156,9 @@ fn main() {
         let t0 = Instant::now();
         let first = scheduler.schedule(&w, &arch).expect("schedules");
         let cold_ms = ms(t0.elapsed());
+        let modeled = first.stats.modeled;
+        let prefix_hit_rate =
+            if modeled == 0 { 0.0 } else { first.stats.prefix_hits as f64 / modeled as f64 };
         // Warm: the session has seen the shape; the estimate cache serves
         // repeat evaluations, so this times the search machinery itself.
         let mut samples = Vec::with_capacity(reps);
@@ -171,7 +180,9 @@ fn main() {
             best_edp: result.report.edp,
             mapping_fp: mapping_fingerprint(&result.mapping),
             mapping: result.mapping.to_string(),
-            evaluated: result.stats.evaluated,
+            probed: result.stats.probed,
+            modeled,
+            prefix_hit_rate,
         });
     }
 
@@ -234,7 +245,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sunstone-bench-schedule/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"sunstone-bench-schedule/v2\",");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
     let _ = writeln!(json, "  \"arch\": \"{}\",", esc(arch.name()));
     let _ = writeln!(json, "  \"reps\": {reps},");
@@ -246,7 +257,9 @@ fn main() {
         let _ = writeln!(json, "      \"cold_ms\": {:.3},", r.cold_ms);
         let _ = writeln!(json, "      \"warm_median_ms\": {:.3},", r.warm_median_ms);
         let _ = writeln!(json, "      \"best_edp\": {:.6e},", r.best_edp);
-        let _ = writeln!(json, "      \"evaluated\": {},", r.evaluated);
+        let _ = writeln!(json, "      \"probed\": {},", r.probed);
+        let _ = writeln!(json, "      \"modeled\": {},", r.modeled);
+        let _ = writeln!(json, "      \"prefix_hit_rate\": {:.4},", r.prefix_hit_rate);
         let _ = writeln!(json, "      \"mapping_fp\": {},", r.mapping_fp);
         let _ = writeln!(json, "      \"mapping\": \"{}\"", esc(&r.mapping));
         let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });

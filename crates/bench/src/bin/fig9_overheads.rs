@@ -106,7 +106,7 @@ fn main() {
             .into_results()
             .remove(0);
         search_elapsed += schedule.stats.elapsed;
-        search_evaluated += schedule.stats.evaluated;
+        search_evaluated += schedule.stats.probed;
         search_beam_cut += schedule.stats.beam_cut();
         search_cache_hits += schedule.stats.cache_hits;
         search_cache_probes += schedule.stats.cache_hits + schedule.stats.cache_misses;

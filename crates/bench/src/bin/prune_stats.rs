@@ -51,7 +51,11 @@ fn print_level_table(stats: &SearchStats) {
 }
 
 fn merge_into(total: &mut SearchStats, s: &SearchStats) {
-    total.evaluated += s.evaluated;
+    total.probed += s.probed;
+    total.modeled += s.modeled;
+    total.prefix_hits += s.prefix_hits;
+    total.rounds += s.rounds;
+    total.spawns_avoided += s.spawns_avoided;
     total.cache_hits += s.cache_hits;
     total.cache_misses += s.cache_misses;
     for l in &s.levels {
@@ -86,9 +90,10 @@ fn main() {
         let no_reuse: u64 = r.stats.levels.iter().map(|l| l.ordering_no_reuse).sum();
         let dominated: u64 = r.stats.levels.iter().map(|l| l.ordering_dominated).sum();
         println!(
-            "  {:<10} evaluated {:>6}, beam cut {:>6}, ordering rejections: {} no-reuse (P3), {} dominated (P1–2)",
+            "  {:<10} probed {:>6} (modeled {:>5}), beam cut {:>6}, ordering rejections: {} no-reuse (P3), {} dominated (P1–2)",
             layer.name,
-            r.stats.evaluated,
+            r.stats.probed,
+            r.stats.modeled,
             r.stats.beam_cut(),
             no_reuse,
             dominated,
@@ -123,8 +128,22 @@ fn main() {
     );
     println!(
         "  beam:             {:>8} estimated → {:>6} cut across levels",
-        total.evaluated,
+        total.probed,
         total.beam_cut()
+    );
+    println!(
+        "  model:            {:>8} evaluations ({:>6} prefix-incremental, {:.1}% of modeled)",
+        total.modeled,
+        total.prefix_hits,
+        if total.modeled == 0 {
+            0.0
+        } else {
+            100.0 * total.prefix_hits as f64 / total.modeled as f64
+        }
+    );
+    println!(
+        "  worker pool:      {:>8} rounds, {:>6} thread spawns avoided",
+        total.rounds, total.spawns_avoided
     );
     println!(
         "  estimate cache:   {:>8} probes, {:.1}% hits",

@@ -51,7 +51,7 @@ fn main() {
             let w = layer.inference(Precision::conventional());
             match scheduler.schedule(&w, &arch) {
                 Ok(r) => {
-                    space += r.stats.evaluated;
+                    space += r.stats.probed;
                     nodes += r.stats.nodes_explored;
                     log_edp += r.report.edp.ln();
                     n += 1;

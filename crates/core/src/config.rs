@@ -127,6 +127,14 @@ pub struct SunstoneConfig {
     /// call and across every call of the session. Disable only to measure
     /// the raw model cost.
     pub estimate_cache: bool,
+    /// Upper bound on the cost reports the session estimate cache retains
+    /// across all contexts. When an insert pushes past the bound, whole
+    /// least-recently-used *(workload, architecture, config)* contexts are
+    /// evicted — never the context that just inserted, so one very large
+    /// search is allowed to exceed the bound rather than thrash itself.
+    /// The default is generous (a report is a few hundred bytes); lower it
+    /// to bound memory in long-lived many-workload sessions.
+    pub max_cache_entries: usize,
     /// Active pruning techniques.
     pub pruning: PruningFlags,
 }
@@ -143,6 +151,7 @@ impl Default for SunstoneConfig {
             max_tiles_per_enum: 24,
             max_unrolls_per_enum: 8,
             estimate_cache: true,
+            max_cache_entries: 1 << 20,
             pruning: PruningFlags::default(),
         }
     }
@@ -190,6 +199,13 @@ impl SunstoneConfig {
         if !(0.0..=1.0).contains(&self.min_spatial_utilization) {
             return Err(ScheduleError::InvalidConfig {
                 reason: "min_spatial_utilization must lie in [0, 1]".into(),
+            });
+        }
+        if self.max_cache_entries == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "max_cache_entries must be at least 1 (disable the \
+                         cache via estimate_cache instead)"
+                    .into(),
             });
         }
         Ok(())
@@ -310,6 +326,24 @@ impl SunstoneConfigBuilder {
     pub fn estimate_cache(mut self, enabled: bool) -> Self {
         self.config.estimate_cache = enabled;
         self
+    }
+
+    /// Bounds the cost reports the session estimate cache retains (whole
+    /// least-recently-used contexts are evicted past the bound).
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConfig`] when `cap` is zero.
+    pub fn max_cache_entries(mut self, cap: usize) -> Result<Self, ScheduleError> {
+        if cap == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "max_cache_entries must be at least 1 (disable the \
+                         cache via estimate_cache instead)"
+                    .into(),
+            });
+        }
+        self.config.max_cache_entries = cap;
+        Ok(self)
     }
 
     /// Sets the pruning flags.

@@ -178,8 +178,9 @@ pub fn config_fingerprint(config: &SunstoneConfig) -> u64 {
     h.write_u64(u64::from(config.pruning.tiling_maximal));
     h.write_u64(u64::from(config.pruning.unrolling_principle));
     h.write_u64(u64::from(config.pruning.tiling_reuse_dims));
-    // `threads` and `estimate_cache` deliberately excluded: neither
-    // changes any estimate, so caches may be shared across them.
+    // `threads`, `estimate_cache`, and `max_cache_entries` deliberately
+    // excluded: none of them changes any estimate (the bound only decides
+    // *retention*), so caches may be shared across them.
     h.finish()
 }
 
@@ -231,8 +232,10 @@ mod tests {
     fn config_fingerprint_ignores_threads_but_not_beam() {
         let base = SunstoneConfig::default();
         let threads = SunstoneConfig { threads: 7, ..base.clone() };
+        let cap = SunstoneConfig { max_cache_entries: 7, ..base.clone() };
         let beam = SunstoneConfig { beam_width: 7, ..base.clone() };
         assert_eq!(config_fingerprint(&base), config_fingerprint(&threads));
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&cap));
         assert_ne!(config_fingerprint(&base), config_fingerprint(&beam));
     }
 }

@@ -49,7 +49,7 @@
 //! let arch = presets::conventional();
 //! let scheduler = Scheduler::new(SunstoneConfig::default());
 //! let result = scheduler.schedule(&w, &arch)?;
-//! println!("EDP = {}, evaluated {} mappings", result.report.edp, result.stats.evaluated);
+//! println!("EDP = {}, estimated {} mappings", result.report.edp, result.stats.probed);
 //!
 //! // A session amortizes work across calls: scheduling a whole network
 //! // dedups repeated layer shapes and reuses cached estimates.
@@ -85,6 +85,7 @@ pub mod factors;
 pub mod fingerprint;
 pub mod network;
 pub mod ordering;
+mod pool;
 pub mod progress;
 pub mod search;
 pub mod session;

@@ -1,0 +1,336 @@
+//! A session-persistent worker pool for the estimate and batch fan-outs.
+//!
+//! The search previously spawned a fresh `std::thread::scope` per
+//! estimate round — thousands of OS thread spawns per schedule call. The
+//! [`WorkerPool`] keeps `threads − 1` long-lived workers alive for the
+//! whole [`Scheduler`](crate::Scheduler) session; a round becomes one
+//! queue push plus atomic index claiming.
+//!
+//! Design invariants:
+//!
+//! * **Caller participation** — [`WorkerPool::run`] claims indices on the
+//!   submitting thread too, so a pool with zero workers degenerates to a
+//!   plain sequential loop, and *nested* `run` calls (a batch-layer task
+//!   driving its own estimate rounds) always make progress: every caller
+//!   drives its own job to completion regardless of what the workers are
+//!   busy with.
+//! * **Deterministic write-back** — work items are identified by index;
+//!   tasks write results into index-disjoint slots (see [`SliceWriter`]),
+//!   so results are bit-identical for any thread count.
+//! * **Panic safety** — a panicking task marks the job and the panic is
+//!   re-raised on the submitting thread after the round drains; workers
+//!   survive (the panic is caught at the claim loop).
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued fan-out: `total` indices to feed to `task`.
+struct Job {
+    /// The task closure, lifetime-erased. Soundness: `WorkerPool::run`
+    /// does not return before `pending` hits zero, and after that no
+    /// thread dereferences the pointer again (every claim checks the
+    /// bound *before* calling the task), so the borrow outlives every
+    /// call through it.
+    task: *const (dyn Fn(usize) + Sync),
+    total: usize,
+    /// Next index to claim (may grow past `total`; claims re-check).
+    next: AtomicUsize,
+    /// Indices claimed but not yet completed, plus those never claimed.
+    pending: AtomicUsize,
+    /// Some task panicked; the submitter re-raises after the drain.
+    panicked: AtomicBool,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `task` is only called while the submitting thread keeps the
+// underlying closure alive (see the field comment); the closure itself is
+// `Sync`, and all other fields are atomics or sync primitives.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs indices until the job is exhausted. Returns once no
+    /// index is left to claim (other claimants may still be running).
+    fn drain(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            // SAFETY: `i < total`, so `pending > 0` and the submitter is
+            // still inside `run`, keeping the closure alive.
+            let task = unsafe { &*self.task };
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| task(i)));
+            if outcome.is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Lock-bridge the notification so the submitter is either
+                // before its re-check (and sees zero) or parked (and woken).
+                let _g = self.done.lock().unwrap();
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+}
+
+struct Shared {
+    queue: Mutex<State>,
+    work_cv: Condvar,
+}
+
+struct State {
+    jobs: VecDeque<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of long-lived worker threads executing indexed
+/// fan-outs. See the module docs for the invariants.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Fan-out rounds executed (including inline ones).
+    rounds: AtomicU64,
+    /// Thread spawns a per-round `std::thread::scope` would have paid.
+    spawns_avoided: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("rounds", &self.rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `workers` background threads (0 is valid: every
+    /// `run` then executes inline on the submitting thread).
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { jobs: VecDeque::new(), shutdown: false }),
+            work_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sunstone-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+            rounds: AtomicU64::new(0),
+            spawns_avoided: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of background workers (the submitting thread adds one more
+    /// claimant to every round).
+    pub(crate) fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `task(i)` for every `i in 0..total`, distributed over the
+    /// workers and the calling thread, and returns when all are done.
+    /// Panics (on the calling thread) if any task panicked.
+    pub(crate) fn run(&self, total: usize, task: &(dyn Fn(usize) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.spawns_avoided
+            .fetch_add((self.workers.len() + 1).min(total) as u64, Ordering::Relaxed);
+        if self.workers.is_empty() {
+            for i in 0..total {
+                task(i);
+            }
+            return;
+        }
+        // SAFETY: erase the borrow's lifetime; `run` keeps the closure
+        // alive until `pending == 0` (see `Job::task`).
+        let task: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        };
+        let job = Arc::new(Job {
+            task,
+            total,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(total),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.jobs.push_back(Arc::clone(&job));
+        }
+        self.shared.work_cv.notify_all();
+        job.drain();
+        let mut g = job.done.lock().unwrap();
+        while job.pending.load(Ordering::Acquire) > 0 {
+            g = job.done_cv.wait(g).unwrap();
+        }
+        drop(g);
+        {
+            // Drop our queue entry eagerly so the erased pointer never
+            // outlives this call in the shared state.
+            let mut st = self.shared.queue.lock().unwrap();
+            st.jobs.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("worker pool task panicked");
+        }
+    }
+
+    /// Fan-out rounds executed so far.
+    pub(crate) fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Thread spawns avoided so far versus a per-round `thread::scope`.
+    pub(crate) fn spawns_avoided(&self) -> u64 {
+        self.spawns_avoided.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.queue.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                // Pop exhausted fronts left over from completed rounds.
+                while st.jobs.front().is_some_and(|j| j.exhausted()) {
+                    st.jobs.pop_front();
+                }
+                if let Some(job) = st.jobs.front() {
+                    break Arc::clone(job);
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        job.drain();
+    }
+}
+
+/// Shared-slice writer for index-disjoint result write-back: each task
+/// writes only its own slot, so no synchronization is needed and the
+/// result layout is independent of scheduling order.
+pub(crate) struct SliceWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: tasks write disjoint indices (caller contract of `write`).
+unsafe impl<T: Send> Send for SliceWriter<'_, T> {}
+unsafe impl<T: Send> Sync for SliceWriter<'_, T> {}
+
+impl<'a, T> SliceWriter<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        SliceWriter { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// Writes `value` into slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// Each index must be written by at most one task per round (no two
+    /// concurrent writers to the same slot).
+    pub(crate) unsafe fn write(&self, i: usize, value: T) {
+        assert!(i < self.len);
+        // SAFETY: in-bounds (asserted) and index-disjoint (caller contract).
+        unsafe { *self.ptr.add(i) = value };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let mut out = vec![0usize; 17];
+        let w = SliceWriter::new(&mut out);
+        pool.run(17, &|i| unsafe { w.write(i, i * 2) });
+        assert_eq!(out, (0..17).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(pool.rounds(), 1);
+    }
+
+    #[test]
+    fn pool_covers_every_index_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 50));
+        assert_eq!(pool.rounds(), 50);
+        assert_eq!(pool.spawns_avoided(), 50 * 4);
+    }
+
+    #[test]
+    fn nested_runs_complete() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let total = AtomicU32::new(0);
+        let inner_pool = Arc::clone(&pool);
+        pool.run(4, &|_| {
+            inner_pool.run(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn pool_task_panic_propagates_to_submitter() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool survives and keeps working.
+        let n = AtomicU32::new(0);
+        pool.run(8, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+}

@@ -18,6 +18,7 @@ use crate::tiling::enumerate_tiles_cached;
 use crate::unrolling::{enumerate_unrollings_cached, principle_excluded_dims};
 use crate::IntraOrder;
 
+use super::estimate;
 use super::stats::SearchStats;
 use super::{PartialState, SearchContext};
 
@@ -284,6 +285,24 @@ fn tiles_with_allowed(
     stats: &mut SearchStats,
 ) -> Vec<DimVec> {
     let mem_pos = ctx.mems[stage];
+    // Session memo: beam states frequently reach the same (base, quota)
+    // frontier, and repeated calls on the same shape replay the entire
+    // enumeration. The memo stores the *kept* tiles plus the explored
+    // count so the stats below replay identically on a hit.
+    let memo_key = estimate::TileKey {
+        mem_pos,
+        base: DimVec::from_slice(base),
+        quotas: DimVec::from_slice(quotas),
+        reserve,
+        allowed,
+        unrollable,
+    };
+    if let Some(hit) = ctx.cache.tiles_lookup(&memo_key) {
+        stats.nodes_explored += hit.explored as u64;
+        stats.tiles += hit.tiles.len() as u64;
+        stats.level_mut(stage).tiling.record(hit.explored as u64, hit.tiles.len() as u64);
+        return hit.tiles;
+    }
     let outcome = enumerate_tiles_cached(
         base,
         quotas,
@@ -314,6 +333,10 @@ fn tiles_with_allowed(
     }
     stats.tiles += tiles.len() as u64;
     stats.level_mut(stage).tiling.record(outcome.explored as u64, tiles.len() as u64);
+    ctx.cache.tiles_insert(
+        memo_key,
+        estimate::TileMemo { tiles: tiles.clone(), explored: outcome.explored },
+    );
     tiles
 }
 
@@ -387,6 +410,29 @@ fn unrolls_for(
         let mut next = Vec::new();
         for prev in &results {
             let q = divide(quotas, prev);
+            // Session memo: the whole per-fabric block (principled pass,
+            // relaxed fallback, truncation) is keyed by its exact inputs;
+            // `combined` folds the resident tile and the inner fabrics'
+            // unrolls into the base the capacity probe inflates. Stats are
+            // replayed from the memo so counters match an uncached run.
+            let memo_key = estimate::UnrollKey {
+                pos,
+                quotas: q.clone(),
+                principled,
+                combined: resident_with_tile.iter().zip(prev.iter()).map(|(t, a)| t * a).collect(),
+            };
+            if let Some(hit) = ctx.cache.unrolls_lookup(&memo_key) {
+                stats.nodes_explored += hit.explored as u64;
+                stats.unrollings += hit.unrollings.len() as u64;
+                stats
+                    .level_mut(stage)
+                    .unrolling
+                    .record(hit.explored as u64, hit.unrollings.len() as u64);
+                for u in &hit.unrollings {
+                    next.push(multiply(prev, u));
+                }
+                continue;
+            }
             let fits = |u: &[u64]| {
                 // The unroll inflates the resident tile of the memory
                 // above the fabric (the stage's memory).
@@ -439,6 +485,10 @@ fn unrolls_for(
                 .level_mut(stage)
                 .unrolling
                 .record(outcome.explored as u64, unrollings.len() as u64);
+            ctx.cache.unrolls_insert(
+                memo_key,
+                estimate::UnrollMemo { unrollings: unrollings.clone(), explored: outcome.explored },
+            );
             for u in unrollings {
                 next.push(multiply(prev, &u));
             }
@@ -570,7 +620,13 @@ fn make_child(
             t.order = o.order.clone();
         }
     }
-    PartialState { mapping, quotas, ordering_here: ordering.clone(), estimate: f64::INFINITY }
+    PartialState {
+        mapping,
+        quotas,
+        ordering_here: ordering.clone(),
+        estimate: f64::INFINITY,
+        parent: 0,
+    }
 }
 
 fn make_top_down_child(
@@ -602,5 +658,6 @@ fn make_top_down_child(
         quotas: DimVec::from_slice(tile),
         ordering_here: Some(ordering.clone()),
         estimate: f64::INFINITY,
+        parent: 0,
     }
 }

@@ -156,8 +156,15 @@ pub(crate) fn run_level_search(
             sink.on_event(&ProgressEvent::LevelStarted { stage, beam: beam_states.len() });
         }
         let mut cands: Vec<PartialState> = Vec::new();
-        for state in &beam_states {
+        for (parent, state) in beam_states.iter().enumerate() {
+            let from = cands.len();
             pass.expand(ctx, state, stage, &mut cands, stats);
+            // Stamp each child with its parent index: estimation memoizes
+            // the decided-prefix cost once per parent, and relies on one
+            // parent's children being contiguous (dedup keeps order).
+            for c in &mut cands[from..] {
+                c.parent = parent;
+            }
         }
         if cands.is_empty() {
             return SearchRun { beam: Vec::new(), stop: SearchStop::Infeasible { stage } };

@@ -1,20 +1,22 @@
 //! Candidate estimation: completion of partial mappings, the
-//! session-lifetime memoized estimate cache, and parallel cost-model
-//! evaluation.
+//! session-lifetime memoized estimate cache, prefix-incremental cost
+//! evaluation, and parallel execution on the session worker pool.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use sunstone_ir::FxHashMap;
+use sunstone_ir::{DimSet, DimVec, FxHashMap};
 use sunstone_mapping::{Mapping, MappingLevel};
-use sunstone_model::CostReport;
+use sunstone_model::{CostReport, EvalScratch, MappingPrefix};
 
 use super::beam::{completed_key, mapping_key};
 use super::stats::SearchStats;
 use super::{PartialState, SearchContext};
+use crate::pool::SliceWriter;
 use crate::Direction;
 
-/// Cumulative statistics of a session's estimate cache
+/// Cumulative statistics of a session's estimate cache and worker pool
 /// ([`Scheduler::cache_stats`](crate::Scheduler::cache_stats)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
@@ -23,8 +25,16 @@ pub struct CacheStats {
     pub hits: u64,
     /// Estimates that had to run the analytic model.
     pub misses: u64,
-    /// Cost reports currently retained.
+    /// Cost reports currently retained (bounded by
+    /// [`SunstoneConfig::max_cache_entries`](crate::SunstoneConfig::max_cache_entries)).
     pub entries: usize,
+    /// Model evaluations that reused a memoized decided-prefix cost
+    /// instead of re-deriving every level from scratch.
+    pub prefix_hits: u64,
+    /// Fan-out rounds the session worker pool has executed.
+    pub pool_rounds: u64,
+    /// OS thread spawns avoided versus a per-round `std::thread::scope`.
+    pub spawns_avoided: u64,
 }
 
 impl CacheStats {
@@ -37,10 +47,75 @@ impl CacheStats {
             self.hits as f64 / probes as f64
         }
     }
+
+    /// Fraction of model evaluations that reused a memoized prefix
+    /// (0 when the model never ran).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.prefix_hits as f64 / self.misses as f64
+        }
+    }
+}
+
+/// Memoized tile enumeration: the kept tiles plus the enumeration stats
+/// to replay, so cached and uncached searches report identical counters.
+#[derive(Debug, Clone)]
+pub(crate) struct TileMemo {
+    pub(crate) tiles: Vec<DimVec>,
+    pub(crate) explored: usize,
+}
+
+/// Key of one tile enumeration; together with the context fingerprint
+/// this covers every input of `tiles_with_allowed` (the ladders, pruning
+/// flags, caps, and the capacity plan of `mem_pos` are all functions of
+/// the context).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct TileKey {
+    pub(crate) mem_pos: usize,
+    pub(crate) base: DimVec,
+    pub(crate) quotas: DimVec,
+    pub(crate) reserve: u64,
+    pub(crate) allowed: DimSet,
+    pub(crate) unrollable: DimSet,
+}
+
+/// Memoized unrolling enumeration (one fabric, one accumulated prefix).
+#[derive(Debug, Clone)]
+pub(crate) struct UnrollMemo {
+    pub(crate) unrollings: Vec<DimVec>,
+    pub(crate) explored: usize,
+}
+
+/// Key of one per-fabric unrolling enumeration. `combined` is the
+/// resident tile already multiplied by the unrolls accumulated from
+/// inner fabrics — the exact base the capacity probe inflates — so the
+/// key covers the whole fits closure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct UnrollKey {
+    pub(crate) pos: usize,
+    pub(crate) quotas: DimVec,
+    pub(crate) principled: DimSet,
+    pub(crate) combined: DimVec,
+}
+
+/// Everything the session retains for one context fingerprint: memoized
+/// cost reports plus the tile/unrolling enumeration memos, and the LRU
+/// stamp the cache bound evicts by.
+#[derive(Debug, Default)]
+pub(crate) struct CtxEntry {
+    reports: FxHashMap<Vec<u64>, CostReport>,
+    tiles: FxHashMap<TileKey, TileMemo>,
+    unrolls: FxHashMap<UnrollKey, UnrollMemo>,
+    /// Logical timestamp of the last estimation round that used this
+    /// context (whole-context LRU eviction granularity).
+    last_used: u64,
 }
 
 /// The session-lifetime estimate cache: memoized cost reports keyed by
-/// *(context fingerprint, completed-mapping fingerprint)*.
+/// *(context fingerprint, completed-mapping fingerprint)*, plus the
+/// per-context enumeration memos.
 ///
 /// The context fingerprint condenses *(workload, architecture, search
 /// configuration)* ([`crate::fingerprint`]), so one map safely serves
@@ -54,15 +129,21 @@ impl CacheStats {
 ///
 /// The map is shared across worker threads; entries are inserted after
 /// each parallel evaluation round, so the lock is never contended inside
-/// the model.
+/// the model. Retained cost reports are bounded by
+/// [`SunstoneConfig::max_cache_entries`](crate::SunstoneConfig::max_cache_entries):
+/// when an insert pushes past the bound, the least-recently-used context
+/// fingerprints are evicted whole (never the context that just inserted).
 #[derive(Debug, Default)]
 pub(crate) struct SessionCache {
-    /// Outer key: context fingerprint; inner key: completed-mapping key.
-    /// The two-level shape lets the hot path probe with a borrowed
-    /// `&[u64]` scratch key instead of allocating a tuple per lookup.
-    map: Mutex<FxHashMap<u64, FxHashMap<Vec<u64>, CostReport>>>,
+    map: Mutex<FxHashMap<u64, CtxEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Retained cost reports, maintained on insert/evict/clear so
+    /// [`stats`](Self::stats) never walks the map under the lock.
+    entries: AtomicUsize,
+    /// Logical clock behind every `CtxEntry::last_used` stamp.
+    tick: AtomicU64,
+    prefix_hits: AtomicU64,
 }
 
 impl SessionCache {
@@ -74,14 +155,37 @@ impl SessionCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock").values().map(FxHashMap::len).sum(),
+            entries: self.entries.load(Ordering::Relaxed),
+            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
+            // Pool counters are filled in by the scheduler, which owns
+            // the pool.
+            pool_rounds: 0,
+            spawns_avoided: 0,
         }
     }
 
     pub(crate) fn clear(&self) {
         self.map.lock().expect("cache lock").clear();
+        self.entries.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.prefix_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Evicts whole least-recently-used contexts (never `keep`) until the
+    /// retained reports fit `max` again or only `keep` is left.
+    fn evict_lru(&self, map: &mut FxHashMap<u64, CtxEntry>, max: usize, keep: u64) {
+        while self.entries.load(Ordering::Relaxed) > max {
+            let victim = map
+                .iter()
+                .filter(|(fp, e)| **fp != keep && !e.reports.is_empty())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(fp, _)| *fp);
+            let Some(fp) = victim else { break };
+            if let Some(e) = map.remove(&fp) {
+                self.entries.fetch_sub(e.reports.len(), Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -91,12 +195,18 @@ impl SessionCache {
 pub(crate) struct EstimateCache<'s> {
     enabled: bool,
     ctx_fp: u64,
+    max_entries: usize,
     session: &'s SessionCache,
 }
 
 impl<'s> EstimateCache<'s> {
-    pub(crate) fn new(enabled: bool, ctx_fp: u64, session: &'s SessionCache) -> Self {
-        EstimateCache { enabled, ctx_fp, session }
+    pub(crate) fn new(
+        enabled: bool,
+        ctx_fp: u64,
+        max_entries: usize,
+        session: &'s SessionCache,
+    ) -> Self {
+        EstimateCache { enabled, ctx_fp, max_entries, session }
     }
 
     fn lookup(&self, key: &[u64]) -> Option<CostReport> {
@@ -109,7 +219,7 @@ impl<'s> EstimateCache<'s> {
             .lock()
             .expect("cache lock")
             .get(&self.ctx_fp)
-            .and_then(|per_ctx| per_ctx.get(key))
+            .and_then(|e| e.reports.get(key))
             .cloned();
         match &found {
             Some(_) => self.session.hits.fetch_add(1, Ordering::Relaxed),
@@ -119,6 +229,36 @@ impl<'s> EstimateCache<'s> {
     }
 
     fn insert(&self, key: Vec<u64>, report: CostReport) {
+        if !self.enabled {
+            return;
+        }
+        let mut guard = self.session.map.lock().expect("cache lock");
+        let tick = self.session.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let e = guard.entry(self.ctx_fp).or_default();
+        e.last_used = tick;
+        if e.reports.insert(key, report).is_none() {
+            let total = self.session.entries.fetch_add(1, Ordering::Relaxed) + 1;
+            if total > self.max_entries {
+                self.session.evict_lru(&mut guard, self.max_entries, self.ctx_fp);
+            }
+        }
+    }
+
+    /// Memoized tile enumeration for this context, if already recorded.
+    pub(crate) fn tiles_lookup(&self, key: &TileKey) -> Option<TileMemo> {
+        if !self.enabled {
+            return None;
+        }
+        self.session
+            .map
+            .lock()
+            .expect("cache lock")
+            .get(&self.ctx_fp)
+            .and_then(|e| e.tiles.get(key))
+            .cloned()
+    }
+
+    pub(crate) fn tiles_insert(&self, key: TileKey, memo: TileMemo) {
         if self.enabled {
             self.session
                 .map
@@ -126,7 +266,36 @@ impl<'s> EstimateCache<'s> {
                 .expect("cache lock")
                 .entry(self.ctx_fp)
                 .or_default()
-                .insert(key, report);
+                .tiles
+                .insert(key, memo);
+        }
+    }
+
+    /// Memoized unrolling enumeration for this context, if already
+    /// recorded.
+    pub(crate) fn unrolls_lookup(&self, key: &UnrollKey) -> Option<UnrollMemo> {
+        if !self.enabled {
+            return None;
+        }
+        self.session
+            .map
+            .lock()
+            .expect("cache lock")
+            .get(&self.ctx_fp)
+            .and_then(|e| e.unrolls.get(key))
+            .cloned()
+    }
+
+    pub(crate) fn unrolls_insert(&self, key: UnrollKey, memo: UnrollMemo) {
+        if self.enabled {
+            self.session
+                .map
+                .lock()
+                .expect("cache lock")
+                .entry(self.ctx_fp)
+                .or_default()
+                .unrolls
+                .insert(key, memo);
         }
     }
 }
@@ -157,15 +326,32 @@ pub(crate) fn complete(
     m
 }
 
+thread_local! {
+    /// Per-worker evaluation scratch, reused across rounds and calls (the
+    /// pool threads are session-lived, so the buffers stay warm).
+    static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
+
 /// Completes and estimates every candidate.
 ///
 /// The cache is probed on the calling thread with a reused scratch key
 /// computed straight from the partial state — no clone-and-complete per
 /// probe. Only the misses materialize a completed mapping and go through
-/// the model, chunked over the configured worker threads via
-/// `std::thread::scope` (each worker reuses one evaluation scratch).
+/// the model, distributed over the session's persistent worker pool (no
+/// per-round thread spawns; each worker reuses one evaluation scratch).
+///
+/// Bottom-up stages past the first price each miss *prefix-incrementally*:
+/// all candidates expanded from one beam state share the decided levels
+/// `0..=mems[stage − 1]`, so that prefix's per-level cost contribution is
+/// built once per parent ([`CostModel::prefix_of`]) and each candidate
+/// only derives the delta of its frontier and completion levels. The
+/// composition is bit-identical to the monolithic evaluation (see the
+/// `prefix` property tests), so cached reports are unaffected.
+///
 /// Results are written back by candidate index, so the outcome is
 /// identical for any thread count.
+///
+/// [`CostModel::prefix_of`]: sunstone_model::CostModel::prefix_of
 pub(crate) fn estimate_all(
     ctx: &SearchContext<'_>,
     direction: Direction,
@@ -173,7 +359,7 @@ pub(crate) fn estimate_all(
     stage: usize,
     stats: &mut SearchStats,
 ) {
-    stats.evaluated += candidates.len() as u64;
+    stats.probed += candidates.len() as u64;
     let objective = ctx.config.objective;
     let pos = completion_pos(ctx, direction);
     let cache = &ctx.cache;
@@ -188,7 +374,7 @@ pub(crate) fn estimate_all(
         let per_ctx = guard.as_ref().and_then(|g| g.get(&cache.ctx_fp));
         for (i, state) in candidates.iter_mut().enumerate() {
             completed_key(&state.mapping, pos, &state.quotas, &mut key);
-            match per_ctx.and_then(|m| m.get(key.as_slice())) {
+            match per_ctx.and_then(|e| e.reports.get(key.as_slice())) {
                 Some(report) => {
                     state.estimate = objective.of(report);
                     hits += 1;
@@ -204,33 +390,81 @@ pub(crate) fn estimate_all(
     let completed: Vec<Mapping> =
         misses.iter().map(|&(i, _)| complete(ctx, &candidates[i], direction)).collect();
 
+    // Prefix memoization: bottom-up, every candidate of one parent shares
+    // the levels up to the previous stage's memory, and completion only
+    // touches the outermost level — strictly above that boundary. Misses
+    // preserve candidate order and candidates are expanded parent by
+    // parent, so each parent's run of misses is contiguous.
+    let boundary = (direction == Direction::BottomUp && stage >= 1).then(|| ctx.mems[stage - 1]);
+    let mut prefixes: Vec<MappingPrefix> = Vec::new();
+    let mut group_of: Vec<u32> = Vec::new();
+    if let Some(b) = boundary {
+        let mut last_parent = usize::MAX;
+        for (k, &(i, _)) in misses.iter().enumerate() {
+            let parent = candidates[i].parent;
+            if prefixes.is_empty() || parent != last_parent {
+                prefixes.push(ctx.model.prefix_of(&completed[k], b));
+                last_parent = parent;
+            }
+            group_of.push((prefixes.len() - 1) as u32);
+        }
+        let reused = (misses.len() - prefixes.len()) as u64;
+        stats.prefix_hits += reused;
+        cache.session.prefix_hits.fetch_add(reused, Ordering::Relaxed);
+    }
+
     let mut reports: Vec<Option<CostReport>> = vec![None; misses.len()];
     if !misses.is_empty() {
-        let threads = ctx.config.effective_threads().min(misses.len());
-        let chunk = misses.len().div_ceil(threads.max(1)).max(1);
+        stats.rounds += 1;
+        stats.spawns_avoided += ((ctx.pool.workers() + 1).min(misses.len())) as u64;
         let model = &ctx.model;
-        std::thread::scope(|scope| {
-            for (m_part, r_part) in completed.chunks(chunk).zip(reports.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    let mut scratch = model.scratch();
-                    for (mapping, slot) in m_part.iter().zip(r_part) {
-                        *slot = Some(model.evaluate_unchecked_with(mapping, &mut scratch));
-                    }
-                });
-            }
+        let writer = SliceWriter::new(&mut reports);
+        let (prefixes, group_of, completed) = (&prefixes, &group_of, &completed);
+        ctx.pool.run(misses.len(), &|k| {
+            SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                let report = match group_of.get(k) {
+                    Some(&g) => model.evaluate_prefixed_with(
+                        &prefixes[g as usize],
+                        &completed[k],
+                        &mut scratch,
+                    ),
+                    None => model.evaluate_unchecked_with(&completed[k], &mut scratch),
+                };
+                // SAFETY: the pool feeds each index to exactly one task.
+                unsafe { writer.write(k, Some(report)) };
+            });
         });
     }
 
     let miss_count = misses.len() as u64;
+    stats.modeled += miss_count;
     {
-        // Publish every new report under a single lock acquisition.
+        // Publish every new report under a single lock acquisition, stamp
+        // the context's LRU clock, and enforce the cache bound.
         let mut guard = cache.enabled.then(|| cache.session.map.lock().expect("cache lock"));
-        let mut per_ctx = guard.as_mut().map(|g| g.entry(cache.ctx_fp).or_default());
+        let mut per_ctx = guard.as_deref_mut().map(|g| {
+            let tick = cache.session.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            let e = g.entry(cache.ctx_fp).or_default();
+            e.last_used = tick;
+            e
+        });
+        let mut inserted = 0usize;
         for ((i, key), report) in misses.into_iter().zip(reports) {
             let report = report.expect("every miss is evaluated");
             candidates[i].estimate = objective.of(&report);
-            if let Some(m) = per_ctx.as_deref_mut() {
-                m.insert(key, report);
+            if let Some(e) = per_ctx.as_deref_mut() {
+                if e.reports.insert(key, report).is_none() {
+                    inserted += 1;
+                }
+            }
+        }
+        if inserted > 0 {
+            let total = cache.session.entries.fetch_add(inserted, Ordering::Relaxed) + inserted;
+            if total > cache.max_entries {
+                if let Some(g) = guard.as_deref_mut() {
+                    cache.session.evict_lru(g, cache.max_entries, cache.ctx_fp);
+                }
             }
         }
     }

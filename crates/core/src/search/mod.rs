@@ -39,6 +39,7 @@ use sunstone_model::CostModel;
 
 use crate::factors::DivisorLadders;
 use crate::ordering::{OrderingCandidate, OrderingTrie};
+use crate::pool::WorkerPool;
 use crate::progress::{CancelToken, ProgressSink};
 use crate::SunstoneConfig;
 
@@ -90,6 +91,9 @@ pub(crate) struct SearchContext<'a> {
     pub(crate) lower_spatial: Vec<Vec<usize>>,
     /// This search's view of the session estimate cache.
     pub(crate) cache: EstimateCache<'a>,
+    /// The session's persistent worker pool (estimate rounds fan out over
+    /// it instead of spawning threads per round).
+    pub(crate) pool: &'a WorkerPool,
     /// Precomputed sorted divisor ladders for every quota the search can
     /// produce (quotas only shrink by division, so they stay divisors of
     /// the dimension extents).
@@ -109,6 +113,7 @@ impl<'a> SearchContext<'a> {
         binding: &'a Binding,
         config: &'a SunstoneConfig,
         cache: EstimateCache<'a>,
+        pool: &'a WorkerPool,
     ) -> Self {
         let mems: Vec<usize> = arch.memory_levels().map(|(id, _)| id.index()).collect();
         let mut lower_spatial: Vec<Vec<usize>> = Vec::with_capacity(mems.len());
@@ -143,6 +148,7 @@ impl<'a> SearchContext<'a> {
             mems,
             lower_spatial,
             cache,
+            pool,
             ladders: DivisorLadders::new(&workload.dim_sizes()),
             mem_fits,
         }
@@ -171,6 +177,11 @@ pub(crate) struct PartialState {
     pub(crate) ordering_here: Option<OrderingCandidate>,
     /// Objective estimate of the completed mapping.
     pub(crate) estimate: f64,
+    /// Index of the beam state this candidate was expanded from (set by
+    /// the composition loop). Candidates of one parent share every level
+    /// decided before the current stage, which is what lets estimation
+    /// memoize the decided-prefix cost per parent.
+    pub(crate) parent: usize,
 }
 
 impl PartialState {
@@ -182,6 +193,7 @@ impl PartialState {
             quotas: DimVec::from(ctx.workload.dim_sizes()),
             ordering_here: None,
             estimate: f64::INFINITY,
+            parent: 0,
         }
     }
 }

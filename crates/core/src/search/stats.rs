@@ -75,7 +75,7 @@ pub struct LevelStats {
     /// Identical partial mappings removed before estimation.
     pub dedup_removed: u64,
     /// Beam: candidates estimated vs. survivors after the alpha-beta-style
-    /// cut. `considered` sums to [`SearchStats::evaluated`] across levels.
+    /// cut. `considered` sums to [`SearchStats::probed`] across levels.
     pub beam: PruneCounter,
     /// Estimates answered by the memoized estimate cache at this stage.
     pub cache_hits: u64,
@@ -86,9 +86,24 @@ pub struct LevelStats {
 /// Search statistics of one scheduling run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SearchStats {
-    /// Complete mappings estimated with the cost model (the optimization
-    /// space actually visited — comparable across tools in Table I).
-    pub evaluated: u64,
+    /// Complete mappings whose estimate the search requested (the
+    /// optimization space actually visited — comparable across tools in
+    /// Table I). Split from the former `evaluated` counter: `probed`
+    /// counts estimate requests, [`modeled`](Self::modeled) the subset
+    /// that actually ran the analytic model.
+    pub probed: u64,
+    /// Estimate probes that missed every cache and ran the cost model
+    /// (`probed − modeled` were served memoized).
+    pub modeled: u64,
+    /// Model evaluations that reused a memoized decided-prefix cost
+    /// (prefix-incremental estimation) instead of re-deriving every
+    /// level's access counts from scratch.
+    pub prefix_hits: u64,
+    /// Parallel fan-out rounds dispatched to the session worker pool.
+    pub rounds: u64,
+    /// OS thread spawns avoided versus the former per-round
+    /// `std::thread::scope` fan-out.
+    pub spawns_avoided: u64,
     /// Loop orderings considered across all stages.
     pub orderings: u64,
     /// Tiles considered across all stages.

@@ -12,8 +12,8 @@
 //! * [`schedule_batch`](Scheduler::schedule_batch) canonicalizes a slice
 //!   of workloads, **dedups identical shapes** (ResNet-style networks
 //!   repeat most blocks), searches only the unique shapes — fanned out
-//!   over `std::thread::scope` workers — and replays each result per
-//!   occurrence;
+//!   over the session's persistent worker pool — and replays each result
+//!   per occurrence;
 //! * per-call **controls** bound the work: a wall-clock
 //!   [`time_budget`](ScheduleOptions::time_budget) with a graceful
 //!   best-so-far return, a cooperative [`CancelToken`], and a
@@ -25,8 +25,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use sunstone_arch::{ArchSpec, Binding};
@@ -36,6 +35,7 @@ use sunstone_model::CostReport;
 
 use crate::error::ScheduleError;
 use crate::fingerprint::{context_fingerprint, workload_fingerprint};
+use crate::pool::{SliceWriter, WorkerPool};
 use crate::progress::{CancelToken, ProgressEvent, ProgressSink};
 use crate::search::compose::{run_level_search, BottomUpPass, LevelPass, SearchStop, TopDownPass};
 use crate::search::estimate::{self, EstimateCache, SessionCache};
@@ -161,7 +161,8 @@ pub struct BatchStats {
     pub cache_hits: u64,
     /// Session-cache misses (model evaluations) during this call.
     pub cache_misses: u64,
-    /// Mappings estimated across the unique searches.
+    /// Mappings estimated across the unique searches
+    /// ([`SearchStats::probed`] summed per unique shape).
     pub evaluated: u64,
     /// Wall-clock time of the whole batch call.
     pub elapsed: Duration,
@@ -204,6 +205,12 @@ impl BatchResult {
 pub struct Scheduler {
     config: SunstoneConfig,
     cache: Arc<SessionCache>,
+    /// The session-persistent worker pool, created lazily on the first
+    /// call that needs it (so constructing a `Scheduler` spawns nothing)
+    /// and shared by clones. `threads − 1` background workers — the
+    /// submitting thread always participates, so one configured thread
+    /// means a pool with zero workers running inline.
+    pool: Arc<OnceLock<WorkerPool>>,
 }
 
 impl Scheduler {
@@ -215,7 +222,7 @@ impl Scheduler {
     /// from [`SunstoneConfig::builder`](crate::SunstoneConfig::builder)
     /// are always valid.
     pub fn new(config: SunstoneConfig) -> Self {
-        Scheduler { config, cache: Arc::new(SessionCache::new()) }
+        Scheduler { config, cache: Arc::new(SessionCache::new()), pool: Arc::new(OnceLock::new()) }
     }
 
     /// The active configuration.
@@ -223,9 +230,20 @@ impl Scheduler {
         &self.config
     }
 
-    /// Cumulative statistics of the session estimate cache.
+    /// The session worker pool (lazily spawned).
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(self.config.effective_threads().saturating_sub(1)))
+    }
+
+    /// Cumulative statistics of the session estimate cache and worker
+    /// pool.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        if let Some(pool) = self.pool.get() {
+            stats.pool_rounds = pool.rounds();
+            stats.spawns_avoided = pool.spawns_avoided();
+        }
+        stats
     }
 
     /// Drops every cached estimate (hit/miss counters are kept). Useful
@@ -343,51 +361,48 @@ impl Scheduler {
             }
         }
 
-        // Fan the unique shapes out over scoped workers. Each worker pulls
-        // the next undone shape; per-shape results are deterministic, so
-        // the assembly below is identical for any worker count.
+        // Fan the unique shapes out over the session worker pool (the
+        // submitting thread participates). Per-shape results are
+        // deterministic and land in index-disjoint slots, so the assembly
+        // below is identical for any worker count.
         let deadline = options.time_budget.map(|b| start + b);
-        let slots: Vec<Mutex<Option<Result<ScheduleOutcome, ScheduleError>>>> =
-            unique.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.config.effective_threads().min(unique.len()).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let u = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&input_idx) = unique.get(u) else { break };
-                    let w = &workloads[input_idx];
-                    if let Some(sink) = &options.progress {
-                        sink.on_event(&ProgressEvent::LayerStarted {
-                            unique: u,
-                            name: w.name().to_string(),
-                        });
-                    }
-                    let layer_start = Instant::now();
-                    let controls =
-                        CallControls { deadline, cancel: options.cancel.as_ref(), progress: None };
-                    let outcome = self.run_one(w, arch, options.top_k, layer_start, &controls);
-                    if let Some(sink) = &options.progress {
-                        sink.on_event(&ProgressEvent::LayerFinished {
-                            unique: u,
-                            evaluated: outcome
-                                .as_ref()
-                                .map(|o| o.results()[0].stats.evaluated)
-                                .unwrap_or(0),
-                            elapsed: layer_start.elapsed(),
-                        });
-                    }
-                    *slots[u].lock().expect("slot lock") = Some(outcome);
-                });
-            }
-        });
+        let mut slots: Vec<Option<Result<ScheduleOutcome, ScheduleError>>> =
+            unique.iter().map(|_| None).collect();
+        {
+            let writer = SliceWriter::new(&mut slots);
+            self.pool().run(unique.len(), &|u| {
+                let input_idx = unique[u];
+                let w = &workloads[input_idx];
+                if let Some(sink) = &options.progress {
+                    sink.on_event(&ProgressEvent::LayerStarted {
+                        unique: u,
+                        name: w.name().to_string(),
+                    });
+                }
+                let layer_start = Instant::now();
+                let controls =
+                    CallControls { deadline, cancel: options.cancel.as_ref(), progress: None };
+                let outcome = self.run_one(w, arch, options.top_k, layer_start, &controls);
+                if let Some(sink) = &options.progress {
+                    sink.on_event(&ProgressEvent::LayerFinished {
+                        unique: u,
+                        evaluated: outcome
+                            .as_ref()
+                            .map(|o| o.results()[0].stats.probed)
+                            .unwrap_or(0),
+                        elapsed: layer_start.elapsed(),
+                    });
+                }
+                // SAFETY: the pool feeds each index to exactly one task.
+                unsafe { writer.write(u, Some(outcome)) };
+            });
+        }
 
         // Assemble: fail with the first error in first-occurrence order,
         // otherwise replay each unique result onto its occurrences.
         let mut per_unique: Vec<(Vec<ScheduleResult>, bool)> = Vec::with_capacity(unique.len());
         for slot in slots {
-            let outcome =
-                slot.into_inner().expect("slot lock").expect("every unique shape was scheduled")?;
+            let outcome = slot.expect("every unique shape was scheduled")?;
             let complete = outcome.is_complete();
             per_unique.push((outcome.into_results(), complete));
         }
@@ -399,7 +414,7 @@ impl Scheduler {
             best_so_far: per_unique.iter().filter(|(_, complete)| !complete).count(),
             cache_hits: self.cache.stats().hits - cache_before.hits,
             cache_misses: self.cache.stats().misses - cache_before.misses,
-            evaluated: per_unique.iter().map(|(r, _)| r[0].stats.evaluated).sum(),
+            evaluated: per_unique.iter().map(|(r, _)| r[0].stats.probed).sum(),
             elapsed: start.elapsed(),
         };
         let layers = assign.iter().map(|&slot| per_unique[slot].0.clone()).collect();
@@ -420,8 +435,13 @@ impl Scheduler {
         arch.validate()?;
         let binding = Binding::resolve(arch, workload)?;
         let ctx_fp = context_fingerprint(workload, arch, &self.config);
-        let cache = EstimateCache::new(self.config.estimate_cache, ctx_fp, &self.cache);
-        let ctx = SearchContext::new(workload, arch, &binding, &self.config, cache);
+        let cache = EstimateCache::new(
+            self.config.estimate_cache,
+            ctx_fp,
+            self.config.max_cache_entries,
+            &self.cache,
+        );
+        let ctx = SearchContext::new(workload, arch, &binding, &self.config, cache, self.pool());
         let mut stats = SearchStats::default();
 
         let pass: &dyn LevelPass = match self.config.direction {

@@ -60,3 +60,40 @@ fn conv2d_top_k_is_identical_for_1_and_4_threads() {
 fn matmul_top_k_is_identical_for_1_and_4_threads() {
     assert_thread_invariant(&matmul());
 }
+
+/// The session worker pool must be invisible in the results: a pool with
+/// 0, 1, or 7 background workers (threads = 1/2/8) claims candidate
+/// indices in whatever order, but writes reports back by index, so the
+/// chosen mapping and every report bit are identical.
+#[test]
+fn pool_results_are_identical_for_1_2_and_8_threads() {
+    use sunstone::Scheduler;
+    let arch = presets::simba_like();
+    let w = conv2d();
+    let run = |threads: usize| {
+        let s = Scheduler::new(SunstoneConfig { threads, ..SunstoneConfig::default() });
+        s.schedule(&w, &arch).unwrap()
+    };
+    let one = run(1);
+    for threads in [2, 8] {
+        let other = run(threads);
+        assert_eq!(one.mapping, other.mapping, "mapping differs at {threads} threads");
+        assert_eq!(
+            one.report.energy_pj.to_bits(),
+            other.report.energy_pj.to_bits(),
+            "energy bits differ at {threads} threads"
+        );
+        assert_eq!(
+            one.report.delay_cycles.to_bits(),
+            other.report.delay_cycles.to_bits(),
+            "delay bits differ at {threads} threads"
+        );
+        assert_eq!(
+            one.report.edp.to_bits(),
+            other.report.edp.to_bits(),
+            "EDP bits differ at {threads} threads"
+        );
+        assert_eq!(one.stats.probed, other.stats.probed, "probe count differs");
+        assert_eq!(one.stats.modeled, other.stats.modeled, "model count differs");
+    }
+}

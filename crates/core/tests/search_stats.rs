@@ -52,14 +52,20 @@ fn per_principle_counts_are_nonzero_on_simba_conv2d() {
 }
 
 #[test]
-fn beam_considered_sums_to_evaluated() {
+fn beam_considered_sums_to_probed() {
     let w = simba_conv2d();
     let arch = presets::simba_like();
     let r = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
     let per_level: u64 = r.stats.levels.iter().map(|l| l.beam.considered).sum();
-    assert_eq!(per_level, r.stats.evaluated, "every estimated candidate faces the beam");
+    assert_eq!(per_level, r.stats.probed, "every estimated candidate faces the beam");
     let probes: u64 = r.stats.levels.iter().map(|l| l.cache_hits + l.cache_misses).sum();
-    assert_eq!(probes, r.stats.evaluated, "every estimate goes through the cache");
+    assert_eq!(probes, r.stats.probed, "every estimate goes through the cache");
+    let per_level_misses: u64 = r.stats.levels.iter().map(|l| l.cache_misses).sum();
+    assert_eq!(per_level_misses, r.stats.modeled, "modeled counts the per-level cache misses");
+    assert!(r.stats.modeled <= r.stats.probed, "the model runs at most once per probe");
+    assert!(r.stats.rounds > 0, "estimation fans out over the pool");
+    assert!(r.stats.spawns_avoided >= r.stats.rounds, "each round avoids at least one spawn");
+    assert!(r.stats.prefix_hits > 0, "outer stages reuse memoized prefixes on Simba");
 }
 
 #[test]

@@ -169,6 +169,65 @@ fn session_cache_survives_across_calls() {
 }
 
 #[test]
+fn bounded_cache_evicts_lru_context_and_keeps_results_identical() {
+    let arch = presets::conventional();
+    let a = conv("a", 32, 16, 14, 3);
+    let b = conv("b", 64, 32, 7, 3);
+
+    // Per-shape entry counts, measured on fresh unbounded sessions.
+    let solo = |w: &Workload| {
+        let s = Scheduler::new(SunstoneConfig::default());
+        let out = s.schedule(w, &arch).expect("schedules");
+        (out, s.cache_stats().entries)
+    };
+    let (a_ref, a_entries) = solo(&a);
+    let (b_ref, b_entries) = solo(&b);
+    assert!(a_entries > 1 && b_entries > 1, "both shapes populate the cache");
+
+    // A cap of one entry cannot hold two contexts: scheduling `b` must
+    // evict `a`'s whole context (LRU), but never the in-use context —
+    // each search keeps its own entries, so results stay bit-identical.
+    let capped =
+        Scheduler::new(SunstoneConfig { max_cache_entries: 1, ..SunstoneConfig::default() });
+    let a_out = capped.schedule(&a, &arch).expect("schedules");
+    assert_eq!(
+        capped.cache_stats().entries,
+        a_entries,
+        "the active context is never evicted mid-search, even over the cap"
+    );
+    let b_out = capped.schedule(&b, &arch).expect("schedules");
+    assert_eq!(
+        capped.cache_stats().entries,
+        b_entries,
+        "scheduling a second shape evicts the first shape's context"
+    );
+    assert_eq!(a_out.mapping, a_ref.mapping, "the bound never changes results");
+    assert_eq!(b_out.mapping, b_ref.mapping, "the bound never changes results");
+    assert_eq!(a_out.report.edp.to_bits(), a_ref.report.edp.to_bits());
+    assert_eq!(b_out.report.edp.to_bits(), b_ref.report.edp.to_bits());
+
+    // Re-scheduling the evicted shape misses the cache (it was dropped):
+    // the model runs exactly as often as on a cold session, and the
+    // re-populated context evicts `b` in turn.
+    let again = capped.schedule(&a, &arch).expect("schedules");
+    assert_eq!(again.mapping, a_ref.mapping);
+    assert_eq!(capped.cache_stats().entries, a_entries, "`a` repopulated, `b` evicted");
+    assert_eq!(
+        again.stats.modeled, a_ref.stats.modeled,
+        "the evicted context serves no cross-call reuse"
+    );
+
+    // An ample cap retains both contexts side by side.
+    let roomy = Scheduler::new(SunstoneConfig {
+        max_cache_entries: (a_entries + b_entries) * 2,
+        ..SunstoneConfig::default()
+    });
+    roomy.schedule(&a, &arch).expect("schedules");
+    roomy.schedule(&b, &arch).expect("schedules");
+    assert_eq!(roomy.cache_stats().entries, a_entries + b_entries, "both contexts retained");
+}
+
+#[test]
 fn cloned_sessions_share_one_cache() {
     let arch = presets::conventional();
     let w = conv("c", 32, 16, 14, 3);

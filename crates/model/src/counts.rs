@@ -25,18 +25,27 @@ pub fn storage_chains(workload: &Workload, arch: &ArchSpec, binding: &Binding) -
         .collect()
 }
 
-/// Reusable buffers for [`AccessCounts::compute_reusing`]: keep one per
-/// evaluation thread so the count pass allocates only its output table.
+/// Reusable buffers for [`AccessCounts::compute_reusing`] and the
+/// prefix-incremental pass: keep one per evaluation thread so the count
+/// pass allocates only its output table.
 #[derive(Debug, Clone)]
 pub struct CountScratch {
     nest: FlatNest,
-    resident: Vec<DimVec>,
-    s_above: Vec<f64>,
+    pub(crate) resident: Vec<DimVec>,
+    pub(crate) s_above: Vec<f64>,
+    /// Flat loops of the undecided (candidate) mapping suffix, reused by
+    /// [`crate::prefix`].
+    pub(crate) cand: Vec<FlatLoop>,
 }
 
 impl Default for CountScratch {
     fn default() -> Self {
-        CountScratch { nest: FlatNest::empty(), resident: Vec::new(), s_above: Vec::new() }
+        CountScratch {
+            nest: FlatNest::empty(),
+            resident: Vec::new(),
+            s_above: Vec::new(),
+            cand: Vec::new(),
+        }
     }
 }
 
@@ -142,6 +151,16 @@ impl AccessCounts {
     pub fn num_levels(&self) -> usize {
         self.per.len() / self.n_tensors.max(1)
     }
+
+    /// Assembles a table from raw rows (the prefix-incremental pass in
+    /// [`crate::prefix`] fills the rows itself).
+    pub(crate) fn from_parts(
+        n_tensors: usize,
+        per: Vec<TensorLevelCounts>,
+        crossings: Vec<f64>,
+    ) -> Self {
+        AccessCounts { n_tensors, per, crossings }
+    }
 }
 
 struct Counter<'a> {
@@ -228,131 +247,173 @@ impl Counter<'_> {
         crossings: &mut [f64],
     ) {
         let ndims = self.workload.num_dims();
-        let nt = self.workload.num_tensors();
-        let indexing = tensor.indexing_dims();
-        let is_output = tensor.is_output();
-
         // Tiles (inline vectors: cloning stays on the stack).
         let child_tile: DimVec =
             if child < 0 { DimVec::ones(ndims) } else { resident[child as usize].clone() };
-        let mut union_tile = child_tile.clone();
-        let mut non_mc = 1.0f64;
-        for l in nest.loops() {
-            if l.is_spatial() && (l.arch_pos as i64) > child && l.arch_pos < p {
-                union_tile[l.dim.index()] *= l.factor;
-                let multicast = self
-                    .arch
-                    .level(LevelId(l.arch_pos))
-                    .as_spatial()
-                    .map(|s| s.noc.multicast)
-                    .unwrap_or(true);
-                if !multicast && !indexing.contains(l.dim) {
-                    non_mc *= l.factor as f64;
-                }
-            }
-        }
-        let f_child = tensor.footprint(&child_tile) as f64;
-        let f_union = tensor.footprint(&union_tile) as f64;
-
-        // Refill analysis over the loops above the child boundary. At the
-        // MAC boundary (child < 0) there is no temporal reuse: the
-        // innermost storing level is read once per MAC per operand —
-        // registers must be modelled as explicit memory levels (as in the
-        // Simba preset) to reuse operands across MACs.
-        let above = nest.loops_above(child);
-        let suffix_start =
-            if child < 0 { above.len() } else { reuse_suffix_start(above, indexing) };
-        let driving = if child < 0 {
-            None
-        } else {
-            above[..suffix_start].iter().rev().find(|l| !l.is_spatial()).copied()
-        };
-        let refills: f64 = above[..suffix_start]
-            .iter()
-            .filter(|l| !l.is_spatial())
-            .map(|l| l.factor as f64)
-            .product();
-        let distinct: f64 = above
-            .iter()
-            .filter(|l| !l.is_spatial() && indexing.contains(l.dim))
-            .map(|l| l.factor as f64)
-            .product();
-
         let s_p = s_above[p + 1];
         let s_c = if child < 0 { s_above[0] } else { s_above[child as usize + 1] };
+        count_pair(
+            self.workload,
+            self.arch,
+            self.options,
+            t,
+            tensor,
+            child,
+            p,
+            nest.loops(),
+            &child_tile,
+            s_p,
+            s_c,
+            per,
+            crossings,
+        );
+    }
+}
 
-        if is_output {
-            // Evictions travel up (child read → parent update); revisits
-            // travel down (parent read → child fill).
-            let reloads = (refills - distinct).max(0.0);
-            per[p * nt + t.index()].updates += refills * f_union * non_mc * s_p;
-            per[p * nt + t.index()].reads += reloads * f_union * non_mc * s_p;
-            if child >= 0 {
-                let c = child as usize;
-                per[c * nt + t.index()].reads += refills * f_child * s_c;
-                per[c * nt + t.index()].fills += reloads * f_child * s_c;
+/// Accounts for the data movement of `tensor` between the storing level at
+/// `p` and its child storing level at `child` (−1 = the MAC boundary).
+///
+/// `loops` is the flattened nest outermost-first; only loops with
+/// `arch_pos > child` (refill analysis) or spatial loops strictly between
+/// `child` and `p` (union tile) are read, so a caller that knows every
+/// relevant loop lives above some boundary may pass a suffix nest. At the
+/// MAC boundary (`child < 0`) there is no temporal reuse: the innermost
+/// storing level is read once per MAC per operand — registers must be
+/// modelled as explicit memory levels (as in the Simba preset) to reuse
+/// operands across MACs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn count_pair(
+    workload: &Workload,
+    arch: &ArchSpec,
+    options: ModelOptions,
+    t: TensorId,
+    tensor: &TensorDesc,
+    child: i64,
+    p: usize,
+    loops: &[FlatLoop],
+    child_tile: &DimVec,
+    s_p: f64,
+    s_c: f64,
+    per: &mut [TensorLevelCounts],
+    crossings: &mut [f64],
+) {
+    let nt = workload.num_tensors();
+    let indexing = tensor.indexing_dims();
+    let is_output = tensor.is_output();
+
+    let mut union_tile = child_tile.clone();
+    let mut non_mc = 1.0f64;
+    for l in loops {
+        if l.is_spatial() && (l.arch_pos as i64) > child && l.arch_pos < p {
+            union_tile[l.dim.index()] *= l.factor;
+            let multicast = arch
+                .level(LevelId(l.arch_pos))
+                .as_spatial()
+                .map(|s| s.noc.multicast)
+                .unwrap_or(true);
+            if !multicast && !indexing.contains(l.dim) {
+                non_mc *= l.factor as f64;
             }
-            let crossing_words = (refills + reloads) * f_child * s_c;
-            self.add_crossings(t, child, p, crossing_words, crossings);
-        } else {
-            // Halo (sliding-window) credit on adjacent refills.
-            let parent_vol = self.halo_volume(tensor, driving, refills, &union_tile, f_union);
-            let child_vol = self.halo_volume(tensor, driving, refills, &child_tile, f_child);
-            per[p * nt + t.index()].reads += parent_vol * non_mc * s_p;
-            if child >= 0 {
-                let c = child as usize;
-                per[c * nt + t.index()].fills += child_vol * s_c;
-            }
-            self.add_crossings(t, child, p, child_vol * s_c, crossings);
         }
     }
+    let f_child = tensor.footprint(child_tile) as f64;
+    let f_union = tensor.footprint(&union_tile) as f64;
 
-    /// Total words fetched over `refills` refill events of a tile with
-    /// footprint `f`, crediting window overlap between refills that are
-    /// adjacent along the driving loop's dimension.
-    fn halo_volume(
-        &self,
-        tensor: &TensorDesc,
-        driving: Option<FlatLoop>,
-        refills: f64,
-        tile: &[u64],
-        f: f64,
-    ) -> f64 {
-        let Some(drv) = driving else { return refills * f };
-        if !self.options.halo_reuse {
-            return refills * f;
+    // Refill analysis over the loops above the child boundary.
+    let cut = loops.iter().position(|l| (l.arch_pos as i64) <= child).unwrap_or(loops.len());
+    let above = &loops[..cut];
+    let suffix_start = if child < 0 { above.len() } else { reuse_suffix_start(above, indexing) };
+    let driving = if child < 0 {
+        None
+    } else {
+        above[..suffix_start].iter().rev().find(|l| !l.is_spatial()).copied()
+    };
+    let refills: f64 =
+        above[..suffix_start].iter().filter(|l| !l.is_spatial()).map(|l| l.factor as f64).product();
+    let distinct: f64 = above
+        .iter()
+        .filter(|l| !l.is_spatial() && indexing.contains(l.dim))
+        .map(|l| l.factor as f64)
+        .product();
+
+    if is_output {
+        // Evictions travel up (child read → parent update); revisits
+        // travel down (parent read → child fill).
+        let reloads = (refills - distinct).max(0.0);
+        per[p * nt + t.index()].updates += refills * f_union * non_mc * s_p;
+        per[p * nt + t.index()].reads += reloads * f_union * non_mc * s_p;
+        if child >= 0 {
+            let c = child as usize;
+            per[c * nt + t.index()].reads += refills * f_child * s_c;
+            per[c * nt + t.index()].fills += reloads * f_child * s_c;
         }
-        // Find the index expression containing the driving dimension.
-        let Some(expr) =
-            tensor.indices().iter().find(|e| e.terms().iter().any(|t| t.dim == drv.dim))
-        else {
-            return refills * f;
-        };
-        if !expr.is_compound() {
-            return refills * f; // plain index: full refetch, no overlap
+        let crossing_words = (refills + reloads) * f_child * s_c;
+        add_crossings(workload, arch, t, child, p, crossing_words, crossings);
+    } else {
+        // Halo (sliding-window) credit on adjacent refills.
+        let parent_vol = halo_volume(options, tensor, driving, refills, &union_tile, f_union);
+        let child_vol = halo_volume(options, tensor, driving, refills, child_tile, f_child);
+        per[p * nt + t.index()].reads += parent_vol * non_mc * s_p;
+        if child >= 0 {
+            let c = child as usize;
+            per[c * nt + t.index()].fills += child_vol * s_c;
         }
-        let extent = expr.extent_of(tile) as f64;
-        if extent == 0.0 {
-            return 0.0;
-        }
-        let stride =
-            expr.terms().iter().find(|t| t.dim == drv.dim).map(|t| t.stride).unwrap_or(1) as f64;
-        let shift = stride * tile[drv.dim.index()] as f64;
-        let frac = (shift.min(extent)) / extent;
-        // refills = sweeps × drv.factor; within a sweep, the first refill
-        // is a full fetch and the remaining (factor − 1) fetch only the
-        // fresh window portion.
-        let sweeps = refills / drv.factor as f64;
-        sweeps * f * (1.0 + (drv.factor as f64 - 1.0) * frac)
+        add_crossings(workload, arch, t, child, p, child_vol * s_c, crossings);
     }
+}
 
-    fn add_crossings(&self, t: TensorId, child: i64, p: usize, words: f64, crossings: &mut [f64]) {
-        let nt = self.workload.num_tensors();
-        for pos in 0..p {
-            if (pos as i64) > child {
-                if let Level::Spatial(_) = self.arch.level(LevelId(pos)) {
-                    crossings[pos * nt + t.index()] += words;
-                }
+/// Total words fetched over `refills` refill events of a tile with
+/// footprint `f`, crediting window overlap between refills that are
+/// adjacent along the driving loop's dimension.
+pub(crate) fn halo_volume(
+    options: ModelOptions,
+    tensor: &TensorDesc,
+    driving: Option<FlatLoop>,
+    refills: f64,
+    tile: &[u64],
+    f: f64,
+) -> f64 {
+    let Some(drv) = driving else { return refills * f };
+    if !options.halo_reuse {
+        return refills * f;
+    }
+    // Find the index expression containing the driving dimension.
+    let Some(expr) = tensor.indices().iter().find(|e| e.terms().iter().any(|t| t.dim == drv.dim))
+    else {
+        return refills * f;
+    };
+    if !expr.is_compound() {
+        return refills * f; // plain index: full refetch, no overlap
+    }
+    let extent = expr.extent_of(tile) as f64;
+    if extent == 0.0 {
+        return 0.0;
+    }
+    let stride =
+        expr.terms().iter().find(|t| t.dim == drv.dim).map(|t| t.stride).unwrap_or(1) as f64;
+    let shift = stride * tile[drv.dim.index()] as f64;
+    let frac = (shift.min(extent)) / extent;
+    // refills = sweeps × drv.factor; within a sweep, the first refill
+    // is a full fetch and the remaining (factor − 1) fetch only the
+    // fresh window portion.
+    let sweeps = refills / drv.factor as f64;
+    sweeps * f * (1.0 + (drv.factor as f64 - 1.0) * frac)
+}
+
+pub(crate) fn add_crossings(
+    workload: &Workload,
+    arch: &ArchSpec,
+    t: TensorId,
+    child: i64,
+    p: usize,
+    words: f64,
+    crossings: &mut [f64],
+) {
+    let nt = workload.num_tensors();
+    for pos in 0..p {
+        if (pos as i64) > child {
+            if let Level::Spatial(_) = arch.level(LevelId(pos)) {
+                crossings[pos * nt + t.index()] += words;
             }
         }
     }
@@ -361,7 +422,7 @@ impl Counter<'_> {
 /// Index into `above` where the innermost contiguous run of
 /// non-indexing temporal loops begins (spatial loops are transparent).
 /// Loops at `suffix_start..` provide temporal reuse for the tensor.
-fn reuse_suffix_start(above: &[FlatLoop], indexing: sunstone_ir::DimSet) -> usize {
+pub(crate) fn reuse_suffix_start(above: &[FlatLoop], indexing: sunstone_ir::DimSet) -> usize {
     let mut start = above.len();
     for (i, l) in above.iter().enumerate().rev() {
         if l.is_spatial() {

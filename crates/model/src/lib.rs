@@ -64,8 +64,10 @@ mod cost;
 mod counts;
 mod explain;
 mod options;
+mod prefix;
 
 pub use cost::{CostModel, CostReport, EvalScratch, LevelReport};
 pub use counts::{storage_chains, AccessCounts, CountScratch, TensorLevelCounts};
 pub use explain::compare;
 pub use options::ModelOptions;
+pub use prefix::MappingPrefix;

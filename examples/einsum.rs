@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             result.report.edp,
             result.report.energy_pj,
             result.report.delay_cycles,
-            result.stats.evaluated,
+            result.stats.probed,
             result.stats.elapsed
         );
         print!("{}", indent(&pretty::render(&result.mapping, &workload, &arch)));

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("parallelism  : {} PEs busy", result.mapping.used_parallelism());
     println!(
         "search       : {} mappings evaluated in {:?}",
-        result.stats.evaluated, result.stats.elapsed
+        result.stats.probed, result.stats.elapsed
     );
     println!("\nPer-level breakdown:");
     for level in &result.report.levels {

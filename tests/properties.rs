@@ -250,6 +250,29 @@ proptest! {
         prop_assert_eq!(set[1].as_ref(), sorted_divisors(b).as_slice());
     }
 
+    /// Prefix-incremental evaluation is bit-identical to the full nest
+    /// walk: caching levels `0..=boundary` with `prefix_of` and pricing
+    /// the suffix with `evaluate_prefixed_with` reproduces
+    /// `evaluate_unchecked` exactly, at every boundary, on random valid
+    /// mappings.
+    #[test]
+    fn prefix_incremental_matches_full_evaluation(w in conv_workload(), seed in 0u64..1000) {
+        let arch = presets::conventional();
+        let binding = Binding::resolve(&arch, &w).expect("binds");
+        let mapping = random_valid_structure(&w, seed);
+        let model = CostModel::new(&w, &arch, &binding);
+        let full = model.evaluate_unchecked(&mapping);
+        let mut scratch = model.scratch();
+        for boundary in 0..arch.num_levels() {
+            let prefix = model.prefix_of(&mapping, boundary);
+            let prefixed = model.evaluate_prefixed_with(&prefix, &mapping, &mut scratch);
+            prop_assert_eq!(
+                &full, &prefixed,
+                "prefixed evaluation diverges at boundary {}", boundary
+            );
+        }
+    }
+
     /// The ordering trie never returns duplicated or non-permutation
     /// orders, and always returns at least one candidate.
     #[test]
