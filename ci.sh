@@ -20,6 +20,18 @@ cargo test -q
 echo "== doctests (core crate) =="
 cargo test -q --doc -p sunstone
 
+echo "== fault injection: build + soak =="
+# The failpoint harness only exists under this feature; the soak drives a
+# panic through every registered failpoint and requires bit-identical
+# recovery on the same session.
+cargo clippy -p sunstone --features fault-injection --all-targets -- -D warnings
+cargo test -q -p sunstone --features fault-injection --test fault_injection
+
+echo "== release degenerate-input smoke =="
+# Debug builds catch arithmetic overflow implicitly; the release profile
+# wraps instead, so the no-panic grid must also hold there.
+cargo test -q --release -p sunstone-repro --test robustness
+
 echo "== bench smoke: criterion compile + quick schedule bench =="
 cargo bench -p sunstone-bench --bench scheduler_speed -- --test
 cargo run --release -p sunstone-bench --bin bench_schedule -- quick --out BENCH_schedule_quick.json

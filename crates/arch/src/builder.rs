@@ -28,12 +28,22 @@ pub struct ArchBuilder {
     levels: Vec<Level>,
     mac_energy_pj: f64,
     ref_bits: u32,
+    /// Whether [`bypass`](Self::bypass) was called while no memory level
+    /// was open; recorded here and surfaced as a typed error by
+    /// [`build`](Self::build) so the fluent API stays panic-free.
+    misplaced_bypass: bool,
 }
 
 impl ArchBuilder {
     /// Starts a new accelerator description.
     pub fn new(name: impl Into<String>) -> Self {
-        ArchBuilder { name: name.into(), levels: Vec::new(), mac_energy_pj: 1.0, ref_bits: 16 }
+        ArchBuilder {
+            name: name.into(),
+            levels: Vec::new(),
+            mac_energy_pj: 1.0,
+            ref_bits: 16,
+            misplaced_bypass: false,
+        }
     }
 
     /// Appends a memory level with a single unified buffer.
@@ -74,14 +84,14 @@ impl ArchBuilder {
 
     /// Adds a bypass rule to the most recently added memory level.
     ///
-    /// # Panics
-    ///
-    /// Panics if the last level is not a memory.
+    /// Calling this when the last level is not a memory is a construction
+    /// error reported by [`build`](Self::build) as
+    /// [`ArchError::MisplacedBypass`]; the builder itself never panics.
     #[must_use]
     pub fn bypass(mut self, filter: TensorFilter) -> Self {
         match self.levels.last_mut() {
             Some(Level::Memory(m)) => m.bypass.push(filter),
-            _ => panic!("bypass must follow a memory level"),
+            _ => self.misplaced_bypass = true,
         }
         self
     }
@@ -134,11 +144,26 @@ impl ArchBuilder {
     ///
     /// # Errors
     ///
-    /// Returns the first structural violation; see [`ArchError`].
+    /// Reports **every** structural violation (see [`ArchError`]): a
+    /// single one directly, several wrapped in [`ArchError::Multiple`].
+    /// A misplaced [`bypass`](Self::bypass) recorded during construction
+    /// is merged into the same report.
     pub fn build(self) -> Result<ArchSpec, ArchError> {
         let spec = ArchSpec::new(self.name, self.levels, self.mac_energy_pj, self.ref_bits);
-        spec.validate()?;
-        Ok(spec)
+        let mut errors: Vec<ArchError> = Vec::new();
+        if self.misplaced_bypass {
+            errors.push(ArchError::MisplacedBypass);
+        }
+        match spec.validate() {
+            Ok(()) => {}
+            Err(ArchError::Multiple(more)) => errors.extend(more),
+            Err(e) => errors.push(e),
+        }
+        match errors.len() {
+            0 => Ok(spec),
+            1 => Err(errors.remove(0)),
+            _ => Err(ArchError::Multiple(errors)),
+        }
     }
 }
 
@@ -182,11 +207,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bypass must follow a memory level")]
-    fn bypass_after_spatial_panics() {
-        let _ = ArchBuilder::new("bad")
+    fn bypass_after_spatial_is_a_typed_error() {
+        let err = ArchBuilder::new("bad")
             .unified_memory("L1", 512, 1.0, 1.0)
             .spatial("grid", 4)
-            .bypass(TensorFilter::Output);
+            .bypass(TensorFilter::Output)
+            .dram(200.0)
+            .build();
+        assert!(matches!(err, Err(ArchError::MisplacedBypass)), "{err:?}");
+    }
+
+    #[test]
+    fn misplaced_bypass_merges_with_validation_errors() {
+        let err = ArchBuilder::new("bad")
+            .unified_memory("L1", 512, 1.0, 1.0)
+            .spatial("grid", 4)
+            .bypass(TensorFilter::Output)
+            .build();
+        let Err(ArchError::Multiple(errors)) = err else {
+            panic!("expected aggregated errors, got {err:?}");
+        };
+        assert!(errors.contains(&ArchError::MisplacedBypass), "{errors:?}");
+        assert!(errors.contains(&ArchError::OutermostNotDram), "{errors:?}");
     }
 }

@@ -36,6 +36,12 @@ pub enum ArchError {
     NoPartitions(String),
     /// A bounded partition has zero capacity.
     ZeroCapacity(String),
+    /// A bypass filter was declared while no memory level was open (see
+    /// [`ArchBuilder::bypass`](crate::ArchBuilder::bypass)).
+    MisplacedBypass,
+    /// Several independent violations were found; validation reports them
+    /// all at once instead of stopping at the first.
+    Multiple(Vec<ArchError>),
 }
 
 impl fmt::Display for ArchError {
@@ -51,6 +57,16 @@ impl fmt::Display for ArchError {
             ArchError::ZeroUnits(n) => write!(f, "spatial level `{n}` has zero units"),
             ArchError::NoPartitions(n) => write!(f, "memory level `{n}` has no partitions"),
             ArchError::ZeroCapacity(n) => write!(f, "partition `{n}` has zero capacity"),
+            ArchError::MisplacedBypass => {
+                write!(f, "bypass declared outside a memory level")
+            }
+            ArchError::Multiple(errors) => {
+                write!(f, "{} validation errors:", errors.len())?;
+                for e in errors {
+                    write!(f, " [{e}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -139,39 +155,48 @@ impl ArchSpec {
     ///
     /// # Errors
     ///
-    /// See [`ArchError`] for the individual conditions.
+    /// See [`ArchError`] for the individual conditions. Validation runs to
+    /// completion and reports **every** violation: a single one is
+    /// returned directly, several are wrapped in [`ArchError::Multiple`].
     pub fn validate(&self) -> Result<(), ArchError> {
-        let last_mem =
-            self.levels.iter().rev().find_map(Level::as_memory).ok_or(ArchError::NoMemory)?;
+        // Without any memory level the remaining checks are meaningless,
+        // so this one violation short-circuits.
+        if !self.levels.iter().any(|l| l.as_memory().is_some()) {
+            return Err(ArchError::NoMemory);
+        }
+        let mut errors: Vec<ArchError> = Vec::new();
         match self.levels.last() {
             Some(Level::Memory(m)) if m.is_unbounded() => {}
-            _ => return Err(ArchError::OutermostNotDram),
+            _ => errors.push(ArchError::OutermostNotDram),
         }
-        debug_assert!(last_mem.is_unbounded());
         for pair in self.levels.windows(2) {
             if let (Level::Spatial(a), Level::Spatial(b)) = (&pair[0], &pair[1]) {
-                return Err(ArchError::AdjacentSpatialLevels(a.name.clone(), b.name.clone()));
+                errors.push(ArchError::AdjacentSpatialLevels(a.name.clone(), b.name.clone()));
             }
         }
         for level in &self.levels {
             match level {
                 Level::Spatial(s) if s.units == 0 => {
-                    return Err(ArchError::ZeroUnits(s.name.clone()));
+                    errors.push(ArchError::ZeroUnits(s.name.clone()));
                 }
                 Level::Memory(m) => {
                     if m.partitions.is_empty() {
-                        return Err(ArchError::NoPartitions(m.name.clone()));
+                        errors.push(ArchError::NoPartitions(m.name.clone()));
                     }
                     for p in &m.partitions {
                         if p.capacity == crate::Capacity::Bytes(0) {
-                            return Err(ArchError::ZeroCapacity(p.name.clone()));
+                            errors.push(ArchError::ZeroCapacity(p.name.clone()));
                         }
                     }
                 }
                 _ => {}
             }
         }
-        Ok(())
+        match errors.len() {
+            0 => Ok(()),
+            1 => Err(errors.remove(0)),
+            _ => Err(ArchError::Multiple(errors)),
+        }
     }
 }
 
@@ -287,6 +312,46 @@ mod tests {
             16,
         );
         assert_eq!(spec.validate().unwrap_err(), ArchError::ZeroCapacity("L1".into()));
+    }
+
+    #[test]
+    fn reports_every_violation_at_once() {
+        let spec = ArchSpec::new(
+            "bad",
+            vec![
+                Level::Spatial(SpatialLevel::new("a", 0)),
+                Level::Spatial(SpatialLevel::new("b", 2)),
+                mem("L1", Capacity::Bytes(512)),
+            ],
+            1.0,
+            16,
+        );
+        let err = spec.validate().unwrap_err();
+        let ArchError::Multiple(errors) = err else {
+            panic!("expected aggregated errors, got {err:?}");
+        };
+        assert!(errors.contains(&ArchError::OutermostNotDram), "{errors:?}");
+        assert!(
+            errors.contains(&ArchError::AdjacentSpatialLevels("a".into(), "b".into())),
+            "{errors:?}"
+        );
+        assert!(errors.contains(&ArchError::ZeroUnits("a".into())), "{errors:?}");
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            ArchError::NoMemory,
+            ArchError::OutermostNotDram,
+            ArchError::AdjacentSpatialLevels("a".into(), "b".into()),
+            ArchError::ZeroUnits("g".into()),
+            ArchError::NoPartitions("L1".into()),
+            ArchError::ZeroCapacity("L1".into()),
+            ArchError::MisplacedBypass,
+            ArchError::Multiple(vec![ArchError::NoMemory, ArchError::OutermostNotDram]),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -14,7 +14,11 @@ use std::fmt;
 use sunstone_arch::{ArchError, BindingError};
 
 /// Errors from the scheduling entry points.
-#[derive(Debug)]
+///
+/// The type is `Clone` so batch results can replay one deduped shape's
+/// error onto every layer that shares the shape (see
+/// [`BatchOutcome`](crate::BatchOutcome)).
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum ScheduleError {
     /// The architecture failed validation.
@@ -46,6 +50,24 @@ pub enum ScheduleError {
     /// a valid mapping, the call instead returns
     /// [`ScheduleOutcome::BestSoFar`](crate::ScheduleOutcome::BestSoFar).
     BudgetExhausted,
+    /// An internal invariant was violated (a bug, not a property of the
+    /// input): the panic-isolation boundary at every public entry point
+    /// caught a panic and converted it into this error instead of
+    /// unwinding through the API. The session recovers by evicting every
+    /// cache entry the faulting call may have half-written
+    /// (poison-and-recover), so a follow-up call on the same session
+    /// returns results bit-identical to a fresh session's.
+    Internal {
+        /// The pipeline stage the fault surfaced in (e.g. `"setup"`,
+        /// `"search: level 2"`, `"rank"`, `"batch"`).
+        stage: String,
+        /// The workload name, when the fault occurred inside a per-layer
+        /// search.
+        layer: Option<String>,
+        /// The caught panic message (best effort; non-string payloads are
+        /// summarized).
+        message: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -63,6 +85,13 @@ impl fmt::Display for ScheduleError {
             ScheduleError::Cancelled => write!(f, "scheduling cancelled"),
             ScheduleError::BudgetExhausted => {
                 write!(f, "time budget exhausted before a valid mapping was found")
+            }
+            ScheduleError::Internal { stage, layer, message } => {
+                write!(f, "internal scheduler fault during {stage}")?;
+                if let Some(layer) = layer {
+                    write!(f, " (layer {layer:?})")?;
+                }
+                write!(f, ": {message}")
             }
         }
     }
@@ -111,6 +140,30 @@ mod tests {
             ScheduleError::BudgetExhausted.to_string(),
             "time budget exhausted before a valid mapping was found"
         );
+        assert_eq!(
+            ScheduleError::Internal {
+                stage: "search: level 1".into(),
+                layer: Some("conv3".into()),
+                message: "boom".into(),
+            }
+            .to_string(),
+            "internal scheduler fault during search: level 1 (layer \"conv3\"): boom"
+        );
+        assert_eq!(
+            ScheduleError::Internal { stage: "setup".into(), layer: None, message: "x".into() }
+                .to_string(),
+            "internal scheduler fault during setup: x"
+        );
+    }
+
+    #[test]
+    fn errors_are_cloneable_for_batch_replay() {
+        let e = ScheduleError::Internal {
+            stage: "batch".into(),
+            layer: Some("l".into()),
+            message: "m".into(),
+        };
+        assert_eq!(e.to_string(), e.clone().to_string());
     }
 
     #[test]

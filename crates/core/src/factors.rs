@@ -25,7 +25,9 @@ pub use sunstone_ir::DimVec;
 /// # Panics
 ///
 /// Panics when the lengths differ: silently zip-truncating would drop
-/// trailing dimensions of the longer operand.
+/// trailing dimensions of the longer operand. This is a true caller
+/// invariant (both vectors are indexed by the same workload's
+/// dimensions), not input validation — no workload data can trigger it.
 pub fn quot(a: &[u64], b: &[u64]) -> DimVec {
     assert_eq!(a.len(), b.len(), "factor vectors must have equal lengths");
     a.iter().zip(b).map(|(x, y)| x / y).collect()
@@ -43,12 +45,24 @@ pub fn divide(a: &[u64], b: &[u64]) -> DimVec {
 
 /// Element-wise product `a[i] * b[i]`.
 ///
+/// The product is checked, not wrapping: factor vectors derive from
+/// user-supplied dimension extents, so adversarial inputs (2^40-sized
+/// dims) *can* reach this multiply, and a silent wraparound would
+/// corrupt every downstream tile size. Overflow panics deterministically
+/// in every build profile with a recognizable message; the scheduler's
+/// panic-isolation boundary converts it into
+/// `ScheduleError::Internal` at the public API. The length assert below
+/// is the opposite kind of check — a true caller invariant (both vectors
+/// are indexed by the same workload's dimensions), never reachable from
+/// input data.
+///
 /// # Panics
 ///
-/// Panics when the lengths differ (see [`quot`]).
+/// Panics when the lengths differ (see [`quot`]) or a product exceeds
+/// `u64::MAX`.
 pub fn multiply(a: &[u64], b: &[u64]) -> DimVec {
     assert_eq!(a.len(), b.len(), "factor vectors must have equal lengths");
-    a.iter().zip(b).map(|(x, y)| x * y).collect()
+    a.iter().zip(b).map(|(x, y)| x.checked_mul(*y).expect("factor product overflows u64")).collect()
 }
 
 /// Product of all entries, widened to `u128` so large shapes cannot

@@ -78,10 +78,23 @@
 //! * [`factors`] — shared per-dimension factor-vector arithmetic.
 //! * [`network`] — the network-level layout-consistency pass.
 
+/// Fires the named failpoint when the `fault-injection` feature is
+/// enabled; expands to an empty statement otherwise, so instrumented hot
+/// paths cost nothing in normal builds. Defined before the modules so
+/// textual macro scoping makes it visible throughout the crate.
+macro_rules! faultpoint {
+    ($name:literal) => {
+        #[cfg(feature = "fault-injection")]
+        $crate::faultpoint::hit($name);
+    };
+}
+
 mod config;
 mod driver;
 mod error;
 pub mod factors;
+#[cfg(feature = "fault-injection")]
+pub mod faultpoint;
 pub mod fingerprint;
 pub mod network;
 pub mod ordering;
@@ -101,8 +114,8 @@ pub use ordering::{OrderingCandidate, OrderingTrie, ReuseKind};
 pub use progress::{CancelToken, ProgressEvent, ProgressSink};
 pub use search::{CacheStats, LevelStats, PruneCounter, SearchStats};
 pub use session::{
-    BatchOptions, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome, ScheduleResult,
-    Scheduler,
+    BatchOptions, BatchOutcome, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome,
+    ScheduleResult, Scheduler,
 };
 
 /// One-line import of the session API and its supporting types.
@@ -114,7 +127,7 @@ pub mod prelude {
     pub use crate::progress::{CancelToken, ProgressEvent, ProgressSink};
     pub use crate::search::CacheStats;
     pub use crate::session::{
-        BatchOptions, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome, ScheduleResult,
-        Scheduler,
+        BatchOptions, BatchOutcome, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome,
+        ScheduleResult, Scheduler,
     };
 }

@@ -154,7 +154,14 @@ pub fn schedule_chain_with(
                 })
             })
             .unwrap_or(0);
-        let chosen = candidates.into_iter().nth(pick).expect("pick is in range");
+        // `pick` is in range whenever the batch upholds its non-empty
+        // contract; a violation surfaces as a typed internal fault rather
+        // than a panic (the chain is a public entry point).
+        let chosen = candidates.into_iter().nth(pick).ok_or_else(|| ScheduleError::Internal {
+            stage: "chain: layout selection".into(),
+            layer: Some(workload.name().to_string()),
+            message: "batch returned an empty candidate list".into(),
+        })?;
 
         // Only layer-to-layer transitions count: the first layer's input
         // arrives in an external layout either way.

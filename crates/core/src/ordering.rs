@@ -172,10 +172,17 @@ impl<'a> OrderingTrie<'a> {
     }
 
     /// Enumerates *all* permutations of the in-play dimensions (ordering
-    /// pruning disabled — used by the ablation benches). Capped at 8 dims.
+    /// pruning disabled — used by the ablation benches). Capped at 8 dims:
+    /// beyond the cap the factorial blow-up (9! = 362 880 per beam state)
+    /// is never what an ablation wants, so the call degrades to the pruned
+    /// trie enumeration instead of panicking — this path is reachable from
+    /// user input (a many-dimensional workload with the ordering-trie
+    /// pruning disabled), so it must not be an assert.
     pub fn all_permutations(&self, in_play: DimSet) -> Vec<OrderingCandidate> {
         let dims: Vec<DimId> = in_play.iter().collect();
-        assert!(dims.len() <= 8, "permutation enumeration capped at 8 dims");
+        if dims.len() > 8 {
+            return self.candidates_detailed(in_play).candidates;
+        }
         let mut result = Vec::new();
         permute(&mut dims.clone(), 0, &mut |perm| {
             result.push(self.complete(perm.to_vec(), in_play));

@@ -43,8 +43,25 @@ struct Job {
     pending: AtomicUsize,
     /// Some task panicked; the submitter re-raises after the drain.
     panicked: AtomicBool,
+    /// The first caught panic's message, so the submitter's re-raise (and
+    /// ultimately [`ScheduleError::Internal`](crate::ScheduleError)) can
+    /// report the original fault instead of a generic pool message.
+    panic_note: Mutex<Option<String>>,
     done: Mutex<()>,
     done_cv: Condvar,
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads cover `panic!`/`assert!`/`expect`; anything else is
+/// summarized).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 // SAFETY: `task` is only called while the submitting thread keeps the
@@ -65,9 +82,21 @@ impl Job {
             // SAFETY: `i < total`, so `pending > 0` and the submitter is
             // still inside `run`, keeping the closure alive.
             let task = unsafe { &*self.task };
-            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| task(i)));
-            if outcome.is_err() {
+            // The claim failpoint fires *inside* the catch: an injected
+            // panic must surface exactly like a task panic (marking the
+            // job, never killing the claiming worker thread).
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                faultpoint!("pool.claim");
+                task(i)
+            }));
+            if let Err(payload) = outcome {
                 self.panicked.store(true, Ordering::Relaxed);
+                // Poison recovery: the note mutex holds a plain Option,
+                // valid at every point, so a poisoned lock is harmless.
+                let mut note = self.panic_note.lock().unwrap_or_else(|e| e.into_inner());
+                if note.is_none() {
+                    *note = Some(panic_message(payload.as_ref()));
+                }
             }
             if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Lock-bridge the notification so the submitter is either
@@ -156,6 +185,10 @@ impl WorkerPool {
             .fetch_add((self.workers.len() + 1).min(total) as u64, Ordering::Relaxed);
         if self.workers.is_empty() {
             for i in 0..total {
+                // Mirror the worker claim loop's failpoint so fault tests
+                // behave identically with an inline (zero-worker) pool; an
+                // injected panic propagates directly on the caller.
+                faultpoint!("pool.claim");
                 task(i);
             }
             return;
@@ -171,6 +204,7 @@ impl WorkerPool {
             next: AtomicUsize::new(0),
             pending: AtomicUsize::new(total),
             panicked: AtomicBool::new(false),
+            panic_note: Mutex::new(None),
             done: Mutex::new(()),
             done_cv: Condvar::new(),
         });
@@ -192,7 +226,13 @@ impl WorkerPool {
             st.jobs.retain(|j| !Arc::ptr_eq(j, &job));
         }
         if job.panicked.load(Ordering::Relaxed) {
-            panic!("worker pool task panicked");
+            let note = job
+                .panic_note
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .unwrap_or_else(|| "unknown".to_string());
+            panic!("worker pool task panicked: {note}");
         }
     }
 
@@ -267,6 +307,9 @@ impl<'a, T> SliceWriter<'a, T> {
     /// Each index must be written by at most one task per round (no two
     /// concurrent writers to the same slot).
     pub(crate) unsafe fn write(&self, i: usize, value: T) {
+        // True invariant (the pool only feeds indices `< len`), kept as a
+        // hard assert because an out-of-bounds write would be UB — there
+        // is no graceful degradation from memory corruption.
         assert!(i < self.len);
         // SAFETY: in-bounds (asserted) and index-disjoint (caller contract).
         unsafe { *self.ptr.add(i) = value };
@@ -313,6 +356,20 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn pool_panic_carries_original_message() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                if i == 3 {
+                    panic!("model exploded");
+                }
+            });
+        }))
+        .expect_err("panic propagates");
+        assert!(panic_message(caught.as_ref()).contains("model exploded"));
     }
 
     #[test]

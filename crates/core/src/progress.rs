@@ -80,6 +80,18 @@ pub enum ProgressEvent {
         /// Wall-clock time of this shape's search.
         elapsed: Duration,
     },
+    /// The panic-isolation boundary caught an internal fault; the call
+    /// returns [`ScheduleError::Internal`](crate::ScheduleError::Internal)
+    /// with the same fields after the session has recovered (the faulting
+    /// call's cache context is evicted whole).
+    Fault {
+        /// The pipeline stage the fault surfaced in.
+        stage: String,
+        /// The workload name, for per-layer faults.
+        layer: Option<String>,
+        /// The caught panic message.
+        message: String,
+    },
 }
 
 /// Receives [`ProgressEvent`]s during a scheduling call.

@@ -129,7 +129,9 @@ pub(crate) fn top_down_expand(
                 &DimVec::ones(ndims),
                 &q,
                 allowed,
-                |tile| ctx.fits_mem(ctx.mems[stage], tile),
+                // Bounded-latency cancellation (see `tiles_with_allowed`);
+                // the top-down path never memoizes this enumeration.
+                |tile| !ctx.cancelled() && ctx.fits_mem(ctx.mems[stage], tile),
                 ctx.config.pruning.tiling_maximal,
                 &ctx.ladders,
             );
@@ -308,6 +310,15 @@ fn tiles_with_allowed(
         quotas,
         allowed,
         |tile| {
+            // Bounded-latency cancellation inside the enumeration tree:
+            // rejecting every probe prunes the tree to nothing in O(depth)
+            // steps once the token fires (the truncated result is then
+            // reported as Cancelled by the composition loop, and the memo
+            // insert below is suppressed so the session cache never holds
+            // a truncated enumeration).
+            if ctx.cancelled() {
+                return false;
+            }
             let headroom: u128 = unrollable
                 .iter()
                 .map(|d| {
@@ -333,10 +344,15 @@ fn tiles_with_allowed(
     }
     stats.tiles += tiles.len() as u64;
     stats.level_mut(stage).tiling.record(outcome.explored as u64, tiles.len() as u64);
-    ctx.cache.tiles_insert(
-        memo_key,
-        estimate::TileMemo { tiles: tiles.clone(), explored: outcome.explored },
-    );
+    // Never memoize an enumeration a cancel may have truncated: the memo
+    // outlives this call, and a later (uncancelled) call must re-derive
+    // the full result to stay bit-identical to a fresh session.
+    if !ctx.cancelled() {
+        ctx.cache.tiles_insert(
+            memo_key,
+            estimate::TileMemo { tiles: tiles.clone(), explored: outcome.explored },
+        );
+    }
     tiles
 }
 
@@ -434,6 +450,10 @@ fn unrolls_for(
                 continue;
             }
             let fits = |u: &[u64]| {
+                // Bounded-latency cancellation (see `tiles_with_allowed`).
+                if ctx.cancelled() {
+                    return false;
+                }
                 // The unroll inflates the resident tile of the memory
                 // above the fabric (the stage's memory).
                 let combined: DimVec = resident_with_tile
@@ -485,10 +505,17 @@ fn unrolls_for(
                 .level_mut(stage)
                 .unrolling
                 .record(outcome.explored as u64, unrollings.len() as u64);
-            ctx.cache.unrolls_insert(
-                memo_key,
-                estimate::UnrollMemo { unrollings: unrollings.clone(), explored: outcome.explored },
-            );
+            // As with tiles: a cancel-truncated enumeration must not be
+            // memoized past this call.
+            if !ctx.cancelled() {
+                ctx.cache.unrolls_insert(
+                    memo_key,
+                    estimate::UnrollMemo {
+                        unrollings: unrollings.clone(),
+                        explored: outcome.explored,
+                    },
+                );
+            }
             for u in unrollings {
                 next.push(multiply(prev, &u));
             }

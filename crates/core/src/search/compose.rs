@@ -133,11 +133,16 @@ pub(crate) struct SearchRun {
 /// `beam_width` best. Returns the surviving beam best-estimate first,
 /// finalized when the walk completed.
 ///
-/// Cancellation is checked before every stage (a pre-cancelled token stops
-/// the search before any work); the deadline is checked before every stage
-/// *except the first*, so a zero time budget still yields a usable
+/// Cancellation is checked before every stage, between parent expansions,
+/// inside the enumeration fits closures, and per claim inside the
+/// estimate round (a pre-cancelled token stops the search before any
+/// work, and a mid-stage cancel is observed within a bounded number of
+/// evaluations). The deadline is checked at the same points *except
+/// during the first stage*, so a zero time budget still yields a usable
 /// best-so-far beam from the innermost level — the graceful-degradation
 /// contract of [`ScheduleOptions::time_budget`](crate::ScheduleOptions).
+/// A stage aborted mid-round returns the previous beam, which the caller
+/// completes under the best-so-far contract.
 pub(crate) fn run_level_search(
     ctx: &SearchContext<'_>,
     pass: &dyn LevelPass,
@@ -146,6 +151,9 @@ pub(crate) fn run_level_search(
 ) -> SearchRun {
     let mut beam_states = vec![PartialState::root(ctx)];
     for (i, stage) in pass.stages(ctx.mems.len()).into_iter().enumerate() {
+        // Breadcrumb for the panic-isolation boundary: a fault caught
+        // while this stage runs reports `search: level <stage>`.
+        crate::session::fault_stage::set(&format!("search: level {stage}"));
         if controls.cancelled() {
             return SearchRun { beam: beam_states, stop: SearchStop::Cancelled };
         }
@@ -156,9 +164,20 @@ pub(crate) fn run_level_search(
             sink.on_event(&ProgressEvent::LevelStarted { stage, beam: beam_states.len() });
         }
         let mut cands: Vec<PartialState> = Vec::new();
-        for (parent, state) in beam_states.iter().enumerate() {
+        for parent in 0..beam_states.len() {
+            // Bounded-latency controls between parent expansions (a
+            // single expansion is bounded by the enumeration caps; the
+            // fits closures additionally observe cancellation inside the
+            // enumeration trees). The deadline keeps the first-stage
+            // exemption of the zero-budget contract.
+            if controls.cancelled() {
+                return SearchRun { beam: beam_states, stop: SearchStop::Cancelled };
+            }
+            if i > 0 && controls.past_deadline() {
+                return SearchRun { beam: beam_states, stop: SearchStop::DeadlineReached };
+            }
             let from = cands.len();
-            pass.expand(ctx, state, stage, &mut cands, stats);
+            pass.expand(ctx, &beam_states[parent], stage, &mut cands, stats);
             // Stamp each child with its parent index: estimation memoizes
             // the decided-prefix cost once per parent, and relies on one
             // parent's children being contiguous (dedup keeps order).
@@ -166,13 +185,26 @@ pub(crate) fn run_level_search(
                 c.parent = parent;
             }
         }
+        // A cancel that fired inside the enumeration closures can truncate
+        // the candidate set; report it as a cancel, never as infeasibility.
+        if controls.cancelled() {
+            return SearchRun { beam: beam_states, stop: SearchStop::Cancelled };
+        }
         if cands.is_empty() {
             return SearchRun { beam: Vec::new(), stop: SearchStop::Infeasible { stage } };
         }
         let removed = beam::dedup(&mut cands);
         stats.level_mut(stage).dedup_removed += removed as u64;
         let before = cands.len();
-        estimate::estimate_all(ctx, pass.direction(), &mut cands, stage, stats);
+        match estimate::estimate_all(ctx, pass.direction(), &mut cands, stage, i > 0, stats) {
+            estimate::RoundStatus::Done => {}
+            estimate::RoundStatus::Cancelled => {
+                return SearchRun { beam: beam_states, stop: SearchStop::Cancelled };
+            }
+            estimate::RoundStatus::DeadlineReached => {
+                return SearchRun { beam: beam_states, stop: SearchStop::DeadlineReached };
+            }
+        }
         beam::select(&mut cands, ctx.config.beam_width, stage, stats);
         if let Some(sink) = controls.progress {
             let level = &stats.levels[stage];

@@ -3,8 +3,8 @@
 //! evaluation, and parallel execution on the session worker pool.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use sunstone_ir::{DimSet, DimVec, FxHashMap};
 use sunstone_mapping::{Mapping, MappingLevel};
@@ -151,6 +151,34 @@ impl SessionCache {
         SessionCache::default()
     }
 
+    /// Locks the cache map, recovering from mutex poisoning. A panic can
+    /// only unwind while the lock is held *between* map operations (each
+    /// individual insert/remove leaves the map structurally valid), so
+    /// the data under a poisoned lock is a valid map whose *contents* may
+    /// be half-published — and the fault boundary follows every caught
+    /// panic with [`evict_context`](Self::evict_context), which drops
+    /// exactly that context. Propagating the poison instead would turn
+    /// one recovered fault into a permanently broken session.
+    fn lock_map(&self) -> MutexGuard<'_, FxHashMap<u64, CtxEntry>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Poison-and-recover: drops everything retained for `fp` — cost
+    /// reports, tile/unroll enumeration memos, the LRU stamp — and
+    /// recomputes the retained-report counter from the surviving
+    /// contexts. Called by the panic-isolation boundary after a caught
+    /// fault: the faulting call may have died mid-publish (reports
+    /// inserted but the counter not yet bumped, or vice versa), so the
+    /// counter is rebuilt rather than adjusted. Runs under the map lock,
+    /// and every publisher updates the counter while holding the same
+    /// lock, so the recount is exact even with concurrent batch workers.
+    pub(crate) fn evict_context(&self, fp: u64) {
+        let mut map = self.lock_map();
+        map.remove(&fp);
+        let total = map.values().map(|e| e.reports.len()).sum();
+        self.entries.store(total, Ordering::Relaxed);
+    }
+
     pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -165,7 +193,7 @@ impl SessionCache {
     }
 
     pub(crate) fn clear(&self) {
-        self.map.lock().expect("cache lock").clear();
+        self.lock_map().clear();
         self.entries.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -213,14 +241,8 @@ impl<'s> EstimateCache<'s> {
         if !self.enabled {
             return None;
         }
-        let found = self
-            .session
-            .map
-            .lock()
-            .expect("cache lock")
-            .get(&self.ctx_fp)
-            .and_then(|e| e.reports.get(key))
-            .cloned();
+        let found =
+            self.session.lock_map().get(&self.ctx_fp).and_then(|e| e.reports.get(key)).cloned();
         match &found {
             Some(_) => self.session.hits.fetch_add(1, Ordering::Relaxed),
             None => self.session.misses.fetch_add(1, Ordering::Relaxed),
@@ -232,7 +254,7 @@ impl<'s> EstimateCache<'s> {
         if !self.enabled {
             return;
         }
-        let mut guard = self.session.map.lock().expect("cache lock");
+        let mut guard = self.session.lock_map();
         let tick = self.session.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let e = guard.entry(self.ctx_fp).or_default();
         e.last_used = tick;
@@ -249,25 +271,12 @@ impl<'s> EstimateCache<'s> {
         if !self.enabled {
             return None;
         }
-        self.session
-            .map
-            .lock()
-            .expect("cache lock")
-            .get(&self.ctx_fp)
-            .and_then(|e| e.tiles.get(key))
-            .cloned()
+        self.session.lock_map().get(&self.ctx_fp).and_then(|e| e.tiles.get(key)).cloned()
     }
 
     pub(crate) fn tiles_insert(&self, key: TileKey, memo: TileMemo) {
         if self.enabled {
-            self.session
-                .map
-                .lock()
-                .expect("cache lock")
-                .entry(self.ctx_fp)
-                .or_default()
-                .tiles
-                .insert(key, memo);
+            self.session.lock_map().entry(self.ctx_fp).or_default().tiles.insert(key, memo);
         }
     }
 
@@ -277,25 +286,12 @@ impl<'s> EstimateCache<'s> {
         if !self.enabled {
             return None;
         }
-        self.session
-            .map
-            .lock()
-            .expect("cache lock")
-            .get(&self.ctx_fp)
-            .and_then(|e| e.unrolls.get(key))
-            .cloned()
+        self.session.lock_map().get(&self.ctx_fp).and_then(|e| e.unrolls.get(key)).cloned()
     }
 
     pub(crate) fn unrolls_insert(&self, key: UnrollKey, memo: UnrollMemo) {
         if self.enabled {
-            self.session
-                .map
-                .lock()
-                .expect("cache lock")
-                .entry(self.ctx_fp)
-                .or_default()
-                .unrolls
-                .insert(key, memo);
+            self.session.lock_map().entry(self.ctx_fp).or_default().unrolls.insert(key, memo);
         }
     }
 }
@@ -332,6 +328,21 @@ thread_local! {
     static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
 }
 
+/// Why an estimation round ended; anything but `Done` aborts the stage
+/// (the composition loop returns the *previous* beam, which is what the
+/// best-so-far deadline contract completes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RoundStatus {
+    /// Every miss was evaluated; the candidates carry real estimates.
+    Done,
+    /// The cancellation token fired mid-round; remaining evaluations were
+    /// skipped (bounded-latency cancellation).
+    Cancelled,
+    /// The wall-clock deadline passed mid-round; remaining evaluations
+    /// were skipped.
+    DeadlineReached,
+}
+
 /// Completes and estimates every candidate.
 ///
 /// The cache is probed on the calling thread with a reused scratch key
@@ -351,14 +362,25 @@ thread_local! {
 /// Results are written back by candidate index, so the outcome is
 /// identical for any thread count.
 ///
+/// Cancellation and (when `enforce_deadline` is set — every stage but the
+/// first, preserving the zero-budget contract) the deadline are checked
+/// *per pool claim*, so a mid-round stop is observed within a bounded
+/// number of evaluations: at most one in-flight evaluation per claimant
+/// finishes after the token fires. A stopped round leaves the skipped
+/// candidates at `f64::INFINITY` and returns the stop reason; completed
+/// evaluations are still published to the cache (they are correct and
+/// deterministic, so later calls may reuse them).
+///
 /// [`CostModel::prefix_of`]: sunstone_model::CostModel::prefix_of
 pub(crate) fn estimate_all(
     ctx: &SearchContext<'_>,
     direction: Direction,
     candidates: &mut [PartialState],
     stage: usize,
+    enforce_deadline: bool,
     stats: &mut SearchStats,
-) {
+) -> RoundStatus {
+    faultpoint!("estimate.round");
     stats.probed += candidates.len() as u64;
     let objective = ctx.config.objective;
     let pos = completion_pos(ctx, direction);
@@ -370,7 +392,7 @@ pub(crate) fn estimate_all(
     {
         // One lock acquisition covers every probe of the round, and hits
         // read the memoized report in place — no per-probe clone.
-        let guard = cache.enabled.then(|| cache.session.map.lock().expect("cache lock"));
+        let guard = cache.enabled.then(|| cache.session.lock_map());
         let per_ctx = guard.as_ref().and_then(|g| g.get(&cache.ctx_fp));
         for (i, state) in candidates.iter_mut().enumerate() {
             completed_key(&state.mapping, pos, &state.quotas, &mut key);
@@ -401,6 +423,7 @@ pub(crate) fn estimate_all(
     if let Some(b) = boundary {
         let mut last_parent = usize::MAX;
         for (k, &(i, _)) in misses.iter().enumerate() {
+            faultpoint!("estimate.prefix");
             let parent = candidates[i].parent;
             if prefixes.is_empty() || parent != last_parent {
                 prefixes.push(ctx.model.prefix_of(&completed[k], b));
@@ -414,13 +437,31 @@ pub(crate) fn estimate_all(
     }
 
     let mut reports: Vec<Option<CostReport>> = vec![None; misses.len()];
+    let round_cancelled = AtomicBool::new(false);
+    let round_deadlined = AtomicBool::new(false);
     if !misses.is_empty() {
         stats.rounds += 1;
         stats.spawns_avoided += ((ctx.pool.workers() + 1).min(misses.len())) as u64;
         let model = &ctx.model;
         let writer = SliceWriter::new(&mut reports);
         let (prefixes, group_of, completed) = (&prefixes, &group_of, &completed);
+        let (round_cancelled, round_deadlined) = (&round_cancelled, &round_deadlined);
         ctx.pool.run(misses.len(), &|k| {
+            // Bounded-latency stop checks, per claim: the cancel check is
+            // one atomic load; the deadline (a clock read) is sampled
+            // every 16th claim. Once a stop is observed every remaining
+            // claim returns immediately, so at most one in-flight
+            // evaluation per claimant outlives the stop.
+            if round_cancelled.load(Ordering::Relaxed) || ctx.cancelled() {
+                round_cancelled.store(true, Ordering::Relaxed);
+                return;
+            }
+            if enforce_deadline
+                && (round_deadlined.load(Ordering::Relaxed) || (k % 16 == 0 && ctx.past_deadline()))
+            {
+                round_deadlined.store(true, Ordering::Relaxed);
+                return;
+            }
             SCRATCH.with(|cell| {
                 let mut scratch = cell.borrow_mut();
                 let report = match group_of.get(k) {
@@ -438,11 +479,11 @@ pub(crate) fn estimate_all(
     }
 
     let miss_count = misses.len() as u64;
-    stats.modeled += miss_count;
+    stats.modeled += reports.iter().filter(|r| r.is_some()).count() as u64;
     {
         // Publish every new report under a single lock acquisition, stamp
         // the context's LRU clock, and enforce the cache bound.
-        let mut guard = cache.enabled.then(|| cache.session.map.lock().expect("cache lock"));
+        let mut guard = cache.enabled.then(|| cache.session.lock_map());
         let mut per_ctx = guard.as_deref_mut().map(|g| {
             let tick = cache.session.tick.fetch_add(1, Ordering::Relaxed) + 1;
             let e = g.entry(cache.ctx_fp).or_default();
@@ -451,12 +492,20 @@ pub(crate) fn estimate_all(
         });
         let mut inserted = 0usize;
         for ((i, key), report) in misses.into_iter().zip(reports) {
-            let report = report.expect("every miss is evaluated");
-            candidates[i].estimate = objective.of(&report);
-            if let Some(e) = per_ctx.as_deref_mut() {
-                if e.reports.insert(key, report).is_none() {
-                    inserted += 1;
+            match report {
+                Some(report) => {
+                    candidates[i].estimate = objective.of(&report);
+                    if let Some(e) = per_ctx.as_deref_mut() {
+                        faultpoint!("cache.insert");
+                        if e.reports.insert(key, report).is_none() {
+                            inserted += 1;
+                        }
+                    }
                 }
+                // Skipped by a mid-round stop: never evaluated, never
+                // published. The caller discards the stage, so the
+                // placeholder estimate is never ranked against real ones.
+                None => candidates[i].estimate = f64::INFINITY,
             }
         }
         if inserted > 0 {
@@ -474,6 +523,14 @@ pub(crate) fn estimate_all(
     level.cache_misses += miss_count;
     stats.cache_hits += hits;
     stats.cache_misses += miss_count;
+
+    if round_cancelled.into_inner() || ctx.cancelled() {
+        RoundStatus::Cancelled
+    } else if round_deadlined.into_inner() {
+        RoundStatus::DeadlineReached
+    } else {
+        RoundStatus::Done
+    }
 }
 
 /// Evaluates a complete mapping through the estimate cache (the final

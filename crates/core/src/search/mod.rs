@@ -82,6 +82,14 @@ pub(crate) struct SearchContext<'a> {
     pub(crate) workload: &'a Workload,
     pub(crate) arch: &'a ArchSpec,
     pub(crate) config: &'a SunstoneConfig,
+    /// The call's cancellation token, if any: checked not only at stage
+    /// boundaries but per pool claim and inside the enumeration fits
+    /// closures, so cancellation latency is bounded by a handful of
+    /// model evaluations, not a whole stage.
+    pub(crate) cancel: Option<&'a CancelToken>,
+    /// The call's absolute deadline, if any (checked inside estimate
+    /// rounds past the first stage; see [`CallControls`]).
+    pub(crate) deadline: Option<Instant>,
     pub(crate) model: CostModel<'a>,
     pub(crate) trie: OrderingTrie<'a>,
     /// Memory level positions, innermost first.
@@ -107,6 +115,10 @@ pub(crate) struct SearchContext<'a> {
 }
 
 impl<'a> SearchContext<'a> {
+    // Internal constructor with one call site; the per-call knobs
+    // (cancel, deadline) are deliberately separate from the session
+    // state, not worth an options struct.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         workload: &'a Workload,
         arch: &'a ArchSpec,
@@ -114,6 +126,8 @@ impl<'a> SearchContext<'a> {
         config: &'a SunstoneConfig,
         cache: EstimateCache<'a>,
         pool: &'a WorkerPool,
+        cancel: Option<&'a CancelToken>,
+        deadline: Option<Instant>,
     ) -> Self {
         let mems: Vec<usize> = arch.memory_levels().map(|(id, _)| id.index()).collect();
         let mut lower_spatial: Vec<Vec<usize>> = Vec::with_capacity(mems.len());
@@ -143,6 +157,8 @@ impl<'a> SearchContext<'a> {
             workload,
             arch,
             config,
+            cancel,
+            deadline,
             model: CostModel::new(workload, arch, binding),
             trie: OrderingTrie::new(workload),
             mems,
@@ -155,14 +171,31 @@ impl<'a> SearchContext<'a> {
     }
 
     /// Does the resident tile fit every partition of the memory at `pos`?
+    ///
+    /// The footprint sum saturates instead of wrapping: degenerate inputs
+    /// (huge dimension extents) can overflow `u64`, and saturation is the
+    /// conservative direction — a saturated footprint can never fit a
+    /// bounded partition, so no invalid tile is ever admitted.
     pub(crate) fn fits_mem(&self, pos: usize, tile: &[u64]) -> bool {
         let Some(parts) = &self.mem_fits[pos] else {
             return true;
         };
         parts.iter().all(|(capacity, tensors)| {
-            let needed: u64 = tensors.iter().map(|(t, bytes)| t.footprint(tile) * bytes).sum();
+            let needed: u64 = tensors.iter().fold(0u64, |acc, (t, bytes)| {
+                acc.saturating_add(t.footprint(tile).saturating_mul(*bytes))
+            });
             capacity.fits(needed)
         })
+    }
+
+    /// Whether the call's cancellation token has fired (one atomic load).
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Whether the call's wall-clock deadline has passed.
+    pub(crate) fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 

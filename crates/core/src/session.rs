@@ -25,6 +25,8 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -35,12 +37,50 @@ use sunstone_model::CostReport;
 
 use crate::error::ScheduleError;
 use crate::fingerprint::{context_fingerprint, workload_fingerprint};
-use crate::pool::{SliceWriter, WorkerPool};
+use crate::pool::{panic_message, SliceWriter, WorkerPool};
 use crate::progress::{CancelToken, ProgressEvent, ProgressSink};
 use crate::search::compose::{run_level_search, BottomUpPass, LevelPass, SearchStop, TopDownPass};
 use crate::search::estimate::{self, EstimateCache, SessionCache};
 use crate::search::{CacheStats, CallControls, SearchContext, SearchStats};
 use crate::{Direction, SunstoneConfig};
+
+/// Thread-local breadcrumb naming the pipeline stage currently executing,
+/// read by the panic-isolation boundary when it catches a fault. A panic
+/// inside a worker-pool round re-raises on the *submitting* thread — the
+/// thread that set the breadcrumb — so the boundary always reads the
+/// breadcrumb of the faulting call, even with parallel estimate rounds.
+pub(crate) mod fault_stage {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static STAGE: RefCell<String> = const { RefCell::new(String::new()) };
+    }
+
+    pub(crate) fn set(stage: &str) {
+        STAGE.with(|s| {
+            let mut s = s.borrow_mut();
+            s.clear();
+            s.push_str(stage);
+        });
+    }
+
+    pub(crate) fn get() -> String {
+        STAGE.with(|s| s.borrow().clone())
+    }
+}
+
+/// Emits a [`ProgressEvent::Fault`] on the sink, swallowing any panic the
+/// sink itself raises: the fault path must never fault.
+fn emit_fault(sink: Option<&dyn ProgressSink>, stage: &str, layer: Option<&str>, message: &str) {
+    if let Some(sink) = sink {
+        let event = ProgressEvent::Fault {
+            stage: stage.to_string(),
+            layer: layer.map(str::to_string),
+            message: message.to_string(),
+        };
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| sink.on_event(&event)));
+    }
+}
 
 /// The result of one scheduling run.
 #[derive(Debug, Clone)]
@@ -130,6 +170,12 @@ pub struct BatchOptions {
     /// Progress callback ([`ProgressEvent::LayerStarted`] /
     /// [`ProgressEvent::LayerFinished`] per unique shape).
     pub progress: Option<Arc<dyn ProgressSink>>,
+    /// Stop starting new unique shapes after the first failure: shapes
+    /// not yet started when a failure is observed report
+    /// [`ScheduleError::Cancelled`] in the [`BatchOutcome`]. Off by
+    /// default — the default contract is graceful partial failure, where
+    /// every layer is attempted and reports its own `Result`.
+    pub fail_fast: bool,
 }
 
 impl std::fmt::Debug for BatchOptions {
@@ -139,6 +185,7 @@ impl std::fmt::Debug for BatchOptions {
             .field("time_budget", &self.time_budget)
             .field("cancel", &self.cancel)
             .field("progress", &self.progress.as_ref().map(|_| "…"))
+            .field("fail_fast", &self.fail_fast)
             .finish()
     }
 }
@@ -164,6 +211,9 @@ pub struct BatchStats {
     /// Mappings estimated across the unique searches
     /// ([`SearchStats::probed`] summed per unique shape).
     pub evaluated: u64,
+    /// Layers whose search failed (their [`BatchOutcome`] entries are
+    /// `Err`); every occurrence of a failed deduped shape counts.
+    pub failed: usize,
     /// Wall-clock time of the whole batch call.
     pub elapsed: Duration,
 }
@@ -192,6 +242,55 @@ impl BatchResult {
     /// Total EDP across the batch (sum of each layer's best EDP).
     pub fn total_edp(&self) -> f64 {
         self.bests().map(|r| r.report.edp).sum()
+    }
+}
+
+/// The outcome of a batch call with **per-layer failure granularity**
+/// ([`Scheduler::schedule_batch_outcomes`]): one `Result` per input
+/// layer. An infeasible or faulting layer no longer aborts the batch — a
+/// failure in one deduped shape fails exactly the layers sharing that
+/// shape (they replay the same error), and every other layer still
+/// carries its ranked mappings.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per input layer, the ranked results (best first) or that layer's
+    /// error. Layers with identical shapes share the replayed result —
+    /// or the replayed error.
+    pub layers: Vec<Result<Vec<ScheduleResult>, ScheduleError>>,
+    /// Dedup/cache/parallelism statistics of the call; per-layer success
+    /// is summarized by [`BatchStats::failed`].
+    pub stats: BatchStats,
+}
+
+impl BatchOutcome {
+    /// Whether every layer scheduled successfully.
+    pub fn all_ok(&self) -> bool {
+        self.layers.iter().all(Result::is_ok)
+    }
+
+    /// The best result of layer `i`, or `None` if that layer failed.
+    pub fn best(&self, i: usize) -> Option<&ScheduleResult> {
+        self.layers[i].as_ref().ok().and_then(|l| l.first())
+    }
+
+    /// Iterates over the failed layers as `(input position, error)`.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &ScheduleError)> {
+        self.layers.iter().enumerate().filter_map(|(i, l)| l.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// Collapses into the all-or-nothing [`BatchResult`]: the first
+    /// failing layer's error — input order, which coincides with the
+    /// failing shape's first-occurrence order — or every layer's results.
+    ///
+    /// # Errors
+    ///
+    /// The first failing layer's error, if any layer failed.
+    pub fn into_result(self) -> Result<BatchResult, ScheduleError> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for layer in self.layers {
+            layers.push(layer?);
+        }
+        Ok(BatchResult { layers, stats: self.stats })
     }
 }
 
@@ -328,7 +427,10 @@ impl Scheduler {
     }
 
     /// [`schedule_batch`](Self::schedule_batch) with per-call controls;
-    /// see [`BatchOptions`].
+    /// see [`BatchOptions`]. All-or-nothing: for per-layer failure
+    /// granularity use
+    /// [`schedule_batch_outcomes`](Self::schedule_batch_outcomes), which
+    /// this method delegates to.
     ///
     /// # Errors
     ///
@@ -340,6 +442,56 @@ impl Scheduler {
         arch: &ArchSpec,
         options: &BatchOptions,
     ) -> Result<BatchResult, ScheduleError> {
+        self.schedule_batch_outcomes(workloads, arch, options)?.into_result()
+    }
+
+    /// Schedules a batch with **graceful partial-failure semantics**: the
+    /// returned [`BatchOutcome`] carries one `Result` per input layer, so
+    /// an infeasible or internally faulting layer fails only the layers
+    /// sharing its deduped shape while every other layer still gets its
+    /// mappings. [`BatchOptions::fail_fast`] opts back into stopping at
+    /// the first failure.
+    ///
+    /// # Errors
+    ///
+    /// Only whole-call failures error here: an invalid configuration or
+    /// architecture (nothing can be scheduled), or an internal fault
+    /// outside every per-layer boundary. Per-layer failures are reported
+    /// inside the `Ok` outcome.
+    pub fn schedule_batch_outcomes(
+        &self,
+        workloads: &[Workload],
+        arch: &ArchSpec,
+        options: &BatchOptions,
+    ) -> Result<BatchOutcome, ScheduleError> {
+        // Panic-isolation boundary for the batch infrastructure itself
+        // (dedup, pool fan-out, assembly; a panic in one layer's search is
+        // already converted inside `run_one`, and a worker-pool panic
+        // re-raises here on the submitting thread).
+        match panic::catch_unwind(AssertUnwindSafe(|| self.batch_inner(workloads, arch, options))) {
+            Ok(result) => result,
+            Err(payload) => {
+                // Poison-and-recover: a fault at this level may have
+                // interrupted any layer's publish, so evict every context
+                // the batch can have touched.
+                for w in workloads {
+                    self.cache.evict_context(context_fingerprint(w, arch, &self.config));
+                }
+                let message = panic_message(payload.as_ref());
+                emit_fault(options.progress.as_deref(), "batch", None, &message);
+                Err(ScheduleError::Internal { stage: "batch".into(), layer: None, message })
+            }
+        }
+    }
+
+    /// The batch body guarded by the boundary in
+    /// [`schedule_batch_outcomes`](Self::schedule_batch_outcomes).
+    fn batch_inner(
+        &self,
+        workloads: &[Workload],
+        arch: &ArchSpec,
+        options: &BatchOptions,
+    ) -> Result<BatchOutcome, ScheduleError> {
         let start = Instant::now();
         let cache_before = self.cache.stats();
         self.config.validate()?;
@@ -366,6 +518,7 @@ impl Scheduler {
         // deterministic and land in index-disjoint slots, so the assembly
         // below is identical for any worker count.
         let deadline = options.time_budget.map(|b| start + b);
+        let failed = AtomicBool::new(false);
         let mut slots: Vec<Option<Result<ScheduleOutcome, ScheduleError>>> =
             unique.iter().map(|_| None).collect();
         {
@@ -373,57 +526,144 @@ impl Scheduler {
             self.pool().run(unique.len(), &|u| {
                 let input_idx = unique[u];
                 let w = &workloads[input_idx];
-                if let Some(sink) = &options.progress {
-                    sink.on_event(&ProgressEvent::LayerStarted {
-                        unique: u,
-                        name: w.name().to_string(),
+                let layer = || -> Result<ScheduleOutcome, ScheduleError> {
+                    if options.fail_fast && failed.load(Ordering::Relaxed) {
+                        // Documented fail-fast contract: shapes skipped
+                        // after the first observed failure report
+                        // `Cancelled`, distinguishable from real failures.
+                        return Err(ScheduleError::Cancelled);
+                    }
+                    if let Some(sink) = &options.progress {
+                        sink.on_event(&ProgressEvent::LayerStarted {
+                            unique: u,
+                            name: w.name().to_string(),
+                        });
+                    }
+                    let layer_start = Instant::now();
+                    let controls =
+                        CallControls { deadline, cancel: options.cancel.as_ref(), progress: None };
+                    let outcome = self.run_one(w, arch, options.top_k, layer_start, &controls);
+                    if let Some(sink) = &options.progress {
+                        if let Err(ScheduleError::Internal { stage, layer, message }) = &outcome {
+                            sink.on_event(&ProgressEvent::Fault {
+                                stage: stage.clone(),
+                                layer: layer.clone(),
+                                message: message.clone(),
+                            });
+                        }
+                        sink.on_event(&ProgressEvent::LayerFinished {
+                            unique: u,
+                            evaluated: outcome
+                                .as_ref()
+                                .map(|o| o.results()[0].stats.probed)
+                                .unwrap_or(0),
+                            elapsed: layer_start.elapsed(),
+                        });
+                    }
+                    outcome
+                };
+                // Second boundary around the per-layer task: `run_one`
+                // guards the search, but the progress callbacks run
+                // arbitrary user code — a panicking sink must fail its
+                // layer, not the batch.
+                let outcome =
+                    panic::catch_unwind(AssertUnwindSafe(layer)).unwrap_or_else(|payload| {
+                        self.cache.evict_context(context_fingerprint(w, arch, &self.config));
+                        Err(ScheduleError::Internal {
+                            stage: "batch: layer".into(),
+                            layer: Some(w.name().to_string()),
+                            message: panic_message(payload.as_ref()),
+                        })
                     });
-                }
-                let layer_start = Instant::now();
-                let controls =
-                    CallControls { deadline, cancel: options.cancel.as_ref(), progress: None };
-                let outcome = self.run_one(w, arch, options.top_k, layer_start, &controls);
-                if let Some(sink) = &options.progress {
-                    sink.on_event(&ProgressEvent::LayerFinished {
-                        unique: u,
-                        evaluated: outcome
-                            .as_ref()
-                            .map(|o| o.results()[0].stats.probed)
-                            .unwrap_or(0),
-                        elapsed: layer_start.elapsed(),
-                    });
+                if outcome.is_err() {
+                    failed.store(true, Ordering::Relaxed);
                 }
                 // SAFETY: the pool feeds each index to exactly one task.
                 unsafe { writer.write(u, Some(outcome)) };
             });
         }
 
-        // Assemble: fail with the first error in first-occurrence order,
-        // otherwise replay each unique result onto its occurrences.
-        let mut per_unique: Vec<(Vec<ScheduleResult>, bool)> = Vec::with_capacity(unique.len());
+        // Assemble: replay each unique result — or error — onto its
+        // occurrences.
+        let mut per_unique: Vec<Result<(Vec<ScheduleResult>, bool), ScheduleError>> =
+            Vec::with_capacity(unique.len());
         for slot in slots {
-            let outcome = slot.expect("every unique shape was scheduled")?;
-            let complete = outcome.is_complete();
-            per_unique.push((outcome.into_results(), complete));
+            let outcome = slot.expect("every unique shape was scheduled");
+            per_unique.push(outcome.map(|o| {
+                let complete = o.is_complete();
+                (o.into_results(), complete)
+            }));
         }
 
         let stats = BatchStats {
             layers: workloads.len(),
             unique_shapes: unique.len(),
             dedup_hits: workloads.len() - unique.len(),
-            best_so_far: per_unique.iter().filter(|(_, complete)| !complete).count(),
+            best_so_far: per_unique
+                .iter()
+                .filter(|r| matches!(r, Ok((_, complete)) if !complete))
+                .count(),
             cache_hits: self.cache.stats().hits - cache_before.hits,
             cache_misses: self.cache.stats().misses - cache_before.misses,
-            evaluated: per_unique.iter().map(|(r, _)| r[0].stats.probed).sum(),
+            evaluated: per_unique
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|(r, _)| r[0].stats.probed)
+                .sum(),
+            failed: assign.iter().filter(|&&slot| per_unique[slot].is_err()).count(),
             elapsed: start.elapsed(),
         };
-        let layers = assign.iter().map(|&slot| per_unique[slot].0.clone()).collect();
-        Ok(BatchResult { layers, stats })
+        let layers = assign
+            .iter()
+            .map(|&slot| per_unique[slot].clone().map(|(results, _)| results))
+            .collect();
+        Ok(BatchOutcome { layers, stats })
     }
 
-    /// One bounded search: resolve the problem, pick the direction pass,
-    /// walk the levels, and rank the valid completions.
+    /// One bounded search behind the **panic-isolation boundary**: any
+    /// panic escaping the search (a model bug, an arithmetic overflow, an
+    /// injected fault) is converted into
+    /// [`ScheduleError::Internal`] instead of unwinding into the caller.
+    /// The boundary also *poisons-and-recovers* the session cache: every
+    /// cached estimate for this (workload, arch, config) context is
+    /// evicted, because a fault mid-publish can leave the context
+    /// partially populated. A follow-up call on the same session therefore
+    /// recomputes from scratch and returns results bit-identical to a
+    /// fresh session.
     fn run_one(
+        &self,
+        workload: &Workload,
+        arch: &ArchSpec,
+        top_k: usize,
+        start: Instant,
+        controls: &CallControls<'_>,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        fault_stage::set("setup");
+        match panic::catch_unwind(AssertUnwindSafe(|| {
+            self.run_one_inner(workload, arch, top_k, start, controls)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.cache.evict_context(context_fingerprint(workload, arch, &self.config));
+                let stage = match fault_stage::get() {
+                    s if s.is_empty() => "setup".to_string(),
+                    s => s,
+                };
+                let message = panic_message(payload.as_ref());
+                emit_fault(controls.progress, &stage, Some(workload.name()), &message);
+                Err(ScheduleError::Internal {
+                    stage,
+                    layer: Some(workload.name().to_string()),
+                    message,
+                })
+            }
+        }
+    }
+
+    /// The search body guarded by the boundary in [`run_one`](Self::run_one):
+    /// resolve the problem, pick the direction pass, walk the levels, and
+    /// rank the valid completions.
+    fn run_one_inner(
         &self,
         workload: &Workload,
         arch: &ArchSpec,
@@ -441,7 +681,16 @@ impl Scheduler {
             self.config.max_cache_entries,
             &self.cache,
         );
-        let ctx = SearchContext::new(workload, arch, &binding, &self.config, cache, self.pool());
+        let ctx = SearchContext::new(
+            workload,
+            arch,
+            &binding,
+            &self.config,
+            cache,
+            self.pool(),
+            controls.cancel,
+            controls.deadline,
+        );
         let mut stats = SearchStats::default();
 
         let pass: &dyn LevelPass = match self.config.direction {
@@ -452,6 +701,7 @@ impl Scheduler {
             Direction::TopDown => &BottomUpPass,
         };
         let run = run_level_search(&ctx, pass, &mut stats, controls);
+        fault_stage::set("rank");
         let truncated = match run.stop {
             SearchStop::Cancelled => return Err(ScheduleError::Cancelled),
             SearchStop::Infeasible { stage } => {

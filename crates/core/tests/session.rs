@@ -266,6 +266,98 @@ fn progress_sink_sees_batch_layer_events() {
     );
 }
 
+/// A 1-D conv with selectable element width: on the tiny-L1 architecture
+/// below, 8-bit layers fit (three 1-element tiles = 3 bytes) while
+/// 16-bit layers cannot (6 bytes > the 4-byte L1), giving a deterministic
+/// per-layer infeasibility inside an otherwise healthy batch.
+fn conv1d_bits(name: &str, bits: u32) -> Workload {
+    let mut b = Workload::builder(name);
+    let k = b.dim("K", 4);
+    let c = b.dim("C", 4);
+    let p = b.dim("P", 8);
+    let r = b.dim("R", 3);
+    b.input_bits("ifmap", [c.expr(), p.expr() + r.expr()], bits);
+    b.input_bits("weight", [k.expr(), c.expr(), r.expr()], bits);
+    b.output_bits("ofmap", [k.expr(), p.expr()], bits);
+    b.build().expect("valid conv1d workload")
+}
+
+fn tiny_l1_arch() -> sunstone_arch::ArchSpec {
+    sunstone_arch::ArchBuilder::new("tiny-l1")
+        .unified_memory("L1", 4, 1.0, 1.0)
+        .unified_memory("L2", 1 << 20, 6.0, 6.0)
+        .dram(200.0)
+        .build()
+        .expect("valid arch")
+}
+
+#[test]
+fn batch_outcomes_isolate_infeasible_layers() {
+    let arch = tiny_l1_arch();
+    let net = vec![
+        conv1d_bits("bad", 16),
+        conv1d_bits("good", 8),
+        conv1d_bits("bad_again", 16), // dedups onto `bad`
+    ];
+    let session = Scheduler::new(SunstoneConfig::default());
+    let outcome = session
+        .schedule_batch_outcomes(&net, &arch, &BatchOptions::default())
+        .expect("partial failure is an Ok outcome");
+
+    assert!(!outcome.all_ok());
+    assert!(matches!(outcome.layers[0], Err(ScheduleError::InfeasibleLevel { .. })));
+    assert!(outcome.layers[1].is_ok(), "the feasible layer still gets its mappings");
+    assert!(
+        matches!(outcome.layers[2], Err(ScheduleError::InfeasibleLevel { .. })),
+        "the error replays onto every occurrence of the deduped shape"
+    );
+    assert_eq!(outcome.stats.failed, 2, "failed counts occurrences, not unique shapes");
+    assert_eq!(outcome.failures().count(), 2);
+    assert_eq!(outcome.failures().map(|(i, _)| i).collect::<Vec<_>>(), vec![0, 2]);
+
+    // The surviving layer is bit-identical to scheduling it alone.
+    let reference = Scheduler::new(SunstoneConfig::default())
+        .schedule(&net[1], &arch)
+        .expect("feasible layer schedules alone");
+    let good = outcome.best(1).expect("feasible layer has a mapping");
+    assert_eq!(good.mapping, reference.mapping);
+    assert_eq!(good.report.edp.to_bits(), reference.report.edp.to_bits());
+
+    // The all-or-nothing wrapper surfaces the first failing layer's error.
+    let err = session
+        .schedule_batch(&net, &arch)
+        .expect_err("all-or-nothing batch fails on any infeasible layer");
+    assert!(matches!(err, ScheduleError::InfeasibleLevel { .. }));
+}
+
+#[test]
+fn fail_fast_skips_layers_after_the_first_failure() {
+    let arch = tiny_l1_arch();
+    // threads: 1 → unique shapes run inline in input order, so the
+    // failing first layer deterministically precedes the second.
+    let config = SunstoneConfig { threads: 1, ..SunstoneConfig::default() };
+    let net = vec![conv1d_bits("bad", 16), conv1d_bits("good", 8)];
+
+    let fail_fast = BatchOptions { fail_fast: true, ..BatchOptions::default() };
+    let outcome = Scheduler::new(config.clone())
+        .schedule_batch_outcomes(&net, &arch, &fail_fast)
+        .expect("fail-fast partial failure is an Ok outcome");
+    assert!(matches!(outcome.layers[0], Err(ScheduleError::InfeasibleLevel { .. })));
+    assert!(
+        matches!(outcome.layers[1], Err(ScheduleError::Cancelled)),
+        "layers after the first failure are skipped as Cancelled: {:?}",
+        outcome.layers[1]
+    );
+    assert_eq!(outcome.stats.failed, 2);
+
+    // Without fail_fast the same batch still schedules the good layer.
+    let outcome = Scheduler::new(config)
+        .schedule_batch_outcomes(&net, &arch, &BatchOptions::default())
+        .expect("default batch keeps going");
+    assert!(outcome.layers[1].is_ok());
+    assert_eq!(outcome.stats.failed, 1);
+}
+
 #[test]
 fn batch_top_k_returns_ranked_candidates() {
     let arch = presets::conventional();

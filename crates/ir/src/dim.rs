@@ -42,7 +42,11 @@ impl DimId {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= DimId::MAX_DIMS`.
+    /// Panics if `index >= DimId::MAX_DIMS`. This is a true invariant,
+    /// not input validation:
+    /// [`WorkloadBuilder::build`](crate::WorkloadBuilder) rejects
+    /// over-capacity declarations with a typed `TooManyDims` error before
+    /// any out-of-range id can be constructed.
     pub fn from_index(index: usize) -> Self {
         assert!(index < Self::MAX_DIMS, "dimension index {index} out of range");
         DimId(index as u8)

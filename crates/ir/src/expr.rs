@@ -83,6 +83,12 @@ impl IndexExpr {
     /// with future layouts and is currently ignored.
     ///
     /// A `tile` extent of zero is treated as an empty tile and yields 0.
+    ///
+    /// The arithmetic saturates instead of wrapping: strides and tile
+    /// extents come from user input, and a wrapped extent would
+    /// under-report footprints. Saturation only ever over-reports, which
+    /// every consumer treats conservatively (a too-large footprint is
+    /// rejected, never admitted).
     pub fn extent(&self, _unused: impl Fn(DimId) -> u64, tile: impl Fn(DimId) -> u64) -> u64 {
         let mut total: u64 = 1;
         for t in &self.terms {
@@ -90,7 +96,7 @@ impl IndexExpr {
             if e == 0 {
                 return 0;
             }
-            total += t.stride * (e - 1);
+            total = total.saturating_add(t.stride.saturating_mul(e - 1));
         }
         total
     }

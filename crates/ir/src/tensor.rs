@@ -13,9 +13,21 @@ use crate::{DimSet, IndexExpr};
 pub struct TensorId(pub(crate) u8);
 
 impl TensorId {
+    /// Maximum number of tensors a single workload may declare (ids are
+    /// stored as `u8`).
+    pub const MAX_TENSORS: usize = 256;
+
     /// Creates a `TensorId` from a raw index (mostly useful in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= TensorId::MAX_TENSORS`. This is a true
+    /// invariant, not input validation:
+    /// [`WorkloadBuilder::build`](crate::WorkloadBuilder) rejects
+    /// over-capacity declarations with a typed error before any
+    /// out-of-range id can be constructed.
     pub fn from_index(index: usize) -> Self {
-        assert!(index < 256, "tensor index {index} out of range");
+        assert!(index < Self::MAX_TENSORS, "tensor index {index} out of range");
         TensorId(index as u8)
     }
 
@@ -103,8 +115,15 @@ impl TensorDesc {
     /// This is the product over coordinates of
     /// [`IndexExpr::extent_of`], i.e. exactly the footprint terms of the
     /// paper's Equations 1–3 (e.g. `(P_L1 + R − 1) × C_L1` for `ifmap`).
+    ///
+    /// The product saturates instead of wrapping: tiles derive from
+    /// user-supplied dimension extents, so degenerate inputs (2^40-sized
+    /// dims) can overflow `u64`, and saturation is the conservative
+    /// direction — every consumer compares footprints against bounded
+    /// capacities, so a saturated footprint can only cause a tile to be
+    /// rejected, never admitted.
     pub fn footprint(&self, tile: &[u64]) -> u64 {
-        self.indices.iter().map(|e| e.extent_of(tile)).product()
+        self.indices.iter().fold(1u64, |acc, e| acc.saturating_mul(e.extent_of(tile)))
     }
 }
 

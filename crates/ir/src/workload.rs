@@ -31,6 +31,11 @@ pub enum WorkloadError {
     UnusedDim(String),
     /// The workload has no input tensors.
     NoInputs,
+    /// More than [`TensorId::MAX_TENSORS`] tensors were declared.
+    TooManyTensors,
+    /// Several independent violations were found; validation reports them
+    /// all at once instead of stopping at the first.
+    Multiple(Vec<WorkloadError>),
 }
 
 impl fmt::Display for WorkloadError {
@@ -54,6 +59,16 @@ impl fmt::Display for WorkloadError {
             }
             WorkloadError::UnusedDim(n) => write!(f, "dimension `{n}` indexes no tensor"),
             WorkloadError::NoInputs => write!(f, "workload has no input tensors"),
+            WorkloadError::TooManyTensors => {
+                write!(f, "more than {} tensors declared", TensorId::MAX_TENSORS)
+            }
+            WorkloadError::Multiple(errors) => {
+                write!(f, "{} validation errors:", errors.len())?;
+                for e in errors {
+                    write!(f, " [{e}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -70,6 +85,9 @@ pub struct Workload {
     name: String,
     dims: Vec<Dim>,
     tensors: Vec<TensorDesc>,
+    /// The single output tensor, resolved once during validation so the
+    /// accessor is a field read, not a scan that could fail.
+    output: TensorId,
 }
 
 impl Workload {
@@ -149,11 +167,10 @@ impl Workload {
         self.tensors.iter().position(|t| t.name() == name).map(TensorId::from_index)
     }
 
-    /// The output tensor's id.
+    /// The output tensor's id (resolved at build time; validation
+    /// guarantees exactly one output exists).
     pub fn output(&self) -> TensorId {
-        self.tensor_ids()
-            .find(|&t| self.tensor(t).is_output())
-            .expect("validated workload always has an output")
+        self.output
     }
 
     /// Dimensions that do not index the output — the *reduction*
@@ -165,8 +182,15 @@ impl Workload {
 
     /// The total number of compute operations: the volume of the operation
     /// space, i.e. the product of all dimension sizes (Fig 2 of the paper).
+    ///
+    /// Saturates at `u64::MAX` when the product exceeds 64 bits. The
+    /// overflow is input-reachable (e.g. two 2^40 dimensions) and the
+    /// value is mapping-independent — the cost model folds it into every
+    /// candidate's energy identically — so saturation can never change
+    /// the relative ranking of mappings; it only caps the reported
+    /// operation count of astronomically large workloads.
     pub fn total_ops(&self) -> u64 {
-        self.dims.iter().map(Dim::size).product()
+        self.dims.iter().fold(1u64, |acc, d| acc.saturating_mul(d.size()))
     }
 
     /// Computes the per-tensor reuse table (Table III of the paper).
@@ -264,7 +288,10 @@ impl WorkloadBuilder {
         indices: impl IntoIterator<Item = IndexExpr>,
         bits: u32,
     ) -> TensorId {
-        let id = TensorId::from_index(self.tensors.len());
+        // Clamp like `dim`: over-capacity detection is deferred to `build`
+        // (which rejects with `TooManyTensors`) so the builder API stays
+        // infallible and panic-free; the clamped id is never observable.
+        let id = TensorId::from_index(self.tensors.len().min(TensorId::MAX_TENSORS - 1));
         self.tensors.push(TensorDesc::new(name, kind, indices.into_iter().collect(), bits));
         id
     }
@@ -276,55 +303,80 @@ impl WorkloadBuilder {
     /// Returns a [`WorkloadError`] if names collide, a dimension is
     /// zero-sized or unused, strides are zero, a dimension repeats within
     /// one tensor, or the workload does not have exactly one output and at
-    /// least one input.
+    /// least one input. Validation runs to completion and reports **every**
+    /// violation: a single one is returned directly, several are wrapped in
+    /// [`WorkloadError::Multiple`].
     pub fn build(self) -> Result<Workload, WorkloadError> {
+        // Over-capacity declarations clamp ids inside the builder, so every
+        // later check would be reading through wrong ids; these two are the
+        // only violations that early-return instead of aggregating.
         if self.dims.len() > DimId::MAX_DIMS {
             return Err(WorkloadError::TooManyDims);
         }
+        if self.tensors.len() > TensorId::MAX_TENSORS {
+            return Err(WorkloadError::TooManyTensors);
+        }
+        let mut errors: Vec<WorkloadError> = Vec::new();
         for (i, d) in self.dims.iter().enumerate() {
             if d.size() == 0 {
-                return Err(WorkloadError::ZeroSizedDim(d.name().to_string()));
+                errors.push(WorkloadError::ZeroSizedDim(d.name().to_string()));
             }
             if self.dims[..i].iter().any(|e| e.name() == d.name()) {
-                return Err(WorkloadError::DuplicateDim(d.name().to_string()));
+                errors.push(WorkloadError::DuplicateDim(d.name().to_string()));
             }
         }
+        let mut output = None;
+        let mut inputs = 0usize;
         let mut outputs = 0usize;
         let mut used = DimSet::EMPTY;
         for (i, t) in self.tensors.iter().enumerate() {
             if self.tensors[..i].iter().any(|e| e.name() == t.name()) {
-                return Err(WorkloadError::DuplicateTensor(t.name().to_string()));
+                errors.push(WorkloadError::DuplicateTensor(t.name().to_string()));
             }
             let mut seen = DimSet::EMPTY;
             for e in t.indices() {
                 for term in e.terms() {
                     if term.stride == 0 {
-                        return Err(WorkloadError::ZeroStride(t.name().to_string()));
+                        errors.push(WorkloadError::ZeroStride(t.name().to_string()));
                     }
                     if !seen.insert(term.dim) {
-                        return Err(WorkloadError::RepeatedDimInTensor(t.name().to_string()));
+                        errors.push(WorkloadError::RepeatedDimInTensor(t.name().to_string()));
                     }
                 }
             }
             used = used.union(seen);
             if t.is_output() {
                 outputs += 1;
+                output.get_or_insert(TensorId::from_index(i));
+            } else {
+                inputs += 1;
             }
         }
         match outputs {
-            0 => return Err(WorkloadError::MissingOutput),
+            0 => errors.push(WorkloadError::MissingOutput),
             1 => {}
-            _ => return Err(WorkloadError::MultipleOutputs),
+            _ => errors.push(WorkloadError::MultipleOutputs),
         }
-        if self.tensors.len() < 2 {
-            return Err(WorkloadError::NoInputs);
+        if inputs == 0 {
+            errors.push(WorkloadError::NoInputs);
         }
         for (i, d) in self.dims.iter().enumerate() {
             if !used.contains(DimId::from_index(i)) {
-                return Err(WorkloadError::UnusedDim(d.name().to_string()));
+                errors.push(WorkloadError::UnusedDim(d.name().to_string()));
             }
         }
-        Ok(Workload { name: self.name, dims: self.dims, tensors: self.tensors })
+        match output {
+            Some(output) if errors.is_empty() => {
+                Ok(Workload { name: self.name, dims: self.dims, tensors: self.tensors, output })
+            }
+            // `output == None` implies `MissingOutput` was pushed, so the
+            // error list is never empty on this arm.
+            _ => Err(if errors.len() == 1 {
+                errors.remove(0)
+            } else {
+                WorkloadError::Multiple(errors)
+            }),
+        }
     }
 }
 
@@ -379,7 +431,14 @@ mod tests {
         b.dim("K", 3);
         b.input("a", [k.expr()]);
         b.output("o", [k.expr()]);
-        assert_eq!(b.build().unwrap_err(), WorkloadError::DuplicateDim("K".into()));
+        // The duplicate is also unused (only the first `K` is referenced),
+        // so aggregate validation reports both violations.
+        let err = b.build().unwrap_err();
+        let WorkloadError::Multiple(errors) = err else {
+            panic!("expected aggregated errors, got {err:?}");
+        };
+        assert!(errors.contains(&WorkloadError::DuplicateDim("K".into())), "{errors:?}");
+        assert!(errors.contains(&WorkloadError::UnusedDim("K".into())), "{errors:?}");
     }
 
     #[test]
@@ -438,6 +497,42 @@ mod tests {
     }
 
     #[test]
+    fn reports_every_violation_at_once() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 0); // zero-sized
+        b.dim("Z", 5); // unused
+        b.input("a", [k.expr()]);
+        // no output
+        let err = b.build().unwrap_err();
+        let WorkloadError::Multiple(errors) = err else {
+            panic!("expected aggregated errors, got {err:?}");
+        };
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(errors.contains(&WorkloadError::ZeroSizedDim("K".into())));
+        assert!(errors.contains(&WorkloadError::UnusedDim("Z".into())));
+        assert!(errors.contains(&WorkloadError::MissingOutput));
+    }
+
+    #[test]
+    fn single_violation_is_not_wrapped() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 2);
+        b.input("a", [k.expr()]);
+        // Exactly one violation → the bare error, not `Multiple`.
+        assert_eq!(b.build().unwrap_err(), WorkloadError::MissingOutput);
+    }
+
+    #[test]
+    fn rejects_too_many_tensors_without_panicking() {
+        let mut b = Workload::builder("bad");
+        let k = b.dim("K", 2);
+        for i in 0..=TensorId::MAX_TENSORS {
+            b.input(format!("t{i}"), [k.expr()]);
+        }
+        assert_eq!(b.build().unwrap_err(), WorkloadError::TooManyTensors);
+    }
+
+    #[test]
     fn errors_display_nonempty() {
         for e in [
             WorkloadError::DuplicateDim("K".into()),
@@ -450,6 +545,8 @@ mod tests {
             WorkloadError::MultipleOutputs,
             WorkloadError::UnusedDim("Z".into()),
             WorkloadError::NoInputs,
+            WorkloadError::TooManyTensors,
+            WorkloadError::Multiple(vec![WorkloadError::MissingOutput, WorkloadError::NoInputs]),
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -209,8 +209,12 @@ impl<'a> ValidationContext<'a> {
             if let Some(pid) = self.binding.partition_of(level_id, t) {
                 let tensor = self.workload.tensor(t);
                 let words = tensor.footprint(&tile);
-                let bytes = words * u64::from(tensor.bits()).div_ceil(8);
-                needed[pid.0] += bytes;
+                // Saturating like `Tensor::footprint`: overflow is
+                // input-reachable (huge dims saturate the footprint) and
+                // saturation only ever *over*-reports the requirement, so
+                // an oversized tile is rejected, never falsely admitted.
+                let bytes = words.saturating_mul(u64::from(tensor.bits()).div_ceil(8));
+                needed[pid.0] = needed[pid.0].saturating_add(bytes);
             }
         }
         for (p, &bytes) in mem.partitions.iter().zip(&needed) {

@@ -178,6 +178,10 @@ pub(crate) fn build_prefix(
     boundary: usize,
 ) -> MappingPrefix {
     let n_levels = arch.num_levels();
+    // True invariant, not input validation: boundaries are stage indices
+    // produced by the search itself, never user data. A violation is a
+    // scheduler bug, and the panic-isolation boundary at the public API
+    // converts it into a typed internal error.
     assert!(boundary < n_levels, "prefix boundary {boundary} out of range");
     let ndims = workload.num_dims();
 

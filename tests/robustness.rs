@@ -1,0 +1,177 @@
+//! Degenerate-input robustness grid: the public API must never panic.
+//!
+//! Every combination of pathological workload, architecture, and
+//! configuration below is driven through `Scheduler::schedule` inside
+//! `catch_unwind`; the contract is that each call returns `Ok` or a
+//! *typed* `ScheduleError` — an escaped panic is a bug regardless of how
+//! hostile the input is. (Internal panics converted by the isolation
+//! boundary surface as `ScheduleError::Internal`, which this grid also
+//! treats as a failure: none of these inputs should trip an internal
+//! invariant.)
+
+use std::panic::{self, AssertUnwindSafe};
+
+use sunstone::prelude::*;
+use sunstone_arch::{presets, ArchBuilder, ArchSpec};
+use sunstone_ir::Workload;
+
+/// A workload where every dimension is 1: every divisor ladder is the
+/// single factor {1}, every tile is one element.
+fn all_ones() -> Workload {
+    let mut b = Workload::builder("all_ones");
+    let k = b.dim("K", 1);
+    let c = b.dim("C", 1);
+    let p = b.dim("P", 1);
+    let r = b.dim("R", 1);
+    b.input("ifmap", [c.expr(), p.expr() + r.expr()]);
+    b.input("weight", [k.expr(), c.expr(), r.expr()]);
+    b.output("ofmap", [k.expr(), p.expr()]);
+    b.build().expect("valid workload")
+}
+
+/// Huge prime dimensions: divisor ladders collapse to {1, p}, tiling has
+/// almost no freedom, and footprints/operation counts get large enough to
+/// stress the arithmetic paths.
+fn prime_dims() -> Workload {
+    let mut b = Workload::builder("prime_dims");
+    let m = b.dim("M", 104_729); // 10,000th prime
+    let n = b.dim("N", 999_983); // largest prime below 10^6
+    let k = b.dim("K", 2);
+    b.input("a", [m.expr(), k.expr()]);
+    b.input("b", [k.expr(), n.expr()]);
+    b.output("c", [m.expr(), n.expr()]);
+    b.build().expect("valid workload")
+}
+
+/// Power-of-two 2^40 dimensions: per-dim products reach 2^80 territory,
+/// exercising the checked/saturating arithmetic in factors and footprints.
+fn enormous_dims() -> Workload {
+    let mut b = Workload::builder("enormous");
+    let m = b.dim("M", 1 << 40);
+    let n = b.dim("N", 1 << 40);
+    b.input("a", [m.expr()]);
+    b.input("b", [n.expr()]);
+    b.output("c", [m.expr(), n.expr()]);
+    b.build().expect("valid workload")
+}
+
+/// A single unbounded DRAM level and nothing else: no tiling choices at
+/// all, the mapping is forced.
+fn dram_only() -> ArchSpec {
+    ArchBuilder::new("dram-only").dram(200.0).build().expect("valid arch")
+}
+
+/// An L1 too small to hold even one element of each tensor: every
+/// scheduling attempt is infeasible at stage 0.
+fn tiny_l1() -> ArchSpec {
+    ArchBuilder::new("tiny-l1")
+        .unified_memory("L1", 1, 1.0, 1.0)
+        .dram(200.0)
+        .build()
+        .expect("valid arch")
+}
+
+/// The degenerate corner of the configuration space: beam width 1, both
+/// enumeration caps 1, deterministic single thread, cache off.
+fn minimal_config(direction: Direction) -> SunstoneConfig {
+    SunstoneConfig {
+        direction,
+        beam_width: 1,
+        threads: 1,
+        max_tiles_per_enum: 1,
+        max_unrolls_per_enum: 1,
+        estimate_cache: false,
+        ..SunstoneConfig::default()
+    }
+}
+
+/// Runs one cell of the grid and asserts no panic escapes.
+fn assert_no_panic(tag: &str, w: &Workload, arch: &ArchSpec, config: SunstoneConfig) {
+    let outcome =
+        panic::catch_unwind(AssertUnwindSafe(|| Scheduler::new(config).schedule(w, arch)));
+    match outcome {
+        Ok(Ok(_)) => {}
+        Ok(Err(ScheduleError::Internal { stage, message, .. })) => {
+            panic!("{tag}: internal invariant tripped at {stage}: {message}")
+        }
+        Ok(Err(_typed)) => {} // typed degradation is the contract
+        Err(_) => panic!("{tag}: panic escaped the public API"),
+    }
+}
+
+#[test]
+fn degenerate_grid_never_panics() {
+    let workloads: Vec<(&str, Workload)> = vec![
+        ("all_ones", all_ones()),
+        ("prime_dims", prime_dims()),
+        ("enormous_dims", enormous_dims()),
+    ];
+    let archs: Vec<(&str, ArchSpec)> = vec![
+        ("conventional", presets::conventional()),
+        ("dram_only", dram_only()),
+        ("tiny_l1", tiny_l1()),
+    ];
+    let configs: Vec<(&str, SunstoneConfig)> = vec![
+        ("default", SunstoneConfig::default()),
+        ("minimal_bottom_up", minimal_config(Direction::BottomUp)),
+        ("minimal_top_down", minimal_config(Direction::TopDown)),
+        (
+            "caps_1_cache_on",
+            SunstoneConfig {
+                max_tiles_per_enum: 1,
+                max_unrolls_per_enum: 1,
+                threads: 2,
+                ..SunstoneConfig::default()
+            },
+        ),
+    ];
+
+    for (wname, w) in &workloads {
+        for (aname, arch) in &archs {
+            for (cname, config) in &configs {
+                let tag = format!("{wname}/{aname}/{cname}");
+                assert_no_panic(&tag, w, arch, config.clone());
+            }
+        }
+    }
+}
+
+/// A spatial level declaring zero instances is a *specification* error:
+/// it must surface as a typed `ArchError` at build time, never reach the
+/// scheduler, and never panic.
+#[test]
+fn zero_instance_spatial_level_is_a_typed_arch_error() {
+    let result = panic::catch_unwind(|| {
+        ArchBuilder::new("zero-units")
+            .unified_memory("L1", 1 << 14, 1.0, 1.0)
+            .spatial("grid", 0)
+            .dram(200.0)
+            .build()
+    });
+    let built = result.expect("arch validation must not panic");
+    assert!(built.is_err(), "a zero-instance fabric must be rejected");
+}
+
+/// The chain and batch entry points share the no-panic contract: a batch
+/// mixing an infeasible layer (on the tiny arch) with nothing feasible
+/// still returns typed per-layer errors.
+#[test]
+fn batch_over_degenerate_inputs_never_panics() {
+    let arch = tiny_l1();
+    let net = vec![all_ones(), prime_dims()];
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        Scheduler::new(minimal_config(Direction::BottomUp)).schedule_batch_outcomes(
+            &net,
+            &arch,
+            &BatchOptions::default(),
+        )
+    }));
+    let outcome = outcome.expect("batch over degenerate inputs must not panic");
+    if let Ok(outcome) = outcome {
+        for (i, layer) in outcome.layers.iter().enumerate() {
+            if let Err(ScheduleError::Internal { stage, message, .. }) = layer {
+                panic!("layer {i}: internal invariant tripped at {stage}: {message}");
+            }
+        }
+    }
+}
