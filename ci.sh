@@ -20,6 +20,12 @@ cargo test -q
 echo "== doctests (core crate) =="
 cargo test -q --doc -p sunstone
 
+echo "== example smoke: constrained-vs-free template =="
+# The example asserts the template can never beat the free optimum; a
+# nonzero exit means the constraint layer leaked mappings out of the
+# template's subspace.
+cargo run --release --example constrained >/dev/null
+
 echo "== fault injection: build + soak =="
 # The failpoint harness only exists under this feature; the soak drives a
 # panic through every registered failpoint and requires bit-identical

@@ -109,6 +109,33 @@ impl Binding {
         Ok(Binding { assignment })
     }
 
+    /// Forces `tensor` to bypass memory level `level`, overriding whatever
+    /// the architecture's bypass filters decided.
+    ///
+    /// # Errors
+    ///
+    /// [`BindingError::BypassedEverywhere`] if `level` is the outermost
+    /// memory — every tensor needs a home there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` refers to a spatial level (same contract as
+    /// [`partition_of`](Self::partition_of)).
+    pub fn with_bypass(
+        mut self,
+        level: LevelId,
+        tensor: TensorId,
+        tensor_name: &str,
+    ) -> Result<Self, BindingError> {
+        if level.0 == self.assignment.len() - 1 {
+            return Err(BindingError::BypassedEverywhere { tensor: tensor_name.to_string() });
+        }
+        let row = &mut self.assignment[level.0];
+        assert!(!row.is_empty(), "level {} is spatial", level.0);
+        row[tensor.index()] = None;
+        Ok(self)
+    }
+
     /// The partition storing `tensor` at memory level `level`, or `None`
     /// when the tensor bypasses that level.
     ///
@@ -249,6 +276,29 @@ mod tests {
         let err = Binding::resolve(&arch, &w).unwrap_err();
         assert!(
             matches!(err, BindingError::BypassedEverywhere { ref tensor } if tensor == "ofmap")
+        );
+    }
+
+    #[test]
+    fn bypass_override_clears_assignment_but_protects_dram() {
+        let w = conv1d();
+        let arch = ArchSpec::new(
+            "two-level",
+            vec![
+                Level::Memory(MemoryLevel::unified("L1", any("l1", Capacity::Bytes(1024)))),
+                Level::Memory(MemoryLevel::unified("DRAM", any("dram", Capacity::Unbounded))),
+            ],
+            1.0,
+            16,
+        );
+        let weight = w.tensor_by_name("weight").unwrap();
+        let b = Binding::resolve(&arch, &w).unwrap();
+        assert!(b.stores(LevelId(0), weight));
+        let b = b.with_bypass(LevelId(0), weight, "weight").unwrap();
+        assert!(!b.stores(LevelId(0), weight));
+        let err = b.with_bypass(LevelId(1), weight, "weight").unwrap_err();
+        assert!(
+            matches!(err, BindingError::BypassedEverywhere { ref tensor } if tensor == "weight")
         );
     }
 

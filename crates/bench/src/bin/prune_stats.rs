@@ -11,7 +11,9 @@
 //! Run with `cargo run --release -p sunstone-bench --bin prune_stats`
 //! (append `quick` for a subsampled run).
 
-use sunstone::{PruneCounter, Scheduler, SearchStats, SunstoneConfig};
+use sunstone::{
+    DataflowTemplate, PruneCounter, ScheduleOptions, Scheduler, SearchStats, SunstoneConfig,
+};
 use sunstone_arch::presets;
 use sunstone_bench::resnet18_experiment_layers;
 use sunstone_workloads::Precision;
@@ -70,6 +72,7 @@ fn merge_into(total: &mut SearchStats, s: &SearchStats) {
         tl.ordering_dominated += l.ordering_dominated;
         tl.tiling.merge(&l.tiling);
         tl.unrolling.merge(&l.unrolling);
+        tl.constraint.merge(&l.constraint);
         tl.dedup_removed += l.dedup_removed;
         tl.beam.merge(&l.beam);
         tl.cache_hits += l.cache_hits;
@@ -150,4 +153,40 @@ fn main() {
         probes,
         if probes == 0 { 0.0 } else { 100.0 * total.cache_hits as f64 / probes as f64 }
     );
+
+    // How much of the space each dataflow template removes, measured by
+    // the in-enumeration constraint filter on one representative layer.
+    let w = layers[0].inference(Precision::conventional());
+    let free = scheduler.schedule(&w, &arch).expect("free baseline schedules");
+    println!("\n  Dataflow templates on {} (constraint filter):", layers[0].name);
+    println!(
+        "    {:<20} {:>10} {:>7} {:>7}   {:>9} {:>9}",
+        "template", "cons", "kept", "pruned", "probed", "free"
+    );
+    for template in [
+        DataflowTemplate::WeightStationaryCK,
+        DataflowTemplate::OutputStationary,
+        DataflowTemplate::RowStationary,
+        DataflowTemplate::NvdlaLike,
+    ] {
+        let opts = ScheduleOptions {
+            constraints: Some(template.constraints(&arch)),
+            ..ScheduleOptions::default()
+        };
+        let r = scheduler
+            .schedule_with(&w, &arch, &opts)
+            .expect("templates schedule")
+            .into_results()
+            .remove(0);
+        let c = r.stats.total_of(|l| l.constraint);
+        println!(
+            "    {:<20} {:>10} {:>7} {:>6.1}%   {:>9} {:>9}",
+            format!("{template:?}"),
+            c.considered,
+            c.kept,
+            pct(&c),
+            r.stats.probed,
+            free.stats.probed,
+        );
+    }
 }

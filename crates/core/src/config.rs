@@ -1,6 +1,7 @@
 //! Scheduler configuration.
 
 use serde::{Deserialize, Serialize};
+use sunstone_mapping::MappingConstraints;
 
 use crate::error::ScheduleError;
 
@@ -137,6 +138,13 @@ pub struct SunstoneConfig {
     pub max_cache_entries: usize,
     /// Active pruning techniques.
     pub pruning: PruningFlags,
+    /// Mapping-space restrictions applied *inside* enumeration, before
+    /// any pruning or beam selection (empty by default: full free
+    /// search). Resolved against each workload/architecture pair at the
+    /// start of a call; an unsatisfiable or ill-formed set surfaces as
+    /// [`ScheduleError::InvalidConstraints`]. A per-call override exists
+    /// on [`ScheduleOptions`](crate::ScheduleOptions).
+    pub constraints: MappingConstraints,
 }
 
 impl Default for SunstoneConfig {
@@ -153,6 +161,7 @@ impl Default for SunstoneConfig {
             estimate_cache: true,
             max_cache_entries: 1 << 20,
             pruning: PruningFlags::default(),
+            constraints: MappingConstraints::default(),
         }
     }
 }
@@ -349,6 +358,15 @@ impl SunstoneConfigBuilder {
     /// Sets the pruning flags.
     pub fn pruning(mut self, pruning: PruningFlags) -> Self {
         self.config.pruning = pruning;
+        self
+    }
+
+    /// Sets the mapping constraints every call of the session searches
+    /// under. Name/level resolution happens per call (it needs the
+    /// workload and architecture), so ill-formed constraints surface as
+    /// [`ScheduleError::InvalidConstraints`] at scheduling time.
+    pub fn constraints(mut self, constraints: MappingConstraints) -> Self {
+        self.config.constraints = constraints;
         self
     }
 

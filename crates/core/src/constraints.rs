@@ -1,0 +1,439 @@
+//! Resolving [`MappingConstraints`] against a concrete problem.
+//!
+//! The public constraint types ([`sunstone_mapping::constraints`]) name
+//! levels and dimensions symbolically so one template applies across
+//! workloads. The search needs the opposite shape: per architecture
+//! *position*, the dimension sets and factor pins as raw indices, checked
+//! once up front. [`ResolvedConstraints::resolve`] performs that
+//! translation and rejects every statically unsatisfiable set with
+//! [`ScheduleError::InvalidConstraints`] — the enumerators then apply the
+//! resolved form *inside* enumeration (see [`crate::search`]), before any
+//! beam or alpha-beta pruning sees a forbidden candidate.
+
+use sunstone_arch::{ArchSpec, LevelId};
+use sunstone_ir::{DimId, DimSet, TensorId, Workload};
+use sunstone_mapping::constraints::{resolve_caps, resolve_pins, resolve_union};
+use sunstone_mapping::{ConstraintError, MappingConstraints};
+
+use crate::error::ScheduleError;
+
+/// Resolved constraint data of one architecture position (spatial fields
+/// for fabrics, tile/order fields for memories), raw-indexed.
+#[derive(Debug, Clone)]
+pub(crate) struct LevelConstraints {
+    /// Fabrics: the only dimensions allowed to unroll here (pins
+    /// included); `None` leaves the fabric unconstrained.
+    pub(crate) unroll_allow: Option<DimSet>,
+    /// Fabrics: exact per-dimension unroll factors.
+    pub(crate) unroll_pins: Vec<(usize, u64)>,
+    /// The pinned dimensions of `unroll_pins`, as a set.
+    pub(crate) unroll_pinned: DimSet,
+    /// Product of the pinned unroll factors (1 when nothing is pinned);
+    /// validated to not exceed the fabric's unit count.
+    pub(crate) unroll_pin_product: u64,
+    /// Memories: exact resident-tile extents.
+    pub(crate) tile_pins: Vec<(usize, u64)>,
+    /// Memories: resident-tile upper bounds.
+    pub(crate) tile_caps: Vec<(usize, u64)>,
+    /// Memories: forced innermost loop groups (innermost first) plus the
+    /// exact flag of [`OrderConstraint`](sunstone_mapping::OrderConstraint).
+    pub(crate) order: Option<(Vec<DimSet>, bool)>,
+}
+
+impl Default for LevelConstraints {
+    fn default() -> Self {
+        LevelConstraints {
+            unroll_allow: None,
+            unroll_pins: Vec::new(),
+            unroll_pinned: DimSet::EMPTY,
+            unroll_pin_product: 1,
+            tile_pins: Vec::new(),
+            tile_caps: Vec::new(),
+            order: None,
+        }
+    }
+}
+
+/// A constraint set resolved against one (workload, architecture) pair,
+/// indexed by architecture position. Statically valid by construction.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedConstraints {
+    levels: Vec<LevelConstraints>,
+    /// Bypass overrides as `(level, tensor, tensor name)`, applied to the
+    /// [`Binding`](sunstone_arch::Binding) before the search starts.
+    pub(crate) bypass: Vec<(LevelId, TensorId, String)>,
+    empty: bool,
+}
+
+/// Shorthand for the typed rejection every resolution failure maps to.
+fn invalid(e: ConstraintError) -> ScheduleError {
+    ScheduleError::InvalidConstraints { reason: e.to_string() }
+}
+
+fn unsat(reason: String) -> ScheduleError {
+    invalid(ConstraintError::Unsatisfiable { reason })
+}
+
+impl ResolvedConstraints {
+    /// Whether the originating constraint set was empty — the fast path
+    /// every enumerator checks before touching constraint state.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// The resolved constraints of the level at architecture position
+    /// `pos`.
+    pub(crate) fn at(&self, pos: usize) -> &LevelConstraints {
+        &self.levels[pos]
+    }
+
+    /// Resolves and validates `constraints` for one problem.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidConstraints`] for unknown level, dimension
+    /// or tensor names, constraints on levels of the wrong kind (unroll on
+    /// a memory, tile on a fabric), restrictions the walk cannot honor
+    /// (ordering the innermost memory, pinning the outermost memory's
+    /// tile, bypassing the outermost memory), and statically unsatisfiable
+    /// sets (conflicting or non-dividing pins, over-subscribed fabrics,
+    /// overlapping order groups, pins above caps).
+    pub(crate) fn resolve(
+        constraints: &MappingConstraints,
+        workload: &Workload,
+        arch: &ArchSpec,
+    ) -> Result<Self, ScheduleError> {
+        let mut levels: Vec<LevelConstraints> =
+            (0..arch.num_levels()).map(|_| LevelConstraints::default()).collect();
+        let mut bypass = Vec::new();
+        if constraints.is_empty() {
+            return Ok(ResolvedConstraints { levels, bypass, empty: true });
+        }
+        let find = |name: &str| -> Result<usize, ScheduleError> {
+            (0..arch.num_levels())
+                .find(|&p| arch.level(LevelId(p)).name() == name)
+                .ok_or_else(|| invalid(ConstraintError::UnknownLevel { name: name.to_string() }))
+        };
+        let innermost_mem = arch.memory_levels().next().map(|(id, _)| id.index());
+        let outermost_mem = arch.memory_levels().last().map(|(id, _)| id.index());
+
+        for uc in &constraints.unroll {
+            let pos = find(&uc.level)?;
+            if arch.level(LevelId(pos)).as_spatial().is_none() {
+                return Err(invalid(ConstraintError::NotSpatial { level: uc.level.clone() }));
+            }
+            let pins = resolve_pins(&uc.pins, workload, "unroll", &uc.level).map_err(invalid)?;
+            let lc = &mut levels[pos];
+            for (d, v) in pins {
+                match lc.unroll_pins.iter().find(|(e, _)| *e == d.index()) {
+                    Some((_, prev)) if *prev != v => {
+                        return Err(unsat(format!(
+                            "conflicting unroll pins for dimension `{}` at `{}`: {prev} vs {v}",
+                            workload.dim(d).name(),
+                            uc.level
+                        )));
+                    }
+                    Some(_) => {}
+                    None => lc.unroll_pins.push((d.index(), v)),
+                }
+            }
+            if let Some(refs) = &uc.allow {
+                let set = resolve_union(refs, workload).map_err(invalid)?;
+                lc.unroll_allow = Some(match lc.unroll_allow {
+                    Some(prev) => prev.intersection(set),
+                    None => set,
+                });
+            }
+        }
+        // Per-fabric pin validation: each pin must divide its dimension,
+        // respect the fabric's reduction capability, and jointly fit the
+        // fabric; pinned dimensions are implicitly allowed.
+        for (pos, lc) in levels.iter_mut().enumerate() {
+            if lc.unroll_pins.is_empty() {
+                continue;
+            }
+            let fabric = arch.level(LevelId(pos)).as_spatial().expect("checked spatial above");
+            let mut product: u128 = 1;
+            for &(d, v) in &lc.unroll_pins {
+                let dim = workload.dim(DimId::from_index(d));
+                if v == 0 || !dim.size().is_multiple_of(v) {
+                    return Err(unsat(format!(
+                        "unroll pin {v} for `{}` at `{}` does not divide the extent {}",
+                        dim.name(),
+                        arch.level(LevelId(pos)).name(),
+                        dim.size()
+                    )));
+                }
+                if !fabric.allow_reduction
+                    && workload.reduction_dims().contains(DimId::from_index(d))
+                    && v > 1
+                {
+                    return Err(unsat(format!(
+                        "unroll pin for reduction dimension `{}` at `{}`, which cannot \
+                         spatially reduce",
+                        dim.name(),
+                        arch.level(LevelId(pos)).name()
+                    )));
+                }
+                product *= u128::from(v);
+                lc.unroll_pinned = lc.unroll_pinned.with(DimId::from_index(d));
+            }
+            if product > u128::from(fabric.units) {
+                return Err(unsat(format!(
+                    "unroll pins multiply to {product}, exceeding the {} units of `{}`",
+                    fabric.units,
+                    arch.level(LevelId(pos)).name()
+                )));
+            }
+            lc.unroll_pin_product = product as u64;
+            if let Some(a) = lc.unroll_allow {
+                lc.unroll_allow = Some(a.union(lc.unroll_pinned));
+            }
+        }
+
+        for oc in &constraints.order {
+            let pos = find(&oc.level)?;
+            if arch.level(LevelId(pos)).as_memory().is_none() {
+                return Err(invalid(ConstraintError::NotMemory { level: oc.level.clone() }));
+            }
+            if Some(pos) == innermost_mem {
+                return Err(unsat(format!(
+                    "the loop order of the innermost memory `{}` is not enumerated and \
+                     cannot be constrained",
+                    oc.level
+                )));
+            }
+            if levels[pos].order.is_some() {
+                return Err(unsat(format!("multiple order constraints on `{}`", oc.level)));
+            }
+            let mut groups = Vec::with_capacity(oc.inner.len());
+            for r in &oc.inner {
+                groups.push(r.resolve(workload).map_err(invalid)?);
+            }
+            for i in 0..groups.len() {
+                for j in i + 1..groups.len() {
+                    if !groups[i].is_disjoint(groups[j]) {
+                        return Err(unsat(format!("overlapping order groups at `{}`", oc.level)));
+                    }
+                }
+            }
+            levels[pos].order = Some((groups, oc.exact));
+        }
+
+        for tc in &constraints.tile {
+            let pos = find(&tc.level)?;
+            if arch.level(LevelId(pos)).as_memory().is_none() {
+                return Err(invalid(ConstraintError::NotMemory { level: tc.level.clone() }));
+            }
+            if Some(pos) == outermost_mem {
+                return Err(unsat(format!(
+                    "the outermost memory `{}` always holds the full problem; its tile \
+                     cannot be pinned or capped",
+                    tc.level
+                )));
+            }
+            let pins = resolve_pins(&tc.pins, workload, "tile", &tc.level).map_err(invalid)?;
+            let caps = resolve_caps(&tc.caps, workload).map_err(invalid)?;
+            let lc = &mut levels[pos];
+            for (d, v) in pins {
+                let dim = workload.dim(d);
+                if v == 0 || !dim.size().is_multiple_of(v) {
+                    return Err(unsat(format!(
+                        "tile pin {v} for `{}` at `{}` does not divide the extent {}",
+                        dim.name(),
+                        tc.level,
+                        dim.size()
+                    )));
+                }
+                match lc.tile_pins.iter().find(|(e, _)| *e == d.index()) {
+                    Some((_, prev)) if *prev != v => {
+                        return Err(unsat(format!(
+                            "conflicting tile pins for dimension `{}` at `{}`: {prev} vs {v}",
+                            dim.name(),
+                            tc.level
+                        )));
+                    }
+                    Some(_) => {}
+                    None => lc.tile_pins.push((d.index(), v)),
+                }
+            }
+            for (d, v) in caps {
+                if v == 0 {
+                    return Err(unsat(format!(
+                        "tile cap 0 for `{}` at `{}` admits no tile",
+                        workload.dim(d).name(),
+                        tc.level
+                    )));
+                }
+                match lc.tile_caps.iter_mut().find(|(e, _)| *e == d.index()) {
+                    Some((_, prev)) => *prev = (*prev).min(v),
+                    None => lc.tile_caps.push((d.index(), v)),
+                }
+            }
+            for &(d, pin) in &lc.tile_pins {
+                if let Some(&(_, cap)) = lc.tile_caps.iter().find(|(e, _)| *e == d) {
+                    if pin > cap {
+                        return Err(unsat(format!(
+                            "tile pin {pin} exceeds cap {cap} for `{}` at `{}`",
+                            workload.dim(DimId::from_index(d)).name(),
+                            tc.level
+                        )));
+                    }
+                }
+            }
+        }
+        // Resident tiles nest: a pin at an inner memory must divide any
+        // pin — and respect any cap — of every memory above it.
+        let mems: Vec<usize> = arch.memory_levels().map(|(id, _)| id.index()).collect();
+        for (i, &inner) in mems.iter().enumerate() {
+            for &outer in &mems[i + 1..] {
+                for &(d, pv) in &levels[inner].tile_pins {
+                    if let Some(&(_, ov)) = levels[outer].tile_pins.iter().find(|(e, _)| *e == d) {
+                        if ov % pv != 0 {
+                            return Err(unsat(format!(
+                                "tile pin {pv} at `{}` does not divide pin {ov} at `{}` \
+                                 for dimension `{}`",
+                                arch.level(LevelId(inner)).name(),
+                                arch.level(LevelId(outer)).name(),
+                                workload.dim(DimId::from_index(d)).name()
+                            )));
+                        }
+                    }
+                    if let Some(&(_, cap)) = levels[outer].tile_caps.iter().find(|(e, _)| *e == d) {
+                        if cap < pv {
+                            return Err(unsat(format!(
+                                "tile pin {pv} at `{}` exceeds cap {cap} at the outer \
+                                 memory `{}` for dimension `{}`",
+                                arch.level(LevelId(inner)).name(),
+                                arch.level(LevelId(outer)).name(),
+                                workload.dim(DimId::from_index(d)).name()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+
+        for b in &constraints.bypass {
+            let pos = find(&b.level)?;
+            if arch.level(LevelId(pos)).as_memory().is_none() {
+                return Err(invalid(ConstraintError::NotMemory { level: b.level.clone() }));
+            }
+            let tensor = workload.tensor_by_name(&b.tensor).ok_or_else(|| {
+                invalid(ConstraintError::UnknownTensor { name: b.tensor.clone() })
+            })?;
+            if Some(pos) == outermost_mem {
+                return Err(unsat(format!(
+                    "tensor `{}` cannot bypass the outermost memory `{}`",
+                    b.tensor, b.level
+                )));
+            }
+            bypass.push((LevelId(pos), tensor, b.tensor.clone()));
+        }
+
+        Ok(ResolvedConstraints { levels, bypass, empty: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunstone_arch::presets;
+    use sunstone_mapping::DimRef;
+
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 14);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_resolves_empty() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        let r = ResolvedConstraints::resolve(&MappingConstraints::default(), &w, &arch).unwrap();
+        assert!(r.is_empty());
+        assert!(r.bypass.is_empty());
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        for c in [
+            MappingConstraints::new().allow_unroll("nope", [DimRef::named("C")]),
+            MappingConstraints::new().allow_unroll("pe_grid", [DimRef::named("Z")]),
+            MappingConstraints::new().bypass("L1", "bias"),
+        ] {
+            let err = ResolvedConstraints::resolve(&c, &w, &arch).unwrap_err();
+            assert!(matches!(err, ScheduleError::InvalidConstraints { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn wrong_level_kinds_are_rejected() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        for c in [
+            MappingConstraints::new().allow_unroll("L1", [DimRef::named("C")]),
+            MappingConstraints::new().pin_tile("pe_grid", DimRef::named("C"), 2),
+            MappingConstraints::new().order_inner("pe_grid", [DimRef::named("C")]),
+        ] {
+            assert!(ResolvedConstraints::resolve(&c, &w, &arch).is_err());
+        }
+    }
+
+    #[test]
+    fn non_dividing_and_oversubscribed_pins_are_unsatisfiable() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        let nondiv = MappingConstraints::new().pin_unroll("pe_grid", DimRef::named("C"), 3);
+        assert!(ResolvedConstraints::resolve(&nondiv, &w, &arch).is_err());
+        let conflict = MappingConstraints::new()
+            .pin_unroll("pe_grid", DimRef::named("C"), 2)
+            .pin_unroll("pe_grid", DimRef::named("C"), 4);
+        assert!(ResolvedConstraints::resolve(&conflict, &w, &arch).is_err());
+    }
+
+    #[test]
+    fn innermost_order_and_outermost_tile_are_rejected() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        let inner = arch.memory_levels().next().unwrap().1.name.clone();
+        let outer = arch.memory_levels().last().unwrap().1.name.clone();
+        let c = MappingConstraints::new().order_inner(inner, [DimRef::named("C")]);
+        assert!(ResolvedConstraints::resolve(&c, &w, &arch).is_err());
+        let c = MappingConstraints::new().pin_tile(outer.clone(), DimRef::named("C"), 2);
+        assert!(ResolvedConstraints::resolve(&c, &w, &arch).is_err());
+        let c = MappingConstraints::new().bypass(outer, "weight");
+        assert!(ResolvedConstraints::resolve(&c, &w, &arch).is_err());
+    }
+
+    #[test]
+    fn valid_set_resolves_per_position() {
+        let w = conv1d();
+        let arch = presets::conventional();
+        let c = w.dim_by_name("C").unwrap();
+        let k = w.dim_by_name("K").unwrap();
+        let set = MappingConstraints::new()
+            .allow_unroll("pe_grid", [DimRef::named("C"), DimRef::named("K")])
+            .pin_unroll("pe_grid", DimRef::named("C"), 4)
+            .cap_tile("L1", DimRef::named("P"), 7);
+        let r = ResolvedConstraints::resolve(&set, &w, &arch).unwrap();
+        assert!(!r.is_empty());
+        let grid =
+            (0..arch.num_levels()).find(|&p| arch.level(LevelId(p)).name() == "pe_grid").unwrap();
+        let lc = r.at(grid);
+        assert_eq!(lc.unroll_allow, Some(DimSet::EMPTY.with(c).with(k)));
+        assert_eq!(lc.unroll_pins, vec![(c.index(), 4)]);
+        assert_eq!(lc.unroll_pin_product, 4);
+        let l1 = (0..arch.num_levels()).find(|&p| arch.level(LevelId(p)).name() == "L1").unwrap();
+        assert_eq!(r.at(l1).tile_caps, vec![(w.dim_by_name("P").unwrap().index(), 7)]);
+    }
+}

@@ -42,6 +42,13 @@ pub enum ScheduleError {
         /// Human-readable description of the offending field.
         reason: String,
     },
+    /// The mapping constraints are invalid for this workload/architecture
+    /// pair — unknown names, contradictory pins, pins that cannot divide
+    /// the problem, or restrictions on levels that admit none.
+    InvalidConstraints {
+        /// Human-readable description of the offending constraint.
+        reason: String,
+    },
     /// The call was cancelled through its
     /// [`CancelToken`](crate::CancelToken).
     Cancelled,
@@ -81,6 +88,9 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
+            }
+            ScheduleError::InvalidConstraints { reason } => {
+                write!(f, "invalid mapping constraints: {reason}")
             }
             ScheduleError::Cancelled => write!(f, "scheduling cancelled"),
             ScheduleError::BudgetExhausted => {
@@ -134,6 +144,10 @@ mod tests {
             ScheduleError::InvalidConfig { reason: "beam width must be positive".into() }
                 .to_string(),
             "invalid configuration: beam width must be positive"
+        );
+        assert_eq!(
+            ScheduleError::InvalidConstraints { reason: "unknown level `L9`".into() }.to_string(),
+            "invalid mapping constraints: unknown level `L9`"
         );
         assert_eq!(ScheduleError::Cancelled.to_string(), "scheduling cancelled");
         assert_eq!(

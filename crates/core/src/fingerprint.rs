@@ -16,7 +16,8 @@
 //! under-approximation of "schedules identically".
 
 use sunstone_arch::{ArchSpec, Capacity, Level, TensorFilter};
-use sunstone_ir::Workload;
+use sunstone_ir::{DimRole, Workload};
+use sunstone_mapping::{DimRef, MappingConstraints};
 
 use crate::{Direction, IntraOrder, Objective, SunstoneConfig};
 
@@ -180,17 +181,94 @@ pub fn config_fingerprint(config: &SunstoneConfig) -> u64 {
     h.write_u64(u64::from(config.pruning.tiling_reuse_dims));
     // `threads`, `estimate_cache`, and `max_cache_entries` deliberately
     // excluded: none of them changes any estimate (the bound only decides
-    // *retention*), so caches may be shared across them.
+    // *retention*), so caches may be shared across them. `constraints` is
+    // also excluded *here*: the context fingerprint hashes the effective
+    // constraints (config-level or per-call override) in a dedicated
+    // slot, so equal constraint sets share a cache context regardless of
+    // how they were supplied.
     h.finish()
 }
 
-/// The combined *(workload, arch, config)* context fingerprint that
-/// prefixes every session-cache key.
-pub(crate) fn context_fingerprint(w: &Workload, arch: &ArchSpec, config: &SunstoneConfig) -> u64 {
+fn hash_dim_ref(h: &mut Fnv1a, r: &DimRef) {
+    match r {
+        DimRef::Named(n) => {
+            h.write_u64(0);
+            h.write_str(n);
+        }
+        DimRef::Role(DimRole::Parallel) => h.write_u64(1),
+        DimRef::Role(DimRole::Reduction) => h.write_u64(2),
+    }
+}
+
+/// Structural fingerprint of a constraint set. Folded into the session
+/// cache's context key so constrained and unconstrained runs (and runs
+/// under *different* constraints) never share cache entries.
+pub fn constraints_fingerprint(c: &MappingConstraints) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(c.unroll.len() as u64);
+    for u in &c.unroll {
+        h.write_str(&u.level);
+        match &u.allow {
+            None => h.write_u64(0),
+            Some(refs) => {
+                h.write_u64(1 + refs.len() as u64);
+                for r in refs {
+                    hash_dim_ref(&mut h, r);
+                }
+            }
+        }
+        h.write_u64(u.pins.len() as u64);
+        for (r, v) in &u.pins {
+            hash_dim_ref(&mut h, r);
+            h.write_u64(*v);
+        }
+    }
+    h.write_u64(c.order.len() as u64);
+    for o in &c.order {
+        h.write_str(&o.level);
+        h.write_u64(u64::from(o.exact));
+        h.write_u64(o.inner.len() as u64);
+        for r in &o.inner {
+            hash_dim_ref(&mut h, r);
+        }
+    }
+    h.write_u64(c.tile.len() as u64);
+    for t in &c.tile {
+        h.write_str(&t.level);
+        h.write_u64(t.pins.len() as u64);
+        for (r, v) in &t.pins {
+            hash_dim_ref(&mut h, r);
+            h.write_u64(*v);
+        }
+        h.write_u64(t.caps.len() as u64);
+        for (r, v) in &t.caps {
+            hash_dim_ref(&mut h, r);
+            h.write_u64(*v);
+        }
+    }
+    h.write_u64(c.bypass.len() as u64);
+    for b in &c.bypass {
+        h.write_str(&b.level);
+        h.write_str(&b.tensor);
+    }
+    h.finish()
+}
+
+/// The combined *(workload, arch, config, constraints)* context
+/// fingerprint that prefixes every session-cache key. `constraints` is
+/// the *effective* set for the call — the per-call override when present,
+/// else the config's.
+pub(crate) fn context_fingerprint(
+    w: &Workload,
+    arch: &ArchSpec,
+    config: &SunstoneConfig,
+    constraints: &MappingConstraints,
+) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(workload_fingerprint(w));
     h.write_u64(arch_fingerprint(arch));
     h.write_u64(config_fingerprint(config));
+    h.write_u64(constraints_fingerprint(constraints));
     h.finish()
 }
 
@@ -237,5 +315,22 @@ mod tests {
         assert_eq!(config_fingerprint(&base), config_fingerprint(&threads));
         assert_eq!(config_fingerprint(&base), config_fingerprint(&cap));
         assert_ne!(config_fingerprint(&base), config_fingerprint(&beam));
+    }
+
+    #[test]
+    fn constraints_separate_cache_contexts() {
+        use sunstone_mapping::{DimRef, MappingConstraints};
+        let w = mm("a", 64);
+        let arch = presets::conventional();
+        let config = SunstoneConfig::default();
+        let free = MappingConstraints::default();
+        let ws = MappingConstraints::new()
+            .allow_unroll("grid", [DimRef::named("C"), DimRef::named("K")]);
+        assert_ne!(constraints_fingerprint(&free), constraints_fingerprint(&ws));
+        assert_ne!(
+            context_fingerprint(&w, &arch, &config, &free),
+            context_fingerprint(&w, &arch, &config, &ws)
+        );
+        assert_eq!(constraints_fingerprint(&ws), constraints_fingerprint(&ws.clone()));
     }
 }

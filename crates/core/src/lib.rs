@@ -90,6 +90,7 @@ macro_rules! faultpoint {
 }
 
 mod config;
+mod constraints;
 mod driver;
 mod error;
 pub mod factors;
@@ -117,6 +118,15 @@ pub use session::{
     BatchOptions, BatchOutcome, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome,
     ScheduleResult, Scheduler,
 };
+// The constraint vocabulary lives in `sunstone_mapping` (so
+// `ValidationContext::satisfies` can check mappings against it without a
+// dependency cycle); re-exported here because the scheduler is where
+// constraints are *used*. `DimRole` backs `DimRef::role`.
+pub use sunstone_ir::DimRole;
+pub use sunstone_mapping::{
+    BypassOverride, ConstraintError, DataflowTemplate, DimRef, MappingConstraints, OrderConstraint,
+    TileConstraint, UnrollConstraint,
+};
 
 /// One-line import of the session API and its supporting types.
 pub mod prelude {
@@ -130,4 +140,6 @@ pub mod prelude {
         BatchOptions, BatchOutcome, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome,
         ScheduleResult, Scheduler,
     };
+    pub use sunstone_ir::DimRole;
+    pub use sunstone_mapping::{DataflowTemplate, DimRef, MappingConstraints};
 }

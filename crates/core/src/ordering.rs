@@ -193,6 +193,19 @@ impl<'a> OrderingTrie<'a> {
         result
     }
 
+    /// Builds the ordering forced by an `exact` order constraint: the
+    /// constraint groups' in-play dimensions innermost (group sequence
+    /// preserved, index order within a group), the rest appended
+    /// canonically. `suffix_len` covers the forced dims so the unrolling
+    /// principle treats them as deliberately chosen.
+    pub fn forced_prefix(&self, groups: &[DimSet], in_play: DimSet) -> OrderingCandidate {
+        let mut suffix: Vec<DimId> = Vec::new();
+        for g in groups {
+            suffix.extend(g.intersection(in_play).iter());
+        }
+        self.complete(suffix, in_play)
+    }
+
     /// Does appending `d` to `suffix` yield new reuse?
     fn extension_adds_reuse(&self, suffix: &[DimId], d: DimId) -> bool {
         if suffix.is_empty() {

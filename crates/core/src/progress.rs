@@ -63,6 +63,9 @@ pub enum ProgressEvent {
         /// Fraction of this stage's estimates served by the session
         /// estimate cache.
         cache_hit_rate: f64,
+        /// Candidates the user constraint filter removed at this stage
+        /// (0 on unconstrained calls).
+        constraint_filtered: u64,
     },
     /// A batch worker picked up one unique layer shape.
     LayerStarted {

@@ -9,7 +9,7 @@
 //! [`LevelStats`]: super::stats::LevelStats
 
 use sunstone_arch::LevelId;
-use sunstone_ir::{DimSet, DimVec};
+use sunstone_ir::{DimId, DimSet, DimVec};
 use sunstone_mapping::MappingLevel;
 
 use crate::factors::{divide, multiply, quot, sorted_divisors};
@@ -123,15 +123,32 @@ pub(crate) fn top_down_expand(
         let gap = &ctx.lower_spatial[stage + 1];
         let unrolls = top_down_unrolls(ctx, gap, &ordering, state, stage, stats);
         for u in &unrolls {
-            let q = divide(&state.quotas, u);
-            let allowed = tile_allowed_dims(ctx, &ordering);
+            let mut q = divide(&state.quotas, u);
+            let mut allowed = tile_allowed_dims(ctx, &ordering);
+            // User tile pins on this memory seed the enumeration base,
+            // exactly as in `tiles_with_allowed` on the bottom-up path.
+            let lc = ctx.constraints.at(ctx.mems[stage]);
+            if lc.tile_pins.iter().any(|&(d, v)| !q[d].is_multiple_of(v)) {
+                stats.level_mut(stage).constraint.record(1, 0);
+                continue;
+            }
+            let mut tile_base = DimVec::ones(ndims);
+            for &(d, v) in &lc.tile_pins {
+                q[d] /= v;
+                tile_base[d] = v;
+                allowed = allowed.without(DimId::from_index(d));
+            }
             let outcome = enumerate_tiles_cached(
-                &DimVec::ones(ndims),
+                &tile_base,
                 &q,
                 allowed,
                 // Bounded-latency cancellation (see `tiles_with_allowed`);
                 // the top-down path never memoizes this enumeration.
-                |tile| !ctx.cancelled() && ctx.fits_mem(ctx.mems[stage], tile),
+                |tile| {
+                    !ctx.cancelled()
+                        && lc.tile_caps.iter().all(|&(d, cap)| tile[d] <= cap)
+                        && ctx.fits_mem(ctx.mems[stage], tile)
+                },
                 ctx.config.pruning.tiling_maximal,
                 &ctx.ladders,
             );
@@ -169,14 +186,18 @@ fn in_play_dims(ctx: &SearchContext<'_>, state: &PartialState) -> DimSet {
 }
 
 /// Ordering candidates for one stage, with the trie's pruning attributed
-/// per principle in the stage's stats.
+/// per principle in the stage's stats. A user order constraint on the
+/// level being ordered (memory `stage + 1`, in both directions) filters
+/// the enumeration here — before dedup and beam selection — and always
+/// re-adds the constraint's canonical completion so a satisfiable
+/// constraint can never strand the stage without candidates.
 fn orderings_for(
     ctx: &SearchContext<'_>,
     in_play: DimSet,
     stage: usize,
     stats: &mut SearchStats,
 ) -> Vec<OrderingCandidate> {
-    if ctx.config.pruning.ordering_trie {
+    let mut cands = if ctx.config.pruning.ordering_trie {
         let outcome = ctx.trie.candidates_detailed(in_play);
         stats.nodes_explored += outcome.explored as u64;
         stats.orderings += outcome.candidates.len() as u64;
@@ -190,7 +211,48 @@ fn orderings_for(
         stats.orderings += cands.len() as u64;
         stats.level_mut(stage).ordering.record(cands.len() as u64, cands.len() as u64);
         cands
+    };
+    if let Some((groups, exact)) = &ctx.constraints.at(ctx.mems[stage + 1]).order {
+        let considered = cands.len() as u64 + 1;
+        if *exact {
+            // An exact constraint admits one order per in-play set: the
+            // forced completion below.
+            cands.clear();
+        } else {
+            cands.retain(|c| order_satisfies(&c.order, groups, in_play));
+        }
+        let forced = ctx.trie.forced_prefix(groups, in_play);
+        if !cands.iter().any(|c| c.order == forced.order) {
+            cands.push(forced);
+        }
+        stats.level_mut(stage).constraint.record(considered, cands.len() as u64);
     }
+    cands
+}
+
+/// Does `order` (innermost-first) keep the constraint groups as its
+/// innermost run, group sequence respected? Judged over `scope` — the
+/// dimensions this stage still has in play; out-of-scope dims carry
+/// factor 1 here, so their placement is meaningless.
+fn order_satisfies(order: &[DimId], groups: &[DimSet], scope: DimSet) -> bool {
+    let seq: Vec<DimId> = order.iter().copied().filter(|&d| scope.contains(d)).collect();
+    let mut idx = 0usize;
+    for g in groups {
+        let g = g.intersection(scope);
+        let need = g.len();
+        if need == 0 {
+            continue;
+        }
+        if idx + need > seq.len() {
+            return false;
+        }
+        let window: DimSet = seq[idx..idx + need].iter().copied().collect();
+        if window != g {
+            return false;
+        }
+        idx += need;
+    }
+    true
 }
 
 /// The parallelism budget a tile must leave unconsumed: the product of
@@ -287,14 +349,34 @@ fn tiles_with_allowed(
     stats: &mut SearchStats,
 ) -> Vec<DimVec> {
     let mem_pos = ctx.mems[stage];
+    let lc = ctx.constraints.at(mem_pos);
+    // User tile pins seed the enumeration base: the pinned extent becomes
+    // the starting tile and the dimension leaves the growth set, so every
+    // enumerated tile carries exactly the pinned factor. A pin the parent
+    // state cannot reach (base already past it, or quota not divisible)
+    // kills this expansion — other beam parents may still satisfy it.
+    let mut base = DimVec::from_slice(base);
+    let mut quotas = DimVec::from_slice(quotas);
+    let mut allowed = allowed;
+    for &(d, v) in &lc.tile_pins {
+        if !v.is_multiple_of(base[d]) || !quotas[d].is_multiple_of(v / base[d]) {
+            stats.level_mut(stage).constraint.record(1, 0);
+            return Vec::new();
+        }
+        quotas[d] /= v / base[d];
+        base[d] = v;
+        allowed = allowed.without(DimId::from_index(d));
+    }
     // Session memo: beam states frequently reach the same (base, quota)
     // frontier, and repeated calls on the same shape replay the entire
     // enumeration. The memo stores the *kept* tiles plus the explored
-    // count so the stats below replay identically on a hit.
+    // count so the stats below replay identically on a hit. The key is
+    // taken after pin seeding; caps need no slot because the constraint
+    // set is fixed per cache context.
     let memo_key = estimate::TileKey {
         mem_pos,
-        base: DimVec::from_slice(base),
-        quotas: DimVec::from_slice(quotas),
+        base: base.clone(),
+        quotas: quotas.clone(),
         reserve,
         allowed,
         unrollable,
@@ -306,8 +388,8 @@ fn tiles_with_allowed(
         return hit.tiles;
     }
     let outcome = enumerate_tiles_cached(
-        base,
-        quotas,
+        &base,
+        &quotas,
         allowed,
         |tile| {
             // Bounded-latency cancellation inside the enumeration tree:
@@ -329,6 +411,7 @@ fn tiles_with_allowed(
             headroom
                 >= u128::from(reserve)
                     .min(unrollable.iter().map(|d| u128::from(quotas[d.index()])).product())
+                && lc.tile_caps.iter().all(|&(d, cap)| tile[d] <= cap)
                 && ctx.fits_mem(mem_pos, tile)
         },
         ctx.config.pruning.tiling_maximal,
@@ -420,12 +503,47 @@ fn unrolls_for(
         let hard_excluded =
             if fabric.allow_reduction { DimSet::EMPTY } else { ctx.workload.reduction_dims() };
         let all = DimSet::first_n(ctx.workload.num_dims());
-        let principled = all.difference(excluded.union(hard_excluded));
-        let relaxed = all.difference(hard_excluded);
+        let mut principled = all.difference(excluded.union(hard_excluded));
+        let mut relaxed = all.difference(hard_excluded);
+        // User constraints on this fabric: an allow-list intersects both
+        // the principled and the relaxed (high-throughput fallback) sets;
+        // pinned dimensions are seeded — their factors leave the
+        // enumeration entirely and the fabric's unit budget shrinks by the
+        // pinned product.
+        let lc = ctx.constraints.at(pos);
+        let before = relaxed.len() as u64;
+        if let Some(allow) = lc.unroll_allow {
+            principled = principled.intersection(allow);
+            relaxed = relaxed.intersection(allow);
+        }
+        principled = principled.difference(lc.unroll_pinned);
+        relaxed = relaxed.difference(lc.unroll_pinned);
+        if lc.unroll_allow.is_some() || !lc.unroll_pins.is_empty() {
+            // Attribute the allow-list/pin restriction: dimension slots the
+            // fabric would have unrolled freely vs. what the constraint
+            // leaves open (pinned dims count as removed — they are fixed,
+            // not searched).
+            stats.level_mut(stage).constraint.record(before, relaxed.len() as u64);
+        }
+        let units = fabric.units / lc.unroll_pin_product;
+        let mut pin_vec = DimVec::ones(ctx.workload.num_dims());
+        for &(d, v) in &lc.unroll_pins {
+            pin_vec[d] = v;
+        }
         let mem_pos = ctx.mems[stage];
         let mut next = Vec::new();
         for prev in &results {
             let q = divide(quotas, prev);
+            // A pin the remaining quota cannot honor (an inner level
+            // already consumed part of the pinned factor) kills this
+            // branch; other beam parents may still satisfy it.
+            if lc.unroll_pins.iter().any(|&(d, v)| !q[d].is_multiple_of(v)) {
+                stats.level_mut(stage).constraint.record(1, 0);
+                continue;
+            }
+            let prev_eff =
+                if lc.unroll_pins.is_empty() { prev.clone() } else { multiply(prev, &pin_vec) };
+            let q = if lc.unroll_pins.is_empty() { q } else { divide(&q, &pin_vec) };
             // Session memo: the whole per-fabric block (principled pass,
             // relaxed fallback, truncation) is keyed by its exact inputs;
             // `combined` folds the resident tile and the inner fabrics'
@@ -435,7 +553,11 @@ fn unrolls_for(
                 pos,
                 quotas: q.clone(),
                 principled,
-                combined: resident_with_tile.iter().zip(prev.iter()).map(|(t, a)| t * a).collect(),
+                combined: resident_with_tile
+                    .iter()
+                    .zip(prev_eff.iter())
+                    .map(|(t, a)| t * a)
+                    .collect(),
             };
             if let Some(hit) = ctx.cache.unrolls_lookup(&memo_key) {
                 stats.nodes_explored += hit.explored as u64;
@@ -445,7 +567,7 @@ fn unrolls_for(
                     .unrolling
                     .record(hit.explored as u64, hit.unrollings.len() as u64);
                 for u in &hit.unrollings {
-                    next.push(multiply(prev, u));
+                    next.push(multiply(&prev_eff, u));
                 }
                 continue;
             }
@@ -455,10 +577,11 @@ fn unrolls_for(
                     return false;
                 }
                 // The unroll inflates the resident tile of the memory
-                // above the fabric (the stage's memory).
+                // above the fabric (the stage's memory); `prev_eff` folds
+                // the pinned factors in so the probe sees the full tile.
                 let combined: DimVec = resident_with_tile
                     .iter()
-                    .zip(prev.iter().zip(u))
+                    .zip(prev_eff.iter().zip(u))
                     .map(|(t, (a, b))| t * a * b)
                     .collect();
                 ctx.fits_mem(mem_pos, &combined)
@@ -466,7 +589,7 @@ fn unrolls_for(
             let mut outcome = enumerate_unrollings_cached(
                 &q,
                 principled,
-                fabric.units,
+                units,
                 fits,
                 ctx.config.min_spatial_utilization,
                 ctx.config.pruning.unrolling_principle,
@@ -475,17 +598,18 @@ fn unrolls_for(
             // The high-throughput constraint dominates the Unrolling
             // Principle: when the principled dimensions cannot keep the
             // fabric busy, widen to every dimension the hardware permits.
+            // Utilization is judged over the full fabric, pins included.
             let floor = ctx.config.min_spatial_utilization * fabric.units as f64;
             let best = outcome
                 .unrollings
                 .iter()
-                .map(|u| u.iter().product::<u64>() as f64)
+                .map(|u| (u.iter().product::<u64>().saturating_mul(lc.unroll_pin_product)) as f64)
                 .fold(0.0f64, f64::max);
             if best < floor && principled != relaxed {
                 let wide = enumerate_unrollings_cached(
                     &q,
                     relaxed,
-                    fabric.units,
+                    units,
                     fits,
                     ctx.config.min_spatial_utilization,
                     ctx.config.pruning.unrolling_principle,
@@ -517,7 +641,7 @@ fn unrolls_for(
                 );
             }
             for u in unrollings {
-                next.push(multiply(prev, &u));
+                next.push(multiply(&prev_eff, &u));
             }
         }
         results = next;
@@ -549,14 +673,37 @@ fn top_down_unrolls(
         if !fabric.allow_reduction {
             excluded = excluded.union(ctx.workload.reduction_dims());
         }
-        let allowed = DimSet::first_n(ndims).difference(excluded);
+        let mut allowed = DimSet::first_n(ndims).difference(excluded);
+        // User constraints on this fabric (see `unrolls_for`): allow-list
+        // intersection plus pin seeding against the shrunken unit budget.
+        let lc = ctx.constraints.at(pos);
+        let before = allowed.len() as u64;
+        if let Some(allow) = lc.unroll_allow {
+            allowed = allowed.intersection(allow);
+        }
+        allowed = allowed.difference(lc.unroll_pinned);
+        if lc.unroll_allow.is_some() || !lc.unroll_pins.is_empty() {
+            stats.level_mut(stage).constraint.record(before, allowed.len() as u64);
+        }
+        let units = fabric.units / lc.unroll_pin_product;
+        let mut pin_vec = DimVec::ones(ndims);
+        for &(d, v) in &lc.unroll_pins {
+            pin_vec[d] = v;
+        }
         let mut next = Vec::new();
         for prev in &results {
             let q = divide(&state.quotas, prev);
+            if lc.unroll_pins.iter().any(|&(d, v)| !q[d].is_multiple_of(v)) {
+                stats.level_mut(stage).constraint.record(1, 0);
+                continue;
+            }
+            let prev_eff =
+                if lc.unroll_pins.is_empty() { prev.clone() } else { multiply(prev, &pin_vec) };
+            let q = if lc.unroll_pins.is_empty() { q } else { divide(&q, &pin_vec) };
             let outcome = enumerate_unrollings_cached(
                 &q,
                 allowed,
-                fabric.units,
+                units,
                 |_| true,
                 ctx.config.min_spatial_utilization,
                 ctx.config.pruning.unrolling_principle,
@@ -574,7 +721,7 @@ fn top_down_unrolls(
                 .unrolling
                 .record(outcome.explored as u64, unrollings.len() as u64);
             for u in unrollings {
-                next.push(multiply(prev, &u));
+                next.push(multiply(&prev_eff, &u));
             }
         }
         results = next;

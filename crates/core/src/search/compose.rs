@@ -218,6 +218,7 @@ pub(crate) fn run_level_search(
                 } else {
                     level.cache_hits as f64 / probes as f64
                 },
+                constraint_filtered: level.constraint.pruned(),
             });
         }
         beam_states = cands;

@@ -37,6 +37,7 @@ use sunstone_ir::{DimVec, TensorDesc, Workload};
 use sunstone_mapping::{Mapping, MappingLevel};
 use sunstone_model::CostModel;
 
+use crate::constraints::ResolvedConstraints;
 use crate::factors::DivisorLadders;
 use crate::ordering::{OrderingCandidate, OrderingTrie};
 use crate::pool::WorkerPool;
@@ -112,6 +113,10 @@ pub(crate) struct SearchContext<'a> {
     /// capacity probe is pure arithmetic — no binding lookups, no
     /// allocation.
     mem_fits: Vec<Option<FitPlan<'a>>>,
+    /// The call's user constraints, resolved to per-architecture-position
+    /// form. Empty (the common case) adds one cheap `is_empty` branch per
+    /// enumeration; the free search path is otherwise untouched.
+    pub(crate) constraints: ResolvedConstraints,
 }
 
 impl<'a> SearchContext<'a> {
@@ -128,6 +133,7 @@ impl<'a> SearchContext<'a> {
         pool: &'a WorkerPool,
         cancel: Option<&'a CancelToken>,
         deadline: Option<Instant>,
+        constraints: ResolvedConstraints,
     ) -> Self {
         let mems: Vec<usize> = arch.memory_levels().map(|(id, _)| id.index()).collect();
         let mut lower_spatial: Vec<Vec<usize>> = Vec::with_capacity(mems.len());
@@ -167,6 +173,7 @@ impl<'a> SearchContext<'a> {
             pool,
             ladders: DivisorLadders::new(&workload.dim_sizes()),
             mem_fits,
+            constraints,
         }
     }
 

@@ -72,6 +72,10 @@ pub struct LevelStats {
     /// Spatial unrollings: combinations explored vs. principled,
     /// high-utilization unrollings kept (Spatial Unrolling Principle).
     pub unrolling: PruneCounter,
+    /// Candidates removed by the user constraint filter: orderings
+    /// rejected against an order constraint, and pin-infeasible tile or
+    /// unroll enumerations. Zero when the call carries no constraints.
+    pub constraint: PruneCounter,
     /// Identical partial mappings removed before estimation.
     pub dedup_removed: u64,
     /// Beam: candidates estimated vs. survivors after the alpha-beta-style

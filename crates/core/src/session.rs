@@ -32,9 +32,10 @@ use std::time::{Duration, Instant};
 
 use sunstone_arch::{ArchSpec, Binding};
 use sunstone_ir::Workload;
-use sunstone_mapping::{Mapping, ValidationContext};
+use sunstone_mapping::{Mapping, MappingConstraints, ValidationContext};
 use sunstone_model::CostReport;
 
+use crate::constraints::ResolvedConstraints;
 use crate::error::ScheduleError;
 use crate::fingerprint::{context_fingerprint, workload_fingerprint};
 use crate::pool::{panic_message, SliceWriter, WorkerPool};
@@ -142,6 +143,11 @@ pub struct ScheduleOptions {
     /// Progress callback (level started/finished with beam size and cache
     /// hit rate).
     pub progress: Option<Arc<dyn ProgressSink>>,
+    /// Mapping constraints for this call, overriding
+    /// [`SunstoneConfig::constraints`] when set (`None` uses the config's
+    /// set, which defaults to unconstrained). Unsatisfiable sets fail with
+    /// [`ScheduleError::InvalidConstraints`].
+    pub constraints: Option<MappingConstraints>,
 }
 
 impl std::fmt::Debug for ScheduleOptions {
@@ -151,6 +157,7 @@ impl std::fmt::Debug for ScheduleOptions {
             .field("time_budget", &self.time_budget)
             .field("cancel", &self.cancel)
             .field("progress", &self.progress.as_ref().map(|_| "…"))
+            .field("constraints", &self.constraints)
             .finish()
     }
 }
@@ -176,6 +183,10 @@ pub struct BatchOptions {
     /// default — the default contract is graceful partial failure, where
     /// every layer is attempted and reports its own `Result`.
     pub fail_fast: bool,
+    /// Mapping constraints applied to **every layer** of the batch,
+    /// overriding [`SunstoneConfig::constraints`] when set (as in
+    /// [`ScheduleOptions::constraints`]).
+    pub constraints: Option<MappingConstraints>,
 }
 
 impl std::fmt::Debug for BatchOptions {
@@ -186,6 +197,7 @@ impl std::fmt::Debug for BatchOptions {
             .field("cancel", &self.cancel)
             .field("progress", &self.progress.as_ref().map(|_| "…"))
             .field("fail_fast", &self.fail_fast)
+            .field("constraints", &self.constraints)
             .finish()
     }
 }
@@ -405,7 +417,8 @@ impl Scheduler {
             cancel: options.cancel.as_ref(),
             progress: options.progress.as_deref(),
         };
-        self.run_one(workload, arch, options.top_k, start, &controls)
+        let constraints = options.constraints.as_ref().unwrap_or(&self.config.constraints);
+        self.run_one(workload, arch, options.top_k, start, &controls, constraints)
     }
 
     /// Schedules a batch of workloads, deduplicating identical shapes and
@@ -474,8 +487,14 @@ impl Scheduler {
                 // Poison-and-recover: a fault at this level may have
                 // interrupted any layer's publish, so evict every context
                 // the batch can have touched.
+                let constraints = options.constraints.as_ref().unwrap_or(&self.config.constraints);
                 for w in workloads {
-                    self.cache.evict_context(context_fingerprint(w, arch, &self.config));
+                    self.cache.evict_context(context_fingerprint(
+                        w,
+                        arch,
+                        &self.config,
+                        constraints,
+                    ));
                 }
                 let message = panic_message(payload.as_ref());
                 emit_fault(options.progress.as_deref(), "batch", None, &message);
@@ -518,6 +537,7 @@ impl Scheduler {
         // deterministic and land in index-disjoint slots, so the assembly
         // below is identical for any worker count.
         let deadline = options.time_budget.map(|b| start + b);
+        let constraints = options.constraints.as_ref().unwrap_or(&self.config.constraints);
         let failed = AtomicBool::new(false);
         let mut slots: Vec<Option<Result<ScheduleOutcome, ScheduleError>>> =
             unique.iter().map(|_| None).collect();
@@ -542,7 +562,8 @@ impl Scheduler {
                     let layer_start = Instant::now();
                     let controls =
                         CallControls { deadline, cancel: options.cancel.as_ref(), progress: None };
-                    let outcome = self.run_one(w, arch, options.top_k, layer_start, &controls);
+                    let outcome =
+                        self.run_one(w, arch, options.top_k, layer_start, &controls, constraints);
                     if let Some(sink) = &options.progress {
                         if let Err(ScheduleError::Internal { stage, layer, message }) = &outcome {
                             sink.on_event(&ProgressEvent::Fault {
@@ -568,7 +589,12 @@ impl Scheduler {
                 // layer, not the batch.
                 let outcome =
                     panic::catch_unwind(AssertUnwindSafe(layer)).unwrap_or_else(|payload| {
-                        self.cache.evict_context(context_fingerprint(w, arch, &self.config));
+                        self.cache.evict_context(context_fingerprint(
+                            w,
+                            arch,
+                            &self.config,
+                            constraints,
+                        ));
                         Err(ScheduleError::Internal {
                             stage: "batch: layer".into(),
                             layer: Some(w.name().to_string()),
@@ -637,14 +663,20 @@ impl Scheduler {
         top_k: usize,
         start: Instant,
         controls: &CallControls<'_>,
+        constraints: &MappingConstraints,
     ) -> Result<ScheduleOutcome, ScheduleError> {
         fault_stage::set("setup");
         match panic::catch_unwind(AssertUnwindSafe(|| {
-            self.run_one_inner(workload, arch, top_k, start, controls)
+            self.run_one_inner(workload, arch, top_k, start, controls, constraints)
         })) {
             Ok(result) => result,
             Err(payload) => {
-                self.cache.evict_context(context_fingerprint(workload, arch, &self.config));
+                self.cache.evict_context(context_fingerprint(
+                    workload,
+                    arch,
+                    &self.config,
+                    constraints,
+                ));
                 let stage = match fault_stage::get() {
                     s if s.is_empty() => "setup".to_string(),
                     s => s,
@@ -670,11 +702,21 @@ impl Scheduler {
         top_k: usize,
         start: Instant,
         controls: &CallControls<'_>,
+        constraints: &MappingConstraints,
     ) -> Result<ScheduleOutcome, ScheduleError> {
         self.config.validate()?;
         arch.validate()?;
-        let binding = Binding::resolve(arch, workload)?;
-        let ctx_fp = context_fingerprint(workload, arch, &self.config);
+        // Resolve the user constraints against this (workload, arch) pair
+        // up front: an unsatisfiable set fails with the typed error before
+        // any search work runs.
+        let resolved = ResolvedConstraints::resolve(constraints, workload, arch)?;
+        let mut binding = Binding::resolve(arch, workload)?;
+        for (level, tensor, name) in &resolved.bypass {
+            binding = binding
+                .with_bypass(*level, *tensor, name)
+                .map_err(|e| ScheduleError::InvalidConstraints { reason: e.to_string() })?;
+        }
+        let ctx_fp = context_fingerprint(workload, arch, &self.config, constraints);
         let cache = EstimateCache::new(
             self.config.estimate_cache,
             ctx_fp,
@@ -690,6 +732,7 @@ impl Scheduler {
             self.pool(),
             controls.cancel,
             controls.deadline,
+            resolved,
         );
         let mut stats = SearchStats::default();
 
@@ -721,7 +764,13 @@ impl Scheduler {
         let vctx = ValidationContext::new(workload, arch, &binding);
         let mut valid: Vec<(Mapping, CostReport)> = Vec::new();
         for mapping in finals {
-            if vctx.validate(&mapping).is_ok() {
+            // Constrained calls additionally check the full mapping
+            // against the constraint set — belt and braces over the
+            // in-enumeration filters (and the only guard for truncated
+            // best-so-far completions, which the filters never saw).
+            if vctx.validate(&mapping).is_ok()
+                && (ctx.constraints.is_empty() || vctx.satisfies(&mapping, constraints).is_ok())
+            {
                 // The last stage already estimated these mappings, so with
                 // the cache enabled this is a lookup, not a re-evaluation.
                 let report = estimate::evaluate_cached(&ctx, &mapping, &mut stats);

@@ -1,0 +1,181 @@
+//! Constrained-vs-free search invariants: the constraint layer must not
+//! disturb the free path (bit-identical results with empty constraints),
+//! must never *improve* on the free optimum (the constrained space is a
+//! subset), must reproduce the free optimum when the optimum itself is
+//! pinned, must reject contradictions with the typed error, and must keep
+//! constrained and unconstrained cache contexts isolated.
+
+use sunstone::prelude::*;
+use sunstone::DimRef;
+use sunstone_arch::{presets, Binding};
+use sunstone_ir::Workload;
+use sunstone_mapping::{MappingLevel, ValidationContext};
+
+fn conv(name: &str, k: u64, c: u64, pq: u64, r: u64) -> Workload {
+    let mut b = Workload::builder(name);
+    let kd = b.dim("K", k);
+    let cd = b.dim("C", c);
+    let p = b.dim("P", pq);
+    let q = b.dim("Q", pq);
+    let rd = b.dim("R", r);
+    let s = b.dim("S", r);
+    b.input("ifmap", [cd.expr(), p.expr() + rd.expr(), q.expr() + s.expr()]);
+    b.input("weight", [kd.expr(), cd.expr(), rd.expr(), s.expr()]);
+    b.output("ofmap", [kd.expr(), p.expr(), q.expr()]);
+    b.build().expect("valid conv workload")
+}
+
+fn schedule_constrained(
+    w: &Workload,
+    arch: &sunstone_arch::ArchSpec,
+    constraints: MappingConstraints,
+) -> Result<ScheduleResult, ScheduleError> {
+    let opts = ScheduleOptions { constraints: Some(constraints), ..ScheduleOptions::default() };
+    Ok(Scheduler::new(SunstoneConfig::default())
+        .schedule_with(w, arch, &opts)?
+        .into_results()
+        .remove(0))
+}
+
+/// Asserts `result` honors `constraints` via the mapping-level checker.
+fn assert_satisfies(
+    w: &Workload,
+    arch: &sunstone_arch::ArchSpec,
+    result: &ScheduleResult,
+    constraints: &MappingConstraints,
+) {
+    let binding = Binding::resolve(arch, w).expect("binding resolves");
+    let vctx = ValidationContext::new(w, arch, &binding);
+    vctx.satisfies(&result.mapping, constraints)
+        .unwrap_or_else(|e| panic!("result violates its constraints: {e}"));
+}
+
+#[test]
+fn empty_constraints_are_bit_identical_to_the_free_search() {
+    let w = conv("c", 32, 16, 14, 3);
+    let arch = presets::conventional();
+    let free = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+    let empty = schedule_constrained(&w, &arch, MappingConstraints::default()).expect("schedules");
+    assert_eq!(free.mapping, empty.mapping, "empty constraints changed the mapping");
+    assert_eq!(free.report.edp.to_bits(), empty.report.edp.to_bits());
+    assert_eq!(free.stats.probed, empty.stats.probed, "empty constraints changed the search");
+    let filtered = empty.stats.total_of(|l| l.constraint);
+    assert_eq!(filtered.considered, 0, "no constraint filter may run unconstrained");
+}
+
+#[test]
+fn constrained_best_never_beats_the_free_best() {
+    let w = conv("c", 32, 16, 14, 3);
+    let arch = presets::conventional();
+    let free = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+    for template in [
+        DataflowTemplate::WeightStationaryCK,
+        DataflowTemplate::OutputStationary,
+        DataflowTemplate::RowStationary,
+        DataflowTemplate::NvdlaLike,
+    ] {
+        let constraints = template.constraints(&arch);
+        let constrained = schedule_constrained(&w, &arch, constraints.clone())
+            .unwrap_or_else(|e| panic!("{template:?} schedules: {e}"));
+        assert!(
+            constrained.report.edp >= free.report.edp,
+            "{template:?}: constrained EDP {} beat the free optimum {}",
+            constrained.report.edp,
+            free.report.edp
+        );
+        assert_satisfies(&w, &arch, &constrained, &constraints);
+        let filtered = constrained.stats.total_of(|l| l.constraint);
+        assert!(filtered.considered > 0, "{template:?}: the constraint filter never ran");
+    }
+}
+
+#[test]
+fn pinning_the_free_optimum_reproduces_it() {
+    let w = conv("c", 16, 16, 7, 3);
+    let arch = presets::conventional();
+    let free = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+
+    // Read the free optimum's spatial unrolling off its mapping and pin
+    // exactly those factors (allow nothing else).
+    let fabric = arch
+        .spatial_levels()
+        .next()
+        .map(|(_, s)| s.name.clone())
+        .expect("conventional has a fabric");
+    let mut constraints = MappingConstraints::new().allow_unroll(&fabric, []);
+    for (pos, _) in arch.spatial_levels() {
+        if let MappingLevel::Spatial(s) = &free.mapping.levels()[pos.index()] {
+            for (d, &f) in s.factors.iter().enumerate() {
+                if f > 1 {
+                    let name = w.dims()[d].name().to_string();
+                    constraints = constraints.pin_unroll(&fabric, DimRef::named(name), f);
+                }
+            }
+        }
+    }
+    let pinned = schedule_constrained(&w, &arch, constraints.clone()).expect("schedules");
+    assert_eq!(pinned.mapping, free.mapping, "pinning the optimum must reproduce it");
+    assert_eq!(pinned.report.edp.to_bits(), free.report.edp.to_bits());
+    assert_satisfies(&w, &arch, &pinned, &constraints);
+}
+
+#[test]
+fn contradictory_constraints_fail_with_the_typed_error() {
+    let w = conv("c", 32, 16, 14, 3);
+    let arch = presets::conventional();
+    let fabric = arch.spatial_levels().next().map(|(_, s)| s.name.clone()).unwrap();
+
+    // A pin that does not divide the dimension extent (C = 16, pin 3).
+    let bad_pin = MappingConstraints::new().pin_unroll(&fabric, DimRef::named("C"), 3);
+    let err = schedule_constrained(&w, &arch, bad_pin).expect_err("3 does not divide C");
+    assert!(matches!(err, ScheduleError::InvalidConstraints { .. }), "{err:?}");
+
+    // An unknown level name.
+    let bad_level = MappingConstraints::new().pin_unroll("no_such_level", DimRef::named("C"), 2);
+    let err = schedule_constrained(&w, &arch, bad_level).expect_err("unknown level");
+    assert!(matches!(err, ScheduleError::InvalidConstraints { .. }), "{err:?}");
+
+    // A tile pin above its own cap.
+    let l1 = arch.memory_levels().next().map(|(_, m)| m.name.clone()).unwrap();
+    let bad_tile = MappingConstraints::new().pin_tile(&l1, DimRef::named("K"), 16).cap_tile(
+        &l1,
+        DimRef::named("K"),
+        8,
+    );
+    let err = schedule_constrained(&w, &arch, bad_tile).expect_err("pin above cap");
+    assert!(matches!(err, ScheduleError::InvalidConstraints { .. }), "{err:?}");
+}
+
+/// Interleaving constrained and free calls on one session must not leak
+/// results across cache contexts: the second free call replays the first
+/// bitwise, and a fresh session agrees.
+#[test]
+fn constrained_and_free_calls_share_a_session_without_interference() {
+    let w = conv("c", 32, 16, 14, 3);
+    let arch = presets::conventional();
+    let ws = DataflowTemplate::WeightStationaryCK.constraints(&arch);
+
+    let session = Scheduler::new(SunstoneConfig::default());
+    let free_cold = session.schedule(&w, &arch).expect("free schedules");
+    let opts = ScheduleOptions { constraints: Some(ws.clone()), ..ScheduleOptions::default() };
+    let constrained =
+        session.schedule_with(&w, &arch, &opts).expect("constrained schedules").into_results();
+    let free_warm = session.schedule(&w, &arch).expect("free schedules again");
+
+    assert_eq!(free_cold.mapping, free_warm.mapping, "constrained call polluted the free context");
+    assert_eq!(free_cold.report.edp.to_bits(), free_warm.report.edp.to_bits());
+    assert_satisfies(&w, &arch, &constrained[0], &ws);
+
+    let fresh = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+    assert_eq!(fresh.mapping, free_warm.mapping);
+    assert_eq!(fresh.report.edp.to_bits(), free_warm.report.edp.to_bits());
+
+    // The config-level carrier reaches the same constrained result as the
+    // per-call override.
+    let via_config =
+        Scheduler::new(SunstoneConfig { constraints: ws.clone(), ..SunstoneConfig::default() })
+            .schedule(&w, &arch)
+            .expect("config-level constraints schedule");
+    assert_eq!(via_config.mapping, constrained[0].mapping);
+    assert_eq!(via_config.report.edp.to_bits(), constrained[0].report.edp.to_bits());
+}

@@ -358,6 +358,28 @@ fn fail_fast_skips_layers_after_the_first_failure() {
     assert_eq!(outcome.stats.failed, 1);
 }
 
+/// Every shipped preset — including the previously untested
+/// `eyeriss_like` and `diannao_like` — schedules through the session API,
+/// and a warm repeat on the same session is bit-identical to the cold run.
+#[test]
+fn all_presets_schedule_through_the_session() {
+    let archs = [
+        presets::conventional(),
+        presets::eyeriss_like(),
+        presets::simba_like(),
+        presets::diannao_like(),
+    ];
+    let w = conv("c", 32, 16, 14, 3);
+    for arch in &archs {
+        let session = Scheduler::new(SunstoneConfig::default());
+        let cold =
+            session.schedule(&w, arch).unwrap_or_else(|e| panic!("{} schedules: {e}", arch.name()));
+        let warm = session.schedule(&w, arch).expect("warm repeat schedules");
+        assert_eq!(cold.mapping, warm.mapping, "{}", arch.name());
+        assert_eq!(cold.report.edp.to_bits(), warm.report.edp.to_bits(), "{}", arch.name());
+    }
+}
+
 #[test]
 fn batch_top_k_returns_ranked_candidates() {
     let arch = presets::conventional();

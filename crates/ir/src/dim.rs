@@ -71,6 +71,24 @@ impl DimId {
     }
 }
 
+/// The algebraic role a dimension plays with respect to the output tensor.
+///
+/// Roles let architecture-independent constraint and dataflow descriptions
+/// ("unroll only parallel dimensions", "keep reduction loops innermost")
+/// resolve to concrete [`DimSet`]s per workload via
+/// [`Workload::dims_with_role`](crate::Workload::dims_with_role) — the same
+/// dataflow template then applies to convolution (`C`,`R`,`S` reductions)
+/// and matmul (`K` reduction) alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DimRole {
+    /// Indexes the output tensor: iterating it visits independent output
+    /// elements (K, P, Q, N in conv; M, N in matmul).
+    Parallel,
+    /// Does not index the output: the output is accumulated over it
+    /// (C, R, S in conv; K in matmul).
+    Reduction,
+}
+
 /// A named, bounded problem dimension (one loop of the nested-loop program).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Dim {

@@ -5,7 +5,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Dim, DimId, DimSet, IndexExpr, ReuseInfo, TensorDesc, TensorId, TensorKind};
+use crate::{Dim, DimId, DimRole, DimSet, IndexExpr, ReuseInfo, TensorDesc, TensorId, TensorKind};
 
 /// Errors produced while building a [`Workload`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -178,6 +178,24 @@ impl Workload {
     pub fn reduction_dims(&self) -> DimSet {
         let out = self.tensor(self.output()).indexing_dims();
         DimSet::first_n(self.num_dims()).difference(out)
+    }
+
+    /// The role of dimension `id`: [`DimRole::Parallel`] if it indexes the
+    /// output tensor, [`DimRole::Reduction`] otherwise.
+    pub fn dim_role(&self, id: DimId) -> DimRole {
+        if self.tensor(self.output).indexing_dims().contains(id) {
+            DimRole::Parallel
+        } else {
+            DimRole::Reduction
+        }
+    }
+
+    /// All dimensions with the given role.
+    pub fn dims_with_role(&self, role: DimRole) -> DimSet {
+        match role {
+            DimRole::Parallel => self.tensor(self.output).indexing_dims(),
+            DimRole::Reduction => self.reduction_dims(),
+        }
     }
 
     /// The total number of compute operations: the volume of the operation

@@ -1,0 +1,476 @@
+//! User-specified mapping constraints.
+//!
+//! A [`MappingConstraints`] value restricts the mapping space *before*
+//! search: pin or allowlist spatial unroll dimensions per fabric, fix a
+//! loop-order prefix per memory level, pin or cap resident tile extents,
+//! and override tensor bypass decisions. An empty value (the default)
+//! constrains nothing — the scheduler's behaviour with
+//! `MappingConstraints::default()` is bit-identical to a build without the
+//! constraint layer.
+//!
+//! Constraints name architecture levels by their [`Level::name`] and
+//! problem dimensions either by name or by algebraic [`DimRole`], so one
+//! description — a *dataflow template*, see
+//! [`crate::templates::DataflowTemplate`] — applies across workloads.
+//!
+//! [`Level::name`]: sunstone_arch::Level::name
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sunstone_ir::{DimId, DimRole, DimSet, Workload};
+
+/// A reference to one or more problem dimensions, resolved per workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DimRef {
+    /// A single dimension by exact name, e.g. `"K"`. Resolution fails with
+    /// [`ConstraintError::UnknownDim`] if the workload has no such
+    /// dimension.
+    Named(String),
+    /// Every dimension with the given role — resolves to a possibly empty
+    /// set and never fails.
+    Role(DimRole),
+}
+
+impl DimRef {
+    /// Shorthand for [`DimRef::Named`].
+    pub fn named(name: impl Into<String>) -> Self {
+        DimRef::Named(name.into())
+    }
+
+    /// Shorthand for [`DimRef::Role`].
+    pub fn role(role: DimRole) -> Self {
+        DimRef::Role(role)
+    }
+
+    /// Resolves the reference against a workload.
+    ///
+    /// # Errors
+    ///
+    /// [`ConstraintError::UnknownDim`] for a [`DimRef::Named`] that matches
+    /// no dimension.
+    pub fn resolve(&self, workload: &Workload) -> Result<DimSet, ConstraintError> {
+        match self {
+            DimRef::Named(name) => workload
+                .dim_by_name(name)
+                .map(|d| DimSet::EMPTY.with(d))
+                .ok_or_else(|| ConstraintError::UnknownDim { name: name.clone() }),
+            DimRef::Role(role) => Ok(workload.dims_with_role(*role)),
+        }
+    }
+}
+
+impl fmt::Display for DimRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimRef::Named(n) => write!(f, "`{n}`"),
+            DimRef::Role(DimRole::Parallel) => write!(f, "role:parallel"),
+            DimRef::Role(DimRole::Reduction) => write!(f, "role:reduction"),
+        }
+    }
+}
+
+/// Restricts the spatial unrolling at one fabric (by level name).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnrollConstraint {
+    /// The spatial level's name, e.g. `"pe_grid"`.
+    pub level: String,
+    /// When `Some`, only dimensions in the union of these references may
+    /// have an unroll factor > 1 here. `Some(vec![])` forbids unrolling
+    /// anything beyond the pins below.
+    pub allow: Option<Vec<DimRef>>,
+    /// Exact unroll factors: every dimension each reference resolves to
+    /// must be unrolled by exactly this factor at this fabric. Pinned
+    /// dimensions are implicitly allowed.
+    pub pins: Vec<(DimRef, u64)>,
+}
+
+/// Fixes the (innermost) loop order at one memory level.
+///
+/// `inner` is a sequence of dimension *groups*, innermost first. Reading
+/// the level's loop order from the innermost loop outward and skipping
+/// degenerate loops (factor 1 at that level), the order must consume each
+/// group's dimensions — in any order within a group — before the next
+/// group starts. A `Named` reference is a singleton group, so a list of
+/// named references fixes the exact innermost sequence; a `Role` reference
+/// constrains a whole class of loops to sit together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderConstraint {
+    /// The memory level's name, e.g. `"L2"`. The innermost memory level
+    /// has no enumerated loop order and cannot be constrained.
+    pub level: String,
+    /// Dimension groups, innermost first.
+    pub inner: Vec<DimRef>,
+    /// When `true`, the groups must cover every non-degenerate loop at
+    /// this level — the whole order is fixed up to intra-group
+    /// permutation. When `false`, loops outside the groups are free but
+    /// must all sit outside the constrained prefix.
+    pub exact: bool,
+}
+
+/// Pins or caps per-dimension resident tile extents at one memory level.
+///
+/// The *resident tile* at a memory is the product of factors over all
+/// levels at or below it ([`Mapping::resident_tile`]); a pin of `v` for
+/// dimension `d` means exactly `v` consecutive indices of `d` are resident,
+/// a cap means at most `v` are.
+///
+/// [`Mapping::resident_tile`]: crate::Mapping::resident_tile
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileConstraint {
+    /// The memory level's name. The outermost memory always holds the full
+    /// problem and cannot be pinned or capped.
+    pub level: String,
+    /// Exact resident extents. A pin must divide the problem dimension.
+    pub pins: Vec<(DimRef, u64)>,
+    /// Upper bounds on resident extents.
+    pub caps: Vec<(DimRef, u64)>,
+}
+
+/// Forces a tensor to bypass a memory level it would otherwise occupy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BypassOverride {
+    /// The memory level's name. The outermost memory must store every
+    /// tensor and cannot be bypassed.
+    pub level: String,
+    /// The tensor's name in the workload.
+    pub tensor: String,
+}
+
+/// A full set of mapping-space restrictions. The default is empty:
+/// everything the architecture admits stays searchable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MappingConstraints {
+    /// Per-fabric spatial unroll restrictions.
+    pub unroll: Vec<UnrollConstraint>,
+    /// Per-memory loop-order restrictions.
+    pub order: Vec<OrderConstraint>,
+    /// Per-memory tile-size restrictions.
+    pub tile: Vec<TileConstraint>,
+    /// Bypass overrides.
+    pub bypass: Vec<BypassOverride>,
+}
+
+impl MappingConstraints {
+    /// Creates an empty (unconstrained) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if no constraint of any kind is present.
+    pub fn is_empty(&self) -> bool {
+        self.unroll.is_empty()
+            && self.order.is_empty()
+            && self.tile.is_empty()
+            && self.bypass.is_empty()
+    }
+
+    /// Restricts unrolling at fabric `level` to the given dimensions
+    /// (builder style).
+    #[must_use]
+    pub fn allow_unroll(
+        mut self,
+        level: impl Into<String>,
+        dims: impl IntoIterator<Item = DimRef>,
+    ) -> Self {
+        self.unroll.push(UnrollConstraint {
+            level: level.into(),
+            allow: Some(dims.into_iter().collect()),
+            pins: Vec::new(),
+        });
+        self
+    }
+
+    /// Pins the unroll factor of `dim` at fabric `level` (builder style).
+    #[must_use]
+    pub fn pin_unroll(mut self, level: impl Into<String>, dim: DimRef, factor: u64) -> Self {
+        let level = level.into();
+        if let Some(c) = self.unroll.iter_mut().find(|c| c.level == level) {
+            c.pins.push((dim, factor));
+        } else {
+            self.unroll.push(UnrollConstraint { level, allow: None, pins: vec![(dim, factor)] });
+        }
+        self
+    }
+
+    /// Requires the given dimension groups to be innermost (in order) at
+    /// memory `level` (builder style).
+    #[must_use]
+    pub fn order_inner(
+        mut self,
+        level: impl Into<String>,
+        inner: impl IntoIterator<Item = DimRef>,
+    ) -> Self {
+        self.order.push(OrderConstraint {
+            level: level.into(),
+            inner: inner.into_iter().collect(),
+            exact: false,
+        });
+        self
+    }
+
+    /// Fixes the whole loop order at memory `level` to the given groups
+    /// (builder style).
+    #[must_use]
+    pub fn order_exact(
+        mut self,
+        level: impl Into<String>,
+        inner: impl IntoIterator<Item = DimRef>,
+    ) -> Self {
+        self.order.push(OrderConstraint {
+            level: level.into(),
+            inner: inner.into_iter().collect(),
+            exact: true,
+        });
+        self
+    }
+
+    /// Pins the resident tile extent of `dim` at memory `level` (builder
+    /// style).
+    #[must_use]
+    pub fn pin_tile(mut self, level: impl Into<String>, dim: DimRef, extent: u64) -> Self {
+        let level = level.into();
+        if let Some(c) = self.tile.iter_mut().find(|c| c.level == level) {
+            c.pins.push((dim, extent));
+        } else {
+            self.tile.push(TileConstraint { level, pins: vec![(dim, extent)], caps: Vec::new() });
+        }
+        self
+    }
+
+    /// Caps the resident tile extent of `dim` at memory `level` (builder
+    /// style).
+    #[must_use]
+    pub fn cap_tile(mut self, level: impl Into<String>, dim: DimRef, extent: u64) -> Self {
+        let level = level.into();
+        if let Some(c) = self.tile.iter_mut().find(|c| c.level == level) {
+            c.caps.push((dim, extent));
+        } else {
+            self.tile.push(TileConstraint { level, pins: Vec::new(), caps: vec![(dim, extent)] });
+        }
+        self
+    }
+
+    /// Forces `tensor` to bypass memory `level` (builder style).
+    #[must_use]
+    pub fn bypass(mut self, level: impl Into<String>, tensor: impl Into<String>) -> Self {
+        self.bypass.push(BypassOverride { level: level.into(), tensor: tensor.into() });
+        self
+    }
+}
+
+/// Why a constraint set is invalid for a given workload/architecture pair,
+/// or why a mapping violates it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConstraintError {
+    /// A `DimRef::Named` matches no workload dimension.
+    UnknownDim { name: String },
+    /// A constraint names an architecture level that does not exist.
+    UnknownLevel { name: String },
+    /// An unroll constraint names a level that is not spatial.
+    NotSpatial { level: String },
+    /// An order/tile/bypass constraint names a level that is not a memory.
+    NotMemory { level: String },
+    /// A bypass override names a tensor the workload does not have.
+    UnknownTensor { name: String },
+    /// The constraint set can never be satisfied (contradictory pins,
+    /// non-dividing tile pins, over-subscribed fabrics, ...).
+    Unsatisfiable { reason: String },
+    /// A mapping does not honor the constraint set (reported by
+    /// [`ValidationContext::satisfies`](crate::ValidationContext::satisfies)).
+    Violated { level: String, reason: String },
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::UnknownDim { name } => {
+                write!(f, "constraint references unknown dimension `{name}`")
+            }
+            ConstraintError::UnknownLevel { name } => {
+                write!(f, "constraint references unknown level `{name}`")
+            }
+            ConstraintError::NotSpatial { level } => {
+                write!(f, "unroll constraint on `{level}`, which is not a spatial level")
+            }
+            ConstraintError::NotMemory { level } => {
+                write!(f, "constraint on `{level}`, which is not a memory level")
+            }
+            ConstraintError::UnknownTensor { name } => {
+                write!(f, "bypass override references unknown tensor `{name}`")
+            }
+            ConstraintError::Unsatisfiable { reason } => {
+                write!(f, "unsatisfiable constraints: {reason}")
+            }
+            ConstraintError::Violated { level, reason } => {
+                write!(f, "mapping violates constraint at `{level}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ConstraintError {}
+
+/// Resolves the union of several references, used by every consumer of a
+/// `Vec<DimRef>`.
+///
+/// # Errors
+///
+/// Propagates [`DimRef::resolve`] failures.
+pub fn resolve_union(refs: &[DimRef], workload: &Workload) -> Result<DimSet, ConstraintError> {
+    let mut set = DimSet::EMPTY;
+    for r in refs {
+        set = set.union(r.resolve(workload)?);
+    }
+    Ok(set)
+}
+
+/// Resolves `(DimRef, value)` pairs to per-dimension values. A reference
+/// resolving to several dimensions pins each of them; conflicting values
+/// for the same dimension are unsatisfiable.
+///
+/// # Errors
+///
+/// Propagates [`DimRef::resolve`] failures;
+/// [`ConstraintError::Unsatisfiable`] on conflicting values for one
+/// dimension.
+pub fn resolve_pins(
+    pins: &[(DimRef, u64)],
+    workload: &Workload,
+    what: &str,
+    level: &str,
+) -> Result<Vec<(DimId, u64)>, ConstraintError> {
+    let mut out: Vec<(DimId, u64)> = Vec::new();
+    for (r, v) in pins {
+        for d in r.resolve(workload)?.iter() {
+            match out.iter().find(|(e, _)| *e == d) {
+                Some((_, prev)) if prev != v => {
+                    return Err(ConstraintError::Unsatisfiable {
+                        reason: format!(
+                            "conflicting {what} pins for dimension `{}` at `{level}`: {prev} vs {v}",
+                            workload.dim(d).name()
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => out.push((d, *v)),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Resolves `(DimRef, cap)` pairs to per-dimension upper bounds. Unlike
+/// pins, several caps on one dimension are not a conflict — the tightest
+/// wins.
+///
+/// # Errors
+///
+/// Propagates [`DimRef::resolve`] failures.
+pub fn resolve_caps(
+    caps: &[(DimRef, u64)],
+    workload: &Workload,
+) -> Result<Vec<(DimId, u64)>, ConstraintError> {
+    let mut out: Vec<(DimId, u64)> = Vec::new();
+    for (r, v) in caps {
+        for d in r.resolve(workload)?.iter() {
+            match out.iter_mut().find(|(e, _)| *e == d) {
+                Some((_, prev)) => *prev = (*prev).min(*v),
+                None => out.push((d, *v)),
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv1d() -> Workload {
+        let mut b = Workload::builder("conv1d");
+        let k = b.dim("K", 4);
+        let c = b.dim("C", 4);
+        let p = b.dim("P", 14);
+        let r = b.dim("R", 3);
+        b.input("ifmap", [c.expr(), p + r]);
+        b.input("weight", [k.expr(), c.expr(), r.expr()]);
+        b.output("ofmap", [k.expr(), p.expr()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(MappingConstraints::default().is_empty());
+        assert!(!MappingConstraints::new().bypass("L2", "weight").is_empty());
+    }
+
+    #[test]
+    fn named_ref_resolves_to_singleton() {
+        let w = conv1d();
+        let set = DimRef::named("C").resolve(&w).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(w.dim_by_name("C").unwrap()));
+        assert_eq!(
+            DimRef::named("Z").resolve(&w).unwrap_err(),
+            ConstraintError::UnknownDim { name: "Z".into() }
+        );
+    }
+
+    #[test]
+    fn role_ref_resolves_to_role_set() {
+        let w = conv1d();
+        let red = DimRef::role(DimRole::Reduction).resolve(&w).unwrap();
+        assert_eq!(red, w.reduction_dims());
+        let par = DimRef::role(DimRole::Parallel).resolve(&w).unwrap();
+        assert_eq!(par.union(red), DimSet::first_n(4));
+        assert!(par.is_disjoint(red));
+    }
+
+    #[test]
+    fn conflicting_pins_are_unsatisfiable() {
+        let w = conv1d();
+        let pins = vec![(DimRef::named("C"), 2), (DimRef::named("C"), 4)];
+        let err = resolve_pins(&pins, &w, "unroll", "grid").unwrap_err();
+        assert!(matches!(err, ConstraintError::Unsatisfiable { .. }), "{err:?}");
+        // Agreeing duplicates collapse.
+        let pins = vec![(DimRef::named("C"), 2), (DimRef::named("C"), 2)];
+        assert_eq!(resolve_pins(&pins, &w, "unroll", "grid").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn builder_helpers_accumulate() {
+        let c = MappingConstraints::new()
+            .allow_unroll("grid", [DimRef::named("C"), DimRef::named("K")])
+            .pin_unroll("grid", DimRef::named("C"), 4)
+            .order_inner("L2", [DimRef::role(DimRole::Reduction)])
+            .pin_tile("L1", DimRef::named("P"), 7)
+            .cap_tile("L1", DimRef::named("K"), 2)
+            .bypass("L2", "weight");
+        assert_eq!(c.unroll.len(), 1, "pin merges into the allow entry");
+        assert_eq!(c.unroll[0].pins.len(), 1);
+        assert_eq!(c.order.len(), 1);
+        assert_eq!(c.tile.len(), 1, "pin and cap merge per level");
+        assert_eq!(c.tile[0].pins.len(), 1);
+        assert_eq!(c.tile[0].caps.len(), 1);
+        assert_eq!(c.bypass.len(), 1);
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs = [
+            ConstraintError::UnknownDim { name: "Z".into() },
+            ConstraintError::UnknownLevel { name: "L9".into() },
+            ConstraintError::NotSpatial { level: "L1".into() },
+            ConstraintError::NotMemory { level: "grid".into() },
+            ConstraintError::UnknownTensor { name: "bias".into() },
+            ConstraintError::Unsatisfiable { reason: "because".into() },
+            ConstraintError::Violated { level: "grid".into(), reason: "because".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

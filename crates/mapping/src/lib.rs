@@ -24,13 +24,20 @@
 //! and per-partition capacity — the same conditions the paper uses to call
 //! baseline mappings *invalid* (Figs 7–8).
 
+pub mod constraints;
 pub mod dataflows;
 pub mod execute;
 mod flatten;
 mod mapping;
 pub mod pretty;
+pub mod templates;
 mod validate;
 
+pub use constraints::{
+    BypassOverride, ConstraintError, DimRef, MappingConstraints, OrderConstraint, TileConstraint,
+    UnrollConstraint,
+};
 pub use flatten::{FlatLoop, FlatNest, LoopKind};
 pub use mapping::{Mapping, MappingLevel, SpatialAssignment, TemporalLevel};
+pub use templates::DataflowTemplate;
 pub use validate::{MappingError, ValidationContext};

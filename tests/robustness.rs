@@ -108,6 +108,8 @@ fn degenerate_grid_never_panics() {
     ];
     let archs: Vec<(&str, ArchSpec)> = vec![
         ("conventional", presets::conventional()),
+        ("eyeriss_like", presets::eyeriss_like()),
+        ("diannao_like", presets::diannao_like()),
         ("dram_only", dram_only()),
         ("tiny_l1", tiny_l1()),
     ];
