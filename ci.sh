@@ -42,21 +42,30 @@ echo "== bench smoke: criterion compile + quick schedule bench =="
 cargo bench -p sunstone-bench --bench scheduler_speed -- --test
 cargo run --release -p sunstone-bench --bin bench_schedule -- quick --out BENCH_schedule_quick.json
 python3 - <<'EOF'
-import json, sys
+import json, os, sys
 d = json.load(open("BENCH_schedule_quick.json"))
-assert d.get("schema") == "sunstone-bench-schedule/v2", d.get("schema")
+assert d.get("schema") == "sunstone-bench-schedule/v3", d.get("schema")
 assert d.get("layers"), "no layers recorded"
 for row in d["layers"]:
     for field in (
         "name", "cold_ms", "warm_median_ms", "best_edp",
-        "probed", "modeled", "prefix_hit_rate", "mapping_fp",
+        "probed", "modeled", "prefix_hit_rate", "seeds", "mapping_fp",
     ):
         assert field in row, f"missing {field} in {row.get('name', '?')}"
     assert row["warm_median_ms"] > 0, row["name"]
     assert row["modeled"] <= row["probed"], row["name"]
+est = d.get("estimate", {})
+for field in ("evals_per_sec", "batch_evals_per_sec", "batch_width"):
+    assert field in est, f"missing estimate.{field}"
+cache = d.get("cache", {})
+for field in ("seed_probes", "seed_hits", "seed_hit_rate", "batches", "avg_batch_width"):
+    assert field in cache, f"missing cache.{field}"
+assert cache["seed_hits"] <= cache["seed_probes"], "seed hits exceed seeded searches"
 # Hard gate: every quick layer's best mapping must be bit-identical to
 # the committed baseline. A fingerprint divergence means an optimization
-# changed search results, not just speed — fail, don't warn.
+# changed search results, not just speed — fail, don't warn. Warm-start
+# seeding in particular must be invisible here: it pre-prices the cache,
+# it never re-ranks.
 base = {r["name"]: r["mapping_fp"] for r in json.load(open("results/bench_baseline.json"))["layers"]}
 diverged = [
     f"{r['name']}: {r['mapping_fp']} != {base[r['name']]}"
@@ -66,7 +75,24 @@ diverged = [
 assert not diverged, "mapping_fp diverged from results/bench_baseline.json:\n" + "\n".join(diverged)
 checked = sum(1 for r in d["layers"] if r["name"] in base)
 assert checked > 0, "no quick layer found in the baseline — gate is vacuous"
-print(f"BENCH_schedule_quick.json OK ({len(d['layers'])} layers, {checked} fingerprints match baseline)")
+# Throughput gate: the raw evaluator must not quietly regress. Compare
+# against the committed full-mode measurement; >15% below it fails.
+# (Same-machine quick runs track the full run closely — the throughput
+# loops are cache-free and fixed-size per eval.)
+if os.path.exists("BENCH_schedule.json"):
+    committed = json.load(open("BENCH_schedule.json"))
+    ce = committed.get("estimate", {})
+    for key in ("evals_per_sec", "batch_evals_per_sec"):
+        if key in ce and key in est:
+            floor = 0.85 * ce[key]
+            assert est[key] >= floor, (
+                f"estimate.{key} regressed >15%: {est[key]:.0f} < {floor:.0f}"
+                f" (committed {ce[key]:.0f})"
+            )
+print(
+    f"BENCH_schedule_quick.json OK ({len(d['layers'])} layers, {checked} fingerprints"
+    f" match baseline, batch {est['batch_evals_per_sec']:.0f} evals/s)"
+)
 EOF
 rm -f BENCH_schedule_quick.json
 

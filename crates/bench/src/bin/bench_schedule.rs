@@ -43,6 +43,9 @@ struct LayerRow {
     /// Fraction of the cold run's model evaluations that reused a
     /// memoized decided-prefix cost.
     prefix_hit_rate: f64,
+    /// Cross-layer warm-start seeds the cold run was primed with (zero
+    /// for the first layer of each shape class).
+    seeds: u64,
 }
 
 /// A stable fingerprint of a mapping's search identity: every level's
@@ -159,6 +162,7 @@ fn main() {
         let modeled = first.stats.modeled;
         let prefix_hit_rate =
             if modeled == 0 { 0.0 } else { first.stats.prefix_hits as f64 / modeled as f64 };
+        let seeds = first.stats.seeds;
         // Warm: the session has seen the shape; the estimate cache serves
         // repeat evaluations, so this times the search machinery itself.
         let mut samples = Vec::with_capacity(reps);
@@ -183,25 +187,76 @@ fn main() {
             probed: result.stats.probed,
             modeled,
             prefix_hit_rate,
+            seeds,
         });
     }
+    let cache = scheduler.cache_stats();
+    println!(
+        "  warm starts: {}/{} seeded searches landed on a seed; SoA batches: {:.1} cand/dispatch",
+        cache.seed_hits,
+        cache.seed_probes,
+        cache.avg_batch_width(),
+    );
 
     // Estimate throughput: raw analytic-model evaluations per second on a
-    // representative layer's best mapping (no cache in the loop).
+    // representative layer's best mapping (no cache in the loop). Best of
+    // three passes — the number records evaluator capability, and `ci.sh`
+    // gates regressions against it, so transient load must not leak in.
     let w = layers[if layers.len() > 1 { 1 } else { 0 }].inference(Precision::simba());
     let best = scheduler.schedule(&w, &arch).expect("schedules").mapping;
     let binding = Binding::resolve(&arch, &w).expect("binds");
     let model = CostModel::new(&w, &arch, &binding);
-    let evals: usize = if quick { 500 } else { 5_000 };
+    let evals: usize = if quick { 2_000 } else { 5_000 };
     let mut scratch = model.scratch();
-    let t0 = Instant::now();
     let mut acc = 0.0f64;
-    for _ in 0..evals {
-        acc += model.evaluate_unchecked_with(&best, &mut scratch).edp;
+    let mut est_elapsed = Duration::MAX;
+    for _ in 0..3 {
+        acc = 0.0;
+        let t0 = Instant::now();
+        for _ in 0..evals {
+            acc += model.evaluate_unchecked_with(&best, &mut scratch).edp;
+        }
+        est_elapsed = est_elapsed.min(t0.elapsed());
     }
-    let est_elapsed = t0.elapsed();
     let evals_per_sec = evals as f64 / est_elapsed.as_secs_f64();
     println!("  estimate throughput: {evals_per_sec:.0} evals/s (checksum {acc:.3e})");
+
+    // SoA batch throughput: the branch-free batch evaluator over a shared
+    // decided prefix, the path the estimate round takes for every maximal
+    // same-parent run of candidates. The prefix boundary mirrors the final
+    // bottom-up stage (everything below the outermost memory is decided),
+    // and the batch width matches the round's claim chunk.
+    let mems: Vec<usize> = best
+        .levels()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| matches!(l, MappingLevel::Temporal(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let boundary = mems[mems.len().saturating_sub(2)];
+    let prefix = model.prefix_of(&best, boundary);
+    let batch_width = 16usize;
+    let batch: Vec<Mapping> = vec![best.clone(); batch_width];
+    let mut batch_scratch = model.batch_scratch();
+    let dispatches: usize = if quick { 1_000 } else { 12_500 };
+    let batch_evals = dispatches * batch_width;
+    let mut acc2 = 0.0f64;
+    let mut batch_elapsed = Duration::MAX;
+    for _ in 0..3 {
+        acc2 = 0.0;
+        let t0 = Instant::now();
+        for _ in 0..dispatches {
+            model.evaluate_prefixed_batch(&prefix, &batch, &mut batch_scratch, |_, report| {
+                acc2 += report.edp;
+            });
+        }
+        batch_elapsed = batch_elapsed.min(t0.elapsed());
+    }
+    let batch_evals_per_sec = batch_evals as f64 / batch_elapsed.as_secs_f64();
+    println!(
+        "  batch estimate throughput: {batch_evals_per_sec:.0} evals/s \
+         ({batch_width}-wide SoA, checksum {acc2:.3e})"
+    );
 
     // Speedup against the committed baseline, when present: the median
     // over layers of (baseline warm median / current warm median). A
@@ -245,7 +300,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sunstone-bench-schedule/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"sunstone-bench-schedule/v3\",");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
     let _ = writeln!(json, "  \"arch\": \"{}\",", esc(arch.name()));
     let _ = writeln!(json, "  \"reps\": {reps},");
@@ -260,6 +315,7 @@ fn main() {
         let _ = writeln!(json, "      \"probed\": {},", r.probed);
         let _ = writeln!(json, "      \"modeled\": {},", r.modeled);
         let _ = writeln!(json, "      \"prefix_hit_rate\": {:.4},", r.prefix_hit_rate);
+        let _ = writeln!(json, "      \"seeds\": {},", r.seeds);
         let _ = writeln!(json, "      \"mapping_fp\": {},", r.mapping_fp);
         let _ = writeln!(json, "      \"mapping\": \"{}\"", esc(&r.mapping));
         let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
@@ -268,7 +324,19 @@ fn main() {
     let _ = writeln!(json, "  \"estimate\": {{");
     let _ = writeln!(json, "    \"evals\": {evals},");
     let _ = writeln!(json, "    \"elapsed_ms\": {:.3},", ms(est_elapsed));
-    let _ = writeln!(json, "    \"evals_per_sec\": {evals_per_sec:.1}");
+    let _ = writeln!(json, "    \"evals_per_sec\": {evals_per_sec:.1},");
+    let _ = writeln!(json, "    \"batch_evals\": {batch_evals},");
+    let _ = writeln!(json, "    \"batch_width\": {batch_width},");
+    let _ = writeln!(json, "    \"batch_elapsed_ms\": {:.3},", ms(batch_elapsed));
+    let _ = writeln!(json, "    \"batch_evals_per_sec\": {batch_evals_per_sec:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cache\": {{");
+    let _ = writeln!(json, "    \"seed_probes\": {},", cache.seed_probes);
+    let _ = writeln!(json, "    \"seed_hits\": {},", cache.seed_hits);
+    let _ = writeln!(json, "    \"seed_hit_rate\": {:.4},", cache.seed_hit_rate());
+    let _ = writeln!(json, "    \"batches\": {},", cache.batches);
+    let _ = writeln!(json, "    \"avg_batch_width\": {:.2},", cache.avg_batch_width());
+    let _ = writeln!(json, "    \"batched_fraction\": {:.4}", cache.batched_fraction());
     let _ = writeln!(json, "  }},");
     match speedup {
         Some(s) => {

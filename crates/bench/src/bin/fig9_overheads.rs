@@ -68,7 +68,7 @@ fn main() {
             }
         }
     });
-    let schedule_opts = ScheduleOptions { progress: Some(progress), ..ScheduleOptions::default() };
+    let schedule_opts = ScheduleOptions::new().progress(progress);
 
     println!("Fig 9a — naive vs dataflow-optimized energy (DianNao-like)\n");
     println!(

@@ -57,7 +57,7 @@ fn main() {
             println!("  [batch] unique shape #{unique}: {evaluated} mappings in {elapsed:.1?}");
         }
     });
-    let controls = BatchOptions { progress: Some(progress), ..BatchOptions::default() };
+    let controls = BatchOptions::new().progress(progress);
     let chain =
         schedule_chain_with(&scheduler, &layers, &arch, &ChainOptions::default(), &controls)
             .expect("chain schedules");

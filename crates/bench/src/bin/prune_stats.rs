@@ -6,7 +6,9 @@
 //! [`SearchStats`](sunstone::SearchStats) the scheduler records while
 //! searching — per memory level, how many candidates each principle
 //! considered and kept (ordering trie, tiling maximal frontier, spatial
-//! unrolling, dedup, beam cut) and how the memoized estimate cache fared.
+//! unrolling, dedup, beam cut) and how the memoized estimate cache fared
+//! — including the SoA batch width of the estimate rounds and the
+//! cross-layer warm-start seed hit rate.
 //!
 //! Run with `cargo run --release -p sunstone-bench --bin prune_stats`
 //! (append `quick` for a subsampled run).
@@ -56,6 +58,10 @@ fn merge_into(total: &mut SearchStats, s: &SearchStats) {
     total.probed += s.probed;
     total.modeled += s.modeled;
     total.prefix_hits += s.prefix_hits;
+    total.batches += s.batches;
+    total.batched += s.batched;
+    total.seeds += s.seeds;
+    total.seed_evals += s.seed_evals;
     total.rounds += s.rounds;
     total.spawns_avoided += s.spawns_avoided;
     total.cache_hits += s.cache_hits;
@@ -145,6 +151,12 @@ fn main() {
         }
     );
     println!(
+        "  SoA batches:      {:>8} dispatches, {:.1} candidates/batch, {:.1}% of modeled",
+        total.batches,
+        if total.batches == 0 { 0.0 } else { total.batched as f64 / total.batches as f64 },
+        if total.modeled == 0 { 0.0 } else { 100.0 * total.batched as f64 / total.modeled as f64 }
+    );
+    println!(
         "  worker pool:      {:>8} rounds, {:>6} thread spawns avoided",
         total.rounds, total.spawns_avoided
     );
@@ -152,6 +164,15 @@ fn main() {
         "  estimate cache:   {:>8} probes, {:.1}% hits",
         probes,
         if probes == 0 { 0.0 } else { 100.0 * total.cache_hits as f64 / probes as f64 }
+    );
+    let cache = scheduler.cache_stats();
+    println!(
+        "  warm starts:      {:>8} seeds ({} pre-evals), {}/{} seeded searches landed on a seed ({:.1}%)",
+        total.seeds,
+        total.seed_evals,
+        cache.seed_hits,
+        cache.seed_probes,
+        100.0 * cache.seed_hit_rate(),
     );
 
     // How much of the space each dataflow template removes, measured by
@@ -169,10 +190,7 @@ fn main() {
         DataflowTemplate::RowStationary,
         DataflowTemplate::NvdlaLike,
     ] {
-        let opts = ScheduleOptions {
-            constraints: Some(template.constraints(&arch)),
-            ..ScheduleOptions::default()
-        };
+        let opts = ScheduleOptions::new().constraints(template.constraints(&arch));
         let r = scheduler
             .schedule_with(&w, &arch, &opts)
             .expect("templates schedule")

@@ -26,9 +26,10 @@
 //! estimate cache (so repeated calls amortize model work) and schedules
 //! whole networks at once via [`Scheduler::schedule_batch`], which dedups
 //! identical layer shapes and searches the unique ones on parallel
-//! workers. The legacy one-shot [`Sunstone`] type remains as a thin shim
-//! over a private session (see [`driver`](Sunstone) for the deprecation
-//! note).
+//! workers. Per-call controls (constraints, wall-clock budget,
+//! cancellation, progress) share one [`CallOptions`] block embedded in
+//! [`ScheduleOptions`] and [`BatchOptions`]. Import everything through
+//! [`prelude`].
 //!
 //! # Example
 //!
@@ -62,9 +63,9 @@
 
 //! # Module map
 //!
-//! * [`session`] — the session API: [`Scheduler`], per-call
-//!   [`ScheduleOptions`] / [`BatchOptions`], batch dedup + parallel
-//!   fan-out.
+//! * [`session`] — the session API: [`Scheduler`], the shared per-call
+//!   [`CallOptions`] embedded in [`ScheduleOptions`] / [`BatchOptions`],
+//!   batch dedup + parallel fan-out.
 //! * [`search`] — the staged search pipeline: candidate enumeration
 //!   (`candidates`), beam dedup/selection (`beam`), memoized parallel
 //!   estimation (`estimate`), and the direction-agnostic composition
@@ -91,7 +92,6 @@ macro_rules! faultpoint {
 
 mod config;
 mod constraints;
-mod driver;
 mod error;
 pub mod factors;
 #[cfg(feature = "fault-injection")]
@@ -109,14 +109,13 @@ pub mod unrolling;
 pub use config::{
     Direction, IntraOrder, Objective, PruningFlags, SunstoneConfig, SunstoneConfigBuilder,
 };
-pub use driver::Sunstone;
 pub use error::ScheduleError;
 pub use ordering::{OrderingCandidate, OrderingTrie, ReuseKind};
 pub use progress::{CancelToken, ProgressEvent, ProgressSink};
 pub use search::{CacheStats, LevelStats, PruneCounter, SearchStats};
 pub use session::{
-    BatchOptions, BatchOutcome, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome,
-    ScheduleResult, Scheduler,
+    BatchOptions, BatchOutcome, BatchResult, BatchStats, CallOptions, ScheduleOptions,
+    ScheduleOutcome, ScheduleResult, Scheduler,
 };
 // The constraint vocabulary lives in `sunstone_mapping` (so
 // `ValidationContext::satisfies` can check mappings against it without a
@@ -128,18 +127,23 @@ pub use sunstone_mapping::{
     TileConstraint, UnrollConstraint,
 };
 
-/// One-line import of the session API and its supporting types.
+/// One-line import of the session API and its supporting types — the
+/// single blessed import surface: the session types, the per-call
+/// options, the constraint vocabulary, and the statistics structs.
 pub mod prelude {
     pub use crate::config::{
         Direction, IntraOrder, Objective, PruningFlags, SunstoneConfig, SunstoneConfigBuilder,
     };
     pub use crate::error::ScheduleError;
     pub use crate::progress::{CancelToken, ProgressEvent, ProgressSink};
-    pub use crate::search::CacheStats;
+    pub use crate::search::{CacheStats, LevelStats, PruneCounter, SearchStats};
     pub use crate::session::{
-        BatchOptions, BatchOutcome, BatchResult, BatchStats, ScheduleOptions, ScheduleOutcome,
-        ScheduleResult, Scheduler,
+        BatchOptions, BatchOutcome, BatchResult, BatchStats, CallOptions, ScheduleOptions,
+        ScheduleOutcome, ScheduleResult, Scheduler,
     };
     pub use sunstone_ir::DimRole;
-    pub use sunstone_mapping::{DataflowTemplate, DimRef, MappingConstraints};
+    pub use sunstone_mapping::{
+        BypassOverride, ConstraintError, DataflowTemplate, DimRef, MappingConstraints,
+        OrderConstraint, TileConstraint, UnrollConstraint,
+    };
 }

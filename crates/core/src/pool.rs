@@ -28,15 +28,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// One queued fan-out: `total` indices to feed to `task`.
+/// One queued fan-out: `total` indices to feed to `task`, claimed in
+/// contiguous ranges of `chunk` indices at a time.
 struct Job {
     /// The task closure, lifetime-erased. Soundness: `WorkerPool::run`
     /// does not return before `pending` hits zero, and after that no
     /// thread dereferences the pointer again (every claim checks the
     /// bound *before* calling the task), so the borrow outlives every
     /// call through it.
-    task: *const (dyn Fn(usize) + Sync),
+    task: *const (dyn Fn(std::ops::Range<usize>) + Sync),
     total: usize,
+    /// Indices claimed per atomic grab; 1 reproduces per-index claiming.
+    chunk: usize,
     /// Next index to claim (may grow past `total`; claims re-check).
     next: AtomicUsize,
     /// Indices claimed but not yet completed, plus those never claimed.
@@ -71,23 +74,25 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claims and runs indices until the job is exhausted. Returns once no
-    /// index is left to claim (other claimants may still be running).
+    /// Claims and runs index ranges until the job is exhausted. Returns
+    /// once no range is left to claim (other claimants may still be
+    /// running).
     fn drain(&self) {
         loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.total {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.total {
                 return;
             }
-            // SAFETY: `i < total`, so `pending > 0` and the submitter is
-            // still inside `run`, keeping the closure alive.
+            let end = (start + self.chunk).min(self.total);
+            // SAFETY: `start < total`, so `pending > 0` and the submitter
+            // is still inside `run`, keeping the closure alive.
             let task = unsafe { &*self.task };
             // The claim failpoint fires *inside* the catch: an injected
             // panic must surface exactly like a task panic (marking the
             // job, never killing the claiming worker thread).
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 faultpoint!("pool.claim");
-                task(i)
+                task(start..end)
             }));
             if let Err(payload) = outcome {
                 self.panicked.store(true, Ordering::Relaxed);
@@ -98,7 +103,7 @@ impl Job {
                     *note = Some(panic_message(payload.as_ref()));
                 }
             }
-            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if self.pending.fetch_sub(end - start, Ordering::AcqRel) == end - start {
                 // Lock-bridge the notification so the submitter is either
                 // before its re-check (and sees zero) or parked (and woken).
                 let _g = self.done.lock().unwrap();
@@ -177,30 +182,59 @@ impl WorkerPool {
     /// workers and the calling thread, and returns when all are done.
     /// Panics (on the calling thread) if any task panicked.
     pub(crate) fn run(&self, total: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.run_chunked(total, 1, &|range: std::ops::Range<usize>| {
+            for i in range {
+                task(i);
+            }
+        });
+    }
+
+    /// Runs `task(start..end)` over every contiguous `chunk`-sized range
+    /// of `0..total` (the final range may be shorter), distributed over
+    /// the workers and the calling thread, and returns when all are done.
+    /// Claimants grab whole ranges with one atomic op, so tasks that
+    /// batch-process their range amortize both the claim and any
+    /// per-dispatch setup. Panics (on the calling thread) if any task
+    /// panicked.
+    pub(crate) fn run_chunked(
+        &self,
+        total: usize,
+        chunk: usize,
+        task: &(dyn Fn(std::ops::Range<usize>) + Sync),
+    ) {
         if total == 0 {
             return;
         }
+        let chunk = chunk.max(1);
+        let n_chunks = total.div_ceil(chunk);
         self.rounds.fetch_add(1, Ordering::Relaxed);
         self.spawns_avoided
-            .fetch_add((self.workers.len() + 1).min(total) as u64, Ordering::Relaxed);
+            .fetch_add((self.workers.len() + 1).min(n_chunks) as u64, Ordering::Relaxed);
         if self.workers.is_empty() {
-            for i in 0..total {
+            let mut start = 0;
+            while start < total {
+                let end = (start + chunk).min(total);
                 // Mirror the worker claim loop's failpoint so fault tests
                 // behave identically with an inline (zero-worker) pool; an
                 // injected panic propagates directly on the caller.
                 faultpoint!("pool.claim");
-                task(i);
+                task(start..end);
+                start = end;
             }
             return;
         }
-        // SAFETY: erase the borrow's lifetime; `run` keeps the closure
-        // alive until `pending == 0` (see `Job::task`).
-        let task: *const (dyn Fn(usize) + Sync) = unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        // SAFETY: erase the borrow's lifetime; `run_chunked` keeps the
+        // closure alive until `pending == 0` (see `Job::task`).
+        let task: *const (dyn Fn(std::ops::Range<usize>) + Sync) = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(std::ops::Range<usize>) + Sync),
+                &'static (dyn Fn(std::ops::Range<usize>) + Sync),
+            >(task)
         };
         let job = Arc::new(Job {
             task,
             total,
+            chunk,
             next: AtomicUsize::new(0),
             pending: AtomicUsize::new(total),
             panicked: AtomicBool::new(false),
@@ -343,6 +377,57 @@ mod tests {
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 50));
         assert_eq!(pool.rounds(), 50);
         assert_eq!(pool.spawns_avoided(), 50 * 4);
+    }
+
+    #[test]
+    fn chunked_run_covers_every_index_in_contiguous_ranges() {
+        for workers in [0, 3] {
+            let pool = WorkerPool::new(workers);
+            for (total, chunk) in [(1000, 32), (17, 5), (8, 64), (64, 64), (9, 1)] {
+                let hits: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
+                pool.run_chunked(total, chunk, &|range| {
+                    assert!(range.start % chunk == 0, "ranges start on chunk boundaries");
+                    assert!(range.len() <= chunk);
+                    assert!(range.end == range.start + chunk || range.end == total);
+                    for i in range {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "workers={workers} total={total} chunk={chunk}: some index missed or doubled"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_spawns_avoided_counts_claimants_not_indices() {
+        let pool = WorkerPool::new(3);
+        // 100 indices in chunks of 50 → only 2 chunks → 2 claimants max.
+        pool.run_chunked(100, 50, &|_| {});
+        assert_eq!(pool.spawns_avoided(), 2);
+        assert_eq!(pool.rounds(), 1);
+    }
+
+    #[test]
+    fn chunked_panic_propagates_to_submitter() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunked(64, 8, &|range| {
+                if range.contains(&19) {
+                    panic!("chunk exploded");
+                }
+            });
+        }))
+        .expect_err("panic propagates");
+        assert!(panic_message(caught.as_ref()).contains("chunk exploded"));
+        // The pool survives and keeps working.
+        let n = AtomicU32::new(0);
+        pool.run_chunked(8, 4, &|range| {
+            n.fetch_add(range.len() as u32, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 8);
     }
 
     #[test]

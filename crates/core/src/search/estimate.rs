@@ -8,7 +8,7 @@ use std::sync::{Mutex, MutexGuard};
 
 use sunstone_ir::{DimSet, DimVec, FxHashMap};
 use sunstone_mapping::{Mapping, MappingLevel};
-use sunstone_model::{CostReport, EvalScratch, MappingPrefix};
+use sunstone_model::{BatchEvalScratch, CostReport, EvalScratch, MappingPrefix};
 
 use super::beam::{completed_key, mapping_key};
 use super::stats::SearchStats;
@@ -31,6 +31,19 @@ pub struct CacheStats {
     /// Model evaluations that reused a memoized decided-prefix cost
     /// instead of re-deriving every level from scratch.
     pub prefix_hits: u64,
+    /// SoA batch dispatches: contiguous same-prefix candidate runs priced
+    /// through the structure-of-arrays evaluator in one call.
+    pub batches: u64,
+    /// Model evaluations priced inside an SoA batch (the rest went
+    /// through the scalar path: no shared prefix, or a run of one).
+    pub batched: u64,
+    /// Searches that were warm-started: a structurally similar layer's
+    /// retained mappings were translated and pre-evaluated into this
+    /// search's cache context before the level walk.
+    pub seed_probes: u64,
+    /// Warm-started searches whose final best mapping equals one of the
+    /// translated seeds (the neighbor's optimum carried over).
+    pub seed_hits: u64,
     /// Fan-out rounds the session worker pool has executed.
     pub pool_rounds: u64,
     /// OS thread spawns avoided versus a per-round `std::thread::scope`.
@@ -55,6 +68,36 @@ impl CacheStats {
             0.0
         } else {
             self.prefix_hits as f64 / self.misses as f64
+        }
+    }
+
+    /// Mean number of candidates priced per SoA batch dispatch (0 when no
+    /// batch ever ran).
+    pub fn avg_batch_width(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of model evaluations priced through the SoA batch path
+    /// (0 when the model never ran).
+    pub fn batched_fraction(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.batched as f64 / self.misses as f64
+        }
+    }
+
+    /// Fraction of warm-started searches whose final best mapping was a
+    /// translated seed (0 when no search was ever warm-started).
+    pub fn seed_hit_rate(&self) -> f64 {
+        if self.seed_probes == 0 {
+            0.0
+        } else {
+            self.seed_hits as f64 / self.seed_probes as f64
         }
     }
 }
@@ -133,9 +176,28 @@ pub(crate) struct CtxEntry {
 /// [`SunstoneConfig::max_cache_entries`](crate::SunstoneConfig::max_cache_entries):
 /// when an insert pushes past the bound, the least-recently-used context
 /// fingerprints are evicted whole (never the context that just inserted).
+/// Everything retained for one warm-start slot: the source layer's
+/// dimension sizes (the similarity gate compares prime-factor multisets
+/// against them) and its best final mappings, plus the exact context that
+/// produced them (so eviction of a poisoned context also drops its warm
+/// entry, and a layer never seeds itself).
+#[derive(Debug, Clone)]
+pub(crate) struct WarmEntry {
+    /// Dimension sizes of the retained layer.
+    pub(crate) dims: Vec<u64>,
+    /// Best final mappings of the retained search, objective-best first.
+    pub(crate) mappings: Vec<Mapping>,
+    /// Context fingerprint of the search that produced the entry.
+    pub(crate) ctx_fp: u64,
+}
+
 #[derive(Debug, Default)]
 pub(crate) struct SessionCache {
     map: Mutex<FxHashMap<u64, CtxEntry>>,
+    /// Warm-start retention, keyed by the *(shape class, arch, config,
+    /// constraints)* fingerprint ([`crate::fingerprint::warm_fingerprint`]).
+    /// One slot per key, latest completed search wins.
+    warm: Mutex<FxHashMap<u64, WarmEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Retained cost reports, maintained on insert/evict/clear so
@@ -144,6 +206,10 @@ pub(crate) struct SessionCache {
     /// Logical clock behind every `CtxEntry::last_used` stamp.
     tick: AtomicU64,
     prefix_hits: AtomicU64,
+    batches: AtomicU64,
+    batched: AtomicU64,
+    seed_probes: AtomicU64,
+    seed_hits: AtomicU64,
 }
 
 impl SessionCache {
@@ -177,6 +243,37 @@ impl SessionCache {
         map.remove(&fp);
         let total = map.values().map(|e| e.reports.len()).sum();
         self.entries.store(total, Ordering::Relaxed);
+        drop(map);
+        // Warm entries produced by the poisoned context go with it: a
+        // fault mid-retention could have published a half-written entry.
+        self.lock_warm().retain(|_, e| e.ctx_fp != fp);
+    }
+
+    /// Locks the warm-start retention map (poison-recovering, like
+    /// [`lock_map`](Self::lock_map): every individual map operation leaves
+    /// it structurally valid, and [`evict_context`](Self::evict_context)
+    /// drops any entry a caught fault may have half-published).
+    fn lock_warm(&self) -> MutexGuard<'_, FxHashMap<u64, WarmEntry>> {
+        self.warm.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Retains a completed search's best mappings for future warm starts
+    /// (one slot per warm key; the latest search wins).
+    pub(crate) fn warm_store(&self, warm_fp: u64, entry: WarmEntry) {
+        self.lock_warm().insert(warm_fp, entry);
+    }
+
+    /// The retained warm-start entry for `warm_fp`, if any.
+    pub(crate) fn warm_lookup(&self, warm_fp: u64) -> Option<WarmEntry> {
+        self.lock_warm().get(&warm_fp).cloned()
+    }
+
+    /// Records one warm-started search and whether a seed won.
+    pub(crate) fn record_seeding(&self, hit: bool) {
+        self.seed_probes.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.seed_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
@@ -185,6 +282,10 @@ impl SessionCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
             prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched: self.batched.load(Ordering::Relaxed),
+            seed_probes: self.seed_probes.load(Ordering::Relaxed),
+            seed_hits: self.seed_hits.load(Ordering::Relaxed),
             // Pool counters are filled in by the scheduler, which owns
             // the pool.
             pool_rounds: 0,
@@ -194,10 +295,15 @@ impl SessionCache {
 
     pub(crate) fn clear(&self) {
         self.lock_map().clear();
+        self.lock_warm().clear();
         self.entries.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.prefix_hits.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batched.store(0, Ordering::Relaxed);
+        self.seed_probes.store(0, Ordering::Relaxed);
+        self.seed_hits.store(0, Ordering::Relaxed);
     }
 
     /// Evicts whole least-recently-used contexts (never `keep`) until the
@@ -266,6 +372,31 @@ impl<'s> EstimateCache<'s> {
         }
     }
 
+    /// Pre-evaluates `key` into the cache if absent (warm-start seeding).
+    /// Returns whether the model ran. Deliberately bypasses the hit/miss
+    /// counters: seeding is bookkept by the seed counters, and mixing it
+    /// into the probe statistics would make `hits`/`misses` depend on
+    /// which layers happened to be retained first.
+    pub(crate) fn warm_insert_with(
+        &self,
+        key: Vec<u64>,
+        eval: impl FnOnce() -> CostReport,
+    ) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        {
+            let guard = self.session.lock_map();
+            if guard.get(&self.ctx_fp).is_some_and(|e| e.reports.contains_key(&key)) {
+                return false;
+            }
+        }
+        // Evaluate outside the lock — the model walk is the expensive part.
+        let report = eval();
+        self.insert(key, report);
+        true
+    }
+
     /// Memoized tile enumeration for this context, if already recorded.
     pub(crate) fn tiles_lookup(&self, key: &TileKey) -> Option<TileMemo> {
         if !self.enabled {
@@ -326,7 +457,18 @@ thread_local! {
     /// Per-worker evaluation scratch, reused across rounds and calls (the
     /// pool threads are session-lived, so the buffers stay warm).
     static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+    /// Per-worker SoA batch scratch, likewise session-lived.
+    static BATCH_SCRATCH: RefCell<BatchEvalScratch> = RefCell::new(BatchEvalScratch::default());
 }
+
+/// Indices per pool claim in the estimate round. One atomic claim covers
+/// a contiguous candidate range, and every maximal same-prefix run inside
+/// the range is priced through the SoA batch evaluator in one call — the
+/// chunk bounds the batch width, so the per-candidate SoA tables stay in
+/// cache while still amortizing claim and dispatch overhead. Kept small
+/// enough that modest rounds (a few hundred misses) still split into more
+/// claims than the pool has claimants.
+const ESTIMATE_CHUNK: usize = 16;
 
 /// Why an estimation round ended; anything but `Done` aborts the stage
 /// (the composition loop returns the *previous* beam, which is what the
@@ -359,6 +501,15 @@ pub(crate) enum RoundStatus {
 /// composition is bit-identical to the monolithic evaluation (see the
 /// `prefix` property tests), so cached reports are unaffected.
 ///
+/// The pool claims contiguous *chunks* of misses ([`ESTIMATE_CHUNK`] per
+/// atomic claim), and every maximal same-prefix run inside a claim is
+/// priced through the structure-of-arrays batch evaluator
+/// ([`CostModel::evaluate_prefixed_batch`]) in one call — branch-free
+/// inner loops over per-candidate columns instead of a full per-candidate
+/// model walk. The batch evaluator is bit-identical to the scalar path
+/// (see the `batch` property tests), so the dispatch choice never changes
+/// a result.
+///
 /// Results are written back by candidate index, so the outcome is
 /// identical for any thread count.
 ///
@@ -372,6 +523,7 @@ pub(crate) enum RoundStatus {
 /// deterministic, so later calls may reuse them).
 ///
 /// [`CostModel::prefix_of`]: sunstone_model::CostModel::prefix_of
+/// [`CostModel::evaluate_prefixed_batch`]: sunstone_model::CostModel::evaluate_prefixed_batch
 pub(crate) fn estimate_all(
     ctx: &SearchContext<'_>,
     direction: Direction,
@@ -439,47 +591,88 @@ pub(crate) fn estimate_all(
     let mut reports: Vec<Option<CostReport>> = vec![None; misses.len()];
     let round_cancelled = AtomicBool::new(false);
     let round_deadlined = AtomicBool::new(false);
+    let round_batches = AtomicU64::new(0);
+    let round_batched = AtomicU64::new(0);
     if !misses.is_empty() {
         stats.rounds += 1;
-        stats.spawns_avoided += ((ctx.pool.workers() + 1).min(misses.len())) as u64;
+        let n_claims = misses.len().div_ceil(ESTIMATE_CHUNK);
+        stats.spawns_avoided += ((ctx.pool.workers() + 1).min(n_claims)) as u64;
         let model = &ctx.model;
         let writer = SliceWriter::new(&mut reports);
         let (prefixes, group_of, completed) = (&prefixes, &group_of, &completed);
         let (round_cancelled, round_deadlined) = (&round_cancelled, &round_deadlined);
-        ctx.pool.run(misses.len(), &|k| {
+        let (round_batches, round_batched) = (&round_batches, &round_batched);
+        ctx.pool.run_chunked(misses.len(), ESTIMATE_CHUNK, &|range| {
             // Bounded-latency stop checks, per claim: the cancel check is
-            // one atomic load; the deadline (a clock read) is sampled
-            // every 16th claim. Once a stop is observed every remaining
-            // claim returns immediately, so at most one in-flight
-            // evaluation per claimant outlives the stop.
+            // one atomic load and the deadline one clock read, and a claim
+            // covers at most `ESTIMATE_CHUNK` evaluations. Once a stop is
+            // observed every remaining claim returns immediately, so at
+            // most one in-flight claim per claimant outlives the stop.
             if round_cancelled.load(Ordering::Relaxed) || ctx.cancelled() {
                 round_cancelled.store(true, Ordering::Relaxed);
                 return;
             }
-            if enforce_deadline
-                && (round_deadlined.load(Ordering::Relaxed) || (k % 16 == 0 && ctx.past_deadline()))
+            if enforce_deadline && (round_deadlined.load(Ordering::Relaxed) || ctx.past_deadline())
             {
                 round_deadlined.store(true, Ordering::Relaxed);
                 return;
             }
             SCRATCH.with(|cell| {
-                let mut scratch = cell.borrow_mut();
-                let report = match group_of.get(k) {
-                    Some(&g) => model.evaluate_prefixed_with(
-                        &prefixes[g as usize],
-                        &completed[k],
-                        &mut scratch,
-                    ),
-                    None => model.evaluate_unchecked_with(&completed[k], &mut scratch),
-                };
-                // SAFETY: the pool feeds each index to exactly one task.
-                unsafe { writer.write(k, Some(report)) };
+                BATCH_SCRATCH.with(|bcell| {
+                    let mut scratch = cell.borrow_mut();
+                    let mut bscratch = bcell.borrow_mut();
+                    let mut k = range.start;
+                    while k < range.end {
+                        let Some(&g) = group_of.get(k) else {
+                            // No shared prefix this stage: scalar path.
+                            let report = model.evaluate_unchecked_with(&completed[k], &mut scratch);
+                            // SAFETY: claims are disjoint ranges and every
+                            // index is written by its claimant only.
+                            unsafe { writer.write(k, Some(report)) };
+                            k += 1;
+                            continue;
+                        };
+                        // Maximal same-prefix run inside this claim.
+                        let mut end = k + 1;
+                        while end < range.end && group_of[end] == g {
+                            end += 1;
+                        }
+                        if end - k >= 2 {
+                            round_batches.fetch_add(1, Ordering::Relaxed);
+                            round_batched.fetch_add((end - k) as u64, Ordering::Relaxed);
+                            model.evaluate_prefixed_batch(
+                                &prefixes[g as usize],
+                                &completed[k..end],
+                                &mut bscratch,
+                                |j, report| {
+                                    // SAFETY: disjoint claims; `k + j`
+                                    // stays inside this run.
+                                    unsafe { writer.write(k + j, Some(report)) };
+                                },
+                            );
+                        } else {
+                            let report = model.evaluate_prefixed_with(
+                                &prefixes[g as usize],
+                                &completed[k],
+                                &mut scratch,
+                            );
+                            // SAFETY: disjoint claims (see above).
+                            unsafe { writer.write(k, Some(report)) };
+                        }
+                        k = end;
+                    }
+                });
             });
         });
     }
 
     let miss_count = misses.len() as u64;
     stats.modeled += reports.iter().filter(|r| r.is_some()).count() as u64;
+    let (round_batches, round_batched) = (round_batches.into_inner(), round_batched.into_inner());
+    stats.batches += round_batches;
+    stats.batched += round_batched;
+    cache.session.batches.fetch_add(round_batches, Ordering::Relaxed);
+    cache.session.batched.fetch_add(round_batched, Ordering::Relaxed);
     {
         // Publish every new report under a single lock acquisition, stamp
         // the context's LRU clock, and enforce the cache bound.

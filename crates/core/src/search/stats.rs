@@ -103,6 +103,26 @@ pub struct SearchStats {
     /// (prefix-incremental estimation) instead of re-deriving every
     /// level's access counts from scratch.
     pub prefix_hits: u64,
+    /// SoA batch dispatches: contiguous same-prefix candidate runs priced
+    /// through the structure-of-arrays evaluator in one call.
+    #[serde(default)]
+    pub batches: u64,
+    /// Model evaluations priced inside an SoA batch (the remainder of
+    /// [`modeled`](Self::modeled) went through the scalar path).
+    #[serde(default)]
+    pub batched: u64,
+    /// Cross-layer warm-start seeds this call was primed with (retained
+    /// mappings from a structurally similar layer, translated onto this
+    /// layer's dimension sizes). Zero when warm starts are off or no
+    /// similar layer was retained.
+    #[serde(default)]
+    pub seeds: u64,
+    /// Model evaluations spent pre-pricing seed trajectories into the
+    /// estimate cache before the search started. These are *extra*
+    /// evaluations on top of [`modeled`](Self::modeled); the search
+    /// recoups them as cache hits along the seeded trajectory.
+    #[serde(default)]
+    pub seed_evals: u64,
     /// Parallel fan-out rounds dispatched to the session worker pool.
     pub rounds: u64,
     /// OS thread spawns avoided versus the former per-round

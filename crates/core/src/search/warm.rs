@@ -1,0 +1,188 @@
+//! Cross-layer warm starts: seeding a new search from the retained best
+//! mappings of a structurally similar layer scheduled earlier in the
+//! session (same dimension roles and tensor structure, nearby factor
+//! multisets — think ResNet stages that halve P/Q and double K).
+//!
+//! # Result neutrality, by construction
+//!
+//! Seeding never touches the beam. A retained mapping is *translated*
+//! onto the new layer's dimension sizes and its bottom-up search
+//! trajectory — the partial state the composition loop would hold after
+//! each stage, completed the way estimation completes it — is
+//! **pre-priced into the estimate cache** ([`EstimateCache::warm_insert_with`]).
+//! The search itself runs exactly as it would cold: same candidates, same
+//! ordering, same beam cuts. The only effect is that probes along the
+//! seeded trajectory hit memoized reports instead of running the model.
+//! Cached reports are bit-identical to what the round would compute
+//! (scalar, prefixed, and SoA-batch evaluation all agree to the bit — see
+//! the `prefix` and `batch` property tests), so a seeded search returns
+//! results bit-identical to an unseeded one. Seeding can accelerate; it
+//! cannot prune, re-rank, or displace.
+//!
+//! [`EstimateCache::warm_insert_with`]: super::estimate::EstimateCache::warm_insert_with
+
+use sunstone_mapping::{Mapping, MappingLevel};
+use sunstone_model::EvalScratch;
+
+use super::beam::completed_key;
+use super::stats::SearchStats;
+use super::SearchContext;
+
+/// Maximum prime-factor multiset distance
+/// ([`crate::fingerprint::factor_multiset_distance`]) between the
+/// retained layer's dimension sizes and the new layer's for seeding to
+/// engage. Beyond this the shapes tile too differently for a translated
+/// trajectory to coincide with the new search's candidates, and the seed
+/// evaluations would be pure overhead.
+pub(crate) const MAX_SEED_DISTANCE: u32 = 8;
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Translates a mapping retained from a similar layer onto this
+/// workload's dimension sizes.
+///
+/// Walking levels innermost to outermost, each factor is clamped to
+/// `gcd(seed factor, remaining quotient)` — factors only ever *shrink*,
+/// so spatial fabrics stay within their unit counts and resident tiles
+/// only get smaller (capacity bounds that held for the seed keep
+/// holding). Whatever quotient the walk leaves undistributed is
+/// multiplied into the outermost temporal level, exactly where the
+/// search's completion step puts it. Temporal loop orders carry over
+/// verbatim (the layers share a shape class, so dimension ids line up).
+///
+/// Returns `None` when the seed's level structure does not match this
+/// architecture (stale entry after an arch change mid-session — the warm
+/// key should prevent this, but translation is the backstop).
+pub(crate) fn translate_seed(ctx: &SearchContext<'_>, seed: &Mapping) -> Option<Mapping> {
+    let ndims = ctx.workload.num_dims();
+    if seed.levels().len() != ctx.arch.num_levels()
+        || seed.levels().iter().any(|l| l.factors().len() != ndims)
+    {
+        return None;
+    }
+    let mut remaining = ctx.workload.dim_sizes();
+    let mut out = super::streaming_base(ctx.workload, ctx.arch);
+    for (pos, level) in seed.levels().iter().enumerate() {
+        match (&mut out.levels_mut()[pos], level) {
+            (MappingLevel::Temporal(t), MappingLevel::Temporal(s)) => {
+                clamp_factors(&mut t.factors, &s.factors, &mut remaining);
+                t.order = s.order.clone();
+            }
+            (MappingLevel::Spatial(t), MappingLevel::Spatial(s)) => {
+                clamp_factors(&mut t.factors, &s.factors, &mut remaining);
+            }
+            _ => return None,
+        }
+    }
+    let outer = *ctx.mems.last().expect("at least one memory");
+    if let MappingLevel::Temporal(t) = &mut out.levels_mut()[outer] {
+        for (f, r) in t.factors.iter_mut().zip(&remaining) {
+            *f *= r;
+        }
+    }
+    Some(out)
+}
+
+/// Per-dimension gcd clamp of one level's factors against the remaining
+/// quotient, dividing what was placed out of the quotient.
+fn clamp_factors(dst: &mut [u64], seed: &[u64], remaining: &mut [u64]) {
+    for ((d, &s), r) in dst.iter_mut().zip(seed).zip(remaining) {
+        let f = gcd(s, *r);
+        *d = f;
+        *r /= f;
+    }
+}
+
+/// Pre-prices every bottom-up stage of each translated seed into the
+/// estimate cache.
+///
+/// For stage `i`, the truncation reconstructs the partial mapping the
+/// composition loop would hold had it followed the seed's decisions:
+/// the seed's temporal factors at memories `0..=i`, its spatial factors
+/// at the fabrics below each of those memories, and its loop orders at
+/// memories `1..=i+1` (stage `i` fixes the *next* memory's order) — with
+/// everything above left at the streaming-base defaults and the
+/// remaining quotient folded into the outermost memory at key time,
+/// exactly as [`estimate::complete`](super::estimate::complete) does.
+/// The resulting cache key is therefore the very key the free search
+/// probes for its own candidate at that stage, whenever the enumeration
+/// reproduces the seed's choice.
+///
+/// Already-present keys are skipped without evaluating (seeds sharing
+/// inner levels collapse onto one entry), and
+/// [`warm_insert_with`](super::estimate::EstimateCache::warm_insert_with)
+/// bypasses the hit/miss counters so probe statistics stay comparable
+/// with and without seeding.
+pub(crate) fn warm_seed_trajectories(
+    ctx: &SearchContext<'_>,
+    seeds: &[Mapping],
+    stats: &mut SearchStats,
+) {
+    let ndims = ctx.workload.num_dims();
+    let sizes = ctx.workload.dim_sizes();
+    let outer = *ctx.mems.last().expect("at least one memory");
+    let base = super::streaming_base(ctx.workload, ctx.arch);
+    let mut key: Vec<u64> = Vec::new();
+    let mut scratch = EvalScratch::default();
+    stats.seeds += seeds.len() as u64;
+    for seed in seeds {
+        let mut truncated = base.clone();
+        let mut quotas = sizes.clone();
+        for stage in 0..ctx.mems.len() {
+            let mem_pos = ctx.mems[stage];
+            // Extend the truncation by this stage's decisions: the gap
+            // fabrics below the memory, then the memory itself.
+            for &pos in ctx.lower_spatial[stage].iter().chain([&mem_pos]) {
+                let src = seed.level(pos).factors();
+                for d in 0..ndims {
+                    quotas[d] /= src[d];
+                }
+                match &mut truncated.levels_mut()[pos] {
+                    MappingLevel::Temporal(t) => t.factors.copy_from_slice(src),
+                    MappingLevel::Spatial(s) => s.factors.copy_from_slice(src),
+                }
+            }
+            // Stage `i` also fixes the next memory's loop order.
+            if stage + 1 < ctx.mems.len() {
+                let next = ctx.mems[stage + 1];
+                if let (MappingLevel::Temporal(t), MappingLevel::Temporal(s)) =
+                    (&mut truncated.levels_mut()[next], seed.level(next))
+                {
+                    t.order = s.order.clone();
+                }
+            }
+            completed_key(&truncated, outer, &quotas, &mut key);
+            let ran = ctx.cache.warm_insert_with(std::mem::take(&mut key), || {
+                let mut completed = truncated.clone();
+                if let MappingLevel::Temporal(t) = &mut completed.levels_mut()[outer] {
+                    for (f, q) in t.factors.iter_mut().zip(&quotas) {
+                        *f *= q;
+                    }
+                }
+                ctx.model.evaluate_unchecked_with(&completed, &mut scratch)
+            });
+            if ran {
+                stats.seed_evals += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gcd;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(64, 48), 16);
+    }
+}

@@ -14,14 +14,12 @@
 //!   repeat most blocks), searches only the unique shapes — fanned out
 //!   over the session's persistent worker pool — and replays each result
 //!   per occurrence;
-//! * per-call **controls** bound the work: a wall-clock
-//!   [`time_budget`](ScheduleOptions::time_budget) with a graceful
-//!   best-so-far return, a cooperative [`CancelToken`], and a
-//!   [`ProgressSink`] streaming level/layer events.
-//!
-//! The one-shot [`Sunstone`](crate::Sunstone) entry point survives as a
-//! thin shim over a private session; new code should construct a
-//! [`Scheduler`] directly (see the [crate-level example](crate)).
+//! * per-call **controls** bound the work — one shared [`CallOptions`]
+//!   block (embedded in [`ScheduleOptions`] and [`BatchOptions`]) with a
+//!   wall-clock [`time_budget`](CallOptions::time_budget) and graceful
+//!   best-so-far return, a cooperative [`CancelToken`], a
+//!   [`ProgressSink`] streaming level/layer events, and a per-call
+//!   constraint override.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -37,11 +35,14 @@ use sunstone_model::CostReport;
 
 use crate::constraints::ResolvedConstraints;
 use crate::error::ScheduleError;
-use crate::fingerprint::{context_fingerprint, workload_fingerprint};
+use crate::fingerprint::{
+    context_fingerprint, factor_multiset_distance, warm_fingerprint, workload_fingerprint,
+};
 use crate::pool::{panic_message, SliceWriter, WorkerPool};
 use crate::progress::{CancelToken, ProgressEvent, ProgressSink};
 use crate::search::compose::{run_level_search, BottomUpPass, LevelPass, SearchStop, TopDownPass};
-use crate::search::estimate::{self, EstimateCache, SessionCache};
+use crate::search::estimate::{self, EstimateCache, SessionCache, WarmEntry};
+use crate::search::warm;
 use crate::search::{CacheStats, CallControls, SearchContext, SearchStats};
 use crate::{Direction, SunstoneConfig};
 
@@ -127,77 +128,235 @@ impl ScheduleOutcome {
     }
 }
 
-/// Per-call options for [`Scheduler::schedule_with`].
+/// The per-call controls shared by **every** scheduling entry point:
+/// constraint override, wall-clock budget, cooperative cancellation, and
+/// progress reporting. [`ScheduleOptions`] and [`BatchOptions`] embed one
+/// `CallOptions` (their [`call`](ScheduleOptions::call) field) and add
+/// only what is specific to their call shape.
+///
+/// Construct with the builder-style setters — the struct is
+/// `#[non_exhaustive]`, so fields can be *read* anywhere but new fields
+/// can land without a major version:
+///
+/// ```
+/// use std::time::Duration;
+/// use sunstone::prelude::*;
+///
+/// let opts = ScheduleOptions::new()
+///     .top_k(4)
+///     .time_budget(Duration::from_millis(50))
+///     .cancel(CancelToken::new());
+/// assert_eq!(opts.top_k, 4);
+/// assert!(opts.call.time_budget.is_some());
+/// ```
 #[derive(Clone, Default)]
-pub struct ScheduleOptions {
-    /// How many ranked results to return (0 is treated as 1).
-    pub top_k: usize,
+#[non_exhaustive]
+pub struct CallOptions {
+    /// Mapping constraints for this call, overriding
+    /// [`SunstoneConfig::constraints`] when set (`None` uses the config's
+    /// set, which defaults to unconstrained). Unsatisfiable sets fail
+    /// with [`ScheduleError::InvalidConstraints`].
+    pub constraints: Option<MappingConstraints>,
     /// Wall-clock budget. When it expires mid-search the call returns
     /// [`ScheduleOutcome::BestSoFar`] with the best valid completions of
     /// the current beam — the innermost level always runs, so even a zero
-    /// budget yields a usable (if unrefined) mapping.
+    /// budget yields a usable (if unrefined) mapping. For a batch the
+    /// budget covers the *whole batch*.
     pub time_budget: Option<Duration>,
     /// Cooperative cancellation; when fired the call returns
-    /// [`ScheduleError::Cancelled`].
+    /// [`ScheduleError::Cancelled`]. A batch shares one token across
+    /// every worker.
     pub cancel: Option<CancelToken>,
-    /// Progress callback (level started/finished with beam size and cache
-    /// hit rate).
+    /// Progress callback (level started/finished per search; layer
+    /// started/finished per unique batch shape).
     pub progress: Option<Arc<dyn ProgressSink>>,
-    /// Mapping constraints for this call, overriding
-    /// [`SunstoneConfig::constraints`] when set (`None` uses the config's
-    /// set, which defaults to unconstrained). Unsatisfiable sets fail with
-    /// [`ScheduleError::InvalidConstraints`].
-    pub constraints: Option<MappingConstraints>,
+}
+
+impl CallOptions {
+    /// Empty controls: unconstrained, unbounded, uncancellable, silent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-call constraint override.
+    pub fn constraints(mut self, constraints: MappingConstraints) -> Self {
+        self.constraints = Some(constraints);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Sets the cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets the progress sink.
+    pub fn progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+}
+
+impl std::fmt::Debug for CallOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallOptions")
+            .field("constraints", &self.constraints)
+            .field("time_budget", &self.time_budget)
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+/// Per-call options for [`Scheduler::schedule_with`]: the shared
+/// [`CallOptions`] plus the result count. Construct with the
+/// builder-style setters (see [`CallOptions`] for an example); the
+/// shared setters are mirrored here, so one chain configures everything.
+#[derive(Clone, Default)]
+#[non_exhaustive]
+pub struct ScheduleOptions {
+    /// How many ranked results to return (0 is treated as 1).
+    pub top_k: usize,
+    /// The controls shared by every entry point (constraints, budget,
+    /// cancellation, progress).
+    pub call: CallOptions,
+}
+
+impl ScheduleOptions {
+    /// Default options: best result only, no controls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets how many ranked results to return.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Replaces the whole shared-controls block.
+    pub fn call(mut self, call: CallOptions) -> Self {
+        self.call = call;
+        self
+    }
+
+    /// Sets the per-call constraint override (see [`CallOptions::constraints`]).
+    pub fn constraints(mut self, constraints: MappingConstraints) -> Self {
+        self.call = self.call.constraints(constraints);
+        self
+    }
+
+    /// Sets the wall-clock budget (see [`CallOptions::time_budget`]).
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.call = self.call.time_budget(budget);
+        self
+    }
+
+    /// Sets the cancellation token (see [`CallOptions::cancel`]).
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.call = self.call.cancel(token);
+        self
+    }
+
+    /// Sets the progress sink (see [`CallOptions::progress`]).
+    pub fn progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.call = self.call.progress(sink);
+        self
+    }
 }
 
 impl std::fmt::Debug for ScheduleOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScheduleOptions")
             .field("top_k", &self.top_k)
-            .field("time_budget", &self.time_budget)
-            .field("cancel", &self.cancel)
-            .field("progress", &self.progress.as_ref().map(|_| "…"))
-            .field("constraints", &self.constraints)
+            .field("call", &self.call)
             .finish()
     }
 }
 
-/// Per-call options for [`Scheduler::schedule_batch_with`].
+/// Per-call options for [`Scheduler::schedule_batch_with`]: the shared
+/// [`CallOptions`] plus the per-layer result count and the failure
+/// policy. Construct with the builder-style setters.
 #[derive(Clone, Default)]
+#[non_exhaustive]
 pub struct BatchOptions {
     /// Ranked results kept per layer (0 is treated as 1). The network
     /// layout-consistency pass uses this to choose among near-optimal
     /// candidates.
     pub top_k: usize,
-    /// Wall-clock budget for the *whole batch*; unique shapes still
-    /// searching when it expires return their best-so-far mapping.
-    pub time_budget: Option<Duration>,
-    /// Cooperative cancellation shared by every worker.
-    pub cancel: Option<CancelToken>,
-    /// Progress callback ([`ProgressEvent::LayerStarted`] /
-    /// [`ProgressEvent::LayerFinished`] per unique shape).
-    pub progress: Option<Arc<dyn ProgressSink>>,
     /// Stop starting new unique shapes after the first failure: shapes
     /// not yet started when a failure is observed report
     /// [`ScheduleError::Cancelled`] in the [`BatchOutcome`]. Off by
     /// default — the default contract is graceful partial failure, where
     /// every layer is attempted and reports its own `Result`.
     pub fail_fast: bool,
-    /// Mapping constraints applied to **every layer** of the batch,
-    /// overriding [`SunstoneConfig::constraints`] when set (as in
-    /// [`ScheduleOptions::constraints`]).
-    pub constraints: Option<MappingConstraints>,
+    /// The controls shared by every entry point. The constraint override
+    /// applies to **every layer** of the batch; the time budget covers
+    /// the whole batch.
+    pub call: CallOptions,
+}
+
+impl BatchOptions {
+    /// Default options: best result per layer, graceful partial failure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets how many ranked results to keep per layer.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Sets the fail-fast failure policy.
+    pub fn fail_fast(mut self, fail_fast: bool) -> Self {
+        self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Replaces the whole shared-controls block.
+    pub fn call(mut self, call: CallOptions) -> Self {
+        self.call = call;
+        self
+    }
+
+    /// Sets the batch-wide constraint override (see [`CallOptions::constraints`]).
+    pub fn constraints(mut self, constraints: MappingConstraints) -> Self {
+        self.call = self.call.constraints(constraints);
+        self
+    }
+
+    /// Sets the whole-batch wall-clock budget (see [`CallOptions::time_budget`]).
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.call = self.call.time_budget(budget);
+        self
+    }
+
+    /// Sets the cancellation token (see [`CallOptions::cancel`]).
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.call = self.call.cancel(token);
+        self
+    }
+
+    /// Sets the progress sink (see [`CallOptions::progress`]).
+    pub fn progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.call = self.call.progress(sink);
+        self
+    }
 }
 
 impl std::fmt::Debug for BatchOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BatchOptions")
             .field("top_k", &self.top_k)
-            .field("time_budget", &self.time_budget)
-            .field("cancel", &self.cancel)
-            .field("progress", &self.progress.as_ref().map(|_| "…"))
             .field("fail_fast", &self.fail_fast)
-            .field("constraints", &self.constraints)
+            .field("call", &self.call)
             .finish()
     }
 }
@@ -413,11 +572,11 @@ impl Scheduler {
     ) -> Result<ScheduleOutcome, ScheduleError> {
         let start = Instant::now();
         let controls = CallControls {
-            deadline: options.time_budget.map(|b| start + b),
-            cancel: options.cancel.as_ref(),
-            progress: options.progress.as_deref(),
+            deadline: options.call.time_budget.map(|b| start + b),
+            cancel: options.call.cancel.as_ref(),
+            progress: options.call.progress.as_deref(),
         };
-        let constraints = options.constraints.as_ref().unwrap_or(&self.config.constraints);
+        let constraints = options.call.constraints.as_ref().unwrap_or(&self.config.constraints);
         self.run_one(workload, arch, options.top_k, start, &controls, constraints)
     }
 
@@ -487,7 +646,8 @@ impl Scheduler {
                 // Poison-and-recover: a fault at this level may have
                 // interrupted any layer's publish, so evict every context
                 // the batch can have touched.
-                let constraints = options.constraints.as_ref().unwrap_or(&self.config.constraints);
+                let constraints =
+                    options.call.constraints.as_ref().unwrap_or(&self.config.constraints);
                 for w in workloads {
                     self.cache.evict_context(context_fingerprint(
                         w,
@@ -497,7 +657,7 @@ impl Scheduler {
                     ));
                 }
                 let message = panic_message(payload.as_ref());
-                emit_fault(options.progress.as_deref(), "batch", None, &message);
+                emit_fault(options.call.progress.as_deref(), "batch", None, &message);
                 Err(ScheduleError::Internal { stage: "batch".into(), layer: None, message })
             }
         }
@@ -536,8 +696,8 @@ impl Scheduler {
         // submitting thread participates). Per-shape results are
         // deterministic and land in index-disjoint slots, so the assembly
         // below is identical for any worker count.
-        let deadline = options.time_budget.map(|b| start + b);
-        let constraints = options.constraints.as_ref().unwrap_or(&self.config.constraints);
+        let deadline = options.call.time_budget.map(|b| start + b);
+        let constraints = options.call.constraints.as_ref().unwrap_or(&self.config.constraints);
         let failed = AtomicBool::new(false);
         let mut slots: Vec<Option<Result<ScheduleOutcome, ScheduleError>>> =
             unique.iter().map(|_| None).collect();
@@ -553,18 +713,21 @@ impl Scheduler {
                         // `Cancelled`, distinguishable from real failures.
                         return Err(ScheduleError::Cancelled);
                     }
-                    if let Some(sink) = &options.progress {
+                    if let Some(sink) = &options.call.progress {
                         sink.on_event(&ProgressEvent::LayerStarted {
                             unique: u,
                             name: w.name().to_string(),
                         });
                     }
                     let layer_start = Instant::now();
-                    let controls =
-                        CallControls { deadline, cancel: options.cancel.as_ref(), progress: None };
+                    let controls = CallControls {
+                        deadline,
+                        cancel: options.call.cancel.as_ref(),
+                        progress: None,
+                    };
                     let outcome =
                         self.run_one(w, arch, options.top_k, layer_start, &controls, constraints);
-                    if let Some(sink) = &options.progress {
+                    if let Some(sink) = &options.call.progress {
                         if let Err(ScheduleError::Internal { stage, layer, message }) = &outcome {
                             sink.on_event(&ProgressEvent::Fault {
                                 stage: stage.clone(),
@@ -743,6 +906,40 @@ impl Scheduler {
             Direction::TopDown if ctx.mems.len() > 1 => &TopDownPass,
             Direction::TopDown => &BottomUpPass,
         };
+
+        // Cross-layer warm starts: if a structurally similar layer was
+        // scheduled earlier in this session, translate its retained best
+        // mappings onto this workload and pre-price their search
+        // trajectories into the estimate cache. Seeding only adds
+        // memoized entries bit-identical to what the search would compute
+        // itself — it never touches the beam — so results cannot change
+        // (see `search::warm`). Skipped when the context fingerprints
+        // match: the cache is then already warm with the real thing.
+        let warm_fp = warm_fingerprint(workload, arch, &self.config, constraints);
+        let warm_active = self.config.warm_starts
+            && self.config.max_seeds > 0
+            && self.config.estimate_cache
+            && pass.direction() == Direction::BottomUp;
+        let mut seeds: Vec<Mapping> = Vec::new();
+        if warm_active {
+            if let Some(entry) = self.cache.warm_lookup(warm_fp) {
+                if entry.ctx_fp != ctx_fp
+                    && factor_multiset_distance(&entry.dims, &workload.dim_sizes())
+                        <= warm::MAX_SEED_DISTANCE
+                {
+                    fault_stage::set("warm");
+                    for m in entry.mappings.iter().take(self.config.max_seeds) {
+                        if let Some(t) = warm::translate_seed(&ctx, m) {
+                            if !seeds.contains(&t) {
+                                seeds.push(t);
+                            }
+                        }
+                    }
+                    warm::warm_seed_trajectories(&ctx, &seeds, &mut stats);
+                }
+            }
+        }
+
         let run = run_level_search(&ctx, pass, &mut stats, controls);
         fault_stage::set("rank");
         let truncated = match run.stop {
@@ -789,6 +986,28 @@ impl Scheduler {
             } else {
                 ScheduleError::NoValidMapping
             });
+        }
+        // Warm-start bookkeeping: a seeded call probes once (did the free
+        // search land on a translated seed?), and a *complete* call
+        // retains its top mappings as seeds for the next similar layer.
+        // Truncated best-so-far results are not retained — they would
+        // seed trajectories the full search never keeps.
+        if !seeds.is_empty() {
+            self.cache.record_seeding(seeds.contains(&valid[0].0));
+        }
+        if warm_active && !truncated {
+            self.cache.warm_store(
+                warm_fp,
+                WarmEntry {
+                    dims: workload.dim_sizes(),
+                    mappings: valid
+                        .iter()
+                        .take(self.config.max_seeds)
+                        .map(|(m, _)| m.clone())
+                        .collect(),
+                    ctx_fp,
+                },
+            );
         }
         let results: Vec<ScheduleResult> = valid
             .into_iter()

@@ -30,7 +30,7 @@ fn schedule_constrained(
     arch: &sunstone_arch::ArchSpec,
     constraints: MappingConstraints,
 ) -> Result<ScheduleResult, ScheduleError> {
-    let opts = ScheduleOptions { constraints: Some(constraints), ..ScheduleOptions::default() };
+    let opts = ScheduleOptions::new().constraints(constraints);
     Ok(Scheduler::new(SunstoneConfig::default())
         .schedule_with(w, arch, &opts)?
         .into_results()
@@ -157,7 +157,7 @@ fn constrained_and_free_calls_share_a_session_without_interference() {
 
     let session = Scheduler::new(SunstoneConfig::default());
     let free_cold = session.schedule(&w, &arch).expect("free schedules");
-    let opts = ScheduleOptions { constraints: Some(ws.clone()), ..ScheduleOptions::default() };
+    let opts = ScheduleOptions::new().constraints(ws.clone());
     let constrained =
         session.schedule_with(&w, &arch, &opts).expect("constrained schedules").into_results();
     let free_warm = session.schedule(&w, &arch).expect("free schedules again");

@@ -4,7 +4,7 @@
 //! `schedule_top_k` returns identical mappings in identical order for any
 //! `threads` setting.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::presets;
 use sunstone_ir::Workload;
 
@@ -38,7 +38,7 @@ fn assert_thread_invariant(w: &Workload) {
     let arch = presets::conventional();
     let k = 8;
     let run = |threads: usize| {
-        Sunstone::new(SunstoneConfig { threads, ..SunstoneConfig::default() })
+        Scheduler::new(SunstoneConfig { threads, ..SunstoneConfig::default() })
             .schedule_top_k(w, &arch, k)
             .unwrap()
     };

@@ -137,10 +137,11 @@ fn batch_with_poisoned_layer_keeps_other_layers() {
     faultpoint::disarm_all();
 }
 
-/// A spurious cancel fired mid-round (from the Nth pool claim) is
-/// observed within a bounded number of evaluations: the call returns
-/// `Cancelled` — never `Infeasible` — after strictly less model work than
-/// a full search, and the session stays usable.
+/// A spurious cancel fired mid-round (from the Nth pool claim; claims
+/// are chunked, so the fault lands after at most one chunk of
+/// evaluations) is observed within a bounded number of evaluations: the
+/// call returns `Cancelled` — never `Infeasible` — after strictly less
+/// model work than a full search, and the session stays usable.
 #[test]
 fn injected_cancel_is_observed_with_bounded_latency() {
     let _guard = serial();
@@ -155,8 +156,11 @@ fn injected_cancel_is_observed_with_bounded_latency() {
 
     let session = Scheduler::new(config);
     let token = CancelToken::new();
-    faultpoint::arm("pool.claim", 5, FaultAction::Cancel(token.clone()));
-    let opts = ScheduleOptions { cancel: Some(token), ..ScheduleOptions::default() };
+    // Claim 2 lands inside the first estimate round (chunked claiming:
+    // a round of N misses is ⌈N / chunk⌉ claims), so the abort must be
+    // observed before any later round's misses are even counted.
+    faultpoint::arm("pool.claim", 2, FaultAction::Cancel(token.clone()));
+    let opts = ScheduleOptions::new().cancel(token);
     let err = session.schedule_with(&w, &arch, &opts).expect_err("cancel must abort the search");
     assert!(matches!(err, ScheduleError::Cancelled), "cancel must not be masked: {err:?}");
     let cancelled_misses = session.cache_stats().misses;

@@ -1,7 +1,7 @@
 //! End-to-end scheduler tests over the preset architectures (previously
 //! the driver's unit tests; they only use the public API).
 
-use sunstone::{Direction, IntraOrder, Sunstone, SunstoneConfig};
+use sunstone::{Direction, IntraOrder, Scheduler, SunstoneConfig};
 use sunstone_arch::{presets, Binding};
 use sunstone_ir::Workload;
 use sunstone_mapping::Mapping;
@@ -38,7 +38,7 @@ fn conv2d(n: u64, k: u64, c: u64, hw: u64, rs: u64) -> Workload {
 fn schedules_conv_on_conventional() {
     let w = conv1d(16, 16, 56, 3);
     let arch = presets::conventional();
-    let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
+    let result = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
     // The found mapping must be valid and dramatically better than
     // streaming.
     let binding = Binding::resolve(&arch, &w).unwrap();
@@ -64,7 +64,7 @@ fn schedules_conv2d_on_simba() {
     b.output_bits("ofmap", [n.expr(), k.expr(), p.expr(), q.expr()], 24);
     let w = b.build().unwrap();
     let arch = presets::simba_like();
-    let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
+    let result = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
     assert!(result.report.edp > 0.0);
     assert!(
         result.mapping.used_parallelism() >= 64,
@@ -84,7 +84,7 @@ fn schedules_matmul() {
     b.output("out", [m.expr(), n.expr()]);
     let w = b.build().unwrap();
     let arch = presets::conventional();
-    let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
+    let result = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
     assert!(result.report.edp > 0.0);
 }
 
@@ -94,8 +94,8 @@ fn top_down_finds_comparable_edp_with_larger_space() {
     // off-chip level has real tiling decisions to make.
     let w = conv1d(128, 128, 8192, 3);
     let arch = presets::conventional();
-    let bu = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
-    let td = Sunstone::new(SunstoneConfig {
+    let bu = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
+    let td = Scheduler::new(SunstoneConfig {
         direction: Direction::TopDown,
         ..SunstoneConfig::default()
     })
@@ -112,7 +112,7 @@ fn top_down_finds_comparable_edp_with_larger_space() {
         bu.report.edp,
         td.report.edp
     );
-    let wide = Sunstone::new(SunstoneConfig {
+    let wide = Scheduler::new(SunstoneConfig {
         direction: Direction::TopDown,
         beam_width: 512,
         ..SunstoneConfig::default()
@@ -130,7 +130,7 @@ fn intra_order_variants_agree_on_quality() {
     for intra in
         [IntraOrder::OrderTileUnroll, IntraOrder::UnrollTileOrder, IntraOrder::TileUnrollOrder]
     {
-        let r = Sunstone::new(SunstoneConfig { intra_order: intra, ..Default::default() })
+        let r = Scheduler::new(SunstoneConfig { intra_order: intra, ..Default::default() })
             .schedule(&w, &arch)
             .unwrap();
         edps.push(r.report.edp);
@@ -154,7 +154,7 @@ fn mttkrp_schedules_without_conv_specific_logic() {
     b.output("out", [i.expr(), j.expr()]);
     let w = b.build().unwrap();
     let arch = presets::conventional();
-    let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
+    let result = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
     assert!(result.report.edp > 0.0);
     assert!(result.mapping.used_parallelism() > 1);
 }
@@ -163,10 +163,10 @@ fn mttkrp_schedules_without_conv_specific_logic() {
 fn larger_beam_never_hurts() {
     let w = conv2d(1, 16, 16, 14, 3);
     let arch = presets::conventional();
-    let narrow = Sunstone::new(SunstoneConfig { beam_width: 2, ..Default::default() })
+    let narrow = Scheduler::new(SunstoneConfig { beam_width: 2, ..Default::default() })
         .schedule(&w, &arch)
         .unwrap();
-    let wide = Sunstone::new(SunstoneConfig { beam_width: 64, ..Default::default() })
+    let wide = Scheduler::new(SunstoneConfig { beam_width: 64, ..Default::default() })
         .schedule(&w, &arch)
         .unwrap();
     assert!(wide.report.edp <= narrow.report.edp * 1.0001);
@@ -176,7 +176,7 @@ fn larger_beam_never_hurts() {
 fn stats_are_populated() {
     let w = conv1d(16, 16, 28, 3);
     let arch = presets::conventional();
-    let r = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
+    let r = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
     assert!(r.stats.probed > 0);
     assert!(r.stats.orderings > 0);
     assert!(r.stats.tiles > 0);

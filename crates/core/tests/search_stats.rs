@@ -1,7 +1,7 @@
 //! Coverage of the structured per-level, per-principle search statistics
 //! and the memoized estimate cache.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::presets;
 use sunstone_ir::Workload;
 
@@ -26,7 +26,7 @@ fn simba_conv2d() -> Workload {
 fn per_principle_counts_are_nonzero_on_simba_conv2d() {
     let w = simba_conv2d();
     let arch = presets::simba_like();
-    let r = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
+    let r = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
     let stats = &r.stats;
 
     assert!(!stats.levels.is_empty(), "per-level records exist");
@@ -55,7 +55,7 @@ fn per_principle_counts_are_nonzero_on_simba_conv2d() {
 fn beam_considered_sums_to_probed() {
     let w = simba_conv2d();
     let arch = presets::simba_like();
-    let r = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
+    let r = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
     let per_level: u64 = r.stats.levels.iter().map(|l| l.beam.considered).sum();
     assert_eq!(per_level, r.stats.probed, "every estimated candidate faces the beam");
     let probes: u64 = r.stats.levels.iter().map(|l| l.cache_hits + l.cache_misses).sum();
@@ -72,12 +72,12 @@ fn beam_considered_sums_to_probed() {
 fn estimate_cache_hits_and_preserves_edp() {
     let w = simba_conv2d();
     let arch = presets::simba_like();
-    let cached = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
+    let cached = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap();
     assert!(cached.stats.cache_hits > 0, "the memoized estimator is exercised");
     assert!(cached.stats.cache_misses > 0, "misses are counted too");
 
     let uncached =
-        Sunstone::new(SunstoneConfig { estimate_cache: false, ..SunstoneConfig::default() })
+        Scheduler::new(SunstoneConfig { estimate_cache: false, ..SunstoneConfig::default() })
             .schedule(&w, &arch)
             .unwrap();
     assert_eq!(uncached.stats.cache_hits, 0, "disabled cache never hits");

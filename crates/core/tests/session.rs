@@ -87,14 +87,14 @@ fn pre_cancelled_token_cancels_deterministically() {
     token.cancel();
     assert!(token.is_cancelled());
 
-    let opts = ScheduleOptions { cancel: Some(token.clone()), ..ScheduleOptions::default() };
+    let opts = ScheduleOptions::new().cancel(token.clone());
     let err = Scheduler::new(SunstoneConfig::default())
         .schedule_with(&w, &arch, &opts)
         .expect_err("pre-cancelled call must not produce a result");
     assert!(matches!(err, ScheduleError::Cancelled));
 
     // Batch calls observe the same token.
-    let bopts = BatchOptions { cancel: Some(token), ..BatchOptions::default() };
+    let bopts = BatchOptions::new().cancel(token);
     let err = Scheduler::new(SunstoneConfig::default())
         .schedule_batch_with(&[w], &arch, &bopts)
         .expect_err("pre-cancelled batch must not produce a result");
@@ -106,7 +106,7 @@ fn zero_time_budget_returns_best_so_far() {
     let arch = presets::conventional();
     let w = conv("c", 32, 16, 14, 3);
 
-    let opts = ScheduleOptions { time_budget: Some(Duration::ZERO), ..ScheduleOptions::default() };
+    let opts = ScheduleOptions::new().time_budget(Duration::ZERO);
     let outcome = Scheduler::new(SunstoneConfig::default())
         .schedule_with(&w, &arch, &opts)
         .expect("zero budget still yields the first-stage best");
@@ -120,10 +120,7 @@ fn zero_time_budget_returns_best_so_far() {
     assert_eq!(outcome.results()[0].mapping, again.results()[0].mapping);
 
     // A generous budget completes and matches the unbudgeted search.
-    let generous = ScheduleOptions {
-        time_budget: Some(Duration::from_secs(3600)),
-        ..ScheduleOptions::default()
-    };
+    let generous = ScheduleOptions::new().time_budget(Duration::from_secs(3600));
     let full = Scheduler::new(SunstoneConfig::default())
         .schedule_with(&w, &arch, &generous)
         .expect("generous budget schedules");
@@ -187,8 +184,14 @@ fn bounded_cache_evicts_lru_context_and_keeps_results_identical() {
     // A cap of one entry cannot hold two contexts: scheduling `b` must
     // evict `a`'s whole context (LRU), but never the in-use context —
     // each search keeps its own entries, so results stay bit-identical.
-    let capped =
-        Scheduler::new(SunstoneConfig { max_cache_entries: 1, ..SunstoneConfig::default() });
+    // Warm starts off: shapes `a` and `b` share a shape class, and
+    // cross-layer seeding would add warm entries on top of the exact
+    // per-context counts this test pins down.
+    let capped = Scheduler::new(SunstoneConfig {
+        max_cache_entries: 1,
+        warm_starts: false,
+        ..SunstoneConfig::default()
+    });
     let a_out = capped.schedule(&a, &arch).expect("schedules");
     assert_eq!(
         capped.cache_stats().entries,
@@ -220,6 +223,7 @@ fn bounded_cache_evicts_lru_context_and_keeps_results_identical() {
     // An ample cap retains both contexts side by side.
     let roomy = Scheduler::new(SunstoneConfig {
         max_cache_entries: (a_entries + b_entries) * 2,
+        warm_starts: false,
         ..SunstoneConfig::default()
     });
     roomy.schedule(&a, &arch).expect("schedules");
@@ -255,7 +259,7 @@ fn progress_sink_sees_batch_layer_events() {
             }
         }
     });
-    let opts = BatchOptions { progress: Some(sink), ..BatchOptions::default() };
+    let opts = BatchOptions::new().progress(sink);
     let batch = Scheduler::new(SunstoneConfig::default())
         .schedule_batch_with(&net, &arch, &opts)
         .expect("batch schedules");
@@ -338,7 +342,7 @@ fn fail_fast_skips_layers_after_the_first_failure() {
     let config = SunstoneConfig { threads: 1, ..SunstoneConfig::default() };
     let net = vec![conv1d_bits("bad", 16), conv1d_bits("good", 8)];
 
-    let fail_fast = BatchOptions { fail_fast: true, ..BatchOptions::default() };
+    let fail_fast = BatchOptions::new().fail_fast(true);
     let outcome = Scheduler::new(config.clone())
         .schedule_batch_outcomes(&net, &arch, &fail_fast)
         .expect("fail-fast partial failure is an Ok outcome");
@@ -384,7 +388,7 @@ fn all_presets_schedule_through_the_session() {
 fn batch_top_k_returns_ranked_candidates() {
     let arch = presets::conventional();
     let net = repeated_network();
-    let opts = BatchOptions { top_k: 3, ..BatchOptions::default() };
+    let opts = BatchOptions::new().top_k(3);
     let batch = Scheduler::new(SunstoneConfig::default())
         .schedule_batch_with(&net, &arch, &opts)
         .expect("batch schedules");

@@ -1,0 +1,143 @@
+//! Cross-layer warm-start invariance: seeding a search from a similar
+//! layer's retained mappings must be invisible in every result bit —
+//! seeding pre-prices cache entries, it never touches the beam — while
+//! the seed statistics prove it actually engaged.
+
+use sunstone::prelude::*;
+use sunstone_arch::presets;
+use sunstone_ir::Workload;
+
+fn conv(name: &str, k: u64, c: u64, pq: u64, r: u64) -> Workload {
+    let mut b = Workload::builder(name);
+    let kd = b.dim("K", k);
+    let cd = b.dim("C", c);
+    let p = b.dim("P", pq);
+    let q = b.dim("Q", pq);
+    let rd = b.dim("R", r);
+    let s = b.dim("S", r);
+    b.input("ifmap", [cd.expr(), p.expr() + rd.expr(), q.expr() + s.expr()]);
+    b.input("weight", [kd.expr(), cd.expr(), rd.expr(), s.expr()]);
+    b.output("ofmap", [kd.expr(), p.expr(), q.expr()]);
+    b.build().expect("valid conv workload")
+}
+
+fn warm_config(on: bool) -> SunstoneConfig {
+    SunstoneConfig::builder().warm_starts(on).build().expect("valid config")
+}
+
+/// A ResNet-style stage transition (halve P/Q, double K/C): the second
+/// layer is seeded from the first, and the result is bit-identical to a
+/// cold session with warm starts off.
+#[test]
+fn seeded_search_is_bit_identical_to_cold_search() {
+    let arch = presets::conventional();
+    let a = conv("stage1", 32, 16, 14, 3);
+    let b = conv("stage2", 64, 32, 7, 3);
+
+    let cold = Scheduler::new(warm_config(false));
+    cold.schedule(&a, &arch).expect("schedules");
+    let cold_b = cold.schedule(&b, &arch).expect("schedules");
+    assert_eq!(cold_b.stats.seeds, 0, "warm starts off: nothing seeds");
+    assert_eq!(cold.cache_stats().seed_probes, 0);
+
+    let warm = Scheduler::new(warm_config(true));
+    warm.schedule(&a, &arch).expect("schedules");
+    let warm_b = warm.schedule(&b, &arch).expect("schedules");
+    assert!(warm_b.stats.seeds > 0, "similar layers must actually seed");
+    assert_eq!(warm.cache_stats().seed_probes, 1, "one seeded call probes once");
+
+    assert_eq!(warm_b.mapping, cold_b.mapping, "seeding changed the chosen mapping");
+    assert_eq!(
+        warm_b.report.edp.to_bits(),
+        cold_b.report.edp.to_bits(),
+        "seeding changed the report bits"
+    );
+    assert_eq!(warm_b.stats.probed, cold_b.stats.probed, "seeding changed the search space");
+}
+
+/// Adversarial pair: near-identical fingerprints (same shape class, one
+/// prime swapped per dim) whose free optima differ. The seeded search
+/// must return each layer's own free optimum, never the neighbor's.
+#[test]
+fn near_identical_shapes_with_different_optima_stay_independent() {
+    let arch = presets::conventional();
+    // Same shape class; factor multiset distance 1 per differing dim —
+    // well under the seeding gate — yet the tiling spaces differ (3 vs 2
+    // divisor ladders on P/Q, 32 vs 48 on K).
+    let a = conv("adv_a", 32, 16, 12, 3);
+    let b = conv("adv_b", 48, 16, 8, 3);
+
+    let free_a = Scheduler::new(warm_config(false)).schedule(&a, &arch).expect("schedules");
+    let free_b = Scheduler::new(warm_config(false)).schedule(&b, &arch).expect("schedules");
+    assert_ne!(free_a.mapping, free_b.mapping, "adversarial pair must have distinct optima");
+
+    // Both orders of arrival: whichever layer seeds the other, each call
+    // still returns its own free optimum bit-for-bit.
+    for (first, second, first_ref, second_ref) in
+        [(&a, &b, &free_a, &free_b), (&b, &a, &free_b, &free_a)]
+    {
+        let s = Scheduler::new(warm_config(true));
+        let r1 = s.schedule(first, &arch).expect("schedules");
+        let r2 = s.schedule(second, &arch).expect("schedules");
+        assert!(r2.stats.seeds > 0, "the second layer must be seeded");
+        assert_eq!(r1.mapping, first_ref.mapping);
+        assert_eq!(r2.mapping, second_ref.mapping, "seeding leaked the neighbor's optimum");
+        assert_eq!(r1.report.edp.to_bits(), first_ref.report.edp.to_bits());
+        assert_eq!(r2.report.edp.to_bits(), second_ref.report.edp.to_bits());
+    }
+}
+
+/// Re-scheduling the same shape is served by the ordinary estimate cache,
+/// not warm seeding: the context fingerprints match, so seeding skips.
+#[test]
+fn same_shape_repeat_does_not_count_as_seeding() {
+    let arch = presets::conventional();
+    let w = conv("repeat", 32, 16, 14, 3);
+    let s = Scheduler::new(warm_config(true));
+    let first = s.schedule(&w, &arch).expect("schedules");
+    let second = s.schedule(&w, &arch).expect("schedules");
+    assert_eq!(second.stats.seeds, 0, "same context must not re-seed itself");
+    assert_eq!(s.cache_stats().seed_probes, 0);
+    assert_eq!(first.mapping, second.mapping);
+}
+
+/// Structurally dissimilar shapes (factor multiset distance over the
+/// gate) do not seed each other.
+#[test]
+fn distant_shapes_do_not_seed() {
+    let arch = presets::conventional();
+    let a = conv("tiny", 4, 4, 5, 1);
+    let b = conv("huge", 128, 64, 27, 3);
+    let s = Scheduler::new(warm_config(true));
+    s.schedule(&a, &arch).expect("schedules");
+    let r = s.schedule(&b, &arch).expect("schedules");
+    assert_eq!(r.stats.seeds, 0, "distant shapes must not seed");
+    assert_eq!(s.cache_stats().seed_probes, 0);
+}
+
+/// The seed statistics stay coherent: probes count seeded calls, hits
+/// are bounded by probes, and the rate is a valid fraction.
+#[test]
+fn seed_statistics_are_coherent() {
+    let arch = presets::conventional();
+    let s = Scheduler::new(warm_config(true));
+    s.schedule(&conv("l1", 32, 16, 14, 3), &arch).expect("schedules");
+    s.schedule(&conv("l2", 64, 32, 7, 3), &arch).expect("schedules");
+    s.schedule(&conv("l3", 64, 64, 7, 3), &arch).expect("schedules");
+    let stats = s.cache_stats();
+    assert_eq!(stats.seed_probes, 2, "two of three calls were seeded");
+    assert!(stats.seed_hits <= stats.seed_probes);
+    let rate = stats.seed_hit_rate();
+    assert!((0.0..=1.0).contains(&rate), "seed hit rate out of range: {rate}");
+}
+
+/// `clear()` forgets retained seeds along with the memoized estimates.
+#[test]
+fn clearing_the_cache_drops_retained_seeds() {
+    let arch = presets::conventional();
+    let s = Scheduler::new(warm_config(true));
+    s.schedule(&conv("l1", 32, 16, 14, 3), &arch).expect("schedules");
+    s.clear_cache();
+    let r = s.schedule(&conv("l2", 64, 32, 7, 3), &arch).expect("schedules");
+    assert_eq!(r.stats.seeds, 0, "cleared sessions have nothing to seed from");
+}

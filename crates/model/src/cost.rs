@@ -123,6 +123,16 @@ impl<'a> CostModel<'a> {
         self.binding
     }
 
+    /// The per-tensor storing-level chains (shared with the batch pass).
+    pub(crate) fn chains(&self) -> &[Vec<usize>] {
+        &self.chains
+    }
+
+    /// The model options in effect.
+    pub(crate) fn options(&self) -> ModelOptions {
+        self.options
+    }
+
     /// Validates the mapping, then evaluates it.
     ///
     /// # Errors
@@ -207,6 +217,22 @@ impl<'a> CostModel<'a> {
         counts: &AccessCounts,
         scratch: &mut EvalScratch,
     ) -> CostReport {
+        let (per, crossings) = counts.rows();
+        self.report_from_rows(mapping, per, crossings, scratch)
+    }
+
+    /// [`report_with`](Self::report_with) over raw row-major
+    /// `[arch_pos][tensor]` tables — the batch evaluator prices many
+    /// candidates into one flat SoA table and reports each candidate from
+    /// its row range without assembling per-candidate [`AccessCounts`].
+    pub(crate) fn report_from_rows(
+        &self,
+        mapping: &Mapping,
+        per: &[crate::TensorLevelCounts],
+        crossings: &[f64],
+        scratch: &mut EvalScratch,
+    ) -> CostReport {
+        let nt = self.workload.num_tensors();
         let total_ops = self.workload.total_ops() as f64;
         let ref_bits = f64::from(self.arch.ref_bits());
         let mac_energy_pj = total_ops * self.arch.mac_energy_pj();
@@ -247,7 +273,7 @@ impl<'a> CostModel<'a> {
                         let Some(pid) = self.binding.partition_of(LevelId(pos), t) else {
                             continue;
                         };
-                        let c = counts.at(pos, t);
+                        let c = per[pos * nt + t.index()];
                         let part = mem.partition(pid);
                         let scale = f64::from(self.workload.tensor(t).bits()) / ref_bits;
                         level_energy += c.reads * part.read_energy_pj * scale
@@ -281,7 +307,7 @@ impl<'a> CostModel<'a> {
                     for t in self.workload.tensor_ids() {
                         let scale = f64::from(self.workload.tensor(t).bits()) / ref_bits;
                         noc_energy_pj +=
-                            counts.crossings(pos, t) * s.noc.per_word_energy_pj * scale;
+                            crossings[pos * nt + t.index()] * s.noc.per_word_energy_pj * scale;
                     }
                 }
             }

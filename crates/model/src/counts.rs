@@ -152,6 +152,11 @@ impl AccessCounts {
         self.per.len() / self.n_tensors.max(1)
     }
 
+    /// The raw row-major `[arch_pos][tensor]` tables (counts, crossings).
+    pub(crate) fn rows(&self) -> (&[TensorLevelCounts], &[f64]) {
+        (&self.per, &self.crossings)
+    }
+
     /// Assembles a table from raw rows (the prefix-incremental pass in
     /// [`crate::prefix`] fills the rows itself).
     pub(crate) fn from_parts(

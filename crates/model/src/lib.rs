@@ -60,12 +60,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod batch;
 mod cost;
 mod counts;
 mod explain;
 mod options;
 mod prefix;
 
+pub use batch::BatchEvalScratch;
 pub use cost::{CostModel, CostReport, EvalScratch, LevelReport};
 pub use counts::{storage_chains, AccessCounts, CountScratch, TensorLevelCounts};
 pub use explain::compare;

@@ -43,38 +43,38 @@ use crate::{AccessCounts, ModelOptions};
 /// The cached, composable cost contribution of one (tensor, storing-level
 /// pair) whose child boundary lies inside the decided prefix.
 #[derive(Debug, Clone)]
-struct LevelCost {
-    tensor: TensorId,
+pub(crate) struct LevelCost {
+    pub(crate) tensor: TensorId,
     /// Child storing position (−1 = the MAC boundary).
-    child: i64,
+    pub(crate) child: i64,
     /// Parent storing position.
-    p: usize,
+    pub(crate) p: usize,
     /// Resident tile at the child boundary.
-    child_tile: DimVec,
+    pub(crate) child_tile: DimVec,
     /// Footprint of `child_tile`, in words.
-    f_child: f64,
+    pub(crate) f_child: f64,
     /// Union tile: `child_tile` extended by the *prefix's* spatial loops
     /// strictly between `child` and `p`. Complete iff `p ≤ boundary`;
     /// otherwise the candidate's spatial loops below `p` still extend it.
-    union_tile: DimVec,
+    pub(crate) union_tile: DimVec,
     /// Prefix part of the non-multicast penalty factor.
-    non_mc: f64,
+    pub(crate) non_mc: f64,
     /// `p ≤ boundary`: `union_tile`/`f_union`/`non_mc` need no extension.
-    union_complete: bool,
+    pub(crate) union_complete: bool,
     /// Footprint of the union tile — valid only when `union_complete`.
-    f_union: f64,
+    pub(crate) f_union: f64,
     /// The innermost reuse run closed inside the prefix (an indexing
     /// temporal loop of the tensor lies in the prefix above `child`).
     /// Always true at the MAC boundary.
-    closed: bool,
+    pub(crate) closed: bool,
     /// Product of the prefix's refill-contributing temporal factors
     /// (everything above the run; 1 when the run is open).
-    pre_refills: f64,
+    pub(crate) pre_refills: f64,
     /// Product of the prefix's indexing temporal factors above `child`.
-    pre_distinct: f64,
+    pub(crate) pre_distinct: f64,
     /// The run-breaking loop when `closed` (None at the MAC boundary,
     /// where the model forces a no-reuse refill per operand).
-    pre_driving: Option<FlatLoop>,
+    pub(crate) pre_driving: Option<FlatLoop>,
 }
 
 /// The memoized shared portion of all candidates expanded from one parent
@@ -84,16 +84,16 @@ struct LevelCost {
 /// [`crate::CostModel::evaluate_prefixed_with`].
 #[derive(Debug, Clone)]
 pub struct MappingPrefix {
-    boundary: usize,
-    ndims: usize,
+    pub(crate) boundary: usize,
+    pub(crate) ndims: usize,
     /// Resident tiles at positions `0..=boundary`.
-    resident: Vec<DimVec>,
+    pub(crate) resident: Vec<DimVec>,
     /// `s_mid[q]` = Π spatial factors at positions `q..=boundary`
     /// (length `boundary + 2`, `s_mid[boundary + 1] = 1`).
-    s_mid: Vec<f64>,
+    pub(crate) s_mid: Vec<f64>,
     /// Cached pair contributions in chain-walk order (per tensor, pairs
     /// with `child ≤ boundary` — a per-tensor prefix of its chain).
-    pairs: Vec<LevelCost>,
+    pub(crate) pairs: Vec<LevelCost>,
 }
 
 impl MappingPrefix {
@@ -106,20 +106,20 @@ impl MappingPrefix {
 
 /// Candidate-suffix refill aggregates of one tensor, shared by all of its
 /// prefix pairs.
-struct CandAgg {
+pub(crate) struct CandAgg {
     /// Π of all temporal factors in the suffix.
-    all_temporal: f64,
+    pub(crate) all_temporal: f64,
     /// Π of refill-contributing temporal factors when the run is open
     /// (the suffix's own trailing-run scan).
-    refills: f64,
+    pub(crate) refills: f64,
     /// Π of indexing temporal factors in the suffix.
-    distinct: f64,
+    pub(crate) distinct: f64,
     /// The suffix's own run-breaking loop (None if its run never closes).
-    driving: Option<FlatLoop>,
+    pub(crate) driving: Option<FlatLoop>,
 }
 
 impl CandAgg {
-    fn of(cand: &[FlatLoop], indexing: DimSet) -> Self {
+    pub(crate) fn of(cand: &[FlatLoop], indexing: DimSet) -> Self {
         let local = reuse_suffix_start(cand, indexing);
         let all_temporal =
             cand.iter().filter(|l| !l.is_spatial()).map(|l| l.factor as f64).product();
@@ -137,7 +137,12 @@ impl CandAgg {
 
 /// Flattens the mapping levels at `positions` (an inclusive range walked
 /// outermost-first) exactly like `FlatNest::refill` does.
-fn flatten_range(mapping: &Mapping, lo: usize, hi_inclusive: usize, out: &mut Vec<FlatLoop>) {
+pub(crate) fn flatten_range(
+    mapping: &Mapping,
+    lo: usize,
+    hi_inclusive: usize,
+    out: &mut Vec<FlatLoop>,
+) {
     for pos in (lo..=hi_inclusive).rev() {
         match &mapping.levels()[pos] {
             MappingLevel::Temporal(t) => {
@@ -405,7 +410,7 @@ pub(crate) fn counts_with_prefix(
 /// Prices one cached prefix pair for a concrete candidate suffix; mirrors
 /// `count_pair`'s arithmetic with the prefix portions read from the cache.
 #[allow(clippy::too_many_arguments)]
-fn count_prefix_pair(
+pub(crate) fn count_prefix_pair(
     workload: &Workload,
     arch: &ArchSpec,
     options: ModelOptions,

@@ -109,10 +109,10 @@ mod tests {
 
     #[test]
     fn extra_layers_schedule_end_to_end() {
-        use sunstone::{Sunstone, SunstoneConfig};
+        use sunstone::{Scheduler, SunstoneConfig};
         use sunstone_arch::presets;
         let arch = presets::conventional();
-        let scheduler = Sunstone::new(SunstoneConfig::default());
+        let scheduler = Scheduler::new(SunstoneConfig::default());
         for w in [
             fully_connected(16, 256, 256),
             grouped_conv(2, 4, 8, 8, 14, 14, 3, 3, Precision::conventional()),
@@ -155,7 +155,7 @@ pub fn transformer_ffn(tokens: u64, d_model: u64, d_ff: u64) -> Workload {
 #[cfg(test)]
 mod transformer_tests {
     use super::*;
-    use sunstone::{Sunstone, SunstoneConfig};
+    use sunstone::{Scheduler, SunstoneConfig};
     use sunstone_arch::presets;
 
     #[test]
@@ -175,7 +175,7 @@ mod transformer_tests {
     #[test]
     fn transformer_layers_schedule() {
         let arch = presets::conventional();
-        let scheduler = Sunstone::new(SunstoneConfig::default());
+        let scheduler = Scheduler::new(SunstoneConfig::default());
         for w in [attention_scores(12, 128, 64), transformer_ffn(128, 768, 3072)] {
             let r = scheduler.schedule(&w, &arch).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
             assert!(r.mapping.used_parallelism() > 1);

@@ -60,7 +60,7 @@ pub fn mobilenet_v2_blocks(batch: u64) -> Vec<InvertedResidual> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sunstone::{Sunstone, SunstoneConfig};
+    use sunstone::{Scheduler, SunstoneConfig};
     use sunstone_arch::presets;
 
     #[test]
@@ -76,7 +76,7 @@ mod tests {
     #[test]
     fn depthwise_stage_schedules_despite_no_channel_reuse() {
         let arch = presets::conventional();
-        let scheduler = Sunstone::new(SunstoneConfig::default());
+        let scheduler = Scheduler::new(SunstoneConfig::default());
         let b = &mobilenet_v2_blocks(4)[2]; // block8
         let [expand, dw, project] = b.workloads(Precision::conventional());
         for w in [expand, dw, project] {
@@ -91,7 +91,7 @@ mod tests {
         // cannot hide that, so its energy-per-MAC must be higher than the
         // expand stage's.
         let arch = presets::conventional();
-        let scheduler = Sunstone::new(SunstoneConfig::default());
+        let scheduler = Scheduler::new(SunstoneConfig::default());
         let b = &mobilenet_v2_blocks(4)[2];
         let [expand, dw, _] = b.workloads(Precision::conventional());
         let re = scheduler.schedule(&expand, &arch).expect("schedules");

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `DataflowTemplate::WeightStationaryCK.constraints(&arch)` and a
     // hand-built `MappingConstraints` behave identically.
     let ws = DataflowTemplate::WeightStationaryCK.constraints(&arch);
-    let opts = ScheduleOptions { constraints: Some(ws), ..ScheduleOptions::default() };
+    let opts = ScheduleOptions::new().constraints(ws);
     let constrained = session.schedule_with(&workload, &arch, &opts)?.into_results().remove(0);
 
     println!("workload          : {workload}");

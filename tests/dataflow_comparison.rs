@@ -3,7 +3,7 @@
 //! output-stationary hand mappings, and each objective must win on its
 //! own metric.
 
-use sunstone::{Objective, Sunstone, SunstoneConfig};
+use sunstone::{Objective, Scheduler, SunstoneConfig};
 use sunstone_arch::{presets, Binding};
 use sunstone_mapping::dataflows::{stationary, Stationarity};
 use sunstone_model::CostModel;
@@ -17,7 +17,7 @@ fn searched_mapping_beats_fixed_dataflows() {
     let model = CostModel::new(&w, &arch, &binding);
 
     let searched =
-        Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules").report;
+        Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules").report;
 
     let weight = w.tensor_by_name("weight").expect("conv has weights");
     for (name, flavor) in [
@@ -40,7 +40,7 @@ fn objectives_win_on_their_own_metric() {
     let arch = presets::conventional();
     let w = resnet18_layers(4)[3].inference(Precision::conventional());
     let run = |obj: Objective| {
-        Sunstone::new(SunstoneConfig { objective: obj, ..SunstoneConfig::default() })
+        Scheduler::new(SunstoneConfig { objective: obj, ..SunstoneConfig::default() })
             .schedule(&w, &arch)
             .expect("schedules")
             .report

@@ -1,7 +1,7 @@
 //! End-to-end integration: workload description → scheduling → validated
 //! mapping → cost report, across workload families and architectures.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::{presets, Binding};
 use sunstone_ir::Workload;
 use sunstone_mapping::{Mapping, ValidationContext};
@@ -9,7 +9,7 @@ use sunstone_model::CostModel;
 use sunstone_workloads::{inception_v3_layers, resnet18_layers, tensor, ConvSpec, Precision};
 
 fn schedule(w: &Workload, arch: &sunstone_arch::ArchSpec) -> sunstone::ScheduleResult {
-    Sunstone::new(SunstoneConfig::default())
+    Scheduler::new(SunstoneConfig::default())
         .schedule(w, arch)
         .unwrap_or_else(|e| panic!("{} fails to schedule: {e}", w.name()))
 }
@@ -139,7 +139,7 @@ fn impossible_architecture_reports_no_valid_mapping() {
         16,
     );
     let w = resnet18_layers(1)[1].inference(Precision::conventional());
-    let err = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap_err();
+    let err = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).unwrap_err();
     assert!(matches!(
         err,
         sunstone::ScheduleError::NoValidMapping

@@ -3,7 +3,7 @@
 //! strongest form of the paper's "mapping corresponds to the original
 //! computation" validity requirement.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::presets;
 use sunstone_baselines::{
     CosaMapper, DMazeConfig, DMazeMapper, GammaConfig, GammaMapper, InterstellarMapper, Mapper,
@@ -46,7 +46,7 @@ fn sunstone_mappings_compute_the_einsum() {
     for w in [small_conv(), small_mttkrp()] {
         let reference = execute_reference(&w);
         let result =
-            Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+            Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
         assert_eq!(
             reference,
             execute_mapping(&w, &result.mapping),
@@ -112,6 +112,6 @@ fn simba_scheduled_mapping_computes_the_einsum() {
     b.output_bits("ofmap", [n.expr(), k.expr(), p.expr(), q.expr()], 24);
     let w = b.build().unwrap();
     let reference = execute_reference(&w);
-    let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+    let result = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
     assert_eq!(reference, execute_mapping(&w, &result.mapping));
 }

@@ -188,9 +188,9 @@ proptest! {
     /// valid mapping, and never loses to naive streaming.
     #[test]
     fn scheduler_handles_random_workloads(w in conv_workload()) {
-        use sunstone::{Sunstone, SunstoneConfig};
+        use sunstone::{Scheduler, SunstoneConfig};
         let arch = presets::conventional();
-        let result = Sunstone::new(SunstoneConfig::default())
+        let result = Scheduler::new(SunstoneConfig::default())
             .schedule(&w, &arch)
             .expect("random conv workloads schedule");
         let binding = Binding::resolve(&arch, &w).expect("binds");

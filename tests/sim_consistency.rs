@@ -1,7 +1,7 @@
 //! Consistency between the DianNao ISA simulator and the analytic cost
 //! model: the two substrates must agree on what a mapping does.
 
-use sunstone::{Sunstone, SunstoneConfig};
+use sunstone::{Scheduler, SunstoneConfig};
 use sunstone_arch::{presets, Binding};
 use sunstone_diannao::{Compiler, Simulator};
 use sunstone_model::{CostModel, ModelOptions};
@@ -13,7 +13,7 @@ fn simulator_and_model_agree_on_macs_and_dram() {
     let layer = ConvSpec::new("t", 1, 16, 16, 14, 14, 3, 3, 1);
     let w = layer.inference(Precision::conventional());
 
-    let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+    let result = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
     let binding = Binding::resolve(&arch, &w).expect("binds");
     // The simulator does full tile loads across window overlaps, so
     // compare against the no-halo analytic model.
@@ -51,7 +51,7 @@ fn simulator_never_overflows_on_validated_mappings() {
     ] {
         let w = spec.inference(Precision::conventional());
         let result =
-            Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+            Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
         let program = Compiler::tiled(&w, &result.mapping).expect("compiles");
         let mut sim = Simulator::new();
         program.run(&mut sim).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
@@ -63,7 +63,7 @@ fn simulator_never_overflows_on_validated_mappings() {
 fn instruction_count_tracks_pass_count() {
     let arch = presets::diannao_like();
     let w = ConvSpec::new("t", 1, 16, 16, 14, 14, 3, 3, 1).inference(Precision::conventional());
-    let result = Sunstone::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
+    let result = Scheduler::new(SunstoneConfig::default()).schedule(&w, &arch).expect("schedules");
     let program = Compiler::tiled(&w, &result.mapping).expect("compiles");
     let mut sim = Simulator::new();
     program.run(&mut sim).expect("runs");
