@@ -11,6 +11,7 @@ echo "== cargo clippy (core crates) =="
 cargo clippy --release \
     -p sunstone-ir -p sunstone-arch -p sunstone-mapping -p sunstone-model \
     -p sunstone -p sunstone-workloads -p sunstone-baselines -p sunstone-diannao \
+    -p sunstone-serve \
     --all-targets -- -D warnings
 
 echo "== tier-1: build + test =="
@@ -96,9 +97,65 @@ print(
 EOF
 rm -f BENCH_schedule_quick.json
 
+echo "== serve smoke: daemon + bench_serve + restart warm-load =="
+# Start a daemon on a scratch socket/store, run the smoke bench against
+# it (warm every layer, gate every served mapping_fp against the library
+# path, measure the zipfian timed phase), then restart the daemon on the
+# same store and require the probe to be answered entirely from the
+# warm-loaded cache. The bench's --shutdown flag reaps each daemon.
+SERVE_DIR="$(mktemp -d)"
+SERVE_SOCK="$SERVE_DIR/sock"
+cargo build --release -p sunstone-serve -p sunstone-bench --bin bench_serve
+./target/release/sunstone-serve --socket "$SERVE_SOCK" --store "$SERVE_DIR/store" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SERVE_DIR"' EXIT
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "daemon socket never appeared"; exit 1; }
+./target/release/bench_serve --socket "$SERVE_SOCK" smoke \
+    --out BENCH_serve_smoke.json --shutdown
+wait "$SERVE_PID"
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_serve_smoke.json"))
+assert d.get("schema") == "sunstone-bench-serve/v1", d.get("schema")
+assert d.get("layers"), "no layers recorded"
+for row in d["layers"]:
+    for field in ("name", "source", "ctx_fp", "mapping_fp", "edp"):
+        assert field in row, f"missing {field} in {row.get('name', '?')}"
+    assert int(row["mapping_fp"]) > 0, row["name"]
+lat = d.get("latency", {})
+for field in ("p50_ms", "p99_ms", "mean_ms", "qps"):
+    assert field in lat, f"missing latency.{field}"
+# Hard gates: served mappings must be bit-identical to the library path,
+# and warm-cache serving must clear the acceptance floor.
+assert d["fp_mismatches"] == 0, f"{d['fp_mismatches']} served mappings diverged from the library"
+assert d["hit_rate"] >= 0.99, f"warm-cache hit rate {d['hit_rate']} < 0.99"
+assert lat["qps"] >= 1000, f"warm-cache qps {lat['qps']} < 1000"
+assert lat["p99_ms"] < 50, f"warm-cache p99 {lat['p99_ms']} ms >= 50"
+assert d["daemon"]["errors"] == 0, "daemon reported request errors"
+print(
+    f"BENCH_serve_smoke.json OK ({d['unique_layers']} layers, {lat['qps']:.0f} qps,"
+    f" p99 {lat['p99_ms']:.2f} ms, 0 fingerprint mismatches)"
+)
+EOF
+rm -f BENCH_serve_smoke.json
+# Restart on the existing store: the first query for every repeated
+# layer must be served from the warm-loaded store (source == "store",
+# hit counted in cache_stats) — the probe exits nonzero otherwise.
+./target/release/sunstone-serve --socket "$SERVE_SOCK" --store "$SERVE_DIR/store" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SERVE_DIR"' EXIT
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "restarted daemon socket never appeared"; exit 1; }
+./target/release/bench_serve --socket "$SERVE_SOCK" probe --shutdown
+wait "$SERVE_PID"
+trap - EXIT
+rm -rf "$SERVE_DIR"
+
 echo "== rustdoc (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p sunstone-ir -p sunstone-arch -p sunstone-mapping -p sunstone-model \
-    -p sunstone -p sunstone-workloads -p sunstone-baselines -p sunstone-diannao
+    -p sunstone -p sunstone-workloads -p sunstone-baselines -p sunstone-diannao \
+    -p sunstone-serve
 
 echo "CI OK"

@@ -130,8 +130,12 @@ impl Mapper for TimeloopMapper {
                                 consecutive_invalid = 0;
                                 local.evaluated += 1;
                                 let report = model.evaluate_unchecked(&mapping);
+                                // Poison recovery: the slot holds a plain
+                                // best-so-far triple, valid at every
+                                // unwind point; a panicked sibling thread
+                                // must not abort the whole search.
                                 let mut best =
-                                    shared.best.lock().expect("search threads do not panic");
+                                    shared.best.lock().unwrap_or_else(|e| e.into_inner());
                                 let improved =
                                     best.as_ref().is_none_or(|(e, _, _)| report.edp < *e);
                                 if improved {
@@ -146,16 +150,16 @@ impl Mapper for TimeloopMapper {
                             }
                         }
                     }
-                    let mut s = stats.lock().expect("search threads do not panic");
+                    let mut s = stats.lock().unwrap_or_else(|e| e.into_inner());
                     s.evaluated += local.evaluated;
                     s.invalid += local.invalid;
                 });
             }
         });
 
-        let mut stats = stats.into_inner().expect("search threads do not panic");
+        let mut stats = stats.into_inner().unwrap_or_else(|e| e.into_inner());
         stats.elapsed = start.elapsed();
-        match shared.best.into_inner().expect("search threads do not panic") {
+        match shared.best.into_inner().unwrap_or_else(|e| e.into_inner()) {
             Some((_, mapping, report)) => MapOutcome::valid(&self.name, mapping, report, stats),
             None => MapOutcome::invalid(&self.name, "random search found no valid mapping", stats),
         }

@@ -48,29 +48,7 @@ struct LayerRow {
     seeds: u64,
 }
 
-/// A stable fingerprint of a mapping's search identity: every level's
-/// factors plus each temporal level's loop order, FNV-1a hashed. Two runs
-/// that produce the same fingerprint found the same mapping.
-fn mapping_fingerprint(m: &Mapping) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    };
-    for level in m.levels() {
-        for &f in level.factors() {
-            eat(f);
-        }
-        if let MappingLevel::Temporal(t) = level {
-            for &d in &t.order {
-                eat(d.index() as u64);
-            }
-        }
-    }
-    h
-}
+use sunstone::fingerprint::mapping_fingerprint;
 
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(f64::total_cmp);

@@ -1,0 +1,406 @@
+//! Daemon serving benchmark: latency/throughput of `sunstone-serve`
+//! under a zipfian request mix, emitted as `BENCH_serve.json`.
+//!
+//! The daemon must already be listening (start it with
+//! `sunstone-serve --socket PATH [--store DIR]`); this binary is a pure
+//! client. Three phases:
+//!
+//! 1. **warm** — every unique layer is scheduled once, so the timed
+//!    phase measures the serve path (memo/store lookups), not search.
+//! 2. **gate** — every unique layer is also scheduled through an
+//!    in-process library [`Scheduler`] with the daemon's default
+//!    configuration, and the served `mapping_fp` must be bit-identical.
+//!    Any divergence is counted in `fp_mismatches` (CI gates on zero).
+//! 3. **timed** — `--clients` concurrent connections draw `--requests`
+//!    total requests from a zipfian (s = 1.0) popularity distribution
+//!    over the ResNet-18 + MobileNetV2 layer mix, recording per-request
+//!    latency; the report carries p50/p99/mean and aggregate qps plus
+//!    the daemon's own hit counters.
+//!
+//! ```text
+//! Usage: bench_serve --socket PATH [smoke|probe] [--requests N]
+//!                    [--clients N] [--out FILE] [--shutdown]
+//! ```
+//!
+//! * `smoke` — CI mode: fewer layers, fewer requests.
+//! * `probe` — no benchmark: assert every known layer is answered with
+//!   `source == "store"` (the restart warm-load acceptance check), then
+//!   exit. Nonzero exit on any miss.
+//! * `--shutdown` — send a `shutdown` request when done, so CI can run
+//!   the daemon in the foreground-less background and still reap it.
+//!
+//! The schema is documented in `results/README.md`.
+
+use std::fmt::Write as _;
+use std::io::{BufReader, BufWriter};
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sunstone::fingerprint::mapping_fingerprint;
+use sunstone::prelude::*;
+use sunstone_ir::Workload;
+use sunstone_serve::json::{self, Json};
+use sunstone_serve::wire::{self, workload_to_json};
+use sunstone_workloads::mobilenet::mobilenet_v2_blocks;
+use sunstone_workloads::{resnet18_layers, Precision};
+
+const ARCH: &str = "simba_like";
+
+/// One client connection speaking the frame protocol.
+struct Conn {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+impl Conn {
+    fn open(socket: &str) -> std::io::Result<Conn> {
+        let stream = UnixStream::connect(socket)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Conn { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, request: &Json) -> Result<Json, String> {
+        wire::write_frame(&mut self.writer, &request.to_string())
+            .map_err(|e| format!("write: {e}"))?;
+        match wire::read_frame(&mut self.reader) {
+            Ok(Some(payload)) => json::parse(&payload).map_err(|e| format!("parse: {e}")),
+            Ok(None) => Err("daemon closed the connection".into()),
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+}
+
+fn schedule_request(w: &Workload) -> Json {
+    Json::Obj(vec![
+        ("op".into(), Json::Str("schedule".into())),
+        ("arch".into(), Json::Str(ARCH.into())),
+        ("workload".into(), workload_to_json(w)),
+    ])
+}
+
+fn op_request(op: &str) -> Json {
+    Json::Obj(vec![("op".into(), Json::Str(op.into()))])
+}
+
+/// The fig8-style layer mix: ResNet-18 convolutions plus MobileNetV2
+/// inverted-residual stages (expand/depthwise/project).
+fn layer_mix(smoke: bool) -> Vec<Workload> {
+    let bits = Precision::simba();
+    let mut layers: Vec<Workload> = resnet18_layers(16).iter().map(|l| l.inference(bits)).collect();
+    for block in mobilenet_v2_blocks(16) {
+        layers.extend(block.workloads(bits));
+    }
+    if smoke {
+        // First conv of each shape class + one full inverted residual.
+        layers.truncate(3);
+        layers.extend(mobilenet_v2_blocks(16)[0].workloads(bits));
+    }
+    layers
+}
+
+/// Inverse-CDF zipfian sampler over `n` ranks, s = 1.0.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / rank as f64;
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty mix");
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn counter(stats: &Json, path: &[&str]) -> f64 {
+    let mut v = stats;
+    for key in path {
+        match v.get(key) {
+            Some(next) => v = next,
+            None => return 0.0,
+        }
+    }
+    v.as_f64().unwrap_or(0.0)
+}
+
+/// Restart acceptance probe: every layer in the mix must come back from
+/// the warm-loaded store, and the daemon must count the hits.
+fn probe(socket: &str, layers: &[Workload], shutdown: bool) -> ExitCode {
+    let mut conn = match Conn::open(socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_serve: cannot connect to {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = 0usize;
+    for w in layers {
+        let response = match conn.call(&schedule_request(w)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("probe: {}: {e}", w.name());
+                failures += 1;
+                continue;
+            }
+        };
+        let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        let source = response.get("source").and_then(Json::as_str).unwrap_or("");
+        if !ok || source != "store" {
+            eprintln!("probe: {}: ok={ok} source={source:?} (expected \"store\")", w.name());
+            failures += 1;
+        }
+    }
+    let stats = conn.call(&op_request("cache_stats")).unwrap_or(Json::Null);
+    let store_hits = counter(&stats, &["store_hits"]);
+    let loaded = counter(&stats, &["store", "loaded"]);
+    if store_hits < layers.len() as f64 {
+        eprintln!("probe: store_hits {store_hits} < {} layers", layers.len());
+        failures += 1;
+    }
+    if loaded < layers.len() as f64 {
+        eprintln!("probe: warm-loaded {loaded} < {} layers", layers.len());
+        failures += 1;
+    }
+    if shutdown {
+        let _ = conn.call(&op_request("shutdown"));
+    }
+    if failures == 0 {
+        println!(
+            "probe OK: {} layers served from the warm-loaded store ({loaded} loaded)",
+            layers.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("probe FAILED: {failures} check(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "smoke");
+    let probe_mode = args.iter().any(|a| a == "probe");
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let Some(socket) = flag("--socket").map(str::to_string) else {
+        eprintln!(
+            "Usage: bench_serve --socket PATH [smoke|probe] [--requests N] \
+             [--clients N] [--out FILE] [--shutdown]"
+        );
+        return ExitCode::from(2);
+    };
+    let requests: usize =
+        flag("--requests").and_then(|v| v.parse().ok()).unwrap_or(if smoke { 400 } else { 4000 });
+    let clients: usize =
+        flag("--clients").and_then(|v| v.parse().ok()).unwrap_or(if smoke { 2 } else { 4 });
+    let out_path = flag("--out").unwrap_or("BENCH_serve.json").to_string();
+
+    let layers = Arc::new(layer_mix(smoke || probe_mode));
+    if probe_mode {
+        return probe(&socket, &layers, shutdown);
+    }
+
+    let mut control = match Conn::open(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_serve: cannot connect to {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_serve: {} unique layers, {requests} requests × zipf(1.0), {clients} clients",
+        layers.len()
+    );
+
+    // Phase 1: warm — schedule every unique layer once through the daemon.
+    struct WarmRow {
+        name: String,
+        source: String,
+        ctx_fp: u64,
+        mapping_fp: u64,
+        edp: f64,
+    }
+    let mut warm_rows: Vec<WarmRow> = Vec::new();
+    let warm_t0 = Instant::now();
+    for w in layers.iter() {
+        let response = match control.call(&schedule_request(w)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_serve: warm {}: {e}", w.name());
+                return ExitCode::FAILURE;
+            }
+        };
+        if !response.get("ok").and_then(Json::as_bool).unwrap_or(false) {
+            let msg = response.get("error").and_then(Json::as_str).unwrap_or("?");
+            eprintln!("bench_serve: warm {}: daemon error: {msg}", w.name());
+            return ExitCode::FAILURE;
+        }
+        warm_rows.push(WarmRow {
+            name: w.name().to_string(),
+            source: response.get("source").and_then(Json::as_str).unwrap_or("?").to_string(),
+            ctx_fp: response.get("ctx_fp").and_then(Json::as_u64_str).unwrap_or(0),
+            mapping_fp: response.get("mapping_fp").and_then(Json::as_u64_str).unwrap_or(0),
+            edp: response.get("edp").and_then(Json::as_f64).unwrap_or(0.0),
+        });
+    }
+    let warm_ms = warm_t0.elapsed().as_secs_f64() * 1e3;
+    println!("  warm: {} layers in {warm_ms:.0} ms", warm_rows.len());
+
+    // Phase 2: gate — the served mappings must be bit-identical to what
+    // the library path produces under the daemon's default configuration.
+    let reference = Scheduler::new(SunstoneConfig::default());
+    let arch = wire::arch_by_name(ARCH).expect("known preset");
+    let mut fp_mismatches: Vec<String> = Vec::new();
+    for (w, row) in layers.iter().zip(&warm_rows) {
+        let expect_ctx = reference.context_fingerprint(w, &arch);
+        let result = reference.schedule(w, &arch).expect("library schedules");
+        let expect_fp = mapping_fingerprint(&result.mapping);
+        if row.ctx_fp != expect_ctx || row.mapping_fp != expect_fp {
+            fp_mismatches.push(row.name.clone());
+        }
+    }
+    if fp_mismatches.is_empty() {
+        println!("  gate: all {} served mappings bit-identical to the library", warm_rows.len());
+    } else {
+        println!("  gate: MISMATCH on {}", fp_mismatches.join(", "));
+    }
+
+    // Phase 3: timed — concurrent clients, zipfian mix, per-request latency.
+    let stats_before = control.call(&op_request("cache_stats")).unwrap_or(Json::Null);
+    let per_client = requests.div_ceil(clients);
+    let timed_t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let layers = Arc::clone(&layers);
+            let socket = socket.clone();
+            std::thread::spawn(move || -> Result<Vec<f64>, String> {
+                let mut conn = Conn::open(&socket).map_err(|e| format!("connect: {e}"))?;
+                let zipf = Zipf::new(layers.len());
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE + c as u64);
+                let mut latencies = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let w = &layers[zipf.sample(&mut rng)];
+                    let request = schedule_request(w);
+                    let t0 = Instant::now();
+                    let response = conn.call(&request)?;
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    if !response.get("ok").and_then(Json::as_bool).unwrap_or(false) {
+                        return Err(format!("daemon error on {}", w.name()));
+                    }
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(per_client * clients);
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(mut l)) => latencies.append(&mut l),
+            Ok(Err(e)) => {
+                eprintln!("bench_serve: client failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(_) => {
+                eprintln!("bench_serve: client panicked");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let elapsed = timed_t0.elapsed().as_secs_f64();
+    let stats_after = control.call(&op_request("cache_stats")).unwrap_or(Json::Null);
+
+    latencies.sort_by(f64::total_cmp);
+    let total = latencies.len();
+    let qps = total as f64 / elapsed;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let mean = latencies.iter().sum::<f64>() / total.max(1) as f64;
+    let delta = |path: &[&str]| counter(&stats_after, path) - counter(&stats_before, path);
+    let hits = delta(&["memo_hits"]) + delta(&["store_hits"]);
+    let served = delta(&["requests"]) - 2.0; // minus the two cache_stats calls
+    let hit_rate = if served > 0.0 { (hits / served).clamp(0.0, 1.0) } else { 0.0 };
+    println!(
+        "  timed: {total} requests in {elapsed:.2} s — {qps:.0} qps, \
+         p50 {p50:.3} ms, p99 {p99:.3} ms, hit rate {hit_rate:.4}"
+    );
+    if qps < 1000.0 || p99 >= 50.0 {
+        println!("  WARNING: below the warm-cache target (>=1000 qps, p99 < 50 ms)");
+    }
+
+    if shutdown {
+        let _ = control.call(&op_request("shutdown"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"sunstone-bench-serve/v1\",");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(out, "  \"arch\": \"{ARCH}\",");
+    let _ = writeln!(out, "  \"unique_layers\": {},", layers.len());
+    let _ = writeln!(out, "  \"requests\": {total},");
+    let _ = writeln!(out, "  \"clients\": {clients},");
+    let _ = writeln!(out, "  \"zipf_s\": 1.0,");
+    let _ = writeln!(out, "  \"warm_ms\": {warm_ms:.3},");
+    let _ = writeln!(out, "  \"latency\": {{");
+    let _ = writeln!(out, "    \"p50_ms\": {p50:.4},");
+    let _ = writeln!(out, "    \"p99_ms\": {p99:.4},");
+    let _ = writeln!(out, "    \"mean_ms\": {mean:.4},");
+    let _ = writeln!(out, "    \"qps\": {qps:.1}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(out, "  \"fp_mismatches\": {},", fp_mismatches.len());
+    let _ = writeln!(out, "  \"layers\": [");
+    for (i, r) in warm_rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", esc(&r.name));
+        let _ = writeln!(out, "      \"source\": \"{}\",", esc(&r.source));
+        let _ = writeln!(out, "      \"ctx_fp\": \"{}\",", r.ctx_fp);
+        let _ = writeln!(out, "      \"mapping_fp\": \"{}\",", r.mapping_fp);
+        let _ = writeln!(out, "      \"edp\": {:.6e}", r.edp);
+        let _ = writeln!(out, "    }}{}", if i + 1 < warm_rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"daemon\": {{");
+    let _ = writeln!(out, "    \"requests\": {},", counter(&stats_after, &["requests"]));
+    let _ = writeln!(out, "    \"searches\": {},", counter(&stats_after, &["searches"]));
+    let _ = writeln!(out, "    \"memo_hits\": {},", counter(&stats_after, &["memo_hits"]));
+    let _ = writeln!(out, "    \"store_hits\": {},", counter(&stats_after, &["store_hits"]));
+    let _ = writeln!(out, "    \"errors\": {},", counter(&stats_after, &["errors"]));
+    let _ = writeln!(out, "    \"memo_entries\": {}", counter(&stats_after, &["memo_entries"]));
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    if let Err(e) = std::fs::write(&out_path, &out) {
+        eprintln!("bench_serve: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -49,6 +49,15 @@ pub enum ScheduleError {
         /// Human-readable description of the offending constraint.
         reason: String,
     },
+    /// A caller-supplied mapping is invalid for this workload/architecture
+    /// pair — wrong level structure, factors that do not cover the
+    /// dimension sizes, or capacity/fabric violations. Returned by
+    /// [`Scheduler::prime_mapping`](crate::Scheduler::prime_mapping) when
+    /// a stored or externally produced mapping fails re-validation.
+    InvalidMapping {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
     /// The call was cancelled through its
     /// [`CancelToken`](crate::CancelToken).
     Cancelled,
@@ -91,6 +100,9 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::InvalidConstraints { reason } => {
                 write!(f, "invalid mapping constraints: {reason}")
+            }
+            ScheduleError::InvalidMapping { reason } => {
+                write!(f, "invalid mapping: {reason}")
             }
             ScheduleError::Cancelled => write!(f, "scheduling cancelled"),
             ScheduleError::BudgetExhausted => {
@@ -148,6 +160,10 @@ mod tests {
         assert_eq!(
             ScheduleError::InvalidConstraints { reason: "unknown level `L9`".into() }.to_string(),
             "invalid mapping constraints: unknown level `L9`"
+        );
+        assert_eq!(
+            ScheduleError::InvalidMapping { reason: "levels do not match".into() }.to_string(),
+            "invalid mapping: levels do not match"
         );
         assert_eq!(ScheduleError::Cancelled.to_string(), "scheduling cancelled");
         assert_eq!(

@@ -35,10 +35,15 @@ use crate::progress::CancelToken;
 ///   catch, so an injected panic surfaces exactly like a model panic;
 /// * `"cache.insert"` — inside the locked publish of an estimate round,
 ///   while the session-cache mutex is held (exercises lock-poison
-///   recovery).
+///   recovery);
+/// * `"warm.store"` — inside the warm-start retention insert at the end
+///   of a completed search, while the warm-retention mutex is held (the
+///   second held-lock point: a panic here poisons a *different* mutex
+///   than `"cache.insert"`, and the next call must still recover).
 ///
 /// [`estimate_all`]: crate::search::estimate
-pub const POINTS: &[&str] = &["estimate.round", "estimate.prefix", "pool.claim", "cache.insert"];
+pub const POINTS: &[&str] =
+    &["estimate.round", "estimate.prefix", "pool.claim", "cache.insert", "warm.store"];
 
 /// What an armed failpoint does when it fires.
 #[derive(Debug, Clone)]

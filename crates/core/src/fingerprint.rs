@@ -114,11 +114,25 @@ pub fn shape_class_fingerprint(w: &Workload) -> u64 {
     h.finish()
 }
 
-/// Sorted prime-factor multiset of `n` (1 → empty).
+/// Largest trial divisor [`prime_factors`] tests. Factorization is
+/// complete for `n < 2^32`; a residue with no factor below the limit is
+/// kept as one atomic pseudo-factor. Dimension sizes of real workloads
+/// are far below 2^32, and the distance metric only needs *stable*
+/// multisets, not number-theoretic completeness — while an adversarial
+/// 2^40-scale prime must cost 2^16 loop iterations, not 2^20 (or, with
+/// the old `p * p <= n` bound near `u64::MAX`, an overflow panic).
+const TRIAL_LIMIT: u64 = 1 << 16;
+
+/// Sorted factor multiset of `n` (1 → empty): prime factors up to
+/// [`TRIAL_LIMIT`], then the undecomposed residue (possibly composite) as
+/// a single trailing pseudo-factor. Deterministic, and exact for every
+/// `n < 2^32`. The loop bound `p <= n / p` is overflow-free for all `n`,
+/// unlike `p * p <= n` (which wraps once `n` nears `u64::MAX` — inputs
+/// the degenerate-workload grid actually produces).
 fn prime_factors(mut n: u64, out: &mut Vec<u64>) {
     out.clear();
     let mut p = 2u64;
-    while p * p <= n {
+    while p <= TRIAL_LIMIT && p <= n / p {
         while n.is_multiple_of(p) {
             out.push(p);
             n /= p;
@@ -361,11 +375,37 @@ pub fn constraints_fingerprint(c: &MappingConstraints) -> u64 {
     h.finish()
 }
 
+/// Structural fingerprint of a complete mapping: every level's tiling
+/// factors in hierarchy order, then each temporal level's loop-order
+/// indices. This is the bit-identity witness used by the benchmark
+/// baselines and the serve path — two mappings fingerprint equal exactly
+/// when they schedule identically, so a served or stored mapping can be
+/// gated against a fresh library search without comparing structures
+/// field by field. The byte stream (no length prefixes; levels and
+/// orders have fixed arity for a given workload/arch context) is frozen:
+/// committed baselines compare fingerprints across runs and releases.
+pub fn mapping_fingerprint(m: &sunstone_mapping::Mapping) -> u64 {
+    let mut h = Fnv1a::new();
+    for level in m.levels() {
+        for &f in level.factors() {
+            h.write_u64(f);
+        }
+        if let sunstone_mapping::MappingLevel::Temporal(t) = level {
+            for &d in &t.order {
+                h.write_u64(d.index() as u64);
+            }
+        }
+    }
+    h.finish()
+}
+
 /// The combined *(workload, arch, config, constraints)* context
 /// fingerprint that prefixes every session-cache key. `constraints` is
 /// the *effective* set for the call — the per-call override when present,
-/// else the config's.
-pub(crate) fn context_fingerprint(
+/// else the config's. Public so out-of-process callers (the serve
+/// daemon's mapping store) can key persisted results by the same context
+/// identity the session cache uses.
+pub fn context_fingerprint(
     w: &Workload,
     arch: &ArchSpec,
     config: &SunstoneConfig,

@@ -106,7 +106,10 @@ impl Job {
             if self.pending.fetch_sub(end - start, Ordering::AcqRel) == end - start {
                 // Lock-bridge the notification so the submitter is either
                 // before its re-check (and sees zero) or parked (and woken).
-                let _g = self.done.lock().unwrap();
+                // The mutex guards no data (`()`), so poisoning — possible
+                // if the submitter's re-raise unwinds while parked — is
+                // recoverable by definition.
+                let _g = self.done.lock().unwrap_or_else(|e| e.into_inner());
                 self.done_cv.notify_all();
             }
         }
@@ -243,20 +246,25 @@ impl WorkerPool {
             done_cv: Condvar::new(),
         });
         {
-            let mut st = self.shared.queue.lock().unwrap();
+            let mut st = lock_queue(&self.shared);
             st.jobs.push_back(Arc::clone(&job));
         }
         self.shared.work_cv.notify_all();
         job.drain();
-        let mut g = job.done.lock().unwrap();
+        // Poison recovery throughout the drain protocol: the `done` mutex
+        // guards no data and the queue state is a plain job list, both
+        // valid at every unwind point. A panic anywhere in the session
+        // (injected faults included) must degrade to a caught error on the
+        // submitter, never to a poisoned-mutex abort of a later round.
+        let mut g = job.done.lock().unwrap_or_else(|e| e.into_inner());
         while job.pending.load(Ordering::Acquire) > 0 {
-            g = job.done_cv.wait(g).unwrap();
+            g = job.done_cv.wait(g).unwrap_or_else(|e| e.into_inner());
         }
         drop(g);
         {
             // Drop our queue entry eagerly so the erased pointer never
             // outlives this call in the shared state.
-            let mut st = self.shared.queue.lock().unwrap();
+            let mut st = lock_queue(&self.shared);
             st.jobs.retain(|j| !Arc::ptr_eq(j, &job));
         }
         if job.panicked.load(Ordering::Relaxed) {
@@ -284,7 +292,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.queue.lock().unwrap();
+            let mut st = lock_queue(&self.shared);
             st.shutdown = true;
         }
         self.shared.work_cv.notify_all();
@@ -294,10 +302,19 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Locks the pool's queue state, recovering from poisoning. The state is
+/// a plain job list plus a shutdown flag — valid at every unwind point —
+/// and the queue must stay usable after a panic unwound through a lock
+/// holder (shutdown in particular must always be deliverable, or `Drop`
+/// would deadlock the workers).
+fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
+    shared.queue.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut st = shared.queue.lock().unwrap();
+            let mut st = lock_queue(shared);
             loop {
                 if st.shutdown {
                     return;
@@ -309,7 +326,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some(job) = st.jobs.front() {
                     break Arc::clone(job);
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
         job.drain();

@@ -133,10 +133,10 @@ mod tests {
         let events: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         let sink = |e: &ProgressEvent| {
             if let ProgressEvent::LevelStarted { stage, .. } = e {
-                events.lock().unwrap().push(*stage);
+                events.lock().unwrap_or_else(|e| e.into_inner()).push(*stage);
             }
         };
         sink.on_event(&ProgressEvent::LevelStarted { stage: 3, beam: 1 });
-        assert_eq!(*events.lock().unwrap(), vec![3]);
+        assert_eq!(*events.lock().unwrap_or_else(|e| e.into_inner()), vec![3]);
     }
 }

@@ -137,10 +137,14 @@ pub(crate) struct SearchRun {
 /// inside the enumeration fits closures, and per claim inside the
 /// estimate round (a pre-cancelled token stops the search before any
 /// work, and a mid-stage cancel is observed within a bounded number of
-/// evaluations). The deadline is checked at the same points *except
-/// during the first stage*, so a zero time budget still yields a usable
-/// best-so-far beam from the innermost level — the graceful-degradation
-/// contract of [`ScheduleOptions::time_budget`](crate::ScheduleOptions).
+/// evaluations). The deadline is checked at the same points, with one
+/// first-stage concession: the first estimate round always completes its
+/// first claim chunk before the deadline engages
+/// ([`estimate::DeadlinePolicy::AfterFirstClaim`]), so a zero time budget
+/// still yields a usable best-so-far mapping while a seeded first stage
+/// can no longer overshoot a few-millisecond budget by a whole stage —
+/// the graceful-degradation contract of
+/// [`ScheduleOptions::time_budget`](crate::ScheduleOptions).
 /// A stage aborted mid-round returns the previous beam, which the caller
 /// completes under the best-so-far contract.
 pub(crate) fn run_level_search(
@@ -196,7 +200,12 @@ pub(crate) fn run_level_search(
         let removed = beam::dedup(&mut cands);
         stats.level_mut(stage).dedup_removed += removed as u64;
         let before = cands.len();
-        match estimate::estimate_all(ctx, pass.direction(), &mut cands, stage, i > 0, stats) {
+        let deadline = if i > 0 {
+            estimate::DeadlinePolicy::Always
+        } else {
+            estimate::DeadlinePolicy::AfterFirstClaim
+        };
+        match estimate::estimate_all(ctx, pass.direction(), &mut cands, stage, deadline, stats) {
             estimate::RoundStatus::Done => {}
             estimate::RoundStatus::Cancelled => {
                 return SearchRun { beam: beam_states, stop: SearchStop::Cancelled };

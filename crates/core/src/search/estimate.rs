@@ -260,7 +260,13 @@ impl SessionCache {
     /// Retains a completed search's best mappings for future warm starts
     /// (one slot per warm key; the latest search wins).
     pub(crate) fn warm_store(&self, warm_fp: u64, entry: WarmEntry) {
-        self.lock_warm().insert(warm_fp, entry);
+        let mut guard = self.lock_warm();
+        // Held-lock failpoint: fires while the warm mutex is held, so a
+        // fault-injection test can pin that a panic here poisons the lock
+        // and the next call still recovers (via `lock_warm` +
+        // `evict_context`) instead of aborting.
+        faultpoint!("warm.store");
+        guard.insert(warm_fp, entry);
     }
 
     /// The retained warm-start entry for `warm_fp`, if any.
@@ -470,6 +476,26 @@ thread_local! {
 /// claims than the pool has claimants.
 const ESTIMATE_CHUNK: usize = 16;
 
+/// When an estimation round may observe the wall-clock deadline.
+///
+/// Historically the first stage skipped the deadline entirely so a zero
+/// budget still produced a usable mapping. With warm starts, a seeded
+/// first stage can do non-trivial work (the seeding pass plus a large
+/// first round), so a budget of a few milliseconds could overshoot by the
+/// whole first stage. [`AfterFirstClaim`](DeadlinePolicy::AfterFirstClaim)
+/// is the repaired contract: the first claim chunk always runs — so even
+/// a zero budget evaluates *some* candidates and the best-so-far
+/// completion stays usable — and every claim after it observes the
+/// deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeadlinePolicy {
+    /// First stage: the deadline engages once at least one claim chunk
+    /// has completed (the zero-budget contract keeps one chunk of work).
+    AfterFirstClaim,
+    /// Later stages: every claim observes the deadline.
+    Always,
+}
+
 /// Why an estimation round ended; anything but `Done` aborts the stage
 /// (the composition loop returns the *previous* beam, which is what the
 /// best-so-far deadline contract completes).
@@ -513,11 +539,15 @@ pub(crate) enum RoundStatus {
 /// Results are written back by candidate index, so the outcome is
 /// identical for any thread count.
 ///
-/// Cancellation and (when `enforce_deadline` is set — every stage but the
-/// first, preserving the zero-budget contract) the deadline are checked
-/// *per pool claim*, so a mid-round stop is observed within a bounded
-/// number of evaluations: at most one in-flight evaluation per claimant
-/// finishes after the token fires. A stopped round leaves the skipped
+/// Cancellation and the deadline are checked *per pool claim*, so a
+/// mid-round stop is observed within a bounded number of evaluations: at
+/// most one in-flight evaluation per claimant finishes after the token
+/// fires. The [`DeadlinePolicy`] decides when the deadline engages: the
+/// first stage uses [`DeadlinePolicy::AfterFirstClaim`] (the first claim
+/// chunk always runs, so a zero budget still yields a usable best-so-far
+/// mapping, but a seeded first stage can no longer overshoot a
+/// few-millisecond budget by a whole stage), later stages
+/// [`DeadlinePolicy::Always`]. A stopped round leaves the skipped
 /// candidates at `f64::INFINITY` and returns the stop reason; completed
 /// evaluations are still published to the cache (they are correct and
 /// deterministic, so later calls may reuse them).
@@ -529,7 +559,7 @@ pub(crate) fn estimate_all(
     direction: Direction,
     candidates: &mut [PartialState],
     stage: usize,
-    enforce_deadline: bool,
+    deadline: DeadlinePolicy,
     stats: &mut SearchStats,
 ) -> RoundStatus {
     faultpoint!("estimate.round");
@@ -593,6 +623,10 @@ pub(crate) fn estimate_all(
     let round_deadlined = AtomicBool::new(false);
     let round_batches = AtomicU64::new(0);
     let round_batched = AtomicU64::new(0);
+    // Claim chunks fully evaluated so far; under `AfterFirstClaim` the
+    // deadline only engages once this is nonzero, so every round keeps at
+    // least one chunk of real estimates (the zero-budget contract).
+    let claims_done = AtomicUsize::new(0);
     if !misses.is_empty() {
         stats.rounds += 1;
         let n_claims = misses.len().div_ceil(ESTIMATE_CHUNK);
@@ -602,6 +636,7 @@ pub(crate) fn estimate_all(
         let (prefixes, group_of, completed) = (&prefixes, &group_of, &completed);
         let (round_cancelled, round_deadlined) = (&round_cancelled, &round_deadlined);
         let (round_batches, round_batched) = (&round_batches, &round_batched);
+        let claims_done = &claims_done;
         ctx.pool.run_chunked(misses.len(), ESTIMATE_CHUNK, &|range| {
             // Bounded-latency stop checks, per claim: the cancel check is
             // one atomic load and the deadline one clock read, and a claim
@@ -612,8 +647,11 @@ pub(crate) fn estimate_all(
                 round_cancelled.store(true, Ordering::Relaxed);
                 return;
             }
-            if enforce_deadline && (round_deadlined.load(Ordering::Relaxed) || ctx.past_deadline())
-            {
+            let enforce = match deadline {
+                DeadlinePolicy::Always => true,
+                DeadlinePolicy::AfterFirstClaim => claims_done.load(Ordering::Relaxed) > 0,
+            };
+            if enforce && (round_deadlined.load(Ordering::Relaxed) || ctx.past_deadline()) {
                 round_deadlined.store(true, Ordering::Relaxed);
                 return;
             }
@@ -663,6 +701,7 @@ pub(crate) fn estimate_all(
                     }
                 });
             });
+            claims_done.fetch_add(1, Ordering::Relaxed);
         });
     }
 

@@ -82,7 +82,13 @@ pub(crate) fn translate_seed(ctx: &SearchContext<'_>, seed: &Mapping) -> Option<
     let outer = *ctx.mems.last().expect("at least one memory");
     if let MappingLevel::Temporal(t) = &mut out.levels_mut()[outer] {
         for (f, r) in t.factors.iter_mut().zip(&remaining) {
-            *f *= r;
+            // Invariant: the clamp only ever *divides* the remaining
+            // quotient, so `f · r` is bounded by the original dimension
+            // size and cannot overflow — but seeds can come from a
+            // persistent store, and a corrupt entry must degrade to "no
+            // seed", never to wrapped factors (2^40-scale dims leave no
+            // headroom for a second fault). Checked, like the PR 5 sweep.
+            *f = f.checked_mul(*r)?;
         }
     }
     Some(out)
@@ -90,9 +96,14 @@ pub(crate) fn translate_seed(ctx: &SearchContext<'_>, seed: &Mapping) -> Option<
 
 /// Per-dimension gcd clamp of one level's factors against the remaining
 /// quotient, dividing what was placed out of the quotient.
+///
+/// `gcd(s, r)` always divides `r`, so the quotient division is exact; the
+/// `max(1)` guards the `s = r = 0` corner (a zero-sized dimension cannot
+/// reach a validated workload, but a stale or store-loaded seed must not
+/// turn it into a divide-by-zero panic).
 fn clamp_factors(dst: &mut [u64], seed: &[u64], remaining: &mut [u64]) {
     for ((d, &s), r) in dst.iter_mut().zip(seed).zip(remaining) {
-        let f = gcd(s, *r);
+        let f = gcd(s, *r).max(1);
         *d = f;
         *r /= f;
     }
@@ -118,6 +129,12 @@ fn clamp_factors(dst: &mut [u64], seed: &[u64], remaining: &mut [u64]) {
 /// [`warm_insert_with`](super::estimate::EstimateCache::warm_insert_with)
 /// bypasses the hit/miss counters so probe statistics stay comparable
 /// with and without seeding.
+///
+/// Seeding observes the call's deadline and cancellation token between
+/// stage evaluations: pre-pricing is pure acceleration, so cutting it
+/// short is result-neutral by construction, and a few-millisecond
+/// `time_budget` must not be swallowed whole by the seeding pass before
+/// the search proper even starts.
 pub(crate) fn warm_seed_trajectories(
     ctx: &SearchContext<'_>,
     seeds: &[Mapping],
@@ -130,16 +147,26 @@ pub(crate) fn warm_seed_trajectories(
     let mut key: Vec<u64> = Vec::new();
     let mut scratch = EvalScratch::default();
     stats.seeds += seeds.len() as u64;
-    for seed in seeds {
+    'seeds: for seed in seeds {
         let mut truncated = base.clone();
         let mut quotas = sizes.clone();
         for stage in 0..ctx.mems.len() {
+            if ctx.cancelled() || ctx.past_deadline() {
+                return;
+            }
             let mem_pos = ctx.mems[stage];
             // Extend the truncation by this stage's decisions: the gap
             // fabrics below the memory, then the memory itself.
             for &pos in ctx.lower_spatial[stage].iter().chain([&mem_pos]) {
                 let src = seed.level(pos).factors();
                 for d in 0..ndims {
+                    // Translated seeds divide the quotas exactly by
+                    // construction; a seed that doesn't (a corrupt store
+                    // entry slipping past translation) is skipped rather
+                    // than priced at a wrong key or divided by zero.
+                    if src[d] == 0 || !quotas[d].is_multiple_of(src[d]) {
+                        continue 'seeds;
+                    }
                     quotas[d] /= src[d];
                 }
                 match &mut truncated.levels_mut()[pos] {

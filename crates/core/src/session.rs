@@ -159,9 +159,12 @@ pub struct CallOptions {
     pub constraints: Option<MappingConstraints>,
     /// Wall-clock budget. When it expires mid-search the call returns
     /// [`ScheduleOutcome::BestSoFar`] with the best valid completions of
-    /// the current beam — the innermost level always runs, so even a zero
-    /// budget yields a usable (if unrefined) mapping. For a batch the
-    /// budget covers the *whole batch*.
+    /// the current beam — the first estimate round always completes its
+    /// first claim chunk before the deadline engages, so even a zero
+    /// budget yields a usable (if unrefined) mapping, while a
+    /// warm-started first stage can no longer overshoot a
+    /// few-millisecond budget by a whole stage. For a batch the budget
+    /// covers the *whole batch*.
     pub time_budget: Option<Duration>,
     /// Cooperative cancellation; when fired the call returns
     /// [`ScheduleError::Cancelled`]. A batch shares one token across
@@ -520,6 +523,101 @@ impl Scheduler {
     /// for bounding memory in very long-lived sessions.
     pub fn clear_cache(&self) {
         self.cache.clear();
+    }
+
+    /// The *(workload, arch, config, constraints)* context fingerprint a
+    /// [`schedule`](Self::schedule) call on this session would cache
+    /// under, using the session config's constraint set (the default for
+    /// calls without a per-call override). This is the stable identity
+    /// out-of-process callers — the serve daemon's on-disk mapping store
+    /// in particular — key persisted results by.
+    pub fn context_fingerprint(&self, workload: &Workload, arch: &ArchSpec) -> u64 {
+        context_fingerprint(workload, arch, &self.config, &self.config.constraints)
+    }
+
+    /// Validates and prices an externally supplied `mapping` (typically
+    /// reloaded from a persistent store) for `workload` on `arch`,
+    /// inserting its evaluation into the session estimate cache exactly
+    /// as a search probe would. A daemon restarting on an existing store
+    /// calls this per record so repeated queries hit the warm cache, and
+    /// the returned [`CostReport`] re-prices the mapping under the
+    /// *current* cost model — a stale stored EDP is never trusted.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InvalidMapping`] when the mapping fails
+    /// re-validation for this (workload, arch) pair; configuration,
+    /// architecture, and binding errors as in
+    /// [`schedule`](Self::schedule). Panics inside the model are caught
+    /// at the same isolation boundary as a search and surface as
+    /// [`ScheduleError::Internal`].
+    pub fn prime_mapping(
+        &self,
+        workload: &Workload,
+        arch: &ArchSpec,
+        mapping: &Mapping,
+    ) -> Result<CostReport, ScheduleError> {
+        fault_stage::set("prime");
+        match panic::catch_unwind(AssertUnwindSafe(|| {
+            self.prime_mapping_inner(workload, arch, mapping)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.cache.evict_context(self.context_fingerprint(workload, arch));
+                let message = panic_message(payload.as_ref());
+                emit_fault(None, "prime", Some(workload.name()), &message);
+                Err(ScheduleError::Internal {
+                    stage: "prime".into(),
+                    layer: Some(workload.name().to_string()),
+                    message,
+                })
+            }
+        }
+    }
+
+    /// The body guarded by the boundary in
+    /// [`prime_mapping`](Self::prime_mapping): resolve the context the
+    /// way [`run_one_inner`](Self::run_one_inner) does, validate the
+    /// mapping, and evaluate it through the session cache.
+    fn prime_mapping_inner(
+        &self,
+        workload: &Workload,
+        arch: &ArchSpec,
+        mapping: &Mapping,
+    ) -> Result<CostReport, ScheduleError> {
+        self.config.validate()?;
+        arch.validate()?;
+        let constraints = &self.config.constraints;
+        let resolved = ResolvedConstraints::resolve(constraints, workload, arch)?;
+        let mut binding = Binding::resolve(arch, workload)?;
+        for (level, tensor, name) in &resolved.bypass {
+            binding = binding
+                .with_bypass(*level, *tensor, name)
+                .map_err(|e| ScheduleError::InvalidConstraints { reason: e.to_string() })?;
+        }
+        let vctx = ValidationContext::new(workload, arch, &binding);
+        vctx.validate(mapping)
+            .map_err(|e| ScheduleError::InvalidMapping { reason: e.to_string() })?;
+        let ctx_fp = context_fingerprint(workload, arch, &self.config, constraints);
+        let cache = EstimateCache::new(
+            self.config.estimate_cache,
+            ctx_fp,
+            self.config.max_cache_entries,
+            &self.cache,
+        );
+        let ctx = SearchContext::new(
+            workload,
+            arch,
+            &binding,
+            &self.config,
+            cache,
+            self.pool(),
+            None,
+            None,
+            resolved,
+        );
+        let mut stats = SearchStats::default();
+        Ok(estimate::evaluate_cached(&ctx, mapping, &mut stats))
     }
 
     /// Finds the best mapping of `workload` onto `arch`.

@@ -130,6 +130,48 @@ fn zero_time_budget_returns_best_so_far() {
     assert_eq!(full.results()[0].mapping, unbudgeted.mapping);
 }
 
+/// The deadline contract on a *warm-started* layer: the second layer of
+/// a shape class starts from cross-layer seeds, so its first stage does
+/// non-trivial work — but the deadline only engages once the first claim
+/// chunk completes, so even a zero budget must yield a usable,
+/// deterministic best-so-far instead of `BudgetExhausted` or an empty
+/// result.
+#[test]
+fn zero_budget_on_seeded_layer_returns_deterministic_best_so_far() {
+    let arch = presets::conventional();
+    let a = conv("seed_src", 32, 16, 14, 3);
+    let b = conv("seed_dst", 32, 16, 7, 3); // same shape class → seeded
+
+    // Work bound: a full search of `b` on a session that already saw `a`.
+    let full = Scheduler::new(SunstoneConfig::default());
+    full.schedule(&a, &arch).expect("schedules");
+    let before = full.cache_stats().misses;
+    full.schedule(&b, &arch).expect("schedules");
+    let full_misses = full.cache_stats().misses - before;
+
+    let run = || {
+        let session = Scheduler::new(SunstoneConfig::default());
+        session.schedule(&a, &arch).expect("first layer completes");
+        let before = session.cache_stats().misses;
+        let opts = ScheduleOptions::new().time_budget(Duration::ZERO);
+        let outcome = session
+            .schedule_with(&b, &arch, &opts)
+            .expect("zero budget on a seeded layer must not error");
+        assert!(!outcome.is_complete(), "zero budget cannot complete the search");
+        assert!(!outcome.results().is_empty(), "best-so-far carries a usable mapping");
+        let spent = session.cache_stats().misses - before;
+        assert!(
+            spent < full_misses,
+            "expired budget must stop after the first claim chunk \
+             ({spent} misses vs {full_misses} for the full search)"
+        );
+        outcome.results()[0].mapping.clone()
+    };
+    // The truncation point is the first claim chunk — a fixed amount of
+    // work, not a wall-clock race — so the result is reproducible.
+    assert_eq!(run(), run(), "zero-budget truncation must be deterministic");
+}
+
 #[test]
 fn session_cache_survives_across_calls() {
     let arch = presets::conventional();

@@ -67,6 +67,15 @@ mod explain;
 mod options;
 mod prefix;
 
+/// Version of the cost model's semantics. Bump whenever a change alters
+/// any [`CostReport`] for any input (energy/delay formulas, reuse rules,
+/// default [`ModelOptions`]). Persisted artifacts that cache model
+/// outputs — the serve daemon's on-disk mapping store in particular —
+/// embed this version and must discard entries produced under a
+/// different one: a stored EDP from an older model would otherwise be
+/// served as current.
+pub const COST_MODEL_VERSION: u32 = 1;
+
 pub use batch::BatchEvalScratch;
 pub use cost::{CostModel, CostReport, EvalScratch, LevelReport};
 pub use counts::{storage_chains, AccessCounts, CountScratch, TensorLevelCounts};

@@ -1,0 +1,72 @@
+//! The `sunstone-serve` daemon binary.
+//!
+//! ```text
+//! Usage: sunstone-serve --socket PATH [--store DIR] [--shards N] [--threads N]
+//! ```
+//!
+//! Listens on the Unix socket until a `shutdown` request arrives, then
+//! compacts the store and exits 0. See `crates/serve/src/wire.rs` for
+//! the protocol and `DESIGN.md` §3h for the architecture.
+
+use std::process::ExitCode;
+
+use sunstone::prelude::*;
+use sunstone_serve::{ServeConfig, Server};
+
+fn usage() -> ExitCode {
+    eprintln!("Usage: sunstone-serve --socket PATH [--store DIR] [--shards N] [--threads N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut socket: Option<String> = None;
+    let mut store: Option<String> = None;
+    let mut shards = 4usize;
+    let mut threads: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = args.next(),
+            "--store" => store = args.next(),
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => shards = n,
+                None => return usage(),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = Some(n),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(socket) = socket else { return usage() };
+    let mut config = ServeConfig::new(&socket);
+    config.shards = shards;
+    if let Some(dir) = store {
+        config = config.with_store(dir);
+    }
+    if let Some(t) = threads {
+        match SunstoneConfig::builder().threads(t).and_then(|b| b.build()) {
+            Ok(c) => config.config = c,
+            Err(e) => {
+                eprintln!("sunstone-serve: invalid --threads: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sunstone-serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("sunstone-serve: listening on {socket}");
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sunstone-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! The daemon: a [`UnixListener`] accept loop multiplexing concurrent
+//! client connections onto one shared [`Scheduler`] session and one
+//! persistent [`MappingStore`].
+//!
+//! # Serving discipline
+//!
+//! Every `schedule` request resolves to a context fingerprint
+//! ([`Scheduler::context_fingerprint`]) and goes through three tiers:
+//!
+//! 1. **memo** — an in-memory latest-result index over contexts served
+//!    this process lifetime *plus* everything warm-loaded from the store
+//!    at startup. Hits are microseconds: no search, no model.
+//! 2. **search** — a full library `schedule` call on the shared session
+//!    (which itself carries the estimate cache and cross-layer warm
+//!    starts). The result is memoized and appended to the store.
+//!
+//! A memo entry remembers its *origin* — `store` when it entered via the
+//! startup warm-load, `memo` when it was searched earlier in this
+//! process — and responses report `source` accordingly (`search` for a
+//! fresh computation), so clients and the restart acceptance test can
+//! distinguish a warm-loaded answer from a recomputed one.
+//!
+//! # Bit-identity
+//!
+//! The warm-load path never trusts the store: each record's workload is
+//! rebuilt, its context fingerprint recomputed and compared, the mapping
+//! re-validated and re-priced under the current cost model
+//! ([`Scheduler::prime_mapping`]), and its mapping fingerprint
+//! recomputed. Any mismatch skips the record (counted in
+//! `load_skipped`), so a served mapping is always exactly what the
+//! library path would produce for that context.
+//!
+//! # Fault isolation
+//!
+//! A panic inside a request is caught by the library's own isolation
+//! boundary and surfaces as a typed `internal` error response; the
+//! connection, the session, and the daemon survive. All shared state is
+//! behind poison-recovering locks, so a fault while a lock was held
+//! degrades to the error response, never to a poisoned-mutex abort.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use sunstone::fingerprint::mapping_fingerprint;
+use sunstone::prelude::*;
+use sunstone_ir::Workload;
+use sunstone_mapping::Mapping;
+use sunstone_model::CostReport;
+
+use crate::json::{u64_str, Json};
+use crate::store::{MappingStore, StoreRecord};
+use crate::wire::{self, Request};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on (an existing file is replaced).
+    pub socket: PathBuf,
+    /// Store directory; `None` runs fully in-memory.
+    pub store_dir: Option<PathBuf>,
+    /// Shard count for a fresh store (existing stores keep theirs).
+    pub shards: usize,
+    /// Scheduler configuration for the shared session.
+    pub config: SunstoneConfig,
+}
+
+impl ServeConfig {
+    /// A daemon on `socket` with default scheduling and no persistence.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            store_dir: None,
+            shards: 4,
+            config: SunstoneConfig::default(),
+        }
+    }
+
+    /// Enables the persistent store under `dir`.
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Where a memoized result came from, reported as the response `source`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// Warm-loaded from the on-disk store at startup.
+    Store,
+    /// Searched earlier in this daemon's lifetime.
+    Memo,
+}
+
+/// One served result, shared by reference across connections.
+struct MemoEntry {
+    mapping: Mapping,
+    mapping_fp: u64,
+    report: CostReport,
+    origin: Origin,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    searches: AtomicU64,
+    memo_hits: AtomicU64,
+    store_hits: AtomicU64,
+    errors: AtomicU64,
+    /// Store records skipped at warm-load (fingerprint or validation
+    /// mismatch) — should be zero on a healthy store.
+    load_skipped: AtomicU64,
+    /// Store records successfully warm-loaded at startup.
+    loaded: AtomicU64,
+}
+
+/// Shared daemon state: the session, the store, the memo index.
+struct ServeState {
+    scheduler: Scheduler,
+    store: Option<Mutex<MappingStore>>,
+    memo: Mutex<HashMap<u64, Arc<MemoEntry>>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    /// The listening socket's path, so a shutdown handler can dial it to
+    /// unblock the accept loop.
+    socket: PathBuf,
+    /// Live connections by id, so shutdown can half-close them and
+    /// unblock handler threads parked in `read_frame` on idle clients.
+    conns: Mutex<HashMap<u64, UnixStream>>,
+    next_conn: AtomicU64,
+    /// Single-flight locks by context fingerprint: concurrent requests
+    /// for the same context serialize onto one search, with later
+    /// arrivals re-checking the memo once the first completes.
+    flights: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+}
+
+/// Locks a daemon mutex, recovering from poisoning: memo and store hold
+/// plain data valid at every unwind point, and a faulted request must
+/// never wedge the daemon.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The running daemon.
+pub struct Server {
+    listener: UnixListener,
+    state: Arc<ServeState>,
+    socket: PathBuf,
+}
+
+impl Server {
+    /// Binds the socket, opens the store, and warm-loads it into the
+    /// session cache and memo index. Returns a server ready to
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind and store I/O failures.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        if config.socket.exists() {
+            std::fs::remove_file(&config.socket)?;
+        }
+        let listener = UnixListener::bind(&config.socket)?;
+        let scheduler = Scheduler::new(config.config.clone());
+        let store = match &config.store_dir {
+            Some(dir) => Some(MappingStore::open(dir, config.shards)?),
+            None => None,
+        };
+        let state = Arc::new(ServeState {
+            scheduler,
+            store: store.map(Mutex::new),
+            memo: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            socket: config.socket.clone(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            flights: Mutex::new(HashMap::new()),
+        });
+        warm_load(&state);
+        Ok(Server { listener, state, socket: config.socket })
+    }
+
+    /// Serves until a `shutdown` request arrives, then compacts the
+    /// store, removes the socket, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Accept-loop and shutdown-compaction I/O failures (per-connection
+    /// failures only close that connection).
+    pub fn run(self) -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // A transient accept failure must not kill the daemon.
+                Err(_) => continue,
+            };
+            let id = self.state.next_conn.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                lock_recover(&self.state.conns).insert(id, clone);
+            }
+            let state = Arc::clone(&self.state);
+            handles.push(std::thread::spawn(move || {
+                serve_connection(&state, stream);
+                lock_recover(&state.conns).remove(&id);
+            }));
+            // Reap finished handler threads so a long-lived daemon's
+            // handle list tracks live connections, not total accepts.
+            handles.retain(|h| !h.is_finished());
+        }
+        // Half-close every live connection: handlers parked in
+        // `read_frame` on idle clients wake with EOF and exit; in-flight
+        // requests still finish (writes stay open until the handler
+        // returns on its next read).
+        for (_, stream) in lock_recover(&self.state.conns).drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(store) = &self.state.store {
+            lock_recover(store).compact()?;
+        }
+        let _ = std::fs::remove_file(&self.socket);
+        Ok(())
+    }
+
+    /// The socket path this server listens on.
+    pub fn socket(&self) -> &std::path::Path {
+        &self.socket
+    }
+}
+
+/// Replays every store record into the session cache and memo index,
+/// verifying context fingerprint, mapping validity, and mapping
+/// fingerprint per record (see the module docs).
+fn warm_load(state: &ServeState) {
+    let Some(store) = &state.store else { return };
+    let records: Vec<StoreRecord> = lock_recover(store).iter().cloned().collect();
+    let mut memo = lock_recover(&state.memo);
+    for rec in records {
+        let loaded = (|| {
+            let arch = wire::arch_by_name(&rec.arch)?;
+            let workload = wire::workload_from_json(&rec.workload).ok()?;
+            if state.scheduler.context_fingerprint(&workload, &arch) != rec.ctx_fp {
+                return None;
+            }
+            let mapping = wire::mapping_from_json(&rec.mapping).ok()?;
+            if mapping_fingerprint(&mapping) != rec.mapping_fp {
+                return None;
+            }
+            // Re-validate and re-price under the current model; this also
+            // warms the session estimate cache for the search path.
+            let report = state.scheduler.prime_mapping(&workload, &arch, &mapping).ok()?;
+            Some(MemoEntry { mapping, mapping_fp: rec.mapping_fp, report, origin: Origin::Store })
+        })();
+        match loaded {
+            Some(entry) => {
+                memo.insert(rec.ctx_fp, Arc::new(entry));
+                state.counters.loaded.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                state.counters.load_skipped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Per-connection loop: read a frame, dispatch, write the response;
+/// repeat until disconnect or shutdown.
+fn serve_connection(state: &ServeState, stream: UnixStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match wire::read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean disconnect, or a client that died mid-frame: either
+            // way this connection is done; the daemon is unaffected.
+            Ok(None) | Err(_) => return,
+        };
+        state.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, shutdown) = match Request::parse(&payload) {
+            Ok(Request::Schedule { workload, arch }) => {
+                (schedule_response(state, &workload, &arch), false)
+            }
+            Ok(Request::ScheduleBatch { workloads, arch }) => {
+                let layers: Vec<Json> =
+                    workloads.iter().map(|w| schedule_response(state, w, &arch)).collect();
+                (
+                    Json::Obj(vec![
+                        ("ok".into(), Json::Bool(true)),
+                        ("layers".into(), Json::Arr(layers)),
+                    ]),
+                    false,
+                )
+            }
+            Ok(Request::CacheStats) => (stats_response(state), false),
+            Ok(Request::Shutdown) => (Json::Obj(vec![("ok".into(), Json::Bool(true))]), true),
+            Err(e) => (error_response("protocol", &e.to_string()), false),
+        };
+        if wire::write_frame(&mut writer, &response.to_string()).is_err() {
+            return;
+        }
+        if shutdown {
+            trigger_shutdown(state);
+            return;
+        }
+    }
+}
+
+/// Flags shutdown, then dials the socket so the accept loop (blocked in
+/// `incoming`) wakes, observes the flag, and exits.
+fn trigger_shutdown(state: &ServeState) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    let _ = UnixStream::connect(&state.socket);
+}
+
+fn error_kind(e: &ScheduleError) -> &'static str {
+    match e {
+        ScheduleError::Arch(_) => "arch",
+        ScheduleError::Binding(_) => "binding",
+        ScheduleError::NoValidMapping => "no_valid_mapping",
+        ScheduleError::InfeasibleLevel { .. } => "infeasible",
+        ScheduleError::InvalidConfig { .. } => "invalid_config",
+        ScheduleError::InvalidConstraints { .. } => "invalid_constraints",
+        ScheduleError::InvalidMapping { .. } => "invalid_mapping",
+        ScheduleError::Cancelled => "cancelled",
+        ScheduleError::BudgetExhausted => "budget_exhausted",
+        ScheduleError::Internal { .. } => "internal",
+        _ => "error",
+    }
+}
+
+fn error_response(kind: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("kind".into(), Json::Str(kind.into())),
+        ("error".into(), Json::Str(message.into())),
+    ])
+}
+
+fn result_body(ctx_fp: u64, source: &str, entry: &MemoEntry) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("source".into(), Json::Str(source.into())),
+        ("ctx_fp".into(), u64_str(ctx_fp)),
+        ("mapping_fp".into(), u64_str(entry.mapping_fp)),
+        ("edp".into(), Json::Num(entry.report.edp)),
+        ("energy_pj".into(), Json::Num(entry.report.energy_pj)),
+        ("delay_cycles".into(), Json::Num(entry.report.delay_cycles)),
+        ("mapping".into(), wire::mapping_to_json(&entry.mapping)),
+    ])
+}
+
+/// The memo tier: a hit (searched earlier or warm-loaded) serves in
+/// microseconds and bumps the matching counter.
+fn memo_hit(state: &ServeState, ctx_fp: u64) -> Option<Json> {
+    let entry = lock_recover(&state.memo).get(&ctx_fp).cloned()?;
+    let source = match entry.origin {
+        Origin::Store => {
+            state.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+            "store"
+        }
+        Origin::Memo => {
+            state.counters.memo_hits.fetch_add(1, Ordering::Relaxed);
+            "memo"
+        }
+    };
+    Some(result_body(ctx_fp, source, &entry))
+}
+
+/// The three-tier serve path for one workload (see the module docs).
+fn schedule_response(state: &ServeState, workload: &Workload, arch_name: &str) -> Json {
+    let Some(arch) = wire::arch_by_name(arch_name) else {
+        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return error_response("protocol", &format!("unknown architecture preset {arch_name:?}"));
+    };
+    let ctx_fp = state.scheduler.context_fingerprint(workload, &arch);
+    if let Some(hit) = memo_hit(state, ctx_fp) {
+        return hit;
+    }
+    // Single-flight: concurrent misses on the same context serialize
+    // here; whoever acquires first searches, everyone after re-checks
+    // the memo under the flight lock and hits.
+    let flight = Arc::clone(lock_recover(&state.flights).entry(ctx_fp).or_default());
+    let _guard = flight.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(hit) = memo_hit(state, ctx_fp) {
+        return hit;
+    }
+    state.counters.searches.fetch_add(1, Ordering::Relaxed);
+    let result = match state.scheduler.schedule(workload, &arch) {
+        Ok(r) => r,
+        Err(e) => {
+            lock_recover(&state.flights).remove(&ctx_fp);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(error_kind(&e), &e.to_string());
+        }
+    };
+    let entry = Arc::new(MemoEntry {
+        mapping_fp: mapping_fingerprint(&result.mapping),
+        report: result.report,
+        mapping: result.mapping,
+        origin: Origin::Memo,
+    });
+    let response = result_body(ctx_fp, "search", &entry);
+    if let Some(store) = &state.store {
+        let rec = StoreRecord {
+            ctx_fp,
+            mapping_fp: entry.mapping_fp,
+            arch: arch_name.to_string(),
+            edp: entry.report.edp,
+            energy_pj: entry.report.energy_pj,
+            delay_cycles: entry.report.delay_cycles,
+            workload: wire::workload_to_json(workload),
+            mapping: wire::mapping_to_json(&entry.mapping),
+        };
+        // A full disk degrades persistence, not serving.
+        let _ = lock_recover(store).append(rec);
+    }
+    lock_recover(&state.memo).insert(ctx_fp, entry);
+    lock_recover(&state.flights).remove(&ctx_fp);
+    response
+}
+
+fn stats_response(state: &ServeState) -> Json {
+    let c = &state.counters;
+    let session = state.scheduler.cache_stats();
+    let mut pairs = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("requests".into(), Json::Num(c.requests.load(Ordering::Relaxed) as f64)),
+        ("searches".into(), Json::Num(c.searches.load(Ordering::Relaxed) as f64)),
+        ("memo_hits".into(), Json::Num(c.memo_hits.load(Ordering::Relaxed) as f64)),
+        ("store_hits".into(), Json::Num(c.store_hits.load(Ordering::Relaxed) as f64)),
+        ("errors".into(), Json::Num(c.errors.load(Ordering::Relaxed) as f64)),
+        ("memo_entries".into(), Json::Num(lock_recover(&state.memo).len() as f64)),
+        (
+            "session".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(session.hits as f64)),
+                ("misses".into(), Json::Num(session.misses as f64)),
+                ("entries".into(), Json::Num(session.entries as f64)),
+                ("pool_rounds".into(), Json::Num(session.pool_rounds as f64)),
+            ]),
+        ),
+    ];
+    if let Some(store) = &state.store {
+        let s = lock_recover(store).stats();
+        pairs.push((
+            "store".into(),
+            Json::Obj(vec![
+                ("records".into(), Json::Num(s.records as f64)),
+                ("corrupt_lines".into(), Json::Num(s.corrupt_lines as f64)),
+                ("stale_shards".into(), Json::Num(s.stale_shards as f64)),
+                ("appended".into(), Json::Num(s.appended as f64)),
+                ("loaded".into(), Json::Num(c.loaded.load(Ordering::Relaxed) as f64)),
+                ("load_skipped".into(), Json::Num(c.load_skipped.load(Ordering::Relaxed) as f64)),
+            ]),
+        ));
+    }
+    Json::Obj(pairs)
+}

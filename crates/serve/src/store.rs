@@ -1,0 +1,441 @@
+//! The persistent on-disk mapping store: best mapping + cost per
+//! scheduling context, surviving daemon restarts.
+//!
+//! # Format
+//!
+//! A store is a directory of JSON-lines shards, `shard-NN.log`. Every
+//! shard starts with a header line
+//!
+//! ```json
+//! {"schema":"sunstone-store/v1","cost_model":1,"shards":4}
+//! ```
+//!
+//! followed by one record per line:
+//!
+//! ```json
+//! {"ctx_fp":"…","mapping_fp":"…","arch":"simba_like","edp":…,
+//!  "energy_pj":…,"delay_cycles":…,"workload":{…},"mapping":{…}}
+//! ```
+//!
+//! Fingerprints are decimal strings (u64s do not survive JSON numbers);
+//! the workload and mapping are embedded in full so a fresh daemon can
+//! rebuild the problem, re-validate the mapping, and re-price it under
+//! the current cost model — the stored EDP is a cache, never an oracle.
+//!
+//! # Crash safety
+//!
+//! Appends go through a buffered writer with one `write_all` per line, so
+//! an unclean shutdown can only truncate the *tail* of a shard.
+//! [`MappingStore::open`] therefore skips unparseable lines (counting
+//! them in [`StoreStats::corrupt_lines`]) instead of failing: a torn
+//! record loses one result, never the store. A shard whose *header* is
+//! missing, wrong-schema, or priced under a different
+//! [`COST_MODEL_VERSION`] is
+//! discarded wholesale — replaying costs from an older model would serve
+//! wrong numbers as current.
+//!
+//! # Compaction
+//!
+//! Appends are log-structured: a context scheduled twice appears twice,
+//! last record winning at load. [`MappingStore::compact`] (called on
+//! graceful shutdown) rewrites each shard to exactly one record per
+//! context via a temp file + atomic rename, so a crash *during*
+//! compaction leaves either the old or the new shard, both valid.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::PathBuf;
+
+use sunstone_model::COST_MODEL_VERSION;
+
+use crate::json::{self, u64_str, Json};
+
+/// Store schema identifier; bump on any incompatible layout change.
+pub const SCHEMA: &str = "sunstone-store/v1";
+
+/// One persisted scheduling result.
+#[derive(Debug, Clone)]
+pub struct StoreRecord {
+    /// The session's context fingerprint (workload, arch, config,
+    /// constraints) — the lookup key.
+    pub ctx_fp: u64,
+    /// Fingerprint of the stored mapping, for bit-identity gating.
+    pub mapping_fp: u64,
+    /// Architecture preset name the result was produced on.
+    pub arch: String,
+    /// Stored cost figures (re-priced at load; see the module docs).
+    pub edp: f64,
+    pub energy_pj: f64,
+    pub delay_cycles: f64,
+    /// Self-contained workload encoding ([`crate::wire::workload_to_json`]).
+    pub workload: Json,
+    /// Mapping encoding ([`crate::wire::mapping_to_json`]).
+    pub mapping: Json,
+}
+
+impl StoreRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("ctx_fp".into(), u64_str(self.ctx_fp)),
+            ("mapping_fp".into(), u64_str(self.mapping_fp)),
+            ("arch".into(), Json::Str(self.arch.clone())),
+            ("edp".into(), Json::Num(self.edp)),
+            ("energy_pj".into(), Json::Num(self.energy_pj)),
+            ("delay_cycles".into(), Json::Num(self.delay_cycles)),
+            ("workload".into(), self.workload.clone()),
+            ("mapping".into(), self.mapping.clone()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<StoreRecord> {
+        Some(StoreRecord {
+            ctx_fp: v.get("ctx_fp")?.as_u64_str()?,
+            mapping_fp: v.get("mapping_fp")?.as_u64_str()?,
+            arch: v.get("arch")?.as_str()?.to_string(),
+            edp: v.get("edp")?.as_f64()?,
+            energy_pj: v.get("energy_pj")?.as_f64()?,
+            delay_cycles: v.get("delay_cycles")?.as_f64()?,
+            workload: v.get("workload")?.clone(),
+            mapping: v.get("mapping")?.clone(),
+        })
+    }
+}
+
+/// Load-time statistics, surfaced through `cache_stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Distinct contexts loaded.
+    pub records: usize,
+    /// Unparseable or truncated lines skipped at load.
+    pub corrupt_lines: usize,
+    /// Shards discarded for schema or cost-model version mismatch.
+    pub stale_shards: usize,
+    /// Records appended since open.
+    pub appended: u64,
+}
+
+/// The persistent store: an in-memory latest-per-context index over
+/// sharded append logs.
+#[derive(Debug)]
+pub struct MappingStore {
+    dir: PathBuf,
+    shards: usize,
+    /// Latest record per context fingerprint.
+    records: HashMap<u64, StoreRecord>,
+    /// Open appenders, one per shard (lazily created).
+    writers: Vec<Option<BufWriter<File>>>,
+    stats: StoreStats,
+}
+
+impl MappingStore {
+    /// Opens (or initializes) a store directory with `shards` shard files.
+    /// Existing shards are replayed into the in-memory index; see the
+    /// module docs for how corruption and version skew degrade.
+    ///
+    /// # Errors
+    ///
+    /// Only filesystem failures (directory creation, unreadable files)
+    /// error; corrupt *content* never does.
+    pub fn open(dir: impl Into<PathBuf>, shards: usize) -> std::io::Result<MappingStore> {
+        let dir = dir.into();
+        let shards = shards.clamp(1, 64);
+        fs::create_dir_all(&dir)?;
+        let mut store = MappingStore {
+            dir,
+            shards,
+            records: HashMap::new(),
+            writers: (0..shards).map(|_| None).collect(),
+            stats: StoreStats::default(),
+        };
+        for i in 0..shards {
+            store.load_shard(i)?;
+        }
+        store.stats.records = store.records.len();
+        Ok(store)
+    }
+
+    fn shard_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard:02}.log"))
+    }
+
+    fn shard_of(&self, ctx_fp: u64) -> usize {
+        // Top bits: FNV output mixes well, and the prefix keeps related
+        // contexts spread even if low bits ever become structured.
+        (ctx_fp >> 56) as usize % self.shards
+    }
+
+    fn header(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("cost_model".into(), Json::Num(f64::from(COST_MODEL_VERSION))),
+            ("shards".into(), Json::Num(self.shards as f64)),
+        ])
+        .to_string()
+    }
+
+    fn header_is_current(line: &str) -> bool {
+        let Ok(v) = json::parse(line) else { return false };
+        v.get("schema").and_then(Json::as_str) == Some(SCHEMA)
+            && v.get("cost_model").and_then(Json::as_u64) == Some(u64::from(COST_MODEL_VERSION))
+    }
+
+    fn load_shard(&mut self, shard: usize) -> std::io::Result<()> {
+        let path = self.shard_path(shard);
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let mut lines = BufReader::new(file).lines();
+        match lines.next() {
+            Some(Ok(header)) if Self::header_is_current(&header) => {}
+            // Missing, torn, or version-skewed header: the whole shard is
+            // untrusted. Drop it on disk too, so a later append does not
+            // graft current-version records onto a stale file.
+            _ => {
+                self.stats.stale_shards += 1;
+                fs::remove_file(&path)?;
+                return Ok(());
+            }
+        }
+        for line in lines {
+            let Ok(line) = line else {
+                // Unreadable tail (e.g. torn multi-byte sequence).
+                self.stats.corrupt_lines += 1;
+                break;
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match json::parse(&line).ok().as_ref().and_then(StoreRecord::from_json) {
+                Some(rec) => {
+                    self.records.insert(rec.ctx_fp, rec);
+                }
+                // A torn tail line (unclean shutdown) or bit rot: skip
+                // and count, never fail the open.
+                None => self.stats.corrupt_lines += 1,
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of distinct contexts currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Load/append statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats { records: self.records.len(), ..self.stats }
+    }
+
+    /// The latest record for `ctx_fp`, if any.
+    pub fn get(&self, ctx_fp: u64) -> Option<&StoreRecord> {
+        self.records.get(&ctx_fp)
+    }
+
+    /// Iterates over the latest record of every context.
+    pub fn iter(&self) -> impl Iterator<Item = &StoreRecord> {
+        self.records.values()
+    }
+
+    /// Appends `record` to its shard (creating the shard with a fresh
+    /// header if needed) and updates the in-memory index.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures; the in-memory index is updated regardless, so
+    /// a full disk degrades persistence but not serving.
+    pub fn append(&mut self, record: StoreRecord) -> std::io::Result<()> {
+        let shard = self.shard_of(record.ctx_fp);
+        let line = record.to_json().to_string();
+        self.records.insert(record.ctx_fp, record);
+        self.stats.appended += 1;
+        if self.writers[shard].is_none() {
+            let path = self.shard_path(shard);
+            let fresh = !path.exists();
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            let mut w = BufWriter::new(file);
+            if fresh {
+                w.write_all(self.header().as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            self.writers[shard] = Some(w);
+        }
+        let w = self.writers[shard].as_mut().expect("writer just ensured");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+
+    /// Rewrites every shard to exactly one line per context (latest
+    /// wins), via temp file + atomic rename. Called on graceful shutdown;
+    /// safe to call repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures. A failed compaction leaves the previous
+    /// shards intact (the rename is the commit point).
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        // Close appenders first so the rename below supersedes them.
+        self.writers = (0..self.shards).map(|_| None).collect();
+        for shard in 0..self.shards {
+            let mut recs: Vec<&StoreRecord> =
+                self.records.values().filter(|r| self.shard_of(r.ctx_fp) == shard).collect();
+            let path = self.shard_path(shard);
+            if recs.is_empty() {
+                if path.exists() {
+                    fs::remove_file(&path)?;
+                }
+                continue;
+            }
+            // Deterministic order: compacting the same contents twice
+            // produces byte-identical shards.
+            recs.sort_by_key(|r| r.ctx_fp);
+            let tmp = self.dir.join(format!("shard-{shard:02}.tmp"));
+            {
+                let mut w = BufWriter::new(File::create(&tmp)?);
+                w.write_all(self.header().as_bytes())?;
+                w.write_all(b"\n")?;
+                for rec in recs {
+                    w.write_all(rec.to_json().to_string().as_bytes())?;
+                    w.write_all(b"\n")?;
+                }
+                w.flush()?;
+            }
+            fs::rename(&tmp, &path)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ctx: u64, edp: f64) -> StoreRecord {
+        StoreRecord {
+            ctx_fp: ctx,
+            mapping_fp: ctx.wrapping_mul(3),
+            arch: "simba_like".into(),
+            edp,
+            energy_pj: 1.0,
+            delay_cycles: 2.0,
+            workload: Json::Obj(vec![("name".into(), Json::Str("w".into()))]),
+            mapping: Json::Obj(vec![("levels".into(), Json::Arr(vec![]))]),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("sunstone-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn append_reload_latest_wins() {
+        let dir = tmpdir("reload");
+        {
+            let mut s = MappingStore::open(&dir, 4).unwrap();
+            s.append(rec(1, 10.0)).unwrap();
+            s.append(rec(2, 20.0)).unwrap();
+            s.append(rec(1, 5.0)).unwrap(); // supersedes
+        }
+        let s = MappingStore::open(&dir, 4).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1).unwrap().edp, 5.0);
+        assert_eq!(s.get(2).unwrap().edp, 20.0);
+        assert_eq!(s.stats().corrupt_lines, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped_not_fatal() {
+        let dir = tmpdir("torn");
+        {
+            let mut s = MappingStore::open(&dir, 1).unwrap();
+            s.append(rec(7, 1.0)).unwrap();
+            s.append(rec(8, 2.0)).unwrap();
+        }
+        // Simulate an unclean shutdown: cut the last line mid-record.
+        let path = dir.join("shard-00.log");
+        let contents = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &contents[..contents.len() - 30]).unwrap();
+        let s = MappingStore::open(&dir, 1).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.get(7).is_some());
+        assert_eq!(s.stats().corrupt_lines, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_discards_the_shard() {
+        let dir = tmpdir("skew");
+        {
+            let mut s = MappingStore::open(&dir, 1).unwrap();
+            s.append(rec(9, 1.0)).unwrap();
+        }
+        let path = dir.join("shard-00.log");
+        let contents = fs::read_to_string(&path).unwrap();
+        let bumped = contents.replacen(
+            &format!("\"cost_model\":{COST_MODEL_VERSION}"),
+            &format!("\"cost_model\":{}", COST_MODEL_VERSION + 1),
+            1,
+        );
+        assert_ne!(contents, bumped, "header rewrite must take");
+        fs::write(&path, bumped).unwrap();
+        let s = MappingStore::open(&dir, 1).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.stats().stale_shards, 1);
+        assert!(!path.exists(), "stale shard is removed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_dedups_and_survives_reopen() {
+        let dir = tmpdir("compact");
+        {
+            let mut s = MappingStore::open(&dir, 2).unwrap();
+            for i in 0..10u64 {
+                s.append(rec(i << 56, i as f64)).unwrap(); // spread shards
+                s.append(rec(i << 56, i as f64 + 100.0)).unwrap();
+            }
+            s.compact().unwrap();
+        }
+        let s = MappingStore::open(&dir, 2).unwrap();
+        assert_eq!(s.len(), 10);
+        for i in 0..10u64 {
+            assert_eq!(s.get(i << 56).unwrap().edp, i as f64 + 100.0);
+        }
+        // One line per record plus a header per existing shard.
+        let mut lines = 0;
+        for i in 0..2 {
+            let p = dir.join(format!("shard-{i:02}.log"));
+            if p.exists() {
+                lines += fs::read_to_string(p).unwrap().lines().count();
+            }
+        }
+        assert_eq!(lines, 10 + 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_after_compact_keeps_appending() {
+        let dir = tmpdir("appendafter");
+        let mut s = MappingStore::open(&dir, 1).unwrap();
+        s.append(rec(1, 1.0)).unwrap();
+        s.compact().unwrap();
+        s.append(rec(2, 2.0)).unwrap();
+        drop(s);
+        let s = MappingStore::open(&dir, 1).unwrap();
+        assert_eq!(s.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,288 @@
+//! End-to-end daemon tests: concurrent clients, bit-identity against the
+//! library path, crash-safety of the store, and restart warm-loading.
+//!
+//! Each test binds its own socket under the temp dir and runs the accept
+//! loop on a background thread; `shutdown` requests (the same path real
+//! clients use) bring the daemon down.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+use sunstone::fingerprint::mapping_fingerprint;
+use sunstone::prelude::*;
+use sunstone_ir::Workload;
+use sunstone_serve::json::{self, Json};
+use sunstone_serve::wire::{self, workload_to_json};
+use sunstone_serve::{ServeConfig, Server};
+
+fn conv(name: &str, k: u64, c: u64, pq: u64, r: u64) -> Workload {
+    let mut b = Workload::builder(name);
+    let n = b.dim("N", 1);
+    let kd = b.dim("K", k);
+    let cd = b.dim("C", c);
+    let p = b.dim("P", pq);
+    let q = b.dim("Q", pq);
+    let rd = b.dim("R", r);
+    let s = b.dim("S", r);
+    b.input("ifmap", [n.expr(), cd.expr(), p + rd, q + s]);
+    b.input("weight", [kd.expr(), cd.expr(), rd.expr(), s.expr()]);
+    b.output("ofmap", [n.expr(), kd.expr(), p.expr(), q.expr()]);
+    b.build().unwrap()
+}
+
+/// A small mixed-shape layer set (fast to search in debug builds).
+fn mix() -> Vec<Workload> {
+    vec![conv("a", 8, 8, 7, 3), conv("b", 16, 4, 7, 1), conv("c", 4, 16, 14, 3)]
+}
+
+/// Unique per-test scratch paths (socket + store dir).
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("sunstone-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    (base.join("sock"), base.join("store"))
+}
+
+fn start(config: ServeConfig) -> JoinHandle<()> {
+    let server = Server::bind(config).expect("binds");
+    std::thread::spawn(move || server.run().expect("runs"))
+}
+
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+impl Client {
+    fn connect(socket: &Path) -> Client {
+        let stream = UnixStream::connect(socket).expect("connects");
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { reader, writer: BufWriter::new(stream) }
+    }
+
+    fn call(&mut self, request: &Json) -> Json {
+        wire::write_frame(&mut self.writer, &request.to_string()).expect("writes");
+        let payload = wire::read_frame(&mut self.reader).expect("reads").expect("response");
+        json::parse(&payload).expect("valid response JSON")
+    }
+
+    fn schedule(&mut self, w: &Workload) -> Json {
+        self.call(&Json::Obj(vec![
+            ("op".into(), Json::Str("schedule".into())),
+            ("arch".into(), Json::Str("conventional".into())),
+            ("workload".into(), workload_to_json(w)),
+        ]))
+    }
+
+    fn stats(&mut self) -> Json {
+        self.call(&Json::Obj(vec![("op".into(), Json::Str("cache_stats".into()))]))
+    }
+
+    fn shutdown(&mut self) {
+        let r = self.call(&Json::Obj(vec![("op".into(), Json::Str("shutdown".into()))]));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}
+
+fn fp_of(response: &Json) -> u64 {
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true), "daemon error: {response}");
+    response.get("mapping_fp").and_then(Json::as_u64_str).expect("mapping_fp")
+}
+
+fn source_of(response: &Json) -> &str {
+    response.get("source").and_then(Json::as_str).expect("source")
+}
+
+/// Library-path reference fingerprints, same config as the daemon.
+fn reference_fps(layers: &[Workload]) -> Vec<u64> {
+    let scheduler = Scheduler::new(SunstoneConfig::default());
+    let arch = wire::arch_by_name("conventional").unwrap();
+    layers
+        .iter()
+        .map(|w| mapping_fingerprint(&scheduler.schedule(w, &arch).expect("schedules").mapping))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_results() {
+    let (socket, _) = scratch("concurrent");
+    let handle = start(ServeConfig::new(&socket));
+    let layers = mix();
+    let expected = reference_fps(&layers);
+
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let socket = socket.clone();
+            let layers = layers.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket);
+                // Each client walks the mix from a different offset, so
+                // every layer is requested concurrently by several
+                // clients, some while the first search is in flight.
+                (0..layers.len())
+                    .map(|j| {
+                        let w = &layers[(i + j) % layers.len()];
+                        ((i + j) % layers.len(), fp_of(&client.schedule(w)))
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for handle in clients {
+        for (idx, fp) in handle.join().expect("client thread") {
+            assert_eq!(fp, expected[idx], "served mapping diverged from the library");
+        }
+    }
+
+    let mut control = Client::connect(&socket);
+    let stats = control.stats();
+    assert_eq!(stats.get("searches").and_then(Json::as_f64), Some(3.0), "one search per layer");
+    assert_eq!(stats.get("errors").and_then(Json::as_f64), Some(0.0));
+    control.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn client_killed_mid_frame_leaves_daemon_serving() {
+    let (socket, _) = scratch("killed");
+    let handle = start(ServeConfig::new(&socket));
+    let layers = mix();
+    let expected = reference_fps(&layers);
+
+    let mut survivor = Client::connect(&socket);
+    assert_eq!(fp_of(&survivor.schedule(&layers[0])), expected[0]);
+
+    // A client dies mid-request: the frame header promises 512 bytes but
+    // the connection drops after 7. The daemon must drop the connection
+    // and keep serving everyone else.
+    {
+        let mut doomed = UnixStream::connect(&socket).unwrap();
+        doomed.write_all(&512u32.to_le_bytes()).unwrap();
+        doomed.write_all(b"{\"op\":\"").unwrap();
+        doomed.flush().unwrap();
+    } // dropped here, mid-frame
+
+    for (i, w) in layers.iter().enumerate() {
+        assert_eq!(fp_of(&survivor.schedule(w)), expected[i], "daemon wedged after client death");
+    }
+    let mut fresh = Client::connect(&socket);
+    assert_eq!(fp_of(&fresh.schedule(&layers[1])), expected[1], "new connections still accepted");
+    survivor.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn schedule_batch_answers_every_layer() {
+    let (socket, _) = scratch("batch");
+    let handle = start(ServeConfig::new(&socket));
+    let layers = mix();
+    let expected = reference_fps(&layers);
+
+    let mut client = Client::connect(&socket);
+    let response = client.call(&Json::Obj(vec![
+        ("op".into(), Json::Str("schedule_batch".into())),
+        ("arch".into(), Json::Str("conventional".into())),
+        ("workloads".into(), Json::Arr(layers.iter().map(workload_to_json).collect())),
+    ]));
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    let rows = response.get("layers").and_then(Json::as_arr).expect("layers");
+    assert_eq!(rows.len(), layers.len());
+    for (row, fp) in rows.iter().zip(&expected) {
+        assert_eq!(fp_of(row), *fp);
+    }
+    client.shutdown();
+    handle.join().unwrap();
+}
+
+/// Snapshot of a store directory taken *before* clean shutdown — exactly
+/// the on-disk state an unclean daemon death leaves behind (per-record
+/// flushed appends, no compaction).
+fn snapshot_store(store: &Path, tag: &str) -> PathBuf {
+    let dest = store.with_file_name(format!("store-{tag}"));
+    std::fs::create_dir_all(&dest).unwrap();
+    for entry in std::fs::read_dir(store).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dest.join(entry.file_name())).unwrap();
+    }
+    dest
+}
+
+#[test]
+fn store_survives_unclean_shutdown_and_truncated_tail() {
+    let (socket, store) = scratch("unclean");
+    let handle = start(ServeConfig::new(&socket).with_store(&store));
+    let layers = mix();
+    let expected = reference_fps(&layers);
+
+    let mut client = Client::connect(&socket);
+    for w in &layers {
+        assert_eq!(source_of(&client.schedule(w)), "search");
+    }
+    // Crash state: appends are flushed per record, compaction never ran.
+    let crashed = snapshot_store(&store, "crashed");
+    client.shutdown();
+    handle.join().unwrap();
+
+    // A torn final append (daemon died mid-write) on every shard.
+    let mut torn_any = false;
+    for entry in std::fs::read_dir(&crashed).unwrap() {
+        let path = entry.unwrap().path();
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"ctx_fp\":\"12345\",\"mapping_").unwrap();
+        torn_any = true;
+    }
+    assert!(torn_any, "store had no shards to tear");
+
+    let socket2 = socket.with_file_name("sock2");
+    let handle2 = start(ServeConfig::new(&socket2).with_store(&crashed));
+    let mut client2 = Client::connect(&socket2);
+    for (i, w) in layers.iter().enumerate() {
+        let response = client2.schedule(w);
+        assert_eq!(source_of(&response), "store", "layer {i} not served from the store");
+        assert_eq!(fp_of(&response), expected[i]);
+    }
+    let stats = client2.stats();
+    let store_stats = stats.get("store").expect("store stats");
+    assert_eq!(store_stats.get("loaded").and_then(Json::as_f64), Some(layers.len() as f64));
+    assert_eq!(store_stats.get("load_skipped").and_then(Json::as_f64), Some(0.0));
+    assert!(
+        store_stats.get("corrupt_lines").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0,
+        "torn tails must be counted"
+    );
+    assert_eq!(stats.get("store_hits").and_then(Json::as_f64), Some(layers.len() as f64));
+    client2.shutdown();
+    handle2.join().unwrap();
+}
+
+#[test]
+fn restarted_daemon_serves_repeated_layer_from_store() {
+    let (socket, store) = scratch("restart");
+    let layers = mix();
+
+    // Session 1: search, persist, clean shutdown (compacts).
+    let handle = start(ServeConfig::new(&socket).with_store(&store));
+    let mut client = Client::connect(&socket);
+    let first = client.schedule(&layers[0]);
+    assert_eq!(source_of(&first), "search");
+    let fp = fp_of(&first);
+    // A repeat within the session is a memo hit, not a store hit.
+    assert_eq!(source_of(&client.schedule(&layers[0])), "memo");
+    client.shutdown();
+    handle.join().unwrap();
+
+    // Session 2: the very first request for the repeated layer must be
+    // answered from the warm-loaded store, and counted as such.
+    let handle = start(ServeConfig::new(&socket).with_store(&store));
+    let mut client = Client::connect(&socket);
+    let again = client.schedule(&layers[0]);
+    assert_eq!(source_of(&again), "store");
+    assert_eq!(fp_of(&again), fp, "restart changed the served mapping");
+    let stats = client.stats();
+    assert_eq!(stats.get("store_hits").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(stats.get("searches").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(stats.get("store").and_then(|s| s.get("loaded")).and_then(Json::as_f64), Some(1.0));
+    client.shutdown();
+    handle.join().unwrap();
+}
