@@ -33,6 +33,12 @@ echo "== fault injection: build + soak =="
 # recovery on the same session.
 cargo clippy -p sunstone --features fault-injection --all-targets -- -D warnings
 cargo test -q -p sunstone --features fault-injection --test fault_injection
+# The serve-layer chaos soak: every serve failpoint (frame read, store
+# append, fsync, compaction rename, handler spawn) cycled through panic
+# and delay under eight concurrent clients, with fingerprint-checked
+# responses, bounded joins, and restart-from-store after every cycle.
+cargo clippy -p sunstone-serve --features fault-injection --all-targets -- -D warnings
+cargo test -q -p sunstone-serve --features fault-injection --test fault_injection
 
 echo "== release degenerate-input smoke =="
 # Debug builds catch arithmetic overflow implicitly; the release profile
@@ -97,27 +103,32 @@ print(
 EOF
 rm -f BENCH_schedule_quick.json
 
-echo "== serve smoke: daemon + bench_serve + restart warm-load =="
-# Start a daemon on a scratch socket/store, run the smoke bench against
-# it (warm every layer, gate every served mapping_fp against the library
-# path, measure the zipfian timed phase), then restart the daemon on the
-# same store and require the probe to be answered entirely from the
-# warm-loaded cache. The bench's --shutdown flag reaps each daemon.
+echo "== serve smoke: daemon + bench_serve + overload flood + restart warm-load =="
+# Start a daemon on a scratch socket/store with a deliberately tiny
+# connection cap, run the smoke bench against it (warm every layer, gate
+# every served mapping_fp against the library path, measure the zipfian
+# timed phase, then flood it with 64 simultaneous clients against the
+# cap of 4), then restart the daemon on the same store and require the
+# probe to be answered entirely from the warm-loaded cache. The smoke
+# phases use 2 bench clients + 1 control connection, so the cap of 4
+# only bites during the flood. The bench's --shutdown flag reaps each
+# daemon.
 SERVE_DIR="$(mktemp -d)"
 SERVE_SOCK="$SERVE_DIR/sock"
 cargo build --release -p sunstone-serve -p sunstone-bench --bin bench_serve
-./target/release/sunstone-serve --socket "$SERVE_SOCK" --store "$SERVE_DIR/store" &
+./target/release/sunstone-serve --socket "$SERVE_SOCK" --store "$SERVE_DIR/store" \
+    --max-conns 4 &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SERVE_DIR"' EXIT
 for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
 [ -S "$SERVE_SOCK" ] || { echo "daemon socket never appeared"; exit 1; }
-./target/release/bench_serve --socket "$SERVE_SOCK" smoke \
+./target/release/bench_serve --socket "$SERVE_SOCK" smoke --flood 64 \
     --out BENCH_serve_smoke.json --shutdown
 wait "$SERVE_PID"
 python3 - <<'EOF'
 import json
 d = json.load(open("BENCH_serve_smoke.json"))
-assert d.get("schema") == "sunstone-bench-serve/v1", d.get("schema")
+assert d.get("schema") == "sunstone-bench-serve/v2", d.get("schema")
 assert d.get("layers"), "no layers recorded"
 for row in d["layers"]:
     for field in ("name", "source", "ctx_fp", "mapping_fp", "edp"):
@@ -133,9 +144,22 @@ assert d["hit_rate"] >= 0.99, f"warm-cache hit rate {d['hit_rate']} < 0.99"
 assert lat["qps"] >= 1000, f"warm-cache qps {lat['qps']} < 1000"
 assert lat["p99_ms"] < 50, f"warm-cache p99 {lat['p99_ms']} ms >= 50"
 assert d["daemon"]["errors"] == 0, "daemon reported request errors"
+# Overload gates: the flood must have shed (the cap actually bit), every
+# response served *through* the overload must still be fingerprint-
+# identical to the library, and once the burst subsides no handler may
+# linger (post_flood_live counts connections beyond the control one).
+ov = d.get("overload")
+assert ov, "no overload block — the flood phase did not run"
+assert ov["flood_clients"] == 64, ov["flood_clients"]
+assert ov["fp_mismatches"] == 0, f"{ov['fp_mismatches']} flood responses diverged"
+assert ov["shed"] > 0, "flood shed nothing — the connection cap never engaged"
+assert ov["daemon_shed_connections"] > 0, "daemon counted no shed connections"
+assert ov["post_flood_live"] == 0, f"{ov['post_flood_live']} connection(s) leaked after the flood"
+assert ov["ok"] > 0, "no flood client was ever admitted"
 print(
     f"BENCH_serve_smoke.json OK ({d['unique_layers']} layers, {lat['qps']:.0f} qps,"
-    f" p99 {lat['p99_ms']:.2f} ms, 0 fingerprint mismatches)"
+    f" p99 {lat['p99_ms']:.2f} ms, 0 fingerprint mismatches;"
+    f" flood: {ov['ok']} ok / {ov['shed']} shed / {ov['post_flood_live']} leaked)"
 )
 EOF
 rm -f BENCH_serve_smoke.json

@@ -16,10 +16,18 @@
 //!    over the ResNet-18 + MobileNetV2 layer mix, recording per-request
 //!    latency; the report carries p50/p99/mean and aggregate qps plus
 //!    the daemon's own hit counters.
+//! 4. **flood** (`--flood N`, off by default) — N clients connect at
+//!    once (barrier-released) against a daemon whose connection cap is
+//!    far smaller, each issuing up to four warm-layer requests. Every
+//!    served response is fingerprint-checked, every typed `overloaded`
+//!    shed is counted, and afterwards the daemon is polled until its
+//!    `conns_live` drains back to the control connection alone — the
+//!    `overload` block is what `ci.sh` gates on (zero mismatches, zero
+//!    leaked handlers, shed > 0).
 //!
 //! ```text
 //! Usage: bench_serve --socket PATH [smoke|probe] [--requests N]
-//!                    [--clients N] [--out FILE] [--shutdown]
+//!                    [--clients N] [--flood N] [--out FILE] [--shutdown]
 //! ```
 //!
 //! * `smoke` — CI mode: fewer layers, fewer requests.
@@ -31,12 +39,13 @@
 //!
 //! The schema is documented in `results/README.md`.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufReader, BufWriter};
 use std::os::unix::net::UnixStream;
 use std::process::ExitCode;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -138,6 +147,88 @@ fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// What one flood client observed (summed over the burst for the
+/// report's `overload` block).
+#[derive(Default)]
+struct FloodTally {
+    /// Served responses whose `mapping_fp` matched the warm phase.
+    ok: usize,
+    /// Typed `overloaded` sheds (connection- or request-level).
+    shed: usize,
+    /// Transport failures: refused connects, unparseable frames, EOF.
+    errors: usize,
+    /// Served responses that contradicted the warm phase — the one
+    /// number that must be zero no matter how hard the daemon sheds.
+    fp_mismatches: usize,
+}
+
+/// One flood client: barrier-released connect, then up to four
+/// warm-layer requests. The request write runs unconditionally but its
+/// result is ignored — a shed connection's `overloaded` frame is
+/// written by the daemon at accept time and sits in the local receive
+/// buffer even when the write half is already broken, so the read that
+/// follows classifies the connection either way.
+fn flood_client(
+    socket: &str,
+    offset: usize,
+    layers: &[Workload],
+    expect: &HashMap<u64, u64>,
+    barrier: &Barrier,
+) -> FloodTally {
+    let mut tally = FloodTally::default();
+    barrier.wait();
+    let stream = match UnixStream::connect(socket) {
+        Ok(s) => s,
+        Err(_) => {
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let clone = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    let mut reader = BufReader::new(clone);
+    let mut writer = BufWriter::new(stream);
+    for j in 0..4 {
+        let w = &layers[(offset + j) % layers.len()];
+        let _ = wire::write_frame(&mut writer, &schedule_request(w).to_string());
+        let response = match wire::read_frame(&mut reader) {
+            Ok(Some(payload)) => match json::parse(&payload) {
+                Ok(v) => v,
+                Err(_) => {
+                    tally.errors += 1;
+                    return tally;
+                }
+            },
+            Ok(None) | Err(_) => {
+                tally.errors += 1;
+                return tally;
+            }
+        };
+        if response.get("kind").and_then(Json::as_str) == Some("overloaded") {
+            tally.shed += 1;
+            return tally;
+        }
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            tally.errors += 1;
+            return tally;
+        }
+        let ctx = response.get("ctx_fp").and_then(Json::as_u64_str).unwrap_or(0);
+        let fp = response.get("mapping_fp").and_then(Json::as_u64_str).unwrap_or(0);
+        if expect.get(&ctx) == Some(&fp) {
+            tally.ok += 1;
+        } else {
+            tally.fp_mismatches += 1;
+        }
+    }
+    tally
+}
+
 fn counter(stats: &Json, path: &[&str]) -> f64 {
     let mut v = stats;
     for key in path {
@@ -213,7 +304,7 @@ fn main() -> ExitCode {
     let Some(socket) = flag("--socket").map(str::to_string) else {
         eprintln!(
             "Usage: bench_serve --socket PATH [smoke|probe] [--requests N] \
-             [--clients N] [--out FILE] [--shutdown]"
+             [--clients N] [--flood N] [--out FILE] [--shutdown]"
         );
         return ExitCode::from(2);
     };
@@ -221,6 +312,7 @@ fn main() -> ExitCode {
         flag("--requests").and_then(|v| v.parse().ok()).unwrap_or(if smoke { 400 } else { 4000 });
     let clients: usize =
         flag("--clients").and_then(|v| v.parse().ok()).unwrap_or(if smoke { 2 } else { 4 });
+    let flood: usize = flag("--flood").and_then(|v| v.parse().ok()).unwrap_or(0);
     let out_path = flag("--out").unwrap_or("BENCH_serve.json").to_string();
 
     let layers = Arc::new(layer_mix(smoke || probe_mode));
@@ -355,13 +447,91 @@ fn main() -> ExitCode {
         println!("  WARNING: below the warm-cache target (>=1000 qps, p99 < 50 ms)");
     }
 
+    // Phase 4 (optional): flood — a barrier-released burst of `--flood`
+    // simultaneous connections against the daemon's admission cap.
+    // Everything served must still be fingerprint-correct, sheds must be
+    // the typed `overloaded` frame, and afterwards `conns_live` must
+    // drain back to the control connection alone (a leaked handler
+    // thread shows up here as a connection that never dies).
+    struct FloodReport {
+        tally: FloodTally,
+        post_flood_live: f64,
+        daemon_shed_connections: f64,
+        daemon_shed_requests: f64,
+        drain_ms: f64,
+    }
+    let flood_report: Option<FloodReport> = if flood > 0 {
+        let expect: Arc<HashMap<u64, u64>> =
+            Arc::new(warm_rows.iter().map(|r| (r.ctx_fp, r.mapping_fp)).collect());
+        let stats_pre = control.call(&op_request("cache_stats")).unwrap_or(Json::Null);
+        let barrier = Arc::new(Barrier::new(flood));
+        let handles: Vec<_> = (0..flood)
+            .map(|c| {
+                let layers = Arc::clone(&layers);
+                let expect = Arc::clone(&expect);
+                let barrier = Arc::clone(&barrier);
+                let socket = socket.clone();
+                std::thread::spawn(move || flood_client(&socket, c, &layers, &expect, &barrier))
+            })
+            .collect();
+        let mut tally = FloodTally::default();
+        for handle in handles {
+            match handle.join() {
+                Ok(t) => {
+                    tally.ok += t.ok;
+                    tally.shed += t.shed;
+                    tally.errors += t.errors;
+                    tally.fp_mismatches += t.fp_mismatches;
+                }
+                Err(_) => tally.errors += 1,
+            }
+        }
+        // Drain: poll until the daemon is back to the control connection
+        // alone (conns_live == 1), bounded so a leak fails fast.
+        let drain_t0 = Instant::now();
+        let mut live = f64::INFINITY;
+        while drain_t0.elapsed() < Duration::from_secs(10) {
+            let stats = control.call(&op_request("cache_stats")).unwrap_or(Json::Null);
+            live = counter(&stats, &["conns_live"]);
+            if live <= 1.0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let drain_ms = drain_t0.elapsed().as_secs_f64() * 1e3;
+        let stats_post = control.call(&op_request("cache_stats")).unwrap_or(Json::Null);
+        let shed_key = |s: &Json, key: &str| counter(s, &[key]);
+        let report = FloodReport {
+            post_flood_live: (live - 1.0).max(0.0),
+            daemon_shed_connections: shed_key(&stats_post, "shed_connections")
+                - shed_key(&stats_pre, "shed_connections"),
+            daemon_shed_requests: shed_key(&stats_post, "shed_requests")
+                - shed_key(&stats_pre, "shed_requests"),
+            drain_ms,
+            tally,
+        };
+        println!(
+            "  flood: {flood} clients — {} ok, {} shed, {} errors, {} fp mismatches, \
+             drained to {} extra conn(s) in {drain_ms:.0} ms",
+            report.tally.ok,
+            report.tally.shed,
+            report.tally.errors,
+            report.tally.fp_mismatches,
+            report.post_flood_live,
+        );
+        Some(report)
+    } else {
+        None
+    };
+    let stats_final = control.call(&op_request("cache_stats")).unwrap_or(Json::Null);
+
     if shutdown {
         let _ = control.call(&op_request("shutdown"));
     }
 
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"sunstone-bench-serve/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"sunstone-bench-serve/v2\",");
     let _ = writeln!(out, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(out, "  \"arch\": \"{ARCH}\",");
     let _ = writeln!(out, "  \"unique_layers\": {},", layers.len());
@@ -377,6 +547,19 @@ fn main() -> ExitCode {
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"hit_rate\": {hit_rate:.4},");
     let _ = writeln!(out, "  \"fp_mismatches\": {},", fp_mismatches.len());
+    if let Some(f) = &flood_report {
+        let _ = writeln!(out, "  \"overload\": {{");
+        let _ = writeln!(out, "    \"flood_clients\": {flood},");
+        let _ = writeln!(out, "    \"ok\": {},", f.tally.ok);
+        let _ = writeln!(out, "    \"shed\": {},", f.tally.shed);
+        let _ = writeln!(out, "    \"errors\": {},", f.tally.errors);
+        let _ = writeln!(out, "    \"fp_mismatches\": {},", f.tally.fp_mismatches);
+        let _ = writeln!(out, "    \"post_flood_live\": {},", f.post_flood_live);
+        let _ = writeln!(out, "    \"daemon_shed_connections\": {},", f.daemon_shed_connections);
+        let _ = writeln!(out, "    \"daemon_shed_requests\": {},", f.daemon_shed_requests);
+        let _ = writeln!(out, "    \"drain_ms\": {:.1}", f.drain_ms);
+        let _ = writeln!(out, "  }},");
+    }
     let _ = writeln!(out, "  \"layers\": [");
     for (i, r) in warm_rows.iter().enumerate() {
         let _ = writeln!(out, "    {{");
@@ -389,12 +572,23 @@ fn main() -> ExitCode {
     }
     let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"daemon\": {{");
-    let _ = writeln!(out, "    \"requests\": {},", counter(&stats_after, &["requests"]));
-    let _ = writeln!(out, "    \"searches\": {},", counter(&stats_after, &["searches"]));
-    let _ = writeln!(out, "    \"memo_hits\": {},", counter(&stats_after, &["memo_hits"]));
-    let _ = writeln!(out, "    \"store_hits\": {},", counter(&stats_after, &["store_hits"]));
-    let _ = writeln!(out, "    \"errors\": {},", counter(&stats_after, &["errors"]));
-    let _ = writeln!(out, "    \"memo_entries\": {}", counter(&stats_after, &["memo_entries"]));
+    let _ = writeln!(out, "    \"uptime_secs\": {},", counter(&stats_final, &["uptime_secs"]));
+    let _ = writeln!(out, "    \"requests\": {},", counter(&stats_final, &["requests"]));
+    let _ = writeln!(out, "    \"searches\": {},", counter(&stats_final, &["searches"]));
+    let _ = writeln!(out, "    \"memo_hits\": {},", counter(&stats_final, &["memo_hits"]));
+    let _ = writeln!(out, "    \"store_hits\": {},", counter(&stats_final, &["store_hits"]));
+    let _ = writeln!(out, "    \"errors\": {},", counter(&stats_final, &["errors"]));
+    let _ = writeln!(out, "    \"degraded\": {},", counter(&stats_final, &["degraded"]));
+    let _ = writeln!(out, "    \"conns_peak\": {},", counter(&stats_final, &["conns_peak"]));
+    let _ = writeln!(
+        out,
+        "    \"shed_connections\": {},",
+        counter(&stats_final, &["shed_connections"])
+    );
+    let _ = writeln!(out, "    \"shed_requests\": {},", counter(&stats_final, &["shed_requests"]));
+    let _ =
+        writeln!(out, "    \"quarantined\": {},", counter(&stats_final, &["store", "quarantined"]));
+    let _ = writeln!(out, "    \"memo_entries\": {}", counter(&stats_final, &["memo_entries"]));
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     if let Err(e) = std::fs::write(&out_path, &out) {

@@ -45,6 +45,33 @@ use crate::progress::CancelToken;
 pub const POINTS: &[&str] =
     &["estimate.round", "estimate.prefix", "pool.claim", "cache.insert", "warm.store"];
 
+/// Failpoints owned by the `sunstone-serve` daemon, registered here so
+/// every fault-injection test shares one registry (and one typo check):
+///
+/// * `"serve.handler_spawn"` — first statement of a freshly spawned
+///   connection-handler thread, before the first frame is read (a panic
+///   here must still unregister the connection and release its
+///   admission slot);
+/// * `"serve.frame_read"` — top of the per-connection request loop,
+///   before each frame read;
+/// * `"serve.store_append"` — *mid-write* of a store record, between the
+///   two halves of the line, so an injected panic produces a genuine
+///   short write (a torn record) on disk;
+/// * `"serve.fsync"` — immediately before the store's `sync_data` call;
+/// * `"serve.compact_rename"` — between writing a compacted shard's temp
+///   file and the atomic rename that commits it.
+///
+/// These never fire from the scheduling library itself, so they live in
+/// their own list: the library soak iterates [`POINTS`] and requires
+/// every entry to be hit by a `schedule` call.
+pub const SERVE_POINTS: &[&str] = &[
+    "serve.handler_spawn",
+    "serve.frame_read",
+    "serve.store_append",
+    "serve.fsync",
+    "serve.compact_rename",
+];
+
 /// What an armed failpoint does when it fires.
 #[derive(Debug, Clone)]
 pub enum FaultAction {
@@ -90,7 +117,10 @@ fn registry() -> MutexGuard<'static, Registry> {
 /// Panics if `point` is not one of the registered [`POINTS`] — a typo in
 /// a test should fail loudly, not silently never fire.
 pub fn arm(point: &'static str, nth: u64, action: FaultAction) {
-    assert!(POINTS.contains(&point), "unknown failpoint {point:?} (see faultpoint::POINTS)");
+    assert!(
+        POINTS.contains(&point) || SERVE_POINTS.contains(&point),
+        "unknown failpoint {point:?} (see faultpoint::POINTS and faultpoint::SERVE_POINTS)"
+    );
     assert!(nth >= 1, "failpoints fire on a 1-based hit count");
     let mut reg = registry();
     reg.hits.insert(point, 0);

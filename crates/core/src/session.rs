@@ -126,6 +126,16 @@ impl ScheduleOutcome {
     pub fn is_complete(&self) -> bool {
         matches!(self, ScheduleOutcome::Complete(_))
     }
+
+    /// Consumes the outcome into its best result plus a *degraded*
+    /// marker: `true` when the wall-clock budget cut the search short,
+    /// so the result is the best-so-far of the beam, not the proven
+    /// optimum. Serving layers use the marker to avoid caching a
+    /// deadline-degraded mapping as if it were the true best.
+    pub fn into_best(self) -> (ScheduleResult, bool) {
+        let degraded = !self.is_complete();
+        (self.into_results().remove(0), degraded)
+    }
 }
 
 /// The per-call controls shared by **every** scheduling entry point:

@@ -1,0 +1,65 @@
+//! Hand-rolled CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`)
+//! for store-record integrity.
+//!
+//! The workspace's vendored compression/checksum crates are no-op stubs,
+//! so the store carries its own implementation: a compile-time 256-entry
+//! table and a byte-at-a-time update loop. This is the same CRC variant
+//! `cksum -o3`, zlib, and PNG use, so a record's checksum can be
+//! verified with standard tooling when debugging a store by hand.
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The byte-indexed remainder table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC32 of `bytes` (init `!0`, final xor `!0` — the standard
+/// "CRC-32" everyone means by default).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let line = b"{\"ctx_fp\":\"12345\",\"edp\":1.5}";
+        let clean = crc32(line);
+        let mut flipped = line.to_vec();
+        for i in 0..flipped.len() {
+            for bit in 0..8u8 {
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at byte {i} bit {bit} undetected");
+                flipped[i] ^= 1 << bit;
+            }
+        }
+    }
+}

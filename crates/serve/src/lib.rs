@@ -30,10 +30,26 @@
 //!
 //! [`Scheduler`]: sunstone::Scheduler
 
+/// Serve-layer failpoint, compiled in only under the `fault-injection`
+/// feature (which forwards to the core crate's registry). Points must be
+/// listed in `sunstone::faultpoint::SERVE_POINTS`; see
+/// `crates/core/src/faultpoint.rs` for the catalogue and semantics.
+#[cfg(feature = "fault-injection")]
+macro_rules! faultpoint {
+    ($name:literal) => {
+        sunstone::faultpoint::hit($name)
+    };
+}
+#[cfg(not(feature = "fault-injection"))]
+macro_rules! faultpoint {
+    ($name:literal) => {};
+}
+
+pub mod crc;
 pub mod json;
 pub mod server;
 pub mod store;
 pub mod wire;
 
-pub use server::{ServeConfig, Server};
-pub use store::{MappingStore, StoreRecord, StoreStats};
+pub use server::{ServeConfig, ServeError, Server};
+pub use store::{FsyncPolicy, MappingStore, StoreRecord, StoreStats};

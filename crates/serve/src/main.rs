@@ -2,20 +2,50 @@
 //!
 //! ```text
 //! Usage: sunstone-serve --socket PATH [--store DIR] [--shards N] [--threads N]
+//!                       [--max-conns N] [--max-queued N] [--retry-after-ms N]
+//!                       [--idle-timeout-ms N] [--write-timeout-ms N]
+//!                       [--fsync never|per-record|interval:MS]
 //! ```
 //!
 //! Listens on the Unix socket until a `shutdown` request arrives, then
-//! compacts the store and exits 0. See `crates/serve/src/wire.rs` for
-//! the protocol and `DESIGN.md` §3h for the architecture.
+//! compacts the store and exits 0. Timeout flags accept `0` for "no
+//! timeout". Refuses to start (exit 1) when another daemon already owns
+//! the socket. See `crates/serve/src/wire.rs` for the protocol and
+//! `DESIGN.md` §3h–§3i for the architecture and overload model.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use sunstone::prelude::*;
-use sunstone_serve::{ServeConfig, Server};
+use sunstone_serve::{FsyncPolicy, ServeConfig, Server};
 
 fn usage() -> ExitCode {
-    eprintln!("Usage: sunstone-serve --socket PATH [--store DIR] [--shards N] [--threads N]");
+    eprintln!(
+        "Usage: sunstone-serve --socket PATH [--store DIR] [--shards N] [--threads N]\n\
+         \x20                     [--max-conns N] [--max-queued N] [--retry-after-ms N]\n\
+         \x20                     [--idle-timeout-ms N] [--write-timeout-ms N]\n\
+         \x20                     [--fsync never|per-record|interval:MS]"
+    );
     ExitCode::from(2)
+}
+
+/// Parses a `--fsync` argument: `never`, `per-record`, or
+/// `interval:<ms>`.
+fn parse_fsync(v: &str) -> Option<FsyncPolicy> {
+    match v {
+        "never" => Some(FsyncPolicy::Never),
+        "per-record" => Some(FsyncPolicy::PerRecord),
+        _ => {
+            let ms: u64 = v.strip_prefix("interval:")?.parse().ok()?;
+            Some(FsyncPolicy::Interval(Duration::from_millis(ms)))
+        }
+    }
+}
+
+/// A millisecond flag where `0` means "disabled" (no timeout).
+fn parse_timeout(v: &str) -> Option<Option<Duration>> {
+    let ms: u64 = v.parse().ok()?;
+    Some((ms > 0).then(|| Duration::from_millis(ms)))
 }
 
 fn main() -> ExitCode {
@@ -24,6 +54,7 @@ fn main() -> ExitCode {
     let mut store: Option<String> = None;
     let mut shards = 4usize;
     let mut threads: Option<usize> = None;
+    let mut config = ServeConfig::new("");
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => socket = args.next(),
@@ -36,11 +67,35 @@ fn main() -> ExitCode {
                 Some(n) => threads = Some(n),
                 None => return usage(),
             },
+            "--max-conns" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_connections = n,
+                None => return usage(),
+            },
+            "--max-queued" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_queued_searches = n,
+                None => return usage(),
+            },
+            "--retry-after-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.retry_after_ms = n,
+                None => return usage(),
+            },
+            "--idle-timeout-ms" => match args.next().as_deref().and_then(parse_timeout) {
+                Some(t) => config.idle_timeout = t,
+                None => return usage(),
+            },
+            "--write-timeout-ms" => match args.next().as_deref().and_then(parse_timeout) {
+                Some(t) => config.write_timeout = t,
+                None => return usage(),
+            },
+            "--fsync" => match args.next().as_deref().and_then(parse_fsync) {
+                Some(p) => config.fsync = p,
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
     let Some(socket) = socket else { return usage() };
-    let mut config = ServeConfig::new(&socket);
+    config.socket = socket.clone().into();
     config.shards = shards;
     if let Some(dir) = store {
         config = config.with_store(dir);

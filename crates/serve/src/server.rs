@@ -20,6 +20,33 @@
 //! fresh computation), so clients and the restart acceptance test can
 //! distinguish a warm-loaded answer from a recomputed one.
 //!
+//! # Overload and degradation
+//!
+//! The daemon bounds its own resources and sheds the excess instead of
+//! queueing unboundedly:
+//!
+//! * **connection admission** — at most
+//!   [`ServeConfig::max_connections`] live handler threads; a connection
+//!   over the cap receives one typed `overloaded` frame (with a
+//!   `retry_after_ms` hint) and is closed, counted in
+//!   `shed_connections`.
+//! * **search admission** — at most
+//!   [`ServeConfig::max_queued_searches`] requests past the memo tier at
+//!   once (searching or waiting on a single-flight peer); the excess get
+//!   the same `overloaded` response, counted in `shed_requests`. Memo
+//!   and store hits are never shed — they cost microseconds.
+//! * **deadlines** — a request carrying `deadline_ms` maps onto the
+//!   library's wall-clock budget; a search cut short returns its best
+//!   mapping so far with `"degraded":true`. Degraded results are served
+//!   but *not* memoized or persisted: the next request (with its own
+//!   deadline) searches again rather than inheriting a worse-than-best
+//!   answer forever.
+//! * **socket timeouts** — per-connection read
+//!   ([`ServeConfig::idle_timeout`]) and write
+//!   ([`ServeConfig::write_timeout`]) timeouts reap idle, slow, or dead
+//!   clients without touching their single-flight peers (timeouts bound
+//!   socket I/O, never lock waits).
+//!
 //! # Bit-identity
 //!
 //! The warm-load path never trusts the store: each record's workload is
@@ -37,13 +64,17 @@
 //! connection, the session, and the daemon survive. All shared state is
 //! behind poison-recovering locks, so a fault while a lock was held
 //! degrades to the error response, never to a poisoned-mutex abort.
+//! Under the `fault-injection` feature the serve layer carries its own
+//! failpoints (`sunstone::faultpoint::SERVE_POINTS`); the chaos soak
+//! in `tests/fault_injection.rs` drives them.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use sunstone::fingerprint::mapping_fingerprint;
 use sunstone::prelude::*;
@@ -52,30 +83,56 @@ use sunstone_mapping::Mapping;
 use sunstone_model::CostReport;
 
 use crate::json::{u64_str, Json};
-use crate::store::{MappingStore, StoreRecord};
-use crate::wire::{self, Request};
+use crate::store::{FsyncPolicy, MappingStore, StoreRecord};
+use crate::wire::{self, Request, WireError};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Unix socket path to listen on (an existing file is replaced).
+    /// Unix socket path to listen on. A stale socket left by a crashed
+    /// daemon is taken over; a *live* daemon's socket is refused
+    /// ([`ServeError::AlreadyRunning`]).
     pub socket: PathBuf,
     /// Store directory; `None` runs fully in-memory.
     pub store_dir: Option<PathBuf>,
     /// Shard count for a fresh store (existing stores keep theirs).
     pub shards: usize,
+    /// Store durability policy (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
     /// Scheduler configuration for the shared session.
     pub config: SunstoneConfig,
+    /// Admission cap on live connections; excess connections get one
+    /// `overloaded` frame and are closed.
+    pub max_connections: usize,
+    /// Admission cap on requests simultaneously past the memo tier
+    /// (searching, or queued on a single-flight peer); excess requests
+    /// get an `overloaded` response on their open connection.
+    pub max_queued_searches: usize,
+    /// The `retry_after_ms` hint carried by `overloaded` responses.
+    pub retry_after_ms: u64,
+    /// Per-connection read timeout: a client idle longer than this is
+    /// reaped. `None` waits forever (the pre-hardening behavior).
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection write timeout: a client that stops draining its
+    /// socket is reaped instead of blocking its handler forever.
+    pub write_timeout: Option<Duration>,
 }
 
 impl ServeConfig {
-    /// A daemon on `socket` with default scheduling and no persistence.
+    /// A daemon on `socket` with default scheduling, default admission
+    /// limits, and no persistence.
     pub fn new(socket: impl Into<PathBuf>) -> Self {
         ServeConfig {
             socket: socket.into(),
             store_dir: None,
             shards: 4,
+            fsync: FsyncPolicy::default(),
             config: SunstoneConfig::default(),
+            max_connections: 256,
+            max_queued_searches: 64,
+            retry_after_ms: 25,
+            idle_timeout: Some(Duration::from_secs(60)),
+            write_timeout: Some(Duration::from_secs(10)),
         }
     }
 
@@ -83,6 +140,46 @@ impl ServeConfig {
     pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store_dir = Some(dir.into());
         self
+    }
+}
+
+/// Startup failures with an operational meaning beyond raw I/O.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The socket path is a Unix socket and something answered a dial:
+    /// another daemon is live. Refusing to unlink it is the whole point —
+    /// the old behavior silently orphaned the running daemon.
+    AlreadyRunning { socket: PathBuf },
+    /// The socket path exists but is not a Unix socket; refusing to
+    /// delete it protects whatever file the operator actually has there.
+    NotASocket { path: PathBuf },
+    /// Everything else: bind, store, filesystem.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::AlreadyRunning { socket } => {
+                write!(f, "a daemon is already serving on {}", socket.display())
+            }
+            ServeError::NotASocket { path } => {
+                write!(
+                    f,
+                    "{} exists and is not a Unix socket; refusing to replace it",
+                    path.display()
+                )
+            }
+            ServeError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
     }
 }
 
@@ -110,6 +207,12 @@ struct Counters {
     memo_hits: AtomicU64,
     store_hits: AtomicU64,
     errors: AtomicU64,
+    /// Connections refused at the admission cap.
+    shed_connections: AtomicU64,
+    /// Requests refused at the search-queue cap.
+    shed_requests: AtomicU64,
+    /// Searches cut short by a client deadline (served best-so-far).
+    degraded: AtomicU64,
     /// Store records skipped at warm-load (fingerprint or validation
     /// mismatch) — should be zero on a healthy store.
     load_skipped: AtomicU64,
@@ -124,6 +227,7 @@ struct ServeState {
     memo: Mutex<HashMap<u64, Arc<MemoEntry>>>,
     counters: Counters,
     shutdown: AtomicBool,
+    started: Instant,
     /// The listening socket's path, so a shutdown handler can dial it to
     /// unblock the accept loop.
     socket: PathBuf,
@@ -131,10 +235,19 @@ struct ServeState {
     /// unblock handler threads parked in `read_frame` on idle clients.
     conns: Mutex<HashMap<u64, UnixStream>>,
     next_conn: AtomicU64,
+    /// Live handler-thread count, maintained by [`ConnGuard`] so an
+    /// injected panic still releases its admission slot.
+    conns_live: AtomicU64,
+    conns_peak: AtomicU64,
+    /// Requests currently past the memo tier (see `max_queued_searches`).
+    queued_searches: AtomicU64,
     /// Single-flight locks by context fingerprint: concurrent requests
     /// for the same context serialize onto one search, with later
     /// arrivals re-checking the memo once the first completes.
     flights: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    max_connections: u64,
+    max_queued_searches: u64,
+    retry_after_ms: u64,
 }
 
 /// Locks a daemon mutex, recovering from poisoning: memo and store hold
@@ -144,11 +257,75 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Unregisters a connection when its handler exits — normally, by
+/// timeout, or by panic — releasing the admission slot either way.
+struct ConnGuard {
+    state: Arc<ServeState>,
+    id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        lock_recover(&self.state.conns).remove(&self.id);
+        self.state.conns_live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Holds one slot of the bounded search queue; dropped (releasing the
+/// slot) when the request finishes, errors, or panics.
+struct SearchTicket<'a> {
+    state: &'a ServeState,
+}
+
+impl<'a> SearchTicket<'a> {
+    /// Claims a queue slot, or `None` when the queue is at capacity.
+    fn acquire(state: &'a ServeState) -> Option<SearchTicket<'a>> {
+        if state.queued_searches.fetch_add(1, Ordering::SeqCst) >= state.max_queued_searches {
+            state.queued_searches.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(SearchTicket { state })
+    }
+}
+
+impl Drop for SearchTicket<'_> {
+    fn drop(&mut self) {
+        self.state.queued_searches.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// The running daemon.
 pub struct Server {
     listener: UnixListener,
     state: Arc<ServeState>,
     socket: PathBuf,
+    /// (read, write) timeouts applied to every accepted connection.
+    timeouts: (Option<Duration>, Option<Duration>),
+}
+
+/// Decides whether `path` may be claimed as our listening socket:
+/// absent → yes; a socket nobody answers (crashed daemon) → unlink and
+/// claim; a socket something answers → [`ServeError::AlreadyRunning`];
+/// any other file → [`ServeError::NotASocket`].
+fn claim_socket_path(path: &Path) -> Result<(), ServeError> {
+    use std::os::unix::fs::FileTypeExt;
+    let meta = match std::fs::symlink_metadata(path) {
+        Ok(m) => m,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(ServeError::Io(e)),
+    };
+    if !meta.file_type().is_socket() {
+        return Err(ServeError::NotASocket { path: path.to_path_buf() });
+    }
+    match UnixStream::connect(path) {
+        // Something accepted: a live daemon owns this path.
+        Ok(_) => Err(ServeError::AlreadyRunning { socket: path.to_path_buf() }),
+        // Nobody listening: a stale socket from an unclean shutdown.
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+            std::fs::remove_file(path).map_err(ServeError::Io)
+        }
+        Err(e) => Err(ServeError::Io(e)),
+    }
 }
 
 impl Server {
@@ -158,15 +335,15 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Socket bind and store I/O failures.
-    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
-        if config.socket.exists() {
-            std::fs::remove_file(&config.socket)?;
-        }
+    /// [`ServeError::AlreadyRunning`] when a live daemon owns the socket,
+    /// [`ServeError::NotASocket`] when the path is some other file, and
+    /// [`ServeError::Io`] for bind and store failures.
+    pub fn bind(config: ServeConfig) -> Result<Server, ServeError> {
+        claim_socket_path(&config.socket)?;
         let listener = UnixListener::bind(&config.socket)?;
         let scheduler = Scheduler::new(config.config.clone());
         let store = match &config.store_dir {
-            Some(dir) => Some(MappingStore::open(dir, config.shards)?),
+            Some(dir) => Some(MappingStore::open_with(dir, config.shards, config.fsync)?),
             None => None,
         };
         let state = Arc::new(ServeState {
@@ -175,13 +352,21 @@ impl Server {
             memo: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
             socket: config.socket.clone(),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            conns_live: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
+            queued_searches: AtomicU64::new(0),
             flights: Mutex::new(HashMap::new()),
+            max_connections: config.max_connections.max(1) as u64,
+            max_queued_searches: config.max_queued_searches as u64,
+            retry_after_ms: config.retry_after_ms,
         });
+        let timeouts = (config.idle_timeout, config.write_timeout);
         warm_load(&state);
-        Ok(Server { listener, state, socket: config.socket })
+        Ok(Server { listener, state, socket: config.socket, timeouts })
     }
 
     /// Serves until a `shutdown` request arrives, then compacts the
@@ -192,6 +377,7 @@ impl Server {
     /// Accept-loop and shutdown-compaction I/O failures (per-connection
     /// failures only close that connection).
     pub fn run(self) -> std::io::Result<()> {
+        let (idle_timeout, write_timeout) = self.timeouts;
         let mut handles = Vec::new();
         for conn in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
@@ -202,14 +388,32 @@ impl Server {
                 // A transient accept failure must not kill the daemon.
                 Err(_) => continue,
             };
+            // Admission: over the cap, the connection gets one typed
+            // `overloaded` frame and is dropped — no thread, no queue.
+            if self.state.conns_live.load(Ordering::SeqCst) >= self.state.max_connections {
+                self.state.counters.shed_connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_write_timeout(write_timeout);
+                let body = overloaded_response(&self.state, "server at connection capacity");
+                let _ = wire::write_frame(&mut &stream, &body.to_string());
+                continue;
+            }
+            // Timeouts are per-socket and shared by every clone, so set
+            // them before the registry clone below.
+            let _ = stream.set_read_timeout(idle_timeout);
+            let _ = stream.set_write_timeout(write_timeout);
             let id = self.state.next_conn.fetch_add(1, Ordering::Relaxed);
             if let Ok(clone) = stream.try_clone() {
                 lock_recover(&self.state.conns).insert(id, clone);
             }
+            let live = self.state.conns_live.fetch_add(1, Ordering::SeqCst) + 1;
+            self.state.conns_peak.fetch_max(live, Ordering::SeqCst);
             let state = Arc::clone(&self.state);
             handles.push(std::thread::spawn(move || {
+                // The guard exists before the failpoint: a panic at spawn
+                // must still release the admission slot.
+                let _guard = ConnGuard { state: Arc::clone(&state), id };
+                faultpoint!("serve.handler_spawn");
                 serve_connection(&state, stream);
-                lock_recover(&state.conns).remove(&id);
             }));
             // Reap finished handler threads so a long-lived daemon's
             // handle list tracks live connections, not total accepts.
@@ -274,7 +478,7 @@ fn warm_load(state: &ServeState) {
 }
 
 /// Per-connection loop: read a frame, dispatch, write the response;
-/// repeat until disconnect or shutdown.
+/// repeat until disconnect, timeout, or shutdown.
 fn serve_connection(state: &ServeState, stream: UnixStream) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -282,20 +486,36 @@ fn serve_connection(state: &ServeState, stream: UnixStream) {
     });
     let mut writer = BufWriter::new(stream);
     loop {
+        faultpoint!("serve.frame_read");
         let payload = match wire::read_frame(&mut reader) {
             Ok(Some(p)) => p,
-            // Clean disconnect, or a client that died mid-frame: either
-            // way this connection is done; the daemon is unaffected.
-            Ok(None) | Err(_) => return,
+            // Clean disconnect: this connection is done.
+            Ok(None) => return,
+            // Framing violation (oversized prefix, mid-frame EOF,
+            // non-UTF-8): tell the client *why* before closing — a silent
+            // drop is indistinguishable from a daemon crash. The write is
+            // best-effort; a mid-frame-EOF client is usually gone.
+            Err(WireError::Protocol(m)) => {
+                let body = error_response("protocol_error", &m);
+                let _ = wire::write_frame(&mut writer, &body.to_string());
+                return;
+            }
+            // Socket-level failure, including the idle-timeout reap.
+            Err(_) => return,
         };
         state.counters.requests.fetch_add(1, Ordering::Relaxed);
         let (response, shutdown) = match Request::parse(&payload) {
-            Ok(Request::Schedule { workload, arch }) => {
-                (schedule_response(state, &workload, &arch), false)
+            Ok(Request::Schedule { workload, arch, deadline_ms }) => {
+                (schedule_response(state, &workload, &arch, deadline(deadline_ms)), false)
             }
-            Ok(Request::ScheduleBatch { workloads, arch }) => {
-                let layers: Vec<Json> =
-                    workloads.iter().map(|w| schedule_response(state, w, &arch)).collect();
+            Ok(Request::ScheduleBatch { workloads, arch, deadline_ms }) => {
+                // One deadline bounds the whole batch; each layer gets
+                // whatever wall-clock remains when its turn comes.
+                let batch_deadline = deadline(deadline_ms);
+                let layers: Vec<Json> = workloads
+                    .iter()
+                    .map(|w| schedule_response(state, w, &arch, batch_deadline))
+                    .collect();
                 (
                     Json::Obj(vec![
                         ("ok".into(), Json::Bool(true)),
@@ -306,6 +526,15 @@ fn serve_connection(state: &ServeState, stream: UnixStream) {
             }
             Ok(Request::CacheStats) => (stats_response(state), false),
             Ok(Request::Shutdown) => (Json::Obj(vec![("ok".into(), Json::Bool(true))]), true),
+            // Malformed JSON: the frame boundary cannot be trusted to
+            // resynchronize, so answer and close.
+            Err(WireError::Json(e)) => {
+                let body = error_response("protocol_error", &e.to_string());
+                let _ = wire::write_frame(&mut writer, &body.to_string());
+                return;
+            }
+            // Well-formed JSON that is not a valid request: the framing
+            // is intact, so answer and keep the connection.
             Err(e) => (error_response("protocol", &e.to_string()), false),
         };
         if wire::write_frame(&mut writer, &response.to_string()).is_err() {
@@ -316,6 +545,12 @@ fn serve_connection(state: &ServeState, stream: UnixStream) {
             return;
         }
     }
+}
+
+/// Converts a request's `deadline_ms` into an absolute instant, anchored
+/// at parse time so queueing and single-flight waits count against it.
+fn deadline(deadline_ms: Option<u64>) -> Option<Instant> {
+    deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms))
 }
 
 /// Flags shutdown, then dials the socket so the accept loop (blocked in
@@ -349,10 +584,23 @@ fn error_response(kind: &str, message: &str) -> Json {
     ])
 }
 
-fn result_body(ctx_fp: u64, source: &str, entry: &MemoEntry) -> Json {
+/// The typed load-shedding response: `ok:false`, `kind:"overloaded"`,
+/// and a retry hint so well-behaved clients back off instead of
+/// hammering.
+fn overloaded_response(state: &ServeState, message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("kind".into(), Json::Str("overloaded".into())),
+        ("error".into(), Json::Str(format!("{message}; retry later"))),
+        ("retry_after_ms".into(), Json::Num(state.retry_after_ms as f64)),
+    ])
+}
+
+fn result_body(ctx_fp: u64, source: &str, entry: &MemoEntry, degraded: bool) -> Json {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         ("source".into(), Json::Str(source.into())),
+        ("degraded".into(), Json::Bool(degraded)),
         ("ctx_fp".into(), u64_str(ctx_fp)),
         ("mapping_fp".into(), u64_str(entry.mapping_fp)),
         ("edp".into(), Json::Num(entry.report.edp)),
@@ -376,11 +624,18 @@ fn memo_hit(state: &ServeState, ctx_fp: u64) -> Option<Json> {
             "memo"
         }
     };
-    Some(result_body(ctx_fp, source, &entry))
+    Some(result_body(ctx_fp, source, &entry, false))
 }
 
-/// The three-tier serve path for one workload (see the module docs).
-fn schedule_response(state: &ServeState, workload: &Workload, arch_name: &str) -> Json {
+/// The serve path for one workload (see the module docs): memo tier,
+/// search-queue admission, single-flight, then a (possibly
+/// deadline-bounded) library search.
+fn schedule_response(
+    state: &ServeState,
+    workload: &Workload,
+    arch_name: &str,
+    deadline: Option<Instant>,
+) -> Json {
     let Some(arch) = wire::arch_by_name(arch_name) else {
         state.counters.errors.fetch_add(1, Ordering::Relaxed);
         return error_response("protocol", &format!("unknown architecture preset {arch_name:?}"));
@@ -389,6 +644,12 @@ fn schedule_response(state: &ServeState, workload: &Workload, arch_name: &str) -
     if let Some(hit) = memo_hit(state, ctx_fp) {
         return hit;
     }
+    // Search-queue admission: memo misses are the expensive tier, and
+    // only `max_queued_searches` of them may be in flight at once.
+    let Some(_ticket) = SearchTicket::acquire(state) else {
+        state.counters.shed_requests.fetch_add(1, Ordering::Relaxed);
+        return overloaded_response(state, "search queue at capacity");
+    };
     // Single-flight: concurrent misses on the same context serialize
     // here; whoever acquires first searches, everyone after re-checks
     // the memo under the flight lock and hits.
@@ -398,8 +659,15 @@ fn schedule_response(state: &ServeState, workload: &Workload, arch_name: &str) -
         return hit;
     }
     state.counters.searches.fetch_add(1, Ordering::Relaxed);
-    let result = match state.scheduler.schedule(workload, &arch) {
-        Ok(r) => r,
+    // The deadline is anchored at request parse: waiting on the flight
+    // lock already spent part of it, so the search gets the remainder
+    // (a zero budget still yields the first claim chunk's best).
+    let mut options = ScheduleOptions::default();
+    if let Some(d) = deadline {
+        options = options.time_budget(d.saturating_duration_since(Instant::now()));
+    }
+    let (result, degraded) = match state.scheduler.schedule_with(workload, &arch, &options) {
+        Ok(outcome) => outcome.into_best(),
         Err(e) => {
             lock_recover(&state.flights).remove(&ctx_fp);
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -412,7 +680,20 @@ fn schedule_response(state: &ServeState, workload: &Workload, arch_name: &str) -
         mapping: result.mapping,
         origin: Origin::Memo,
     });
-    let response = result_body(ctx_fp, "search", &entry);
+    let response = result_body(ctx_fp, "search", &entry, degraded);
+    if degraded {
+        // A deadline-cut result is only as good as its budget allowed:
+        // serve it to the client that asked, but never memoize or
+        // persist it — the next request searches with its own budget
+        // instead of inheriting a worse-than-best mapping forever.
+        state.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        lock_recover(&state.flights).remove(&ctx_fp);
+        return response;
+    }
+    // Memoize before touching the store: a fault in persistence must
+    // not lose an already-computed result.
+    lock_recover(&state.memo).insert(ctx_fp, Arc::clone(&entry));
+    lock_recover(&state.flights).remove(&ctx_fp);
     if let Some(store) = &state.store {
         let rec = StoreRecord {
             ctx_fp,
@@ -427,8 +708,6 @@ fn schedule_response(state: &ServeState, workload: &Workload, arch_name: &str) -
         // A full disk degrades persistence, not serving.
         let _ = lock_recover(store).append(rec);
     }
-    lock_recover(&state.memo).insert(ctx_fp, entry);
-    lock_recover(&state.flights).remove(&ctx_fp);
     response
 }
 
@@ -437,11 +716,17 @@ fn stats_response(state: &ServeState) -> Json {
     let session = state.scheduler.cache_stats();
     let mut pairs = vec![
         ("ok".into(), Json::Bool(true)),
+        ("uptime_secs".into(), Json::Num(state.started.elapsed().as_secs() as f64)),
         ("requests".into(), Json::Num(c.requests.load(Ordering::Relaxed) as f64)),
         ("searches".into(), Json::Num(c.searches.load(Ordering::Relaxed) as f64)),
         ("memo_hits".into(), Json::Num(c.memo_hits.load(Ordering::Relaxed) as f64)),
         ("store_hits".into(), Json::Num(c.store_hits.load(Ordering::Relaxed) as f64)),
         ("errors".into(), Json::Num(c.errors.load(Ordering::Relaxed) as f64)),
+        ("degraded".into(), Json::Num(c.degraded.load(Ordering::Relaxed) as f64)),
+        ("conns_live".into(), Json::Num(state.conns_live.load(Ordering::SeqCst) as f64)),
+        ("conns_peak".into(), Json::Num(state.conns_peak.load(Ordering::SeqCst) as f64)),
+        ("shed_connections".into(), Json::Num(c.shed_connections.load(Ordering::Relaxed) as f64)),
+        ("shed_requests".into(), Json::Num(c.shed_requests.load(Ordering::Relaxed) as f64)),
         ("memo_entries".into(), Json::Num(lock_recover(&state.memo).len() as f64)),
         (
             "session".into(),
@@ -460,8 +745,11 @@ fn stats_response(state: &ServeState) -> Json {
             Json::Obj(vec![
                 ("records".into(), Json::Num(s.records as f64)),
                 ("corrupt_lines".into(), Json::Num(s.corrupt_lines as f64)),
+                ("quarantined".into(), Json::Num(s.quarantined as f64)),
                 ("stale_shards".into(), Json::Num(s.stale_shards as f64)),
+                ("migrated_shards".into(), Json::Num(s.migrated_shards as f64)),
                 ("appended".into(), Json::Num(s.appended as f64)),
+                ("fsyncs".into(), Json::Num(s.fsyncs as f64)),
                 ("loaded".into(), Json::Num(c.loaded.load(Ordering::Relaxed) as f64)),
                 ("load_skipped".into(), Json::Num(c.load_skipped.load(Ordering::Relaxed) as f64)),
             ]),

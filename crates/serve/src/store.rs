@@ -1,20 +1,21 @@
 //! The persistent on-disk mapping store: best mapping + cost per
 //! scheduling context, surviving daemon restarts.
 //!
-//! # Format
+//! # Format (`sunstone-store/v2`)
 //!
-//! A store is a directory of JSON-lines shards, `shard-NN.log`. Every
-//! shard starts with a header line
+//! A store is a directory of line-oriented shards, `shard-NN.log`. Every
+//! shard starts with a plain-JSON header line
 //!
 //! ```json
-//! {"schema":"sunstone-store/v1","cost_model":1,"shards":4}
+//! {"schema":"sunstone-store/v2","cost_model":1,"shards":4}
 //! ```
 //!
-//! followed by one record per line:
+//! followed by one *checksummed* record per line: eight lowercase hex
+//! digits of the record's CRC32 ([`crate::crc::crc32`]), one space, then
+//! the record JSON the checksum covers:
 //!
-//! ```json
-//! {"ctx_fp":"…","mapping_fp":"…","arch":"simba_like","edp":…,
-//!  "energy_pj":…,"delay_cycles":…,"workload":{…},"mapping":{…}}
+//! ```text
+//! 9f3a01bc {"ctx_fp":"…","mapping_fp":"…","arch":"simba_like",…}
 //! ```
 //!
 //! Fingerprints are decimal strings (u64s do not survive JSON numbers);
@@ -22,17 +23,36 @@
 //! rebuild the problem, re-validate the mapping, and re-price it under
 //! the current cost model — the stored EDP is a cache, never an oracle.
 //!
-//! # Crash safety
+//! # Corruption and quarantine
 //!
-//! Appends go through a buffered writer with one `write_all` per line, so
-//! an unclean shutdown can only truncate the *tail* of a shard.
-//! [`MappingStore::open`] therefore skips unparseable lines (counting
-//! them in [`StoreStats::corrupt_lines`]) instead of failing: a torn
-//! record loses one result, never the store. A shard whose *header* is
-//! missing, wrong-schema, or priced under a different
-//! [`COST_MODEL_VERSION`] is
-//! discarded wholesale — replaying costs from an older model would serve
-//! wrong numbers as current.
+//! A record line that fails its CRC, fails to parse, or is torn by an
+//! unclean shutdown is **quarantined**: the raw line is appended to the
+//! shard's `shard-NN.quarantine` sidecar, counted in
+//! [`StoreStats::quarantined`], and never enters the in-memory index —
+//! a flipped bit loses one cached result and leaves evidence, it never
+//! serves a wrong mapping and never fails the open. A shard whose
+//! *header* is missing, wrong-schema (other than v1, see below), or
+//! priced under a different [`COST_MODEL_VERSION`] is discarded
+//! wholesale — replaying costs from an older model would serve wrong
+//! numbers as current.
+//!
+//! # Durability
+//!
+//! Appends go through a buffered writer with one logical line per
+//! record; [`FsyncPolicy`] decides how often the shard file is
+//! `fsync`ed: `Never` (flush to the OS only), `PerRecord` (the default:
+//! an fsync after every append), or `Interval` (at most one fsync per
+//! period, amortizing bursts). Compaction always syncs the temp file
+//! before the atomic rename that commits it.
+//!
+//! # Migration
+//!
+//! A shard with a `sunstone-store/v1` header (plain JSON lines, no
+//! checksums) and a current cost-model version is migrated on first
+//! open: its records are loaded with the v1 parser, then the shard is
+//! rewritten in v2 form via temp file + rename and counted in
+//! [`StoreStats::migrated_shards`]. A crash mid-migration leaves either
+//! the old v1 shard or the new v2 shard, both loadable.
 //!
 //! # Compaction
 //!
@@ -41,18 +61,39 @@
 //! graceful shutdown) rewrites each shard to exactly one record per
 //! context via a temp file + atomic rename, so a crash *during*
 //! compaction leaves either the old or the new shard, both valid.
+//! Quarantine sidecars are left untouched — they are operator evidence.
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use sunstone_model::COST_MODEL_VERSION;
 
+use crate::crc::crc32;
 use crate::json::{self, u64_str, Json};
 
 /// Store schema identifier; bump on any incompatible layout change.
-pub const SCHEMA: &str = "sunstone-store/v1";
+pub const SCHEMA: &str = "sunstone-store/v2";
+
+/// The previous, checksum-less schema, still readable (and migrated)
+/// when its cost-model version matches.
+const SCHEMA_V1: &str = "sunstone-store/v1";
+
+/// How often an appended record is `fsync`ed to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Flush to the OS after every record but never fsync: a host crash
+    /// can lose recent appends, a daemon crash cannot.
+    Never,
+    /// Fsync after every appended record (the default): a host crash
+    /// loses at most the in-flight record.
+    #[default]
+    PerRecord,
+    /// Fsync at most once per period, amortizing append bursts.
+    Interval(Duration),
+}
 
 /// One persisted scheduling result.
 #[derive(Debug, Clone)]
@@ -88,6 +129,13 @@ impl StoreRecord {
         ])
     }
 
+    /// The v2 on-disk line: CRC over the serialized record, then the
+    /// record itself.
+    fn to_line(&self) -> String {
+        let body = self.to_json().to_string();
+        format!("{:08x} {body}", crc32(body.as_bytes()))
+    }
+
     fn from_json(v: &Json) -> Option<StoreRecord> {
         Some(StoreRecord {
             ctx_fp: v.get("ctx_fp")?.as_u64_str()?,
@@ -100,6 +148,20 @@ impl StoreRecord {
             mapping: v.get("mapping")?.clone(),
         })
     }
+
+    /// Parses a v2 line: `<crc32 hex8> <json>`, checksum verified before
+    /// the JSON is even parsed.
+    fn from_line(line: &str) -> Option<StoreRecord> {
+        let (crc_hex, body) = line.split_once(' ')?;
+        if crc_hex.len() != 8 {
+            return None;
+        }
+        let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+        if crc != crc32(body.as_bytes()) {
+            return None;
+        }
+        Self::from_json(&json::parse(body).ok()?)
+    }
 }
 
 /// Load-time statistics, surfaced through `cache_stats`.
@@ -107,12 +169,20 @@ impl StoreRecord {
 pub struct StoreStats {
     /// Distinct contexts loaded.
     pub records: usize,
-    /// Unparseable or truncated lines skipped at load.
+    /// Unparseable, checksum-failing, or truncated lines rejected at
+    /// load (every one of them also lands in `quarantined`, except lines
+    /// so torn they cannot even be read as text).
     pub corrupt_lines: usize,
+    /// Corrupt record lines copied to a `.quarantine` sidecar at load.
+    pub quarantined: usize,
     /// Shards discarded for schema or cost-model version mismatch.
     pub stale_shards: usize,
+    /// v1 shards rewritten to v2 on open.
+    pub migrated_shards: usize,
     /// Records appended since open.
     pub appended: u64,
+    /// `fsync` calls issued since open (see [`FsyncPolicy`]).
+    pub fsyncs: u64,
 }
 
 /// The persistent store: an in-memory latest-per-context index over
@@ -121,35 +191,62 @@ pub struct StoreStats {
 pub struct MappingStore {
     dir: PathBuf,
     shards: usize,
+    fsync: FsyncPolicy,
     /// Latest record per context fingerprint.
     records: HashMap<u64, StoreRecord>,
     /// Open appenders, one per shard (lazily created).
     writers: Vec<Option<BufWriter<File>>>,
+    /// Per-shard last-fsync instant, for [`FsyncPolicy::Interval`].
+    last_sync: Vec<Instant>,
+    /// Per-shard "previous append may have torn its line" flag: set
+    /// before a record's bytes go out, cleared after its newline lands,
+    /// so the next append can terminate a half-written line first.
+    torn: Vec<bool>,
     stats: StoreStats,
 }
 
 impl MappingStore {
-    /// Opens (or initializes) a store directory with `shards` shard files.
-    /// Existing shards are replayed into the in-memory index; see the
-    /// module docs for how corruption and version skew degrade.
+    /// Opens (or initializes) a store directory with `shards` shard
+    /// files and the default [`FsyncPolicy`]. Existing shards are
+    /// replayed into the in-memory index (v1 shards are migrated); see
+    /// the module docs for how corruption and version skew degrade.
     ///
     /// # Errors
     ///
     /// Only filesystem failures (directory creation, unreadable files)
     /// error; corrupt *content* never does.
     pub fn open(dir: impl Into<PathBuf>, shards: usize) -> std::io::Result<MappingStore> {
+        Self::open_with(dir, shards, FsyncPolicy::default())
+    }
+
+    /// [`open`](Self::open) with an explicit durability policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        shards: usize,
+        fsync: FsyncPolicy,
+    ) -> std::io::Result<MappingStore> {
         let dir = dir.into();
         let shards = shards.clamp(1, 64);
         fs::create_dir_all(&dir)?;
         let mut store = MappingStore {
             dir,
             shards,
+            fsync,
             records: HashMap::new(),
             writers: (0..shards).map(|_| None).collect(),
+            last_sync: vec![Instant::now(); shards],
+            torn: vec![false; shards],
             stats: StoreStats::default(),
         };
         for i in 0..shards {
-            store.load_shard(i)?;
+            if store.load_shard(i)? {
+                store.rewrite_shard(i)?;
+                store.stats.migrated_shards += 1;
+            }
         }
         store.stats.records = store.records.len();
         Ok(store)
@@ -157,6 +254,10 @@ impl MappingStore {
 
     fn shard_path(&self, shard: usize) -> PathBuf {
         self.dir.join(format!("shard-{shard:02}.log"))
+    }
+
+    fn quarantine_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard:02}.quarantine"))
     }
 
     fn shard_of(&self, ctx_fp: u64) -> usize {
@@ -174,50 +275,82 @@ impl MappingStore {
         .to_string()
     }
 
-    fn header_is_current(line: &str) -> bool {
-        let Ok(v) = json::parse(line) else { return false };
-        v.get("schema").and_then(Json::as_str) == Some(SCHEMA)
-            && v.get("cost_model").and_then(Json::as_u64) == Some(u64::from(COST_MODEL_VERSION))
+    /// Classifies a shard's header line: current v2, migratable v1, or
+    /// untrusted.
+    fn header_schema(line: &str) -> Option<&'static str> {
+        let v = json::parse(line).ok()?;
+        if v.get("cost_model").and_then(Json::as_u64) != Some(u64::from(COST_MODEL_VERSION)) {
+            return None;
+        }
+        match v.get("schema").and_then(Json::as_str) {
+            Some(s) if s == SCHEMA => Some(SCHEMA),
+            Some(s) if s == SCHEMA_V1 => Some(SCHEMA_V1),
+            _ => None,
+        }
     }
 
-    fn load_shard(&mut self, shard: usize) -> std::io::Result<()> {
+    /// Copies a rejected line into the shard's quarantine sidecar and
+    /// counts it. Sidecar I/O is best-effort: quarantine must never turn
+    /// a corrupt record into a failed open.
+    fn quarantine(&mut self, shard: usize, line: &str) {
+        self.stats.corrupt_lines += 1;
+        self.stats.quarantined += 1;
+        if let Ok(mut f) =
+            OpenOptions::new().create(true).append(true).open(self.quarantine_path(shard))
+        {
+            let _ = f.write_all(line.as_bytes());
+            let _ = f.write_all(b"\n");
+        }
+    }
+
+    /// Replays one shard into the index. Returns `true` when the shard
+    /// was read under the v1 schema and needs migration.
+    fn load_shard(&mut self, shard: usize) -> std::io::Result<bool> {
         let path = self.shard_path(shard);
         let file = match File::open(&path) {
             Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
             Err(e) => return Err(e),
         };
         let mut lines = BufReader::new(file).lines();
-        match lines.next() {
-            Some(Ok(header)) if Self::header_is_current(&header) => {}
+        let schema = match lines.next() {
+            Some(Ok(header)) => Self::header_schema(&header),
+            _ => None,
+        };
+        let Some(schema) = schema else {
             // Missing, torn, or version-skewed header: the whole shard is
             // untrusted. Drop it on disk too, so a later append does not
             // graft current-version records onto a stale file.
-            _ => {
-                self.stats.stale_shards += 1;
-                fs::remove_file(&path)?;
-                return Ok(());
-            }
-        }
+            self.stats.stale_shards += 1;
+            fs::remove_file(&path)?;
+            return Ok(false);
+        };
         for line in lines {
             let Ok(line) = line else {
-                // Unreadable tail (e.g. torn multi-byte sequence).
+                // Unreadable tail (e.g. torn multi-byte sequence): the
+                // raw bytes cannot even be lifted into a sidecar line.
                 self.stats.corrupt_lines += 1;
                 break;
             };
             if line.trim().is_empty() {
                 continue;
             }
-            match json::parse(&line).ok().as_ref().and_then(StoreRecord::from_json) {
+            let parsed = if schema == SCHEMA {
+                StoreRecord::from_line(&line)
+            } else {
+                json::parse(&line).ok().as_ref().and_then(StoreRecord::from_json)
+            };
+            match parsed {
                 Some(rec) => {
                     self.records.insert(rec.ctx_fp, rec);
                 }
-                // A torn tail line (unclean shutdown) or bit rot: skip
-                // and count, never fail the open.
-                None => self.stats.corrupt_lines += 1,
+                // A torn tail (unclean shutdown), a flipped bit, or any
+                // other garbage: quarantine and count, never fail the
+                // open, never serve.
+                None => self.quarantine(shard, &line),
             }
         }
-        Ok(())
+        Ok(schema == SCHEMA_V1)
     }
 
     /// Number of distinct contexts currently held.
@@ -254,7 +387,7 @@ impl MappingStore {
     /// a full disk degrades persistence but not serving.
     pub fn append(&mut self, record: StoreRecord) -> std::io::Result<()> {
         let shard = self.shard_of(record.ctx_fp);
-        let line = record.to_json().to_string();
+        let line = record.to_line();
         self.records.insert(record.ctx_fp, record);
         self.stats.appended += 1;
         if self.writers[shard].is_none() {
@@ -269,9 +402,88 @@ impl MappingStore {
             self.writers[shard] = Some(w);
         }
         let w = self.writers[shard].as_mut().expect("writer just ensured");
-        w.write_all(line.as_bytes())?;
+        if self.torn[shard] {
+            // The previous append panicked or failed mid-line; terminate
+            // the half-written line so this record starts clean. The torn
+            // half is quarantined at the next open.
+            w.write_all(b"\n")?;
+        }
+        self.torn[shard] = true;
+        // Two write halves with a failpoint between them: an injected
+        // panic here is a *genuine* short write, the torn-record case the
+        // chaos soak and the quarantine path must absorb.
+        let (head, tail) = line.as_bytes().split_at(line.len() / 2);
+        w.write_all(head)?;
+        faultpoint!("serve.store_append");
+        w.write_all(tail)?;
         w.write_all(b"\n")?;
-        w.flush()
+        w.flush()?;
+        self.torn[shard] = false;
+        self.sync_shard(shard)
+    }
+
+    /// Applies the [`FsyncPolicy`] after an append to `shard`.
+    fn sync_shard(&mut self, shard: usize) -> std::io::Result<()> {
+        let due = match self.fsync {
+            FsyncPolicy::Never => false,
+            FsyncPolicy::PerRecord => true,
+            FsyncPolicy::Interval(period) => self.last_sync[shard].elapsed() >= period,
+        };
+        if !due {
+            return Ok(());
+        }
+        faultpoint!("serve.fsync");
+        if let Some(w) = self.writers[shard].as_mut() {
+            w.get_ref().sync_data()?;
+        }
+        self.last_sync[shard] = Instant::now();
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Writes `recs` as a complete v2 shard via temp file + atomic
+    /// rename (the commit point). The temp file is synced before the
+    /// rename, so a committed shard is durable.
+    fn write_shard(&self, shard: usize, recs: &[&StoreRecord]) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!("shard-{shard:02}.tmp"));
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            w.write_all(self.header().as_bytes())?;
+            w.write_all(b"\n")?;
+            for rec in recs {
+                w.write_all(rec.to_line().as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        faultpoint!("serve.compact_rename");
+        fs::rename(&tmp, self.shard_path(shard))
+    }
+
+    /// The latest records that live in `shard`, in deterministic
+    /// (fingerprint) order: rewriting the same contents twice produces
+    /// byte-identical shards.
+    fn shard_records(&self, shard: usize) -> Vec<&StoreRecord> {
+        let mut recs: Vec<&StoreRecord> =
+            self.records.values().filter(|r| self.shard_of(r.ctx_fp) == shard).collect();
+        recs.sort_by_key(|r| r.ctx_fp);
+        recs
+    }
+
+    /// Rewrites one shard in v2 form from the records already loaded —
+    /// the migration step for a v1 shard.
+    fn rewrite_shard(&mut self, shard: usize) -> std::io::Result<()> {
+        self.writers[shard] = None;
+        let recs = self.shard_records(shard);
+        if recs.is_empty() {
+            let path = self.shard_path(shard);
+            if path.exists() {
+                fs::remove_file(&path)?;
+            }
+            return Ok(());
+        }
+        self.write_shard(shard, &recs)
     }
 
     /// Rewrites every shard to exactly one line per context (latest
@@ -285,31 +497,17 @@ impl MappingStore {
     pub fn compact(&mut self) -> std::io::Result<()> {
         // Close appenders first so the rename below supersedes them.
         self.writers = (0..self.shards).map(|_| None).collect();
+        self.torn = vec![false; self.shards];
         for shard in 0..self.shards {
-            let mut recs: Vec<&StoreRecord> =
-                self.records.values().filter(|r| self.shard_of(r.ctx_fp) == shard).collect();
-            let path = self.shard_path(shard);
+            let recs = self.shard_records(shard);
             if recs.is_empty() {
+                let path = self.shard_path(shard);
                 if path.exists() {
                     fs::remove_file(&path)?;
                 }
                 continue;
             }
-            // Deterministic order: compacting the same contents twice
-            // produces byte-identical shards.
-            recs.sort_by_key(|r| r.ctx_fp);
-            let tmp = self.dir.join(format!("shard-{shard:02}.tmp"));
-            {
-                let mut w = BufWriter::new(File::create(&tmp)?);
-                w.write_all(self.header().as_bytes())?;
-                w.write_all(b"\n")?;
-                for rec in recs {
-                    w.write_all(rec.to_json().to_string().as_bytes())?;
-                    w.write_all(b"\n")?;
-                }
-                w.flush()?;
-            }
-            fs::rename(&tmp, &path)?;
+            self.write_shard(shard, &recs)?;
         }
         Ok(())
     }
@@ -353,11 +551,12 @@ mod tests {
         assert_eq!(s.get(1).unwrap().edp, 5.0);
         assert_eq!(s.get(2).unwrap().edp, 20.0);
         assert_eq!(s.stats().corrupt_lines, 0);
+        assert_eq!(s.stats().quarantined, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn truncated_tail_is_skipped_not_fatal() {
+    fn truncated_tail_is_quarantined_not_fatal() {
         let dir = tmpdir("torn");
         {
             let mut s = MappingStore::open(&dir, 1).unwrap();
@@ -372,6 +571,34 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert!(s.get(7).is_some());
         assert_eq!(s.stats().corrupt_lines, 1);
+        assert_eq!(s.stats().quarantined, 1);
+        let sidecar = fs::read_to_string(dir.join("shard-00.quarantine")).unwrap();
+        assert_eq!(sidecar.lines().count(), 1, "torn line must land in the sidecar");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_bit_is_quarantined_by_the_checksum() {
+        let dir = tmpdir("bitflip");
+        {
+            let mut s = MappingStore::open(&dir, 1).unwrap();
+            s.append(rec(7, 1.0)).unwrap();
+            s.append(rec(8, 2.0)).unwrap();
+        }
+        let path = dir.join("shard-00.log");
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one bit in the middle of the *first record line's* JSON
+        // body — the header is line 0, records start after it.
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let line_end =
+            header_end + 1 + bytes[header_end + 1..].iter().position(|&b| b == b'\n').unwrap();
+        let target = (header_end + 1 + line_end) / 2;
+        bytes[target] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let s = MappingStore::open(&dir, 1).unwrap();
+        assert_eq!(s.len(), 1, "the flipped record must not be served");
+        assert_eq!(s.stats().quarantined, 1);
+        assert!(dir.join("shard-00.quarantine").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -395,6 +622,61 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.stats().stale_shards, 1);
         assert!(!path.exists(), "stale shard is removed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_shard_migrates_to_v2_on_open() {
+        let dir = tmpdir("migrate");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-00.log");
+        // A v1 shard: plain JSON lines, no checksums, two records with a
+        // superseding rewrite of the first.
+        let mut v1 = format!(
+            "{{\"schema\":\"{SCHEMA_V1}\",\"cost_model\":{COST_MODEL_VERSION},\"shards\":1}}\n"
+        );
+        for r in [rec(5, 1.0), rec(6, 2.0), rec(5, 9.0)] {
+            v1.push_str(&r.to_json().to_string());
+            v1.push('\n');
+        }
+        fs::write(&path, v1).unwrap();
+
+        let s = MappingStore::open(&dir, 1).unwrap();
+        assert_eq!(s.stats().migrated_shards, 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(5).unwrap().edp, 9.0, "latest-wins must survive migration");
+        assert_eq!(s.get(6).unwrap().edp, 2.0);
+
+        // On disk the shard is now v2: current header, checksummed lines.
+        let contents = fs::read_to_string(&path).unwrap();
+        let mut lines = contents.lines();
+        assert!(lines.next().unwrap().contains(SCHEMA));
+        for line in lines {
+            assert!(StoreRecord::from_line(line).is_some(), "unverifiable migrated line: {line}");
+        }
+
+        // And a second open is a plain v2 load, no second migration.
+        drop(s);
+        let s = MappingStore::open(&dir, 1).unwrap();
+        assert_eq!(s.stats().migrated_shards, 0);
+        assert_eq!(s.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interval_fsync_coalesces_and_never_skips_forever() {
+        let dir = tmpdir("fsync");
+        let mut s =
+            MappingStore::open_with(&dir, 1, FsyncPolicy::Interval(Duration::from_secs(3600)))
+                .unwrap();
+        for i in 0..10u64 {
+            s.append(rec(i, i as f64)).unwrap();
+        }
+        assert_eq!(s.stats().fsyncs, 0, "a long interval must coalesce bursts");
+        drop(s);
+        let mut s = MappingStore::open_with(&dir, 1, FsyncPolicy::PerRecord).unwrap();
+        s.append(rec(99, 1.0)).unwrap();
+        assert_eq!(s.stats().fsyncs, 1, "per-record must sync every append");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -15,11 +15,18 @@
 //! # Requests
 //!
 //! ```json
-//! {"op":"schedule","arch":"simba_like","workload":{...}}
+//! {"op":"schedule","arch":"simba_like","workload":{...},"deadline_ms":500}
 //! {"op":"schedule_batch","arch":"simba_like","workloads":[{...},...]}
 //! {"op":"cache_stats"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `deadline_ms` (optional, both schedule ops) bounds the whole request:
+//! a search that hits the deadline stops gracefully and returns its best
+//! mapping so far with `"degraded":true` in the response, rather than an
+//! error — clients that set deadlines have decided latency beats
+//! optimality. Memo and store hits ignore the deadline (they are
+//! microseconds). A batch shares one deadline across its layers.
 //!
 //! Architectures are referenced by preset name ([`arch_by_name`]) — the
 //! store keys results by the full arch fingerprint regardless, so a
@@ -128,10 +135,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, WireError> {
 /// A parsed client request.
 #[derive(Debug)]
 pub enum Request {
-    /// Schedule one workload on the named architecture preset.
-    Schedule { workload: Workload, arch: String },
-    /// Schedule a batch of workloads on the named architecture preset.
-    ScheduleBatch { workloads: Vec<Workload>, arch: String },
+    /// Schedule one workload on the named architecture preset, optionally
+    /// bounded by a deadline in milliseconds.
+    Schedule { workload: Workload, arch: String, deadline_ms: Option<u64> },
+    /// Schedule a batch of workloads on the named architecture preset;
+    /// the deadline (if any) covers the whole batch.
+    ScheduleBatch { workloads: Vec<Workload>, arch: String, deadline_ms: Option<u64> },
     /// Report daemon, session-cache, and store statistics.
     CacheStats,
     /// Compact the store and stop the daemon.
@@ -154,6 +163,7 @@ impl Request {
                     v.get("workload").ok_or_else(|| protocol("missing \"workload\""))?,
                 )?,
                 arch: request_arch(&v)?,
+                deadline_ms: request_deadline(&v)?,
             }),
             "schedule_batch" => {
                 let items = v
@@ -162,7 +172,11 @@ impl Request {
                     .ok_or_else(|| protocol("missing \"workloads\""))?;
                 let workloads =
                     items.iter().map(workload_from_json).collect::<Result<Vec<_>, _>>()?;
-                Ok(Request::ScheduleBatch { workloads, arch: request_arch(&v)? })
+                Ok(Request::ScheduleBatch {
+                    workloads,
+                    arch: request_arch(&v)?,
+                    deadline_ms: request_deadline(&v)?,
+                })
             }
             "cache_stats" => Ok(Request::CacheStats),
             "shutdown" => Ok(Request::Shutdown),
@@ -176,6 +190,23 @@ fn request_arch(v: &Json) -> Result<String, WireError> {
         .and_then(Json::as_str)
         .ok_or_else(|| protocol("missing \"arch\""))?
         .to_string())
+}
+
+/// Extracts the optional `deadline_ms` field. Absence is fine (no
+/// deadline); a present-but-invalid value is a protocol error — silently
+/// ignoring a malformed deadline would run the request unbounded, the
+/// opposite of what the client asked for.
+fn request_deadline(v: &Json) -> Result<Option<u64>, WireError> {
+    match v.get("deadline_ms") {
+        None => Ok(None),
+        Some(d) => {
+            let ms = d
+                .as_u64()
+                .filter(|&ms| ms > 0)
+                .ok_or_else(|| protocol("\"deadline_ms\" must be a positive integer"))?;
+            Ok(Some(ms))
+        }
+    }
 }
 
 /// Resolves an architecture preset by name. The four presets cover the
@@ -476,11 +507,28 @@ mod tests {
             "{{\"op\":\"schedule\",\"arch\":\"simba_like\",\"workload\":{w}}}"
         ))
         .unwrap();
-        assert!(matches!(req, Request::Schedule { .. }));
+        assert!(matches!(req, Request::Schedule { deadline_ms: None, .. }));
         assert!(matches!(Request::parse("{\"op\":\"shutdown\"}").unwrap(), Request::Shutdown));
         assert!(Request::parse("{\"op\":\"nope\"}").is_err());
         assert!(Request::parse("{}").is_err());
         assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn deadline_parses_strictly() {
+        let w = workload_to_json(&conv()).to_string();
+        let req = Request::parse(&format!(
+            "{{\"op\":\"schedule\",\"arch\":\"simba_like\",\"workload\":{w},\"deadline_ms\":250}}"
+        ))
+        .unwrap();
+        assert!(matches!(req, Request::Schedule { deadline_ms: Some(250), .. }));
+        // A malformed deadline must be rejected, not silently unbounded.
+        for bad in ["\"soon\"", "0", "-5", "1.5"] {
+            let req = format!(
+                "{{\"op\":\"schedule\",\"arch\":\"simba_like\",\"workload\":{w},\"deadline_ms\":{bad}}}"
+            );
+            assert!(Request::parse(&req).is_err(), "deadline_ms:{bad} must be rejected");
+        }
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Chaos soak for the serve layer, compiled only under the
+//! `fault-injection` feature:
+//!
+//! ```text
+//! cargo test -p sunstone-serve --features fault-injection --test fault_injection
+//! ```
+//!
+//! Every serve failpoint ([`faultpoint::SERVE_POINTS`]) is cycled
+//! through a panic and a delay while eight concurrent clients hammer the
+//! daemon. A panic at `serve.store_append` fires *between the two write
+//! halves* of a record line, so it doubles as the short-write fault: a
+//! genuinely torn record on disk that the next open must quarantine.
+//!
+//! Invariants per cycle:
+//! * no served response ever carries a wrong mapping fingerprint;
+//! * every client finishes (connection deaths are retried) and every
+//!   join is bounded — a wedged daemon fails the test, it does not hang
+//!   it;
+//! * after the cycle, a fresh daemon restarts from whatever the store
+//!   holds and serves every layer correctly.
+
+#![cfg(feature = "fault-injection")]
+
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use sunstone::faultpoint::{self, FaultAction};
+use sunstone::fingerprint::mapping_fingerprint;
+use sunstone::prelude::*;
+use sunstone_ir::Workload;
+use sunstone_serve::json::{self, Json};
+use sunstone_serve::wire::{self, workload_to_json};
+use sunstone_serve::{ServeConfig, Server};
+
+/// Bound on every join in the soak: a daemon or client that has not
+/// finished by then is wedged, which is exactly the failure this test
+/// exists to catch.
+const WEDGE_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn conv(name: &str, k: u64, c: u64, pq: u64, r: u64) -> Workload {
+    let mut b = Workload::builder(name);
+    let n = b.dim("N", 1);
+    let kd = b.dim("K", k);
+    let cd = b.dim("C", c);
+    let p = b.dim("P", pq);
+    let q = b.dim("Q", pq);
+    let rd = b.dim("R", r);
+    let s = b.dim("S", r);
+    b.input("ifmap", [n.expr(), cd.expr(), p + rd, q + s]);
+    b.input("weight", [kd.expr(), cd.expr(), rd.expr(), s.expr()]);
+    b.output("ofmap", [n.expr(), kd.expr(), p.expr(), q.expr()]);
+    b.build().unwrap()
+}
+
+fn mix() -> Vec<Workload> {
+    vec![conv("a", 8, 8, 7, 3), conv("b", 16, 4, 7, 1), conv("c", 4, 16, 14, 3)]
+}
+
+/// The per-cycle layer: a fast shape no other cycle (and nothing in
+/// [`mix`]) shares, so every cycle forces at least one fresh search —
+/// and therefore one store append and one fsync — no matter how warm
+/// the store already is. Structural uniqueness matters: the context
+/// fingerprint hashes the shape, not the workload name.
+fn cycle_layer(cycle: usize) -> Workload {
+    conv(&format!("cycle{cycle}"), 8 + 4 * cycle as u64, 4, 5, 1)
+}
+
+/// One request over a fresh connection. `Err` is a transient transport
+/// failure (the daemon may have injected a panic into this very
+/// handler); `Ok` is a parsed response frame.
+fn request_once(socket: &Path, w: &Workload) -> Result<Json, String> {
+    let stream = std::os::unix::net::UnixStream::connect(socket).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(Some(WEDGE_TIMEOUT)).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = std::io::BufWriter::new(stream);
+    let req = Json::Obj(vec![
+        ("op".into(), Json::Str("schedule".into())),
+        ("arch".into(), Json::Str("conventional".into())),
+        ("workload".into(), workload_to_json(w)),
+    ]);
+    wire::write_frame(&mut writer, &req.to_string()).map_err(|e| e.to_string())?;
+    let payload = wire::read_frame(&mut reader)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "connection closed before a response".to_string())?;
+    json::parse(&payload).map_err(|e| e.to_string())
+}
+
+/// Requests `w` until an `ok:true` response arrives (faulted attempts
+/// retry on fresh connections) and returns its mapping fingerprint.
+fn request_fp(socket: &Path, w: &Workload) -> u64 {
+    let mut last = String::new();
+    for _ in 0..10 {
+        match request_once(socket, w) {
+            Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+                return v.get("mapping_fp").and_then(Json::as_u64_str).expect("mapping_fp");
+            }
+            Ok(v) => last = v.to_string(),
+            Err(e) => last = e,
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("no ok response for {:?} after 10 attempts (last: {last})", w.name());
+}
+
+/// Starts a daemon on its own thread, panic-contained: an injected fault
+/// that unwinds out of `run` (e.g. at `serve.compact_rename`) must look
+/// like a daemon crash, not a test crash. Returns the completion channel.
+fn start_contained(config: ServeConfig) -> mpsc::Receiver<()> {
+    let server = Server::bind(config).expect("binds");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(move || {
+            let _ = server.run();
+        }));
+        let _ = tx.send(());
+    });
+    rx
+}
+
+/// Sends a shutdown request, retrying while the daemon sorts itself out
+/// after an injected fault.
+fn shutdown(socket: &Path) {
+    for _ in 0..5 {
+        let ok = (|| {
+            let stream = std::os::unix::net::UnixStream::connect(socket).ok()?;
+            stream.set_read_timeout(Some(WEDGE_TIMEOUT)).unwrap();
+            let mut reader = std::io::BufReader::new(stream.try_clone().ok()?);
+            let mut writer = std::io::BufWriter::new(stream);
+            let req = Json::Obj(vec![("op".into(), Json::Str("shutdown".into()))]);
+            wire::write_frame(&mut writer, &req.to_string()).ok()?;
+            let payload = wire::read_frame(&mut reader).ok()??;
+            json::parse(&payload).ok()
+        })();
+        if ok.and_then(|v| v.get("ok").and_then(Json::as_bool)) == Some(true) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("daemon refused shutdown after 5 attempts");
+}
+
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("sunstone-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    (base.join("sock"), base.join("store"))
+}
+
+#[test]
+fn chaos_soak_every_serve_failpoint_under_concurrent_clients() {
+    const CLIENTS: usize = 8;
+    let (socket, store) = scratch("soak");
+
+    // Library-path references for every layer any cycle will request.
+    let cycles: Vec<(&'static str, FaultAction)> = sunstone::faultpoint::SERVE_POINTS
+        .iter()
+        .flat_map(|p| {
+            [(*p, FaultAction::Panic), (*p, FaultAction::Delay(Duration::from_millis(30)))]
+        })
+        .collect();
+    let mut layers = mix();
+    for cycle in 0..cycles.len() {
+        layers.push(cycle_layer(cycle));
+    }
+    let reference = Scheduler::new(SunstoneConfig::default());
+    let arch = wire::arch_by_name("conventional").unwrap();
+    let expected: Vec<u64> = layers
+        .iter()
+        .map(|w| mapping_fingerprint(&reference.schedule(w, &arch).expect("reference").mapping))
+        .collect();
+
+    for (cycle, (point, action)) in cycles.into_iter().enumerate() {
+        faultpoint::disarm_all();
+        faultpoint::arm(point, 1, action.clone());
+        let daemon = start_contained(ServeConfig::new(&socket).with_store(&store));
+
+        // Eight clients walk the three shared layers plus this cycle's
+        // fresh one, each from a different offset, retrying through
+        // whatever the armed fault does to their connections.
+        let work: Vec<Workload> =
+            vec![mix()[0].clone(), mix()[1].clone(), mix()[2].clone(), cycle_layer(cycle)];
+        let want = [expected[0], expected[1], expected[2], expected[3 + cycle]];
+        let (tx, rx) = mpsc::channel();
+        for i in 0..CLIENTS {
+            let tx = tx.clone();
+            let socket = socket.clone();
+            let work = work.clone();
+            std::thread::spawn(move || {
+                let fps: Vec<(usize, u64)> = (0..work.len())
+                    .map(|j| {
+                        let idx = (i + j) % work.len();
+                        (idx, request_fp(&socket, &work[idx]))
+                    })
+                    .collect();
+                let _ = tx.send(fps);
+            });
+        }
+        drop(tx);
+        for _ in 0..CLIENTS {
+            let fps = rx
+                .recv_timeout(WEDGE_TIMEOUT)
+                .unwrap_or_else(|_| panic!("client wedged in cycle {cycle} ({point})"));
+            for (idx, fp) in fps {
+                assert_eq!(
+                    fp, want[idx],
+                    "cycle {cycle} ({point}, {action:?}): wrong fingerprint served for layer {idx}"
+                );
+            }
+        }
+        shutdown(&socket);
+        daemon
+            .recv_timeout(WEDGE_TIMEOUT)
+            .unwrap_or_else(|_| panic!("daemon wedged at shutdown in cycle {cycle} ({point})"));
+        // Checked after shutdown because `serve.compact_rename` only
+        // fires during the shutdown compaction itself.
+        assert!(
+            faultpoint::hits(point) >= 1,
+            "cycle {cycle}: failpoint {point} never fired, the soak tested nothing"
+        );
+
+        // Recovery gate: with no faults armed, a fresh daemon must start
+        // from whatever the store now holds (including torn appends and
+        // aborted compactions) and serve every layer correctly.
+        faultpoint::disarm_all();
+        let daemon = start_contained(ServeConfig::new(&socket).with_store(&store));
+        for (j, w) in work.iter().enumerate() {
+            assert_eq!(
+                request_fp(&socket, w),
+                want[j],
+                "cycle {cycle} ({point}): wrong fingerprint after restart-from-store"
+            );
+        }
+        shutdown(&socket);
+        daemon
+            .recv_timeout(WEDGE_TIMEOUT)
+            .unwrap_or_else(|_| panic!("recovery daemon wedged in cycle {cycle} ({point})"));
+    }
+}
